@@ -1,0 +1,279 @@
+package autodist_test
+
+// One testing.B benchmark per paper table/figure, so
+// `go test -bench=. -benchmem` regenerates the whole evaluation. Each
+// benchmark prints its formatted table once (on the first iteration) and
+// then times the underlying pipeline work.
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"autodist"
+	"autodist/internal/analysis"
+	"autodist/internal/bench"
+	"autodist/internal/bytecode"
+	"autodist/internal/compile"
+	"autodist/internal/experiments"
+	"autodist/internal/partition"
+	"autodist/internal/profiler"
+	"autodist/internal/rewrite"
+)
+
+var printOnce sync.Map
+
+func printTable(b *testing.B, key, content string) {
+	if _, dup := printOnce.LoadOrStore(key, true); !dup {
+		fmt.Printf("\n%s\n", content)
+	}
+	b.ReportAllocs()
+}
+
+// BenchmarkTable1GraphConstruction regenerates Table 1 and times the
+// full analysis (RTA → CRG → ODG) over the eight benchmarks.
+func BenchmarkTable1GraphConstruction(b *testing.B) {
+	rows, err := experiments.Table1()
+	if err != nil {
+		b.Fatal(err)
+	}
+	printTable(b, "table1", experiments.FormatTable1(rows))
+	progs := compiledTable1(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, bp := range progs {
+			if _, err := analysis.Analyze(bp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTable2DistributionPipeline regenerates Table 2 and times the
+// repartitioning-relevant phases (ODG construction + partitioning +
+// rewriting), the phases the paper's adaptive loop would re-run.
+func BenchmarkTable2DistributionPipeline(b *testing.B) {
+	rows, err := experiments.Table2()
+	if err != nil {
+		b.Fatal(err)
+	}
+	printTable(b, "table2", experiments.FormatTable2(rows))
+	progs := compiledTable1(b)
+	results := make([]*analysis.Result, len(progs))
+	for i, bp := range progs {
+		res, err := analysis.Analyze(bp)
+		if err != nil {
+			b.Fatal(err)
+		}
+		results[i] = res
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, bp := range progs {
+			res := results[j]
+			if _, err := partition.Partition(res.ODG.Graph, partition.Options{K: 2, Seed: 1, Epsilon: experiments.BalanceEps}); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := rewrite.Rewrite(bp, res, 2); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure11DistributedExecution regenerates Figure 11 and times
+// one full distributed run of the bank-style crypt benchmark.
+func BenchmarkFigure11DistributedExecution(b *testing.B) {
+	rows, err := experiments.Figure11()
+	if err != nil {
+		b.Fatal(err)
+	}
+	printTable(b, "fig11", experiments.FormatFigure11(rows))
+	p, err := bench.Get("crypt")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := autodist.CompileString(p.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		an, err := prog.Analyze()
+		if err != nil {
+			b.Fatal(err)
+		}
+		plan, err := an.Partition(2, autodist.PartitionOptions{Seed: 1, Epsilon: experiments.BalanceEps})
+		if err != nil {
+			b.Fatal(err)
+		}
+		dist, err := plan.Rewrite()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dist.Run(autodist.RunOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable3ProfilerOverheads regenerates Table 3 and times the
+// cheapest-vs-dearest metric pair on the method benchmark so the
+// instrumentation/sampling gap is visible in ns/op.
+func BenchmarkTable3ProfilerOverheads(b *testing.B) {
+	rows, err := experiments.Table3(5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	printTable(b, "table3", experiments.FormatTable3(rows))
+	p, err := bench.Get("method")
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := autodist.CompileString(p.Source)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, metric := range []autodist.ProfileMetric{profiler.None, profiler.HotMethods, profiler.MethodDuration} {
+		b.Run(strings.ReplaceAll(metric.String(), " ", ""), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := prog.Profile(metric, autodist.RunOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure3And4GraphExport times the Bank example's VCG dumps.
+func BenchmarkFigure3And4GraphExport(b *testing.B) {
+	f3, err := experiments.Figure3()
+	if err != nil {
+		b.Fatal(err)
+	}
+	f4, err := experiments.Figure4()
+	if err != nil {
+		b.Fatal(err)
+	}
+	printTable(b, "fig34", fmt.Sprintf("Figure 3 (CRG): %d bytes of VCG; Figure 4 (ODG): %d bytes of VCG", len(f3), len(f4)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiments.Figure4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure5Through7Codegen times quad translation plus BURS code
+// generation for both targets over the Figure 5 example.
+func BenchmarkFigure5Through7Codegen(b *testing.B) {
+	f5, err := experiments.Figure5()
+	if err != nil {
+		b.Fatal(err)
+	}
+	f7, err := experiments.Figure7()
+	if err != nil {
+		b.Fatal(err)
+	}
+	printTable(b, "fig567", "Figure 5 (quads):\n"+f5+"\nFigure 7 (x86 + StrongARM):\n"+f7)
+	prog, err := autodist.CompileString(experiments.Figure5ExampleSource)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, target := range autodist.Targets() {
+			if _, err := prog.GenerateAssembly("Example", "ex", target); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkFigure8And9Rewriting times the communication-generation
+// transformation of the Bank example.
+func BenchmarkFigure8And9Rewriting(b *testing.B) {
+	out, err := experiments.Figures8And9()
+	if err != nil {
+		b.Fatal(err)
+	}
+	printTable(b, "fig89", fmt.Sprintf("Figures 8-9 rewrite listing: %d bytes (run cmd/experiments -figures for full dump)", len(out)))
+	bp, _, err := compile.CompileSource(experiments.BankExampleSource)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := analysis.Analyze(bp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := partition.Partition(res.ODG.Graph, partition.Options{K: 2, Seed: 1}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rewrite.Rewrite(bp, res, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationPartitioners compares the multilevel partitioner
+// against the baselines on the db benchmark's ODG — the design-choice
+// ablation for §3.
+func BenchmarkAblationPartitioners(b *testing.B) {
+	bp, err := compileBenchProg("db")
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := analysis.Analyze(bp)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var report strings.Builder
+	report.WriteString("Ablation: partitioning method vs ODG edgecut (db benchmark)\n")
+	for _, m := range []partition.Method{partition.Multilevel, partition.FlatKL, partition.RoundRobin, partition.Random} {
+		r, err := partition.Partition(res.ODG.Graph.Clone(), partition.Options{K: 2, Seed: 1, Epsilon: experiments.BalanceEps, Method: m})
+		if err != nil {
+			b.Fatal(err)
+		}
+		fmt.Fprintf(&report, "  %-12s edgecut=%-8d cut-edges=%d imbalance=%.2f\n", m, r.EdgeCut, r.CutEdges, r.Imbalance)
+	}
+	printTable(b, "ablation", report.String())
+	for _, m := range []partition.Method{partition.Multilevel, partition.FlatKL} {
+		b.Run(m.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := partition.Partition(res.ODG.Graph.Clone(), partition.Options{K: 2, Seed: 1, Method: m}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func compiledTable1(b *testing.B) []*bytecode.Program {
+	var out []*bytecode.Program
+	for _, name := range bench.Table1Names() {
+		bp, err := compileBenchProg(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = append(out, bp)
+	}
+	return out
+}
+
+func compileBenchProg(name string) (*bytecode.Program, error) {
+	p, err := bench.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	bp, _, err := compile.CompileSource(p.Source)
+	if err != nil {
+		return nil, err
+	}
+	return bp, nil
+}

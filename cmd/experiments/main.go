@@ -1,0 +1,94 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -table1 -table2 -table3 -fig11      # any subset
+//	experiments -all                                # everything
+//	experiments -figures -out dir                   # VCG/listing dumps
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"autodist/internal/experiments"
+)
+
+func main() {
+	table1 := flag.Bool("table1", false, "benchmark and graph sizes (Table 1)")
+	table2 := flag.Bool("table2", false, "distribution pipeline timing (Table 2)")
+	table3 := flag.Bool("table3", false, "profiler overheads (Table 3)")
+	fig11 := flag.Bool("fig11", false, "distributed vs centralized performance (Figure 11)")
+	figures := flag.Bool("figures", false, "dump Figures 3-9 (VCG graphs and listings)")
+	all := flag.Bool("all", false, "run everything")
+	outDir := flag.String("out", ".", "directory for figure dumps")
+	repeats := flag.Int("repeats", 3, "repetitions for Table 3 timing (min is kept)")
+	flag.Parse()
+
+	if *all {
+		*table1, *table2, *table3, *fig11, *figures = true, true, true, true, true
+	}
+	if !*table1 && !*table2 && !*table3 && !*fig11 && !*figures {
+		flag.Usage()
+		os.Exit(2)
+	}
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+
+	if *table1 {
+		rows, err := experiments.Table1()
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(experiments.FormatTable1(rows))
+	}
+	if *table2 {
+		rows, err := experiments.Table2()
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(experiments.FormatTable2(rows))
+	}
+	if *fig11 {
+		rows, err := experiments.Figure11()
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(experiments.FormatFigure11(rows))
+	}
+	if *table3 {
+		rows, err := experiments.Table3(*repeats)
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(experiments.FormatTable3(rows))
+	}
+	if *figures {
+		dumps := []struct {
+			name string
+			fn   func() (string, error)
+		}{
+			{"figure3-crg.vcg", experiments.Figure3},
+			{"figure4-odg.vcg", experiments.Figure4},
+			{"figure5-quads.txt", experiments.Figure5},
+			{"figure6-ast.txt", experiments.Figure6},
+			{"figure7-asm.txt", experiments.Figure7},
+			{"figure8-9-rewrite.txt", experiments.Figures8And9},
+		}
+		for _, d := range dumps {
+			content, err := d.fn()
+			if err != nil {
+				die(err)
+			}
+			path := filepath.Join(*outDir, d.name)
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				die(err)
+			}
+			fmt.Println("wrote", path)
+		}
+	}
+}

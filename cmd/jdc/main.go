@@ -1,0 +1,66 @@
+// Command jdc is the MJ compiler: it parses, type-checks and compiles
+// MJ source files into binary class files (the bytecode the
+// distribution infrastructure operates on).
+//
+// Usage:
+//
+//	jdc -o build prog.mj [more.mj ...]   # writes build/<Class>.class
+//	jdc -dis prog.mj                     # print disassembly instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"autodist/internal/bytecode"
+	"autodist/internal/compile"
+)
+
+func main() {
+	outDir := flag.String("o", ".", "output directory for .class files")
+	dis := flag.Bool("dis", false, "print disassembly instead of writing class files")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: jdc [-o dir] [-dis] file.mj ...")
+		os.Exit(2)
+	}
+	var srcs []string
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jdc:", err)
+			os.Exit(1)
+		}
+		srcs = append(srcs, string(data))
+	}
+	prog, _, err := compile.CompileSource(srcs...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "jdc:", err)
+		os.Exit(1)
+	}
+	if *dis {
+		for _, cf := range prog.Classes() {
+			fmt.Println(bytecode.DisasmClass(cf))
+		}
+		return
+	}
+	for _, cf := range prog.Classes() {
+		data, err := cf.Encode()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jdc:", err)
+			os.Exit(1)
+		}
+		path := filepath.Join(*outDir, cf.Name+".class")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "jdc:", err)
+			os.Exit(1)
+		}
+	}
+	if prog.MainClass != "" {
+		fmt.Printf("compiled %d classes (main: %s)\n", prog.NumClasses(), prog.MainClass)
+	} else {
+		fmt.Printf("compiled %d classes (no main)\n", prog.NumClasses())
+	}
+}

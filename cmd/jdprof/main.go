@@ -1,0 +1,85 @@
+// Command jdprof profiles an MJ program with one of the six metrics of
+// paper §6 and prints the metric's report.
+//
+// Usage:
+//
+//	jdprof -metric hot-methods prog.mj
+//	jdprof -metric all prog.mj       # run every metric in turn
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"autodist/internal/compile"
+	"autodist/internal/profiler"
+	"autodist/internal/vm"
+)
+
+var metricNames = map[string]profiler.Metric{
+	"duration":    profiler.MethodDuration,
+	"frequency":   profiler.MethodFrequency,
+	"hot-methods": profiler.HotMethods,
+	"hot-paths":   profiler.HotPaths,
+	"memory":      profiler.MemoryAllocation,
+	"callgraph":   profiler.DynamicCallGraph,
+}
+
+func main() {
+	metric := flag.String("metric", "hot-methods", "duration|frequency|hot-methods|hot-paths|memory|callgraph|all")
+	showOutput := flag.Bool("show-output", false, "also print the program's own output")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "jdprof:", err)
+		os.Exit(1)
+	}
+	var srcs []string
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			die(err)
+		}
+		srcs = append(srcs, string(data))
+	}
+	bp, _, err := compile.CompileSource(srcs...)
+	if err != nil {
+		die(err)
+	}
+
+	run := func(m profiler.Metric) {
+		machine, err := vm.New(bp.Clone())
+		if err != nil {
+			die(err)
+		}
+		if *showOutput {
+			machine.Out = os.Stdout
+		} else {
+			machine.Out = io.Discard
+		}
+		p := profiler.Attach(machine, m)
+		start := time.Now()
+		if err := machine.RunMain(); err != nil {
+			die(err)
+		}
+		fmt.Printf("%s(%v elapsed)\n", p.Report(), time.Since(start).Round(time.Microsecond))
+	}
+
+	if *metric == "all" {
+		for _, m := range profiler.Metrics() {
+			run(m)
+		}
+		return
+	}
+	m, ok := metricNames[*metric]
+	if !ok {
+		die(fmt.Errorf("unknown metric %q", *metric))
+	}
+	run(m)
+}

@@ -1,0 +1,30 @@
+// Package autodist is a compiler and runtime infrastructure for
+// automatic program distribution — a from-scratch Go reproduction of
+// Diaconescu et al., "A Compiler and Runtime Infrastructure for
+// Automatic Program Distribution" (IPPS 2005).
+//
+// The system accepts a monolithic program written in MJ (a Java-like
+// object language), compiles it to bytecode, statically approximates the
+// program's object dependence graph, partitions that graph under
+// multi-constraint resource weights (memory/CPU/battery), rewrites the
+// bytecode of each partition so cross-partition dependences become
+// DependentObject message exchanges, and executes the parts on a set of
+// communicating virtual machines — over in-process channels or TCP, with
+// an optional deterministic virtual clock for heterogeneous-node
+// experiments.
+//
+// The five pipeline stages mirror the paper's Figure 1:
+//
+//	src := `... MJ source with a static main() ...`
+//	prog, err := autodist.CompileString(src)        // front-end
+//	an, err := prog.Analyze()                       // ODG construction
+//	plan, err := an.Partition(2, autodist.PartitionOptions{}) // Metis-style
+//	dist, err := plan.Rewrite()                     // communication generation
+//	out, err := dist.Run(autodist.RunOptions{})     // distributed execution
+//
+// Sequential execution (prog.Run), profiling (prog.Profile), quad-IR
+// listings and retargetable x86/StrongARM code generation
+// (prog.Disassemble, prog.GenerateAssembly) are available at every
+// stage. See README.md for the architecture overview and EXPERIMENTS.md
+// for the reproduction of the paper's tables and figures.
+package autodist

@@ -1,0 +1,84 @@
+package analysis
+
+import "strings"
+
+// ApplyProfile rescales the ODG's resource weights using measured
+// runtime behaviour — the feedback loop the paper's profiler exists to
+// enable (§6: "we plan to use this information to perform adaptive
+// repartitioning"). Static weights are approximations; after a
+// profiled run the CPU dimension is replaced by observed invocation
+// counts and the memory dimension by observed allocation volume, so a
+// subsequent partition.Partition reflects the program's actual access
+// pattern.
+//
+// freq maps "Class.method" to invocation counts (profiler's
+// MethodFrequency metric); allocs maps class names (or "[desc" array
+// keys) to allocated slot counts (MemoryAllocation metric). Either may
+// be nil.
+func (odg *ODG) ApplyProfile(freq map[string]int64, allocs map[string]int64) {
+	// Aggregate measurements per class.
+	callsPerClass := map[string]int64{}
+	for key, n := range freq {
+		if cls, _, ok := strings.Cut(key, "."); ok {
+			callsPerClass[cls] += n
+		}
+	}
+	for _, v := range odg.Graph.Vertices() {
+		on, ok := v.Attr.(ObjectNode)
+		if !ok {
+			continue
+		}
+		if calls := callsPerClass[on.Class]; calls > 0 {
+			// Square-root dampening keeps one very hot class from
+			// dwarfing the whole weight vector (which would make
+			// balanced partitioning infeasible and defeat the
+			// refinement pass).
+			v.Weights[1] = 8 + 4*isqrt(calls)
+		}
+		if slots := allocs[on.Class]; slots > 0 && !on.Static {
+			v.Weights[0] = 8 + 4*isqrt(slots)
+		}
+		v.Weights[2] = (v.Weights[0] + v.Weights[1]) / 2
+	}
+}
+
+// isqrt returns the integer square root of n.
+func isqrt(n int64) int64 {
+	if n <= 0 {
+		return 0
+	}
+	x := n
+	y := (x + 1) / 2
+	for y < x {
+		x = y
+		y = (x + n/x) / 2
+	}
+	return x
+}
+
+// ScaleUseEdges rescales ODG use/create edge weights by measured call
+// frequency between the endpoint classes, sharpening the communication
+// estimate the same way ApplyProfile sharpens node weights.
+func (odg *ODG) ScaleUseEdges(freq map[string]int64) {
+	callsPerClass := map[string]int64{}
+	for key, n := range freq {
+		if cls, _, ok := strings.Cut(key, "."); ok {
+			callsPerClass[cls] += n
+		}
+	}
+	for i := 0; i < odg.Graph.NumEdges(); i++ {
+		e := odg.Graph.Edge(i)
+		to, ok := odg.Graph.Vertex(e.To).Attr.(ObjectNode)
+		if !ok {
+			continue
+		}
+		// Calls INTO the callee class approximate traffic on edges
+		// that target its objects.
+		if calls := callsPerClass[to.Class]; calls > 0 {
+			e.Weight = e.Weight * (1 + calls) / 8
+			if e.Weight < 1 {
+				e.Weight = 1
+			}
+		}
+	}
+}

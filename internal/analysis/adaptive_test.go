@@ -1,0 +1,138 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"autodist/internal/analysis"
+	"autodist/internal/compile"
+	"autodist/internal/partition"
+	"autodist/internal/profiler"
+	"autodist/internal/rewrite"
+	"autodist/internal/runtime"
+	"autodist/internal/transport"
+	"autodist/internal/vm"
+)
+
+// adaptiveSource has two helper classes whose static weights look
+// identical, but only one of them is hot at runtime: exactly the
+// situation where profile feedback beats static approximation.
+const adaptiveSource = `
+class HotHelper {
+	int grind(int x) { return x * 3 + 1; }
+}
+class ColdHelper {
+	int grind(int x) { return x * 5 + 2; }
+}
+class Main {
+	static void main() {
+		HotHelper hot = new HotHelper();
+		ColdHelper cold = new ColdHelper();
+		int s = cold.grind(1);
+		for (int i = 0; i < 5000; i++) {
+			s += hot.grind(i);
+		}
+		System.println("" + s);
+	}
+}
+`
+
+func TestApplyProfileReweightsHotClass(t *testing.T) {
+	bp, _, err := compile.CompileSource(adaptiveSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First run: profile method frequencies.
+	machine, err := vm.New(bp.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	machine.Out = &strings.Builder{}
+	prof := profiler.Attach(machine, profiler.MethodFrequency)
+	if err := machine.RunMain(); err != nil {
+		t.Fatal(err)
+	}
+	freq := map[string]int64{
+		"HotHelper.grind":  prof.Frequency("HotHelper.grind"),
+		"ColdHelper.grind": prof.Frequency("ColdHelper.grind"),
+		"Main.main":        prof.Frequency("Main.main"),
+	}
+	if freq["HotHelper.grind"] != 5000 || freq["ColdHelper.grind"] != 1 {
+		t.Fatalf("unexpected profile: %v", freq)
+	}
+
+	// Second pass: analysis + profile feedback.
+	res, err := analysis.Analyze(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.ODG.ApplyProfile(freq, nil)
+	res.ODG.ScaleUseEdges(freq)
+
+	var hotW, coldW int64
+	for _, v := range res.ODG.Graph.Vertices() {
+		on := v.Attr.(analysis.ObjectNode)
+		if on.Class == "HotHelper" {
+			hotW = v.Weights[1]
+		}
+		if on.Class == "ColdHelper" {
+			coldW = v.Weights[1]
+		}
+	}
+	if hotW <= coldW {
+		t.Errorf("profile feedback failed: hot cpu=%d, cold cpu=%d", hotW, coldW)
+	}
+
+	// Adaptive repartition must now keep the hot pair together: a
+	// distributed run should need only a handful of messages.
+	// Generous imbalance: the program is one hot cluster; the second
+	// node only takes what genuinely does not interact.
+	if _, err := partition.Partition(res.ODG.Graph, partition.Options{K: 2, Seed: 1, Epsilon: 1.2}); err != nil {
+		t.Fatal(err)
+	}
+	rw, err := rewrite.Rewrite(bp, res, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	c, err := runtime.NewCluster(rw.Nodes, rw.Plan, transport.NewInProc(2), runtime.Options{Out: &out, MaxSteps: 100_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	stats := c.TotalStats()
+	if stats.MessagesSent > 50 {
+		t.Errorf("adaptive placement still chatty: %d messages", stats.MessagesSent)
+	}
+
+	// And correctness is preserved.
+	seqVM, _ := vm.New(bp.Clone())
+	var seqOut strings.Builder
+	seqVM.Out = &seqOut
+	if err := seqVM.RunMain(); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != seqOut.String() {
+		t.Errorf("adaptive run output %q != sequential %q", out.String(), seqOut.String())
+	}
+}
+
+func TestApplyProfileNilMapsAreSafe(t *testing.T) {
+	bp, _, err := compile.CompileSource(adaptiveSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analysis.Analyze(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.ODG.ApplyProfile(nil, nil)
+	res.ODG.ScaleUseEdges(nil)
+	for _, v := range res.ODG.Graph.Vertices() {
+		if v.Weights[0] <= 0 || v.Weights[1] <= 0 {
+			t.Errorf("weights zeroed by empty profile: %v", v.Weights)
+		}
+	}
+}

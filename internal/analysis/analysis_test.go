@@ -1,0 +1,416 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"autodist/internal/bytecode"
+	"autodist/internal/compile"
+	"autodist/internal/graph"
+)
+
+// bankSource mirrors the paper's running example (§2.1, Figures 2–4).
+const bankSource = `
+class Account {
+	int id;
+	string name;
+	int savings;
+	int checking;
+	int loan;
+	Account(int id, string name, int savings, int checking, int loan) {
+		this.id = id; this.name = name; this.savings = savings;
+		this.checking = checking; this.loan = loan;
+	}
+	int getId() { return this.id; }
+	int getSavings() { return this.savings; }
+	int getBalance() { return this.savings + this.checking; }
+	void setBalance(int b) { this.savings = b; }
+}
+class Bank {
+	string name;
+	int numCustomers;
+	Vector accounts;
+	Bank(string name, int numCustomers, int initialBalance) {
+		this.name = name;
+		this.numCustomers = numCustomers;
+		this.accounts = new Vector();
+		this.initializeAccounts(initialBalance);
+	}
+	void initializeAccounts(int initialBalance) {
+		int n = this.numCustomers;
+		while (n > 0) {
+			Account a = new Account(n, "cust" + n, initialBalance, 0, 0);
+			this.accounts.add(a);
+			n--;
+		}
+	}
+	void openAccount(Account a) { this.accounts.add(a); }
+	Account getCustomer(int customerID) {
+		for (int i = 0; i < this.accounts.size(); i++) {
+			Account a = (Account) this.accounts.get(i);
+			if (a.getId() == customerID) { return a; }
+		}
+		return null;
+	}
+	boolean withdraw(int customerID, int amount) {
+		Account a = this.getCustomer(customerID);
+		if (a != null) {
+			a.setBalance(a.getBalance() - amount);
+			return true;
+		} else { return false; }
+	}
+	static void main() {
+		Bank merchants = new Bank("Merchants", 100, 10000);
+		Account a4 = new Account(1, "ABC Market", 1000000, 100000, 20000000);
+		Account a5 = new Account(2, "CDE Outlet", 5000000, 300000, 150000000);
+		merchants.openAccount(a4);
+		merchants.openAccount(a5);
+		Account a = merchants.getCustomer(2);
+		merchants.withdraw(a.getId(), 900);
+	}
+}
+`
+
+func compileBank(t *testing.T) *bytecode.Program {
+	t.Helper()
+	bp, _, err := compile.CompileSource(bankSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bp
+}
+
+func TestCallGraphReachability(t *testing.T) {
+	bp := compileBank(t)
+	cg, err := BuildCallGraph(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []MethodID{
+		{"Bank", "main", "()V"},
+		{"Bank", "<init>", "(TII)V"},
+		{"Bank", "initializeAccounts", "(I)V"},
+		{"Bank", "openAccount", "(LAccount;)V"},
+		{"Bank", "getCustomer", "(I)LAccount;"},
+		{"Bank", "withdraw", "(II)Z"},
+		{"Account", "<init>", "(ITIII)V"},
+		{"Account", "getBalance", "()I"},
+		{"Vector", "add", "(LObject;)V"},
+		{"Vector", "grow", "()V"},
+	} {
+		if !cg.Reachable[want] {
+			t.Errorf("method %v not reachable", want)
+		}
+	}
+	for _, cls := range []string{"Bank", "Account", "Vector"} {
+		if !cg.Instantiated[cls] {
+			t.Errorf("class %s not instantiated", cls)
+		}
+	}
+	// getSavings is reachable (called in the paper's Figure 8
+	// context) — actually in this source it is not called; check a
+	// truly-unreachable control instead:
+	dead := MethodID{"Account", "nosuch", "()V"}
+	if cg.Reachable[dead] {
+		t.Error("phantom method reachable")
+	}
+}
+
+func TestRTADispatchOnlyInstantiated(t *testing.T) {
+	src := `
+class Shape { int area() { return 0; } }
+class Circle extends Shape { int area() { return 3; } }
+class Square extends Shape { int area() { return 4; } }
+class Main {
+	static void main() {
+		Shape s = new Circle();
+		System.println("" + s.area());
+	}
+}`
+	bp, _, err := compile.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cg, err := BuildCallGraph(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cg.Reachable[MethodID{"Circle", "area", "()I"}] {
+		t.Error("Circle.area should be reachable")
+	}
+	if cg.Reachable[MethodID{"Square", "area", "()I"}] {
+		t.Error("Square.area should NOT be reachable (never instantiated)")
+	}
+	if cg.Instantiated["Square"] {
+		t.Error("Square should not be instantiated")
+	}
+}
+
+func TestCRGRelations(t *testing.T) {
+	bp := compileBank(t)
+	cg, err := BuildCallGraph(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crg, err := BuildCRG(bp, cg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := func(from, to ClassNode, kind graph.EdgeKind, typeName string) bool {
+		for _, r := range crg.Relations {
+			if r.From == from && r.To == to && r.Kind == kind &&
+				(typeName == "" || r.TypeName == typeName) {
+				return true
+			}
+		}
+		return false
+	}
+	st := func(c string) ClassNode { return ClassNode{c, true} }
+	dt := func(c string) ClassNode { return ClassNode{c, false} }
+
+	// Figure 3's key relations:
+	// main (ST Bank) uses DT Bank and DT Account.
+	if !has(st("Bank"), dt("Bank"), graph.KindUse, "") {
+		t.Error("missing use: ST_Bank → DT_Bank")
+	}
+	if !has(st("Bank"), dt("Account"), graph.KindUse, "") {
+		t.Error("missing use: ST_Bank → DT_Account")
+	}
+	// Export edge from openAccount(Account) invocation.
+	if !has(st("Bank"), dt("Bank"), graph.KindExport, "Account") {
+		t.Error("missing export: ST_Bank → DT_Bank (Account)")
+	}
+	// Import edge from getCustomer returning Account.
+	if !has(dt("Bank"), st("Bank"), graph.KindImport, "Account") {
+		t.Error("missing import: DT_Bank → ST_Bank (Account)")
+	}
+	// Bank instances use Vector and Account.
+	if !has(dt("Bank"), dt("Vector"), graph.KindUse, "") {
+		t.Error("missing use: DT_Bank → DT_Vector")
+	}
+	if !has(dt("Bank"), dt("Account"), graph.KindUse, "") {
+		t.Error("missing use: DT_Bank → DT_Account")
+	}
+	if crg.Graph.NumVertices() == 0 || crg.Graph.NumEdges() == 0 {
+		t.Error("CRG graph empty")
+	}
+	// Weights must be 3-dimensional resource vectors.
+	if crg.Graph.Dims() != 3 {
+		t.Errorf("CRG weight dims = %d, want 3", crg.Graph.Dims())
+	}
+}
+
+func TestODGBankShape(t *testing.T) {
+	bp := compileBank(t)
+	res, err := Analyze(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	odg := res.ODG
+
+	labels := map[string]bool{}
+	for _, v := range odg.Graph.Vertices() {
+		labels[v.Label] = true
+	}
+	// Figure 4's object population: a single Bank instance, single
+	// Account instances from main, a summary Account from the
+	// initializeAccounts loop, the Vector instance and static main
+	// context.
+	if !labels["ST_Bank"] {
+		t.Errorf("missing ST_Bank node; have %v", labels)
+	}
+	if !labels["1Bank"] {
+		t.Errorf("missing 1Bank node; have %v", labels)
+	}
+	if !labels["1Vector"] {
+		t.Errorf("missing 1Vector; have %v", labels)
+	}
+	// The loop-allocated Account must be a summary (*) node; the
+	// main-allocated ones single (1).
+	var summaries, singles int
+	for _, s := range odg.Sites {
+		if s.Allocated != "Account" {
+			continue
+		}
+		if s.Summary {
+			summaries++
+		} else {
+			singles++
+		}
+	}
+	if summaries != 1 {
+		t.Errorf("summary Account sites = %d, want 1 (loop in initializeAccounts)", summaries)
+	}
+	if singles != 2 {
+		t.Errorf("single Account sites = %d, want 2 (a4, a5 in main)", singles)
+	}
+
+	// Create edges: ST_Bank creates 1Bank; 1Bank creates *Account and
+	// 1Vector.
+	find := func(fromLabel, toLabel string, kind graph.EdgeKind) bool {
+		for _, e := range odg.Graph.Edges() {
+			f := odg.Graph.Vertex(e.From).Label
+			tt := odg.Graph.Vertex(e.To).Label
+			if f == fromLabel && tt == toLabel && e.Kind == kind {
+				return true
+			}
+		}
+		return false
+	}
+	if !find("ST_Bank", "1Bank", graph.KindCreate) {
+		t.Error("missing create: ST_Bank → 1Bank")
+	}
+	if !find("1Bank", "1Vector", graph.KindCreate) {
+		t.Error("missing create: 1Bank → 1Vector")
+	}
+
+	// Propagation: the Accounts opened in main must become reachable
+	// from the Bank instance (export through openAccount), yielding a
+	// use edge 1Bank → 1Account/x.
+	foundUse := false
+	for _, e := range odg.Graph.Edges() {
+		f := odg.Graph.Vertex(e.From).Label
+		tt := odg.Graph.Vertex(e.To).Label
+		if f == "1Bank" && strings.HasPrefix(tt, "1Account") && e.Kind == graph.KindUse {
+			foundUse = true
+		}
+	}
+	if !foundUse {
+		t.Errorf("export propagation failed: no use edge 1Bank → 1Account/*\n%s", dumpEdges(odg))
+	}
+}
+
+func dumpEdges(odg *ODG) string {
+	var b strings.Builder
+	for _, e := range odg.Graph.Edges() {
+		b.WriteString(odg.Graph.Vertex(e.From).Label + " -" + e.Kind.String() + "-> " + odg.Graph.Vertex(e.To).Label + "\n")
+	}
+	return b.String()
+}
+
+func TestSummaryPropagatesToChildren(t *testing.T) {
+	// Objects allocated (outside any loop) by a summary creator must
+	// themselves be summaries.
+	src := `
+class Inner {}
+class Outer {
+	Inner inner;
+	Outer() { this.inner = new Inner(); }
+}
+class Main {
+	static void main() {
+		for (int i = 0; i < 3; i++) {
+			Outer o = new Outer();
+		}
+	}
+}`
+	bp, _, err := compile.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.ODG.Sites {
+		if !s.Summary {
+			t.Errorf("site %v should be summary (loop creator)", s.Key)
+		}
+	}
+}
+
+func TestSummaryNodesWeighHeavier(t *testing.T) {
+	src := `
+class Thing { int a; int b; }
+class Main {
+	static void main() {
+		Thing one = new Thing();
+		for (int i = 0; i < 5; i++) {
+			Thing many = new Thing();
+		}
+	}
+}`
+	bp, _, err := compile.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Analyze(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var oneW, manyW int64
+	for _, s := range res.ODG.Sites {
+		v := res.ODG.Graph.Vertex(s.Node)
+		if s.Summary {
+			manyW = v.Weights[0]
+		} else {
+			oneW = v.Weights[0]
+		}
+	}
+	if manyW <= oneW {
+		t.Errorf("summary weight %d not heavier than single %d", manyW, oneW)
+	}
+}
+
+func TestAnalyzeTimingsPopulated(t *testing.T) {
+	bp := compileBank(t)
+	res, err := Analyze(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CRGTime <= 0 || res.ODGTime <= 0 {
+		t.Errorf("timings not recorded: crg=%v odg=%v", res.CRGTime, res.ODGTime)
+	}
+}
+
+func TestNoMainClassFails(t *testing.T) {
+	p := bytecode.NewProgram()
+	if _, err := BuildCallGraph(p); err == nil {
+		t.Error("expected error for program without main")
+	}
+}
+
+func TestSiteLookupForRewriter(t *testing.T) {
+	bp := compileBank(t)
+	res, err := Analyze(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every NEW instruction in reachable code must resolve to a site.
+	main := bp.Class("Bank").Method("main", "()V")
+	found := 0
+	for pc, in := range main.Code {
+		if in.Op == bytecode.NEW {
+			key := SiteKey{"Bank", "main", "()V", pc}
+			if res.ODG.SiteAt[key] == nil {
+				t.Errorf("no site for NEW at pc %d", pc)
+			} else {
+				found++
+			}
+		}
+	}
+	if found != 3 { // Bank, Account a4, Account a5
+		t.Errorf("found %d NEW sites in main, want 3", found)
+	}
+}
+
+func TestVCGExportOfGraphs(t *testing.T) {
+	bp := compileBank(t)
+	res, err := Analyze(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var crgOut, odgOut strings.Builder
+	if err := res.CRG.Graph.VCG(&crgOut); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.ODG.Graph.VCG(&odgOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(crgOut.String(), "DT_Bank") {
+		t.Error("CRG VCG missing DT_Bank")
+	}
+	if !strings.Contains(odgOut.String(), "1Bank") {
+		t.Error("ODG VCG missing 1Bank")
+	}
+}

@@ -1,0 +1,212 @@
+// Package analysis implements the paper's static analysis framework
+// (§2): a rapid-type-analysis (RTA) call graph, the class relation graph
+// (CRG) with use/export/import edges, and the object dependence graph
+// (ODG) built by the extended Spiegel algorithm — allocation-site
+// abstraction with 1/* multiplicities and fixpoint reference
+// propagation. The ODG is the input to graph partitioning (§3), and the
+// dependence information drives communication generation (§4.2).
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"autodist/internal/bytecode"
+)
+
+// MethodID identifies a method.
+type MethodID struct {
+	Class, Name, Desc string
+}
+
+func (m MethodID) String() string { return m.Class + "." + m.Name + ":" + m.Desc }
+
+// CallGraph is the RTA result: reachable methods, call edges and the set
+// of instantiated classes.
+type CallGraph struct {
+	Reachable    map[MethodID]bool
+	Edges        map[MethodID][]MethodID
+	Instantiated map[string]bool
+
+	prog *bytecode.Program
+}
+
+// ReachableMethods returns the reachable methods in deterministic order.
+func (cg *CallGraph) ReachableMethods() []MethodID {
+	out := make([]MethodID, 0, len(cg.Reachable))
+	for m := range cg.Reachable {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Class != b.Class {
+			return a.Class < b.Class
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.Desc < b.Desc
+	})
+	return out
+}
+
+// BuildCallGraph computes the RTA call graph from the program's main.
+func BuildCallGraph(p *bytecode.Program) (*CallGraph, error) {
+	if p.MainClass == "" {
+		return nil, fmt.Errorf("analysis: program has no main class")
+	}
+	cg := &CallGraph{
+		Reachable:    map[MethodID]bool{},
+		Edges:        map[MethodID][]MethodID{},
+		Instantiated: map[string]bool{},
+		prog:         p,
+	}
+	root := MethodID{p.MainClass, "main", "()V"}
+	if resolveStatic(p, root) == nil {
+		return nil, fmt.Errorf("analysis: %s not found", root)
+	}
+
+	// Virtual call sites discovered so far: caller → (class, name, desc).
+	type vsite struct {
+		caller MethodID
+		target MethodID
+	}
+	var virtualSites []vsite
+	work := []MethodID{root}
+	cg.Reachable[root] = true
+
+	addReachable := func(caller, callee MethodID) {
+		cg.Edges[caller] = append(cg.Edges[caller], callee)
+		if !cg.Reachable[callee] {
+			cg.Reachable[callee] = true
+			work = append(work, callee)
+		}
+	}
+
+	// resolveVirtual finds the concrete target S.m for an instantiated
+	// class S against a declared call C.m.
+	resolveVirtual := func(instClass string, target MethodID) (MethodID, bool) {
+		if !isSubclass(p, instClass, target.Class) {
+			return MethodID{}, false
+		}
+		for c := instClass; c != ""; {
+			cf := p.Class(c)
+			if cf == nil {
+				break
+			}
+			if m := cf.Method(target.Name, target.Desc); m != nil {
+				return MethodID{c, target.Name, target.Desc}, true
+			}
+			c = cf.Super
+		}
+		return MethodID{}, false
+	}
+
+	instantiate := func(class string) {
+		if cg.Instantiated[class] {
+			return
+		}
+		cg.Instantiated[class] = true
+		// Re-resolve all pending virtual sites against the new type.
+		for _, vs := range virtualSites {
+			if callee, ok := resolveVirtual(class, vs.target); ok {
+				addReachable(vs.caller, callee)
+			}
+		}
+	}
+
+	for len(work) > 0 {
+		mid := work[len(work)-1]
+		work = work[:len(work)-1]
+		cf := p.Class(mid.Class)
+		if cf == nil {
+			continue
+		}
+		m := cf.Method(mid.Name, mid.Desc)
+		if m == nil || m.IsNative() {
+			continue
+		}
+		for _, in := range m.Code {
+			switch in.Op {
+			case bytecode.NEW:
+				instantiate(cf.Pool.ClassName(uint16(in.A)))
+			case bytecode.INVOKESTATIC, bytecode.INVOKESPECIAL:
+				cls, name, desc := cf.Pool.Ref(uint16(in.A))
+				callee := MethodID{cls, name, desc}
+				if resolveStatic(p, callee) != nil {
+					// Resolve through the hierarchy to the declaring class.
+					callee = declaringMethod(p, callee)
+					addReachable(mid, callee)
+				}
+			case bytecode.INVOKEVIRTUAL:
+				cls, name, desc := cf.Pool.Ref(uint16(in.A))
+				target := MethodID{cls, name, desc}
+				virtualSites = append(virtualSites, vsite{mid, target})
+				for inst := range cg.Instantiated {
+					if callee, ok := resolveVirtual(inst, target); ok {
+						addReachable(mid, callee)
+					}
+				}
+			}
+		}
+	}
+
+	// Deduplicate edges.
+	for k, v := range cg.Edges {
+		sort.Slice(v, func(i, j int) bool { return v[i].String() < v[j].String() })
+		out := v[:0]
+		for i, e := range v {
+			if i == 0 || e != v[i-1] {
+				out = append(out, e)
+			}
+		}
+		cg.Edges[k] = out
+	}
+	return cg, nil
+}
+
+// isSubclass reports whether sub equals or extends super in program p.
+func isSubclass(p *bytecode.Program, sub, super string) bool {
+	for c := sub; c != ""; {
+		if c == super {
+			return true
+		}
+		cf := p.Class(c)
+		if cf == nil {
+			return false
+		}
+		c = cf.Super
+	}
+	return false
+}
+
+// resolveStatic finds the method, walking up the hierarchy.
+func resolveStatic(p *bytecode.Program, mid MethodID) *bytecode.Method {
+	for c := mid.Class; c != ""; {
+		cf := p.Class(c)
+		if cf == nil {
+			return nil
+		}
+		if m := cf.Method(mid.Name, mid.Desc); m != nil {
+			return m
+		}
+		c = cf.Super
+	}
+	return nil
+}
+
+// declaringMethod rewrites mid to name the class that actually declares
+// the method.
+func declaringMethod(p *bytecode.Program, mid MethodID) MethodID {
+	for c := mid.Class; c != ""; {
+		cf := p.Class(c)
+		if cf == nil {
+			break
+		}
+		if cf.Method(mid.Name, mid.Desc) != nil {
+			return MethodID{c, mid.Name, mid.Desc}
+		}
+		c = cf.Super
+	}
+	return mid
+}

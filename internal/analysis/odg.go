@@ -1,0 +1,395 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"autodist/internal/bytecode"
+	"autodist/internal/graph"
+)
+
+// summaryFactor weighs summary (*) objects heavier than single (1)
+// instances — the "objects created inside loops can be considered
+// heavier" heuristic the paper proposes in §3.
+const summaryFactor = 8
+
+// SiteKey locates an allocation site in the bytecode.
+type SiteKey struct {
+	Class, Name, Desc string
+	PC                int
+}
+
+// AllocSite is one 'new' instruction discovered in a reachable method.
+type AllocSite struct {
+	Key SiteKey
+	// Allocated is the class being instantiated.
+	Allocated string
+	// InLoop reports whether the site sits inside a loop of its
+	// method's CFG; such sites become summary (*) objects.
+	InLoop bool
+	// Summary is the final multiplicity after the creator fixpoint.
+	Summary bool
+	// Node is the ODG vertex ID for this site.
+	Node int
+	// Ordinal numbers sites of the same class for labelling.
+	Ordinal int
+}
+
+// ObjectNode is the Attr payload of ODG vertices.
+type ObjectNode struct {
+	// Static marks the ST_C context node for class Class; otherwise
+	// the node is an allocation-site object of class Class.
+	Static bool
+	Class  string
+	Site   *AllocSite // nil for static nodes
+}
+
+// Label renders the node like the paper's Figure 4: static parts as
+// ST_C, single instances as 1C, summaries as *C.
+func (o ObjectNode) Label() string {
+	if o.Static {
+		return "ST_" + o.Class
+	}
+	prefix := "1"
+	if o.Site != nil && o.Site.Summary {
+		prefix = "*"
+	}
+	if o.Site != nil && o.Site.Ordinal > 0 {
+		return fmt.Sprintf("%s%s/%d", prefix, o.Class, o.Site.Ordinal)
+	}
+	return prefix + o.Class
+}
+
+// ODG is the object dependence graph: the partitioner's input.
+type ODG struct {
+	Graph *graph.Graph
+	Sites []*AllocSite
+	// SiteAt maps bytecode positions to sites (the rewriter resolves
+	// NEW instructions to partitions through this).
+	SiteAt map[SiteKey]*AllocSite
+	// StaticNode maps a class name to its ST node vertex, if any.
+	StaticNode map[string]int
+	// Refs is the final reference relation (by vertex ID) after the
+	// Spiegel fixpoint. The paper notes it is redundant once use
+	// edges are derived, but it is what the propagation runs on.
+	Refs map[int]map[int]bool
+}
+
+// loopRanges returns, per instruction index, whether it lies inside a
+// loop body identified by a backward branch.
+func loopRanges(m *bytecode.Method) []bool {
+	in := make([]bool, len(m.Code))
+	for i, instr := range m.Code {
+		if t := instr.Target(); t >= 0 && t <= i {
+			for j := t; j <= i; j++ {
+				in[j] = true
+			}
+		}
+	}
+	return in
+}
+
+// BuildODG constructs the object dependence graph (paper §2, Figure 4).
+func BuildODG(p *bytecode.Program, cg *CallGraph, crg *CRG) (*ODG, error) {
+	odg := &ODG{
+		Graph:      graph.New("ODG"),
+		SiteAt:     map[SiteKey]*AllocSite{},
+		StaticNode: map[string]int{},
+		Refs:       map[int]map[int]bool{},
+	}
+
+	// 1. Collect allocation sites and the classes with reachable
+	// static context.
+	staticCtx := map[string]bool{}
+	perClassCount := map[string]int{}
+	for _, mid := range cg.ReachableMethods() {
+		cf := p.Class(mid.Class)
+		if cf == nil {
+			continue
+		}
+		m := cf.Method(mid.Name, mid.Desc)
+		if m == nil || m.IsNative() {
+			continue
+		}
+		if m.IsStatic() {
+			staticCtx[mid.Class] = true
+		}
+		loops := loopRanges(m)
+		for pc, in := range m.Code {
+			if in.Op != bytecode.NEW {
+				continue
+			}
+			cls := cf.Pool.ClassName(uint16(in.A))
+			site := &AllocSite{
+				Key:       SiteKey{mid.Class, mid.Name, mid.Desc, pc},
+				Allocated: cls,
+				InLoop:    loops[pc],
+				Ordinal:   perClassCount[cls],
+			}
+			perClassCount[cls]++
+			odg.Sites = append(odg.Sites, site)
+			odg.SiteAt[site.Key] = site
+		}
+	}
+	// Drop ordinals when a class has a single site (cleaner labels).
+	for _, s := range odg.Sites {
+		if perClassCount[s.Allocated] == 1 {
+			s.Ordinal = 0
+		} else {
+			s.Ordinal++ // 1-based like the paper's instance numbering
+		}
+	}
+
+	// 2. Multiplicity fixpoint: a site is summary if it is in a loop
+	// or if any of its possible creator contexts is itself summary.
+	creatorsOf := func(s *AllocSite) []any {
+		// Creator contexts: the static part when the allocating
+		// method is static, else every site allocating the method's
+		// class or a subclass of it.
+		cf := p.Class(s.Key.Class)
+		m := cf.Method(s.Key.Name, s.Key.Desc)
+		if m.IsStatic() {
+			return []any{s.Key.Class} // ST context name
+		}
+		var out []any
+		for _, o := range odg.Sites {
+			if isSubclass(p, o.Allocated, s.Key.Class) {
+				out = append(out, o)
+			}
+		}
+		return out
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, s := range odg.Sites {
+			if s.Summary {
+				continue
+			}
+			if s.InLoop {
+				s.Summary = true
+				changed = true
+				continue
+			}
+			for _, c := range creatorsOf(s) {
+				if cs, ok := c.(*AllocSite); ok && cs.Summary {
+					s.Summary = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	// 3. Create graph nodes with resource-vector weights.
+	classMem := func(cls string, static bool) int64 {
+		var mem int64 = 16
+		for c := cls; c != ""; {
+			cf := p.Class(c)
+			if cf == nil {
+				break
+			}
+			for i := range cf.Fields {
+				if cf.Fields[i].IsStatic() == static {
+					mem += 8
+				}
+			}
+			c = cf.Super
+		}
+		return mem
+	}
+	classCPU := func(cls string, static bool) int64 {
+		var cpu int64 = 8
+		cf := p.Class(cls)
+		if cf == nil {
+			return cpu
+		}
+		for i := range cf.Methods {
+			m := &cf.Methods[i]
+			if m.IsStatic() == static && cg.Reachable[MethodID{cls, m.Name, m.Desc}] {
+				cpu += int64(len(m.Code))
+			}
+		}
+		return cpu
+	}
+	addNode := func(on ObjectNode) int {
+		mult := int64(1)
+		if on.Site != nil && on.Site.Summary {
+			mult = summaryFactor
+		}
+		mem := classMem(on.Class, on.Static) * mult
+		cpu := classCPU(on.Class, on.Static) * mult
+		id := odg.Graph.AddVertex(on.Label(), mem, cpu, (mem+cpu)/2)
+		odg.Graph.Vertex(id).Attr = on
+		return id
+	}
+	var staticNames []string
+	for c := range staticCtx {
+		staticNames = append(staticNames, c)
+	}
+	sort.Strings(staticNames)
+	for _, c := range staticNames {
+		odg.StaticNode[c] = addNode(ObjectNode{Static: true, Class: c})
+	}
+	for _, s := range odg.Sites {
+		s.Node = addNode(ObjectNode{Class: s.Allocated, Site: s})
+	}
+
+	addRef := func(a, b int) bool {
+		if a == b {
+			return false
+		}
+		if odg.Refs[a] == nil {
+			odg.Refs[a] = map[int]bool{}
+		}
+		if odg.Refs[a][b] {
+			return false
+		}
+		odg.Refs[a][b] = true
+		return true
+	}
+
+	// 4. Initial references: creator → created (the create relation).
+	type createEdge struct{ from, to int }
+	var creates []createEdge
+	for _, s := range odg.Sites {
+		cf := p.Class(s.Key.Class)
+		m := cf.Method(s.Key.Name, s.Key.Desc)
+		if m.IsStatic() {
+			if st, ok := odg.StaticNode[s.Key.Class]; ok {
+				creates = append(creates, createEdge{st, s.Node})
+				addRef(st, s.Node)
+			}
+			continue
+		}
+		for _, o := range odg.Sites {
+			if isSubclass(p, o.Allocated, s.Key.Class) {
+				creates = append(creates, createEdge{o.Node, s.Node})
+				addRef(o.Node, s.Node)
+			}
+		}
+	}
+
+	// matchCtx reports whether vertex id can play the role of CRG
+	// context cn (ST exactly; DT through subclassing).
+	nodeClass := func(id int) ObjectNode { return odg.Graph.Vertex(id).Attr.(ObjectNode) }
+	matchCtx := func(id int, cn ClassNode) bool {
+		on := nodeClass(id)
+		if cn.Static {
+			return on.Static && on.Class == cn.Class
+		}
+		return !on.Static && isSubclass(p, on.Class, cn.Class)
+	}
+	// typeOK: instances of the node's class may flow into a declared
+	// type t.
+	typeOK := func(id int, t string) bool {
+		on := nodeClass(id)
+		return !on.Static && isSubclass(p, on.Class, t)
+	}
+
+	// 5. Spiegel fixpoint: iterate object triples against the export
+	// and import relations until no new references appear (§2).
+	exports := make([]Relation, 0)
+	imports := make([]Relation, 0)
+	for _, r := range crg.Relations {
+		switch r.Kind {
+		case graph.KindExport:
+			exports = append(exports, r)
+		case graph.KindImport:
+			imports = append(imports, r)
+		}
+	}
+	allNodes := make([]int, odg.Graph.NumVertices())
+	for i := range allNodes {
+		allNodes[i] = i
+	}
+	for changed := true; changed; {
+		changed = false
+		for a := range allNodes {
+			bs := odg.Refs[a]
+			if bs == nil {
+				continue
+			}
+			bList := sortedKeys(bs)
+			for _, b := range bList {
+				// export rule: a passes c to b.
+				for _, r := range exports {
+					if !matchCtx(a, r.From) || !matchCtx(b, r.To) {
+						continue
+					}
+					for _, c := range bList {
+						if c != b && typeOK(c, r.TypeName) && addRef(b, c) {
+							changed = true
+						}
+					}
+				}
+				// import rule: a receives c from b.
+				for _, r := range imports {
+					if !matchCtx(b, r.From) || !matchCtx(a, r.To) {
+						continue
+					}
+					for c := range odg.Refs[b] {
+						if c != a && typeOK(c, r.TypeName) && addRef(a, c) {
+							changed = true
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// 6. Materialise edges: create, then use (derived from references
+	// filtered by the CRG use relation), then the redundant reference
+	// edges the paper visualises but abandons for partitioning.
+	createEdgeIdx := map[[2]int]int{}
+	for _, ce := range creates {
+		k := [2]int{ce.from, ce.to}
+		if _, dup := createEdgeIdx[k]; dup {
+			continue
+		}
+		createEdgeIdx[k] = odg.Graph.AddEdge(ce.from, ce.to, 16, graph.KindCreate)
+	}
+	useRel := map[[2]ClassNode]bool{}
+	for _, r := range crg.Relations {
+		if r.Kind == graph.KindUse {
+			useRel[[2]ClassNode{r.From, r.To}] = true
+		}
+	}
+	usePairVolume := func(a, b int) (int64, bool) {
+		for pair, vol := range crg.Volume {
+			if matchCtx(a, pair[0]) && matchCtx(b, pair[1]) && useRel[pair] {
+				if vol <= 0 {
+					vol = 8
+				}
+				return vol, true
+			}
+		}
+		return 0, false
+	}
+	for _, a := range allNodes {
+		for _, b := range sortedKeys(odg.Refs[a]) {
+			k := [2]int{a, b}
+			if vol, ok := usePairVolume(a, b); ok {
+				if ei, created := createEdgeIdx[k]; created {
+					// A creator that also uses its creation: fold
+					// the use volume into the create edge so the
+					// partitioner sees the full communication cost.
+					odg.Graph.Edge(ei).Weight += vol
+				} else {
+					odg.Graph.AddEdge(a, b, vol, graph.KindUse)
+				}
+			} else if _, created := createEdgeIdx[k]; !created {
+				odg.Graph.AddEdge(a, b, 1, graph.KindReference)
+			}
+		}
+	}
+	return odg, nil
+}
+
+func sortedKeys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,124 @@
+package bench_test
+
+import (
+	"strings"
+	"testing"
+
+	"autodist/internal/analysis"
+	"autodist/internal/bench"
+	"autodist/internal/compile"
+	"autodist/internal/partition"
+	"autodist/internal/rewrite"
+	"autodist/internal/runtime"
+	"autodist/internal/transport"
+	"autodist/internal/vm"
+)
+
+func runSeq(t *testing.T, name string) string {
+	t.Helper()
+	p, err := bench.Get(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, _, err := compile.CompileSource(p.Source)
+	if err != nil {
+		t.Fatalf("%s compile: %v", name, err)
+	}
+	m, err := vm.New(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	m.Out = &out
+	m.MaxSteps = 200_000_000
+	if err := m.RunMain(); err != nil {
+		t.Fatalf("%s run: %v\n%s", name, err, out.String())
+	}
+	return out.String()
+}
+
+func TestEveryBenchmarkRunsAndSelfValidates(t *testing.T) {
+	for _, name := range bench.Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			out := runSeq(t, name)
+			if strings.Contains(out, "FAIL") {
+				t.Errorf("%s self-check failed:\n%s", name, out)
+			}
+			if !strings.Contains(out, name+":") && !strings.Contains(out, strings.Split(name, "_")[0]) {
+				t.Errorf("%s produced unexpected output:\n%s", name, out)
+			}
+			p, _ := bench.Get(name)
+			if p.ExpectOutput != "" && out != p.ExpectOutput {
+				t.Errorf("%s output %q, want %q", name, out, p.ExpectOutput)
+			}
+		})
+	}
+}
+
+func TestBenchmarksDeterministic(t *testing.T) {
+	for _, name := range bench.Table1Names() {
+		a := runSeq(t, name)
+		b := runSeq(t, name)
+		if a != b {
+			t.Errorf("%s not deterministic:\n%q\n%q", name, a, b)
+		}
+	}
+}
+
+func TestTable1SetRegistered(t *testing.T) {
+	for _, name := range bench.Table1Names() {
+		if _, err := bench.Get(name); err != nil {
+			t.Error(err)
+		}
+	}
+	for _, name := range bench.Table3Names() {
+		if _, err := bench.Get(name); err != nil {
+			t.Error(err)
+		}
+	}
+	if _, err := bench.Get("nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+}
+
+// TestBenchmarksRunDistributed is the keystone: every Table 1 benchmark
+// must produce identical output when partitioned two ways and executed
+// across the distributed runtime (the experiment of §7.2).
+func TestBenchmarksRunDistributed(t *testing.T) {
+	for _, name := range bench.Table1Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			want := runSeq(t, name)
+			p, _ := bench.Get(name)
+			bp, _, err := compile.CompileSource(p.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := analysis.Analyze(bp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := partition.Partition(res.ODG.Graph, partition.Options{K: 2, Seed: 7}); err != nil {
+				t.Fatal(err)
+			}
+			rw, err := rewrite.Rewrite(bp, res, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out strings.Builder
+			c, err := runtime.NewCluster(rw.Nodes, rw.Plan, transport.NewInProc(2), runtime.Options{
+				Out: &out, MaxSteps: 500_000_000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Run(); err != nil {
+				t.Fatalf("distributed %s: %v\n%s", name, err, out.String())
+			}
+			if out.String() != want {
+				t.Errorf("%s distributed output differs:\n got %q\nwant %q", name, out.String(), want)
+			}
+		})
+	}
+}

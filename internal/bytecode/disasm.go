@@ -1,0 +1,64 @@
+package bytecode
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DisasmMethod renders a method's code in the paper's listing style
+// (Figures 8–9): one "index: mnemonic operands" line per instruction,
+// with constant-pool operands resolved symbolically.
+func DisasmMethod(cf *ClassFile, m *Method) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s.%s:%s (maxlocals=%d)\n", cf.Name, m.Name, m.Desc, m.MaxLocals)
+	for i, in := range m.Code {
+		fmt.Fprintf(&b, "%4d: %s\n", i, FormatInstr(cf.Pool, in))
+	}
+	return b.String()
+}
+
+// FormatInstr renders one instruction with pool operands resolved.
+func FormatInstr(pool *ConstPool, in Instr) string {
+	name := in.Op.String()
+	switch in.Op {
+	case LDC, NEW, CHECKCAST, INSTANCEOF, NEWARRAY:
+		return fmt.Sprintf("%s %s", name, pool.Describe(uint16(in.A)))
+	case GETFIELD, PUTFIELD, GETSTATIC, PUTSTATIC,
+		INVOKEVIRTUAL, INVOKESPECIAL, INVOKESTATIC:
+		return fmt.Sprintf("%s %s", name, pool.Describe(uint16(in.A)))
+	case ILOAD, FLOAD, ALOAD, ISTORE, FSTORE, ASTORE:
+		return fmt.Sprintf("%s %d", name, in.A)
+	case IINC:
+		return fmt.Sprintf("%s %d, %d", name, in.A, in.B)
+	case GOTO:
+		return fmt.Sprintf("%s %d", name, in.A)
+	case IFICMP, IFFCMP:
+		return fmt.Sprintf("%s%s %d", name, Cond(in.A).String(), in.B)
+	case IFACMPEQ, IFACMPNE:
+		return fmt.Sprintf("%s %d", name, in.A)
+	default:
+		return name
+	}
+}
+
+// DisasmClass renders the whole class: header, fields, then each method.
+func DisasmClass(cf *ClassFile) string {
+	var b strings.Builder
+	if cf.Super != "" {
+		fmt.Fprintf(&b, "class %s extends %s\n", cf.Name, cf.Super)
+	} else {
+		fmt.Fprintf(&b, "class %s\n", cf.Name)
+	}
+	for _, f := range cf.Fields {
+		kind := "field"
+		if f.IsStatic() {
+			kind = "static field"
+		}
+		fmt.Fprintf(&b, "  %s %s %s\n", kind, f.Name, f.Desc)
+	}
+	for i := range cf.Methods {
+		b.WriteString("\n")
+		b.WriteString(DisasmMethod(cf, &cf.Methods[i]))
+	}
+	return b.String()
+}

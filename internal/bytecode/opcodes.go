@@ -1,0 +1,324 @@
+// Package bytecode defines the stack bytecode and binary class-file
+// format that plays the role of Java bytecode in the reproduction: it is
+// the input artifact of the distribution compiler (paper Figure 1), the
+// thing the rewriter transforms (Figures 8–9), and the source of the
+// per-benchmark KB sizes in Table 1.
+//
+// The instruction set is deliberately JVM-flavoured (ldc, aload,
+// getfield, invokevirtual, checkcast, …) so that disassembled listings
+// read like the paper's figures. Unlike the JVM, branch targets are
+// instruction indices rather than byte offsets, which makes bytecode
+// rewriting (inserting communication calls) a simple slice transformation
+// followed by target fix-up.
+package bytecode
+
+import "fmt"
+
+// Op is a bytecode opcode.
+type Op uint8
+
+// The instruction set. I-prefixed instructions operate on 64-bit signed
+// integers (MJ's int, long and boolean all map onto them; the static
+// types are distinguished by the compiler, not the interpreter).
+// F-prefixed instructions operate on float64. A-prefixed instructions
+// operate on references (objects, arrays, strings, null).
+const (
+	NOP Op = iota
+
+	// Constants.
+	LDC        // push constant-pool entry A (int, float or string)
+	ACONSTNULL // push null
+	ICONST0    // push int 0 (fast path; no operand)
+	ICONST1    // push int 1
+
+	// Locals. Operand A is the local slot.
+	ILOAD
+	FLOAD
+	ALOAD
+	ISTORE
+	FSTORE
+	ASTORE
+	IINC // locals[A] += sign-extended B (loop counters)
+
+	// Stack.
+	DUP
+	DUPX1 // duplicate top value beneath the second value (a,b → b,a,b)
+	POP
+	SWAP
+
+	// Integer arithmetic / logic.
+	IADD
+	ISUB
+	IMUL
+	IDIV
+	IREM
+	INEG
+	ISHL
+	ISHR
+	IUSHR
+	IAND
+	IOR
+	IXOR
+
+	// Float arithmetic.
+	FADD
+	FSUB
+	FMUL
+	FDIV
+	FNEG
+
+	// Conversions.
+	I2F
+	F2I
+
+	// String concatenation (MJ's '+' on strings).
+	SCONCAT
+
+	// Control flow. Operand B is an absolute instruction index;
+	// for IFICMP/IFFCMP operand A is a Cond.
+	GOTO
+	IFICMP // pop b, a; branch if a <cond> b
+	IFFCMP
+	IFACMPEQ // pop b, a; branch if same reference
+	IFACMPNE
+
+	// Objects. Operands are constant-pool indices.
+	NEW           // A: Class entry
+	GETFIELD      // A: FieldRef
+	PUTFIELD      // A: FieldRef
+	GETSTATIC     // A: FieldRef
+	PUTSTATIC     // A: FieldRef
+	INVOKEVIRTUAL // A: MethodRef (dynamic dispatch on receiver)
+	INVOKESPECIAL // A: MethodRef (constructors; no dispatch)
+	INVOKESTATIC  // A: MethodRef
+	CHECKCAST     // A: Class entry; runtime type check
+	INSTANCEOF    // A: Class entry; push 1/0
+
+	// Arrays. NEWARRAY's A is a Utf8 entry holding the element
+	// type descriptor; length is popped.
+	NEWARRAY
+	ARRAYLENGTH
+	IALOAD
+	IASTORE
+	FALOAD
+	FASTORE
+	AALOAD
+	AASTORE
+
+	// Returns.
+	RETURN  // void
+	IRETURN // int/long/boolean
+	FRETURN
+	ARETURN
+
+	opMax // sentinel
+)
+
+// Cond is the comparison condition carried by IFICMP/IFFCMP.
+type Cond uint8
+
+// Comparison conditions.
+const (
+	EQ Cond = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+// String returns the JVM-style lower-case mnemonic suffix.
+func (c Cond) String() string {
+	switch c {
+	case EQ:
+		return "eq"
+	case NE:
+		return "ne"
+	case LT:
+		return "lt"
+	case LE:
+		return "le"
+	case GT:
+		return "gt"
+	case GE:
+		return "ge"
+	default:
+		return fmt.Sprintf("cond(%d)", uint8(c))
+	}
+}
+
+// Eval applies the condition to the three-way comparison result
+// (cmp < 0, == 0, > 0).
+func (c Cond) Eval(cmp int) bool {
+	switch c {
+	case EQ:
+		return cmp == 0
+	case NE:
+		return cmp != 0
+	case LT:
+		return cmp < 0
+	case LE:
+		return cmp <= 0
+	case GT:
+		return cmp > 0
+	case GE:
+		return cmp >= 0
+	}
+	return false
+}
+
+// Negate returns the logically opposite condition.
+func (c Cond) Negate() Cond {
+	switch c {
+	case EQ:
+		return NE
+	case NE:
+		return EQ
+	case LT:
+		return GE
+	case LE:
+		return GT
+	case GT:
+		return LE
+	case GE:
+		return LT
+	}
+	return c
+}
+
+// opInfo describes an opcode's mnemonic and operand shape.
+type opInfo struct {
+	name string
+	// operands: 0 = none, 1 = A only, 2 = A and B
+	operands int
+	// branch marks instructions whose B operand is a branch target
+	// (GOTO keeps the target in A for compactness).
+	branch bool
+}
+
+var opTable = [opMax]opInfo{
+	NOP:        {"nop", 0, false},
+	LDC:        {"ldc", 1, false},
+	ACONSTNULL: {"aconst_null", 0, false},
+	ICONST0:    {"iconst_0", 0, false},
+	ICONST1:    {"iconst_1", 0, false},
+	ILOAD:      {"iload", 1, false},
+	FLOAD:      {"fload", 1, false},
+	ALOAD:      {"aload", 1, false},
+	ISTORE:     {"istore", 1, false},
+	FSTORE:     {"fstore", 1, false},
+	ASTORE:     {"astore", 1, false},
+	IINC:       {"iinc", 2, false},
+	DUP:        {"dup", 0, false},
+	DUPX1:      {"dup_x1", 0, false},
+	POP:        {"pop", 0, false},
+	SWAP:       {"swap", 0, false},
+	IADD:       {"iadd", 0, false},
+	ISUB:       {"isub", 0, false},
+	IMUL:       {"imul", 0, false},
+	IDIV:       {"idiv", 0, false},
+	IREM:       {"irem", 0, false},
+	INEG:       {"ineg", 0, false},
+	ISHL:       {"ishl", 0, false},
+	ISHR:       {"ishr", 0, false},
+	IUSHR:      {"iushr", 0, false},
+	IAND:       {"iand", 0, false},
+	IOR:        {"ior", 0, false},
+	IXOR:       {"ixor", 0, false},
+	FADD:       {"fadd", 0, false},
+	FSUB:       {"fsub", 0, false},
+	FMUL:       {"fmul", 0, false},
+	FDIV:       {"fdiv", 0, false},
+	FNEG:       {"fneg", 0, false},
+	I2F:        {"i2f", 0, false},
+	F2I:        {"f2i", 0, false},
+	SCONCAT:    {"sconcat", 0, false},
+	GOTO:       {"goto", 1, true},
+	IFICMP:     {"if_icmp", 2, true},
+	IFFCMP:     {"if_fcmp", 2, true},
+	IFACMPEQ:   {"if_acmpeq", 1, true},
+	IFACMPNE:   {"if_acmpne", 1, true},
+
+	NEW:           {"new", 1, false},
+	GETFIELD:      {"getfield", 1, false},
+	PUTFIELD:      {"putfield", 1, false},
+	GETSTATIC:     {"getstatic", 1, false},
+	PUTSTATIC:     {"putstatic", 1, false},
+	INVOKEVIRTUAL: {"invokevirtual", 1, false},
+	INVOKESPECIAL: {"invokespecial", 1, false},
+	INVOKESTATIC:  {"invokestatic", 1, false},
+	CHECKCAST:     {"checkcast", 1, false},
+	INSTANCEOF:    {"instanceof", 1, false},
+
+	NEWARRAY:    {"newarray", 1, false},
+	ARRAYLENGTH: {"arraylength", 0, false},
+	IALOAD:      {"iaload", 0, false},
+	IASTORE:     {"iastore", 0, false},
+	FALOAD:      {"faload", 0, false},
+	FASTORE:     {"fastore", 0, false},
+	AALOAD:      {"aaload", 0, false},
+	AASTORE:     {"aastore", 0, false},
+
+	RETURN:  {"return", 0, false},
+	IRETURN: {"ireturn", 0, false},
+	FRETURN: {"freturn", 0, false},
+	ARETURN: {"areturn", 0, false},
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Op) Valid() bool { return op < opMax && opTable[op].name != "" }
+
+// String returns the lower-case mnemonic.
+func (op Op) String() string {
+	if !op.Valid() {
+		return fmt.Sprintf("op(%d)", uint8(op))
+	}
+	return opTable[op].name
+}
+
+// Operands returns how many operand slots (0–2) the opcode encodes.
+func (op Op) Operands() int { return opTable[op].operands }
+
+// IsBranch reports whether the instruction can transfer control to a
+// target instruction index.
+func (op Op) IsBranch() bool { return opTable[op].branch }
+
+// IsReturn reports whether the instruction exits the method.
+func (op Op) IsReturn() bool {
+	return op == RETURN || op == IRETURN || op == FRETURN || op == ARETURN
+}
+
+// Instr is one decoded instruction. The meaning of A and B depends on
+// the opcode; see the constants above.
+type Instr struct {
+	Op Op
+	A  int32
+	B  int32
+}
+
+// Target returns the branch-target instruction index, or -1 if the
+// instruction does not branch. GOTO keeps the target in A; conditional
+// branches keep it in B except IFACMPEQ/IFACMPNE which use A.
+func (in Instr) Target() int {
+	switch in.Op {
+	case GOTO, IFACMPEQ, IFACMPNE:
+		return int(in.A)
+	case IFICMP, IFFCMP:
+		return int(in.B)
+	}
+	return -1
+}
+
+// WithTarget returns a copy of the instruction with its branch target
+// replaced. It panics if the instruction is not a branch.
+func (in Instr) WithTarget(t int) Instr {
+	switch in.Op {
+	case GOTO, IFACMPEQ, IFACMPNE:
+		in.A = int32(t)
+	case IFICMP, IFFCMP:
+		in.B = int32(t)
+	default:
+		panic(fmt.Sprintf("bytecode: WithTarget on non-branch %v", in.Op))
+	}
+	return in
+}

@@ -1,0 +1,153 @@
+package bytecode
+
+import "fmt"
+
+// PoolTag distinguishes constant-pool entry kinds.
+type PoolTag uint8
+
+// Constant-pool entry kinds, mirroring the JVM's CONSTANT_* tags.
+const (
+	TagUtf8 PoolTag = iota + 1
+	TagInt
+	TagFloat
+	TagClass     // Index → Utf8 class name
+	TagFieldRef  // Class/Name/Desc indices into Utf8 entries
+	TagMethodRef // Class/Name/Desc indices into Utf8 entries
+)
+
+// PoolEntry is one constant-pool slot. Which fields are meaningful
+// depends on the Tag.
+type PoolEntry struct {
+	Tag   PoolTag
+	Str   string  // TagUtf8
+	Int   int64   // TagInt
+	Float float64 // TagFloat
+	// For TagClass, Index is the Utf8 name. For TagFieldRef and
+	// TagMethodRef, Class/Name/Desc index Utf8 entries.
+	Index             uint16
+	Class, Name, Desc uint16
+}
+
+// ConstPool is a deduplicating constant pool. Index 0 is reserved as the
+// invalid index, as in the JVM.
+type ConstPool struct {
+	entries []PoolEntry
+	lookup  map[string]uint16
+}
+
+// NewConstPool returns an empty pool with slot 0 reserved.
+func NewConstPool() *ConstPool {
+	return &ConstPool{
+		entries: make([]PoolEntry, 1), // slot 0 invalid
+		lookup:  make(map[string]uint16),
+	}
+}
+
+// Len returns the number of slots including the reserved slot 0.
+func (p *ConstPool) Len() int { return len(p.entries) }
+
+// Entry returns the entry at index i. It panics on the reserved index 0
+// or out-of-range indices.
+func (p *ConstPool) Entry(i uint16) PoolEntry {
+	if i == 0 || int(i) >= len(p.entries) {
+		panic(fmt.Sprintf("bytecode: invalid const pool index %d (len %d)", i, len(p.entries)))
+	}
+	return p.entries[i]
+}
+
+// Valid reports whether i is a usable pool index.
+func (p *ConstPool) Valid(i uint16) bool { return i > 0 && int(i) < len(p.entries) }
+
+func (p *ConstPool) intern(key string, e PoolEntry) uint16 {
+	if i, ok := p.lookup[key]; ok {
+		return i
+	}
+	i := uint16(len(p.entries))
+	p.entries = append(p.entries, e)
+	p.lookup[key] = i
+	return i
+}
+
+// AddUtf8 interns a string and returns its index.
+func (p *ConstPool) AddUtf8(s string) uint16 {
+	return p.intern("u\x00"+s, PoolEntry{Tag: TagUtf8, Str: s})
+}
+
+// AddInt interns an integer constant.
+func (p *ConstPool) AddInt(v int64) uint16 {
+	return p.intern(fmt.Sprintf("i\x00%d", v), PoolEntry{Tag: TagInt, Int: v})
+}
+
+// AddFloat interns a float constant.
+func (p *ConstPool) AddFloat(v float64) uint16 {
+	return p.intern(fmt.Sprintf("f\x00%b", v), PoolEntry{Tag: TagFloat, Float: v})
+}
+
+// AddClass interns a class reference.
+func (p *ConstPool) AddClass(name string) uint16 {
+	ni := p.AddUtf8(name)
+	return p.intern(fmt.Sprintf("c\x00%d", ni), PoolEntry{Tag: TagClass, Index: ni})
+}
+
+// AddFieldRef interns a field reference.
+func (p *ConstPool) AddFieldRef(class, name, desc string) uint16 {
+	ci, ni, di := p.AddUtf8(class), p.AddUtf8(name), p.AddUtf8(desc)
+	return p.intern(fmt.Sprintf("F\x00%d/%d/%d", ci, ni, di),
+		PoolEntry{Tag: TagFieldRef, Class: ci, Name: ni, Desc: di})
+}
+
+// AddMethodRef interns a method reference.
+func (p *ConstPool) AddMethodRef(class, name, desc string) uint16 {
+	ci, ni, di := p.AddUtf8(class), p.AddUtf8(name), p.AddUtf8(desc)
+	return p.intern(fmt.Sprintf("M\x00%d/%d/%d", ci, ni, di),
+		PoolEntry{Tag: TagMethodRef, Class: ci, Name: ni, Desc: di})
+}
+
+// Utf8 resolves a Utf8 entry.
+func (p *ConstPool) Utf8(i uint16) string {
+	e := p.Entry(i)
+	if e.Tag != TagUtf8 {
+		panic(fmt.Sprintf("bytecode: pool[%d] is %v, want Utf8", i, e.Tag))
+	}
+	return e.Str
+}
+
+// ClassName resolves a Class entry to its name.
+func (p *ConstPool) ClassName(i uint16) string {
+	e := p.Entry(i)
+	if e.Tag != TagClass {
+		panic(fmt.Sprintf("bytecode: pool[%d] is %v, want Class", i, e.Tag))
+	}
+	return p.Utf8(e.Index)
+}
+
+// Ref resolves a FieldRef or MethodRef to (class, name, descriptor).
+func (p *ConstPool) Ref(i uint16) (class, name, desc string) {
+	e := p.Entry(i)
+	if e.Tag != TagFieldRef && e.Tag != TagMethodRef {
+		panic(fmt.Sprintf("bytecode: pool[%d] is %v, want Field/MethodRef", i, e.Tag))
+	}
+	return p.Utf8(e.Class), p.Utf8(e.Name), p.Utf8(e.Desc)
+}
+
+// String returns a short description of the entry for disassembly.
+func (p *ConstPool) Describe(i uint16) string {
+	if !p.Valid(i) {
+		return fmt.Sprintf("#%d?", i)
+	}
+	e := p.entries[i]
+	switch e.Tag {
+	case TagUtf8:
+		return fmt.Sprintf("%q", e.Str)
+	case TagInt:
+		return fmt.Sprintf("%d (int)", e.Int)
+	case TagFloat:
+		return fmt.Sprintf("%g (float)", e.Float)
+	case TagClass:
+		return p.Utf8(e.Index)
+	case TagFieldRef, TagMethodRef:
+		c, n, d := p.Ref(i)
+		return fmt.Sprintf("%s.%s:%s", c, n, d)
+	}
+	return fmt.Sprintf("#%d", i)
+}

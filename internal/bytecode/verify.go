@@ -1,0 +1,211 @@
+package bytecode
+
+import "fmt"
+
+// stackEffect returns (pops, pushes) for an instruction, given the pool
+// for resolving call descriptors. Unknown dynamic effects return an error.
+func stackEffect(pool *ConstPool, in Instr) (pops, pushes int, err error) {
+	switch in.Op {
+	case NOP, IINC, GOTO:
+		return 0, 0, nil
+	case LDC, ACONSTNULL, ICONST0, ICONST1, ILOAD, FLOAD, ALOAD:
+		return 0, 1, nil
+	case ISTORE, FSTORE, ASTORE, POP:
+		return 1, 0, nil
+	case DUP:
+		return 1, 2, nil
+	case DUPX1:
+		return 2, 3, nil
+	case SWAP:
+		return 2, 2, nil
+	case IADD, ISUB, IMUL, IDIV, IREM, ISHL, ISHR, IUSHR, IAND, IOR, IXOR,
+		FADD, FSUB, FMUL, FDIV, SCONCAT:
+		return 2, 1, nil
+	case INEG, FNEG, I2F, F2I, ARRAYLENGTH, INSTANCEOF, CHECKCAST:
+		return 1, 1, nil
+	case IFICMP, IFFCMP, IFACMPEQ, IFACMPNE:
+		return 2, 0, nil
+	case NEW:
+		return 0, 1, nil
+	case GETFIELD:
+		return 1, 1, nil
+	case PUTFIELD:
+		return 2, 0, nil
+	case GETSTATIC:
+		return 0, 1, nil
+	case PUTSTATIC:
+		return 1, 0, nil
+	case NEWARRAY:
+		return 1, 1, nil
+	case IALOAD, FALOAD, AALOAD:
+		return 2, 1, nil
+	case IASTORE, FASTORE, AASTORE:
+		return 3, 0, nil
+	case RETURN:
+		return 0, 0, nil
+	case IRETURN, FRETURN, ARETURN:
+		return 1, 0, nil
+	case INVOKEVIRTUAL, INVOKESPECIAL, INVOKESTATIC:
+		_, _, desc := pool.Ref(uint16(in.A))
+		params, ret, derr := ParseMethodDesc(desc)
+		if derr != nil {
+			return 0, 0, derr
+		}
+		pops = len(params)
+		if in.Op != INVOKESTATIC {
+			pops++ // receiver
+		}
+		if ret != "V" {
+			pushes = 1
+		}
+		return pops, pushes, nil
+	}
+	return 0, 0, fmt.Errorf("bytecode: no stack effect for %v", in.Op)
+}
+
+// VerifyMethod checks structural well-formedness of a method: valid
+// opcodes and pool references, in-range branch targets and locals, a
+// consistent stack depth at every instruction (dataflow over the CFG),
+// and that every path ends in a return. It returns the maximum stack
+// depth on success.
+func VerifyMethod(cf *ClassFile, m *Method) (maxStack int, err error) {
+	if m.IsNative() {
+		return 0, nil
+	}
+	code := m.Code
+	n := len(code)
+	if n == 0 {
+		return 0, fmt.Errorf("%s.%s: empty code", cf.Name, m.Name)
+	}
+	fail := func(i int, format string, args ...any) error {
+		return fmt.Errorf("%s.%s[%d]: %s", cf.Name, m.Name, i, fmt.Sprintf(format, args...))
+	}
+
+	// Static operand checks.
+	for i, in := range code {
+		if !in.Op.Valid() {
+			return 0, fail(i, "invalid opcode %d", uint8(in.Op))
+		}
+		switch in.Op {
+		case LDC:
+			if !cf.Pool.Valid(uint16(in.A)) {
+				return 0, fail(i, "ldc: bad pool index %d", in.A)
+			}
+			switch cf.Pool.Entry(uint16(in.A)).Tag {
+			case TagInt, TagFloat, TagUtf8:
+			default:
+				return 0, fail(i, "ldc: pool entry %d not a constant", in.A)
+			}
+		case NEW, CHECKCAST, INSTANCEOF:
+			if !cf.Pool.Valid(uint16(in.A)) || cf.Pool.Entry(uint16(in.A)).Tag != TagClass {
+				return 0, fail(i, "%v: pool entry %d not a class", in.Op, in.A)
+			}
+		case NEWARRAY:
+			if !cf.Pool.Valid(uint16(in.A)) || cf.Pool.Entry(uint16(in.A)).Tag != TagUtf8 {
+				return 0, fail(i, "newarray: pool entry %d not a type descriptor", in.A)
+			}
+		case GETFIELD, PUTFIELD, GETSTATIC, PUTSTATIC:
+			if !cf.Pool.Valid(uint16(in.A)) || cf.Pool.Entry(uint16(in.A)).Tag != TagFieldRef {
+				return 0, fail(i, "%v: pool entry %d not a field ref", in.Op, in.A)
+			}
+		case INVOKEVIRTUAL, INVOKESPECIAL, INVOKESTATIC:
+			if !cf.Pool.Valid(uint16(in.A)) || cf.Pool.Entry(uint16(in.A)).Tag != TagMethodRef {
+				return 0, fail(i, "%v: pool entry %d not a method ref", in.Op, in.A)
+			}
+			_, _, desc := cf.Pool.Ref(uint16(in.A))
+			if _, _, derr := ParseMethodDesc(desc); derr != nil {
+				return 0, fail(i, "%v: %v", in.Op, derr)
+			}
+		case ILOAD, FLOAD, ALOAD, ISTORE, FSTORE, ASTORE, IINC:
+			if int(in.A) < 0 || int(in.A) >= m.MaxLocals {
+				return 0, fail(i, "%v: local %d out of range [0,%d)", in.Op, in.A, m.MaxLocals)
+			}
+		}
+		if t := in.Target(); in.Op.IsBranch() && (t < 0 || t >= n) {
+			return 0, fail(i, "%v: branch target %d out of range [0,%d)", in.Op, t, n)
+		}
+	}
+
+	// Stack-depth dataflow.
+	depth := make([]int, n)
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[0] = 0
+	work := []int{0}
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		in := code[i]
+		pops, pushes, serr := stackEffect(cf.Pool, in)
+		if serr != nil {
+			return 0, fail(i, "%v", serr)
+		}
+		d := depth[i]
+		if d < pops {
+			return 0, fail(i, "%v: stack underflow (depth %d, pops %d)", in.Op, d, pops)
+		}
+		nd := d - pops + pushes
+		if nd > maxStack {
+			maxStack = nd
+		}
+		push := func(j int) error {
+			if j >= n {
+				return fail(i, "control flow falls off the end")
+			}
+			if depth[j] < 0 {
+				depth[j] = nd
+				work = append(work, j)
+			} else if depth[j] != nd {
+				return fail(j, "inconsistent stack depth: %d vs %d", depth[j], nd)
+			}
+			return nil
+		}
+		if in.Op.IsReturn() {
+			continue
+		}
+		if t := in.Target(); t >= 0 {
+			if err := push(t); err != nil {
+				return 0, err
+			}
+			if in.Op == GOTO {
+				continue
+			}
+		}
+		if err := push(i + 1); err != nil {
+			return 0, err
+		}
+	}
+	return maxStack, nil
+}
+
+// VerifyClass verifies every method of the class.
+func VerifyClass(cf *ClassFile) error {
+	for i := range cf.Methods {
+		if _, err := VerifyMethod(cf, &cf.Methods[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerifyProgram verifies every class and that the main class (when set)
+// exists and has a static main method.
+func VerifyProgram(p *Program) error {
+	for _, cf := range p.Classes() {
+		if err := VerifyClass(cf); err != nil {
+			return err
+		}
+	}
+	if p.MainClass != "" {
+		mc := p.Class(p.MainClass)
+		if mc == nil {
+			return fmt.Errorf("bytecode: main class %q not found", p.MainClass)
+		}
+		mm := mc.Method("main", "()V")
+		if mm == nil || !mm.IsStatic() {
+			return fmt.Errorf("bytecode: %s lacks static main()V", p.MainClass)
+		}
+	}
+	return nil
+}

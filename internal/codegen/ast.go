@@ -1,0 +1,167 @@
+// Package codegen implements the paper's retargetable code generation
+// (§4.1): quads are turned into Abstract Syntax Trees (Figure 6), then a
+// Bottom-Up Rewrite System (BURS) performs two passes over each tree —
+// a dynamic-programming pass that finds a minimum-cost cover, followed
+// by an emission pass — producing assembly for x86 and StrongARM
+// (Figure 7), the two targets the paper names.
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"autodist/internal/quad"
+)
+
+// Node is one AST node: each quad becomes a tree whose root is the
+// instruction and whose children are the operands, exactly as the paper
+// describes its ANTLR-built trees.
+type Node struct {
+	// Label is the operator or leaf description ("ADD_I", "IConst",
+	// "Reg", "Cond", "Block", "Sym").
+	Label string
+	// Kids are operand subtrees.
+	Kids []*Node
+
+	// Leaf payloads.
+	Reg    quad.Reg
+	IVal   int64
+	FVal   float64
+	SVal   string
+	Target int
+
+	// BURS state (set during labeling).
+	costs map[nt]int
+	rules map[nt]*rule
+}
+
+// Leaf label constants.
+const (
+	leafReg    = "Reg"
+	leafIConst = "IConst"
+	leafFConst = "FConst"
+	leafSConst = "SConst"
+	leafNull   = "Null"
+	leafCond   = "Cond"
+	leafBlock  = "Block"
+	leafSym    = "Sym"
+)
+
+func operandNode(o quad.Operand) *Node {
+	switch x := o.(type) {
+	case quad.Reg:
+		return &Node{Label: leafReg, Reg: x}
+	case quad.IConst:
+		return &Node{Label: leafIConst, IVal: x.V}
+	case quad.FConst:
+		return &Node{Label: leafFConst, FVal: x.V}
+	case quad.SConst:
+		return &Node{Label: leafSConst, SVal: x.S}
+	case quad.NullConst:
+		return &Node{Label: leafNull}
+	}
+	return &Node{Label: "?"}
+}
+
+// opLabel renders the quad's operator label for tree roots, matching
+// the paper's Figure 6 ("MOVE_I", "IFCMP_I", "ADD_I", "RETURN_I", ...).
+func opLabel(q *quad.Quad) string {
+	s := q.String()
+	if i := strings.IndexByte(s, ' '); i > 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// TreeFor converts one quad into its AST.
+func TreeFor(q *quad.Quad) *Node {
+	root := &Node{Label: opLabel(q)}
+	if q.HasDst {
+		root.Kids = append(root.Kids, &Node{Label: leafReg, Reg: q.Dst})
+	}
+	for _, a := range q.Args {
+		root.Kids = append(root.Kids, operandNode(a))
+	}
+	switch q.Op {
+	case quad.IFCMP:
+		root.Kids = append(root.Kids,
+			&Node{Label: leafCond, SVal: strings.ToUpper(q.Cond.String())},
+			&Node{Label: leafBlock, Target: q.Target})
+	case quad.GOTO:
+		root.Kids = append(root.Kids, &Node{Label: leafBlock, Target: q.Target})
+	case quad.NEW, quad.CHECKCAST, quad.INSTANCEOF:
+		root.Kids = append(root.Kids, &Node{Label: leafSym, SVal: q.Class})
+	case quad.NEWARRAY:
+		root.Kids = append(root.Kids, &Node{Label: leafSym, SVal: q.Desc})
+	case quad.GETFIELD, quad.PUTFIELD, quad.GETSTATIC, quad.PUTSTATIC:
+		root.Kids = append(root.Kids, &Node{Label: leafSym, SVal: q.Class + "." + q.Member})
+	case quad.INVOKE:
+		root.Kids = append(root.Kids, &Node{Label: leafSym, SVal: q.Class + "." + q.Member + ":" + q.Desc})
+	}
+	return root
+}
+
+// BlockTrees holds the ASTs for one basic block.
+type BlockTrees struct {
+	Block *quad.Block
+	Trees []*Node
+	// QuadIDs parallel Trees for listing comments.
+	QuadIDs []int
+}
+
+// BuildAST converts a translated function into per-block AST forests —
+// the code generator front-end of Figure 6.
+func BuildAST(f *quad.Func) []BlockTrees {
+	var out []BlockTrees
+	for _, b := range f.Blocks {
+		bt := BlockTrees{Block: b}
+		for _, q := range b.Quads {
+			bt.Trees = append(bt.Trees, TreeFor(q))
+			bt.QuadIDs = append(bt.QuadIDs, q.ID)
+		}
+		out = append(out, bt)
+	}
+	return out
+}
+
+// leafString renders a leaf for tree dumps.
+func (n *Node) leafString() string {
+	switch n.Label {
+	case leafReg:
+		return n.Reg.String()
+	case leafIConst:
+		return fmt.Sprintf("IConst %d", n.IVal)
+	case leafFConst:
+		return fmt.Sprintf("FConst %g", n.FVal)
+	case leafSConst:
+		return fmt.Sprintf("SConst %q", n.SVal)
+	case leafNull:
+		return "Null"
+	case leafCond:
+		return n.SVal
+	case leafBlock:
+		return fmt.Sprintf("BB%d", n.Target)
+	case leafSym:
+		return n.SVal
+	}
+	return n.Label
+}
+
+// Format renders the tree in an indented Figure 6 style.
+func (n *Node) Format() string {
+	var b strings.Builder
+	var walk func(x *Node, depth int)
+	walk = func(x *Node, depth int) {
+		indent := strings.Repeat("  ", depth)
+		if len(x.Kids) == 0 {
+			fmt.Fprintf(&b, "%s%s\n", indent, x.leafString())
+			return
+		}
+		fmt.Fprintf(&b, "%s%s\n", indent, x.Label)
+		for _, k := range x.Kids {
+			walk(k, depth+1)
+		}
+	}
+	walk(n, 0)
+	return b.String()
+}

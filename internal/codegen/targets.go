@@ -1,0 +1,406 @@
+package codegen
+
+import (
+	"fmt"
+	"strings"
+
+	"autodist/internal/quad"
+)
+
+// Target names accepted by Generate.
+const (
+	TargetX86 = "x86"
+	TargetARM = "strongarm"
+)
+
+var targets = map[string]*ruleSet{}
+
+func init() {
+	targets[TargetX86] = x86Rules()
+	targets[TargetARM] = armRules()
+}
+
+// Targets lists the available code-generation targets.
+func Targets() []string { return []string{TargetX86, TargetARM} }
+
+// Generate emits assembly for a translated function on the named target
+// (Figure 7's x86 and StrongARM outputs).
+func Generate(f *quad.Func, target string) (string, error) {
+	rs := targets[target]
+	if rs == nil {
+		return "", fmt.Errorf("codegen: unknown target %q (have %v)", target, Targets())
+	}
+	header := fmt.Sprintf("; %s code for %s.%s:%s\n", rs.name, f.Class, f.Name, f.Desc)
+	body, err := generate(rs, BuildAST(f))
+	if err != nil {
+		return "", err
+	}
+	return header + body, nil
+}
+
+// machineDesc parameterises the shared rule construction.
+type machineDesc struct {
+	name    string
+	regs    []string
+	regFmt  func(n int) string
+	imm     func(v string) string
+	mnem    map[string]string // generic op → mnemonic
+	jcc     map[string]string // cond → jump mnemonic
+	threeOp bool              // ARM-style "add Rd, Rn, Op2"
+	retSeq  func(e *emitter, src string)
+	retVoid func(e *emitter)
+	call    func(e *emitter, sym string, args []string, dst string)
+}
+
+func buildRules(md machineDesc) *ruleSet {
+	rs := &ruleSet{
+		name: md.name,
+		regName: func(n int) string {
+			if n < len(md.regs) {
+				return md.regs[n]
+			}
+			return md.regFmt(n)
+		},
+		labelFmt: func(block int) string { return fmt.Sprintf("BB%d:", block) },
+		comment:  func(id int, sub string) string { return fmt.Sprintf("; %d%s", id, sub) },
+	}
+	add := func(r *rule) { rs.rules = append(rs.rules, r) }
+
+	// Leaf rules.
+	add(&rule{lhs: ntReg, op: leafReg, kids: []nt{}, cost: 0,
+		emit: func(e *emitter, n *Node, _ []string) string { return rs.regName(n.Reg.N) }})
+	add(&rule{lhs: ntImm, op: leafIConst, kids: []nt{}, cost: 0,
+		emit: func(e *emitter, n *Node, _ []string) string { return md.imm(fmt.Sprintf("%d", n.IVal)) }})
+	add(&rule{lhs: ntImm, op: leafFConst, kids: []nt{}, cost: 0,
+		emit: func(e *emitter, n *Node, _ []string) string { return md.imm(fmt.Sprintf("%g", n.FVal)) }})
+	add(&rule{lhs: ntImm, op: leafSConst, kids: []nt{}, cost: 0,
+		emit: func(e *emitter, n *Node, _ []string) string { return fmt.Sprintf("%q", n.SVal) }})
+	add(&rule{lhs: ntImm, op: leafNull, kids: []nt{}, cost: 0,
+		emit: func(e *emitter, n *Node, _ []string) string { return md.imm("0") }})
+	// Chain: an immediate can be materialised into a register at cost 1.
+	add(&rule{lhs: ntReg, from: ntImm, cost: 1,
+		chainEmit: func(e *emitter, n *Node, src string) string {
+			t := e.temp()
+			e.emit("%s %s, %s", md.mnem["mov"], t, src)
+			return t
+		}})
+
+	operand := []nt{ntReg, ntImm}
+
+	// MOVE.
+	for _, suffix := range []string{"_I", "_F", "_A"} {
+		mv := md.mnem["mov"]
+		if suffix == "_F" {
+			mv = md.mnem["fmov"]
+		}
+		mvCopy := mv
+		for _, src := range operand {
+			add(&rule{lhs: ntStmt, op: "MOVE" + suffix, kids: []nt{ntReg, src}, cost: 1,
+				emit: func(e *emitter, n *Node, kids []string) string {
+					e.emit("%s %s, %s", mvCopy, kids[0], kids[1])
+					return ""
+				}})
+		}
+	}
+
+	// Binary arithmetic.
+	binOps := map[string]string{
+		"ADD_I": "add", "SUB_I": "sub", "MUL_I": "mul", "DIV_I": "div",
+		"REM_I": "rem", "SHL_I": "shl", "SHR_I": "shr", "USHR_I": "ushr",
+		"AND_I": "and", "OR_I": "or", "XOR_I": "xor",
+		"ADD_F": "fadd", "SUB_F": "fsub", "MUL_F": "fmul", "DIV_F": "fdiv",
+	}
+	for label, generic := range binOps {
+		mnem := md.mnem[generic]
+		for _, a := range operand {
+			for _, b := range operand {
+				aK, bK := a, b
+				mn := mnem
+				add(&rule{lhs: ntStmt, op: label, kids: []nt{ntReg, aK, bK}, cost: 1,
+					emit: func(e *emitter, n *Node, kids []string) string {
+						dst, x, y := kids[0], kids[1], kids[2]
+						if md.threeOp {
+							e.emit("%s %s, %s, %s", mn, dst, x, y)
+							return ""
+						}
+						if dst != x {
+							e.emit("%s %s, %s", md.mnem["mov"], dst, x)
+						}
+						e.emit("%s %s, %s", mn, dst, y)
+						return ""
+					}})
+			}
+		}
+	}
+	// Unary.
+	for _, spec := range []struct{ label, generic string }{
+		{"NEG_I", "neg"}, {"NEG_F", "fneg"}, {"I2F", "i2f"}, {"F2I", "f2i"},
+	} {
+		mn := md.mnem[spec.generic]
+		for _, a := range operand {
+			aK := a
+			mnCopy := mn
+			add(&rule{lhs: ntStmt, op: spec.label, kids: []nt{ntReg, aK}, cost: 1,
+				emit: func(e *emitter, n *Node, kids []string) string {
+					if md.threeOp {
+						e.emit("%s %s, %s", mnCopy, kids[0], kids[1])
+						return ""
+					}
+					if kids[0] != kids[1] {
+						e.emit("%s %s, %s", md.mnem["mov"], kids[0], kids[1])
+					}
+					e.emit("%s %s", mnCopy, kids[0])
+					return ""
+				}})
+		}
+	}
+
+	// Comparison + branch (IFCMP_I / IFCMP_F / IFCMP_A).
+	for _, suffix := range []string{"_I", "_F", "_A"} {
+		for _, a := range operand {
+			for _, b := range operand {
+				aK, bK := a, b
+				add(&rule{lhs: ntStmt, op: "IFCMP" + suffix, kids: []nt{aK, bK, ntStmt, ntStmt}, cost: 1,
+					emit: func(e *emitter, n *Node, kids []string) string {
+						cond := n.Kids[2].SVal
+						target := n.Kids[3].Target
+						e.emit("%s %s, %s", md.mnem["cmp"], kids[0], kids[1])
+						e.emit("%s BB%d", md.jcc[cond], target)
+						return ""
+					}})
+			}
+		}
+	}
+	// Leaf helpers for cond/block kids inside IFCMP.
+	add(&rule{lhs: ntStmt, op: leafCond, kids: []nt{}, cost: 0})
+	add(&rule{lhs: ntStmt, op: leafBlock, kids: []nt{}, cost: 0})
+	add(&rule{lhs: ntStmt, op: leafSym, kids: []nt{}, cost: 0})
+
+	add(&rule{lhs: ntStmt, op: "GOTO", kids: []nt{ntStmt}, cost: 1,
+		emit: func(e *emitter, n *Node, _ []string) string {
+			e.emit("%s BB%d", md.mnem["jmp"], n.Kids[0].Target)
+			return ""
+		}})
+
+	// Returns.
+	add(&rule{lhs: ntStmt, op: "RETURN", kids: []nt{}, cost: 1,
+		emit: func(e *emitter, n *Node, _ []string) string {
+			md.retVoid(e)
+			return ""
+		}})
+	for _, suffix := range []string{"_I", "_F", "_A"} {
+		for _, a := range operand {
+			aK := a
+			add(&rule{lhs: ntStmt, op: "RETURN" + suffix, kids: []nt{aK}, cost: 1,
+				emit: func(e *emitter, n *Node, kids []string) string {
+					md.retSeq(e, kids[0])
+					return ""
+				}})
+		}
+	}
+
+	// Memory and object pseudo-instructions. These lower to
+	// runtime-support calls or addressing pseudos; the paper's
+	// Figure 7 covers only the ALU/branch subset, so the shapes here
+	// follow the same conventions.
+	memRules := func(label string, argNTs []nt, emit func(e *emitter, n *Node, kids []string)) {
+		// Generate every reg/imm combination for value operands.
+		var gen func(idx int, acc []nt)
+		gen = func(idx int, acc []nt) {
+			if idx == len(argNTs) {
+				kids := append([]nt{}, acc...)
+				add(&rule{lhs: ntStmt, op: label, kids: kids, cost: 2,
+					emit: func(e *emitter, n *Node, kv []string) string {
+						emit(e, n, kv)
+						return ""
+					}})
+				return
+			}
+			branch := func(k nt) {
+				next := append(append([]nt{}, acc...), k)
+				gen(idx+1, next)
+			}
+			if argNTs[idx] == ntImm {
+				// Value positions accept a register or an
+				// immediate operand.
+				branch(ntReg)
+				branch(ntImm)
+				return
+			}
+			branch(argNTs[idx])
+		}
+		gen(0, nil)
+	}
+
+	memRules("GETFIELD", []nt{ntReg, ntReg, ntStmt}, func(e *emitter, n *Node, kids []string) {
+		e.emit("%s %s, [%s+%s]", md.mnem["mov"], kids[0], kids[1], n.Kids[2].SVal)
+	})
+	memRules("PUTFIELD", []nt{ntReg, ntImm, ntStmt}, func(e *emitter, n *Node, kids []string) {
+		e.emit("%s [%s+%s], %s", md.mnem["mov"], kids[0], n.Kids[2].SVal, kids[1])
+	})
+	memRules("GETSTATIC", []nt{ntReg, ntStmt}, func(e *emitter, n *Node, kids []string) {
+		e.emit("%s %s, [%s]", md.mnem["mov"], kids[0], n.Kids[1].SVal)
+	})
+	memRules("PUTSTATIC", []nt{ntImm, ntStmt}, func(e *emitter, n *Node, kids []string) {
+		e.emit("%s [%s], %s", md.mnem["mov"], n.Kids[1].SVal, kids[0])
+	})
+	memRules("NEW", []nt{ntReg, ntStmt}, func(e *emitter, n *Node, kids []string) {
+		md.call(e, "__rt_new$"+n.Kids[1].SVal, nil, kids[0])
+	})
+	memRules("NEWARRAY", []nt{ntReg, ntImm, ntStmt}, func(e *emitter, n *Node, kids []string) {
+		md.call(e, "__rt_newarray$"+n.Kids[2].SVal, kids[1:2], kids[0])
+	})
+	memRules("ARRAYLEN", []nt{ntReg, ntReg}, func(e *emitter, n *Node, kids []string) {
+		e.emit("%s %s, [%s-8]", md.mnem["mov"], kids[0], kids[1])
+	})
+	for _, suffix := range []string{"_I", "_F", "_A"} {
+		memRules("ALOAD"+suffix, []nt{ntReg, ntReg, ntImm}, func(e *emitter, n *Node, kids []string) {
+			e.emit("%s %s, [%s+%s*8]", md.mnem["mov"], kids[0], kids[1], kids[2])
+		})
+		memRules("ASTORE"+suffix, []nt{ntReg, ntImm, ntImm}, func(e *emitter, n *Node, kids []string) {
+			e.emit("%s [%s+%s*8], %s", md.mnem["mov"], kids[0], kids[1], kids[2])
+		})
+	}
+	memRules("CONCAT", []nt{ntReg, ntImm, ntImm}, func(e *emitter, n *Node, kids []string) {
+		md.call(e, "__rt_concat", kids[1:], kids[0])
+	})
+	memRules("CHECKCAST", []nt{ntReg, ntImm, ntStmt}, func(e *emitter, n *Node, kids []string) {
+		md.call(e, "__rt_checkcast$"+n.Kids[2].SVal, kids[1:2], kids[0])
+	})
+	memRules("INSTANCEOF", []nt{ntReg, ntImm, ntStmt}, func(e *emitter, n *Node, kids []string) {
+		md.call(e, "__rt_instanceof$"+n.Kids[2].SVal, kids[1:2], kids[0])
+	})
+
+	// INVOKE: variable arity — register rules for arities 0..8, with
+	// and without destination.
+	for _, kind := range []string{"INVOKE_V", "INVOKE_S", "INVOKE_SP"} {
+		for arity := 0; arity <= 8; arity++ {
+			for _, withDst := range []bool{true, false} {
+				kids := []nt{}
+				if withDst {
+					kids = append(kids, ntReg)
+				}
+				for i := 0; i < arity; i++ {
+					kids = append(kids, ntImm) // chain handles regs too
+				}
+				kids = append(kids, ntStmt) // the Sym leaf
+				hasDst := withDst
+				add(&rule{lhs: ntStmt, op: kind, kids: kids, cost: 3,
+					emit: func(e *emitter, n *Node, kv []string) string {
+						sym := n.Kids[len(n.Kids)-1].SVal
+						var args []string
+						dst := ""
+						rest := kv
+						if hasDst {
+							dst = kv[0]
+							rest = kv[1:]
+						}
+						args = append(args, rest[:len(rest)-1]...)
+						md.call(e, sym, args, dst)
+						return ""
+					}})
+			}
+		}
+	}
+	// An immediate where a register value stands: registers reduce to
+	// ntImm at cost 0 via a chain so argument positions accept both.
+	add(&rule{lhs: ntImm, from: ntReg, cost: 0})
+
+	return rs
+}
+
+func x86Rules() *ruleSet {
+	md := machineDesc{
+		name: "x86",
+		regs: []string{"esi", "eax", "ebx", "ecx", "edx", "edi"},
+		regFmt: func(n int) string {
+			return fmt.Sprintf("r%dd", 8+(n-6)%8)
+		},
+		imm: func(v string) string { return v },
+		mnem: map[string]string{
+			"mov": "mov", "fmov": "movsd",
+			"add": "add", "sub": "sub", "mul": "imul", "div": "idiv", "rem": "irem",
+			"shl": "shl", "shr": "sar", "ushr": "shr",
+			"and": "and", "or": "or", "xor": "xor",
+			"fadd": "addsd", "fsub": "subsd", "fmul": "mulsd", "fdiv": "divsd",
+			"neg": "neg", "fneg": "negsd", "i2f": "cvtsi2sd", "f2i": "cvttsd2si",
+			"cmp": "cmp", "jmp": "jmp",
+		},
+		jcc: map[string]string{
+			"EQ": "je", "NE": "jne", "LT": "jl", "LE": "jle", "GT": "jg", "GE": "jge",
+		},
+	}
+	md.retSeq = func(e *emitter, src string) {
+		if src != "eax" {
+			e.emit("mov eax, %s", src)
+		}
+		e.emit("ret eax")
+	}
+	md.retVoid = func(e *emitter) { e.emit("ret") }
+	md.call = func(e *emitter, sym string, args []string, dst string) {
+		for i := len(args) - 1; i >= 0; i-- {
+			e.emit("push %s", args[i])
+		}
+		e.emit("call %s", sanitizeSym(sym))
+		if len(args) > 0 {
+			e.emit("add esp, %d", 8*len(args))
+		}
+		if dst != "" && dst != "eax" {
+			e.emit("mov %s, eax", dst)
+		}
+	}
+	return buildRules(md)
+}
+
+func armRules() *ruleSet {
+	md := machineDesc{
+		name: "StrongARM",
+		regs: []string{},
+		regFmt: func(n int) string {
+			return fmt.Sprintf("R%d", n%11)
+		},
+		imm: func(v string) string { return "#" + v },
+		mnem: map[string]string{
+			"mov": "mov", "fmov": "mov",
+			"add": "add", "sub": "sub", "mul": "mul", "div": "sdiv", "rem": "srem",
+			"shl": "lsl", "shr": "asr", "ushr": "lsr",
+			"and": "and", "or": "orr", "xor": "eor",
+			"fadd": "fadd", "fsub": "fsub", "fmul": "fmul", "fdiv": "fdiv",
+			"neg": "rsb", "fneg": "fneg", "i2f": "fitod", "f2i": "fdtoi",
+			"cmp": "cmp", "jmp": "b",
+		},
+		jcc: map[string]string{
+			"EQ": "beq", "NE": "bne", "LT": "blt", "LE": "ble", "GT": "bgt", "GE": "bge",
+		},
+		threeOp: true,
+	}
+	md.regFmt = func(n int) string { return fmt.Sprintf("R%d", n) }
+	md.retSeq = func(e *emitter, src string) {
+		if src != "R0" {
+			e.emit("mov R0, %s", src)
+		}
+		e.emit("mov PC, R14")
+	}
+	md.retVoid = func(e *emitter) { e.emit("mov PC, R14") }
+	md.call = func(e *emitter, sym string, args []string, dst string) {
+		for i, a := range args {
+			if i > 3 {
+				e.emit("str %s, [SP, #-%d]", a, 8*(i-3))
+				continue
+			}
+			reg := fmt.Sprintf("R%d", i)
+			if a != reg {
+				e.emit("mov %s, %s", reg, a)
+			}
+		}
+		e.emit("bl %s", sanitizeSym(sym))
+		if dst != "" && dst != "R0" {
+			e.emit("mov %s, R0", dst)
+		}
+	}
+	return buildRules(md)
+}
+
+func sanitizeSym(s string) string {
+	return strings.NewReplacer(":", "$", "(", "", ")", "", ";", "", "[", "Arr", "/", "_").Replace(s)
+}

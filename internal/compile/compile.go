@@ -1,0 +1,437 @@
+// Package compile translates checked MJ programs (package lang) into
+// bytecode class files (package bytecode). Together with lang it plays
+// the role of javac in the paper's toolchain: the distribution
+// infrastructure itself never sees MJ source, only the class files this
+// package produces.
+package compile
+
+import (
+	"fmt"
+
+	"autodist/internal/bytecode"
+	"autodist/internal/lang"
+)
+
+// Compile lowers a checked program to a bytecode program. The returned
+// program contains every user class, the Vector prelude, the implicit
+// Object root and native stubs for the builtin classes, and has
+// MainClass set when the source declares a static main().
+func Compile(prog *lang.Program) (*bytecode.Program, error) {
+	bp := bytecode.NewProgram()
+
+	// Object root with a default constructor.
+	obj := bytecode.NewClassFile("Object", "")
+	obj.Methods = append(obj.Methods, bytecode.Method{
+		Name: "<init>", Desc: "()V", MaxLocals: 1,
+		Code: []bytecode.Instr{{Op: bytecode.RETURN}},
+	})
+	bp.Add(obj)
+
+	// Builtin native stubs, so the program is self-describing.
+	for name, ms := range lang.BuiltinClasses {
+		cf := bytecode.NewClassFile(name, "Object")
+		for _, bm := range ms {
+			cf.Methods = append(cf.Methods, bytecode.Method{
+				Flags: bytecode.AccStatic | bytecode.AccNative,
+				Name:  bm.Name, Desc: bm.Descriptor(),
+			})
+		}
+		bp.Add(cf)
+	}
+
+	for _, name := range prog.ClassNames() {
+		ci := prog.Class(name)
+		if ci.Decl == nil || ci.Builtin {
+			continue
+		}
+		cf, err := compileClass(prog, ci)
+		if err != nil {
+			return nil, err
+		}
+		bp.Add(cf)
+	}
+	bp.MainClass = prog.MainClass
+	if err := bytecode.VerifyProgram(bp); err != nil {
+		return nil, fmt.Errorf("compile: generated code failed verification: %w", err)
+	}
+	return bp, nil
+}
+
+// CompileSource parses, checks and compiles MJ source text.
+func CompileSource(srcs ...string) (*bytecode.Program, *lang.Program, error) {
+	files := make([]*lang.File, len(srcs))
+	for i, s := range srcs {
+		f, err := lang.Parse(s)
+		if err != nil {
+			return nil, nil, err
+		}
+		files[i] = f
+	}
+	checked, err := lang.Check(files...)
+	if err != nil {
+		return nil, nil, err
+	}
+	bp, err := Compile(checked)
+	if err != nil {
+		return nil, nil, err
+	}
+	return bp, checked, nil
+}
+
+func compileClass(prog *lang.Program, ci *lang.ClassInfo) (*bytecode.ClassFile, error) {
+	cd := ci.Decl
+	super := ci.Super
+	cf := bytecode.NewClassFile(cd.Name, super)
+	for _, fd := range cd.Fields {
+		flags := uint16(0)
+		if fd.Static {
+			flags |= bytecode.AccStatic
+		}
+		cf.Fields = append(cf.Fields, bytecode.Field{Flags: flags, Name: fd.Name, Desc: fd.Type.Descriptor()})
+	}
+	compileMethods := func(decls []*lang.MethodDecl) error {
+		for _, md := range decls {
+			mc := &methodCompiler{prog: prog, cf: cf, md: md, class: ci}
+			m, err := mc.compile()
+			if err != nil {
+				return err
+			}
+			cf.Methods = append(cf.Methods, *m)
+		}
+		return nil
+	}
+	if err := compileMethods(cd.Ctors); err != nil {
+		return nil, err
+	}
+	if len(cd.Ctors) == 0 {
+		// Implicit default constructor.
+		cf.Methods = append(cf.Methods, bytecode.Method{
+			Name: "<init>", Desc: "()V", MaxLocals: 1,
+			Code: []bytecode.Instr{{Op: bytecode.RETURN}},
+		})
+	}
+	if err := compileMethods(cd.Methods); err != nil {
+		return nil, err
+	}
+	return cf, nil
+}
+
+// methodCompiler holds per-method emission state.
+type methodCompiler struct {
+	prog  *lang.Program
+	cf    *bytecode.ClassFile
+	class *lang.ClassInfo
+	md    *lang.MethodDecl
+
+	code     []bytecode.Instr
+	nextTemp int // next free temp slot (above checker-assigned slots)
+	maxSlots int
+
+	labels  []int // label id → bound instruction index, -1 if unbound
+	patches []patch
+}
+
+type patch struct {
+	instr int
+	label int
+}
+
+func (mc *methodCompiler) compile() (*bytecode.Method, error) {
+	mc.nextTemp = mc.md.MaxSlots
+	mc.maxSlots = mc.md.MaxSlots
+	if err := mc.stmt(mc.md.Body); err != nil {
+		return nil, err
+	}
+	// Implicit return for void methods (and constructors).
+	if mc.md.Ret.Kind == lang.KVoid {
+		if n := len(mc.code); n == 0 || !mc.code[n-1].Op.IsReturn() {
+			mc.emit(bytecode.RETURN, 0, 0)
+		}
+	}
+	// Resolve label references.
+	for _, p := range mc.patches {
+		t := mc.labels[p.label]
+		if t < 0 {
+			return nil, fmt.Errorf("compile: unbound label %d in %s.%s", p.label, mc.cf.Name, mc.md.Name)
+		}
+		mc.code[p.instr] = mc.code[p.instr].WithTarget(t)
+	}
+	flags := uint16(0)
+	if mc.md.Static {
+		flags |= bytecode.AccStatic
+	}
+	return &bytecode.Method{
+		Flags: flags, Name: mc.md.Name, Desc: mc.md.Descriptor(),
+		MaxLocals: mc.maxSlots, Code: mc.code,
+	}, nil
+}
+
+func (mc *methodCompiler) emit(op bytecode.Op, a, b int32) int {
+	mc.code = append(mc.code, bytecode.Instr{Op: op, A: a, B: b})
+	return len(mc.code) - 1
+}
+
+func (mc *methodCompiler) newLabel() int {
+	mc.labels = append(mc.labels, -1)
+	return len(mc.labels) - 1
+}
+
+func (mc *methodCompiler) bind(l int) {
+	mc.labels[l] = len(mc.code)
+}
+
+// branchTo emits a branch instruction whose target is label l, recording
+// a patch. The target operand is fixed up at the end of compilation.
+func (mc *methodCompiler) branchTo(op bytecode.Op, a int32, l int) {
+	var idx int
+	switch op {
+	case bytecode.GOTO, bytecode.IFACMPEQ, bytecode.IFACMPNE:
+		idx = mc.emit(op, 0, 0)
+	case bytecode.IFICMP, bytecode.IFFCMP:
+		idx = mc.emit(op, a, 0)
+	default:
+		panic("compile: branchTo with non-branch op")
+	}
+	mc.patches = append(mc.patches, patch{instr: idx, label: l})
+}
+
+func (mc *methodCompiler) tempSlot() int32 {
+	s := mc.nextTemp
+	mc.nextTemp++
+	if mc.nextTemp > mc.maxSlots {
+		mc.maxSlots = mc.nextTemp
+	}
+	return int32(s)
+}
+
+func (mc *methodCompiler) releaseTemps(mark int) { mc.nextTemp = mark }
+
+// loadOp / storeOp select the typed local instruction for a type.
+func loadOp(t *lang.Type) bytecode.Op {
+	switch {
+	case t.Kind == lang.KFloat:
+		return bytecode.FLOAD
+	case t.IsRef():
+		return bytecode.ALOAD
+	default:
+		return bytecode.ILOAD
+	}
+}
+
+func storeOp(t *lang.Type) bytecode.Op {
+	switch {
+	case t.Kind == lang.KFloat:
+		return bytecode.FSTORE
+	case t.IsRef():
+		return bytecode.ASTORE
+	default:
+		return bytecode.ISTORE
+	}
+}
+
+func arrayLoadOp(elem *lang.Type) bytecode.Op {
+	switch {
+	case elem.Kind == lang.KFloat:
+		return bytecode.FALOAD
+	case elem.IsRef():
+		return bytecode.AALOAD
+	default:
+		return bytecode.IALOAD
+	}
+}
+
+func arrayStoreOp(elem *lang.Type) bytecode.Op {
+	switch {
+	case elem.Kind == lang.KFloat:
+		return bytecode.FASTORE
+	case elem.IsRef():
+		return bytecode.AASTORE
+	default:
+		return bytecode.IASTORE
+	}
+}
+
+// convert emits a conversion from the value's static type to the wanted
+// type, if one is needed on this VM (int/long/bool share a representation).
+func (mc *methodCompiler) convert(from, to *lang.Type) {
+	if from == nil || to == nil {
+		return
+	}
+	if from.Kind == lang.KFloat && to.Kind != lang.KFloat && to.IsNumeric() {
+		mc.emit(bytecode.F2I, 0, 0)
+		return
+	}
+	if from.Kind != lang.KFloat && from.IsNumeric() && to.Kind == lang.KFloat {
+		mc.emit(bytecode.I2F, 0, 0)
+	}
+}
+
+func (mc *methodCompiler) stmt(s lang.Stmt) error {
+	switch st := s.(type) {
+	case *lang.Block:
+		for _, inner := range st.Stmts {
+			if err := mc.stmt(inner); err != nil {
+				return err
+			}
+		}
+		return nil
+	case *lang.VarDeclStmt:
+		if st.Init != nil {
+			if err := mc.expr(st.Init); err != nil {
+				return err
+			}
+			mc.convert(st.Init.Type(), st.Type)
+		} else {
+			mc.pushZero(st.Type)
+		}
+		mc.emit(storeOp(st.Type), int32(st.Slot), 0)
+		return nil
+	case *lang.AssignStmt:
+		return mc.assign(st)
+	case *lang.IncDecStmt:
+		return mc.incDec(st)
+	case *lang.ExprStmt:
+		if err := mc.expr(st.X); err != nil {
+			return err
+		}
+		// Discard any produced value.
+		if t := st.X.Type(); t != nil && t.Kind != lang.KVoid {
+			mc.emit(bytecode.POP, 0, 0)
+		}
+		return nil
+	case *lang.IfStmt:
+		elseL := mc.newLabel()
+		endL := mc.newLabel()
+		if err := mc.condJump(st.Cond, false, elseL); err != nil {
+			return err
+		}
+		if err := mc.stmt(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			// No jump needed when the then-branch cannot fall
+			// through (it would target one past the last
+			// instruction when the if/else ends the method).
+			if n := len(mc.code); n == 0 || !mc.code[n-1].Op.IsReturn() {
+				mc.branchTo(bytecode.GOTO, 0, endL)
+			}
+			mc.bind(elseL)
+			if err := mc.stmt(st.Else); err != nil {
+				return err
+			}
+			mc.bind(endL)
+		} else {
+			mc.bind(elseL)
+			mc.bind(endL)
+		}
+		return nil
+	case *lang.WhileStmt:
+		condL := mc.newLabel()
+		endL := mc.newLabel()
+		mc.bind(condL)
+		if err := mc.condJump(st.Cond, false, endL); err != nil {
+			return err
+		}
+		if err := mc.stmt(st.Body); err != nil {
+			return err
+		}
+		mc.branchTo(bytecode.GOTO, 0, condL)
+		mc.bind(endL)
+		return nil
+	case *lang.ForStmt:
+		if st.Init != nil {
+			if err := mc.stmt(st.Init); err != nil {
+				return err
+			}
+		}
+		condL := mc.newLabel()
+		endL := mc.newLabel()
+		mc.bind(condL)
+		if st.Cond != nil {
+			if err := mc.condJump(st.Cond, false, endL); err != nil {
+				return err
+			}
+		}
+		if err := mc.stmt(st.Body); err != nil {
+			return err
+		}
+		if st.Post != nil {
+			if err := mc.stmt(st.Post); err != nil {
+				return err
+			}
+		}
+		mc.branchTo(bytecode.GOTO, 0, condL)
+		mc.bind(endL)
+		return nil
+	case *lang.ReturnStmt:
+		if st.Value == nil {
+			mc.emit(bytecode.RETURN, 0, 0)
+			return nil
+		}
+		if err := mc.expr(st.Value); err != nil {
+			return err
+		}
+		mc.convert(st.Value.Type(), mc.md.Ret)
+		switch {
+		case mc.md.Ret.Kind == lang.KFloat:
+			mc.emit(bytecode.FRETURN, 0, 0)
+		case mc.md.Ret.IsRef():
+			mc.emit(bytecode.ARETURN, 0, 0)
+		default:
+			mc.emit(bytecode.IRETURN, 0, 0)
+		}
+		return nil
+	}
+	return fmt.Errorf("compile: unknown statement %T", s)
+}
+
+func (mc *methodCompiler) pushZero(t *lang.Type) {
+	switch {
+	case t.Kind == lang.KFloat:
+		mc.emit(bytecode.LDC, int32(mc.cf.Pool.AddFloat(0)), 0)
+	case t.IsRef():
+		mc.emit(bytecode.ACONSTNULL, 0, 0)
+	default:
+		mc.emit(bytecode.ICONST0, 0, 0)
+	}
+}
+
+// binOpFor maps a (checked) binary operator and operand type to an opcode.
+func binOpFor(op lang.Kind, t *lang.Type) (bytecode.Op, error) {
+	if t.Kind == lang.KFloat {
+		switch op {
+		case lang.PLUS, lang.PLUSEQ:
+			return bytecode.FADD, nil
+		case lang.MINUS, lang.MINUSEQ:
+			return bytecode.FSUB, nil
+		case lang.STAR, lang.STAREQ:
+			return bytecode.FMUL, nil
+		case lang.SLASH, lang.SLASHEQ:
+			return bytecode.FDIV, nil
+		}
+		return 0, fmt.Errorf("compile: no float op for %v", op)
+	}
+	switch op {
+	case lang.PLUS, lang.PLUSEQ:
+		return bytecode.IADD, nil
+	case lang.MINUS, lang.MINUSEQ:
+		return bytecode.ISUB, nil
+	case lang.STAR, lang.STAREQ:
+		return bytecode.IMUL, nil
+	case lang.SLASH, lang.SLASHEQ:
+		return bytecode.IDIV, nil
+	case lang.PERCENT:
+		return bytecode.IREM, nil
+	case lang.SHL:
+		return bytecode.ISHL, nil
+	case lang.SHR:
+		return bytecode.ISHR, nil
+	case lang.AND:
+		return bytecode.IAND, nil
+	case lang.OR:
+		return bytecode.IOR, nil
+	case lang.XOR:
+		return bytecode.IXOR, nil
+	}
+	return 0, fmt.Errorf("compile: no int op for %v", op)
+}

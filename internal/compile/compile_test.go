@@ -1,0 +1,186 @@
+package compile
+
+import (
+	"strings"
+	"testing"
+
+	"autodist/internal/bytecode"
+)
+
+func compileOne(t *testing.T, src string) *bytecode.Program {
+	t.Helper()
+	bp, _, err := CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bp
+}
+
+func TestCompileEmitsVerifiableProgram(t *testing.T) {
+	bp := compileOne(t, `
+class A {
+	int x;
+	A(int x) { this.x = x; }
+	int get() { return this.x; }
+}
+class Main {
+	static void main() {
+		A a = new A(5);
+		System.println("" + a.get());
+	}
+}`)
+	if err := bytecode.VerifyProgram(bp); err != nil {
+		t.Fatal(err)
+	}
+	if bp.MainClass != "Main" {
+		t.Errorf("MainClass = %q", bp.MainClass)
+	}
+	// Object, builtins (System/Math/Str), Vector, A, Main.
+	if bp.NumClasses() < 7 {
+		t.Errorf("NumClasses = %d, want ≥ 7", bp.NumClasses())
+	}
+}
+
+func TestDefaultCtorSynthesized(t *testing.T) {
+	bp := compileOne(t, `class P { int v; } class Main { static void main() { P p = new P(); p.v = 1; } }`)
+	p := bp.Class("P")
+	ctor := p.Method("<init>", "()V")
+	if ctor == nil {
+		t.Fatal("default constructor missing")
+	}
+	if len(ctor.Code) != 1 || ctor.Code[0].Op != bytecode.RETURN {
+		t.Errorf("default ctor code = %v", ctor.Code)
+	}
+}
+
+func TestMethodInvocationShape(t *testing.T) {
+	// The paper's Figure 8 pattern: aload receiver, invokevirtual.
+	bp := compileOne(t, `
+class Account {
+	int savings;
+	int getSavings() { return this.savings; }
+}
+class Main {
+	static void main() {
+		Account account = new Account();
+		int s = account.getSavings();
+		System.println("" + s);
+	}
+}`)
+	main := bp.Class("Main").Method("main", "()V")
+	dis := bytecode.DisasmMethod(bp.Class("Main"), main)
+	for _, want := range []string{"aload", "invokevirtual Account.getSavings:()I"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, dis)
+		}
+	}
+}
+
+func TestNewShape(t *testing.T) {
+	// The paper's Figure 9 pattern: new, dup, args, invokespecial <init>.
+	bp := compileOne(t, `
+class Account {
+	int id;
+	Account(int id) { this.id = id; }
+}
+class Main {
+	static void main() {
+		Account a = new Account(7);
+		a.id = 8;
+	}
+}`)
+	main := bp.Class("Main").Method("main", "()V")
+	var ops []string
+	for _, in := range main.Code {
+		ops = append(ops, in.Op.String())
+	}
+	joined := strings.Join(ops, " ")
+	if !strings.Contains(joined, "new dup ldc invokespecial") {
+		t.Errorf("new-expression shape wrong: %s", joined)
+	}
+}
+
+func TestShortCircuitEvaluation(t *testing.T) {
+	// && must not evaluate the right operand when the left is false;
+	// the right operand would divide by zero.
+	bp := compileOne(t, `
+class Main {
+	static boolean safe(int d) {
+		return d != 0 && 10 / d > 1;
+	}
+	static void main() {
+		System.println("" + safe(0));
+		System.println("" + safe(5));
+		System.println("" + safe(20));
+	}
+}`)
+	if err := bytecode.VerifyProgram(bp); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBuiltinStubsEmitted(t *testing.T) {
+	bp := compileOne(t, `class Main { static void main() { System.println("x"); } }`)
+	sys := bp.Class("System")
+	if sys == nil {
+		t.Fatal("System stub missing")
+	}
+	m := sys.Method("println", "(T)V")
+	if m == nil || !m.IsNative() || !m.IsStatic() {
+		t.Errorf("System.println stub wrong: %+v", m)
+	}
+	if bp.Class("Object") == nil || bp.Class("Vector") == nil {
+		t.Error("Object/Vector missing from program")
+	}
+}
+
+func TestEncodedProgramRoundTripsAndRuns(t *testing.T) {
+	bp := compileOne(t, `
+class Main {
+	static int triple(int x) { return 3 * x; }
+	static void main() { System.println("" + triple(4)); }
+}`)
+	// Serialize and reload every class, then verify again: the binary
+	// format must preserve executability.
+	reloaded := bytecode.NewProgram()
+	reloaded.MainClass = bp.MainClass
+	for _, cf := range bp.Classes() {
+		data, err := cf.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := bytecode.Decode(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reloaded.Add(back)
+	}
+	if err := bytecode.VerifyProgram(reloaded); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMaxLocalsAccountsForTemps(t *testing.T) {
+	// Compound array assignment uses temp slots beyond the checker's
+	// count; MaxLocals must cover them.
+	bp := compileOne(t, `
+class Main {
+	static void main() {
+		int[] a = new int[4];
+		a[2] += 5;
+	}
+}`)
+	m := bp.Class("Main").Method("main", "()V")
+	maxSeen := int32(-1)
+	for _, in := range m.Code {
+		switch in.Op {
+		case bytecode.ILOAD, bytecode.ISTORE, bytecode.ALOAD, bytecode.ASTORE, bytecode.FLOAD, bytecode.FSTORE:
+			if in.A > maxSeen {
+				maxSeen = in.A
+			}
+		}
+	}
+	if int(maxSeen) >= m.MaxLocals {
+		t.Errorf("slot %d used but MaxLocals = %d", maxSeen, m.MaxLocals)
+	}
+}

@@ -1,0 +1,665 @@
+package compile
+
+import (
+	"fmt"
+
+	"autodist/internal/bytecode"
+	"autodist/internal/lang"
+)
+
+// expr emits code that leaves the expression's value on the stack
+// (nothing for void calls).
+func (mc *methodCompiler) expr(e lang.Expr) error {
+	switch x := e.(type) {
+	case *lang.IntLit:
+		switch x.Value {
+		case 0:
+			mc.emit(bytecode.ICONST0, 0, 0)
+		case 1:
+			mc.emit(bytecode.ICONST1, 0, 0)
+		default:
+			mc.emit(bytecode.LDC, int32(mc.cf.Pool.AddInt(x.Value)), 0)
+		}
+		return nil
+	case *lang.FloatLit:
+		mc.emit(bytecode.LDC, int32(mc.cf.Pool.AddFloat(x.Value)), 0)
+		return nil
+	case *lang.StrLit:
+		mc.emit(bytecode.LDC, int32(mc.cf.Pool.AddUtf8(x.Value)), 0)
+		return nil
+	case *lang.BoolLit:
+		if x.Value {
+			mc.emit(bytecode.ICONST1, 0, 0)
+		} else {
+			mc.emit(bytecode.ICONST0, 0, 0)
+		}
+		return nil
+	case *lang.NullLit:
+		mc.emit(bytecode.ACONSTNULL, 0, 0)
+		return nil
+	case *lang.ThisExpr:
+		mc.emit(bytecode.ALOAD, 0, 0)
+		return nil
+	case *lang.VarRef:
+		return mc.loadVarRef(x)
+	case *lang.FieldAccess:
+		return mc.loadFieldAccess(x)
+	case *lang.IndexExpr:
+		if err := mc.expr(x.Arr); err != nil {
+			return err
+		}
+		if err := mc.expr(x.Index); err != nil {
+			return err
+		}
+		mc.emit(arrayLoadOp(x.Type()), 0, 0)
+		return nil
+	case *lang.CallExpr:
+		return mc.call(x)
+	case *lang.NewExpr:
+		return mc.newObject(x)
+	case *lang.NewArrayExpr:
+		if err := mc.expr(x.Len); err != nil {
+			return err
+		}
+		mc.emit(bytecode.NEWARRAY, int32(mc.cf.Pool.AddUtf8(x.Elem.Descriptor())), 0)
+		return nil
+	case *lang.BinaryExpr:
+		return mc.binary(x)
+	case *lang.UnaryExpr:
+		if x.Op == lang.MINUS {
+			if err := mc.expr(x.X); err != nil {
+				return err
+			}
+			if x.Type().Kind == lang.KFloat {
+				mc.emit(bytecode.FNEG, 0, 0)
+			} else {
+				mc.emit(bytecode.INEG, 0, 0)
+			}
+			return nil
+		}
+		// Logical not: produce a boolean value via branches.
+		return mc.boolValue(x)
+	case *lang.CastExpr:
+		if err := mc.expr(x.X); err != nil {
+			return err
+		}
+		from := x.X.Type()
+		to := x.Target
+		if from.IsNumeric() && to.IsNumeric() {
+			mc.convert(from, to)
+			return nil
+		}
+		if to.IsRef() && !to.Equal(from) {
+			var name string
+			if to.Kind == lang.KClass {
+				name = to.Class
+			} else {
+				name = to.Descriptor()
+			}
+			mc.emit(bytecode.CHECKCAST, int32(mc.cf.Pool.AddClass(name)), 0)
+		}
+		return nil
+	case *lang.InstanceOfExpr:
+		if err := mc.expr(x.X); err != nil {
+			return err
+		}
+		mc.emit(bytecode.INSTANCEOF, int32(mc.cf.Pool.AddClass(x.Class)), 0)
+		return nil
+	}
+	return fmt.Errorf("compile: unknown expression %T", e)
+}
+
+func (mc *methodCompiler) loadVarRef(x *lang.VarRef) error {
+	switch x.Res {
+	case lang.RLocal:
+		mc.emit(loadOp(x.Type()), int32(x.Slot), 0)
+		return nil
+	case lang.RField:
+		ref := mc.cf.Pool.AddFieldRef(x.FieldOwner, x.Name, x.FieldDesc)
+		if x.FieldStatic {
+			mc.emit(bytecode.GETSTATIC, int32(ref), 0)
+		} else {
+			mc.emit(bytecode.ALOAD, 0, 0)
+			mc.emit(bytecode.GETFIELD, int32(ref), 0)
+		}
+		return nil
+	}
+	return fmt.Errorf("compile: unresolved name %s", x.Name)
+}
+
+func (mc *methodCompiler) loadFieldAccess(x *lang.FieldAccess) error {
+	if x.IsArrayLen {
+		if err := mc.expr(x.Recv); err != nil {
+			return err
+		}
+		mc.emit(bytecode.ARRAYLENGTH, 0, 0)
+		return nil
+	}
+	ref := mc.cf.Pool.AddFieldRef(x.FieldOwner, x.Name, x.FieldDesc)
+	if x.FieldStatic {
+		mc.emit(bytecode.GETSTATIC, int32(ref), 0)
+		return nil
+	}
+	if err := mc.expr(x.Recv); err != nil {
+		return err
+	}
+	mc.emit(bytecode.GETFIELD, int32(ref), 0)
+	return nil
+}
+
+func (mc *methodCompiler) call(x *lang.CallExpr) error {
+	params, _, err := bytecode.ParseMethodDesc(x.TargetDesc)
+	if err != nil {
+		return err
+	}
+	if !x.Static {
+		if x.Recv != nil {
+			if err := mc.expr(x.Recv); err != nil {
+				return err
+			}
+		} else {
+			mc.emit(bytecode.ALOAD, 0, 0) // implicit this
+		}
+	}
+	for i, a := range x.Args {
+		if err := mc.argValue(a); err != nil {
+			return err
+		}
+		mc.convertToDesc(a.Type(), params[i])
+	}
+	ref := mc.cf.Pool.AddMethodRef(x.TargetClass, x.Name, x.TargetDesc)
+	if x.Static {
+		mc.emit(bytecode.INVOKESTATIC, int32(ref), 0)
+	} else {
+		mc.emit(bytecode.INVOKEVIRTUAL, int32(ref), 0)
+	}
+	return nil
+}
+
+func (mc *methodCompiler) newObject(x *lang.NewExpr) error {
+	mc.emit(bytecode.NEW, int32(mc.cf.Pool.AddClass(x.Class)), 0)
+	mc.emit(bytecode.DUP, 0, 0)
+	params, _, err := bytecode.ParseMethodDesc(x.CtorDesc)
+	if err != nil {
+		return err
+	}
+	for i, a := range x.Args {
+		if err := mc.argValue(a); err != nil {
+			return err
+		}
+		mc.convertToDesc(a.Type(), params[i])
+	}
+	ref := mc.cf.Pool.AddMethodRef(x.Class, "<init>", x.CtorDesc)
+	mc.emit(bytecode.INVOKESPECIAL, int32(ref), 0)
+	return nil
+}
+
+// argValue compiles an expression used as a value, routing boolean
+// expressions through boolValue so comparisons materialise as 0/1.
+func (mc *methodCompiler) argValue(e lang.Expr) error {
+	if t := e.Type(); t != nil && t.Kind == lang.KBool {
+		return mc.boolValue(e)
+	}
+	return mc.expr(e)
+}
+
+// convertToDesc widens/narrows the value on the stack from the MJ type
+// to the descriptor's expected representation.
+func (mc *methodCompiler) convertToDesc(from *lang.Type, desc string) {
+	if from == nil {
+		return
+	}
+	if desc == "F" && from.IsNumeric() && from.Kind != lang.KFloat {
+		mc.emit(bytecode.I2F, 0, 0)
+	}
+	if desc != "F" && bytecode.IsIntLike(desc) && from.Kind == lang.KFloat {
+		mc.emit(bytecode.F2I, 0, 0)
+	}
+}
+
+func (mc *methodCompiler) binary(x *lang.BinaryExpr) error {
+	t := x.Type()
+	switch x.Op {
+	case lang.ANDAND, lang.OROR, lang.EQ, lang.NE, lang.LT, lang.LE, lang.GT, lang.GE:
+		return mc.boolValue(x)
+	}
+	if t.Kind == lang.KString {
+		// String concatenation.
+		if err := mc.concatOperand(x.L); err != nil {
+			return err
+		}
+		if err := mc.concatOperand(x.R); err != nil {
+			return err
+		}
+		mc.emit(bytecode.SCONCAT, 0, 0)
+		return nil
+	}
+	if err := mc.expr(x.L); err != nil {
+		return err
+	}
+	mc.convert(x.L.Type(), t)
+	if err := mc.expr(x.R); err != nil {
+		return err
+	}
+	mc.convert(x.R.Type(), t)
+	op, err := binOpFor(x.Op, t)
+	if err != nil {
+		return err
+	}
+	mc.emit(op, 0, 0)
+	return nil
+}
+
+// concatOperand pushes an operand of string concatenation; booleans are
+// materialised as "true"/"false" strings because the VM cannot tell a
+// boolean from an int at runtime.
+func (mc *methodCompiler) concatOperand(e lang.Expr) error {
+	t := e.Type()
+	if t != nil && t.Kind == lang.KBool {
+		trueL := mc.newLabel()
+		endL := mc.newLabel()
+		if err := mc.condJump(e, true, trueL); err != nil {
+			return err
+		}
+		mc.emit(bytecode.LDC, int32(mc.cf.Pool.AddUtf8("false")), 0)
+		mc.branchTo(bytecode.GOTO, 0, endL)
+		mc.bind(trueL)
+		mc.emit(bytecode.LDC, int32(mc.cf.Pool.AddUtf8("true")), 0)
+		mc.bind(endL)
+		return nil
+	}
+	return mc.expr(e)
+}
+
+// boolValue materialises a boolean expression as 0/1 on the stack.
+func (mc *methodCompiler) boolValue(e lang.Expr) error {
+	switch x := e.(type) {
+	case *lang.BoolLit, *lang.VarRef, *lang.FieldAccess, *lang.IndexExpr, *lang.CallExpr, *lang.InstanceOfExpr:
+		return mc.expr(x)
+	}
+	trueL := mc.newLabel()
+	endL := mc.newLabel()
+	if err := mc.condJump(e, true, trueL); err != nil {
+		return err
+	}
+	mc.emit(bytecode.ICONST0, 0, 0)
+	mc.branchTo(bytecode.GOTO, 0, endL)
+	mc.bind(trueL)
+	mc.emit(bytecode.ICONST1, 0, 0)
+	mc.bind(endL)
+	return nil
+}
+
+// condJump emits code that transfers control to target when the boolean
+// expression evaluates to jumpIfTrue, falling through otherwise.
+func (mc *methodCompiler) condJump(e lang.Expr, jumpIfTrue bool, target int) error {
+	switch x := e.(type) {
+	case *lang.BoolLit:
+		if x.Value == jumpIfTrue {
+			mc.branchTo(bytecode.GOTO, 0, target)
+		}
+		return nil
+	case *lang.UnaryExpr:
+		if x.Op == lang.NOT {
+			return mc.condJump(x.X, !jumpIfTrue, target)
+		}
+	case *lang.BinaryExpr:
+		switch x.Op {
+		case lang.ANDAND:
+			if jumpIfTrue {
+				// both must hold: fail-fast to fallthrough
+				failL := mc.newLabel()
+				if err := mc.condJump(x.L, false, failL); err != nil {
+					return err
+				}
+				if err := mc.condJump(x.R, true, target); err != nil {
+					return err
+				}
+				mc.bind(failL)
+			} else {
+				if err := mc.condJump(x.L, false, target); err != nil {
+					return err
+				}
+				if err := mc.condJump(x.R, false, target); err != nil {
+					return err
+				}
+			}
+			return nil
+		case lang.OROR:
+			if jumpIfTrue {
+				if err := mc.condJump(x.L, true, target); err != nil {
+					return err
+				}
+				if err := mc.condJump(x.R, true, target); err != nil {
+					return err
+				}
+			} else {
+				okL := mc.newLabel()
+				if err := mc.condJump(x.L, true, okL); err != nil {
+					return err
+				}
+				if err := mc.condJump(x.R, false, target); err != nil {
+					return err
+				}
+				mc.bind(okL)
+			}
+			return nil
+		case lang.EQ, lang.NE, lang.LT, lang.LE, lang.GT, lang.GE:
+			return mc.comparison(x, jumpIfTrue, target)
+		}
+	}
+	// Generic boolean value: compare against zero.
+	if err := mc.expr(e); err != nil {
+		return err
+	}
+	mc.emit(bytecode.ICONST0, 0, 0)
+	cond := lang.NE
+	if !jumpIfTrue {
+		cond = lang.EQ
+	}
+	mc.branchTo(bytecode.IFICMP, int32(condFor(cond)), target)
+	return nil
+}
+
+func condFor(op lang.Kind) bytecode.Cond {
+	switch op {
+	case lang.EQ:
+		return bytecode.EQ
+	case lang.NE:
+		return bytecode.NE
+	case lang.LT:
+		return bytecode.LT
+	case lang.LE:
+		return bytecode.LE
+	case lang.GT:
+		return bytecode.GT
+	case lang.GE:
+		return bytecode.GE
+	}
+	panic(fmt.Sprintf("compile: not a comparison: %v", op))
+}
+
+func (mc *methodCompiler) comparison(x *lang.BinaryExpr, jumpIfTrue bool, target int) error {
+	lt, rt := x.L.Type(), x.R.Type()
+	cond := condFor(x.Op)
+	if !jumpIfTrue {
+		cond = cond.Negate()
+	}
+
+	// Reference comparison (objects, arrays, strings, null).
+	if lt.IsRef() || rt.IsRef() {
+		if err := mc.expr(x.L); err != nil {
+			return err
+		}
+		if err := mc.expr(x.R); err != nil {
+			return err
+		}
+		op := bytecode.IFACMPEQ
+		if cond == bytecode.NE {
+			op = bytecode.IFACMPNE
+		}
+		mc.branchTo(op, 0, target)
+		return nil
+	}
+	// Boolean equality uses integer comparison.
+	common := lang.TInt
+	if lt.IsNumeric() && rt.IsNumeric() {
+		common = lang.TFloat
+		if lt.Kind != lang.KFloat && rt.Kind != lang.KFloat {
+			common = lang.TInt
+		}
+	}
+	if lt.Kind == lang.KBool {
+		if err := mc.boolValue(x.L); err != nil {
+			return err
+		}
+	} else {
+		if err := mc.expr(x.L); err != nil {
+			return err
+		}
+		mc.convert(lt, common)
+	}
+	if rt.Kind == lang.KBool {
+		if err := mc.boolValue(x.R); err != nil {
+			return err
+		}
+	} else {
+		if err := mc.expr(x.R); err != nil {
+			return err
+		}
+		mc.convert(rt, common)
+	}
+	if common.Kind == lang.KFloat {
+		mc.branchTo(bytecode.IFFCMP, int32(cond), target)
+	} else {
+		mc.branchTo(bytecode.IFICMP, int32(cond), target)
+	}
+	return nil
+}
+
+// assign compiles simple and compound assignments.
+func (mc *methodCompiler) assign(st *lang.AssignStmt) error {
+	value := func(want *lang.Type) error {
+		if err := mc.argValue(st.Value); err != nil {
+			return err
+		}
+		mc.convert(st.Value.Type(), want)
+		return nil
+	}
+
+	switch target := st.Target.(type) {
+	case *lang.VarRef:
+		t := target.Type()
+		switch target.Res {
+		case lang.RLocal:
+			if st.Op == lang.ASSIGN {
+				if err := value(t); err != nil {
+					return err
+				}
+				mc.emit(storeOp(t), int32(target.Slot), 0)
+				return nil
+			}
+			// local op= v
+			if t.Kind == lang.KString {
+				return mc.stringAppendLocal(target, st)
+			}
+			mc.emit(loadOp(t), int32(target.Slot), 0)
+			if err := value(t); err != nil {
+				return err
+			}
+			op, err := binOpFor(st.Op, t)
+			if err != nil {
+				return err
+			}
+			mc.emit(op, 0, 0)
+			mc.emit(storeOp(t), int32(target.Slot), 0)
+			return nil
+		case lang.RField:
+			ref := mc.cf.Pool.AddFieldRef(target.FieldOwner, target.Name, target.FieldDesc)
+			if target.FieldStatic {
+				if st.Op != lang.ASSIGN {
+					mc.emit(bytecode.GETSTATIC, int32(ref), 0)
+					if err := value(t); err != nil {
+						return err
+					}
+					op, err := binOpFor(st.Op, t)
+					if err != nil {
+						return err
+					}
+					mc.emit(op, 0, 0)
+				} else if err := value(t); err != nil {
+					return err
+				}
+				mc.emit(bytecode.PUTSTATIC, int32(ref), 0)
+				return nil
+			}
+			// this.f … via the FieldAccess path below.
+			fa := &lang.FieldAccess{
+				Pos: target.Pos, Recv: &lang.ThisExpr{}, Name: target.Name,
+				FieldOwner: target.FieldOwner, FieldDesc: target.FieldDesc,
+			}
+			fa.Recv.SetType(&lang.Type{Kind: lang.KClass, Class: mc.class.Name})
+			fa.SetType(t)
+			return mc.assignField(fa, st)
+		}
+		return fmt.Errorf("compile: cannot assign to %s", target.Name)
+	case *lang.FieldAccess:
+		if target.FieldStatic {
+			ref := mc.cf.Pool.AddFieldRef(target.FieldOwner, target.Name, target.FieldDesc)
+			t := target.Type()
+			if st.Op != lang.ASSIGN {
+				mc.emit(bytecode.GETSTATIC, int32(ref), 0)
+				if err := value(t); err != nil {
+					return err
+				}
+				op, err := binOpFor(st.Op, t)
+				if err != nil {
+					return err
+				}
+				mc.emit(op, 0, 0)
+			} else if err := value(t); err != nil {
+				return err
+			}
+			mc.emit(bytecode.PUTSTATIC, int32(ref), 0)
+			return nil
+		}
+		return mc.assignField(target, st)
+	case *lang.IndexExpr:
+		return mc.assignIndex(target, st)
+	}
+	return fmt.Errorf("compile: invalid assignment target %T", st.Target)
+}
+
+func (mc *methodCompiler) assignField(target *lang.FieldAccess, st *lang.AssignStmt) error {
+	t := target.Type()
+	ref := mc.cf.Pool.AddFieldRef(target.FieldOwner, target.Name, target.FieldDesc)
+	if st.Op == lang.ASSIGN {
+		if err := mc.expr(target.Recv); err != nil {
+			return err
+		}
+		if err := mc.argValue(st.Value); err != nil {
+			return err
+		}
+		mc.convert(st.Value.Type(), t)
+		mc.emit(bytecode.PUTFIELD, int32(ref), 0)
+		return nil
+	}
+	// recv.f op= v  →  temp-based read-modify-write
+	mark := mc.nextTemp
+	recvT := mc.tempSlot()
+	if err := mc.expr(target.Recv); err != nil {
+		return err
+	}
+	mc.emit(bytecode.ASTORE, recvT, 0)
+	mc.emit(bytecode.ALOAD, recvT, 0)
+	mc.emit(bytecode.GETFIELD, int32(ref), 0)
+	if t.Kind == lang.KString {
+		if err := mc.concatOperand(st.Value); err != nil {
+			return err
+		}
+		mc.emit(bytecode.SCONCAT, 0, 0)
+	} else {
+		if err := mc.argValue(st.Value); err != nil {
+			return err
+		}
+		mc.convert(st.Value.Type(), t)
+		op, err := binOpFor(st.Op, t)
+		if err != nil {
+			return err
+		}
+		mc.emit(op, 0, 0)
+	}
+	valT := mc.tempSlot()
+	mc.emit(storeOp(t), valT, 0)
+	mc.emit(bytecode.ALOAD, recvT, 0)
+	mc.emit(loadOp(t), valT, 0)
+	mc.emit(bytecode.PUTFIELD, int32(ref), 0)
+	mc.releaseTemps(mark)
+	return nil
+}
+
+func (mc *methodCompiler) assignIndex(target *lang.IndexExpr, st *lang.AssignStmt) error {
+	t := target.Type()
+	if st.Op == lang.ASSIGN {
+		if err := mc.expr(target.Arr); err != nil {
+			return err
+		}
+		if err := mc.expr(target.Index); err != nil {
+			return err
+		}
+		if err := mc.argValue(st.Value); err != nil {
+			return err
+		}
+		mc.convert(st.Value.Type(), t)
+		mc.emit(arrayStoreOp(t), 0, 0)
+		return nil
+	}
+	// a[i] op= v
+	mark := mc.nextTemp
+	arrT := mc.tempSlot()
+	idxT := mc.tempSlot()
+	if err := mc.expr(target.Arr); err != nil {
+		return err
+	}
+	mc.emit(bytecode.ASTORE, arrT, 0)
+	if err := mc.expr(target.Index); err != nil {
+		return err
+	}
+	mc.emit(bytecode.ISTORE, idxT, 0)
+	mc.emit(bytecode.ALOAD, arrT, 0)
+	mc.emit(bytecode.ILOAD, idxT, 0)
+	mc.emit(arrayLoadOp(t), 0, 0)
+	if t.Kind == lang.KString {
+		if err := mc.concatOperand(st.Value); err != nil {
+			return err
+		}
+		mc.emit(bytecode.SCONCAT, 0, 0)
+	} else {
+		if err := mc.argValue(st.Value); err != nil {
+			return err
+		}
+		mc.convert(st.Value.Type(), t)
+		op, err := binOpFor(st.Op, t)
+		if err != nil {
+			return err
+		}
+		mc.emit(op, 0, 0)
+	}
+	valT := mc.tempSlot()
+	mc.emit(storeOp(t), valT, 0)
+	mc.emit(bytecode.ALOAD, arrT, 0)
+	mc.emit(bytecode.ILOAD, idxT, 0)
+	mc.emit(loadOp(t), valT, 0)
+	mc.emit(arrayStoreOp(t), 0, 0)
+	mc.releaseTemps(mark)
+	return nil
+}
+
+func (mc *methodCompiler) stringAppendLocal(target *lang.VarRef, st *lang.AssignStmt) error {
+	mc.emit(bytecode.ALOAD, int32(target.Slot), 0)
+	if err := mc.concatOperand(st.Value); err != nil {
+		return err
+	}
+	mc.emit(bytecode.SCONCAT, 0, 0)
+	mc.emit(bytecode.ASTORE, int32(target.Slot), 0)
+	return nil
+}
+
+func (mc *methodCompiler) incDec(st *lang.IncDecStmt) error {
+	delta := int32(1)
+	if !st.Inc {
+		delta = -1
+	}
+	if vr, ok := st.Target.(*lang.VarRef); ok && vr.Res == lang.RLocal {
+		mc.emit(bytecode.IINC, int32(vr.Slot), delta)
+		return nil
+	}
+	// Desugar to a compound assignment on fields/array elements.
+	one := &lang.IntLit{Value: 1}
+	one.SetType(lang.TInt)
+	op := lang.PLUSEQ
+	if !st.Inc {
+		op = lang.MINUSEQ
+	}
+	return mc.assign(&lang.AssignStmt{Pos: st.Pos, Target: st.Target, Op: op, Value: one})
+}

@@ -1,0 +1,197 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable1ShapeMatchesPaper(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows, want 8", len(rows))
+	}
+	for _, r := range rows {
+		// The paper's qualitative properties: non-trivial class and
+		// method counts, graphs of manageable size, small edgecuts.
+		if r.Classes < 3 || r.Methods < 10 {
+			t.Errorf("%s: implausible size #C=%d #M=%d", r.Benchmark, r.Classes, r.Methods)
+		}
+		if r.CRGNodes == 0 || r.ODGNodes == 0 {
+			t.Errorf("%s: empty graphs", r.Benchmark)
+		}
+		if r.CRGEdgeCut > r.CRGEdges || r.ODGEdgeCut > r.ODGEdges {
+			t.Errorf("%s: edgecut exceeds edges", r.Benchmark)
+		}
+		if r.KB <= 0 {
+			t.Errorf("%s: zero size", r.Benchmark)
+		}
+	}
+	// db has the richest object structure in both the paper and here.
+	var db, method Table1Row
+	for _, r := range rows {
+		if r.Benchmark == "db" {
+			db = r
+		}
+		if r.Benchmark == "method" {
+			method = r
+		}
+	}
+	if db.ODGEdges <= method.ODGEdges {
+		t.Errorf("db ODG (%d edges) should exceed method (%d)", db.ODGEdges, method.ODGEdges)
+	}
+	out := FormatTable1(rows)
+	if !strings.Contains(out, "create") || !strings.Contains(out, "db") {
+		t.Error("formatted table incomplete")
+	}
+}
+
+func TestTable2PartitioningIsFastPhase(t *testing.T) {
+	rows, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		// The paper's observation: CRG construction dominates, the
+		// partitioning phase is comparatively small (≈10ms of their
+		// seconds-scale pipeline). Guard the ordering, not absolutes.
+		if r.ConstructCRG <= 0 || r.Rewrite <= 0 {
+			t.Errorf("%s: missing timings %+v", r.Benchmark, r)
+		}
+		if r.PartitionODG > r.ConstructCRG*100 {
+			t.Errorf("%s: partitioning (%v) implausibly dominates construction (%v)",
+				r.Benchmark, r.PartitionODG, r.ConstructCRG)
+		}
+	}
+	_ = FormatTable2(rows)
+}
+
+func TestFigure11ShapeMatchesPaper(t *testing.T) {
+	rows, err := Figure11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	speedups := 0
+	slowdowns := 0
+	for _, r := range rows {
+		if r.Distributed <= 0 || r.Centralized <= 0 {
+			t.Errorf("%s: missing simulated times %+v", r.Benchmark, r)
+			continue
+		}
+		// Distribution cannot beat the pure CPU ratio (1700/800).
+		if r.RelativePct > 230 {
+			t.Errorf("%s: relative %.1f%% exceeds hardware bound", r.Benchmark, r.RelativePct)
+		}
+		// Nothing should be pathological (the paper's worst is 79%).
+		if r.RelativePct < 25 {
+			t.Errorf("%s: relative %.1f%% is pathological (bad partition?)", r.Benchmark, r.RelativePct)
+		}
+		if r.RelativePct >= 100 {
+			speedups++
+		} else {
+			slowdowns++
+		}
+	}
+	// The paper's shape: most benchmarks at or above parity, a couple
+	// below (little overhead or speed-up).
+	if speedups < 4 {
+		t.Errorf("only %d/8 benchmarks show speedup; paper shows mostly parity-or-better", speedups)
+	}
+	if slowdowns == 0 {
+		t.Log("note: no benchmark showed slowdown (paper has a few near 80-100%)")
+	}
+	_ = FormatFigure11(rows)
+}
+
+func TestFigure3And4VCG(t *testing.T) {
+	f3, err := Figure3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"DT_Bank", "DT_Account", "ST_Bank", `label: "use"`, "export", "import"} {
+		if !strings.Contains(f3, want) {
+			t.Errorf("Figure 3 missing %q", want)
+		}
+	}
+	f4, err := Figure4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"1Bank", "*Account", "create", "[0]"} {
+		if !strings.Contains(f4, want) {
+			t.Errorf("Figure 4 missing %q", want)
+		}
+	}
+}
+
+func TestFigure5Through7Listings(t *testing.T) {
+	f5, err := Figure5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"BB0 (ENTRY)", "MOVE_I R1 int, IConst: 4", "IFCMP_I", "RETURN_I"} {
+		if !strings.Contains(f5, want) {
+			t.Errorf("Figure 5 missing %q:\n%s", want, f5)
+		}
+	}
+	f6, err := Figure6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f6, "MOVE_I") || !strings.Contains(f6, "IConst 4") {
+		t.Errorf("Figure 6 malformed:\n%s", f6)
+	}
+	f7, err := Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"mov eax, 4", "jle BB", "ret eax", "mov R1, #4", "ble BB", "mov PC, R14"} {
+		if !strings.Contains(f7, want) {
+			t.Errorf("Figure 7 missing %q:\n%s", want, f7)
+		}
+	}
+}
+
+func TestFigures8And9Transforms(t *testing.T) {
+	out, err := Figures8And9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Original Bank.main",
+		"Transformed Bank.main",
+		"new DependentObject",
+		"invokespecial DependentObject.<init>:(IT[LObject;)V",
+		"invokevirtual DependentObject.access:(IT[LObject;)LObject;",
+		`ldc "getSavings:()I"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figures 8/9 missing %q", want)
+		}
+	}
+}
+
+func TestTable3OverheadOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock measurement")
+	}
+	rows, err := Table3(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 10 {
+		t.Fatalf("got %d rows, want 10", len(rows))
+	}
+	out := FormatTable3(rows)
+	if !strings.Contains(out, "Overhead:") || !strings.Contains(out, "Average overhead") {
+		t.Errorf("Table 3 format incomplete:\n%s", out)
+	}
+}

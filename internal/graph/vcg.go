@@ -1,0 +1,82 @@
+package graph
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// VCG writes the graph in the Visualising Compiler Graphs format consumed
+// by the aiSee tool the paper used for Figures 3 and 4. Partition
+// assignments, when present, are rendered both as a color class and as a
+// "[p]" suffix on the node label, matching the paper's ODG figure.
+func (g *Graph) VCG(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph: {\n")
+	fmt.Fprintf(&b, "  title: %q\n", g.Name)
+	b.WriteString("  layoutalgorithm: forcedir\n")
+	b.WriteString("  display_edge_labels: yes\n")
+	for _, v := range g.vertices {
+		label := v.Label
+		if v.Part >= 0 {
+			label = fmt.Sprintf("%s [%d]", v.Label, v.Part)
+		}
+		color := "white"
+		if v.Part >= 0 {
+			color = partColor(v.Part)
+		}
+		fmt.Fprintf(&b, "  node: { title: %q label: %q color: %s }\n", v.Label, label, color)
+	}
+	for i := range g.edges {
+		e := &g.edges[i]
+		label := e.Label
+		if label == "" {
+			label = e.Kind.String()
+		}
+		fmt.Fprintf(&b, "  edge: { sourcename: %q targetname: %q label: %q class: %d }\n",
+			g.vertices[e.From].Label, g.vertices[e.To].Label, label, int(e.Kind)+1)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+var vcgColors = []string{"lightblue", "lightgreen", "lightyellow", "lightred", "lightcyan", "lightmagenta", "orange", "lilac"}
+
+func partColor(p int) string {
+	return vcgColors[p%len(vcgColors)]
+}
+
+// DOT writes the graph in Graphviz DOT format as a convenience for
+// environments without a VCG viewer.
+func (g *Graph) DOT(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", sanitizeDOT(g.Name))
+	for _, v := range g.vertices {
+		label := v.Label
+		if v.Part >= 0 {
+			label = fmt.Sprintf("%s [%d]", v.Label, v.Part)
+		}
+		fmt.Fprintf(&b, "  %q [label=%q];\n", v.Label, label)
+	}
+	for i := range g.edges {
+		e := &g.edges[i]
+		label := e.Label
+		if label == "" {
+			label = e.Kind.String()
+		}
+		fmt.Fprintf(&b, "  %q -> %q [label=%q];\n", g.vertices[e.From].Label, g.vertices[e.To].Label, label)
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sanitizeDOT(s string) string {
+	return strings.Map(func(r rune) rune {
+		if r == '"' || r == '\n' {
+			return '_'
+		}
+		return r
+	}, s)
+}

@@ -1,0 +1,457 @@
+package lang
+
+// The AST mirrors a Java subset. Type-checking annotates nodes in place
+// (the fields documented as "set by the checker") so the compiler can
+// walk a fully-resolved tree.
+
+// Type is an MJ static type. Primitive types use the shared singletons;
+// class and array types are interned by the checker.
+type Type struct {
+	// Kind discriminates the type.
+	Kind TypeKind
+	// Class is the class name for KClass.
+	Class string
+	// Elem is the element type for KArray.
+	Elem *Type
+}
+
+// TypeKind enumerates MJ type kinds.
+type TypeKind int
+
+// MJ type kinds.
+const (
+	KInt TypeKind = iota
+	KLong
+	KFloat
+	KBool
+	KString
+	KVoid
+	KNull // the type of the null literal
+	KClass
+	KArray
+)
+
+// Shared primitive type singletons.
+var (
+	TInt    = &Type{Kind: KInt}
+	TLong   = &Type{Kind: KLong}
+	TFloat  = &Type{Kind: KFloat}
+	TBool   = &Type{Kind: KBool}
+	TString = &Type{Kind: KString}
+	TVoid   = &Type{Kind: KVoid}
+	TNull   = &Type{Kind: KNull}
+)
+
+// String renders the type in MJ surface syntax.
+func (t *Type) String() string {
+	switch t.Kind {
+	case KInt:
+		return "int"
+	case KLong:
+		return "long"
+	case KFloat:
+		return "float"
+	case KBool:
+		return "boolean"
+	case KString:
+		return "string"
+	case KVoid:
+		return "void"
+	case KNull:
+		return "null"
+	case KClass:
+		return t.Class
+	case KArray:
+		return t.Elem.String() + "[]"
+	}
+	return "?"
+}
+
+// Descriptor returns the bytecode descriptor for the type.
+func (t *Type) Descriptor() string {
+	switch t.Kind {
+	case KInt:
+		return "I"
+	case KLong:
+		return "J"
+	case KFloat:
+		return "F"
+	case KBool:
+		return "Z"
+	case KString:
+		return "T"
+	case KVoid:
+		return "V"
+	case KNull:
+		return "LObject;"
+	case KClass:
+		return "L" + t.Class + ";"
+	case KArray:
+		return "[" + t.Elem.Descriptor()
+	}
+	return "V"
+}
+
+// IsNumeric reports whether the type participates in arithmetic.
+func (t *Type) IsNumeric() bool {
+	return t.Kind == KInt || t.Kind == KLong || t.Kind == KFloat
+}
+
+// IsIntegral reports whether the type supports %, shifts and bitwise ops.
+func (t *Type) IsIntegral() bool { return t.Kind == KInt || t.Kind == KLong }
+
+// IsRef reports whether values are references (class, array, string, null).
+func (t *Type) IsRef() bool {
+	return t.Kind == KClass || t.Kind == KArray || t.Kind == KString || t.Kind == KNull
+}
+
+// Equal reports structural type equality.
+func (t *Type) Equal(o *Type) bool {
+	if t.Kind != o.Kind {
+		return false
+	}
+	switch t.Kind {
+	case KClass:
+		return t.Class == o.Class
+	case KArray:
+		return t.Elem.Equal(o.Elem)
+	}
+	return true
+}
+
+// File is one parsed source unit.
+type File struct {
+	Classes []*ClassDecl
+}
+
+// ClassDecl is a class declaration.
+type ClassDecl struct {
+	Pos     Pos
+	Name    string
+	Super   string // "" → implicit Object
+	Fields  []*FieldDecl
+	Methods []*MethodDecl
+	Ctors   []*MethodDecl // constructors (Name == class name)
+}
+
+// FieldDecl declares one field.
+type FieldDecl struct {
+	Pos    Pos
+	Static bool
+	Type   *Type
+	Name   string
+}
+
+// Param is one formal parameter.
+type Param struct {
+	Type *Type
+	Name string
+}
+
+// MethodDecl declares a method or constructor (for constructors,
+// Ret == TVoid and IsCtor is true).
+type MethodDecl struct {
+	Pos    Pos
+	Static bool
+	IsCtor bool
+	Ret    *Type
+	Name   string
+	Params []Param
+	Body   *Block
+
+	// Set by the checker:
+	Owner *ClassDecl
+	// MaxSlots is the number of local-variable slots the method needs
+	// (including 'this' and parameters).
+	MaxSlots int
+}
+
+// Descriptor returns the bytecode method descriptor.
+func (m *MethodDecl) Descriptor() string {
+	d := "("
+	for _, p := range m.Params {
+		d += p.Type.Descriptor()
+	}
+	return d + ")" + m.Ret.Descriptor()
+}
+
+// Stmt is a statement node.
+type Stmt interface{ stmt() }
+
+// Block is a { ... } statement list with its own scope.
+type Block struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// VarDeclStmt declares a local variable, optionally initialised.
+type VarDeclStmt struct {
+	Pos  Pos
+	Type *Type
+	Name string
+	Init Expr // may be nil
+
+	// Slot is the local-variable slot, set by the checker.
+	Slot int
+}
+
+// AssignStmt is lvalue = expr (Op 0) or a compound assignment
+// (Op one of PLUS, MINUS, STAR, SLASH).
+type AssignStmt struct {
+	Pos    Pos
+	Target Expr // VarRef, FieldAccess or IndexExpr
+	Op     Kind // ASSIGN, PLUSEQ, MINUSEQ, STAREQ, SLASHEQ
+	Value  Expr
+}
+
+// IncDecStmt is i++ or i-- as a statement.
+type IncDecStmt struct {
+	Pos    Pos
+	Target Expr
+	Inc    bool
+}
+
+// ExprStmt evaluates an expression for its side effects (calls, new).
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body Stmt
+}
+
+// ForStmt is a C-style for loop. Init/Post may be nil; Cond may be nil
+// (infinite).
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt
+	Cond Expr
+	Post Stmt
+	Body Stmt
+}
+
+// ReturnStmt returns from the enclosing method.
+type ReturnStmt struct {
+	Pos   Pos
+	Value Expr // nil for void return
+}
+
+func (*Block) stmt()       {}
+func (*VarDeclStmt) stmt() {}
+func (*AssignStmt) stmt()  {}
+func (*IncDecStmt) stmt()  {}
+func (*ExprStmt) stmt()    {}
+func (*IfStmt) stmt()      {}
+func (*WhileStmt) stmt()   {}
+func (*ForStmt) stmt()     {}
+func (*ReturnStmt) stmt()  {}
+
+// Expr is an expression node. Every expression carries its checked
+// static type after type checking.
+type Expr interface {
+	expr()
+	// Type returns the checked type (nil before checking).
+	Type() *Type
+	// SetType records the checked type.
+	SetType(*Type)
+}
+
+type typed struct{ typ *Type }
+
+func (t *typed) Type() *Type     { return t.typ }
+func (t *typed) SetType(x *Type) { t.typ = x }
+
+// IntLit is an int or long literal.
+type IntLit struct {
+	typed
+	Pos    Pos
+	Value  int64
+	IsLong bool
+}
+
+// FloatLit is a float literal.
+type FloatLit struct {
+	typed
+	Pos   Pos
+	Value float64
+}
+
+// StrLit is a string literal.
+type StrLit struct {
+	typed
+	Pos   Pos
+	Value string
+}
+
+// BoolLit is true/false.
+type BoolLit struct {
+	typed
+	Pos   Pos
+	Value bool
+}
+
+// NullLit is null.
+type NullLit struct {
+	typed
+	Pos Pos
+}
+
+// ThisExpr is 'this'.
+type ThisExpr struct {
+	typed
+	Pos Pos
+}
+
+// VarRef names a local, parameter, or (when unqualified in a method
+// body) a field of the current class; the checker resolves which.
+type VarRef struct {
+	typed
+	Pos  Pos
+	Name string
+
+	// Resolution, set by the checker:
+	//   RLocal: Slot is the local slot.
+	//   RField: the reference is this.Name (instance) or a static
+	//           field; FieldOwner/FieldDesc/FieldStatic describe it.
+	//   RClass: the name is a class (receiver of a static member).
+	Res         Resolution
+	Slot        int
+	FieldOwner  string
+	FieldDesc   string
+	FieldStatic bool
+}
+
+// Resolution says what a VarRef denotes.
+type Resolution int
+
+// VarRef resolutions.
+const (
+	RUnresolved Resolution = iota
+	RLocal
+	RField
+	RClass
+)
+
+// FieldAccess is recv.Name (recv may be a class reference for statics).
+// arr.length is represented as FieldAccess with IsArrayLen set.
+type FieldAccess struct {
+	typed
+	Pos  Pos
+	Recv Expr
+	Name string
+
+	// Set by the checker:
+	IsArrayLen  bool
+	FieldOwner  string
+	FieldDesc   string
+	FieldStatic bool
+}
+
+// IndexExpr is arr[idx].
+type IndexExpr struct {
+	typed
+	Pos   Pos
+	Arr   Expr
+	Index Expr
+}
+
+// CallExpr is recv.Name(args), Class.Name(args) or Name(args) (implicit
+// this / current class).
+type CallExpr struct {
+	typed
+	Pos  Pos
+	Recv Expr // nil for unqualified calls
+	Name string
+	Args []Expr
+
+	// Set by the checker:
+	TargetClass string
+	TargetDesc  string
+	Static      bool
+	Native      bool
+	// ImplicitThis marks an unqualified instance call.
+	ImplicitThis bool
+}
+
+// NewExpr is new C(args).
+type NewExpr struct {
+	typed
+	Pos   Pos
+	Class string
+	Args  []Expr
+
+	// CtorDesc is the resolved constructor descriptor.
+	CtorDesc string
+	// SiteID is a unique allocation-site number assigned by the
+	// checker, used by the object dependence analysis.
+	SiteID int
+}
+
+// NewArrayExpr is new T[len].
+type NewArrayExpr struct {
+	typed
+	Pos  Pos
+	Elem *Type
+	Len  Expr
+}
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	typed
+	Pos  Pos
+	Op   Kind
+	L, R Expr
+}
+
+// UnaryExpr is -x or !x.
+type UnaryExpr struct {
+	typed
+	Pos Pos
+	Op  Kind
+	X   Expr
+}
+
+// CastExpr is (T)x — numeric conversion or reference checkcast.
+type CastExpr struct {
+	typed
+	Pos    Pos
+	Target *Type
+	X      Expr
+}
+
+// InstanceOfExpr is x instanceof C.
+type InstanceOfExpr struct {
+	typed
+	Pos   Pos
+	X     Expr
+	Class string
+}
+
+func (*IntLit) expr()         {}
+func (*FloatLit) expr()       {}
+func (*StrLit) expr()         {}
+func (*BoolLit) expr()        {}
+func (*NullLit) expr()        {}
+func (*ThisExpr) expr()       {}
+func (*VarRef) expr()         {}
+func (*FieldAccess) expr()    {}
+func (*IndexExpr) expr()      {}
+func (*CallExpr) expr()       {}
+func (*NewExpr) expr()        {}
+func (*NewArrayExpr) expr()   {}
+func (*BinaryExpr) expr()     {}
+func (*UnaryExpr) expr()      {}
+func (*CastExpr) expr()       {}
+func (*InstanceOfExpr) expr() {}

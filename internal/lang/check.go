@@ -1,0 +1,1066 @@
+package lang
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ClassInfo is the checker's view of one class (user-declared, the
+// implicit Object root, or a builtin native class).
+type ClassInfo struct {
+	Name    string
+	Super   string // "" only for Object
+	Decl    *ClassDecl
+	Builtin bool
+	// Fields and Methods are the class's own members; inherited
+	// members are found by walking Super.
+	Fields  map[string]*FieldDecl
+	Methods map[string][]*MethodDecl
+	Ctors   []*MethodDecl
+}
+
+// Program is a checked MJ program: the typed ASTs plus the class table.
+type Program struct {
+	Files   []*File
+	Classes map[string]*ClassInfo
+	// MainClass is the class containing static void main(), when one
+	// exists.
+	MainClass string
+	// NumAllocSites is the total number of 'new' expressions, each of
+	// which received a unique NewExpr.SiteID.
+	NumAllocSites int
+}
+
+// ClassNames returns all class names in sorted order.
+func (p *Program) ClassNames() []string {
+	out := make([]string, 0, len(p.Classes))
+	for n := range p.Classes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Class returns the named class info, or nil.
+func (p *Program) Class(name string) *ClassInfo { return p.Classes[name] }
+
+// IsSubclassOf reports whether sub is name or a (transitive) subclass.
+func (p *Program) IsSubclassOf(sub, name string) bool {
+	for c := sub; c != ""; {
+		if c == name {
+			return true
+		}
+		ci := p.Classes[c]
+		if ci == nil {
+			return false
+		}
+		c = ci.Super
+	}
+	return false
+}
+
+// LookupField resolves a field by name through the hierarchy, returning
+// the declaring class and declaration.
+func (p *Program) LookupField(class, name string) (string, *FieldDecl) {
+	for c := class; c != ""; {
+		ci := p.Classes[c]
+		if ci == nil {
+			return "", nil
+		}
+		if f, ok := ci.Fields[name]; ok {
+			return c, f
+		}
+		c = ci.Super
+	}
+	return "", nil
+}
+
+// LookupMethods collects all methods with the given name visible on
+// class (own + inherited, nearest first, overridden duplicates removed).
+func (p *Program) LookupMethods(class, name string) []*MethodDecl {
+	var out []*MethodDecl
+	seen := map[string]bool{}
+	for c := class; c != ""; {
+		ci := p.Classes[c]
+		if ci == nil {
+			break
+		}
+		for _, m := range ci.Methods[name] {
+			key := m.Descriptor()
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, m)
+			}
+		}
+		c = ci.Super
+	}
+	return out
+}
+
+type checker struct {
+	prog *Program
+	errs []error
+
+	// per-method state
+	curClass  *ClassInfo
+	curMethod *MethodDecl
+	scopes    []map[string]*localVar
+	nextSlot  int
+	maxSlot   int
+	siteID    int
+}
+
+type localVar struct {
+	typ  *Type
+	slot int
+}
+
+func (c *checker) errorf(pos Pos, format string, args ...any) {
+	c.errs = append(c.errs, errf(pos, format, args...))
+}
+
+// Check type-checks one or more parsed files as a single program,
+// automatically adding the implicit Object root, the Vector prelude and
+// the builtin class signatures.
+func Check(files ...*File) (*Program, error) {
+	prelude := MustParse(PreludeSource)
+	all := append([]*File{prelude}, files...)
+
+	prog := &Program{Files: all, Classes: map[string]*ClassInfo{}}
+	c := &checker{prog: prog}
+
+	// Implicit root.
+	prog.Classes["Object"] = &ClassInfo{
+		Name: "Object", Fields: map[string]*FieldDecl{}, Methods: map[string][]*MethodDecl{},
+	}
+	// Builtins.
+	for name := range BuiltinClasses {
+		prog.Classes[name] = &ClassInfo{
+			Name: name, Super: "", Builtin: true,
+			Fields: map[string]*FieldDecl{}, Methods: map[string][]*MethodDecl{},
+		}
+	}
+
+	// Collect declarations.
+	for _, f := range all {
+		for _, cd := range f.Classes {
+			if _, dup := prog.Classes[cd.Name]; dup {
+				c.errorf(cd.Pos, "class %s redeclared", cd.Name)
+				continue
+			}
+			super := cd.Super
+			if super == "" {
+				super = "Object"
+			}
+			ci := &ClassInfo{
+				Name: cd.Name, Super: super, Decl: cd,
+				Fields: map[string]*FieldDecl{}, Methods: map[string][]*MethodDecl{},
+			}
+			for _, fd := range cd.Fields {
+				if _, dup := ci.Fields[fd.Name]; dup {
+					c.errorf(fd.Pos, "field %s.%s redeclared", cd.Name, fd.Name)
+					continue
+				}
+				ci.Fields[fd.Name] = fd
+			}
+			for _, md := range cd.Methods {
+				md.Owner = cd
+				ci.Methods[md.Name] = append(ci.Methods[md.Name], md)
+			}
+			for _, md := range cd.Ctors {
+				md.Owner = cd
+				ci.Ctors = append(ci.Ctors, md)
+			}
+			prog.Classes[cd.Name] = ci
+		}
+	}
+
+	// Hierarchy sanity: supers exist, no cycles, no extending builtins.
+	for _, ci := range prog.Classes {
+		if ci.Decl == nil {
+			continue
+		}
+		if ci.Super != "" {
+			sup := prog.Classes[ci.Super]
+			if sup == nil {
+				c.errorf(ci.Decl.Pos, "class %s extends unknown class %s", ci.Name, ci.Super)
+				ci.Super = "Object"
+			} else if sup.Builtin {
+				c.errorf(ci.Decl.Pos, "class %s cannot extend builtin %s", ci.Name, ci.Super)
+				ci.Super = "Object"
+			}
+		}
+		// cycle detection
+		slow, fast := ci.Name, ci.Name
+		for {
+			fast = c.superOf(c.superOf(fast))
+			slow = c.superOf(slow)
+			if fast == "" {
+				break
+			}
+			if slow == fast {
+				c.errorf(ci.Decl.Pos, "inheritance cycle involving %s", ci.Name)
+				ci.Super = "Object"
+				break
+			}
+		}
+		// duplicate signatures within class
+		for name, ms := range ci.Methods {
+			seen := map[string]bool{}
+			for _, m := range ms {
+				d := m.Descriptor()
+				if seen[d] {
+					c.errorf(m.Pos, "method %s.%s%s redeclared", ci.Name, name, d)
+				}
+				seen[d] = true
+			}
+		}
+		seenCtor := map[string]bool{}
+		for _, m := range ci.Ctors {
+			d := m.Descriptor()
+			if seenCtor[d] {
+				c.errorf(m.Pos, "constructor %s%s redeclared", ci.Name, d)
+			}
+			seenCtor[d] = true
+		}
+	}
+
+	// Validate declared member types and check bodies.
+	for _, f := range all {
+		for _, cd := range f.Classes {
+			ci := prog.Classes[cd.Name]
+			if ci == nil || ci.Decl != cd {
+				continue
+			}
+			c.curClass = ci
+			for _, fd := range cd.Fields {
+				c.validateType(fd.Pos, fd.Type)
+			}
+			for _, md := range cd.Methods {
+				c.checkMethod(ci, md)
+			}
+			for _, md := range cd.Ctors {
+				c.checkMethod(ci, md)
+			}
+		}
+	}
+
+	// Locate main.
+	for name, ci := range prog.Classes {
+		for _, m := range ci.Methods["main"] {
+			if m.Static && len(m.Params) == 0 && m.Ret.Kind == KVoid {
+				prog.MainClass = name
+			}
+		}
+	}
+
+	prog.NumAllocSites = c.siteID
+	if len(c.errs) > 0 {
+		return nil, c.errs[0]
+	}
+	return prog, nil
+}
+
+func (c *checker) superOf(name string) string {
+	if name == "" {
+		return ""
+	}
+	ci := c.prog.Classes[name]
+	if ci == nil {
+		return ""
+	}
+	return ci.Super
+}
+
+func (c *checker) validateType(pos Pos, t *Type) {
+	switch t.Kind {
+	case KClass:
+		ci := c.prog.Classes[t.Class]
+		if ci == nil {
+			c.errorf(pos, "unknown type %s", t.Class)
+		} else if ci.Builtin {
+			c.errorf(pos, "builtin class %s cannot be used as a type", t.Class)
+		}
+	case KArray:
+		c.validateType(pos, t.Elem)
+	}
+}
+
+func (c *checker) checkMethod(ci *ClassInfo, md *MethodDecl) {
+	c.curMethod = md
+	c.scopes = []map[string]*localVar{{}}
+	c.nextSlot = 0
+	if !md.Static {
+		c.nextSlot = 1 // slot 0 = this
+	}
+	c.validateType(md.Pos, md.Ret)
+	for i := range md.Params {
+		p := &md.Params[i]
+		c.validateType(md.Pos, p.Type)
+		if _, dup := c.scopes[0][p.Name]; dup {
+			c.errorf(md.Pos, "duplicate parameter %s", p.Name)
+		}
+		c.scopes[0][p.Name] = &localVar{typ: p.Type, slot: c.nextSlot}
+		c.nextSlot++
+	}
+	c.maxSlot = c.nextSlot
+	c.checkBlock(md.Body)
+	md.MaxSlots = c.maxSlot
+	if md.Ret.Kind != KVoid && !alwaysReturns(md.Body) {
+		c.errorf(md.Pos, "method %s.%s: missing return statement", ci.Name, md.Name)
+	}
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, map[string]*localVar{}) }
+func (c *checker) popScope() {
+	// Slots are not reused across sibling scopes; that keeps the
+	// compiler simple at the cost of a few extra locals.
+	c.scopes = c.scopes[:len(c.scopes)-1]
+}
+
+func (c *checker) lookupLocal(name string) *localVar {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if lv, ok := c.scopes[i][name]; ok {
+			return lv
+		}
+	}
+	return nil
+}
+
+func (c *checker) declareLocal(pos Pos, name string, typ *Type) int {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[name]; dup {
+		c.errorf(pos, "variable %s redeclared", name)
+	}
+	slot := c.nextSlot
+	top[name] = &localVar{typ: typ, slot: slot}
+	c.nextSlot++
+	if c.nextSlot > c.maxSlot {
+		c.maxSlot = c.nextSlot
+	}
+	return slot
+}
+
+func (c *checker) checkBlock(b *Block) {
+	c.pushScope()
+	for _, s := range b.Stmts {
+		c.checkStmt(s)
+	}
+	c.popScope()
+}
+
+func (c *checker) checkStmt(s Stmt) {
+	switch st := s.(type) {
+	case *Block:
+		c.checkBlock(st)
+	case *VarDeclStmt:
+		c.validateType(st.Pos, st.Type)
+		if st.Type.Kind == KVoid {
+			c.errorf(st.Pos, "variable %s cannot be void", st.Name)
+		}
+		if st.Init != nil {
+			it := c.checkExpr(st.Init)
+			if it != nil && !c.assignable(st.Type, it) {
+				c.errorf(st.Pos, "cannot initialise %s %s with %s", st.Type, st.Name, it)
+			}
+		}
+		st.Slot = c.declareLocal(st.Pos, st.Name, st.Type)
+	case *AssignStmt:
+		tt := c.checkLValue(st.Target)
+		vt := c.checkExpr(st.Value)
+		if tt == nil || vt == nil {
+			return
+		}
+		if st.Op == ASSIGN {
+			if !c.assignable(tt, vt) {
+				c.errorf(st.Pos, "cannot assign %s to %s", vt, tt)
+			}
+			return
+		}
+		// compound: target op= value
+		if st.Op == PLUSEQ && tt.Kind == KString {
+			if vt.Kind != KString && !vt.IsNumeric() {
+				c.errorf(st.Pos, "cannot += %s to string", vt)
+			}
+			return
+		}
+		if !tt.IsNumeric() || !vt.IsNumeric() {
+			c.errorf(st.Pos, "compound assignment needs numeric operands, got %s and %s", tt, vt)
+			return
+		}
+		if !c.assignable(tt, vt) {
+			c.errorf(st.Pos, "cannot apply %v: %s does not fit %s", st.Op, vt, tt)
+		}
+	case *IncDecStmt:
+		tt := c.checkLValue(st.Target)
+		if tt != nil && !tt.IsIntegral() {
+			c.errorf(st.Pos, "++/-- needs int or long, got %s", tt)
+		}
+	case *ExprStmt:
+		t := c.checkExpr(st.X)
+		switch st.X.(type) {
+		case *CallExpr, *NewExpr:
+		default:
+			c.errorf(st.Pos, "expression statement must be a call or allocation")
+		}
+		_ = t
+	case *IfStmt:
+		ct := c.checkExpr(st.Cond)
+		if ct != nil && ct.Kind != KBool {
+			c.errorf(st.Pos, "if condition must be boolean, got %s", ct)
+		}
+		c.checkStmt(st.Then)
+		if st.Else != nil {
+			c.checkStmt(st.Else)
+		}
+	case *WhileStmt:
+		ct := c.checkExpr(st.Cond)
+		if ct != nil && ct.Kind != KBool {
+			c.errorf(st.Pos, "while condition must be boolean, got %s", ct)
+		}
+		c.checkStmt(st.Body)
+	case *ForStmt:
+		c.pushScope()
+		if st.Init != nil {
+			c.checkStmt(st.Init)
+		}
+		if st.Cond != nil {
+			ct := c.checkExpr(st.Cond)
+			if ct != nil && ct.Kind != KBool {
+				c.errorf(st.Pos, "for condition must be boolean, got %s", ct)
+			}
+		}
+		if st.Post != nil {
+			c.checkStmt(st.Post)
+		}
+		c.checkStmt(st.Body)
+		c.popScope()
+	case *ReturnStmt:
+		want := c.curMethod.Ret
+		if st.Value == nil {
+			if want.Kind != KVoid {
+				c.errorf(st.Pos, "return needs a %s value", want)
+			}
+			return
+		}
+		if want.Kind == KVoid {
+			c.errorf(st.Pos, "void method cannot return a value")
+			return
+		}
+		vt := c.checkExpr(st.Value)
+		if vt != nil && !c.assignable(want, vt) {
+			c.errorf(st.Pos, "cannot return %s from %s method", vt, want)
+		}
+	default:
+		panic(fmt.Sprintf("lang: unknown statement %T", s))
+	}
+}
+
+// checkLValue checks an assignment target and returns its type.
+func (c *checker) checkLValue(e Expr) *Type {
+	switch x := e.(type) {
+	case *VarRef:
+		t := c.checkExpr(x)
+		if x.Res == RClass {
+			c.errorf(x.Pos, "cannot assign to class %s", x.Name)
+			return nil
+		}
+		return t
+	case *FieldAccess:
+		t := c.checkExpr(x)
+		if x.IsArrayLen {
+			c.errorf(x.Pos, "cannot assign to array length")
+			return nil
+		}
+		return t
+	case *IndexExpr:
+		return c.checkExpr(x)
+	default:
+		c.errorf(posOfExpr(e), "invalid assignment target")
+		return nil
+	}
+}
+
+func posOfExpr(e Expr) Pos {
+	switch x := e.(type) {
+	case *IntLit:
+		return x.Pos
+	case *FloatLit:
+		return x.Pos
+	case *StrLit:
+		return x.Pos
+	case *BoolLit:
+		return x.Pos
+	case *NullLit:
+		return x.Pos
+	case *ThisExpr:
+		return x.Pos
+	case *VarRef:
+		return x.Pos
+	case *FieldAccess:
+		return x.Pos
+	case *IndexExpr:
+		return x.Pos
+	case *CallExpr:
+		return x.Pos
+	case *NewExpr:
+		return x.Pos
+	case *NewArrayExpr:
+		return x.Pos
+	case *BinaryExpr:
+		return x.Pos
+	case *UnaryExpr:
+		return x.Pos
+	case *CastExpr:
+		return x.Pos
+	case *InstanceOfExpr:
+		return x.Pos
+	}
+	return Pos{}
+}
+
+// assignable reports whether a value of type src may be stored in dst.
+func (c *checker) assignable(dst, src *Type) bool {
+	if dst.Equal(src) {
+		return true
+	}
+	switch {
+	case dst.Kind == KLong && src.Kind == KInt:
+		return true
+	case dst.Kind == KFloat && (src.Kind == KInt || src.Kind == KLong):
+		return true
+	case src.Kind == KNull && dst.IsRef():
+		return dst.Kind != KString // null is not a string value
+	case dst.Kind == KClass && src.Kind == KClass:
+		return c.prog.IsSubclassOf(src.Class, dst.Class)
+	case dst.Kind == KClass && dst.Class == "Object" && src.Kind == KArray:
+		return true
+	}
+	return false
+}
+
+// unify returns the common numeric type of two operands.
+func unify(a, b *Type) *Type {
+	if a.Kind == KFloat || b.Kind == KFloat {
+		return TFloat
+	}
+	if a.Kind == KLong || b.Kind == KLong {
+		return TLong
+	}
+	return TInt
+}
+
+func (c *checker) checkExpr(e Expr) *Type {
+	t := c.checkExprInner(e)
+	if t != nil {
+		e.SetType(t)
+	}
+	return t
+}
+
+func (c *checker) checkExprInner(e Expr) *Type {
+	switch x := e.(type) {
+	case *IntLit:
+		if x.IsLong {
+			return TLong
+		}
+		return TInt
+	case *FloatLit:
+		return TFloat
+	case *StrLit:
+		return TString
+	case *BoolLit:
+		return TBool
+	case *NullLit:
+		return TNull
+	case *ThisExpr:
+		if c.curMethod.Static {
+			c.errorf(x.Pos, "'this' in static method")
+			return nil
+		}
+		return &Type{Kind: KClass, Class: c.curClass.Name}
+	case *VarRef:
+		return c.checkVarRef(x, false)
+	case *FieldAccess:
+		return c.checkFieldAccess(x)
+	case *IndexExpr:
+		at := c.checkExpr(x.Arr)
+		it := c.checkExpr(x.Index)
+		if it != nil && it.Kind != KInt && it.Kind != KLong {
+			c.errorf(x.Pos, "array index must be int, got %s", it)
+		}
+		if at == nil {
+			return nil
+		}
+		if at.Kind != KArray {
+			c.errorf(x.Pos, "indexing non-array %s", at)
+			return nil
+		}
+		return at.Elem
+	case *CallExpr:
+		return c.checkCall(x)
+	case *NewExpr:
+		return c.checkNew(x)
+	case *NewArrayExpr:
+		c.validateType(x.Pos, x.Elem)
+		lt := c.checkExpr(x.Len)
+		if lt != nil && lt.Kind != KInt && lt.Kind != KLong {
+			c.errorf(x.Pos, "array length must be int, got %s", lt)
+		}
+		return &Type{Kind: KArray, Elem: x.Elem}
+	case *BinaryExpr:
+		return c.checkBinary(x)
+	case *UnaryExpr:
+		xt := c.checkExpr(x.X)
+		if xt == nil {
+			return nil
+		}
+		if x.Op == MINUS {
+			if !xt.IsNumeric() {
+				c.errorf(x.Pos, "unary - needs numeric operand, got %s", xt)
+				return nil
+			}
+			return xt
+		}
+		if xt.Kind != KBool {
+			c.errorf(x.Pos, "! needs boolean operand, got %s", xt)
+			return nil
+		}
+		return TBool
+	case *CastExpr:
+		c.validateType(x.Pos, x.Target)
+		xt := c.checkExpr(x.X)
+		if xt == nil {
+			return nil
+		}
+		if x.Target.IsNumeric() && xt.IsNumeric() {
+			return x.Target
+		}
+		if x.Target.Kind == KClass && xt.Kind == KClass {
+			up := c.prog.IsSubclassOf(xt.Class, x.Target.Class)
+			down := c.prog.IsSubclassOf(x.Target.Class, xt.Class)
+			if !up && !down {
+				c.errorf(x.Pos, "impossible cast from %s to %s", xt, x.Target)
+				return nil
+			}
+			return x.Target
+		}
+		if x.Target.Kind == KArray && xt.Kind == KClass && xt.Class == "Object" {
+			return x.Target
+		}
+		if x.Target.Kind == KClass && x.Target.Class == "Object" && xt.Kind == KArray {
+			return x.Target
+		}
+		if x.Target.Equal(xt) {
+			return x.Target
+		}
+		c.errorf(x.Pos, "cannot cast %s to %s", xt, x.Target)
+		return nil
+	case *InstanceOfExpr:
+		xt := c.checkExpr(x.X)
+		if ci := c.prog.Classes[x.Class]; ci == nil || ci.Builtin {
+			c.errorf(x.Pos, "unknown class %s in instanceof", x.Class)
+		}
+		if xt != nil && !xt.IsRef() {
+			c.errorf(x.Pos, "instanceof needs a reference, got %s", xt)
+		}
+		return TBool
+	}
+	panic(fmt.Sprintf("lang: unknown expression %T", e))
+}
+
+func (c *checker) checkBinary(x *BinaryExpr) *Type {
+	lt := c.checkExpr(x.L)
+	rt := c.checkExpr(x.R)
+	if lt == nil || rt == nil {
+		return nil
+	}
+	switch x.Op {
+	case PLUS:
+		if lt.Kind == KString || rt.Kind == KString {
+			other := lt
+			if lt.Kind == KString {
+				other = rt
+			}
+			if other.Kind != KString && !other.IsNumeric() && other.Kind != KBool {
+				c.errorf(x.Pos, "cannot concatenate %s with string", other)
+				return nil
+			}
+			return TString
+		}
+		if !lt.IsNumeric() || !rt.IsNumeric() {
+			c.errorf(x.Pos, "operator + needs numeric operands, got %s and %s", lt, rt)
+			return nil
+		}
+		return unify(lt, rt)
+	case MINUS, STAR, SLASH:
+		if !lt.IsNumeric() || !rt.IsNumeric() {
+			c.errorf(x.Pos, "operator %v needs numeric operands, got %s and %s", x.Op, lt, rt)
+			return nil
+		}
+		return unify(lt, rt)
+	case PERCENT, SHL, SHR, AND, OR, XOR:
+		if !lt.IsIntegral() || !rt.IsIntegral() {
+			c.errorf(x.Pos, "operator %v needs integral operands, got %s and %s", x.Op, lt, rt)
+			return nil
+		}
+		return unify(lt, rt)
+	case LT, LE, GT, GE:
+		if !lt.IsNumeric() || !rt.IsNumeric() {
+			c.errorf(x.Pos, "comparison needs numeric operands, got %s and %s", lt, rt)
+			return nil
+		}
+		return TBool
+	case EQ, NE:
+		switch {
+		case lt.IsNumeric() && rt.IsNumeric():
+		case lt.Kind == KBool && rt.Kind == KBool:
+		case lt.Kind == KString && rt.Kind == KString:
+		case lt.IsRef() && rt.IsRef():
+			// reference comparison, including null
+		default:
+			c.errorf(x.Pos, "cannot compare %s with %s", lt, rt)
+			return nil
+		}
+		return TBool
+	case ANDAND, OROR:
+		if lt.Kind != KBool || rt.Kind != KBool {
+			c.errorf(x.Pos, "operator %v needs boolean operands, got %s and %s", x.Op, lt, rt)
+			return nil
+		}
+		return TBool
+	}
+	c.errorf(x.Pos, "unknown binary operator %v", x.Op)
+	return nil
+}
+
+// checkVarRef resolves an unqualified name. asReceiver allows the name
+// to resolve to a class (for Class.member).
+func (c *checker) checkVarRef(x *VarRef, asReceiver bool) *Type {
+	if lv := c.lookupLocal(x.Name); lv != nil {
+		x.Res = RLocal
+		x.Slot = lv.slot
+		return lv.typ
+	}
+	if owner, fd := c.prog.LookupField(c.curClass.Name, x.Name); fd != nil {
+		if !fd.Static && c.curMethod.Static {
+			c.errorf(x.Pos, "instance field %s referenced from static method", x.Name)
+			return nil
+		}
+		x.Res = RField
+		x.FieldOwner = owner
+		x.FieldDesc = fd.Type.Descriptor()
+		x.FieldStatic = fd.Static
+		return fd.Type
+	}
+	if ci := c.prog.Classes[x.Name]; ci != nil {
+		x.Res = RClass
+		if !asReceiver {
+			c.errorf(x.Pos, "class %s used as a value", x.Name)
+			return nil
+		}
+		return nil // class receivers have no value type
+	}
+	c.errorf(x.Pos, "undefined name %s", x.Name)
+	return nil
+}
+
+func (c *checker) checkFieldAccess(x *FieldAccess) *Type {
+	// Class.staticField?
+	if vr, ok := x.Recv.(*VarRef); ok && c.lookupLocal(vr.Name) == nil {
+		if ci := c.prog.Classes[vr.Name]; ci != nil {
+			vr.Res = RClass
+			_, fd := c.prog.LookupField(ci.Name, x.Name)
+			if fd == nil || !fd.Static {
+				c.errorf(x.Pos, "no static field %s in class %s", x.Name, ci.Name)
+				return nil
+			}
+			owner, _ := c.prog.LookupField(ci.Name, x.Name)
+			x.FieldOwner = owner
+			x.FieldDesc = fd.Type.Descriptor()
+			x.FieldStatic = true
+			return fd.Type
+		}
+	}
+	rt := c.checkExpr(x.Recv)
+	if rt == nil {
+		return nil
+	}
+	if rt.Kind == KArray && x.Name == "length" {
+		x.IsArrayLen = true
+		return TInt
+	}
+	if rt.Kind != KClass {
+		c.errorf(x.Pos, "field access on non-object %s", rt)
+		return nil
+	}
+	owner, fd := c.prog.LookupField(rt.Class, x.Name)
+	if fd == nil {
+		c.errorf(x.Pos, "class %s has no field %s", rt.Class, x.Name)
+		return nil
+	}
+	if fd.Static {
+		c.errorf(x.Pos, "static field %s accessed through instance", x.Name)
+		return nil
+	}
+	x.FieldOwner = owner
+	x.FieldDesc = fd.Type.Descriptor()
+	return fd.Type
+}
+
+func (c *checker) checkCall(x *CallExpr) *Type {
+	// Evaluate argument types first.
+	argTypes := make([]*Type, len(x.Args))
+	bad := false
+	for i, a := range x.Args {
+		argTypes[i] = c.checkExpr(a)
+		if argTypes[i] == nil {
+			bad = true
+		}
+	}
+	if bad {
+		return nil
+	}
+
+	// Builtin or static call through a class name?
+	if vr, ok := x.Recv.(*VarRef); ok && c.lookupLocal(vr.Name) == nil {
+		if bms, isBuiltin := BuiltinClasses[vr.Name]; isBuiltin {
+			vr.Res = RClass
+			bm := resolveBuiltin(bms, x.Name, argTypes, c)
+			if bm == nil {
+				c.errorf(x.Pos, "no builtin %s.%s matching (%s)", vr.Name, x.Name, typeList(argTypes))
+				return nil
+			}
+			x.TargetClass = vr.Name
+			x.TargetDesc = bm.Descriptor()
+			x.Static = true
+			x.Native = true
+			return bm.Ret
+		}
+		if ci := c.prog.Classes[vr.Name]; ci != nil {
+			vr.Res = RClass
+			m := c.resolveOverload(ci.Name, x.Name, argTypes)
+			if m == nil {
+				c.errorf(x.Pos, "no method %s.%s matching (%s)", vr.Name, x.Name, typeList(argTypes))
+				return nil
+			}
+			if !m.Static {
+				c.errorf(x.Pos, "instance method %s.%s called statically", vr.Name, x.Name)
+				return nil
+			}
+			x.TargetClass = declaringClass(c.prog, ci.Name, m)
+			x.TargetDesc = m.Descriptor()
+			x.Static = true
+			return m.Ret
+		}
+	}
+
+	var recvClass string
+	if x.Recv == nil {
+		// Unqualified: method of the current class.
+		recvClass = c.curClass.Name
+	} else {
+		rt := c.checkExpr(x.Recv)
+		if rt == nil {
+			return nil
+		}
+		if rt.Kind != KClass {
+			c.errorf(x.Pos, "method call on non-object %s", rt)
+			return nil
+		}
+		recvClass = rt.Class
+	}
+	m := c.resolveOverload(recvClass, x.Name, argTypes)
+	if m == nil {
+		c.errorf(x.Pos, "no method %s.%s matching (%s)", recvClass, x.Name, typeList(argTypes))
+		return nil
+	}
+	if x.Recv == nil {
+		if m.Static {
+			x.Static = true
+		} else {
+			if c.curMethod.Static {
+				c.errorf(x.Pos, "instance method %s called from static context", x.Name)
+				return nil
+			}
+			x.ImplicitThis = true
+		}
+	} else if m.Static {
+		c.errorf(x.Pos, "static method %s.%s called through instance", recvClass, x.Name)
+		return nil
+	}
+	x.TargetClass = declaringClass(c.prog, recvClass, m)
+	x.TargetDesc = m.Descriptor()
+	return m.Ret
+}
+
+// declaringClass finds the class in recvClass's hierarchy that declares m.
+func declaringClass(p *Program, recvClass string, m *MethodDecl) string {
+	if m.Owner != nil {
+		return m.Owner.Name
+	}
+	return recvClass
+}
+
+func (c *checker) checkNew(x *NewExpr) *Type {
+	ci := c.prog.Classes[x.Class]
+	if ci == nil || ci.Builtin {
+		c.errorf(x.Pos, "cannot instantiate unknown or builtin class %s", x.Class)
+		return nil
+	}
+	argTypes := make([]*Type, len(x.Args))
+	for i, a := range x.Args {
+		argTypes[i] = c.checkExpr(a)
+		if argTypes[i] == nil {
+			return nil
+		}
+	}
+	ctor := c.resolveCtor(ci, argTypes)
+	if ctor == nil {
+		if len(x.Args) == 0 {
+			// implicit default constructor
+			x.CtorDesc = "()V"
+			x.SiteID = c.siteID
+			c.siteID++
+			return &Type{Kind: KClass, Class: x.Class}
+		}
+		c.errorf(x.Pos, "no constructor %s(%s)", x.Class, typeList(argTypes))
+		return nil
+	}
+	x.CtorDesc = ctor.Descriptor()
+	x.SiteID = c.siteID
+	c.siteID++
+	return &Type{Kind: KClass, Class: x.Class}
+}
+
+func (c *checker) resolveCtor(ci *ClassInfo, args []*Type) *MethodDecl {
+	var cands []*MethodDecl
+	for _, m := range ci.Ctors {
+		if len(m.Params) == len(args) {
+			cands = append(cands, m)
+		}
+	}
+	return pickOverload(c, cands, args)
+}
+
+func (c *checker) resolveOverload(class, name string, args []*Type) *MethodDecl {
+	all := c.prog.LookupMethods(class, name)
+	var cands []*MethodDecl
+	for _, m := range all {
+		if len(m.Params) == len(args) {
+			cands = append(cands, m)
+		}
+	}
+	return pickOverload(c, cands, args)
+}
+
+func pickOverload(c *checker, cands []*MethodDecl, args []*Type) *MethodDecl {
+	// Exact match first.
+	for _, m := range cands {
+		ok := true
+		for i, p := range m.Params {
+			if !p.Type.Equal(args[i]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return m
+		}
+	}
+	// Otherwise a unique assignable candidate.
+	var found *MethodDecl
+	for _, m := range cands {
+		ok := true
+		for i, p := range m.Params {
+			if !c.assignable(p.Type, args[i]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			if found != nil {
+				return nil // ambiguous
+			}
+			found = m
+		}
+	}
+	return found
+}
+
+func resolveBuiltin(bms []BuiltinMethod, name string, args []*Type, c *checker) *BuiltinMethod {
+	var cands []*BuiltinMethod
+	for i := range bms {
+		if bms[i].Name == name && len(bms[i].Params) == len(args) {
+			cands = append(cands, &bms[i])
+		}
+	}
+	for _, b := range cands {
+		ok := true
+		for i, p := range b.Params {
+			if !p.Equal(args[i]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return b
+		}
+	}
+	var found *BuiltinMethod
+	for _, b := range cands {
+		ok := true
+		for i, p := range b.Params {
+			if !c.assignable(p, args[i]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			if found != nil {
+				return nil
+			}
+			found = b
+		}
+	}
+	return found
+}
+
+func typeList(ts []*Type) string {
+	s := ""
+	for i, t := range ts {
+		if i > 0 {
+			s += ", "
+		}
+		if t == nil {
+			s += "?"
+		} else {
+			s += t.String()
+		}
+	}
+	return s
+}
+
+// alwaysReturns reports whether every path through s ends in a return.
+func alwaysReturns(s Stmt) bool {
+	switch st := s.(type) {
+	case *ReturnStmt:
+		return true
+	case *Block:
+		for _, inner := range st.Stmts {
+			if alwaysReturns(inner) {
+				return true
+			}
+		}
+		return false
+	case *IfStmt:
+		return st.Else != nil && alwaysReturns(st.Then) && alwaysReturns(st.Else)
+	case *WhileStmt:
+		// 'while (true)' with no break always diverges or returns.
+		if b, ok := st.Cond.(*BoolLit); ok && b.Value {
+			return true
+		}
+		return false
+	}
+	return false
+}

@@ -1,0 +1,556 @@
+package lang
+
+import (
+	"strings"
+	"testing"
+)
+
+// BankSource is the paper's running example (§2.1, Figure 2) transcribed
+// into MJ. It is reused by the analysis, rewrite and runtime tests.
+const BankSource = `
+class Account {
+	int id;
+	string name;
+	int savings;
+	int checking;
+	int loan;
+
+	Account(int id, string name, int savings, int checking, int loan) {
+		this.id = id;
+		this.name = name;
+		this.savings = savings;
+		this.checking = checking;
+		this.loan = loan;
+	}
+
+	int getId() { return this.id; }
+	int getSavings() { return this.savings; }
+	int getBalance() { return this.savings + this.checking; }
+	void setBalance(int b) { this.savings = b; }
+}
+
+class Bank {
+	int id;
+	string name;
+	int numCustomers;
+	Vector accounts;
+
+	Bank(string name, int numCustomers, int initialBalance) {
+		this.name = name;
+		this.numCustomers = numCustomers;
+		this.accounts = new Vector();
+		this.initializeAccounts(initialBalance);
+	}
+
+	void initializeAccounts(int initialBalance) {
+		int n = this.numCustomers;
+		while (n > 0) {
+			Account a = new Account(n, "cust" + n, initialBalance, 0, 0);
+			this.accounts.add(a);
+			n--;
+		}
+	}
+
+	void openAccount(Account a) {
+		this.accounts.add(a);
+	}
+
+	Account getCustomer(int customerID) {
+		for (int i = 0; i < this.accounts.size(); i++) {
+			Account a = (Account) this.accounts.get(i);
+			if (a.getId() == customerID) {
+				return a;
+			}
+		}
+		return null;
+	}
+
+	boolean withdraw(int customerID, int amount) {
+		Account a = this.getCustomer(customerID);
+		if (a != null) {
+			a.setBalance(a.getBalance() - amount);
+			return true;
+		} else {
+			return false;
+		}
+	}
+
+	static void main() {
+		Bank merchants = new Bank("Merchants", 100, 10000);
+		Account a4 = new Account(1, "ABC Market", 1000000, 100000, 20000000);
+		Account a5 = new Account(2, "CDE Outlet", 5000000, 300000, 150000000);
+		merchants.openAccount(a4);
+		merchants.openAccount(a5);
+		Account a = merchants.getCustomer(2);
+		merchants.withdraw(a.getId(), 900);
+	}
+}
+`
+
+func TestLexerBasics(t *testing.T) {
+	toks, err := Tokenize(`class Foo { int x = 42; float f = 1.5; long n = 7L; string s = "a\nb"; }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []Kind{KWCLASS, IDENT, LBRACE, KWINT, IDENT, ASSIGN, INTLIT, SEMI,
+		KWFLOAT, IDENT, ASSIGN, FLOATLIT, SEMI, KWLONG, IDENT, ASSIGN, LONGLIT, SEMI,
+		KWSTRING, IDENT, ASSIGN, STRLIT, SEMI, RBRACE, EOF}
+	if len(toks) != len(kinds) {
+		t.Fatalf("got %d tokens, want %d", len(toks), len(kinds))
+	}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v %q, want %v", i, toks[i].Kind, toks[i].Text, k)
+		}
+	}
+	if toks[21].Text != "a\nb" {
+		t.Errorf("string literal = %q, want escape processed", toks[21].Text)
+	}
+}
+
+func TestLexerComments(t *testing.T) {
+	toks, err := Tokenize("// line\nclass /* block\nspanning */ A {}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Kind != KWCLASS || toks[1].Text != "A" {
+		t.Errorf("comments not skipped: %v", toks)
+	}
+	if toks[0].Line != 2 {
+		t.Errorf("line tracking wrong: %d", toks[0].Line)
+	}
+}
+
+func TestLexerOperators(t *testing.T) {
+	toks, err := Tokenize("++ -- += -= == != <= >= << >> && || < > ! & | ^")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Kind{INC, DEC, PLUSEQ, MINUSEQ, EQ, NE, LE, GE, SHL, SHR, ANDAND, OROR, LT, GT, NOT, AND, OR, XOR, EOF}
+	for i, k := range want {
+		if toks[i].Kind != k {
+			t.Errorf("token %d = %v, want %v", i, toks[i].Kind, k)
+		}
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	for _, bad := range []string{`"unterminated`, "/* unterminated", `"bad \q escape"`, "@"} {
+		if _, err := Tokenize(bad); err == nil {
+			t.Errorf("Tokenize(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestParseBankExample(t *testing.T) {
+	f, err := Parse(BankSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Classes) != 2 {
+		t.Fatalf("got %d classes, want 2", len(f.Classes))
+	}
+	acct := f.Classes[0]
+	if acct.Name != "Account" || len(acct.Fields) != 5 || len(acct.Ctors) != 1 || len(acct.Methods) != 4 {
+		t.Errorf("Account parsed wrong: fields=%d ctors=%d methods=%d", len(acct.Fields), len(acct.Ctors), len(acct.Methods))
+	}
+	bank := f.Classes[1]
+	if bank.Name != "Bank" || len(bank.Methods) != 5 {
+		t.Errorf("Bank parsed wrong: methods=%d", len(bank.Methods))
+	}
+	var main *MethodDecl
+	for _, m := range bank.Methods {
+		if m.Name == "main" {
+			main = m
+		}
+	}
+	if main == nil || !main.Static {
+		t.Fatal("static main not found")
+	}
+}
+
+func TestParseControlFlowForms(t *testing.T) {
+	src := `
+class C {
+	int f(int n) {
+		int s = 0;
+		for (int i = 0; i < n; i++) { s += i; }
+		while (s > 100) { s = s / 2; }
+		if (s == 0) { return 1; } else if (s < 10) { return 2; }
+		for (;;) { return s; }
+	}
+}`
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseCastVsParen(t *testing.T) {
+	src := `
+class A {
+	int f(Object o, int x) {
+		A a = (A) o;          // class cast
+		int y = (x) + 1;      // parenthesised expr
+		float g = (float) x;  // primitive cast
+		int[] xs = (int[]) o; // array cast
+		return y + xs[0];
+	}
+}`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := f.Classes[0].Methods[0].Body
+	if _, ok := body.Stmts[0].(*VarDeclStmt).Init.(*CastExpr); !ok {
+		t.Error("(A) o not parsed as cast")
+	}
+	if _, ok := body.Stmts[1].(*VarDeclStmt).Init.(*BinaryExpr); !ok {
+		t.Error("(x) + 1 not parsed as binary")
+	}
+	if _, ok := body.Stmts[2].(*VarDeclStmt).Init.(*CastExpr); !ok {
+		t.Error("(float) x not parsed as cast")
+	}
+	if _, ok := body.Stmts[3].(*VarDeclStmt).Init.(*CastExpr); !ok {
+		t.Error("(int[]) o not parsed as cast")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	src := `class C { int f() { return 1 + 2 * 3; } }`
+	f, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ret := f.Classes[0].Methods[0].Body.Stmts[0].(*ReturnStmt)
+	add := ret.Value.(*BinaryExpr)
+	if add.Op != PLUS {
+		t.Fatalf("top op = %v, want +", add.Op)
+	}
+	if mul, ok := add.R.(*BinaryExpr); !ok || mul.Op != STAR {
+		t.Error("* does not bind tighter than +")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"class {}",
+		"class A { int }",
+		"class A { void f( {} }",
+		"class A { void f() { if x } }",
+		"class A { void f() { return 1 } }", // missing semi
+		"class A extends {}",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestCheckBankExample(t *testing.T) {
+	f := MustParse(BankSource)
+	prog, err := Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.MainClass != "Bank" {
+		t.Errorf("MainClass = %q, want Bank", prog.MainClass)
+	}
+	// Object + Vector prelude + builtins + Account + Bank
+	for _, want := range []string{"Object", "Vector", "System", "Math", "Str", "Account", "Bank"} {
+		if prog.Class(want) == nil {
+			t.Errorf("class table missing %s", want)
+		}
+	}
+	if prog.NumAllocSites < 5 {
+		t.Errorf("NumAllocSites = %d, want ≥ 5 (Vector internal + Bank/Account sites)", prog.NumAllocSites)
+	}
+	if !prog.IsSubclassOf("Account", "Object") {
+		t.Error("Account should be subclass of Object")
+	}
+}
+
+func TestCheckResolvesCallTargets(t *testing.T) {
+	f := MustParse(BankSource)
+	if _, err := Check(f); err != nil {
+		t.Fatal(err)
+	}
+	var withdraw *MethodDecl
+	for _, cd := range f.Classes {
+		if cd.Name != "Bank" {
+			continue
+		}
+		for _, m := range cd.Methods {
+			if m.Name == "withdraw" {
+				withdraw = m
+			}
+		}
+	}
+	if withdraw == nil {
+		t.Fatal("withdraw not found")
+	}
+	// First statement: Account a = this.getCustomer(customerID);
+	vd := withdraw.Body.Stmts[0].(*VarDeclStmt)
+	call := vd.Init.(*CallExpr)
+	if call.TargetClass != "Bank" || call.TargetDesc != "(I)LAccount;" {
+		t.Errorf("getCustomer resolved to %s %s", call.TargetClass, call.TargetDesc)
+	}
+	if call.Static {
+		t.Error("getCustomer should be virtual")
+	}
+}
+
+func TestCheckInheritanceAndOverride(t *testing.T) {
+	src := `
+class Animal {
+	string speak() { return "..."; }
+	string greet() { return "I say " + this.speak(); }
+}
+class Dog extends Animal {
+	string speak() { return "woof"; }
+}
+class Main {
+	static void main() {
+		Animal a = new Dog();
+		System.println(a.greet());
+	}
+}`
+	prog, err := Check(MustParse(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prog.IsSubclassOf("Dog", "Animal") {
+		t.Error("Dog should be subclass of Animal")
+	}
+	ms := prog.LookupMethods("Dog", "speak")
+	if len(ms) != 1 {
+		t.Errorf("LookupMethods(Dog, speak) = %d methods, want 1 (override dedup)", len(ms))
+	}
+}
+
+func TestCheckWideningAndOverloads(t *testing.T) {
+	src := `
+class C {
+	static int pick(int a, int b) { return a; }
+	static float pick(float a, float b) { return a; }
+	static void main() {
+		long l = 5;          // int → long
+		float f = l;         // long → float
+		int i = pick(1, 2);  // exact int overload
+		float g = pick(1.5, 2.5);
+		f = f + i;           // mixed arithmetic
+	}
+}`
+	if _, err := Check(MustParse(src)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := map[string]string{
+		"class A { void f() { x = 1; } }":                                 "undefined name x",
+		"class A { void f() { int x = \"s\"; } }":                         "cannot initialise",
+		"class A { int f() { } }":                                         "missing return",
+		"class A { void f() { if (1) {} } }":                              "must be boolean",
+		"class A extends B {}":                                            "unknown class B",
+		"class A extends A {}":                                            "cycle",
+		"class A { void f(UnknownType t) {} }":                            "unknown type",
+		"class A { static void f() { this.g(); } void g() {} }":           "'this' in static",
+		"class A { void f() { int x; boolean b = x && true; } }":          "boolean operands",
+		"class A { int x; int x; }":                                       "redeclared",
+		"class A { void f() { int y = 1; int y = 2; } }":                  "redeclared",
+		"class A { void f() { float g = 1.5; g++; } }":                    "needs int or long",
+		"class A { void f() { A a = new A(1); } }":                        "no constructor",
+		"class A { void f() { string s = null; } }":                       "cannot initialise",
+		"class A { void f() { int i = (int)\"s\"; } }":                    "cannot cast",
+		"class A { void f(int[] v) { v.length = 3; } }":                   "cannot assign to array length",
+		"class B { int f() { return 1; } void g() { B.f(); } }":           "called statically",
+		"class D { static int f() { return 1; } void g() { this.f(); } }": "called through instance",
+	}
+	for src, wantSub := range cases {
+		_, err := Check(MustParse(src))
+		if err == nil {
+			t.Errorf("Check(%q) succeeded, want error containing %q", src, wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("Check(%q) error = %q, want substring %q", src, err.Error(), wantSub)
+		}
+	}
+}
+
+func TestCheckAllocSiteIDsUnique(t *testing.T) {
+	src := `
+class P {}
+class Main {
+	static void main() {
+		P a = new P();
+		P b = new P();
+		for (int i = 0; i < 3; i++) {
+			P c = new P();
+		}
+	}
+}`
+	f := MustParse(src)
+	prog, err := Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		if ne, ok := e.(*NewExpr); ok {
+			if seen[ne.SiteID] {
+				t.Errorf("duplicate SiteID %d", ne.SiteID)
+			}
+			seen[ne.SiteID] = true
+		}
+	}
+	for _, cd := range f.Classes {
+		for _, m := range cd.Methods {
+			forEachExpr(m.Body, walk)
+		}
+	}
+	if len(seen) != 3 {
+		t.Errorf("found %d user alloc sites, want 3", len(seen))
+	}
+	_ = prog
+}
+
+// forEachExpr walks all expressions under a statement (test helper).
+func forEachExpr(s Stmt, f func(Expr)) {
+	var we func(e Expr)
+	we = func(e Expr) {
+		if e == nil {
+			return
+		}
+		f(e)
+		switch x := e.(type) {
+		case *FieldAccess:
+			we(x.Recv)
+		case *IndexExpr:
+			we(x.Arr)
+			we(x.Index)
+		case *CallExpr:
+			we(x.Recv)
+			for _, a := range x.Args {
+				we(a)
+			}
+		case *NewExpr:
+			for _, a := range x.Args {
+				we(a)
+			}
+		case *NewArrayExpr:
+			we(x.Len)
+		case *BinaryExpr:
+			we(x.L)
+			we(x.R)
+		case *UnaryExpr:
+			we(x.X)
+		case *CastExpr:
+			we(x.X)
+		case *InstanceOfExpr:
+			we(x.X)
+		}
+	}
+	var ws func(s Stmt)
+	ws = func(s Stmt) {
+		if s == nil {
+			return
+		}
+		switch st := s.(type) {
+		case *Block:
+			for _, inner := range st.Stmts {
+				ws(inner)
+			}
+		case *VarDeclStmt:
+			we(st.Init)
+		case *AssignStmt:
+			we(st.Target)
+			we(st.Value)
+		case *IncDecStmt:
+			we(st.Target)
+		case *ExprStmt:
+			we(st.X)
+		case *IfStmt:
+			we(st.Cond)
+			ws(st.Then)
+			ws(st.Else)
+		case *WhileStmt:
+			we(st.Cond)
+			ws(st.Body)
+		case *ForStmt:
+			ws(st.Init)
+			we(st.Cond)
+			ws(st.Post)
+			ws(st.Body)
+		case *ReturnStmt:
+			we(st.Value)
+		}
+	}
+	ws(s)
+}
+
+func TestDescriptorsFromTypes(t *testing.T) {
+	arr := &Type{Kind: KArray, Elem: &Type{Kind: KClass, Class: "Account"}}
+	if d := arr.Descriptor(); d != "[LAccount;" {
+		t.Errorf("Descriptor = %q", d)
+	}
+	m := &MethodDecl{Ret: TBool, Params: []Param{{Type: TInt}, {Type: arr}}}
+	if d := m.Descriptor(); d != "(I[LAccount;)Z" {
+		t.Errorf("method Descriptor = %q", d)
+	}
+}
+
+func TestMaxSlotsComputed(t *testing.T) {
+	src := `
+class C {
+	int f(int a, int b) {
+		int x = a + b;
+		int y = x * 2;
+		return y;
+	}
+}`
+	f := MustParse(src)
+	if _, err := Check(f); err != nil {
+		t.Fatal(err)
+	}
+	m := f.Classes[0].Methods[0]
+	// this + a + b + x + y = 5
+	if m.MaxSlots != 5 {
+		t.Errorf("MaxSlots = %d, want 5", m.MaxSlots)
+	}
+}
+
+func TestStringOperations(t *testing.T) {
+	src := `
+class C {
+	static void main() {
+		string s = "a" + 1 + 2.5 + true;
+		if (s == "a12.5true") {
+			System.println(s);
+		}
+		int n = Str.length(s);
+		s += "!";
+	}
+}`
+	if _, err := Check(MustParse(src)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorPreludeUsableWithCast(t *testing.T) {
+	src := `
+class Item { int v; Item(int v) { this.v = v; } }
+class Main {
+	static void main() {
+		Vector vec = new Vector();
+		vec.add(new Item(1));
+		Item i = (Item) vec.get(0);
+		System.println("" + i.v);
+	}
+}`
+	if _, err := Check(MustParse(src)); err != nil {
+		t.Fatal(err)
+	}
+}

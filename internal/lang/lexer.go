@@ -1,0 +1,317 @@
+package lang
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Lexer turns MJ source text into tokens.
+type Lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over src.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.pos+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.pos]
+	lx.pos++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) skipSpaceAndComments() error {
+	for lx.pos < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.pos < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			start := Pos{lx.line, lx.col}
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.pos < len(lx.src) {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return errf(start, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	tok := Token{Line: lx.line, Col: lx.col}
+	if lx.pos >= len(lx.src) {
+		tok.Kind = EOF
+		return tok, nil
+	}
+	c := lx.peek()
+	pos := Pos{lx.line, lx.col}
+
+	switch {
+	case isIdentStart(c):
+		start := lx.pos
+		for lx.pos < len(lx.src) && isIdentPart(lx.peek()) {
+			lx.advance()
+		}
+		tok.Text = lx.src[start:lx.pos]
+		if k, ok := keywords[tok.Text]; ok {
+			tok.Kind = k
+		} else {
+			tok.Kind = IDENT
+		}
+		return tok, nil
+
+	case unicode.IsDigit(rune(c)):
+		start := lx.pos
+		for lx.pos < len(lx.src) && unicode.IsDigit(rune(lx.peek())) {
+			lx.advance()
+		}
+		isFloat := false
+		if lx.peek() == '.' && unicode.IsDigit(rune(lx.peek2())) {
+			isFloat = true
+			lx.advance()
+			for lx.pos < len(lx.src) && unicode.IsDigit(rune(lx.peek())) {
+				lx.advance()
+			}
+		}
+		if lx.peek() == 'e' || lx.peek() == 'E' {
+			save := lx.pos
+			lx.advance()
+			if lx.peek() == '+' || lx.peek() == '-' {
+				lx.advance()
+			}
+			if unicode.IsDigit(rune(lx.peek())) {
+				isFloat = true
+				for lx.pos < len(lx.src) && unicode.IsDigit(rune(lx.peek())) {
+					lx.advance()
+				}
+			} else {
+				lx.pos = save
+			}
+		}
+		tok.Text = lx.src[start:lx.pos]
+		if isFloat {
+			tok.Kind = FLOATLIT
+			if lx.peek() == 'f' || lx.peek() == 'F' {
+				lx.advance()
+			}
+		} else if lx.peek() == 'L' || lx.peek() == 'l' {
+			lx.advance()
+			tok.Kind = LONGLIT
+		} else if lx.peek() == 'f' || lx.peek() == 'F' {
+			lx.advance()
+			tok.Kind = FLOATLIT
+		} else {
+			tok.Kind = INTLIT
+		}
+		return tok, nil
+
+	case c == '"':
+		lx.advance()
+		var sb strings.Builder
+		for {
+			if lx.pos >= len(lx.src) {
+				return Token{}, errf(pos, "unterminated string literal")
+			}
+			ch := lx.advance()
+			if ch == '"' {
+				break
+			}
+			if ch == '\\' {
+				if lx.pos >= len(lx.src) {
+					return Token{}, errf(pos, "unterminated escape")
+				}
+				esc := lx.advance()
+				switch esc {
+				case 'n':
+					sb.WriteByte('\n')
+				case 't':
+					sb.WriteByte('\t')
+				case '"':
+					sb.WriteByte('"')
+				case '\\':
+					sb.WriteByte('\\')
+				default:
+					return Token{}, errf(pos, "unknown escape \\%c", esc)
+				}
+				continue
+			}
+			if ch == '\n' {
+				return Token{}, errf(pos, "newline in string literal")
+			}
+			sb.WriteByte(ch)
+		}
+		tok.Kind = STRLIT
+		tok.Text = sb.String()
+		return tok, nil
+	}
+
+	// Operators and punctuation.
+	two := func(k Kind) (Token, error) {
+		lx.advance()
+		lx.advance()
+		tok.Kind = k
+		return tok, nil
+	}
+	one := func(k Kind) (Token, error) {
+		lx.advance()
+		tok.Kind = k
+		return tok, nil
+	}
+	d := lx.peek2()
+	switch c {
+	case '{':
+		return one(LBRACE)
+	case '}':
+		return one(RBRACE)
+	case '(':
+		return one(LPAREN)
+	case ')':
+		return one(RPAREN)
+	case '[':
+		return one(LBRACKET)
+	case ']':
+		return one(RBRACKET)
+	case ';':
+		return one(SEMI)
+	case ',':
+		return one(COMMA)
+	case '.':
+		return one(DOT)
+	case '+':
+		if d == '+' {
+			return two(INC)
+		}
+		if d == '=' {
+			return two(PLUSEQ)
+		}
+		return one(PLUS)
+	case '-':
+		if d == '-' {
+			return two(DEC)
+		}
+		if d == '=' {
+			return two(MINUSEQ)
+		}
+		return one(MINUS)
+	case '*':
+		if d == '=' {
+			return two(STAREQ)
+		}
+		return one(STAR)
+	case '/':
+		if d == '=' {
+			return two(SLASHEQ)
+		}
+		return one(SLASH)
+	case '%':
+		return one(PERCENT)
+	case '!':
+		if d == '=' {
+			return two(NE)
+		}
+		return one(NOT)
+	case '<':
+		if d == '=' {
+			return two(LE)
+		}
+		if d == '<' {
+			return two(SHL)
+		}
+		return one(LT)
+	case '>':
+		if d == '=' {
+			return two(GE)
+		}
+		if d == '>' {
+			return two(SHR)
+		}
+		return one(GT)
+	case '=':
+		if d == '=' {
+			return two(EQ)
+		}
+		return one(ASSIGN)
+	case '&':
+		if d == '&' {
+			return two(ANDAND)
+		}
+		return one(AND)
+	case '|':
+		if d == '|' {
+			return two(OROR)
+		}
+		return one(OR)
+	case '^':
+		return one(XOR)
+	}
+	return Token{}, errf(pos, "unexpected character %q", string(c))
+}
+
+// Tokenize lexes the entire input.
+func Tokenize(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var out []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.Kind == EOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,726 @@
+package lang
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parser is a recursive-descent parser for MJ.
+type Parser struct {
+	toks []Token
+	pos  int
+}
+
+// Parse parses a complete source unit.
+func Parse(src string) (*File, error) {
+	toks, err := Tokenize(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &Parser{toks: toks}
+	file := &File{}
+	for p.peek().Kind != EOF {
+		cd, err := p.classDecl()
+		if err != nil {
+			return nil, err
+		}
+		file.Classes = append(file.Classes, cd)
+	}
+	return file, nil
+}
+
+func (p *Parser) peek() Token { return p.toks[p.pos] }
+func (p *Parser) peekAt(k int) Token {
+	if p.pos+k >= len(p.toks) {
+		return p.toks[len(p.toks)-1]
+	}
+	return p.toks[p.pos+k]
+}
+func (p *Parser) next() Token {
+	t := p.toks[p.pos]
+	if t.Kind != EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) at(k Kind) bool { return p.peek().Kind == k }
+
+func (p *Parser) accept(k Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k Kind) (Token, error) {
+	t := p.peek()
+	if t.Kind != k {
+		return t, errf(Pos{t.Line, t.Col}, "expected %v, found %v %q", k, t.Kind, t.Text)
+	}
+	return p.next(), nil
+}
+
+func (p *Parser) posOf(t Token) Pos { return Pos{t.Line, t.Col} }
+
+func (p *Parser) classDecl() (*ClassDecl, error) {
+	kw, err := p.expect(KWCLASS)
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return nil, err
+	}
+	cd := &ClassDecl{Pos: p.posOf(kw), Name: name.Text}
+	if p.accept(KWEXTENDS) {
+		sup, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		cd.Super = sup.Text
+	}
+	if _, err := p.expect(LBRACE); err != nil {
+		return nil, err
+	}
+	for !p.at(RBRACE) && !p.at(EOF) {
+		if err := p.member(cd); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(RBRACE); err != nil {
+		return nil, err
+	}
+	return cd, nil
+}
+
+// member parses a field, method or constructor declaration.
+func (p *Parser) member(cd *ClassDecl) error {
+	start := p.peek()
+	static := p.accept(KWSTATIC)
+
+	// Constructor: IDENT(==class name) LPAREN
+	if p.at(IDENT) && p.peek().Text == cd.Name && p.peekAt(1).Kind == LPAREN {
+		if static {
+			return errf(p.posOf(start), "constructor cannot be static")
+		}
+		nameTok := p.next()
+		m := &MethodDecl{Pos: p.posOf(nameTok), IsCtor: true, Ret: TVoid, Name: "<init>"}
+		if err := p.paramsAndBody(m); err != nil {
+			return err
+		}
+		cd.Ctors = append(cd.Ctors, m)
+		return nil
+	}
+
+	typ, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	name, err := p.expect(IDENT)
+	if err != nil {
+		return err
+	}
+	if p.at(LPAREN) {
+		m := &MethodDecl{Pos: p.posOf(name), Static: static, Ret: typ, Name: name.Text}
+		if err := p.paramsAndBody(m); err != nil {
+			return err
+		}
+		cd.Methods = append(cd.Methods, m)
+		return nil
+	}
+	// Field.
+	if typ.Kind == KVoid {
+		return errf(p.posOf(name), "field %s cannot have void type", name.Text)
+	}
+	cd.Fields = append(cd.Fields, &FieldDecl{Pos: p.posOf(name), Static: static, Type: typ, Name: name.Text})
+	if _, err := p.expect(SEMI); err != nil {
+		return err
+	}
+	return nil
+}
+
+func (p *Parser) paramsAndBody(m *MethodDecl) error {
+	if _, err := p.expect(LPAREN); err != nil {
+		return err
+	}
+	for !p.at(RPAREN) {
+		typ, err := p.parseType()
+		if err != nil {
+			return err
+		}
+		if typ.Kind == KVoid {
+			return errf(Pos{p.peek().Line, p.peek().Col}, "parameter cannot be void")
+		}
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return err
+		}
+		m.Params = append(m.Params, Param{Type: typ, Name: name.Text})
+		if !p.accept(COMMA) {
+			break
+		}
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return err
+	}
+	body, err := p.block()
+	if err != nil {
+		return err
+	}
+	m.Body = body
+	return nil
+}
+
+// parseType parses a type: primitive | IDENT, each followed by [] pairs.
+func (p *Parser) parseType() (*Type, error) {
+	var base *Type
+	t := p.peek()
+	switch t.Kind {
+	case KWINT:
+		p.next()
+		base = TInt
+	case KWLONG:
+		p.next()
+		base = TLong
+	case KWFLOAT:
+		p.next()
+		base = TFloat
+	case KWBOOLEAN:
+		p.next()
+		base = TBool
+	case KWSTRING:
+		p.next()
+		base = TString
+	case KWVOID:
+		p.next()
+		base = TVoid
+	case IDENT:
+		p.next()
+		base = &Type{Kind: KClass, Class: t.Text}
+	default:
+		return nil, errf(p.posOf(t), "expected type, found %v %q", t.Kind, t.Text)
+	}
+	for p.at(LBRACKET) && p.peekAt(1).Kind == RBRACKET {
+		p.next()
+		p.next()
+		base = &Type{Kind: KArray, Elem: base}
+	}
+	return base, nil
+}
+
+func (p *Parser) block() (*Block, error) {
+	lb, err := p.expect(LBRACE)
+	if err != nil {
+		return nil, err
+	}
+	b := &Block{Pos: p.posOf(lb)}
+	for !p.at(RBRACE) && !p.at(EOF) {
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		b.Stmts = append(b.Stmts, s)
+	}
+	if _, err := p.expect(RBRACE); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// startsVarDecl reports whether the upcoming tokens begin a local
+// variable declaration.
+func (p *Parser) startsVarDecl() bool {
+	switch p.peek().Kind {
+	case KWINT, KWLONG, KWFLOAT, KWBOOLEAN, KWSTRING:
+		return true
+	case IDENT:
+		// "Foo x" or "Foo[] x" or "Foo[][] x"
+		k := 1
+		for p.peekAt(k).Kind == LBRACKET && p.peekAt(k+1).Kind == RBRACKET {
+			k += 2
+		}
+		return p.peekAt(k).Kind == IDENT
+	}
+	return false
+}
+
+func (p *Parser) statement() (Stmt, error) {
+	t := p.peek()
+	switch t.Kind {
+	case LBRACE:
+		return p.block()
+	case KWIF:
+		p.next()
+		if _, err := p.expect(LPAREN); err != nil {
+			return nil, err
+		}
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		then, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{Pos: p.posOf(t), Cond: cond, Then: then}
+		if p.accept(KWELSE) {
+			els, err := p.statement()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, nil
+	case KWWHILE:
+		p.next()
+		if _, err := p.expect(LPAREN); err != nil {
+			return nil, err
+		}
+		cond, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		body, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Pos: p.posOf(t), Cond: cond, Body: body}, nil
+	case KWFOR:
+		p.next()
+		if _, err := p.expect(LPAREN); err != nil {
+			return nil, err
+		}
+		st := &ForStmt{Pos: p.posOf(t)}
+		if !p.accept(SEMI) {
+			init, err := p.simpleStatement()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = init
+			if _, err := p.expect(SEMI); err != nil {
+				return nil, err
+			}
+		}
+		if !p.at(SEMI) {
+			cond, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			st.Cond = cond
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		if !p.at(RPAREN) {
+			post, err := p.simpleStatement()
+			if err != nil {
+				return nil, err
+			}
+			st.Post = post
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		body, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		st.Body = body
+		return st, nil
+	case KWRETURN:
+		p.next()
+		st := &ReturnStmt{Pos: p.posOf(t)}
+		if !p.at(SEMI) {
+			v, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			st.Value = v
+		}
+		if _, err := p.expect(SEMI); err != nil {
+			return nil, err
+		}
+		return st, nil
+	case SEMI:
+		p.next()
+		return &Block{Pos: p.posOf(t)}, nil
+	}
+	s, err := p.simpleStatement()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(SEMI); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// simpleStatement parses a declaration, assignment, inc/dec or
+// expression statement without the trailing semicolon (shared by
+// statement() and for-loop clauses).
+func (p *Parser) simpleStatement() (Stmt, error) {
+	t := p.peek()
+	if p.startsVarDecl() {
+		typ, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		name, err := p.expect(IDENT)
+		if err != nil {
+			return nil, err
+		}
+		st := &VarDeclStmt{Pos: p.posOf(t), Type: typ, Name: name.Text}
+		if p.accept(ASSIGN) {
+			init, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			st.Init = init
+		}
+		return st, nil
+	}
+	x, err := p.expression()
+	if err != nil {
+		return nil, err
+	}
+	switch p.peek().Kind {
+	case ASSIGN, PLUSEQ, MINUSEQ, STAREQ, SLASHEQ:
+		op := p.next().Kind
+		v, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Pos: p.posOf(t), Target: x, Op: op, Value: v}, nil
+	case INC:
+		p.next()
+		return &IncDecStmt{Pos: p.posOf(t), Target: x, Inc: true}, nil
+	case DEC:
+		p.next()
+		return &IncDecStmt{Pos: p.posOf(t), Target: x, Inc: false}, nil
+	}
+	return &ExprStmt{Pos: p.posOf(t), X: x}, nil
+}
+
+// Expression parsing: precedence climbing.
+
+var binPrec = map[Kind]int{
+	OROR:   1,
+	ANDAND: 2,
+	OR:     3,
+	XOR:    4,
+	AND:    5,
+	EQ:     6, NE: 6,
+	LT: 7, LE: 7, GT: 7, GE: 7, KWINSTANCEOF: 7,
+	SHL: 8, SHR: 8,
+	PLUS: 9, MINUS: 9,
+	STAR: 10, SLASH: 10, PERCENT: 10,
+}
+
+func (p *Parser) expression() (Expr, error) { return p.binary(1) }
+
+func (p *Parser) binary(minPrec int) (Expr, error) {
+	lhs, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op := p.peek()
+		prec, ok := binPrec[op.Kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.next()
+		if op.Kind == KWINSTANCEOF {
+			cls, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			lhs = &InstanceOfExpr{Pos: p.posOf(op), X: lhs, Class: cls.Text}
+			continue
+		}
+		rhs, err := p.binary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Pos: p.posOf(op), Op: op.Kind, L: lhs, R: rhs}
+	}
+}
+
+func (p *Parser) unary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case MINUS:
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: p.posOf(t), Op: MINUS, X: x}, nil
+	case NOT:
+		p.next()
+		x, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: p.posOf(t), Op: NOT, X: x}, nil
+	case LPAREN:
+		if typ, width, ok := p.peekCast(); ok {
+			for i := 0; i < width; i++ {
+				p.next()
+			}
+			x, err := p.unary()
+			if err != nil {
+				return nil, err
+			}
+			return &CastExpr{Pos: p.posOf(t), Target: typ, X: x}, nil
+		}
+	}
+	return p.postfix()
+}
+
+// peekCast checks for "(Type)" casts. Returns the cast type, how many
+// tokens the cast prefix spans, and whether a cast was recognised.
+func (p *Parser) peekCast() (*Type, int, bool) {
+	if !p.at(LPAREN) {
+		return nil, 0, false
+	}
+	k := 1
+	var base *Type
+	switch p.peekAt(k).Kind {
+	case KWINT:
+		base = TInt
+	case KWLONG:
+		base = TLong
+	case KWFLOAT:
+		base = TFloat
+	case KWBOOLEAN:
+		base = TBool
+	case KWSTRING:
+		base = TString
+	case IDENT:
+		base = &Type{Kind: KClass, Class: p.peekAt(k).Text}
+	default:
+		return nil, 0, false
+	}
+	isPrim := p.peekAt(k).Kind != IDENT
+	k++
+	arr := false
+	for p.peekAt(k).Kind == LBRACKET && p.peekAt(k+1).Kind == RBRACKET {
+		base = &Type{Kind: KArray, Elem: base}
+		arr = true
+		k += 2
+	}
+	if p.peekAt(k).Kind != RPAREN {
+		return nil, 0, false
+	}
+	k++
+	// "(x)" where x is a class name could be a parenthesised
+	// expression; treat as a cast only when followed by a token that
+	// begins an operand.
+	if !isPrim && !arr {
+		switch p.peekAt(k).Kind {
+		case IDENT, INTLIT, LONGLIT, FLOATLIT, STRLIT, KWTHIS, KWNEW, LPAREN, KWTRUE, KWFALSE, KWNULL:
+		default:
+			return nil, 0, false
+		}
+	}
+	return base, k, true
+}
+
+func (p *Parser) postfix() (Expr, error) {
+	x, err := p.primary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.peek().Kind {
+		case DOT:
+			p.next()
+			name, err := p.expect(IDENT)
+			if err != nil {
+				return nil, err
+			}
+			if p.at(LPAREN) {
+				args, err := p.argList()
+				if err != nil {
+					return nil, err
+				}
+				x = &CallExpr{Pos: p.posOf(name), Recv: x, Name: name.Text, Args: args}
+			} else {
+				x = &FieldAccess{Pos: p.posOf(name), Recv: x, Name: name.Text}
+			}
+		case LBRACKET:
+			lb := p.next()
+			idx, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBRACKET); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{Pos: p.posOf(lb), Arr: x, Index: idx}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *Parser) argList() ([]Expr, error) {
+	if _, err := p.expect(LPAREN); err != nil {
+		return nil, err
+	}
+	var args []Expr
+	for !p.at(RPAREN) {
+		a, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		args = append(args, a)
+		if !p.accept(COMMA) {
+			break
+		}
+	}
+	if _, err := p.expect(RPAREN); err != nil {
+		return nil, err
+	}
+	return args, nil
+}
+
+func (p *Parser) primary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case INTLIT:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, errf(p.posOf(t), "bad int literal %q: %v", t.Text, err)
+		}
+		return &IntLit{Pos: p.posOf(t), Value: v}, nil
+	case LONGLIT:
+		p.next()
+		v, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, errf(p.posOf(t), "bad long literal %q: %v", t.Text, err)
+		}
+		return &IntLit{Pos: p.posOf(t), Value: v, IsLong: true}, nil
+	case FLOATLIT:
+		p.next()
+		v, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, errf(p.posOf(t), "bad float literal %q: %v", t.Text, err)
+		}
+		return &FloatLit{Pos: p.posOf(t), Value: v}, nil
+	case STRLIT:
+		p.next()
+		return &StrLit{Pos: p.posOf(t), Value: t.Text}, nil
+	case KWTRUE:
+		p.next()
+		return &BoolLit{Pos: p.posOf(t), Value: true}, nil
+	case KWFALSE:
+		p.next()
+		return &BoolLit{Pos: p.posOf(t), Value: false}, nil
+	case KWNULL:
+		p.next()
+		return &NullLit{Pos: p.posOf(t)}, nil
+	case KWTHIS:
+		p.next()
+		return &ThisExpr{Pos: p.posOf(t)}, nil
+	case KWNEW:
+		p.next()
+		// new T[expr] or new C(args)
+		elem, err := p.parseNewBase()
+		if err != nil {
+			return nil, err
+		}
+		if p.at(LBRACKET) {
+			p.next()
+			length, err := p.expression()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(RBRACKET); err != nil {
+				return nil, err
+			}
+			// allow new T[n][] suffixes for nested array types
+			for p.at(LBRACKET) && p.peekAt(1).Kind == RBRACKET {
+				p.next()
+				p.next()
+				elem = &Type{Kind: KArray, Elem: elem}
+			}
+			return &NewArrayExpr{Pos: p.posOf(t), Elem: elem, Len: length}, nil
+		}
+		if elem.Kind != KClass {
+			return nil, errf(p.posOf(t), "cannot instantiate %s with new", elem)
+		}
+		args, err := p.argList()
+		if err != nil {
+			return nil, err
+		}
+		return &NewExpr{Pos: p.posOf(t), Class: elem.Class, Args: args}, nil
+	case LPAREN:
+		p.next()
+		x, err := p.expression()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(RPAREN); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case IDENT:
+		p.next()
+		if p.at(LPAREN) {
+			args, err := p.argList()
+			if err != nil {
+				return nil, err
+			}
+			return &CallExpr{Pos: p.posOf(t), Name: t.Text, Args: args}, nil
+		}
+		return &VarRef{Pos: p.posOf(t), Name: t.Text}, nil
+	}
+	return nil, errf(p.posOf(t), "unexpected %v %q in expression", t.Kind, t.Text)
+}
+
+// parseNewBase parses the element type after 'new'.
+func (p *Parser) parseNewBase() (*Type, error) {
+	t := p.peek()
+	switch t.Kind {
+	case KWINT:
+		p.next()
+		return TInt, nil
+	case KWLONG:
+		p.next()
+		return TLong, nil
+	case KWFLOAT:
+		p.next()
+		return TFloat, nil
+	case KWBOOLEAN:
+		p.next()
+		return TBool, nil
+	case KWSTRING:
+		p.next()
+		return TString, nil
+	case IDENT:
+		p.next()
+		return &Type{Kind: KClass, Class: t.Text}, nil
+	}
+	return nil, errf(p.posOf(t), "expected type after 'new', found %v", t.Kind)
+}
+
+// MustParse parses src and panics on error (used by tests and embedded
+// library sources).
+func MustParse(src string) *File {
+	f, err := Parse(src)
+	if err != nil {
+		panic(fmt.Sprintf("lang: MustParse: %v", err))
+	}
+	return f
+}

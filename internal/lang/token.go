@@ -1,0 +1,152 @@
+// Package lang implements the front-end for MJ, the Java-like object
+// language used throughout the reproduction. MJ plays the role Java
+// plays in the paper: programs are written in MJ, compiled to bytecode
+// (package bytecode), and the distribution infrastructure operates on
+// the bytecode, never on MJ source.
+//
+// The language is a Java subset: classes with single inheritance rooted
+// at an implicit Object class, instance and static fields and methods,
+// constructors, virtual dispatch, int/long/float/boolean/string
+// primitives, one-dimensional arrays, and the usual statement and
+// expression forms. This is exactly the surface the paper's analyses
+// need — allocation sites, field accesses and method calls between
+// classes.
+package lang
+
+import "fmt"
+
+// Kind classifies tokens.
+type Kind int
+
+// Token kinds.
+const (
+	EOF Kind = iota
+	IDENT
+	INTLIT   // 123
+	LONGLIT  // 123L
+	FLOATLIT // 1.5
+	STRLIT   // "abc"
+
+	// Keywords.
+	KWCLASS
+	KWEXTENDS
+	KWSTATIC
+	KWINT
+	KWLONG
+	KWFLOAT
+	KWBOOLEAN
+	KWSTRING
+	KWVOID
+	KWIF
+	KWELSE
+	KWWHILE
+	KWFOR
+	KWRETURN
+	KWNEW
+	KWTHIS
+	KWTRUE
+	KWFALSE
+	KWNULL
+	KWINSTANCEOF
+
+	// Punctuation and operators.
+	LBRACE
+	RBRACE
+	LPAREN
+	RPAREN
+	LBRACKET
+	RBRACKET
+	SEMI
+	COMMA
+	DOT
+	ASSIGN  // =
+	PLUS    // +
+	MINUS   // -
+	STAR    // *
+	SLASH   // /
+	PERCENT // %
+	NOT     // !
+	LT      // <
+	LE      // <=
+	GT      // >
+	GE      // >=
+	EQ      // ==
+	NE      // !=
+	ANDAND  // &&
+	OROR    // ||
+	AND     // &
+	OR      // |
+	XOR     // ^
+	SHL     // <<
+	SHR     // >>
+	PLUSEQ  // +=
+	MINUSEQ // -=
+	STAREQ  // *=
+	SLASHEQ // /=
+	INC     // ++
+	DEC     // --
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", IDENT: "identifier", INTLIT: "int literal", LONGLIT: "long literal",
+	FLOATLIT: "float literal", STRLIT: "string literal",
+	KWCLASS: "'class'", KWEXTENDS: "'extends'", KWSTATIC: "'static'",
+	KWINT: "'int'", KWLONG: "'long'", KWFLOAT: "'float'", KWBOOLEAN: "'boolean'",
+	KWSTRING: "'string'", KWVOID: "'void'", KWIF: "'if'", KWELSE: "'else'",
+	KWWHILE: "'while'", KWFOR: "'for'", KWRETURN: "'return'", KWNEW: "'new'",
+	KWTHIS: "'this'", KWTRUE: "'true'", KWFALSE: "'false'", KWNULL: "'null'",
+	KWINSTANCEOF: "'instanceof'",
+	LBRACE:       "'{'", RBRACE: "'}'", LPAREN: "'('", RPAREN: "')'",
+	LBRACKET: "'['", RBRACKET: "']'", SEMI: "';'", COMMA: "','", DOT: "'.'",
+	ASSIGN: "'='", PLUS: "'+'", MINUS: "'-'", STAR: "'*'", SLASH: "'/'",
+	PERCENT: "'%'", NOT: "'!'", LT: "'<'", LE: "'<='", GT: "'>'", GE: "'>='",
+	EQ: "'=='", NE: "'!='", ANDAND: "'&&'", OROR: "'||'", AND: "'&'",
+	OR: "'|'", XOR: "'^'", SHL: "'<<'", SHR: "'>>'",
+	PLUSEQ: "'+='", MINUSEQ: "'-='", STAREQ: "'*='", SLASHEQ: "'/='",
+	INC: "'++'", DEC: "'--'",
+}
+
+// String returns a human-readable token-kind name.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+var keywords = map[string]Kind{
+	"class": KWCLASS, "extends": KWEXTENDS, "static": KWSTATIC,
+	"int": KWINT, "long": KWLONG, "float": KWFLOAT, "boolean": KWBOOLEAN,
+	"string": KWSTRING, "void": KWVOID, "if": KWIF, "else": KWELSE,
+	"while": KWWHILE, "for": KWFOR, "return": KWRETURN, "new": KWNEW,
+	"this": KWTHIS, "true": KWTRUE, "false": KWFALSE, "null": KWNULL,
+	"instanceof": KWINSTANCEOF,
+}
+
+// Token is one lexical token.
+type Token struct {
+	Kind Kind
+	Text string
+	Line int
+	Col  int
+}
+
+// Pos identifies a source location for diagnostics.
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Error is a front-end diagnostic with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,643 @@
+// Package partition implements the graph-partitioning phase of the
+// distribution pipeline (paper §3).
+//
+// The paper delegates this phase to the Metis library through a Java
+// wrapper; this package reimplements the same multilevel scheme natively:
+// heavy-edge-matching coarsening, greedy region-growing initial
+// partitioning, and Kernighan–Lin/Fiduccia–Mattheyses boundary refinement,
+// generalised to multi-constraint vertex weights (vectors over
+// memory/CPU/battery) exactly as the multi-constraint Metis variant the
+// paper invokes. Simpler baselines (flat KL, round-robin, random) are
+// provided for the ablation benchmarks.
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"autodist/internal/graph"
+)
+
+// Method selects a partitioning algorithm.
+type Method int
+
+// Available partitioning methods.
+const (
+	// Multilevel is the Metis-style multilevel recursive-bisection
+	// scheme. This is the default and what the paper's pipeline uses.
+	Multilevel Method = iota
+	// FlatKL runs Kernighan–Lin refinement on a greedy initial
+	// partition without coarsening (ablation baseline).
+	FlatKL
+	// RoundRobin assigns vertex i to partition i mod k (naive
+	// baseline; the paper's §7.2 speedups use a "suboptimal naive
+	// partitioning").
+	RoundRobin
+	// Random assigns vertices uniformly at random (baseline).
+	Random
+)
+
+// String returns the method name.
+func (m Method) String() string {
+	switch m {
+	case Multilevel:
+		return "multilevel"
+	case FlatKL:
+		return "flat-kl"
+	case RoundRobin:
+		return "round-robin"
+	case Random:
+		return "random"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Options configures a partitioning run.
+type Options struct {
+	// K is the number of partitions (virtual processors). K ≥ 1.
+	K int
+	// Epsilon is the allowed per-dimension load imbalance: every
+	// partition's weight in every dimension must stay below
+	// (1+Epsilon)·(total/K). Defaults to 0.3 when zero, mirroring
+	// Metis' relaxed multi-constraint default.
+	Epsilon float64
+	// Seed makes runs reproducible. The zero seed is valid.
+	Seed int64
+	// Method selects the algorithm; the zero value is Multilevel.
+	Method Method
+	// CoarsenTo stops coarsening once the graph has at most this many
+	// vertices. Defaults to max(20, 4·K).
+	CoarsenTo int
+	// Refinements is the number of FM passes per uncoarsening level.
+	// Defaults to 4.
+	Refinements int
+}
+
+func (o Options) withDefaults() Options {
+	if o.K < 1 {
+		o.K = 1
+	}
+	if o.Epsilon <= 0 {
+		o.Epsilon = 0.3
+	}
+	if o.CoarsenTo <= 0 {
+		o.CoarsenTo = 20
+		if 4*o.K > o.CoarsenTo {
+			o.CoarsenTo = 4 * o.K
+		}
+	}
+	if o.Refinements <= 0 {
+		o.Refinements = 4
+	}
+	return o
+}
+
+// Result describes a computed partition.
+type Result struct {
+	// Parts maps each vertex ID to its partition in [0,K).
+	Parts []int
+	// EdgeCut is the total weight of edges straddling partitions.
+	EdgeCut int64
+	// CutEdges is the number of edges straddling partitions.
+	CutEdges int
+	// PartWeights is the per-partition, per-dimension weight sum.
+	PartWeights [][]int64
+	// Imbalance is the worst ratio, over dimensions, of
+	// max-part-weight to ideal (total/K).
+	Imbalance float64
+}
+
+// Partition computes a K-way partition of g and writes the assignment
+// back into the graph's vertices (Vertex.Part) in addition to returning
+// it in the Result.
+func Partition(g *graph.Graph, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	n := g.NumVertices()
+	if n == 0 {
+		return &Result{Parts: nil, PartWeights: make([][]int64, 0)}, nil
+	}
+	if opts.K > n {
+		opts.K = n
+	}
+	var parts []int
+	rng := rand.New(rand.NewSource(opts.Seed))
+	switch opts.Method {
+	case RoundRobin:
+		parts = make([]int, n)
+		for i := range parts {
+			parts[i] = i % opts.K
+		}
+	case Random:
+		parts = make([]int, n)
+		for i := range parts {
+			parts[i] = rng.Intn(opts.K)
+		}
+	case FlatKL:
+		wg := buildWorkGraph(g)
+		parts = kwayRecursive(wg, opts, rng, false)
+	default:
+		wg := buildWorkGraph(g)
+		parts = kwayRecursive(wg, opts, rng, true)
+	}
+	g.SetParts(parts)
+	res := summarize(g, parts, opts.K)
+	return res, nil
+}
+
+func summarize(g *graph.Graph, parts []int, k int) *Result {
+	res := &Result{
+		Parts:       parts,
+		EdgeCut:     g.EdgeCut(),
+		CutEdges:    g.CutEdges(),
+		PartWeights: g.PartWeights(k),
+	}
+	tot := g.TotalVertexWeight()
+	for d := 0; d < g.Dims(); d++ {
+		if tot[d] == 0 {
+			continue
+		}
+		ideal := float64(tot[d]) / float64(k)
+		for p := 0; p < k; p++ {
+			r := float64(res.PartWeights[p][d]) / ideal
+			if r > res.Imbalance {
+				res.Imbalance = r
+			}
+		}
+	}
+	return res
+}
+
+// workGraph is the internal undirected weighted representation used by
+// the multilevel algorithm. Parallel edges of the input are collapsed and
+// self-loops dropped.
+type workGraph struct {
+	n    int
+	dims int
+	vwgt [][]int64 // n × dims vertex weights
+	adj  []map[int]int64
+	// vmap maps work-graph vertices back to finer-graph vertices
+	// (coarsening groups); nil at the finest level.
+	groups [][]int
+}
+
+func buildWorkGraph(g *graph.Graph) *workGraph {
+	n := g.NumVertices()
+	dims := g.Dims()
+	if dims == 0 {
+		dims = 1
+	}
+	wg := &workGraph{n: n, dims: dims}
+	wg.vwgt = make([][]int64, n)
+	wg.adj = make([]map[int]int64, n)
+	for i := 0; i < n; i++ {
+		v := g.Vertex(i)
+		w := make([]int64, dims)
+		copy(w, v.Weights)
+		// Guarantee every vertex has nonzero primary weight so
+		// balance targets stay meaningful even for unweighted
+		// graphs.
+		if len(v.Weights) == 0 || allZero(w) {
+			w[0] = 1
+		}
+		wg.vwgt[i] = w
+		wg.adj[i] = make(map[int]int64)
+	}
+	for _, e := range g.Edges() {
+		if e.From == e.To {
+			continue
+		}
+		w := e.Weight
+		if w <= 0 {
+			w = 1
+		}
+		wg.adj[e.From][e.To] += w
+		wg.adj[e.To][e.From] += w
+	}
+	return wg
+}
+
+func allZero(w []int64) bool {
+	for _, x := range w {
+		if x != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (wg *workGraph) totalWeight() []int64 {
+	tot := make([]int64, wg.dims)
+	for _, w := range wg.vwgt {
+		for d, x := range w {
+			tot[d] += x
+		}
+	}
+	return tot
+}
+
+// kwayRecursive partitions wg into opts.K parts by recursive bisection.
+// When multilevel is false the bisections skip coarsening (flat KL).
+func kwayRecursive(wg *workGraph, opts Options, rng *rand.Rand, multilevel bool) []int {
+	parts := make([]int, wg.n)
+	verts := make([]int, wg.n)
+	for i := range verts {
+		verts[i] = i
+	}
+	recurse(wg, verts, 0, opts.K, parts, opts, rng, multilevel)
+	return parts
+}
+
+// recurse assigns partitions [base, base+k) to the sub-graph induced by
+// verts.
+func recurse(wg *workGraph, verts []int, base, k int, parts []int, opts Options, rng *rand.Rand, multilevel bool) {
+	if k == 1 || len(verts) <= 1 {
+		for _, v := range verts {
+			parts[v] = base
+		}
+		if k > 1 && len(verts) == 1 {
+			// degenerate: one vertex, many parts requested
+			parts[verts[0]] = base
+		}
+		return
+	}
+	kl := (k + 1) / 2
+	kr := k - kl
+	frac := float64(kl) / float64(k)
+
+	sub := induce(wg, verts)
+	var side []int
+	if multilevel {
+		side = multilevelBisect(sub, frac, opts, rng)
+	} else {
+		side = flatBisect(sub, frac, opts, rng)
+	}
+	var left, right []int
+	for i, v := range verts {
+		if side[i] == 0 {
+			left = append(left, v)
+		} else {
+			right = append(right, v)
+		}
+	}
+	recurse(wg, left, base, kl, parts, opts, rng, multilevel)
+	recurse(wg, right, base+kl, kr, parts, opts, rng, multilevel)
+}
+
+// induce builds the sub-workGraph over the given vertices (in order).
+func induce(wg *workGraph, verts []int) *workGraph {
+	idx := make(map[int]int, len(verts))
+	for i, v := range verts {
+		idx[v] = i
+	}
+	sub := &workGraph{n: len(verts), dims: wg.dims}
+	sub.vwgt = make([][]int64, len(verts))
+	sub.adj = make([]map[int]int64, len(verts))
+	for i, v := range verts {
+		sub.vwgt[i] = wg.vwgt[v]
+		sub.adj[i] = make(map[int]int64)
+	}
+	for i, v := range verts {
+		for u, w := range wg.adj[v] {
+			if j, ok := idx[u]; ok {
+				sub.adj[i][j] = w
+			}
+		}
+	}
+	return sub
+}
+
+// multilevelBisect coarsens, bisects the coarsest graph, then uncoarsens
+// with FM refinement at every level. frac is the target weight fraction
+// of side 0. The returned slice assigns 0 or 1 to each vertex of wg.
+func multilevelBisect(wg *workGraph, frac float64, opts Options, rng *rand.Rand) []int {
+	// Build the coarsening hierarchy.
+	levels := []*workGraph{wg}
+	maps := [][]int{} // maps[i]: vertex of levels[i] → vertex of levels[i+1]
+	cur := wg
+	for cur.n > opts.CoarsenTo {
+		next, cmap := coarsen(cur, rng)
+		if next.n >= cur.n { // no progress; stop
+			break
+		}
+		levels = append(levels, next)
+		maps = append(maps, cmap)
+		cur = next
+	}
+	// Initial bisection at the coarsest level.
+	coarsest := levels[len(levels)-1]
+	side := greedyGrow(coarsest, frac, rng)
+	refineFM(coarsest, side, frac, opts)
+	// Project back up, refining at each level.
+	for i := len(levels) - 2; i >= 0; i-- {
+		fine := levels[i]
+		cmap := maps[i]
+		fineSide := make([]int, fine.n)
+		for v := 0; v < fine.n; v++ {
+			fineSide[v] = side[cmap[v]]
+		}
+		side = fineSide
+		refineFM(fine, side, frac, opts)
+	}
+	return side
+}
+
+func flatBisect(wg *workGraph, frac float64, opts Options, rng *rand.Rand) []int {
+	side := greedyGrow(wg, frac, rng)
+	refineFM(wg, side, frac, opts)
+	return side
+}
+
+// coarsen contracts a heavy-edge matching of wg and returns the coarser
+// graph plus the vertex map.
+func coarsen(wg *workGraph, rng *rand.Rand) (*workGraph, []int) {
+	order := rng.Perm(wg.n)
+	match := make([]int, wg.n)
+	for i := range match {
+		match[i] = -1
+	}
+	// Heavy-edge matching: visit vertices in random order, match each
+	// unmatched vertex with its unmatched neighbor of maximum edge
+	// weight (ties broken by lower index for determinism).
+	for _, v := range order {
+		if match[v] >= 0 {
+			continue
+		}
+		best, bestW := -1, int64(-1)
+		nbrs := sortedNeighbors(wg.adj[v])
+		for _, u := range nbrs {
+			if u == v || match[u] >= 0 {
+				continue
+			}
+			if w := wg.adj[v][u]; w > bestW {
+				best, bestW = u, w
+			}
+		}
+		if best >= 0 {
+			match[v] = best
+			match[best] = v
+		} else {
+			match[v] = v
+		}
+	}
+	// Assign coarse ids.
+	cmap := make([]int, wg.n)
+	for i := range cmap {
+		cmap[i] = -1
+	}
+	cn := 0
+	for v := 0; v < wg.n; v++ {
+		if cmap[v] >= 0 {
+			continue
+		}
+		cmap[v] = cn
+		if u := match[v]; u != v && u >= 0 {
+			cmap[u] = cn
+		}
+		cn++
+	}
+	coarse := &workGraph{n: cn, dims: wg.dims}
+	coarse.vwgt = make([][]int64, cn)
+	coarse.adj = make([]map[int]int64, cn)
+	for i := 0; i < cn; i++ {
+		coarse.vwgt[i] = make([]int64, wg.dims)
+		coarse.adj[i] = make(map[int]int64)
+	}
+	for v := 0; v < wg.n; v++ {
+		cv := cmap[v]
+		for d, w := range wg.vwgt[v] {
+			coarse.vwgt[cv][d] += w
+		}
+		for u, w := range wg.adj[v] {
+			cu := cmap[u]
+			if cu != cv {
+				coarse.adj[cv][cu] += w
+			}
+		}
+	}
+	return coarse, cmap
+}
+
+func sortedNeighbors(m map[int]int64) []int {
+	out := make([]int, 0, len(m))
+	for u := range m {
+		out = append(out, u)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// greedyGrow produces an initial bisection by growing a region from a
+// pseudo-peripheral seed vertex via best-first search until side 0 holds
+// roughly frac of the primary-dimension weight.
+func greedyGrow(wg *workGraph, frac float64, rng *rand.Rand) []int {
+	side := make([]int, wg.n)
+	for i := range side {
+		side[i] = 1
+	}
+	tot := wg.totalWeight()
+	target := int64(float64(tot[0]) * frac)
+	if target <= 0 {
+		target = 1
+	}
+	// Pseudo-peripheral seed: BFS twice from a random start.
+	seed := rng.Intn(wg.n)
+	seed = farthest(wg, seed)
+	seed = farthest(wg, seed)
+
+	var grown int64
+	// Best-first growth: frontier ordered by connection weight to the
+	// grown region (descending) so the region stays compact.
+	inSide := make([]bool, wg.n)
+	gain := make([]int64, wg.n)
+	frontier := map[int]bool{seed: true}
+	for grown < target && len(frontier) > 0 {
+		// pick frontier vertex with max gain (ties: lowest id)
+		best := -1
+		var bestG int64 = -1 << 62
+		keys := make([]int, 0, len(frontier))
+		for v := range frontier {
+			keys = append(keys, v)
+		}
+		sort.Ints(keys)
+		for _, v := range keys {
+			if gain[v] > bestG {
+				best, bestG = v, gain[v]
+			}
+		}
+		v := best
+		delete(frontier, v)
+		inSide[v] = true
+		side[v] = 0
+		grown += wg.vwgt[v][0]
+		for u, w := range wg.adj[v] {
+			if !inSide[u] {
+				gain[u] += w
+				frontier[u] = true
+			}
+		}
+	}
+	// If the graph is disconnected and we ran out of frontier before
+	// reaching the target, add remaining lightest vertices.
+	if grown < target {
+		rest := make([]int, 0, wg.n)
+		for v := 0; v < wg.n; v++ {
+			if !inSide[v] {
+				rest = append(rest, v)
+			}
+		}
+		sort.Slice(rest, func(i, j int) bool { return wg.vwgt[rest[i]][0] < wg.vwgt[rest[j]][0] })
+		for _, v := range rest {
+			if grown >= target {
+				break
+			}
+			side[v] = 0
+			grown += wg.vwgt[v][0]
+		}
+	}
+	return side
+}
+
+func farthest(wg *workGraph, from int) int {
+	dist := make([]int, wg.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[from] = 0
+	queue := []int{from}
+	last := from
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		last = v
+		for _, u := range sortedNeighbors(wg.adj[v]) {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return last
+}
+
+// refineFM performs Fiduccia–Mattheyses-style passes: repeatedly move the
+// boundary vertex with the highest cut-reduction gain whose move keeps
+// every weight dimension within the balance envelope, with hill-climbing
+// (moves may be temporarily negative; the best prefix of the move
+// sequence is kept).
+func refineFM(wg *workGraph, side []int, frac float64, opts Options) {
+	tot := wg.totalWeight()
+	target := make([][]float64, 2)
+	target[0] = make([]float64, wg.dims)
+	target[1] = make([]float64, wg.dims)
+	for d := 0; d < wg.dims; d++ {
+		target[0][d] = float64(tot[d]) * frac
+		target[1][d] = float64(tot[d]) * (1 - frac)
+	}
+	maxW := func(p int, d int) float64 {
+		return target[p][d]*(1+opts.Epsilon) + 1
+	}
+
+	cur := make([][]int64, 2)
+	cur[0] = make([]int64, wg.dims)
+	cur[1] = make([]int64, wg.dims)
+	for v := 0; v < wg.n; v++ {
+		for d, w := range wg.vwgt[v] {
+			cur[side[v]][d] += w
+		}
+	}
+
+	for pass := 0; pass < opts.Refinements; pass++ {
+		moved := make([]bool, wg.n)
+		type move struct {
+			v    int
+			gain int64
+		}
+		var seq []move
+		var cumulative, best int64
+		bestIdx := -1
+
+		// gains
+		gain := make([]int64, wg.n)
+		for v := 0; v < wg.n; v++ {
+			gain[v] = moveGain(wg, side, v)
+		}
+
+		for step := 0; step < wg.n; step++ {
+			// pick best unmoved vertex whose move keeps balance
+			bestV := -1
+			var bestG int64 = -1 << 62
+			for v := 0; v < wg.n; v++ {
+				if moved[v] {
+					continue
+				}
+				to := 1 - side[v]
+				ok := true
+				for d, w := range wg.vwgt[v] {
+					if float64(cur[to][d]+w) > maxW(to, d) {
+						ok = false
+						break
+					}
+				}
+				if !ok {
+					continue
+				}
+				if gain[v] > bestG {
+					bestV, bestG = v, gain[v]
+				}
+			}
+			if bestV < 0 {
+				break
+			}
+			v := bestV
+			from, to := side[v], 1-side[v]
+			moved[v] = true
+			side[v] = to
+			for d, w := range wg.vwgt[v] {
+				cur[from][d] -= w
+				cur[to][d] += w
+			}
+			cumulative += bestG
+			seq = append(seq, move{v, bestG})
+			if cumulative > best {
+				best = cumulative
+				bestIdx = len(seq) - 1
+			}
+			// update neighbor gains
+			for u, w := range wg.adj[v] {
+				if side[u] == side[v] {
+					gain[u] -= 2 * w
+				} else {
+					gain[u] += 2 * w
+				}
+			}
+		}
+		// roll back past the best prefix
+		for i := len(seq) - 1; i > bestIdx; i-- {
+			v := seq[i].v
+			from, to := side[v], 1-side[v]
+			side[v] = to
+			for d, w := range wg.vwgt[v] {
+				cur[from][d] -= w
+				cur[to][d] += w
+			}
+		}
+		if best <= 0 {
+			break
+		}
+	}
+}
+
+// moveGain returns the edgecut reduction from moving v to the other side.
+func moveGain(wg *workGraph, side []int, v int) int64 {
+	var ext, int64v int64
+	for u, w := range wg.adj[v] {
+		if side[u] == side[v] {
+			int64v += w
+		} else {
+			ext += w
+		}
+	}
+	return ext - int64v
+}

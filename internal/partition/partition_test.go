@@ -1,0 +1,279 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"autodist/internal/graph"
+)
+
+// ring builds a cycle of n unit-weight vertices with unit-weight edges.
+func ring(n int) *graph.Graph {
+	g := graph.New("ring")
+	for i := 0; i < n; i++ {
+		g.AddVertex("v", 1)
+	}
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n, 1, graph.KindPlain)
+	}
+	return g
+}
+
+// twoClusters builds two dense cliques of size n joined by a single
+// light bridge edge — the canonical partitioning testcase.
+func twoClusters(n int) *graph.Graph {
+	g := graph.New("clusters")
+	for i := 0; i < 2*n; i++ {
+		g.AddVertex("v", 1)
+	}
+	for c := 0; c < 2; c++ {
+		base := c * n
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				g.AddEdge(base+i, base+j, 10, graph.KindPlain)
+			}
+		}
+	}
+	g.AddEdge(0, n, 1, graph.KindPlain) // bridge
+	return g
+}
+
+func TestBisectTwoClustersFindsBridge(t *testing.T) {
+	for _, m := range []Method{Multilevel, FlatKL} {
+		g := twoClusters(8)
+		res, err := Partition(g, Options{K: 2, Seed: 1, Method: m})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.EdgeCut != 1 {
+			t.Errorf("%v: edgecut = %d, want 1 (bridge only)", m, res.EdgeCut)
+		}
+		// all of cluster 0 on one side, cluster 1 on the other
+		p0 := res.Parts[0]
+		for i := 1; i < 8; i++ {
+			if res.Parts[i] != p0 {
+				t.Errorf("%v: cluster 0 split: %v", m, res.Parts)
+				break
+			}
+		}
+	}
+}
+
+func TestBalanceRespectedOnRing(t *testing.T) {
+	g := ring(64)
+	res, err := Partition(g, Options{K: 4, Seed: 7, Epsilon: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 4; p++ {
+		w := res.PartWeights[p][0]
+		if w < 8 || w > 24 {
+			t.Errorf("partition %d weight %d badly unbalanced: %v", p, w, res.PartWeights)
+		}
+	}
+	// A ring cut into 4 contiguous arcs needs exactly 4 cut edges;
+	// allow a little slack but far less than random (~48).
+	if res.EdgeCut > 10 {
+		t.Errorf("ring 4-way edgecut = %d, want small (ideal 4)", res.EdgeCut)
+	}
+}
+
+func TestKOneAssignsEverythingToZero(t *testing.T) {
+	g := ring(10)
+	res, err := Partition(g, Options{K: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range res.Parts {
+		if p != 0 {
+			t.Fatalf("vertex %d in part %d, want 0", i, p)
+		}
+	}
+	if res.EdgeCut != 0 {
+		t.Errorf("K=1 edgecut = %d, want 0", res.EdgeCut)
+	}
+}
+
+func TestKGreaterThanN(t *testing.T) {
+	g := ring(3)
+	res, err := Partition(g, Options{K: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Parts) != 3 {
+		t.Fatalf("got %d parts entries, want 3", len(res.Parts))
+	}
+	for _, p := range res.Parts {
+		if p < 0 || p >= 3 {
+			t.Errorf("part %d out of clamped range [0,3)", p)
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	g := graph.New("empty")
+	res, err := Partition(g, Options{K: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Parts) != 0 {
+		t.Fatalf("expected empty parts, got %v", res.Parts)
+	}
+}
+
+func TestRoundRobinAndRandomCoverAllParts(t *testing.T) {
+	g := ring(40)
+	res, err := Partition(g, Options{K: 4, Method: RoundRobin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range res.Parts {
+		if p != i%4 {
+			t.Fatalf("round-robin vertex %d → %d, want %d", i, p, i%4)
+		}
+	}
+	res, err = Partition(g, Options{K: 4, Method: Random, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, p := range res.Parts {
+		if p < 0 || p >= 4 {
+			t.Fatalf("random part %d out of range", p)
+		}
+		seen[p] = true
+	}
+	if len(seen) < 2 {
+		t.Errorf("random over 40 vertices hit only %d parts", len(seen))
+	}
+}
+
+func TestMultiConstraintBalance(t *testing.T) {
+	// Two weight dimensions pulling in different directions: vertices
+	// alternate heavy-mem/light-cpu and light-mem/heavy-cpu. A
+	// partition balanced on one dimension only would be badly off on
+	// the other; multi-constraint must balance both.
+	g := graph.New("mc")
+	const n = 32
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			g.AddVertex("mem", 10, 1)
+		} else {
+			g.AddVertex("cpu", 1, 10)
+		}
+	}
+	for i := 0; i < n; i++ {
+		g.AddEdge(i, (i+1)%n, 1, graph.KindPlain)
+	}
+	res, err := Partition(g, Options{K: 2, Seed: 5, Epsilon: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := g.TotalVertexWeight()
+	for d := 0; d < 2; d++ {
+		ideal := float64(tot[d]) / 2
+		for p := 0; p < 2; p++ {
+			r := float64(res.PartWeights[p][d]) / ideal
+			if r > 1.5 {
+				t.Errorf("dim %d part %d imbalance %.2f: weights %v", d, p, r, res.PartWeights)
+			}
+		}
+	}
+}
+
+func TestMultilevelBeatsRandomOnEdgeCut(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	// Random geometric-ish community graph: 4 communities of 25.
+	g := graph.New("comm")
+	const cs, k = 25, 4
+	for i := 0; i < cs*k; i++ {
+		g.AddVertex("v", 1)
+	}
+	for c := 0; c < k; c++ {
+		base := c * cs
+		for i := 0; i < cs*4; i++ {
+			a, b := base+rng.Intn(cs), base+rng.Intn(cs)
+			if a != b {
+				g.AddEdge(a, b, 5, graph.KindPlain)
+			}
+		}
+	}
+	for i := 0; i < 30; i++ { // sparse inter-community noise
+		a, b := rng.Intn(cs*k), rng.Intn(cs*k)
+		if a/cs != b/cs {
+			g.AddEdge(a, b, 1, graph.KindPlain)
+		}
+	}
+	ml, err := Partition(g.Clone(), Options{K: k, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := Partition(g.Clone(), Options{K: k, Seed: 9, Method: Random})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ml.EdgeCut >= rd.EdgeCut {
+		t.Errorf("multilevel cut %d not better than random cut %d", ml.EdgeCut, rd.EdgeCut)
+	}
+	if ml.EdgeCut > rd.EdgeCut/3 {
+		t.Errorf("multilevel cut %d not substantially better than random %d", ml.EdgeCut, rd.EdgeCut)
+	}
+}
+
+func TestDeterministicForFixedSeed(t *testing.T) {
+	g1 := twoClusters(10)
+	g2 := twoClusters(10)
+	r1, _ := Partition(g1, Options{K: 2, Seed: 11})
+	r2, _ := Partition(g2, Options{K: 2, Seed: 11})
+	for i := range r1.Parts {
+		if r1.Parts[i] != r2.Parts[i] {
+			t.Fatalf("non-deterministic partitioning at vertex %d", i)
+		}
+	}
+}
+
+// Property: every vertex lands in [0,K), and partition weights sum to the
+// graph total, for arbitrary small graphs.
+func TestPartitionInvariants(t *testing.T) {
+	f := func(edges []uint8, kRaw uint8) bool {
+		n := 12
+		k := int(kRaw)%4 + 1
+		g := graph.New("q")
+		for i := 0; i < n; i++ {
+			g.AddVertex("v", int64(i%3)+1)
+		}
+		for i, e := range edges {
+			g.AddEdge(i%n, int(e)%n, int64(e%7)+1, graph.KindPlain)
+		}
+		res, err := Partition(g, Options{K: k, Seed: int64(kRaw)})
+		if err != nil {
+			return false
+		}
+		var sum int64
+		for p := 0; p < k; p++ {
+			sum += res.PartWeights[p][0]
+		}
+		tot := g.TotalVertexWeight()
+		if sum != tot[0] {
+			return false
+		}
+		for _, p := range res.Parts {
+			if p < 0 || p >= k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMethodStrings(t *testing.T) {
+	for m, want := range map[Method]string{Multilevel: "multilevel", FlatKL: "flat-kl", RoundRobin: "round-robin", Random: "random"} {
+		if m.String() != want {
+			t.Errorf("Method.String() = %q, want %q", m.String(), want)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package profiler_test
+
+import (
+	"strings"
+	"testing"
+
+	"autodist/internal/compile"
+	"autodist/internal/profiler"
+	"autodist/internal/vm"
+)
+
+const workSource = `
+class Worker {
+	int hot(int n) {
+		int s = 0;
+		for (int i = 0; i < n; i++) { s += i * i; }
+		return s;
+	}
+	int cold(int n) { return n + 1; }
+}
+class Main {
+	static void main() {
+		Worker w = new Worker();
+		int total = 0;
+		for (int i = 0; i < 50; i++) {
+			total += w.hot(500);
+			total += w.cold(i);
+		}
+		int[] scratch = new int[128];
+		scratch[0] = total;
+		System.println("" + scratch[0]);
+	}
+}
+`
+
+func runWith(t *testing.T, metric profiler.Metric) (*profiler.Profiler, string) {
+	t.Helper()
+	bp, _, err := compile.CompileSource(workSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	m.Out = &out
+	p := profiler.Attach(m, metric)
+	if err := m.RunMain(); err != nil {
+		t.Fatal(err)
+	}
+	return p, out.String()
+}
+
+func TestMethodFrequencyExactCounts(t *testing.T) {
+	p, _ := runWith(t, profiler.MethodFrequency)
+	if got := p.Frequency("Worker.hot"); got != 50 {
+		t.Errorf("hot frequency = %d, want 50", got)
+	}
+	if got := p.Frequency("Worker.cold"); got != 50 {
+		t.Errorf("cold frequency = %d, want 50", got)
+	}
+	if got := p.Frequency("Main.main"); got != 1 {
+		t.Errorf("main frequency = %d, want 1", got)
+	}
+}
+
+func TestMethodDurationAccumulates(t *testing.T) {
+	p, _ := runWith(t, profiler.MethodDuration)
+	if p.Duration("Worker.hot") <= 0 {
+		t.Error("hot duration is zero")
+	}
+	// main is inclusive of everything, so it must dominate.
+	if p.Duration("Main.main") < p.Duration("Worker.hot") {
+		t.Error("main (inclusive) shorter than hot")
+	}
+}
+
+func TestHotMethodsFindsHotFunction(t *testing.T) {
+	p, _ := runWith(t, profiler.HotMethods)
+	if p.Samples() == 0 {
+		t.Fatal("no samples collected")
+	}
+	names, counts := p.HotMethodsTop(3)
+	if len(names) == 0 {
+		t.Fatal("no hot methods recorded")
+	}
+	if names[0] != "Worker.hot" {
+		t.Errorf("hottest = %s (count %d), want Worker.hot", names[0], counts[0])
+	}
+}
+
+func TestHotPathsIncludeMainPrefix(t *testing.T) {
+	p, _ := runWith(t, profiler.HotPaths)
+	paths, _ := p.HotPathsTop(5)
+	if len(paths) == 0 {
+		t.Fatal("no paths recorded")
+	}
+	found := false
+	for _, path := range paths {
+		if strings.HasPrefix(path, "Main.main>") && strings.Contains(path, "Worker.hot") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no main>…>hot path in %v", paths)
+	}
+}
+
+func TestDynamicCallGraphEdges(t *testing.T) {
+	p, _ := runWith(t, profiler.DynamicCallGraph)
+	e := profiler.CallEdge{Caller: "Main.main", Callee: "Worker.hot"}
+	if p.CallEdgeCount(e) == 0 {
+		t.Errorf("edge %v not sampled", e)
+	}
+}
+
+func TestMemoryAllocationCounts(t *testing.T) {
+	p, _ := runWith(t, profiler.MemoryAllocation)
+	if got := p.AllocationsOf("Worker"); got != 1 {
+		t.Errorf("Worker allocations = %d, want 1", got)
+	}
+	if got := p.AllocationsOf("[I"); got != 1 {
+		t.Errorf("int[] allocations = %d, want 1", got)
+	}
+}
+
+func TestBaselineInstallsNoHooks(t *testing.T) {
+	bp, _, err := compile.CompileSource(workSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Out = &strings.Builder{}
+	_ = profiler.Attach(m, profiler.None)
+	if m.Hooks.MethodEnter != nil || m.Hooks.OnQuantum != nil || m.Hooks.OnAlloc != nil {
+		t.Error("baseline attached hooks")
+	}
+	if err := m.RunMain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReportsRenderForEveryMetric(t *testing.T) {
+	for _, metric := range profiler.Metrics() {
+		p, _ := runWith(t, metric)
+		rep := p.Report()
+		if !strings.Contains(rep, metric.String()) {
+			t.Errorf("%v report missing header:\n%s", metric, rep)
+		}
+		if len(rep) < 20 {
+			t.Errorf("%v report suspiciously empty:\n%s", metric, rep)
+		}
+	}
+}
+
+func TestOutputUnchangedByProfiling(t *testing.T) {
+	_, base := runWith(t, profiler.None)
+	for _, metric := range profiler.Metrics() {
+		_, out := runWith(t, metric)
+		if out != base {
+			t.Errorf("%v changed program output: %q vs %q", metric, out, base)
+		}
+	}
+}

@@ -1,0 +1,341 @@
+// Package quad implements the quadruple-style intermediate
+// representation the paper's front-end (Joeq) produces from bytecode
+// (§1.2 step 1, Figure 5). Quads are register-based three-address
+// instructions grouped into basic blocks with an explicit CFG; they are
+// the input to the retargetable code generator (package codegen).
+//
+// The translation performs the same per-block copy/constant propagation
+// visible in the paper's listing: in Figure 5 the comparison after
+// "b = 4" reads "IFCMP_I IConst: 4, IConst: 2, LE, BB4" — the constant
+// has replaced the register.
+package quad
+
+import (
+	"fmt"
+	"strings"
+
+	"autodist/internal/bytecode"
+)
+
+// Op is a quad operation.
+type Op uint8
+
+// Quad operations. The _I/_F/_A suffix convention follows the paper:
+// integer (int/long/boolean), float, reference.
+const (
+	MOVE Op = iota
+	ADD
+	SUB
+	MUL
+	DIV
+	REM
+	NEG
+	SHL
+	SHR
+	USHR
+	AND
+	OR
+	XOR
+	I2F
+	F2I
+	CONCAT
+	IFCMP
+	GOTO
+	NEW
+	NEWARRAY
+	GETFIELD
+	PUTFIELD
+	GETSTATIC
+	PUTSTATIC
+	INVOKE
+	CHECKCAST
+	INSTANCEOF
+	ALOADELEM  // dst ← arr[idx]
+	ASTOREELEM // arr[idx] ← val
+	ARRAYLEN
+	RETURN // void
+	RETVAL // typed return
+)
+
+// Kind is the operand width/class: integer, float or reference.
+type Kind byte
+
+// Operand kinds.
+const (
+	KindI Kind = 'i'
+	KindF Kind = 'f'
+	KindA Kind = 'a'
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindI:
+		return "int"
+	case KindF:
+		return "float"
+	case KindA:
+		return "ref"
+	}
+	return "?"
+}
+
+// suffix returns the mnemonic suffix for the kind.
+func (k Kind) suffix() string {
+	switch k {
+	case KindI:
+		return "_I"
+	case KindF:
+		return "_F"
+	case KindA:
+		return "_A"
+	}
+	return ""
+}
+
+// Operand is a quad operand: a virtual register or a constant.
+type Operand interface {
+	fmt.Stringer
+	operand()
+}
+
+// Reg is a virtual register. Registers 0..MaxLocals-1 mirror the
+// bytecode local slots (so R1 in Figure 5 is local variable b);
+// higher-numbered registers are stack temporaries.
+type Reg struct {
+	N    int
+	Kind Kind
+}
+
+func (r Reg) operand() {}
+
+// String renders the register with its kind, as in the paper's listing.
+func (r Reg) String() string { return fmt.Sprintf("R%d %s", r.N, r.Kind) }
+
+// IConst is an integer constant operand.
+type IConst struct{ V int64 }
+
+func (c IConst) operand()       {}
+func (c IConst) String() string { return fmt.Sprintf("IConst: %d", c.V) }
+
+// FConst is a float constant operand.
+type FConst struct{ V float64 }
+
+func (c FConst) operand()       {}
+func (c FConst) String() string { return fmt.Sprintf("FConst: %g", c.V) }
+
+// SConst is a string constant operand.
+type SConst struct{ S string }
+
+func (c SConst) operand()       {}
+func (c SConst) String() string { return fmt.Sprintf("SConst: %q", c.S) }
+
+// NullConst is the null reference constant.
+type NullConst struct{}
+
+func (NullConst) operand()       {}
+func (NullConst) String() string { return "Null" }
+
+// KindOf returns an operand's kind.
+func KindOf(o Operand) Kind {
+	switch x := o.(type) {
+	case Reg:
+		return x.Kind
+	case IConst:
+		return KindI
+	case FConst:
+		return KindF
+	case SConst, NullConst:
+		return KindA
+	}
+	return KindI
+}
+
+// Quad is one instruction.
+type Quad struct {
+	// ID is the 1-based listing number within the function.
+	ID int
+	Op Op
+	// Dst is the destination register (zero Reg if none).
+	Dst Reg
+	// HasDst reports whether Dst is meaningful.
+	HasDst bool
+	// Args are the source operands.
+	Args []Operand
+	// Cond is the comparison for IFCMP.
+	Cond bytecode.Cond
+	// Target is the destination block ID for IFCMP and GOTO.
+	Target int
+	// Class/Member/Desc identify classes, fields and methods for
+	// NEW, field accesses, INVOKE, CHECKCAST and INSTANCEOF.
+	Class  string
+	Member string
+	Desc   string
+	// Invoke distinguishes virtual/special/static calls.
+	Invoke bytecode.Op
+}
+
+// String renders the quad in the paper's listing style.
+func (q *Quad) String() string {
+	kindSuffix := func() string {
+		if q.HasDst {
+			return q.Dst.Kind.suffix()
+		}
+		if len(q.Args) > 0 {
+			return KindOf(q.Args[0]).suffix()
+		}
+		return ""
+	}
+	var b strings.Builder
+	switch q.Op {
+	case MOVE:
+		fmt.Fprintf(&b, "MOVE%s %s, %s", kindSuffix(), q.Dst, q.Args[0])
+	case ADD, SUB, MUL, DIV, REM, SHL, SHR, USHR, AND, OR, XOR:
+		fmt.Fprintf(&b, "%s%s %s, %s, %s", opName(q.Op), kindSuffix(), q.Dst, q.Args[0], q.Args[1])
+	case NEG:
+		fmt.Fprintf(&b, "NEG%s %s, %s", kindSuffix(), q.Dst, q.Args[0])
+	case I2F:
+		fmt.Fprintf(&b, "I2F %s, %s", q.Dst, q.Args[0])
+	case F2I:
+		fmt.Fprintf(&b, "F2I %s, %s", q.Dst, q.Args[0])
+	case CONCAT:
+		fmt.Fprintf(&b, "CONCAT %s, %s, %s", q.Dst, q.Args[0], q.Args[1])
+	case IFCMP:
+		fmt.Fprintf(&b, "IFCMP%s %s, %s, %s, BB%d", KindOf(q.Args[0]).suffix(), q.Args[0], q.Args[1], strings.ToUpper(q.Cond.String()), q.Target)
+	case GOTO:
+		fmt.Fprintf(&b, "GOTO BB%d", q.Target)
+	case NEW:
+		fmt.Fprintf(&b, "NEW %s, %s", q.Dst, q.Class)
+	case NEWARRAY:
+		fmt.Fprintf(&b, "NEWARRAY %s, %s, %s", q.Dst, q.Desc, q.Args[0])
+	case GETFIELD:
+		fmt.Fprintf(&b, "GETFIELD %s, %s, %s.%s", q.Dst, q.Args[0], q.Class, q.Member)
+	case PUTFIELD:
+		fmt.Fprintf(&b, "PUTFIELD %s, %s.%s, %s", q.Args[0], q.Class, q.Member, q.Args[1])
+	case GETSTATIC:
+		fmt.Fprintf(&b, "GETSTATIC %s, %s.%s", q.Dst, q.Class, q.Member)
+	case PUTSTATIC:
+		fmt.Fprintf(&b, "PUTSTATIC %s.%s, %s", q.Class, q.Member, q.Args[0])
+	case INVOKE:
+		kind := "V"
+		switch q.Invoke {
+		case bytecode.INVOKESTATIC:
+			kind = "S"
+		case bytecode.INVOKESPECIAL:
+			kind = "SP"
+		}
+		if q.HasDst {
+			fmt.Fprintf(&b, "INVOKE_%s %s, %s.%s:%s", kind, q.Dst, q.Class, q.Member, q.Desc)
+		} else {
+			fmt.Fprintf(&b, "INVOKE_%s %s.%s:%s", kind, q.Class, q.Member, q.Desc)
+		}
+		for _, a := range q.Args {
+			fmt.Fprintf(&b, ", %s", a)
+		}
+	case CHECKCAST:
+		fmt.Fprintf(&b, "CHECKCAST %s, %s, %s", q.Dst, q.Args[0], q.Class)
+	case INSTANCEOF:
+		fmt.Fprintf(&b, "INSTANCEOF %s, %s, %s", q.Dst, q.Args[0], q.Class)
+	case ALOADELEM:
+		fmt.Fprintf(&b, "ALOAD%s %s, %s[%s]", q.Dst.Kind.suffix(), q.Dst, q.Args[0], q.Args[1])
+	case ASTOREELEM:
+		fmt.Fprintf(&b, "ASTORE%s %s[%s], %s", KindOf(q.Args[2]).suffix(), q.Args[0], q.Args[1], q.Args[2])
+	case ARRAYLEN:
+		fmt.Fprintf(&b, "ARRAYLEN %s, %s", q.Dst, q.Args[0])
+	case RETURN:
+		b.WriteString("RETURN")
+	case RETVAL:
+		fmt.Fprintf(&b, "RETURN%s %s", KindOf(q.Args[0]).suffix(), q.Args[0])
+	default:
+		fmt.Fprintf(&b, "QUAD(%d)", q.Op)
+	}
+	return b.String()
+}
+
+func opName(op Op) string {
+	switch op {
+	case ADD:
+		return "ADD"
+	case SUB:
+		return "SUB"
+	case MUL:
+		return "MUL"
+	case DIV:
+		return "DIV"
+	case REM:
+		return "REM"
+	case SHL:
+		return "SHL"
+	case SHR:
+		return "SHR"
+	case USHR:
+		return "USHR"
+	case AND:
+		return "AND"
+	case OR:
+		return "OR"
+	case XOR:
+		return "XOR"
+	}
+	return "?"
+}
+
+// Block is a basic block.
+type Block struct {
+	// ID is the block number. BB0 is the synthetic entry, BB1 the
+	// synthetic exit, real blocks start at BB2 — matching the
+	// paper's listing.
+	ID    int
+	Quads []*Quad
+	In    []int
+	Out   []int
+}
+
+// Func is one translated method.
+type Func struct {
+	Class, Name, Desc string
+	// Blocks holds all blocks indexed by ID (0 = entry, 1 = exit).
+	Blocks []*Block
+	// NumRegs is the number of virtual registers used.
+	NumRegs int
+}
+
+// Format renders the function in the paper's Figure 5 listing style.
+func (f *Func) Format() string {
+	var b strings.Builder
+	blockName := func(id int) string {
+		switch id {
+		case 0:
+			return "BB0 (ENTRY)"
+		case 1:
+			return "BB1 (EXIT)"
+		default:
+			return fmt.Sprintf("BB%d", id)
+		}
+	}
+	listIDs := func(ids []int) string {
+		if len(ids) == 0 {
+			return "<none>"
+		}
+		parts := make([]string, len(ids))
+		for i, id := range ids {
+			parts[i] = blockName(id)
+		}
+		return strings.Join(parts, ", ")
+	}
+	// Print entry first, real blocks in order, exit last.
+	order := []int{0}
+	for i := 2; i < len(f.Blocks); i++ {
+		order = append(order, i)
+	}
+	if len(f.Blocks) > 1 {
+		order = append(order, 1)
+	}
+	for _, id := range order {
+		blk := f.Blocks[id]
+		fmt.Fprintf(&b, "%s (in: %s, out: %s)\n", blockName(id), listIDs(blk.In), listIDs(blk.Out))
+		for _, q := range blk.Quads {
+			fmt.Fprintf(&b, "%d %s\n", q.ID, q)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,553 @@
+// Package rewrite implements communication generation (paper §4.2,
+// Figures 8–9): given the object dependence graph with partition
+// assignments, it produces one rewritten bytecode program per node in
+// which remote allocations become DependentObject instantiations and
+// accesses to potentially-remote objects are redirected through
+// DependentObject.access calls. Partitions are generated off-line for
+// 1, 2, … n nodes, exactly as the paper describes.
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+
+	"autodist/internal/analysis"
+	"autodist/internal/bytecode"
+)
+
+// Access kinds carried in the first argument of DependentObject.access,
+// following Figure 8's INVOKE_METHOD_HASRETURN constant.
+const (
+	InvokeMethodHasReturn = 1
+	InvokeMethodVoid      = 2
+	GetField              = 3
+	PutField              = 4
+	GetStatic             = 5
+	PutStatic             = 6
+)
+
+// DependentObjectClass is the name of the synthetic proxy class.
+const DependentObjectClass = "DependentObject"
+
+// AccessDesc is the descriptor of the access method: (kind, member,
+// args) → result.
+const AccessDesc = "(IT[LObject;)LObject;"
+
+// CtorDesc is the DependentObject constructor descriptor: (home node,
+// class name, constructor args).
+const CtorDesc = "(IT[LObject;)V"
+
+// StaticAccessDesc is the descriptor of the static access entry point:
+// (home node, class name, kind, member, args) → result.
+const StaticAccessDesc = "(ITIT[LObject;)LObject;"
+
+// Plan captures the partitioning decisions the rewriter and runtime
+// share: where every allocation site and every static context lives.
+type Plan struct {
+	// K is the number of nodes the program was partitioned for.
+	K int
+	// SitePart maps each allocation site to its home node.
+	SitePart map[analysis.SiteKey]int
+	// StaticPart maps each class with static context to the home
+	// node of its ST part.
+	StaticPart map[string]int
+	// ClassHasRemote[k][D] reports whether node k must treat class D
+	// as dependent (some D instance lives off-node).
+	ClassHasRemote map[int]map[string]bool
+}
+
+// BuildPlan derives the plan from a partitioned ODG (vertices must
+// carry Part assignments, e.g. after partition.Partition).
+//
+// The ExecutionStarter always runs main() on node 0 (paper §5), so if
+// the partitioner assigned the main class's static context elsewhere,
+// partition labels are swapped first — a pure relabeling that preserves
+// the edgecut and balance.
+func BuildPlan(res *analysis.Result, k int) *Plan {
+	if res.MainClass != "" {
+		if v, ok := res.ODG.StaticNode[res.MainClass]; ok {
+			home := res.ODG.Graph.Vertex(v).Part
+			if home > 0 {
+				for _, vert := range res.ODG.Graph.Vertices() {
+					switch vert.Part {
+					case home:
+						vert.Part = 0
+					case 0:
+						vert.Part = home
+					}
+				}
+			}
+		}
+	}
+	plan := &Plan{
+		K:              k,
+		SitePart:       map[analysis.SiteKey]int{},
+		StaticPart:     map[string]int{},
+		ClassHasRemote: map[int]map[string]bool{},
+	}
+	for n := 0; n < k; n++ {
+		plan.ClassHasRemote[n] = map[string]bool{}
+	}
+	odg := res.ODG
+	partOf := func(v int) int {
+		p := odg.Graph.Vertex(v).Part
+		if p < 0 {
+			return 0
+		}
+		return p
+	}
+	for _, s := range odg.Sites {
+		plan.SitePart[s.Key] = partOf(s.Node)
+	}
+	for cls, v := range odg.StaticNode {
+		plan.StaticPart[cls] = partOf(v)
+	}
+	// A class is dependent on node k when any of its sites lives on a
+	// different node (type-based approximation, as in the paper).
+	classParts := map[string]map[int]bool{}
+	for _, s := range odg.Sites {
+		if classParts[s.Allocated] == nil {
+			classParts[s.Allocated] = map[int]bool{}
+		}
+		classParts[s.Allocated][plan.SitePart[s.Key]] = true
+	}
+	for cls, parts := range classParts {
+		for n := 0; n < k; n++ {
+			for p := range parts {
+				if p != n {
+					plan.ClassHasRemote[n][cls] = true
+				}
+			}
+		}
+	}
+	return plan
+}
+
+// DependentClasses returns, for a node, the sorted list of classes that
+// are rewritten to proxy accesses.
+func (p *Plan) DependentClasses(node int) []string {
+	var out []string
+	for cls := range p.ClassHasRemote[node] {
+		out = append(out, cls)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NewDependentObjectClass synthesises the proxy class the runtime
+// implements natively: a home node, the remote class name, a remote
+// object id, plus the native <init>/access/staticAccess entry points.
+func NewDependentObjectClass() *bytecode.ClassFile {
+	cf := bytecode.NewClassFile(DependentObjectClass, "Object")
+	cf.Fields = []bytecode.Field{
+		{Name: "homeNode", Desc: "I"},
+		{Name: "className", Desc: "T"},
+		{Name: "remoteId", Desc: "J"},
+	}
+	cf.Methods = []bytecode.Method{
+		{Flags: bytecode.AccNative, Name: "<init>", Desc: CtorDesc},
+		{Flags: bytecode.AccNative, Name: "access", Desc: AccessDesc},
+		{Flags: bytecode.AccNative | bytecode.AccStatic, Name: "staticAccess", Desc: StaticAccessDesc},
+	}
+	return cf
+}
+
+// Result is the output of rewriting for every node.
+type Result struct {
+	Plan *Plan
+	// Nodes[k] is the rewritten program for node k.
+	Nodes []*bytecode.Program
+}
+
+// Rewrite produces the per-node programs. The input program is not
+// modified.
+func Rewrite(p *bytecode.Program, res *analysis.Result, k int) (*Result, error) {
+	plan := BuildPlan(res, k)
+	out := &Result{Plan: plan, Nodes: make([]*bytecode.Program, k)}
+	for node := 0; node < k; node++ {
+		np, err := RewriteForNode(p, plan, node)
+		if err != nil {
+			return nil, fmt.Errorf("rewrite: node %d: %w", node, err)
+		}
+		out.Nodes[node] = np
+	}
+	return out, nil
+}
+
+// RewriteForNode clones the program and rewrites every class's methods
+// for execution on the given node.
+func RewriteForNode(p *bytecode.Program, plan *Plan, node int) (*bytecode.Program, error) {
+	np := p.Clone()
+	np.Add(NewDependentObjectClass())
+	dep := plan.ClassHasRemote[node]
+	// Inject a native local-dispatch access method at the hierarchy
+	// root, so rewritten call sites work when the receiver happens to
+	// be local (type-based imprecision; see DESIGN.md). Every class
+	// inherits it through virtual lookup.
+	if len(dep) > 0 {
+		if obj := np.Class("Object"); obj != nil && obj.Method("access", AccessDesc) == nil {
+			obj.Methods = append(obj.Methods, bytecode.Method{
+				Flags: bytecode.AccNative | bytecode.AccSynthetic,
+				Name:  "access", Desc: AccessDesc,
+			})
+		}
+	}
+	for _, cf := range np.Classes() {
+		if cf.Name == DependentObjectClass {
+			continue
+		}
+		for i := range cf.Methods {
+			m := &cf.Methods[i]
+			if m.IsNative() || len(m.Code) == 0 {
+				continue
+			}
+			rw := &methodRewriter{
+				prog: p, plan: plan, node: node,
+				cf: cf, m: m,
+			}
+			if err := rw.rewrite(); err != nil {
+				return nil, fmt.Errorf("%s.%s: %w", cf.Name, m.Name, err)
+			}
+		}
+	}
+	if err := bytecode.VerifyProgram(np); err != nil {
+		return nil, fmt.Errorf("rewritten program invalid: %w", err)
+	}
+	return np, nil
+}
+
+// methodRewriter rebuilds one method's code with communication calls.
+type methodRewriter struct {
+	prog *bytecode.Program
+	plan *Plan
+	node int
+	cf   *bytecode.ClassFile
+	m    *bytecode.Method
+
+	out      []bytecode.Instr
+	mapping  []int // old index → new index
+	nextTemp int
+}
+
+func (rw *methodRewriter) emit(in bytecode.Instr) {
+	rw.out = append(rw.out, in)
+}
+
+func (rw *methodRewriter) temp() int32 {
+	t := rw.nextTemp
+	rw.nextTemp++
+	return int32(t)
+}
+
+// isDependent reports whether accesses through static type cls must be
+// proxied on this node: true when cls itself, any subclass of cls, or
+// any superclass of cls has instances on another node. The subclass
+// direction matters because a call through a declared supertype
+// (e.g. Animal.speak on a remote Dog) must also be rewritten.
+func (rw *methodRewriter) isDependent(cls string) bool {
+	for dep := range rw.plan.ClassHasRemote[rw.node] {
+		if isRelated(rw.prog, dep, cls) {
+			return true
+		}
+	}
+	return false
+}
+
+// isRelated reports whether a and b are on the same inheritance chain.
+func isRelated(p *bytecode.Program, a, b string) bool {
+	return isSubclassOf(p, a, b) || isSubclassOf(p, b, a)
+}
+
+func isSubclassOf(p *bytecode.Program, sub, super string) bool {
+	for c := sub; c != ""; {
+		if c == super {
+			return true
+		}
+		cf := p.Class(c)
+		if cf == nil {
+			return false
+		}
+		c = cf.Super
+	}
+	return false
+}
+
+// staticHome returns the home node for a class's static part.
+func (rw *methodRewriter) staticHome(cls string) int {
+	if n, ok := rw.plan.StaticPart[cls]; ok {
+		return n
+	}
+	return 0
+}
+
+func loadOpFor(desc string) bytecode.Op {
+	switch bytecode.DescKind(desc) {
+	case bytecode.DescFloat:
+		return bytecode.FLOAD
+	case bytecode.DescClass, bytecode.DescArray, bytecode.DescString:
+		return bytecode.ALOAD
+	default:
+		return bytecode.ILOAD
+	}
+}
+
+func storeOpFor(desc string) bytecode.Op {
+	switch bytecode.DescKind(desc) {
+	case bytecode.DescFloat:
+		return bytecode.FSTORE
+	case bytecode.DescClass, bytecode.DescArray, bytecode.DescString:
+		return bytecode.ASTORE
+	default:
+		return bytecode.ISTORE
+	}
+}
+
+// packArgs pops len(descs) stack values (typed per descs, pushed left
+// to right so the rightmost is on top) into a fresh Object[] stored in
+// a temp slot, which is returned.
+func (rw *methodRewriter) packArgs(descs []string) int32 {
+	pool := rw.cf.Pool
+	n := len(descs)
+	temps := make([]int32, n)
+	for i := n - 1; i >= 0; i-- {
+		temps[i] = rw.temp()
+		rw.emit(bytecode.Instr{Op: storeOpFor(descs[i]), A: temps[i]})
+	}
+	arrT := rw.temp()
+	rw.emit(bytecode.Instr{Op: bytecode.LDC, A: int32(pool.AddInt(int64(n)))})
+	rw.emit(bytecode.Instr{Op: bytecode.NEWARRAY, A: int32(pool.AddUtf8("LObject;"))})
+	rw.emit(bytecode.Instr{Op: bytecode.ASTORE, A: arrT})
+	for i := 0; i < n; i++ {
+		rw.emit(bytecode.Instr{Op: bytecode.ALOAD, A: arrT})
+		rw.emit(bytecode.Instr{Op: bytecode.LDC, A: int32(pool.AddInt(int64(i)))})
+		rw.emit(bytecode.Instr{Op: loadOpFor(descs[i]), A: temps[i]})
+		rw.emit(bytecode.Instr{Op: bytecode.AASTORE})
+	}
+	return arrT
+}
+
+func (rw *methodRewriter) rewrite() error {
+	code := rw.m.Code
+	rw.nextTemp = rw.m.MaxLocals
+	rw.mapping = make([]int, len(code)+1)
+	pool := rw.cf.Pool
+
+	ldcInt := func(v int64) {
+		rw.emit(bytecode.Instr{Op: bytecode.LDC, A: int32(pool.AddInt(v))})
+	}
+	ldcStr := func(s string) {
+		rw.emit(bytecode.Instr{Op: bytecode.LDC, A: int32(pool.AddUtf8(s))})
+	}
+
+	for i, in := range code {
+		rw.mapping[i] = len(rw.out)
+		switch in.Op {
+		case bytecode.NEW:
+			cls := pool.ClassName(uint16(in.A))
+			key := analysis.SiteKey{Class: rw.cf.Name, Name: rw.m.Name, Desc: rw.m.Desc, PC: i}
+			home, known := rw.plan.SitePart[key]
+			if !known || home == rw.node || cls == DependentObjectClass {
+				rw.emit(in)
+				continue
+			}
+			// Remote allocation (Figure 9): defer everything to the
+			// matching INVOKESPECIAL, which we rewrite when it names
+			// this class's constructor. Here we create the proxy
+			// object instead of the real one.
+			rw.emit(bytecode.Instr{Op: bytecode.NEW, A: int32(pool.AddClass(DependentObjectClass))})
+
+		case bytecode.INVOKESPECIAL:
+			cls, name, desc := pool.Ref(uint16(in.A))
+			if name != "<init>" {
+				rw.emit(in)
+				continue
+			}
+			// Find whether this constructor call corresponds to a
+			// remote NEW: scan backwards in the ORIGINAL code for
+			// the matching NEW of cls (nearest preceding unmatched
+			// one). A simpler, sound rule: the site is remote iff
+			// the class is dependent AND the nearest preceding NEW
+			// of cls in this method maps to a remote partition.
+			siteIdx := rw.findMatchingNew(i, cls)
+			if siteIdx < 0 {
+				rw.emit(in)
+				continue
+			}
+			key := analysis.SiteKey{Class: rw.cf.Name, Name: rw.m.Name, Desc: rw.m.Desc, PC: siteIdx}
+			home, known := rw.plan.SitePart[key]
+			if !known || home == rw.node {
+				rw.emit(in)
+				continue
+			}
+			// Stack here: DO, DO, ctor-args… (Figure 9's layout).
+			params, _, err := bytecode.ParseMethodDesc(desc)
+			if err != nil {
+				return err
+			}
+			arrT := rw.packArgs(params)
+			ldcInt(int64(home)) // location of the real object
+			ldcStr(cls)         // class name
+			rw.emit(bytecode.Instr{Op: bytecode.ALOAD, A: arrT})
+			mref := pool.AddMethodRef(DependentObjectClass, "<init>", CtorDesc)
+			rw.emit(bytecode.Instr{Op: bytecode.INVOKESPECIAL, A: int32(mref)})
+
+		case bytecode.INVOKEVIRTUAL:
+			cls, name, desc := pool.Ref(uint16(in.A))
+			if !rw.isDependent(cls) {
+				rw.emit(in)
+				continue
+			}
+			// Figure 8: aload receiver stays; pack args; push access
+			// kind and member; call DependentObject.access.
+			params, ret, err := bytecode.ParseMethodDesc(desc)
+			if err != nil {
+				return err
+			}
+			arrT := rw.packArgs(params)
+			kind := int64(InvokeMethodHasReturn)
+			if ret == "V" {
+				kind = InvokeMethodVoid
+			}
+			ldcInt(kind)
+			ldcStr(name + ":" + desc)
+			rw.emit(bytecode.Instr{Op: bytecode.ALOAD, A: arrT})
+			mref := pool.AddMethodRef(DependentObjectClass, "access", AccessDesc)
+			rw.emit(bytecode.Instr{Op: bytecode.INVOKEVIRTUAL, A: int32(mref)})
+			rw.castOrDiscard(ret)
+
+		case bytecode.GETFIELD:
+			cls, name, desc := pool.Ref(uint16(in.A))
+			if !rw.isDependent(cls) {
+				rw.emit(in)
+				continue
+			}
+			ldcInt(GetField)
+			ldcStr(name)
+			rw.emit(bytecode.Instr{Op: bytecode.ACONSTNULL}) // no args
+			mref := pool.AddMethodRef(DependentObjectClass, "access", AccessDesc)
+			rw.emit(bytecode.Instr{Op: bytecode.INVOKEVIRTUAL, A: int32(mref)})
+			rw.castOrDiscard(desc)
+
+		case bytecode.PUTFIELD:
+			cls, name, desc := pool.Ref(uint16(in.A))
+			if !rw.isDependent(cls) {
+				rw.emit(in)
+				continue
+			}
+			// Stack: recv, value. Pack the value as the single arg.
+			arrT := rw.packArgs([]string{desc})
+			ldcInt(PutField)
+			ldcStr(name)
+			rw.emit(bytecode.Instr{Op: bytecode.ALOAD, A: arrT})
+			mref := pool.AddMethodRef(DependentObjectClass, "access", AccessDesc)
+			rw.emit(bytecode.Instr{Op: bytecode.INVOKEVIRTUAL, A: int32(mref)})
+			rw.emit(bytecode.Instr{Op: bytecode.POP})
+
+		case bytecode.GETSTATIC:
+			cls, name, desc := pool.Ref(uint16(in.A))
+			home := rw.staticHome(cls)
+			if home == rw.node {
+				rw.emit(in)
+				continue
+			}
+			ldcInt(int64(home))
+			ldcStr(cls)
+			ldcInt(GetStatic)
+			ldcStr(name)
+			rw.emit(bytecode.Instr{Op: bytecode.ACONSTNULL})
+			mref := pool.AddMethodRef(DependentObjectClass, "staticAccess", StaticAccessDesc)
+			rw.emit(bytecode.Instr{Op: bytecode.INVOKESTATIC, A: int32(mref)})
+			rw.castOrDiscard(desc)
+
+		case bytecode.PUTSTATIC:
+			cls, name, desc := pool.Ref(uint16(in.A))
+			home := rw.staticHome(cls)
+			if home == rw.node {
+				rw.emit(in)
+				continue
+			}
+			arrT := rw.packArgs([]string{desc})
+			ldcInt(int64(home))
+			ldcStr(cls)
+			ldcInt(PutStatic)
+			ldcStr(name)
+			rw.emit(bytecode.Instr{Op: bytecode.ALOAD, A: arrT})
+			mref := pool.AddMethodRef(DependentObjectClass, "staticAccess", StaticAccessDesc)
+			rw.emit(bytecode.Instr{Op: bytecode.INVOKESTATIC, A: int32(mref)})
+			rw.emit(bytecode.Instr{Op: bytecode.POP})
+
+		case bytecode.CHECKCAST:
+			cls := pool.ClassName(uint16(in.A))
+			if rw.isDependent(cls) {
+				// The value may be a proxy at runtime; the VM's
+				// class check would reject it. Drop the check
+				// (type-based rewriting cannot preserve it).
+				rw.emit(bytecode.Instr{Op: bytecode.NOP})
+				continue
+			}
+			rw.emit(in)
+
+		default:
+			rw.emit(in)
+		}
+	}
+	rw.mapping[len(code)] = len(rw.out)
+
+	// Remap branch targets.
+	for idx := range rw.out {
+		in := rw.out[idx]
+		if t := in.Target(); t >= 0 && rw.isOriginalBranch(idx) {
+			rw.out[idx] = in.WithTarget(rw.mapping[t])
+		}
+	}
+	rw.m.Code = rw.out
+	rw.m.MaxLocals = rw.nextTemp
+	return nil
+}
+
+// isOriginalBranch reports whether the instruction at new index idx was
+// copied from the original code (emitted sequences never contain
+// branches, so any branch is original).
+func (rw *methodRewriter) isOriginalBranch(idx int) bool {
+	return rw.out[idx].Op.IsBranch()
+}
+
+// castOrDiscard emits the post-access fixup: POP for void, CHECKCAST
+// for reference returns that are not dependent classes (Figure 8's
+// "checkcast Integer" step; primitives need nothing in this VM).
+func (rw *methodRewriter) castOrDiscard(ret string) {
+	switch {
+	case ret == "V":
+		rw.emit(bytecode.Instr{Op: bytecode.POP})
+	case bytecode.DescKind(ret) == bytecode.DescClass:
+		cls := bytecode.ClassOf(ret)
+		if !rw.isDependent(cls) && cls != "Object" {
+			rw.emit(bytecode.Instr{Op: bytecode.CHECKCAST, A: int32(rw.cf.Pool.AddClass(cls))})
+		}
+	}
+}
+
+// findMatchingNew locates the NEW instruction whose object the
+// INVOKESPECIAL at ctorIdx initialises, by scanning backwards for the
+// nearest NEW of the class with no intervening INVOKESPECIAL for the
+// same class (nested allocations of the same class cannot interleave
+// in compiler-generated code).
+func (rw *methodRewriter) findMatchingNew(ctorIdx int, cls string) int {
+	depth := 0
+	for i := ctorIdx - 1; i >= 0; i-- {
+		in := rw.m.Code[i]
+		if in.Op == bytecode.INVOKESPECIAL {
+			c, name, _ := rw.cf.Pool.Ref(uint16(in.A))
+			if c == cls && name == "<init>" {
+				depth++
+			}
+		}
+		if in.Op == bytecode.NEW && rw.cf.Pool.ClassName(uint16(in.A)) == cls {
+			if depth == 0 {
+				return i
+			}
+			depth--
+		}
+	}
+	return -1
+}

@@ -1,0 +1,264 @@
+package rewrite
+
+import (
+	"strings"
+	"testing"
+
+	"autodist/internal/analysis"
+	"autodist/internal/bytecode"
+	"autodist/internal/compile"
+	"autodist/internal/partition"
+)
+
+const bankSource = `
+class Account {
+	int id;
+	int savings;
+	Account(int id, int savings) { this.id = id; this.savings = savings; }
+	int getId() { return this.id; }
+	int getSavings() { return this.savings; }
+	void setBalance(int b) { this.savings = b; }
+}
+class Bank {
+	Vector accounts;
+	Bank() { this.accounts = new Vector(); }
+	void openAccount(Account a) { this.accounts.add(a); }
+	Account getCustomer(int id) {
+		for (int i = 0; i < this.accounts.size(); i++) {
+			Account a = (Account) this.accounts.get(i);
+			if (a.getId() == id) { return a; }
+		}
+		return null;
+	}
+	static void main() {
+		Bank b = new Bank();
+		Account account = new Account(7, 100);
+		b.openAccount(account);
+		int s = account.getSavings();
+		System.println("" + s);
+	}
+}
+`
+
+// prep compiles, analyses and partitions the bank program two ways.
+func prep(t *testing.T) (*bytecode.Program, *analysis.Result, *Plan) {
+	t.Helper()
+	bp, _, err := compile.CompileSource(bankSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analysis.Analyze(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := partition.Partition(res.ODG.Graph, partition.Options{K: 2, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	plan := BuildPlan(res, 2)
+	return bp, res, plan
+}
+
+func TestPlanCoversAllSitesAndStatics(t *testing.T) {
+	_, res, plan := prep(t)
+	if len(plan.SitePart) != len(res.ODG.Sites) {
+		t.Errorf("plan has %d sites, ODG %d", len(plan.SitePart), len(res.ODG.Sites))
+	}
+	for key, p := range plan.SitePart {
+		if p < 0 || p >= 2 {
+			t.Errorf("site %v on bad node %d", key, p)
+		}
+	}
+	if _, ok := plan.StaticPart["Bank"]; !ok {
+		t.Error("ST_Bank missing from plan")
+	}
+}
+
+func TestRewriteProducesVerifiablePrograms(t *testing.T) {
+	bp, res, _ := prep(t)
+	out, err := Rewrite(bp, res, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Nodes) != 2 {
+		t.Fatalf("got %d node programs", len(out.Nodes))
+	}
+	for k, np := range out.Nodes {
+		if err := bytecode.VerifyProgram(np); err != nil {
+			t.Errorf("node %d program invalid: %v", k, err)
+		}
+		if np.Class(DependentObjectClass) == nil {
+			t.Errorf("node %d missing DependentObject", k)
+		}
+	}
+	// The original program must be untouched.
+	for _, cf := range bp.Classes() {
+		if cf.Name == DependentObjectClass {
+			t.Error("original program polluted with DependentObject")
+		}
+	}
+}
+
+// forcePlan builds a plan putting every Account site on node 1 and
+// everything else on node 0 — a deterministic layout for shape tests.
+func forcePlan(res *analysis.Result, k int) *Plan {
+	odg := res.ODG
+	for _, s := range odg.Sites {
+		part := 0
+		if s.Allocated == "Account" {
+			part = 1
+		}
+		odg.Graph.Vertex(s.Node).Part = part
+	}
+	for _, v := range odg.StaticNode {
+		odg.Graph.Vertex(v).Part = 0
+	}
+	return BuildPlan(res, k)
+}
+
+func TestFigure9NewTransformShape(t *testing.T) {
+	bp, res, _ := prep(t)
+	plan := forcePlan(res, 2)
+	np, err := RewriteForNode(bp, plan, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := np.Class("Bank").Method("main", "()V")
+	dis := bytecode.DisasmMethod(np.Class("Bank"), main)
+	// Figure 9's elements: new DependentObject, the location constant,
+	// the class name, and the DependentObject constructor call.
+	for _, want := range []string{
+		"new DependentObject",
+		`ldc "Account"`,
+		"invokespecial DependentObject.<init>:(IT[LObject;)V",
+		`ldc 1 (int)`, // location of Account: node 1
+	} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("rewritten main missing %q:\n%s", want, dis)
+		}
+	}
+	// The Bank allocation stays local on node 0.
+	if !strings.Contains(dis, "new Bank") {
+		t.Errorf("local Bank allocation was rewritten:\n%s", dis)
+	}
+}
+
+func TestFigure8InvokeTransformShape(t *testing.T) {
+	bp, res, _ := prep(t)
+	plan := forcePlan(res, 2)
+	np, err := RewriteForNode(bp, plan, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := np.Class("Bank").Method("main", "()V")
+	dis := bytecode.DisasmMethod(np.Class("Bank"), main)
+	// Figure 8: access-kind constant, member name, invokevirtual
+	// DependentObject.access.
+	for _, want := range []string{
+		`ldc "getSavings:()I"`,
+		"invokevirtual DependentObject.access:(IT[LObject;)LObject;",
+	} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("rewritten main missing %q:\n%s", want, dis)
+		}
+	}
+	if strings.Contains(dis, "invokevirtual Account.getSavings") {
+		t.Errorf("direct dependent-class invoke survived:\n%s", dis)
+	}
+}
+
+func TestDependentClassesPerNode(t *testing.T) {
+	_, res, _ := prep(t)
+	plan := forcePlan(res, 2)
+	// Node 0: Account instances live on node 1 → Account dependent.
+	deps0 := plan.DependentClasses(0)
+	found := false
+	for _, c := range deps0 {
+		if c == "Account" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("node 0 dependent classes = %v, want Account", deps0)
+	}
+	// Node 1: Bank and Vector live on node 0 → dependent there.
+	deps1 := plan.DependentClasses(1)
+	wantSet := map[string]bool{}
+	for _, c := range deps1 {
+		wantSet[c] = true
+	}
+	if !wantSet["Bank"] || !wantSet["Vector"] {
+		t.Errorf("node 1 dependent classes = %v, want Bank and Vector", deps1)
+	}
+}
+
+func TestSyntheticAccessInjected(t *testing.T) {
+	bp, res, _ := prep(t)
+	plan := forcePlan(res, 2)
+	np, err := RewriteForNode(bp, plan, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The local-dispatch access method is injected at the root so
+	// every class inherits it.
+	acc := np.Class("Object").Method("access", AccessDesc)
+	if acc == nil || !acc.IsNative() {
+		t.Error("Object lacks synthetic native access on node 0")
+	}
+}
+
+func TestBranchTargetsRemappedCorrectly(t *testing.T) {
+	// getCustomer contains a loop plus dependent-class calls; after
+	// rewriting, the method must still verify (targets remapped) —
+	// and the loop structure must survive.
+	bp, res, _ := prep(t)
+	plan := forcePlan(res, 2)
+	np, err := RewriteForNode(bp, plan, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := np.Class("Bank").Method("getCustomer", "(I)LAccount;")
+	if _, err := bytecode.VerifyMethod(np.Class("Bank"), m); err != nil {
+		t.Fatalf("rewritten getCustomer fails verification: %v", err)
+	}
+	hasBackBranch := false
+	for i, in := range m.Code {
+		if t := in.Target(); t >= 0 && t <= i {
+			hasBackBranch = true
+		}
+	}
+	if !hasBackBranch {
+		t.Error("loop lost after rewriting")
+	}
+}
+
+func TestCheckcastOfDependentClassDropped(t *testing.T) {
+	bp, res, _ := prep(t)
+	plan := forcePlan(res, 2)
+	np, err := RewriteForNode(bp, plan, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := np.Class("Bank").Method("getCustomer", "(I)LAccount;")
+	dis := bytecode.DisasmMethod(np.Class("Bank"), m)
+	if strings.Contains(dis, "checkcast Account") {
+		t.Errorf("checkcast of dependent class Account survived:\n%s", dis)
+	}
+}
+
+func TestSingleNodeRewriteIsIdentityModuloProxyClass(t *testing.T) {
+	bp, res, _ := prep(t)
+	// 1-way partition: everything on node 0, nothing dependent.
+	for _, v := range res.ODG.Graph.Vertices() {
+		v.Part = 0
+	}
+	plan := BuildPlan(res, 1)
+	np, err := RewriteForNode(bp, plan, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := bp.Class("Bank").Method("main", "()V")
+	got := np.Class("Bank").Method("main", "()V")
+	if len(orig.Code) != len(got.Code) {
+		t.Errorf("1-way rewrite changed code length: %d → %d", len(orig.Code), len(got.Code))
+	}
+}

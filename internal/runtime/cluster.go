@@ -1,0 +1,117 @@
+package runtime
+
+import (
+	"fmt"
+	"io"
+
+	"autodist/internal/bytecode"
+	"autodist/internal/rewrite"
+	"autodist/internal/transport"
+	"autodist/internal/vm"
+)
+
+// Options configures a distributed run.
+type Options struct {
+	// Out receives all System.print output (every node shares it;
+	// only the logical thread of control prints at any moment).
+	Out io.Writer
+	// CPUSpeeds, when non-nil, enables the virtual clock with one
+	// cycles-per-second entry per node (the paper's 1.7 GHz service
+	// node and 800 MHz compute node).
+	CPUSpeeds []float64
+	// Net is the communication cost model for the virtual clock.
+	Net *NetModel
+	// MaxSteps bounds each node's interpreter (0 = unlimited).
+	MaxSteps uint64
+}
+
+// Cluster is a set of nodes executing one distributed program.
+type Cluster struct {
+	Nodes []*Node
+	opts  Options
+}
+
+// NewCluster builds nodes from per-node rewritten programs and
+// endpoints (one per rank, same order).
+func NewCluster(progs []*bytecode.Program, plan *rewrite.Plan, eps []transport.Endpoint, opts Options) (*Cluster, error) {
+	if len(progs) != len(eps) {
+		return nil, fmt.Errorf("runtime: %d programs for %d endpoints", len(progs), len(eps))
+	}
+	c := &Cluster{opts: opts}
+	for i := range progs {
+		n, err := NewNode(progs[i], eps[i], plan)
+		if err != nil {
+			return nil, err
+		}
+		n.Net = opts.Net
+		if opts.Out != nil {
+			n.VM.Out = opts.Out
+		}
+		if opts.CPUSpeeds != nil {
+			n.VM.Time = &vm.TimeModel{CyclesPerSecond: opts.CPUSpeeds[i]}
+		}
+		if opts.MaxSteps > 0 {
+			n.VM.MaxSteps = opts.MaxSteps
+		}
+		c.Nodes = append(c.Nodes, n)
+	}
+	return c, nil
+}
+
+// Run starts every node's Message Exchange service, lets the
+// ExecutionStarter on node 0 invoke main(), then shuts the cluster
+// down. It returns the error from main, if any.
+func (c *Cluster) Run() error {
+	for _, n := range c.Nodes {
+		n.Serve()
+	}
+	// ExecutionStarter: exactly one copy runs, on the node where the
+	// user initiated the application (paper §5).
+	starter := c.Nodes[0]
+	runErr := starter.VM.RunMain()
+
+	// Broadcast shutdown (including to ourselves to stop the serve
+	// loop).
+	for rank := len(c.Nodes) - 1; rank >= 0; rank-- {
+		_ = starter.EP.Send(transport.Message{To: rank, Kind: KindShutdown})
+	}
+	for _, n := range c.Nodes {
+		n.wg.Wait()
+	}
+	return runErr
+}
+
+// SimSeconds returns node 0's virtual completion time (the distributed
+// execution time of §7.2, measured where the user started the program).
+func (c *Cluster) SimSeconds() float64 {
+	return c.Nodes[0].VM.SimSeconds()
+}
+
+// TotalStats sums protocol counters over all nodes.
+func (c *Cluster) TotalStats() NodeStats {
+	var s NodeStats
+	for _, n := range c.Nodes {
+		s.NewRequests += n.Stats.NewRequests
+		s.DepRequests += n.Stats.DepRequests
+		s.BytesSent += n.Stats.BytesSent
+		s.MessagesSent += n.Stats.MessagesSent
+	}
+	return s
+}
+
+// RunDistributed is the one-call convenience used by the examples and
+// the evaluation harness: compile → analyze → partition (already done
+// by the caller via the plan) → rewrite per node → execute on an
+// in-process fabric. It returns node 0's output-producing error and
+// the cluster for inspection.
+func RunDistributed(progs []*bytecode.Program, plan *rewrite.Plan, opts Options) (*Cluster, error) {
+	eps := transport.NewInProc(len(progs))
+	c, err := NewCluster(progs, plan, eps, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Run(); err != nil {
+		return c, err
+	}
+	return c, nil
+}

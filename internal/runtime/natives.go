@@ -1,0 +1,222 @@
+package runtime
+
+import (
+	"fmt"
+	"strings"
+
+	"autodist/internal/bytecode"
+	"autodist/internal/rewrite"
+	"autodist/internal/vm"
+)
+
+// registerNatives installs the DependentObject implementation and the
+// synthetic local-dispatch access method (see rewrite: every dependent
+// class gains a native access so rewritten call sites also work when
+// the receiver turns out to be local).
+func (n *Node) registerNatives() {
+	machine := n.VM
+
+	// DependentObject.<init>(home, className, ctorArgs): send a NEW
+	// message to the home node and record the returned identity.
+	machine.RegisterNative(depObjectClassName, "<init>", rewrite.CtorDesc,
+		func(m *vm.VM, args []vm.Value) (vm.Value, error) {
+			self := args[0].(*vm.Object)
+			home := int(args[1].(int64))
+			className := args[2].(string)
+			var ctorArgs []vm.Value
+			if arr, ok := args[3].(*vm.Array); ok && arr != nil {
+				ctorArgs = arr.Data
+			}
+			if home == n.Rank {
+				// Degenerate plan (site mapped home after all):
+				// create locally and alias the proxy to it.
+				return nil, fmt.Errorf("runtime: proxy constructor for local site of %s", className)
+			}
+			wire, err := n.toWireSlice(ctorArgs)
+			if err != nil {
+				return nil, err
+			}
+			payload, err := encodePayload(&newRequest{Class: className, Args: wire})
+			if err != nil {
+				return nil, err
+			}
+			resp, err := n.request(home, KindNew, payload)
+			if err != nil {
+				return nil, err
+			}
+			var out newResponse
+			if err := decodePayload(resp.Payload, &out); err != nil {
+				return nil, err
+			}
+			if out.Err != "" {
+				return nil, fmt.Errorf("remote new %s on node %d: %s", className, home, out.Err)
+			}
+			if err := n.restoreArrays(ctorArgs, out.OutArrays); err != nil {
+				return nil, err
+			}
+			cls := self.Class
+			self.Fields[cls.FieldSlot("homeNode")] = int64(home)
+			self.Fields[cls.FieldSlot("className")] = className
+			self.Fields[cls.FieldSlot("remoteId")] = out.ID
+			n.mu.Lock()
+			n.proxies[objKey{home, out.ID}] = self
+			n.mu.Unlock()
+			return nil, nil
+		})
+
+	// DependentObject.access: ship a DEPENDENCE message home.
+	machine.RegisterNative(depObjectClassName, "access", rewrite.AccessDesc,
+		func(m *vm.VM, args []vm.Value) (vm.Value, error) {
+			self := args[0].(*vm.Object)
+			kind := int(args[1].(int64))
+			member := args[2].(string)
+			var acc []vm.Value
+			if arr, ok := args[3].(*vm.Array); ok && arr != nil {
+				acc = arr.Data
+			}
+			home, id, _ := n.proxyIdentity(self)
+			if home == n.Rank {
+				obj := n.lookup(id)
+				if obj == nil {
+					return nil, fmt.Errorf("runtime: dangling home reference %d", id)
+				}
+				return n.localAccess(obj, kind, member, acc)
+			}
+			wire, err := n.toWireSlice(acc)
+			if err != nil {
+				return nil, err
+			}
+			payload, err := encodePayload(&depRequest{ID: id, Kind: kind, Member: member, Args: wire})
+			if err != nil {
+				return nil, err
+			}
+			resp, err := n.request(home, KindDependence, payload)
+			if err != nil {
+				return nil, err
+			}
+			var out depResponse
+			if err := decodePayload(resp.Payload, &out); err != nil {
+				return nil, err
+			}
+			if out.Err != "" {
+				return nil, fmt.Errorf("remote access %s: %s", member, out.Err)
+			}
+			if err := n.restoreArrays(acc, out.OutArrays); err != nil {
+				return nil, err
+			}
+			return n.fromWire(out.Value)
+		})
+
+	// DependentObject.staticAccess: remote static fields.
+	machine.RegisterNative(depObjectClassName, "staticAccess", rewrite.StaticAccessDesc,
+		func(m *vm.VM, args []vm.Value) (vm.Value, error) {
+			home := int(args[0].(int64))
+			class := args[1].(string)
+			kind := int(args[2].(int64))
+			member := args[3].(string)
+			var acc []vm.Value
+			if arr, ok := args[4].(*vm.Array); ok && arr != nil {
+				acc = arr.Data
+			}
+			if home == n.Rank {
+				return n.staticAccessLocal(class, kind, member, acc)
+			}
+			wire, err := n.toWireSlice(acc)
+			if err != nil {
+				return nil, err
+			}
+			payload, err := encodePayload(&depRequest{Static: true, Class: class, Kind: kind, Member: member, Args: wire})
+			if err != nil {
+				return nil, err
+			}
+			resp, err := n.request(home, KindDependence, payload)
+			if err != nil {
+				return nil, err
+			}
+			var out depResponse
+			if err := decodePayload(resp.Payload, &out); err != nil {
+				return nil, err
+			}
+			if out.Err != "" {
+				return nil, fmt.Errorf("remote static access %s.%s: %s", class, member, out.Err)
+			}
+			if err := n.restoreArrays(acc, out.OutArrays); err != nil {
+				return nil, err
+			}
+			return n.fromWire(out.Value)
+		})
+
+	// Synthetic Class.access on every user class: the receiver turned
+	// out to be local, so dispatch directly.
+	for _, cf := range machine.Program().Classes() {
+		for i := range cf.Methods {
+			m := &cf.Methods[i]
+			if m.Name == "access" && m.Desc == rewrite.AccessDesc &&
+				m.Flags&bytecode.AccSynthetic != 0 {
+				machine.RegisterNative(cf.Name, "access", rewrite.AccessDesc,
+					func(mm *vm.VM, args []vm.Value) (vm.Value, error) {
+						obj := args[0].(*vm.Object)
+						kind := int(args[1].(int64))
+						member := args[2].(string)
+						var acc []vm.Value
+						if arr, ok := args[3].(*vm.Array); ok && arr != nil {
+							acc = arr.Data
+						}
+						return n.localAccess(obj, kind, member, acc)
+					})
+				break
+			}
+		}
+	}
+}
+
+// localAccess performs an access on a local object: the server side of
+// DEPENDENCE handling and the local fast path of proxy dispatch.
+func (n *Node) localAccess(obj *vm.Object, kind int, member string, args []vm.Value) (vm.Value, error) {
+	switch kind {
+	case rewrite.InvokeMethodHasReturn, rewrite.InvokeMethodVoid:
+		name, desc, ok := strings.Cut(member, ":")
+		if !ok {
+			return nil, fmt.Errorf("runtime: bad member key %q", member)
+		}
+		callArgs := append([]vm.Value{obj}, args...)
+		return n.VM.CallMethod(obj.Class.Name(), name, desc, callArgs)
+	case rewrite.GetField:
+		slot := obj.Class.FieldSlot(member)
+		if slot < 0 {
+			return nil, fmt.Errorf("runtime: %s has no field %s", obj.Class.Name(), member)
+		}
+		return obj.Fields[slot], nil
+	case rewrite.PutField:
+		slot := obj.Class.FieldSlot(member)
+		if slot < 0 {
+			return nil, fmt.Errorf("runtime: %s has no field %s", obj.Class.Name(), member)
+		}
+		if len(args) != 1 {
+			return nil, fmt.Errorf("runtime: putfield needs 1 arg, got %d", len(args))
+		}
+		obj.Fields[slot] = args[0]
+		return nil, nil
+	}
+	return nil, fmt.Errorf("runtime: unknown access kind %d", kind)
+}
+
+// staticAccessLocal reads or writes a static field on this node.
+func (n *Node) staticAccessLocal(class string, kind int, member string, args []vm.Value) (vm.Value, error) {
+	switch kind {
+	case rewrite.GetStatic:
+		return n.VM.GetStatic(class, member)
+	case rewrite.PutStatic:
+		if len(args) != 1 {
+			return nil, fmt.Errorf("runtime: putstatic needs 1 arg, got %d", len(args))
+		}
+		return nil, n.VM.SetStatic(class, member, args[0])
+	case rewrite.InvokeMethodHasReturn, rewrite.InvokeMethodVoid:
+		name, desc, ok := strings.Cut(member, ":")
+		if !ok {
+			return nil, fmt.Errorf("runtime: bad member key %q", member)
+		}
+		return n.VM.CallMethod(class, name, desc, args)
+	}
+	return nil, fmt.Errorf("runtime: unknown static access kind %d", kind)
+}

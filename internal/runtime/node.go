@@ -1,0 +1,346 @@
+package runtime
+
+import (
+	"fmt"
+	"sync"
+
+	"autodist/internal/bytecode"
+	"autodist/internal/rewrite"
+	"autodist/internal/transport"
+	"autodist/internal/vm"
+)
+
+const depObjectClassName = rewrite.DependentObjectClass
+
+// NetModel charges communication costs to the virtual clock,
+// standing in for the paper's 100 Mbit Ethernet between the two
+// Pentium III machines.
+type NetModel struct {
+	// LatencySec is the per-message one-way latency.
+	LatencySec float64
+	// BytesPerSec is the link bandwidth.
+	BytesPerSec float64
+}
+
+// Cost returns the one-way transfer time for a payload size.
+func (nm *NetModel) Cost(bytes int) float64 {
+	if nm == nil {
+		return 0
+	}
+	c := nm.LatencySec
+	if nm.BytesPerSec > 0 {
+		c += float64(bytes) / nm.BytesPerSec
+	}
+	return c
+}
+
+// Node is one participant of the distributed execution: the per-node
+// services of Figure 10 (MPI service = EP, Message Exchange service =
+// serve loop) around a VM running that node's rewritten partition.
+type Node struct {
+	Rank int
+	VM   *vm.VM
+	EP   transport.Endpoint
+	Plan *rewrite.Plan
+	Net  *NetModel
+
+	mu       sync.Mutex
+	registry map[int64]*vm.Object
+	proxies  map[objKey]*vm.Object
+	pending  map[uint64]chan transport.Message
+	nextTag  uint64
+
+	// Stats counts protocol activity.
+	Stats NodeStats
+
+	done chan struct{}
+	wg   sync.WaitGroup
+	errs chan error
+}
+
+// NodeStats counts messages for the evaluation harness.
+type NodeStats struct {
+	NewRequests  int64
+	DepRequests  int64
+	BytesSent    int64
+	MessagesSent int64
+}
+
+type objKey struct {
+	node int
+	id   int64
+}
+
+// NewNode wires a node from its rewritten program, endpoint and plan.
+func NewNode(prog *bytecode.Program, ep transport.Endpoint, plan *rewrite.Plan) (*Node, error) {
+	machine, err := vm.New(prog)
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{
+		Rank:     ep.Rank(),
+		VM:       machine,
+		EP:       ep,
+		Plan:     plan,
+		registry: map[int64]*vm.Object{},
+		proxies:  map[objKey]*vm.Object{},
+		pending:  map[uint64]chan transport.Message{},
+		done:     make(chan struct{}),
+		errs:     make(chan error, 16),
+	}
+	n.registerNatives()
+	return n, nil
+}
+
+func (n *Node) export(o *vm.Object) {
+	n.mu.Lock()
+	n.registry[o.ID] = o
+	n.mu.Unlock()
+}
+
+func (n *Node) lookup(id int64) *vm.Object {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.registry[id]
+}
+
+// proxyFor interns a DependentObject proxy for a remote object, so
+// reference equality holds across repeated transfers.
+func (n *Node) proxyFor(home int, id int64, class string) (*vm.Object, error) {
+	key := objKey{home, id}
+	n.mu.Lock()
+	if p, ok := n.proxies[key]; ok {
+		n.mu.Unlock()
+		return p, nil
+	}
+	n.mu.Unlock()
+	cls := n.VM.Class(depObjectClassName)
+	if cls == nil {
+		return nil, fmt.Errorf("runtime: %s not loaded on node %d", depObjectClassName, n.Rank)
+	}
+	p := n.VM.NewObject(cls)
+	p.Fields[cls.FieldSlot("homeNode")] = int64(home)
+	p.Fields[cls.FieldSlot("className")] = class
+	p.Fields[cls.FieldSlot("remoteId")] = id
+	n.mu.Lock()
+	n.proxies[key] = p
+	n.mu.Unlock()
+	return p, nil
+}
+
+// proxyIdentity reads a proxy's remote identity.
+func (n *Node) proxyIdentity(p *vm.Object) (home int, id int64, class string) {
+	cls := p.Class
+	home = int(p.Fields[cls.FieldSlot("homeNode")].(int64))
+	id = p.Fields[cls.FieldSlot("remoteId")].(int64)
+	class = p.Fields[cls.FieldSlot("className")].(string)
+	return
+}
+
+// request sends a tagged message and blocks for the matching response,
+// advancing the virtual clock across the exchange.
+func (n *Node) request(to int, kind uint8, payload []byte) (transport.Message, error) {
+	n.mu.Lock()
+	n.nextTag++
+	tag := n.nextTag
+	ch := make(chan transport.Message, 1)
+	n.pending[tag] = ch
+	n.mu.Unlock()
+
+	msg := transport.Message{To: to, Tag: tag, Kind: kind, Payload: payload, Time: n.VM.SimSeconds()}
+	n.Stats.MessagesSent++
+	n.Stats.BytesSent += int64(len(payload))
+	if err := n.EP.Send(msg); err != nil {
+		return transport.Message{}, err
+	}
+	select {
+	case resp := <-ch:
+		// Virtual time: the response carries the remote clock after
+		// handling; add the return-path cost.
+		n.advanceTo(resp.Time + n.Net.Cost(len(resp.Payload)))
+		return resp, nil
+	case <-n.done:
+		return transport.Message{}, fmt.Errorf("runtime: node %d shut down while waiting for response", n.Rank)
+	}
+}
+
+// advanceTo moves this node's virtual clock forward to at least t
+// seconds (no-op without a time model).
+func (n *Node) advanceTo(t float64) {
+	if n.VM.Time == nil || n.VM.Time.CyclesPerSecond <= 0 {
+		return
+	}
+	cur := n.VM.SimSeconds()
+	if t > cur {
+		n.VM.ChargeCycles(uint64((t - cur) * n.VM.Time.CyclesPerSecond))
+	}
+}
+
+// Serve runs the Message Exchange service until shutdown. Each request
+// is handled in its own goroutine so nested remote calls (call-backs
+// into a node that is itself blocked on a request) cannot deadlock.
+func (n *Node) Serve() {
+	n.wg.Add(1)
+	go func() {
+		defer n.wg.Done()
+		for {
+			msg, err := n.EP.Recv()
+			if err != nil {
+				return
+			}
+			switch msg.Kind {
+			case KindResponse:
+				n.mu.Lock()
+				ch := n.pending[msg.Tag]
+				delete(n.pending, msg.Tag)
+				n.mu.Unlock()
+				if ch != nil {
+					ch <- msg
+				}
+			case KindShutdown:
+				close(n.done)
+				_ = n.EP.Close()
+				return
+			default:
+				n.wg.Add(1)
+				go func(m transport.Message) {
+					defer n.wg.Done()
+					n.handle(m)
+				}(msg)
+			}
+		}
+	}()
+}
+
+// handle processes one NEW or DEPENDENCE request and replies.
+func (n *Node) handle(msg transport.Message) {
+	// Virtual time: receiving the request pulls our clock to the
+	// sender's time plus the transfer cost.
+	n.advanceTo(msg.Time + n.Net.Cost(len(msg.Payload)))
+
+	reply := func(payload []byte) {
+		resp := transport.Message{
+			To: msg.From, Tag: msg.Tag, Kind: KindResponse,
+			Payload: payload, Time: n.VM.SimSeconds(),
+		}
+		n.Stats.MessagesSent++
+		n.Stats.BytesSent += int64(len(payload))
+		if err := n.EP.Send(resp); err != nil {
+			select {
+			case n.errs <- err:
+			default:
+			}
+		}
+	}
+
+	switch msg.Kind {
+	case KindNew:
+		n.Stats.NewRequests++
+		var req newRequest
+		out := newResponse{}
+		if err := decodePayload(msg.Payload, &req); err != nil {
+			out.Err = err.Error()
+		} else if id, outs, err := n.handleNew(&req); err != nil {
+			out.Err = err.Error()
+		} else {
+			out.ID = id
+			out.OutArrays = outs
+		}
+		payload, err := encodePayload(&out)
+		if err != nil {
+			payload, _ = encodePayload(&newResponse{Err: err.Error()})
+		}
+		reply(payload)
+	case KindDependence:
+		n.Stats.DepRequests++
+		var req depRequest
+		out := depResponse{}
+		if err := decodePayload(msg.Payload, &req); err != nil {
+			out.Err = err.Error()
+		} else if val, outs, err := n.handleDependence(&req); err != nil {
+			out.Err = err.Error()
+		} else if w, err := n.toWire(val); err != nil {
+			out.Err = err.Error()
+		} else {
+			out.Value = w
+			out.OutArrays = outs
+		}
+		payload, err := encodePayload(&out)
+		if err != nil {
+			payload, _ = encodePayload(&depResponse{Err: err.Error()})
+		}
+		reply(payload)
+	case KindBarrier:
+		reply(nil)
+	}
+}
+
+// handleNew creates the real object for a remote NEW message: it finds
+// the class, resolves the constructor by argument count, allocates and
+// initialises the object, and registers it for remote reference.
+func (n *Node) handleNew(req *newRequest) (int64, []wireValue, error) {
+	cls := n.VM.Class(req.Class)
+	if cls == nil {
+		return 0, nil, fmt.Errorf("node %d: unknown class %s", n.Rank, req.Class)
+	}
+	args, err := n.fromWireSlice(req.Args)
+	if err != nil {
+		return 0, nil, err
+	}
+	ctor := findCtorByArity(cls.File, len(args))
+	if ctor == nil {
+		return 0, nil, fmt.Errorf("node %d: no %d-ary constructor for %s", n.Rank, len(args), req.Class)
+	}
+	obj := n.VM.NewObject(cls)
+	callArgs := append([]vm.Value{obj}, args...)
+	if _, err := n.VM.Invoke(cls, ctor, callArgs); err != nil {
+		return 0, nil, err
+	}
+	n.export(obj)
+	outs, err := n.arrayOuts(req.Args, args)
+	if err != nil {
+		return 0, nil, err
+	}
+	return obj.ID, outs, nil
+}
+
+func findCtorByArity(cf *bytecode.ClassFile, arity int) *bytecode.Method {
+	for i := range cf.Methods {
+		m := &cf.Methods[i]
+		if m.Name != "<init>" {
+			continue
+		}
+		params, _, err := bytecode.ParseMethodDesc(m.Desc)
+		if err == nil && len(params) == arity {
+			return m
+		}
+	}
+	return nil
+}
+
+// handleDependence performs the access named by a DEPENDENCE message
+// on the home object (or on this node's statics).
+func (n *Node) handleDependence(req *depRequest) (vm.Value, []wireValue, error) {
+	args, err := n.fromWireSlice(req.Args)
+	if err != nil {
+		return nil, nil, err
+	}
+	var val vm.Value
+	if req.Static {
+		val, err = n.staticAccessLocal(req.Class, req.Kind, req.Member, args)
+	} else {
+		obj := n.lookup(req.ID)
+		if obj == nil {
+			return nil, nil, fmt.Errorf("node %d: no object %d", n.Rank, req.ID)
+		}
+		val, err = n.localAccess(obj, req.Kind, req.Member, args)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	outs, err := n.arrayOuts(req.Args, args)
+	if err != nil {
+		return nil, nil, err
+	}
+	return val, outs, nil
+}

@@ -1,0 +1,406 @@
+package runtime_test
+
+import (
+	"strings"
+	"testing"
+
+	"autodist/internal/analysis"
+	"autodist/internal/bytecode"
+	"autodist/internal/compile"
+	"autodist/internal/partition"
+	"autodist/internal/rewrite"
+	"autodist/internal/runtime"
+	"autodist/internal/transport"
+	"autodist/internal/vm"
+)
+
+const bankSource = `
+class Account {
+	int id;
+	int savings;
+	Account(int id, int savings) { this.id = id; this.savings = savings; }
+	int getId() { return this.id; }
+	int getSavings() { return this.savings; }
+	int getBalance() { return this.savings; }
+	void setBalance(int b) { this.savings = b; }
+}
+class Bank {
+	Vector accounts;
+	Bank() { this.accounts = new Vector(); }
+	void openAccount(Account a) { this.accounts.add(a); }
+	Account getCustomer(int id) {
+		for (int i = 0; i < this.accounts.size(); i++) {
+			Account a = (Account) this.accounts.get(i);
+			if (a.getId() == id) { return a; }
+		}
+		return null;
+	}
+	boolean withdraw(int id, int amount) {
+		Account a = this.getCustomer(id);
+		if (a != null) {
+			a.setBalance(a.getBalance() - amount);
+			return true;
+		}
+		return false;
+	}
+	static void main() {
+		Bank b = new Bank();
+		for (int i = 1; i <= 5; i++) {
+			Account account = new Account(i, 100 * i);
+			b.openAccount(account);
+		}
+		boolean ok = b.withdraw(3, 50);
+		Account three = b.getCustomer(3);
+		System.println("ok=" + ok + " bal=" + three.getSavings());
+		Account none = b.getCustomer(99);
+		System.println("none=" + (none == null));
+	}
+}
+`
+
+// seqOutput runs the program sequentially and returns its output.
+func seqOutput(t *testing.T, src string) string {
+	t.Helper()
+	bp, _, err := compile.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	m.Out = &out
+	m.MaxSteps = 50_000_000
+	if err := m.RunMain(); err != nil {
+		t.Fatalf("sequential run: %v", err)
+	}
+	return out.String()
+}
+
+// distOutput compiles, partitions K-ways, rewrites and runs on the
+// given fabric, returning the combined output.
+func distOutput(t *testing.T, src string, k int, method partition.Method, tcp bool) (string, *runtime.Cluster) {
+	t.Helper()
+	bp, _, err := compile.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analysis.Analyze(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := partition.Partition(res.ODG.Graph, partition.Options{K: k, Seed: 42, Method: method}); err != nil {
+		t.Fatal(err)
+	}
+	rw, err := rewrite.Rewrite(bp, res, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eps []transport.Endpoint
+	if tcp {
+		eps, err = transport.NewTCPCluster(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+	} else {
+		eps = transport.NewInProc(k)
+	}
+	var out strings.Builder
+	c, err := runtime.NewCluster(rw.Nodes, rw.Plan, eps, runtime.Options{
+		Out: &out, MaxSteps: 50_000_000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatalf("distributed run: %v\noutput:\n%s", err, out.String())
+	}
+	return out.String(), c
+}
+
+func TestDistributedMatchesSequentialInProc(t *testing.T) {
+	want := seqOutput(t, bankSource)
+	for _, k := range []int{1, 2, 3} {
+		got, _ := distOutput(t, bankSource, k, partition.Multilevel, false)
+		if got != want {
+			t.Errorf("k=%d: distributed output %q != sequential %q", k, got, want)
+		}
+	}
+}
+
+func TestDistributedMatchesSequentialTCP(t *testing.T) {
+	want := seqOutput(t, bankSource)
+	got, _ := distOutput(t, bankSource, 2, partition.Multilevel, true)
+	if got != want {
+		t.Errorf("TCP distributed output %q != sequential %q", got, want)
+	}
+}
+
+func TestDistributedRoundRobinWorstCase(t *testing.T) {
+	// Round-robin scatters objects maximally — a stress test for the
+	// proxy paths (the paper's §7.2 runs used a naive partitioning).
+	want := seqOutput(t, bankSource)
+	got, c := distOutput(t, bankSource, 2, partition.RoundRobin, false)
+	if got != want {
+		t.Errorf("round-robin output %q != %q", got, want)
+	}
+	if s := c.TotalStats(); s.DepRequests == 0 && s.NewRequests == 0 {
+		t.Error("round-robin run produced no remote traffic — proxies never exercised")
+	}
+}
+
+func TestRemoteFieldAccess(t *testing.T) {
+	src := `
+class Cell { int v; }
+class Main {
+	static void main() {
+		Cell c = new Cell();
+		c.v = 41;
+		c.v = c.v + 1;
+		System.println("" + c.v);
+	}
+}`
+	want := seqOutput(t, src)
+	got, _ := distOutput(t, src, 2, partition.RoundRobin, false)
+	if got != want {
+		t.Errorf("remote field access: %q != %q", got, want)
+	}
+}
+
+func TestRemoteObjectArgumentAndReturn(t *testing.T) {
+	// Passing object references across nodes in both directions.
+	src := `
+class Box { int v; Box(int v) { this.v = v; } int get() { return this.v; } }
+class Holder {
+	Box held;
+	void put(Box b) { this.held = b; }
+	Box take() { return this.held; }
+}
+class Main {
+	static void main() {
+		Holder h = new Holder();
+		Box b = new Box(9);
+		h.put(b);
+		Box back = h.take();
+		System.println("" + back.get());
+		System.println("same=" + (back == b));
+	}
+}`
+	want := seqOutput(t, src)
+	got, _ := distOutput(t, src, 2, partition.RoundRobin, false)
+	if got != want {
+		t.Errorf("object round-trip: %q != %q", got, want)
+	}
+}
+
+func TestRemoteStaticFields(t *testing.T) {
+	src := `
+class Counter {
+	static int count;
+	static void bump() { Counter.count += 1; }
+}
+class Main {
+	static void main() {
+		Counter.bump();
+		Counter.bump();
+		System.println("" + Counter.count);
+	}
+}`
+	want := seqOutput(t, src)
+	got, _ := distOutput(t, src, 2, partition.RoundRobin, false)
+	if got != want {
+		t.Errorf("static fields: %q != %q", got, want)
+	}
+}
+
+func TestVirtualDispatchThroughProxy(t *testing.T) {
+	src := `
+class Animal { string speak() { return "..."; } }
+class Dog extends Animal { string speak() { return "woof"; } }
+class Main {
+	static void main() {
+		Animal a = new Dog();
+		System.println(a.speak());
+	}
+}`
+	want := seqOutput(t, src)
+	got, _ := distOutput(t, src, 2, partition.RoundRobin, false)
+	if got != want {
+		t.Errorf("virtual dispatch: %q != %q", got, want)
+	}
+}
+
+func TestNestedRemoteCallsReentrant(t *testing.T) {
+	// a (node X) calls b (node Y) which calls back into a's sibling on
+	// node X — exercises the per-request goroutine reentrancy.
+	src := `
+class Ping {
+	Pong partner;
+	int bounce(int n) {
+		if (n == 0) { return 0; }
+		return 1 + this.partner.bounce(this, n - 1);
+	}
+}
+class Pong {
+	int bounce(Ping p, int n) {
+		if (n == 0) { return 0; }
+		return 1 + p.bounce(n - 1);
+	}
+}
+class Main {
+	static void main() {
+		Ping ping = new Ping();
+		Pong pong = new Pong();
+		ping.partner = pong;
+		System.println("" + ping.bounce(6));
+	}
+}`
+	want := seqOutput(t, src)
+	got, _ := distOutput(t, src, 2, partition.RoundRobin, false)
+	if got != want {
+		t.Errorf("reentrant calls: %q != %q", got, want)
+	}
+}
+
+func TestVirtualTimeSlowerNodeSlowsProgram(t *testing.T) {
+	src := `
+class Work {
+	int crunch(int n) {
+		int s = 0;
+		for (int i = 0; i < n; i++) { s += i * i; }
+		return s;
+	}
+}
+class Main {
+	static void main() {
+		Work w = new Work();
+		System.println("" + w.crunch(20000));
+	}
+}`
+	run := func(speeds []float64) float64 {
+		bp, _, err := compile.CompileSource(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := analysis.Analyze(bp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := partition.Partition(res.ODG.Graph, partition.Options{K: 2, Seed: 1, Method: partition.RoundRobin}); err != nil {
+			t.Fatal(err)
+		}
+		rw, err := rewrite.Rewrite(bp, res, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out strings.Builder
+		// Net is nil so the ratio isolates pure CPU scaling; the
+		// network-cost term is exercised by the Figure 11 bench.
+		c, err := runtime.NewCluster(rw.Nodes, rw.Plan, transport.NewInProc(2), runtime.Options{
+			Out: &out, CPUSpeeds: speeds,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return c.SimSeconds()
+	}
+	fastPair := run([]float64{1700e6, 1700e6})
+	slowPair := run([]float64{800e6, 800e6})
+	if !(slowPair > fastPair) {
+		t.Errorf("slower nodes did not increase virtual time: slow=%v fast=%v", slowPair, fastPair)
+	}
+	ratio := slowPair / fastPair
+	if ratio < 1.5 || ratio > 2.5 {
+		t.Errorf("virtual-time ratio = %.2f, want ≈ 2.1", ratio)
+	}
+}
+
+func TestMessageStatsAccumulate(t *testing.T) {
+	_, c := distOutput(t, bankSource, 2, partition.RoundRobin, false)
+	s := c.TotalStats()
+	if s.MessagesSent == 0 || s.BytesSent == 0 {
+		t.Errorf("no traffic recorded: %+v", s)
+	}
+}
+
+func TestProgramsMustMatchEndpoints(t *testing.T) {
+	bp, _, err := compile.CompileSource(bankSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analysis.Analyze(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := partition.Partition(res.ODG.Graph, partition.Options{K: 2, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	rw, err := rewrite.Rewrite(bp, res, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = runtime.NewCluster(rw.Nodes, rw.Plan, transport.NewInProc(3), runtime.Options{})
+	if err == nil {
+		t.Error("mismatched endpoint count accepted")
+	}
+	_ = bytecode.VerifyProgram(rw.Nodes[0])
+}
+
+func TestArrayArgumentCopyRestore(t *testing.T) {
+	// A remote method that mutates an array argument in place: the
+	// caller must observe the mutations (copy-restore semantics).
+	src := `
+class Mutator {
+	void fill(int[] a, int base) {
+		for (int i = 0; i < a.length; i++) { a[i] = base + i; }
+	}
+	void scale(float[] f) {
+		for (int i = 0; i < f.length; i++) { f[i] = f[i] * 2.0; }
+	}
+}
+class Main {
+	static void main() {
+		Mutator m = new Mutator();
+		int[] xs = new int[4];
+		m.fill(xs, 10);
+		System.println("" + (xs[0] + xs[3]));
+		float[] fs = new float[2];
+		fs[0] = 1.5;
+		fs[1] = 2.5;
+		m.scale(fs);
+		System.println("" + (fs[0] + fs[1]));
+	}
+}`
+	want := seqOutput(t, src)
+	got, _ := distOutput(t, src, 2, partition.RoundRobin, false)
+	if got != want {
+		t.Errorf("copy-restore: %q != %q", got, want)
+	}
+}
+
+func TestMainContextPinnedToNodeZero(t *testing.T) {
+	// Wherever the partitioner puts the main class's static context,
+	// BuildPlan must relabel it to node 0 (the ExecutionStarter's
+	// node), keeping the hot main-loop objects co-located with main.
+	bp, _, err := compile.CompileSource(bankSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analysis.Analyze(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Adversarial assignment: ST_Bank forced to partition 1.
+	for _, v := range res.ODG.Graph.Vertices() {
+		v.Part = 0
+	}
+	res.ODG.Graph.Vertex(res.ODG.StaticNode["Bank"]).Part = 1
+	plan := rewrite.BuildPlan(res, 2)
+	if plan.StaticPart["Bank"] != 0 {
+		t.Errorf("ST_Bank on node %d after BuildPlan, want 0", plan.StaticPart["Bank"])
+	}
+}

@@ -1,0 +1,183 @@
+package transport
+
+import (
+	"encoding/gob"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// tcpEndpoint is one node of a TCP fabric. Every node listens on its
+// own address; connections are dialled lazily per destination and each
+// direction uses its own connection, so no handshake protocol is
+// needed beyond a one-frame hello carrying the sender rank.
+type tcpEndpoint struct {
+	rank  int
+	addrs []string
+
+	ln    net.Listener
+	inbox chan Message
+
+	mu       sync.Mutex
+	conns    map[int]*gob.Encoder
+	raw      map[int]net.Conn
+	accepted []net.Conn
+
+	closed  bool
+	closeMu sync.Mutex
+	wg      sync.WaitGroup
+}
+
+// NewTCPNode creates the endpoint for rank within a cluster whose
+// listen addresses are addrs (index = rank). The listener for this rank
+// must be passed in, so callers can bind ":0" and exchange real
+// addresses first.
+func NewTCPNode(rank int, addrs []string, ln net.Listener) (Endpoint, error) {
+	if rank < 0 || rank >= len(addrs) {
+		return nil, fmt.Errorf("transport: rank %d out of range", rank)
+	}
+	e := &tcpEndpoint{
+		rank:  rank,
+		addrs: addrs,
+		ln:    ln,
+		inbox: make(chan Message, 1024),
+		conns: map[int]*gob.Encoder{},
+		raw:   map[int]net.Conn{},
+	}
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// Listen binds a TCP listener on addr (use "127.0.0.1:0" for an
+// ephemeral port) and returns it with its resolved address.
+func Listen(addr string) (net.Listener, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", err
+	}
+	return ln, ln.Addr().String(), nil
+}
+
+func (e *tcpEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		conn, err := e.ln.Accept()
+		if err != nil {
+			return
+		}
+		e.mu.Lock()
+		e.accepted = append(e.accepted, conn)
+		e.mu.Unlock()
+		e.wg.Add(1)
+		go e.readLoop(conn)
+	}
+}
+
+func (e *tcpEndpoint) readLoop(conn net.Conn) {
+	defer e.wg.Done()
+	dec := gob.NewDecoder(conn)
+	for {
+		var msg Message
+		if err := dec.Decode(&msg); err != nil {
+			_ = conn.Close()
+			return
+		}
+		e.closeMu.Lock()
+		closed := e.closed
+		if !closed {
+			e.inbox <- msg
+		}
+		e.closeMu.Unlock()
+		if closed {
+			_ = conn.Close()
+			return
+		}
+	}
+}
+
+func (e *tcpEndpoint) Rank() int { return e.rank }
+func (e *tcpEndpoint) Size() int { return len(e.addrs) }
+
+func (e *tcpEndpoint) Send(msg Message) error {
+	if msg.To < 0 || msg.To >= len(e.addrs) {
+		return fmt.Errorf("transport: bad destination %d", msg.To)
+	}
+	msg.From = e.rank
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	enc, ok := e.conns[msg.To]
+	if !ok {
+		conn, err := net.Dial("tcp", e.addrs[msg.To])
+		if err != nil {
+			return fmt.Errorf("transport: dial node %d: %w", msg.To, err)
+		}
+		enc = gob.NewEncoder(conn)
+		e.conns[msg.To] = enc
+		e.raw[msg.To] = conn
+	}
+	if err := enc.Encode(msg); err != nil {
+		delete(e.conns, msg.To)
+		if c := e.raw[msg.To]; c != nil {
+			_ = c.Close()
+			delete(e.raw, msg.To)
+		}
+		return fmt.Errorf("transport: send to %d: %w", msg.To, err)
+	}
+	return nil
+}
+
+func (e *tcpEndpoint) Recv() (Message, error) {
+	msg, ok := <-e.inbox
+	if !ok {
+		return Message{}, ErrClosed
+	}
+	return msg, nil
+}
+
+func (e *tcpEndpoint) Close() error {
+	e.closeMu.Lock()
+	if e.closed {
+		e.closeMu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.closeMu.Unlock()
+	_ = e.ln.Close()
+	e.mu.Lock()
+	for _, c := range e.raw {
+		_ = c.Close()
+	}
+	for _, c := range e.accepted {
+		_ = c.Close()
+	}
+	e.mu.Unlock()
+	e.wg.Wait()
+	close(e.inbox)
+	return nil
+}
+
+// NewTCPCluster is a convenience for tests and single-host runs: it
+// binds n ephemeral listeners on localhost and returns connected
+// endpoints.
+func NewTCPCluster(n int) ([]Endpoint, error) {
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, addr, err := Listen("127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		lns[i] = ln
+		addrs[i] = addr
+	}
+	eps := make([]Endpoint, n)
+	for i := 0; i < n; i++ {
+		ep, err := NewTCPNode(i, addrs, lns[i])
+		if err != nil {
+			return nil, err
+		}
+		eps[i] = ep
+	}
+	return eps, nil
+}

@@ -1,0 +1,111 @@
+// Package transport provides the message-passing fabric that plays
+// MPI's role in the runtime (paper §5). It deliberately exposes a
+// message-exchange interface (send/recv of tagged frames) rather than
+// request/response RPC, because the paper argues message exchange
+// exposes more communication-optimisation opportunities than RPC/RMI.
+//
+// Two interchangeable fabrics are provided: an in-process fabric built
+// on channels (hermetic tests, deterministic simulation) and a TCP
+// fabric with gob-encoded frames (real distributed execution).
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Message is one tagged frame. Tag correlates requests with responses;
+// Time carries the sender's simulated clock for the virtual-time model
+// (paper §7.2's heterogeneous-node experiments).
+type Message struct {
+	From, To int
+	Tag      uint64
+	Kind     uint8
+	Time     float64
+	Payload  []byte
+}
+
+// Endpoint is one node's port into the fabric — the MPI service of
+// Figure 10.
+type Endpoint interface {
+	// Rank is this node's id in [0, Size).
+	Rank() int
+	// Size is the number of nodes.
+	Size() int
+	// Send delivers a message to node msg.To. It is safe for
+	// concurrent use.
+	Send(msg Message) error
+	// Recv blocks until a message arrives (any sender). It returns
+	// an error after Close.
+	Recv() (Message, error)
+	// Close tears the endpoint down, unblocking Recv.
+	Close() error
+}
+
+// ErrClosed is returned by Recv after Close.
+var ErrClosed = fmt.Errorf("transport: endpoint closed")
+
+// inprocEndpoint is one port of an in-process fabric.
+type inprocEndpoint struct {
+	rank  int
+	size  int
+	inbox chan Message
+	peers []*inprocEndpoint
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewInProc builds an n-node in-process fabric and returns its
+// endpoints. Message order is preserved per sender→receiver pair.
+func NewInProc(n int) []Endpoint {
+	eps := make([]*inprocEndpoint, n)
+	for i := range eps {
+		eps[i] = &inprocEndpoint{rank: i, size: n, inbox: make(chan Message, 1024)}
+	}
+	for i := range eps {
+		eps[i].peers = eps
+	}
+	out := make([]Endpoint, n)
+	for i := range eps {
+		out[i] = eps[i]
+	}
+	return out
+}
+
+func (e *inprocEndpoint) Rank() int { return e.rank }
+func (e *inprocEndpoint) Size() int { return e.size }
+
+func (e *inprocEndpoint) Send(msg Message) error {
+	if msg.To < 0 || msg.To >= e.size {
+		return fmt.Errorf("transport: bad destination %d", msg.To)
+	}
+	msg.From = e.rank
+	peer := e.peers[msg.To]
+	peer.mu.Lock()
+	closed := peer.closed
+	peer.mu.Unlock()
+	if closed {
+		return fmt.Errorf("transport: peer %d closed", msg.To)
+	}
+	peer.inbox <- msg
+	return nil
+}
+
+func (e *inprocEndpoint) Recv() (Message, error) {
+	msg, ok := <-e.inbox
+	if !ok {
+		return Message{}, ErrClosed
+	}
+	return msg, nil
+}
+
+func (e *inprocEndpoint) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.closed {
+		e.closed = true
+		close(e.inbox)
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testFabric(t *testing.T, eps []Endpoint) {
+	t.Helper()
+	n := len(eps)
+
+	// Ping-pong between 0 and every other node.
+	var wg sync.WaitGroup
+	for peer := 1; peer < n; peer++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			msg, err := eps[p].Recv()
+			if err != nil {
+				t.Errorf("node %d recv: %v", p, err)
+				return
+			}
+			if msg.From != 0 || string(msg.Payload) != fmt.Sprintf("ping %d", p) {
+				t.Errorf("node %d got %+v", p, msg)
+			}
+			err = eps[p].Send(Message{To: 0, Tag: msg.Tag, Payload: []byte("pong")})
+			if err != nil {
+				t.Errorf("node %d send: %v", p, err)
+			}
+		}(peer)
+	}
+	for peer := 1; peer < n; peer++ {
+		if err := eps[0].Send(Message{To: peer, Tag: uint64(peer), Payload: []byte(fmt.Sprintf("ping %d", peer))}); err != nil {
+			t.Fatalf("send to %d: %v", peer, err)
+		}
+	}
+	got := map[uint64]bool{}
+	for peer := 1; peer < n; peer++ {
+		msg, err := eps[0].Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(msg.Payload) != "pong" {
+			t.Errorf("unexpected payload %q", msg.Payload)
+		}
+		got[msg.Tag] = true
+	}
+	if len(got) != n-1 {
+		t.Errorf("got %d distinct pongs, want %d", len(got), n-1)
+	}
+	wg.Wait()
+	for _, ep := range eps {
+		_ = ep.Close()
+	}
+}
+
+func TestInProcFabric(t *testing.T) {
+	testFabric(t, NewInProc(4))
+}
+
+func TestTCPFabric(t *testing.T) {
+	eps, err := NewTCPCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	testFabric(t, eps)
+}
+
+func TestInProcOrderPreservedPerPair(t *testing.T) {
+	eps := NewInProc(2)
+	const n = 100
+	for i := 0; i < n; i++ {
+		if err := eps[0].Send(Message{To: 1, Tag: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		msg, err := eps[1].Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg.Tag != uint64(i) {
+			t.Fatalf("message %d arrived out of order (tag %d)", i, msg.Tag)
+		}
+	}
+}
+
+func TestRecvAfterCloseReturnsError(t *testing.T) {
+	eps := NewInProc(2)
+	done := make(chan error, 1)
+	go func() {
+		_, err := eps[1].Recv()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	_ = eps[1].Close()
+	select {
+	case err := <-done:
+		if err != ErrClosed {
+			t.Errorf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock on Close")
+	}
+}
+
+func TestTCPRecvAfterClose(t *testing.T) {
+	eps, err := NewTCPCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := eps[1].Recv()
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	_ = eps[1].Close()
+	select {
+	case err := <-done:
+		if err != ErrClosed {
+			t.Errorf("err = %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock on Close")
+	}
+	_ = eps[0].Close()
+}
+
+func TestBadDestinationRejected(t *testing.T) {
+	eps := NewInProc(2)
+	if err := eps[0].Send(Message{To: 7}); err == nil {
+		t.Error("out-of-range destination accepted")
+	}
+	if err := eps[0].Send(Message{To: -1}); err == nil {
+		t.Error("negative destination accepted")
+	}
+}
+
+func TestTimestampAndKindRoundTrip(t *testing.T) {
+	eps, err := NewTCPCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer eps[0].Close()
+	defer eps[1].Close()
+	want := Message{To: 1, Tag: 42, Kind: 7, Time: 1.25, Payload: []byte{1, 2, 3}}
+	if err := eps[0].Send(want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := eps[1].Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tag != 42 || got.Kind != 7 || got.Time != 1.25 || got.From != 0 {
+		t.Errorf("round trip lost fields: %+v", got)
+	}
+}

@@ -1,0 +1,472 @@
+package vm
+
+import (
+	"autodist/internal/bytecode"
+)
+
+// Simulated cycle costs per instruction class. These are coarse but
+// deliberately ordered (division ≫ multiplication > simple ALU;
+// allocation and dispatch carry fixed overheads) so the simulated-clock
+// experiments reproduce relative, not absolute, performance.
+const (
+	cycSimple = 1
+	cycMul    = 3
+	cycDiv    = 12
+	cycFDiv   = 16
+	cycMem    = 2
+	cycInvoke = 8
+	cycAlloc  = 24
+)
+
+func cycleCost(op bytecode.Op) uint64 {
+	switch op {
+	case bytecode.IMUL, bytecode.FMUL:
+		return cycMul
+	case bytecode.IDIV, bytecode.IREM:
+		return cycDiv
+	case bytecode.FDIV:
+		return cycFDiv
+	case bytecode.GETFIELD, bytecode.PUTFIELD, bytecode.GETSTATIC, bytecode.PUTSTATIC,
+		bytecode.IALOAD, bytecode.IASTORE, bytecode.FALOAD, bytecode.FASTORE,
+		bytecode.AALOAD, bytecode.AASTORE:
+		return cycMem
+	case bytecode.INVOKEVIRTUAL, bytecode.INVOKESPECIAL, bytecode.INVOKESTATIC:
+		return cycInvoke
+	default:
+		return cycSimple
+	}
+}
+
+// Invoke runs a method to completion and returns its result (nil for
+// void). For instance methods args[0] is the receiver.
+func (vm *VM) Invoke(c *Class, m *bytecode.Method, args []Value) (Value, error) {
+	if m.IsNative() {
+		fn := vm.findNative(c, m)
+		if fn == nil {
+			return nil, vm.errorf("no native implementation for %s.%s:%s", c.Name(), m.Name, m.Desc)
+		}
+		return fn(vm, args)
+	}
+
+	if vm.Hooks.MethodEnter != nil {
+		vm.Hooks.MethodEnter(c.Name(), m.Name)
+	}
+	vm.stack = append(vm.stack, StackEntry{Class: c.Name(), Method: m.Name})
+	ret, err := vm.run(c, m, args)
+	vm.stack = vm.stack[:len(vm.stack)-1]
+	if vm.Hooks.MethodExit != nil {
+		vm.Hooks.MethodExit(c.Name(), m.Name)
+	}
+	return ret, err
+}
+
+func (vm *VM) findNative(c *Class, m *bytecode.Method) NativeFunc {
+	for x := c; x != nil; x = x.Super {
+		if fn, ok := vm.natives[x.Name()+"."+m.Name+":"+m.Desc]; ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+func (vm *VM) run(c *Class, m *bytecode.Method, args []Value) (Value, error) {
+	locals := make([]Value, m.MaxLocals)
+	copy(locals, args)
+	// A small fixed operand stack; the verifier bounds depth, and 64
+	// covers every program the compiler emits.
+	stack := make([]Value, 0, 16)
+	pool := c.File.Pool
+	code := m.Code
+	pc := 0
+
+	push := func(v Value) { stack = append(stack, v) }
+	pop := func() Value {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return v
+	}
+	popI := func() int64 { return pop().(int64) }
+	popF := func() float64 { return pop().(float64) }
+
+	for {
+		if pc < 0 || pc >= len(code) {
+			return nil, vm.errorf("%s.%s: pc %d out of range", c.Name(), m.Name, pc)
+		}
+		vm.steps++
+		if vm.MaxSteps > 0 && vm.steps > vm.MaxSteps {
+			return nil, vm.errorf("step limit %d exceeded", vm.MaxSteps)
+		}
+		if vm.Hooks.OnQuantum != nil && vm.Hooks.Quantum > 0 {
+			vm.quantumC++
+			if vm.quantumC >= vm.Hooks.Quantum {
+				vm.quantumC = 0
+				vm.Hooks.OnQuantum(vm.CallStack())
+			}
+		}
+		in := code[pc]
+		if vm.Time != nil {
+			vm.Cycles += cycleCost(in.Op)
+		}
+
+		switch in.Op {
+		case bytecode.NOP:
+
+		case bytecode.LDC:
+			e := pool.Entry(uint16(in.A))
+			switch e.Tag {
+			case bytecode.TagInt:
+				push(e.Int)
+			case bytecode.TagFloat:
+				push(e.Float)
+			case bytecode.TagUtf8:
+				push(e.Str)
+			default:
+				return nil, vm.errorf("ldc of non-constant pool entry %d", in.A)
+			}
+		case bytecode.ACONSTNULL:
+			push(nil)
+		case bytecode.ICONST0:
+			push(int64(0))
+		case bytecode.ICONST1:
+			push(int64(1))
+
+		case bytecode.ILOAD, bytecode.FLOAD, bytecode.ALOAD:
+			push(locals[in.A])
+		case bytecode.ISTORE, bytecode.FSTORE, bytecode.ASTORE:
+			locals[in.A] = pop()
+		case bytecode.IINC:
+			locals[in.A] = locals[in.A].(int64) + int64(in.B)
+
+		case bytecode.DUP:
+			push(stack[len(stack)-1])
+		case bytecode.DUPX1:
+			a := pop()
+			b := pop()
+			push(a)
+			push(b)
+			push(a)
+		case bytecode.POP:
+			pop()
+		case bytecode.SWAP:
+			a := pop()
+			b := pop()
+			push(a)
+			push(b)
+
+		case bytecode.IADD:
+			b, a := popI(), popI()
+			push(a + b)
+		case bytecode.ISUB:
+			b, a := popI(), popI()
+			push(a - b)
+		case bytecode.IMUL:
+			b, a := popI(), popI()
+			push(a * b)
+		case bytecode.IDIV:
+			b, a := popI(), popI()
+			if b == 0 {
+				return nil, vm.errorf("division by zero")
+			}
+			push(a / b)
+		case bytecode.IREM:
+			b, a := popI(), popI()
+			if b == 0 {
+				return nil, vm.errorf("division by zero")
+			}
+			push(a % b)
+		case bytecode.INEG:
+			push(-popI())
+		case bytecode.ISHL:
+			b, a := popI(), popI()
+			push(a << uint64(b&63))
+		case bytecode.ISHR:
+			b, a := popI(), popI()
+			push(a >> uint64(b&63))
+		case bytecode.IUSHR:
+			b, a := popI(), popI()
+			push(int64(uint64(a) >> uint64(b&63)))
+		case bytecode.IAND:
+			b, a := popI(), popI()
+			push(a & b)
+		case bytecode.IOR:
+			b, a := popI(), popI()
+			push(a | b)
+		case bytecode.IXOR:
+			b, a := popI(), popI()
+			push(a ^ b)
+
+		case bytecode.FADD:
+			b, a := popF(), popF()
+			push(a + b)
+		case bytecode.FSUB:
+			b, a := popF(), popF()
+			push(a - b)
+		case bytecode.FMUL:
+			b, a := popF(), popF()
+			push(a * b)
+		case bytecode.FDIV:
+			b, a := popF(), popF()
+			push(a / b)
+		case bytecode.FNEG:
+			push(-popF())
+
+		case bytecode.I2F:
+			push(float64(popI()))
+		case bytecode.F2I:
+			push(int64(popF()))
+
+		case bytecode.SCONCAT:
+			b, a := pop(), pop()
+			push(Stringify(a) + Stringify(b))
+
+		case bytecode.GOTO:
+			pc = int(in.A)
+			continue
+		case bytecode.IFICMP:
+			b, a := popI(), popI()
+			cmp := 0
+			if a < b {
+				cmp = -1
+			} else if a > b {
+				cmp = 1
+			}
+			if bytecode.Cond(in.A).Eval(cmp) {
+				pc = int(in.B)
+				continue
+			}
+		case bytecode.IFFCMP:
+			b, a := popF(), popF()
+			cmp := 0
+			if a < b {
+				cmp = -1
+			} else if a > b {
+				cmp = 1
+			}
+			if bytecode.Cond(in.A).Eval(cmp) {
+				pc = int(in.B)
+				continue
+			}
+		case bytecode.IFACMPEQ:
+			b, a := pop(), pop()
+			if refEqual(a, b) {
+				pc = int(in.A)
+				continue
+			}
+		case bytecode.IFACMPNE:
+			b, a := pop(), pop()
+			if !refEqual(a, b) {
+				pc = int(in.A)
+				continue
+			}
+
+		case bytecode.NEW:
+			name := pool.ClassName(uint16(in.A))
+			nc := vm.classes[name]
+			if nc == nil {
+				return nil, vm.errorf("new of unknown class %s", name)
+			}
+			push(vm.NewObject(nc))
+
+		case bytecode.GETFIELD:
+			_, fname, _ := pool.Ref(uint16(in.A))
+			ov := pop()
+			o, ok := ov.(*Object)
+			if !ok || o == nil {
+				return nil, vm.errorf("getfield %s on %s", fname, Stringify(ov))
+			}
+			slot := o.Class.FieldSlot(fname)
+			if slot < 0 {
+				return nil, vm.errorf("class %s has no field %s", o.Class.Name(), fname)
+			}
+			push(o.Fields[slot])
+		case bytecode.PUTFIELD:
+			_, fname, _ := pool.Ref(uint16(in.A))
+			v := pop()
+			ov := pop()
+			o, ok := ov.(*Object)
+			if !ok || o == nil {
+				return nil, vm.errorf("putfield %s on %s", fname, Stringify(ov))
+			}
+			slot := o.Class.FieldSlot(fname)
+			if slot < 0 {
+				return nil, vm.errorf("class %s has no field %s", o.Class.Name(), fname)
+			}
+			o.Fields[slot] = v
+		case bytecode.GETSTATIC:
+			cls, fname, _ := pool.Ref(uint16(in.A))
+			sc := vm.classes[cls]
+			if sc == nil {
+				return nil, vm.errorf("getstatic on unknown class %s", cls)
+			}
+			st := sc.staticsFor(fname)
+			if st == nil {
+				return nil, vm.errorf("no static field %s.%s", cls, fname)
+			}
+			push(st[fname])
+		case bytecode.PUTSTATIC:
+			cls, fname, _ := pool.Ref(uint16(in.A))
+			sc := vm.classes[cls]
+			if sc == nil {
+				return nil, vm.errorf("putstatic on unknown class %s", cls)
+			}
+			st := sc.staticsFor(fname)
+			if st == nil {
+				return nil, vm.errorf("no static field %s.%s", cls, fname)
+			}
+			st[fname] = pop()
+
+		case bytecode.INVOKEVIRTUAL, bytecode.INVOKESPECIAL, bytecode.INVOKESTATIC:
+			cls, name, desc := pool.Ref(uint16(in.A))
+			params, ret, err := bytecode.ParseMethodDesc(desc)
+			if err != nil {
+				return nil, vm.errorf("bad descriptor %s: %v", desc, err)
+			}
+			nargs := len(params)
+			if in.Op != bytecode.INVOKESTATIC {
+				nargs++
+			}
+			if len(stack) < nargs {
+				return nil, vm.errorf("stack underflow calling %s.%s", cls, name)
+			}
+			callArgs := make([]Value, nargs)
+			copy(callArgs, stack[len(stack)-nargs:])
+			stack = stack[:len(stack)-nargs]
+
+			var tc *Class
+			var tm *bytecode.Method
+			switch in.Op {
+			case bytecode.INVOKEVIRTUAL:
+				recv := callArgs[0]
+				ro, ok := recv.(*Object)
+				if !ok || ro == nil {
+					return nil, vm.errorf("invokevirtual %s.%s on %s", cls, name, Stringify(recv))
+				}
+				bm := ro.Class.lookupVirtual(name, desc)
+				if bm == nil {
+					return nil, vm.errorf("no method %s:%s on %s", name, desc, ro.Class.Name())
+				}
+				tc, tm = bm.class, bm.method
+			default:
+				sc := vm.classes[cls]
+				if sc == nil {
+					return nil, vm.errorf("call to unknown class %s", cls)
+				}
+				bm := sc.lookupVirtual(name, desc)
+				if bm == nil {
+					return nil, vm.errorf("no method %s.%s:%s", cls, name, desc)
+				}
+				tc, tm = bm.class, bm.method
+			}
+			rv, err := vm.Invoke(tc, tm, callArgs)
+			if err != nil {
+				return nil, err
+			}
+			if ret != "V" {
+				push(rv)
+			}
+
+		case bytecode.CHECKCAST:
+			name := pool.ClassName(uint16(in.A))
+			v := stack[len(stack)-1]
+			if v == nil {
+				break
+			}
+			if !vm.instanceOf(v, name) {
+				return nil, vm.errorf("cannot cast %s to %s", Stringify(v), name)
+			}
+		case bytecode.INSTANCEOF:
+			name := pool.ClassName(uint16(in.A))
+			v := pop()
+			if v != nil && vm.instanceOf(v, name) {
+				push(int64(1))
+			} else {
+				push(int64(0))
+			}
+
+		case bytecode.NEWARRAY:
+			elem := pool.Utf8(uint16(in.A))
+			n := popI()
+			a, err := vm.NewArray(elem, int(n))
+			if err != nil {
+				return nil, err
+			}
+			push(a)
+		case bytecode.ARRAYLENGTH:
+			av := pop()
+			a, ok := av.(*Array)
+			if !ok || a == nil {
+				return nil, vm.errorf("arraylength of %s", Stringify(av))
+			}
+			push(int64(len(a.Data)))
+		case bytecode.IALOAD, bytecode.FALOAD, bytecode.AALOAD:
+			idx := popI()
+			av := pop()
+			a, ok := av.(*Array)
+			if !ok || a == nil {
+				return nil, vm.errorf("array load on %s", Stringify(av))
+			}
+			if idx < 0 || int(idx) >= len(a.Data) {
+				return nil, vm.errorf("array index %d out of bounds [0,%d)", idx, len(a.Data))
+			}
+			push(a.Data[idx])
+		case bytecode.IASTORE, bytecode.FASTORE, bytecode.AASTORE:
+			v := pop()
+			idx := popI()
+			av := pop()
+			a, ok := av.(*Array)
+			if !ok || a == nil {
+				return nil, vm.errorf("array store on %s", Stringify(av))
+			}
+			if idx < 0 || int(idx) >= len(a.Data) {
+				return nil, vm.errorf("array index %d out of bounds [0,%d)", idx, len(a.Data))
+			}
+			a.Data[idx] = v
+
+		case bytecode.RETURN:
+			return nil, nil
+		case bytecode.IRETURN, bytecode.FRETURN, bytecode.ARETURN:
+			return pop(), nil
+
+		default:
+			return nil, vm.errorf("unimplemented opcode %v", in.Op)
+		}
+		pc++
+	}
+}
+
+// refEqual implements reference equality with string value semantics.
+func refEqual(a, b Value) bool {
+	if a == nil || b == nil {
+		return a == nil && b == nil
+	}
+	switch x := a.(type) {
+	case string:
+		y, ok := b.(string)
+		return ok && x == y
+	case *Object:
+		y, ok := b.(*Object)
+		return ok && x == y
+	case *Array:
+		y, ok := b.(*Array)
+		return ok && x == y
+	}
+	return false
+}
+
+// instanceOf implements CHECKCAST/INSTANCEOF semantics for both class
+// names and array descriptors.
+func (vm *VM) instanceOf(v Value, name string) bool {
+	switch x := v.(type) {
+	case *Object:
+		target := vm.classes[name]
+		return target != nil && x.Class.IsSubclassOf(target)
+	case *Array:
+		if name == "Object" {
+			return true
+		}
+		return len(name) > 0 && name[0] == '[' && name == "["+x.Elem
+	case string:
+		return name == "T"
+	}
+	return false
+}

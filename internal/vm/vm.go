@@ -1,0 +1,346 @@
+package vm
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"autodist/internal/bytecode"
+)
+
+// NativeFunc implements a native method. For instance methods args[0]
+// is the receiver.
+type NativeFunc func(vm *VM, args []Value) (Value, error)
+
+// StackEntry identifies one frame for the sampling profiler.
+type StackEntry struct {
+	Class  string
+	Method string
+}
+
+// Hooks are the profiler's attachment points (paper §6). All hooks are
+// optional; a nil hook costs one branch per event.
+type Hooks struct {
+	// MethodEnter/MethodExit implement instrumentation-based metrics
+	// (method duration and frequency).
+	MethodEnter func(class, method string)
+	MethodExit  func(class, method string)
+	// OnAlloc overloads the allocator (memory allocation metric).
+	// size is the number of value slots allocated.
+	OnAlloc func(class string, size int)
+	// OnQuantum is the sampling hook: it fires every Quantum
+	// interpreted instructions with a snapshot of the call stack,
+	// modelling Joeq's interrupter-thread scheduling quantum.
+	OnQuantum func(stack []StackEntry)
+	// Quantum is the sampling period in interpreted instructions.
+	Quantum int
+}
+
+// TimeModel charges simulated cycles per interpreted instruction so
+// heterogeneous nodes (the paper's 1.7 GHz service node vs the 800 MHz
+// compute node) can be modelled deterministically.
+type TimeModel struct {
+	// CyclesPerSecond converts accumulated cycles to simulated time.
+	// The paper's compute node is modelled as 800e6, the service node
+	// as 1700e6.
+	CyclesPerSecond float64
+}
+
+// VM is one virtual machine instance (one "node" in the distributed
+// configuration).
+type VM struct {
+	prog    *bytecode.Program
+	classes map[string]*Class
+	natives map[string]NativeFunc
+
+	// Out receives System.print output.
+	Out io.Writer
+	// Hooks are profiler attachment points.
+	Hooks Hooks
+	// Time is the optional simulated-clock model; when nil the VM
+	// does not track cycles.
+	Time *TimeModel
+	// MaxSteps aborts execution after this many interpreted
+	// instructions (0 = unlimited); a safety net for tests.
+	MaxSteps uint64
+
+	// Cycles is the accumulated simulated cycle count.
+	Cycles uint64
+
+	steps    uint64
+	nextObj  int64
+	stack    []StackEntry
+	quantumC int
+
+	// NowMillis supplies System.currentTimeMillis; defaults to wall
+	// clock. Tests and the simulator override it.
+	NowMillis func() int64
+
+	// Stats track allocator activity (memory profile, Table 3).
+	Stats Stats
+}
+
+// Stats accumulates allocator counters.
+type Stats struct {
+	ObjectsAllocated int64
+	ArraysAllocated  int64
+	SlotsAllocated   int64
+}
+
+// New creates a VM for the program and loads every class.
+func New(prog *bytecode.Program) (*VM, error) {
+	vm := &VM{
+		prog:    prog,
+		classes: make(map[string]*Class),
+		natives: make(map[string]NativeFunc),
+		Out:     os.Stdout,
+		NowMillis: func() int64 {
+			return time.Now().UnixMilli()
+		},
+	}
+	for _, name := range prog.Names() {
+		if _, err := vm.loadClass(name); err != nil {
+			return nil, err
+		}
+	}
+	registerBuiltins(vm)
+	return vm, nil
+}
+
+// Program returns the loaded program.
+func (vm *VM) Program() *bytecode.Program { return vm.prog }
+
+// Class returns a loaded class by name, or nil.
+func (vm *VM) Class(name string) *Class { return vm.classes[name] }
+
+// RegisterNative installs a native implementation for
+// "Class.name:desc". The runtime package uses this to implement
+// DependentObject.
+func (vm *VM) RegisterNative(class, name, desc string, fn NativeFunc) {
+	vm.natives[class+"."+name+":"+desc] = fn
+}
+
+// AddClass loads an additional class after construction (used by the
+// distributed runtime to inject DependentObject).
+func (vm *VM) AddClass(cf *bytecode.ClassFile) (*Class, error) {
+	vm.prog.Add(cf)
+	return vm.loadClass(cf.Name)
+}
+
+func (vm *VM) loadClass(name string) (*Class, error) {
+	if c, ok := vm.classes[name]; ok {
+		return c, nil
+	}
+	cf := vm.prog.Class(name)
+	if cf == nil {
+		return nil, fmt.Errorf("vm: class %s not found", name)
+	}
+	c := &Class{
+		File:        cf,
+		fieldIdx:    make(map[string]int),
+		fieldDesc:   make(map[string]string),
+		statics:     make(map[string]Value),
+		methodCache: make(map[string]*boundMethod),
+	}
+	// Install before recursing so self-references terminate.
+	vm.classes[name] = c
+	if cf.Super != "" {
+		sup, err := vm.loadClass(cf.Super)
+		if err != nil {
+			delete(vm.classes, name)
+			return nil, fmt.Errorf("vm: loading super of %s: %w", name, err)
+		}
+		c.Super = sup
+		for fn, fi := range sup.fieldIdx {
+			c.fieldIdx[fn] = fi
+			c.fieldDesc[fn] = sup.fieldDesc[fn]
+		}
+		c.numFields = sup.numFields
+	}
+	for i := range cf.Fields {
+		f := &cf.Fields[i]
+		if f.IsStatic() {
+			c.statics[f.Name] = zeroValue(f.Desc)
+			continue
+		}
+		if _, shadow := c.fieldIdx[f.Name]; !shadow {
+			c.fieldIdx[f.Name] = c.numFields
+			c.numFields++
+		}
+		c.fieldDesc[f.Name] = f.Desc
+	}
+	return c, nil
+}
+
+// NewObject allocates an instance of class with zeroed fields.
+func (vm *VM) NewObject(c *Class) *Object {
+	vm.nextObj++
+	o := &Object{Class: c, Fields: make([]Value, c.numFields), ID: vm.nextObj}
+	for name, idx := range c.fieldIdx {
+		o.Fields[idx] = zeroValue(c.fieldDesc[name])
+	}
+	vm.Stats.ObjectsAllocated++
+	vm.Stats.SlotsAllocated += int64(c.numFields)
+	if vm.Hooks.OnAlloc != nil {
+		vm.Hooks.OnAlloc(c.Name(), c.numFields)
+	}
+	vm.charge(cycAlloc + uint64(c.numFields))
+	return o
+}
+
+// NewArray allocates an array with zeroed elements.
+func (vm *VM) NewArray(elem string, n int) (*Array, error) {
+	if n < 0 {
+		return nil, vm.errorf("negative array size %d", n)
+	}
+	vm.nextObj++
+	a := &Array{Elem: elem, Data: make([]Value, n), ID: vm.nextObj}
+	z := zeroValue(elem)
+	for i := range a.Data {
+		a.Data[i] = z
+	}
+	vm.Stats.ArraysAllocated++
+	vm.Stats.SlotsAllocated += int64(n)
+	if vm.Hooks.OnAlloc != nil {
+		vm.Hooks.OnAlloc("["+elem, n)
+	}
+	vm.charge(cycAlloc + uint64(n)/4)
+	return a, nil
+}
+
+// LookupVirtual resolves a virtual call on dynamic class c.
+func (c *Class) lookupVirtual(name, desc string) *boundMethod {
+	key := name + ":" + desc
+	if bm, ok := c.methodCache[key]; ok {
+		return bm
+	}
+	for x := c; x != nil; x = x.Super {
+		if m := x.File.Method(name, desc); m != nil {
+			bm := &boundMethod{class: x, method: m}
+			c.methodCache[key] = bm
+			return bm
+		}
+	}
+	c.methodCache[key] = nil
+	return nil
+}
+
+// Statics returns the static-field store of the class declaring name,
+// walking up the hierarchy.
+func (c *Class) staticsFor(name string) map[string]Value {
+	for x := c; x != nil; x = x.Super {
+		if _, ok := x.statics[name]; ok {
+			return x.statics
+		}
+	}
+	return nil
+}
+
+// GetStatic reads a static field (test/diagnostic helper).
+func (vm *VM) GetStatic(class, field string) (Value, error) {
+	c := vm.classes[class]
+	if c == nil {
+		return nil, fmt.Errorf("vm: class %s not found", class)
+	}
+	st := c.staticsFor(field)
+	if st == nil {
+		return nil, fmt.Errorf("vm: no static %s.%s", class, field)
+	}
+	return st[field], nil
+}
+
+// SetStatic writes a static field (runtime/diagnostic helper).
+func (vm *VM) SetStatic(class, field string, v Value) error {
+	c := vm.classes[class]
+	if c == nil {
+		return fmt.Errorf("vm: class %s not found", class)
+	}
+	st := c.staticsFor(field)
+	if st == nil {
+		return fmt.Errorf("vm: no static %s.%s", class, field)
+	}
+	st[field] = v
+	return nil
+}
+
+// RunMain executes the program's main class.
+func (vm *VM) RunMain() error {
+	if vm.prog.MainClass == "" {
+		return fmt.Errorf("vm: program has no main class")
+	}
+	c := vm.classes[vm.prog.MainClass]
+	if c == nil {
+		return fmt.Errorf("vm: main class %s not loaded", vm.prog.MainClass)
+	}
+	m := c.File.Method("main", "()V")
+	if m == nil {
+		return fmt.Errorf("vm: %s has no main()V", vm.prog.MainClass)
+	}
+	_, err := vm.Invoke(c, m, nil)
+	return err
+}
+
+// CallMethod invokes a named method with arguments (helper for the
+// runtime and tests). For instance methods args[0] must be the receiver.
+func (vm *VM) CallMethod(class, name, desc string, args []Value) (Value, error) {
+	c := vm.classes[class]
+	if c == nil {
+		return nil, fmt.Errorf("vm: class %s not found", class)
+	}
+	bm := c.lookupVirtual(name, desc)
+	if bm == nil {
+		return nil, fmt.Errorf("vm: no method %s.%s:%s", class, name, desc)
+	}
+	return vm.Invoke(bm.class, bm.method, args)
+}
+
+// SimSeconds converts accumulated cycles to simulated seconds (0 when
+// no time model is attached).
+func (vm *VM) SimSeconds() float64 {
+	if vm.Time == nil || vm.Time.CyclesPerSecond <= 0 {
+		return 0
+	}
+	return float64(vm.Cycles) / vm.Time.CyclesPerSecond
+}
+
+// ChargeCycles adds simulated cycles from outside the interpreter (the
+// transport charges communication costs this way).
+func (vm *VM) ChargeCycles(n uint64) { vm.Cycles += n }
+
+func (vm *VM) charge(n uint64) {
+	if vm.Time != nil {
+		vm.Cycles += n
+	}
+}
+
+// VMError is a runtime error with an interpreter stack trace.
+type VMError struct {
+	Msg   string
+	Stack []StackEntry
+}
+
+func (e *VMError) Error() string {
+	s := "vm: " + e.Msg
+	for i := len(e.Stack) - 1; i >= 0; i-- {
+		s += fmt.Sprintf("\n\tat %s.%s", e.Stack[i].Class, e.Stack[i].Method)
+	}
+	return s
+}
+
+func (vm *VM) errorf(format string, args ...any) error {
+	st := make([]StackEntry, len(vm.stack))
+	copy(st, vm.stack)
+	return &VMError{Msg: fmt.Sprintf(format, args...), Stack: st}
+}
+
+// CallStack returns a snapshot of the current interpreter call stack
+// (outermost first).
+func (vm *VM) CallStack() []StackEntry {
+	st := make([]StackEntry, len(vm.stack))
+	copy(st, vm.stack)
+	return st
+}
+
+// Steps returns the number of interpreted instructions so far.
+func (vm *VM) Steps() uint64 { return vm.steps }

@@ -1,0 +1,311 @@
+package autodist
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"autodist/internal/analysis"
+	"autodist/internal/bytecode"
+	"autodist/internal/codegen"
+	"autodist/internal/compile"
+	"autodist/internal/lang"
+	"autodist/internal/partition"
+	"autodist/internal/profiler"
+	"autodist/internal/quad"
+	"autodist/internal/rewrite"
+	"autodist/internal/runtime"
+	"autodist/internal/transport"
+	"autodist/internal/vm"
+)
+
+// Program is a compiled MJ program: the unit the distribution pipeline
+// operates on.
+type Program struct {
+	Bytecode *bytecode.Program
+	Checked  *lang.Program
+}
+
+// CompileString parses, type-checks and compiles MJ source files into a
+// Program. Multiple sources form one compilation unit.
+func CompileString(srcs ...string) (*Program, error) {
+	bp, checked, err := compile.CompileSource(srcs...)
+	if err != nil {
+		return nil, err
+	}
+	return &Program{Bytecode: bp, Checked: checked}, nil
+}
+
+// RunOptions configures sequential and distributed execution.
+type RunOptions struct {
+	// Out receives program output; defaults to io.Discard.
+	Out io.Writer
+	// MaxSteps bounds interpretation (0 = default safety limit).
+	MaxSteps uint64
+	// CPUSpeeds enables the virtual clock: one cycles-per-second
+	// figure per node (sequential runs use CPUSpeeds[0]).
+	CPUSpeeds []float64
+	// Net models communication costs on the virtual clock.
+	Net *NetModel
+	// TCP executes over local TCP sockets instead of in-process
+	// channels (distributed runs only).
+	TCP bool
+}
+
+// NetModel re-exports the runtime's communication cost model.
+type NetModel = runtime.NetModel
+
+const defaultMaxSteps = 2_000_000_000
+
+// RunResult reports an execution's outcome.
+type RunResult struct {
+	// Output is the program's printed output when Out was nil.
+	Output string
+	// Wall is the host-measured execution time.
+	Wall time.Duration
+	// SimSeconds is the virtual-clock completion time (0 without
+	// CPUSpeeds).
+	SimSeconds float64
+	// Messages and Bytes count distribution traffic (0 sequentially).
+	Messages int64
+	// BytesSent counts payload bytes moved between nodes.
+	BytesSent int64
+}
+
+// Run executes the program sequentially on one VM.
+func (p *Program) Run(opts RunOptions) (*RunResult, error) {
+	machine, err := vm.New(p.Bytecode.Clone())
+	if err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	if opts.Out != nil {
+		machine.Out = opts.Out
+	} else {
+		machine.Out = &sb
+	}
+	machine.MaxSteps = opts.MaxSteps
+	if machine.MaxSteps == 0 {
+		machine.MaxSteps = defaultMaxSteps
+	}
+	if len(opts.CPUSpeeds) > 0 {
+		machine.Time = &vm.TimeModel{CyclesPerSecond: opts.CPUSpeeds[0]}
+	}
+	start := time.Now()
+	if err := machine.RunMain(); err != nil {
+		return nil, err
+	}
+	return &RunResult{
+		Output:     sb.String(),
+		Wall:       time.Since(start),
+		SimSeconds: machine.SimSeconds(),
+	}, nil
+}
+
+// Profile runs the program under one profiler metric and returns the
+// profiler alongside the run result.
+func (p *Program) Profile(metric ProfileMetric, opts RunOptions) (*profiler.Profiler, *RunResult, error) {
+	machine, err := vm.New(p.Bytecode.Clone())
+	if err != nil {
+		return nil, nil, err
+	}
+	var sb strings.Builder
+	if opts.Out != nil {
+		machine.Out = opts.Out
+	} else {
+		machine.Out = &sb
+	}
+	machine.MaxSteps = opts.MaxSteps
+	if machine.MaxSteps == 0 {
+		machine.MaxSteps = defaultMaxSteps
+	}
+	prof := profiler.Attach(machine, metric)
+	start := time.Now()
+	if err := machine.RunMain(); err != nil {
+		return nil, nil, err
+	}
+	return prof, &RunResult{Output: sb.String(), Wall: time.Since(start)}, nil
+}
+
+// ProfileMetric re-exports the profiler's metric enum.
+type ProfileMetric = profiler.Metric
+
+// Profiler metrics (paper §6).
+const (
+	ProfileNone             = profiler.None
+	ProfileMethodDuration   = profiler.MethodDuration
+	ProfileMethodFrequency  = profiler.MethodFrequency
+	ProfileHotMethods       = profiler.HotMethods
+	ProfileHotPaths         = profiler.HotPaths
+	ProfileMemoryAllocation = profiler.MemoryAllocation
+	ProfileDynamicCallGraph = profiler.DynamicCallGraph
+)
+
+// Analysis is the dependence-analysis stage output.
+type Analysis struct {
+	Program *Program
+	Result  *analysis.Result
+}
+
+// Analyze builds the call graph, class relation graph and object
+// dependence graph (paper §2).
+func (p *Program) Analyze() (*Analysis, error) {
+	res, err := analysis.Analyze(p.Bytecode)
+	if err != nil {
+		return nil, err
+	}
+	return &Analysis{Program: p, Result: res}, nil
+}
+
+// WriteCRG emits the class relation graph in VCG format (Figure 3).
+func (a *Analysis) WriteCRG(w io.Writer) error { return a.Result.CRG.Graph.VCG(w) }
+
+// WriteODG emits the object dependence graph in VCG format (Figure 4);
+// partition annotations appear once Partition has run.
+func (a *Analysis) WriteODG(w io.Writer) error { return a.Result.ODG.Graph.VCG(w) }
+
+// PartitionOptions re-exports the partitioner's options.
+type PartitionOptions = partition.Options
+
+// Partition methods.
+const (
+	PartitionMultilevel = partition.Multilevel
+	PartitionFlatKL     = partition.FlatKL
+	PartitionRoundRobin = partition.RoundRobin
+	PartitionRandom     = partition.Random
+)
+
+// Plan is the partitioning stage output: every object assigned a
+// virtual processor.
+type Plan struct {
+	Analysis  *Analysis
+	K         int
+	Partition *partition.Result
+}
+
+// Partition splits the ODG into k parts (paper §3). opts.K is
+// overridden by k.
+func (a *Analysis) Partition(k int, opts PartitionOptions) (*Plan, error) {
+	opts.K = k
+	res, err := partition.Partition(a.Result.ODG.Graph, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Analysis: a, K: k, Partition: res}, nil
+}
+
+// Distribution is the communication-generation stage output: one
+// rewritten program per node.
+type Distribution struct {
+	Plan   *Plan
+	Result *rewrite.Result
+}
+
+// Rewrite generates per-node programs with communication calls
+// (paper §4.2, Figures 8–9).
+func (pl *Plan) Rewrite() (*Distribution, error) {
+	res, err := rewrite.Rewrite(pl.Analysis.Program.Bytecode, pl.Analysis.Result, pl.K)
+	if err != nil {
+		return nil, err
+	}
+	return &Distribution{Plan: pl, Result: res}, nil
+}
+
+// Run executes the distributed program (paper §5): one node per
+// partition, ExecutionStarter on node 0.
+func (d *Distribution) Run(opts RunOptions) (*RunResult, error) {
+	k := d.Plan.K
+	var eps []transport.Endpoint
+	if opts.TCP {
+		var err error
+		eps, err = transport.NewTCPCluster(k)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		eps = transport.NewInProc(k)
+	}
+	var sb strings.Builder
+	out := opts.Out
+	if out == nil {
+		out = &sb
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = defaultMaxSteps
+	}
+	progs := make([]*bytecode.Program, k)
+	for i, np := range d.Result.Nodes {
+		progs[i] = np
+	}
+	cluster, err := runtime.NewCluster(progs, d.Result.Plan, eps, runtime.Options{
+		Out: out, CPUSpeeds: opts.CPUSpeeds, Net: opts.Net, MaxSteps: maxSteps,
+	})
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if err := cluster.Run(); err != nil {
+		return nil, err
+	}
+	stats := cluster.TotalStats()
+	return &RunResult{
+		Output:     sb.String(),
+		Wall:       time.Since(start),
+		SimSeconds: cluster.SimSeconds(),
+		Messages:   stats.MessagesSent,
+		BytesSent:  stats.BytesSent,
+	}, nil
+}
+
+// Disassemble renders a method's bytecode (empty string if missing).
+func (p *Program) Disassemble(class, method string) string {
+	cf := p.Bytecode.Class(class)
+	if cf == nil {
+		return ""
+	}
+	m := cf.MethodByName(method)
+	if m == nil {
+		return ""
+	}
+	return bytecode.DisasmMethod(cf, m)
+}
+
+// Quads renders a method's quad IR in the paper's Figure 5 format.
+func (p *Program) Quads(class, method string) (string, error) {
+	cf := p.Bytecode.Class(class)
+	if cf == nil {
+		return "", fmt.Errorf("autodist: class %s not found", class)
+	}
+	m := cf.MethodByName(method)
+	if m == nil {
+		return "", fmt.Errorf("autodist: method %s.%s not found", class, method)
+	}
+	f, err := quad.Translate(cf, m)
+	if err != nil {
+		return "", err
+	}
+	return f.Format(), nil
+}
+
+// GenerateAssembly emits native assembly for a method on the named
+// target ("x86" or "strongarm", Figure 7).
+func (p *Program) GenerateAssembly(class, method, target string) (string, error) {
+	cf := p.Bytecode.Class(class)
+	if cf == nil {
+		return "", fmt.Errorf("autodist: class %s not found", class)
+	}
+	m := cf.MethodByName(method)
+	if m == nil {
+		return "", fmt.Errorf("autodist: method %s.%s not found", class, method)
+	}
+	f, err := quad.Translate(cf, m)
+	if err != nil {
+		return "", err
+	}
+	return codegen.Generate(f, target)
+}
+
+// Targets lists the code-generation targets.
+func Targets() []string { return codegen.Targets() }
