@@ -82,14 +82,21 @@ func BenchmarkTable2DistributionPipeline(b *testing.B) {
 	}
 }
 
-// BenchmarkFigure11DistributedExecution regenerates Figure 11 and times
-// one full distributed run of the bank-style crypt benchmark.
+// BenchmarkFigure11DistributedExecution regenerates Figure 11 plus the
+// message-exchange optimisation A/B table, and times one full
+// distributed run of the bank-style crypt benchmark per optimisation
+// setting, reporting the protocol counters as benchmark metrics.
 func BenchmarkFigure11DistributedExecution(b *testing.B) {
 	rows, err := experiments.Figure11()
 	if err != nil {
 		b.Fatal(err)
 	}
 	printTable(b, "fig11", experiments.FormatFigure11(rows))
+	mrows, err := experiments.TableMessages()
+	if err != nil {
+		b.Fatal(err)
+	}
+	printTable(b, "fig11msgs", experiments.FormatTableMessages(mrows))
 	p, err := bench.Get("crypt")
 	if err != nil {
 		b.Fatal(err)
@@ -98,23 +105,38 @@ func BenchmarkFigure11DistributedExecution(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		an, err := prog.Analyze()
-		if err != nil {
-			b.Fatal(err)
-		}
-		plan, err := an.Partition(2, autodist.PartitionOptions{Seed: 1, Epsilon: experiments.BalanceEps})
-		if err != nil {
-			b.Fatal(err)
-		}
-		dist, err := plan.Rewrite()
-		if err != nil {
-			b.Fatal(err)
-		}
-		if _, err := dist.Run(autodist.RunOptions{}); err != nil {
-			b.Fatal(err)
-		}
+	for _, cfg := range []struct {
+		name        string
+		unoptimized bool
+	}{{"Optimized", false}, {"Unoptimized", true}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var last *autodist.RunResult
+			for i := 0; i < b.N; i++ {
+				an, err := prog.Analyze()
+				if err != nil {
+					b.Fatal(err)
+				}
+				plan, err := an.Partition(2, autodist.PartitionOptions{Seed: 1, Epsilon: experiments.BalanceEps})
+				if err != nil {
+					b.Fatal(err)
+				}
+				dist, err := plan.Rewrite()
+				if err != nil {
+					b.Fatal(err)
+				}
+				last, err = dist.Run(autodist.RunOptions{Unoptimized: cfg.unoptimized})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if last != nil {
+				b.ReportMetric(float64(last.Messages), "msgs/run")
+				b.ReportMetric(float64(last.BytesSent), "wire-B/run")
+				b.ReportMetric(float64(last.CacheHits), "cachehits/run")
+				b.ReportMetric(float64(last.AsyncCalls), "async/run")
+				b.ReportMetric(float64(last.BatchFrames), "batches/run")
+			}
+		})
 	}
 }
 

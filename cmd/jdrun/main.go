@@ -23,6 +23,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "partitioner seed")
 	eps := flag.Float64("eps", 0.6, "partitioner imbalance tolerance")
 	tcp := flag.Bool("tcp", false, "use local TCP transport instead of in-process channels")
+	unopt := flag.Bool("unoptimized", false, "disable message-exchange optimisations (caching/async/batching) for A/B runs")
 	sim := flag.Bool("sim", false, "enable the virtual clock (paper's heterogeneous testbed)")
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -47,7 +48,7 @@ func main() {
 		die(err)
 	}
 
-	opts := autodist.RunOptions{Out: os.Stdout, TCP: *tcp}
+	opts := autodist.RunOptions{Out: os.Stdout, TCP: *tcp, Unoptimized: *unopt}
 	if *sim {
 		speeds := make([]float64, *k)
 		for i := range speeds {
@@ -89,6 +90,8 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "distributed over %d nodes: %d messages, %d payload bytes (wall %v)\n",
 		*k, res.Messages, res.BytesSent, res.Wall)
+	fmt.Fprintf(os.Stderr, "optimisations: %d cache hits, %d async calls in %d batch frames\n",
+		res.CacheHits, res.AsyncCalls, res.BatchFrames)
 	if *sim {
 		fmt.Fprintf(os.Stderr, "simulated time: %.6fs\n", res.SimSeconds)
 	}

@@ -1,0 +1,3 @@
+module autodist
+
+go 1.24

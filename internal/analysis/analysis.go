@@ -13,12 +13,18 @@ type Result struct {
 	CRG       *CRG
 	ODG       *ODG
 
+	// Facts carries the cheap static facts (write-once fields,
+	// confined void methods) that license the message-exchange
+	// optimisations in rewrite and runtime.
+	Facts *Facts
+
 	// MainClass is the class whose static main() starts the program.
 	MainClass string
 
 	// Timings for Table 2 (construct columns).
-	CRGTime time.Duration
-	ODGTime time.Duration
+	CRGTime   time.Duration
+	ODGTime   time.Duration
+	FactsTime time.Duration
 }
 
 // Analyze runs the full pipeline: RTA call graph → class relation graph
@@ -42,6 +48,10 @@ func Analyze(p *bytecode.Program) (*Result, error) {
 		return nil, err
 	}
 	res.ODGTime = time.Since(t1)
+
+	t2 := time.Now()
+	res.Facts = BuildFacts(p, cg)
+	res.FactsTime = time.Since(t2)
 
 	res.CallGraph = cg
 	res.CRG = crg

@@ -1,0 +1,262 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"autodist/internal/analysis"
+	"autodist/internal/compile"
+)
+
+func factsFor(t *testing.T, src string) *analysis.Facts {
+	t.Helper()
+	bp, _, err := compile.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analysis.Analyze(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Facts == nil {
+		t.Fatal("Analyze did not populate Facts")
+	}
+	return res.Facts
+}
+
+const factsSource = `
+class Config {
+	int size;
+	string name;
+	int[] params;
+	Counter counter;
+	Config(int size, string name) {
+		this.size = size;
+		this.name = name;
+		this.params = new int[4];
+		this.counter = new Counter();
+	}
+	int getSize() { return this.size; }
+}
+class Counter {
+	int count;
+	int rewrites;
+	void bump(int n) { this.count += n; }
+	void bumpOther(Counter other) { other.rewrites = other.rewrites + 1; }
+	void report() { System.println("count=" + this.count); }
+	void alloc() { Counter c = new Counter(); this.count += c.count; }
+}
+class Wrapper {
+	Counter inner;
+	int reads;
+	Wrapper() { this.inner = new Counter(); }
+	void poke(int n) { this.inner.bump(n); }
+	void peek() { this.reads = this.inner.count; }
+	void stat(int n) { Shared.total = Shared.total + n; }
+}
+class Shared {
+	static int total;
+}
+class Main {
+	static void main() {
+		Config cfg = new Config(8, "x");
+		Counter c = new Counter();
+		c.bump(2);
+		c.bumpOther(c);
+		c.report();
+		c.alloc();
+		Wrapper w = new Wrapper();
+		w.poke(1);
+		w.peek();
+		w.stat(1);
+		System.println("" + (cfg.getSize() + c.count + w.reads + Shared.total));
+	}
+}
+`
+
+func TestFieldImmutability(t *testing.T) {
+	f := factsFor(t, factsSource)
+	cases := []struct {
+		cls, name, desc string
+		want            bool
+	}{
+		// Written only in the constructor through this.
+		{"Config", "size", "I", true},
+		{"Config", "name", "T", true},
+		// Constructor-only but array-typed: contents copy semantics
+		// exclude it from caching.
+		{"Config", "params", "[I", false},
+		// Constructor-only object reference: cacheable.
+		{"Config", "counter", "LCounter;", true},
+		// Written outside constructors.
+		{"Counter", "count", "I", false},
+		// Written through a non-this receiver, even if the writer is
+		// never a constructor.
+		{"Counter", "rewrites", "I", false},
+		{"Wrapper", "reads", "I", false},
+		// Never written at all after construction.
+		{"Wrapper", "inner", "LCounter;", true},
+	}
+	for _, c := range cases {
+		if got := f.FieldImmutable(c.cls, c.name, c.desc); got != c.want {
+			t.Errorf("FieldImmutable(%s.%s %s) = %v, want %v", c.cls, c.name, c.desc, got, c.want)
+		}
+	}
+}
+
+func TestAsyncConfinement(t *testing.T) {
+	f := factsFor(t, factsSource)
+	cases := []struct {
+		cls, name, desc string
+		want            bool
+	}{
+		// Touches only this-fields with a primitive parameter.
+		{"Counter", "bump", "(I)V", true},
+		// Writes a foreign receiver's field.
+		{"Counter", "bumpOther", "(LCounter;)V", false},
+		// Prints (System native).
+		{"Counter", "report", "()V", false},
+		// Allocates (the site could map to another node).
+		{"Counter", "alloc", "()V", false},
+		// Calls a confined method through a this-field receiver:
+		// confined, with the field class in the touch set.
+		{"Wrapper", "poke", "(I)V", true},
+		// Reads a field of a this-field receiver (not this).
+		{"Wrapper", "peek", "()V", false},
+		// Touches statics.
+		{"Wrapper", "stat", "(I)V", false},
+	}
+	for _, c := range cases {
+		_, got := f.AsyncConfined(c.cls, c.name, c.desc)
+		if got != c.want {
+			t.Errorf("AsyncConfined(%s.%s%s) = %v, want %v", c.cls, c.name, c.desc, got, c.want)
+		}
+	}
+	touch, ok := f.AsyncConfined("Wrapper", "poke", "(I)V")
+	if !ok {
+		t.Fatal("poke not confined")
+	}
+	found := false
+	for _, c := range touch {
+		if c == "Counter" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("poke touch set %v missing Counter", touch)
+	}
+}
+
+func TestAsyncConfinementOverrides(t *testing.T) {
+	// A call through a supertype is only async-safe if every override
+	// is confined.
+	src := `
+class Base { void tick(int n) { } }
+class Quiet extends Base { int t; void tick(int n) { this.t += n; } }
+class Loud extends Base { void tick(int n) { System.println("tick"); } }
+class Main {
+	static void main() {
+		Base a = new Quiet();
+		Base b = new Loud();
+		a.tick(1);
+		b.tick(1);
+	}
+}`
+	f := factsFor(t, src)
+	if _, ok := f.AsyncConfined("Base", "tick", "(I)V"); ok {
+		t.Error("call through Base must not be async: Loud.tick prints")
+	}
+	if _, ok := f.AsyncConfined("Quiet", "tick", "(I)V"); ok {
+		// Quiet's subclass set is {Quiet} only; this should be confined.
+		t.Log("note: Quiet.tick confined as expected")
+	} else {
+		t.Error("Quiet.tick should be confined")
+	}
+}
+
+func TestEscapingConstructorDisablesFieldCaching(t *testing.T) {
+	// A constructor that lets `this` escape (here: registering itself
+	// with another object before initialising a field) can expose the
+	// half-constructed object to a remote node; its fields must not
+	// be treated as cacheable even though they are only written in
+	// the constructor through this.
+	src := `
+class Registry {
+	Item last;
+	void register(Item it) { this.last = it; }
+}
+class Item {
+	int id;
+	Item(Registry r, int id) {
+		r.register(this);
+		this.id = id;
+	}
+}
+class Plain {
+	int id;
+	Plain(int id) { this.id = id; }
+}
+class Main {
+	static void main() {
+		Registry r = new Registry();
+		Item a = new Item(r, 7);
+		Plain p = new Plain(8);
+		System.println("" + (a.id + p.id));
+	}
+}`
+	f := factsFor(t, src)
+	if f.FieldImmutable("Item", "id", "I") {
+		t.Error("Item.id cacheable despite this escaping Item's constructor")
+	}
+	if !f.FieldImmutable("Plain", "id", "I") {
+		t.Error("Plain.id should stay cacheable (no escape)")
+	}
+}
+
+func TestConstructorHelperCallDisablesFieldCaching(t *testing.T) {
+	// Calling a non-constructor method on this during construction is
+	// treated as an escape (the helper could forward this outward).
+	src := `
+class Gadget {
+	int serial;
+	Gadget(int s) { this.setup(s); }
+	void setup(int s) { this.serial = s; }
+}
+class Main {
+	static void main() {
+		Gadget g = new Gadget(4);
+		System.println("" + g.serial);
+	}
+}`
+	f := factsFor(t, src)
+	if f.FieldImmutable("Gadget", "serial", "I") {
+		t.Error("Gadget.serial cacheable despite constructor helper call on this")
+	}
+}
+
+func TestCastDoesNotLaunderThisEscape(t *testing.T) {
+	// `(Item)this` must still be recognised as this by the escape
+	// analysis: a CHECKCAST preserves the reference.
+	src := `
+class Registry {
+	Item last;
+	void register(Item it) { this.last = it; }
+}
+class Item {
+	int id;
+	Item(Registry r, int id) {
+		r.register((Item)this);
+		this.id = id;
+	}
+}
+class Main {
+	static void main() {
+		Registry r = new Registry();
+		Item a = new Item(r, 7);
+		System.println("" + a.id);
+	}
+}`
+	f := factsFor(t, src)
+	if f.FieldImmutable("Item", "id", "I") {
+		t.Error("Item.id cacheable despite (Item)this escaping the constructor")
+	}
+}

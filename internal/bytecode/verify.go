@@ -63,6 +63,13 @@ func stackEffect(pool *ConstPool, in Instr) (pops, pushes int, err error) {
 	return 0, 0, fmt.Errorf("bytecode: no stack effect for %v", in.Op)
 }
 
+// StackEffect exposes an instruction's stack behaviour (pops, pushes)
+// to other analyses (e.g. the receiver-tracking dataflow in
+// internal/analysis/facts.go).
+func StackEffect(pool *ConstPool, in Instr) (pops, pushes int, err error) {
+	return stackEffect(pool, in)
+}
+
 // VerifyMethod checks structural well-formedness of a method: valid
 // opcodes and pool references, in-range branch targets and locals, a
 // consistent stack depth at every instruction (dataflow over the CFG),

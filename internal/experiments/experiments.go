@@ -142,12 +142,13 @@ func FormatTable1(rows []Table1Row) string {
 // Table2Row is one row of Table 2: the execution-time breakdown of the
 // distribution pipeline, in the paper's columns.
 type Table2Row struct {
-	Benchmark    string
-	ConstructCRG time.Duration
-	ConstructODG time.Duration
-	PartitionCRG time.Duration
-	PartitionODG time.Duration
-	Rewrite      time.Duration
+	Benchmark      string
+	ConstructCRG   time.Duration
+	ConstructODG   time.Duration
+	ConstructFacts time.Duration
+	PartitionCRG   time.Duration
+	PartitionODG   time.Duration
+	Rewrite        time.Duration
 }
 
 // Table2 measures the per-phase times of code distribution.
@@ -177,12 +178,13 @@ func Table2() ([]Table2Row, error) {
 			return nil, err
 		}
 		rows = append(rows, Table2Row{
-			Benchmark:    name,
-			ConstructCRG: res.CRGTime,
-			ConstructODG: res.ODGTime,
-			PartitionCRG: crgPart,
-			PartitionODG: odgPart,
-			Rewrite:      time.Since(t2),
+			Benchmark:      name,
+			ConstructCRG:   res.CRGTime,
+			ConstructODG:   res.ODGTime,
+			ConstructFacts: res.FactsTime,
+			PartitionCRG:   crgPart,
+			PartitionODG:   odgPart,
+			Rewrite:        time.Since(t2),
 		})
 	}
 	return rows, nil
@@ -193,12 +195,12 @@ func Table2() ([]Table2Row, error) {
 func FormatTable2(rows []Table2Row) string {
 	var b strings.Builder
 	b.WriteString("Table 2: execution time breakdown of code distribution (µs)\n")
-	b.WriteString(fmt.Sprintf("%-10s %12s %12s %12s %12s %10s\n",
-		"benchmark", "constructCRG", "constructODG", "partCRG", "partODG", "rewrite"))
+	b.WriteString(fmt.Sprintf("%-10s %12s %12s %12s %12s %12s %10s\n",
+		"benchmark", "constructCRG", "constructODG", "facts", "partCRG", "partODG", "rewrite"))
 	us := func(d time.Duration) int64 { return d.Microseconds() }
 	for _, r := range rows {
-		b.WriteString(fmt.Sprintf("%-10s %12d %12d %12d %12d %10d\n",
-			r.Benchmark, us(r.ConstructCRG), us(r.ConstructODG),
+		b.WriteString(fmt.Sprintf("%-10s %12d %12d %12d %12d %12d %10d\n",
+			r.Benchmark, us(r.ConstructCRG), us(r.ConstructODG), us(r.ConstructFacts),
 			us(r.PartitionCRG), us(r.PartitionODG), us(r.Rewrite)))
 	}
 	return b.String()
@@ -403,4 +405,93 @@ func shortMetric(m profiler.Metric) string {
 		return "CallGraph"
 	}
 	return m.String()
+}
+
+// MessageRow is one row of the message-optimisation A/B comparison:
+// the same distributed run with the message-exchange optimisations
+// (proxy-side caching, asynchronous void calls, batching) on and off.
+type MessageRow struct {
+	Benchmark   string
+	BaseMsgs    int64
+	BaseBytes   int64
+	OptMsgs     int64
+	OptBytes    int64
+	CacheHits   int64
+	AsyncCalls  int64
+	BatchFrames int64
+}
+
+// TableMessages measures the optimisations' effect on messages sent
+// and bytes on the wire across the Table 1 benchmarks.
+func TableMessages() ([]MessageRow, error) {
+	var rows []MessageRow
+	for _, name := range bench.Table1Names() {
+		bp, err := compileBench(name)
+		if err != nil {
+			return nil, err
+		}
+		res, err := analysis.Analyze(bp)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := partition.Partition(res.ODG.Graph, partition.Options{K: 2, Seed: 1, Epsilon: BalanceEps}); err != nil {
+			return nil, err
+		}
+		rw, err := rewrite.Rewrite(bp, res, 2)
+		if err != nil {
+			return nil, err
+		}
+		run := func(unoptimized bool) (runtime.NodeStats, error) {
+			var out strings.Builder
+			cluster, err := runtime.NewCluster(rw.Nodes, rw.Plan, transport.NewInProc(2), runtime.Options{
+				Out: &out, MaxSteps: 2_000_000_000, Unoptimized: unoptimized,
+			})
+			if err != nil {
+				return runtime.NodeStats{}, err
+			}
+			if err := cluster.Run(); err != nil {
+				return runtime.NodeStats{}, fmt.Errorf("%s (unoptimized=%v): %w", name, unoptimized, err)
+			}
+			return cluster.TotalStats(), nil
+		}
+		base, err := run(true)
+		if err != nil {
+			return nil, err
+		}
+		opt, err := run(false)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, MessageRow{
+			Benchmark: name,
+			BaseMsgs:  base.MessagesSent, BaseBytes: base.BytesSent,
+			OptMsgs: opt.MessagesSent, OptBytes: opt.BytesSent,
+			CacheHits:   opt.CacheHits,
+			AsyncCalls:  opt.AsyncCalls,
+			BatchFrames: opt.BatchFrames,
+		})
+	}
+	return rows, nil
+}
+
+// FormatTableMessages renders the A/B comparison with reduction
+// percentages.
+func FormatTableMessages(rows []MessageRow) string {
+	var b strings.Builder
+	b.WriteString("Message-exchange optimisation: messages and bytes, optimised vs baseline protocol\n")
+	b.WriteString(fmt.Sprintf("%-10s %6s %6s %7s | %8s %8s %7s | %5s %5s %5s\n",
+		"benchmark", "msgs0", "msgs", "red", "bytes0", "bytes", "red", "hit", "async", "batch"))
+	red := func(base, opt int64) string {
+		if base == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%.0f%%", float64(base-opt)/float64(base)*100)
+	}
+	for _, r := range rows {
+		b.WriteString(fmt.Sprintf("%-10s %6d %6d %7s | %8d %8d %7s | %5d %5d %5d\n",
+			r.Benchmark, r.BaseMsgs, r.OptMsgs, red(r.BaseMsgs, r.OptMsgs),
+			r.BaseBytes, r.OptBytes, red(r.BaseBytes, r.OptBytes),
+			r.CacheHits, r.AsyncCalls, r.BatchFrames))
+	}
+	return b.String()
 }

@@ -195,3 +195,29 @@ func TestTable3OverheadOrdering(t *testing.T) {
 		t.Errorf("Table 3 format incomplete:\n%s", out)
 	}
 }
+
+func TestMessageOptimizationReducesTraffic(t *testing.T) {
+	rows, err := TableMessages()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no rows")
+	}
+	var baseMsgs, optMsgs, baseBytes, optBytes int64
+	for _, r := range rows {
+		baseMsgs += r.BaseMsgs
+		optMsgs += r.OptMsgs
+		baseBytes += r.BaseBytes
+		optBytes += r.OptBytes
+		if r.OptMsgs > r.BaseMsgs {
+			t.Errorf("%s: optimised run sent MORE messages (%d > %d)", r.Benchmark, r.OptMsgs, r.BaseMsgs)
+		}
+	}
+	if optMsgs >= baseMsgs {
+		t.Errorf("total messages not reduced: %d vs %d", optMsgs, baseMsgs)
+	}
+	if optBytes >= baseBytes {
+		t.Errorf("total bytes not reduced: %d vs %d", optBytes, baseBytes)
+	}
+}

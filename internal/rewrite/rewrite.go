@@ -16,7 +16,13 @@ import (
 )
 
 // Access kinds carried in the first argument of DependentObject.access,
-// following Figure 8's INVOKE_METHOD_HASRETURN constant.
+// following Figure 8's INVOKE_METHOD_HASRETURN constant. The last two
+// are optimisation kinds stamped when the static facts pass licenses
+// them: GetFieldCached marks a read of a write-once field (the proxy
+// may cache it — a cache hit costs zero messages), and
+// InvokeMethodVoidAsync marks a void call whose execution is confined
+// to co-located objects (the runtime may fire it asynchronously and
+// aggregate consecutive ones into one batched frame).
 const (
 	InvokeMethodHasReturn = 1
 	InvokeMethodVoid      = 2
@@ -24,6 +30,8 @@ const (
 	PutField              = 4
 	GetStatic             = 5
 	PutStatic             = 6
+	GetFieldCached        = 7
+	InvokeMethodVoidAsync = 8
 )
 
 // DependentObjectClass is the name of the synthetic proxy class.
@@ -54,6 +62,29 @@ type Plan struct {
 	// ClassHasRemote[k][D] reports whether node k must treat class D
 	// as dependent (some D instance lives off-node).
 	ClassHasRemote map[int]map[string]bool
+	// ClassParts[C] is the set of nodes holding allocation sites of
+	// class C (used to decide whether an async-confined call's touch
+	// set is co-located).
+	ClassParts map[string]map[int]bool
+	// Facts carries the static facts the optimisation kinds rest on.
+	Facts *analysis.Facts
+}
+
+// CoLocated reports whether every allocation site of every class in
+// touch lies on a single node: the condition under which a confined
+// void call provably executes entirely on its receiver's home.
+func (p *Plan) CoLocated(touch []string) bool {
+	part := -1
+	for _, cls := range touch {
+		for n := range p.ClassParts[cls] {
+			if part < 0 {
+				part = n
+			} else if part != n {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // BuildPlan derives the plan from a partitioned ODG (vertices must
@@ -84,6 +115,7 @@ func BuildPlan(res *analysis.Result, k int) *Plan {
 		SitePart:       map[analysis.SiteKey]int{},
 		StaticPart:     map[string]int{},
 		ClassHasRemote: map[int]map[string]bool{},
+		Facts:          res.Facts,
 	}
 	for n := 0; n < k; n++ {
 		plan.ClassHasRemote[n] = map[string]bool{}
@@ -120,6 +152,7 @@ func BuildPlan(res *analysis.Result, k int) *Plan {
 			}
 		}
 	}
+	plan.ClassParts = classParts
 	return plan
 }
 
@@ -407,6 +440,12 @@ func (rw *methodRewriter) rewrite() error {
 			kind := int64(InvokeMethodHasReturn)
 			if ret == "V" {
 				kind = InvokeMethodVoid
+				// A confined void call whose touch set is co-located
+				// provably completes on the receiver's home node, so
+				// the runtime may fire it asynchronously and batch it.
+				if touch, ok := rw.plan.Facts.AsyncConfined(cls, name, desc); ok && rw.plan.CoLocated(touch) {
+					kind = InvokeMethodVoidAsync
+				}
 			}
 			ldcInt(kind)
 			ldcStr(name + ":" + desc)
@@ -421,7 +460,13 @@ func (rw *methodRewriter) rewrite() error {
 				rw.emit(in)
 				continue
 			}
-			ldcInt(GetField)
+			fieldKind := int64(GetField)
+			// Write-once fields never change after construction, so
+			// the proxy may serve repeat reads from its cache.
+			if rw.plan.Facts.FieldImmutable(cls, name, desc) {
+				fieldKind = GetFieldCached
+			}
+			ldcInt(fieldKind)
 			ldcStr(name)
 			rw.emit(bytecode.Instr{Op: bytecode.ACONSTNULL}) // no args
 			mref := pool.AddMethodRef(DependentObjectClass, "access", AccessDesc)

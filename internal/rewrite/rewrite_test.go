@@ -262,3 +262,78 @@ func TestSingleNodeRewriteIsIdentityModuloProxyClass(t *testing.T) {
 		t.Errorf("1-way rewrite changed code length: %d → %d", len(orig.Code), len(got.Code))
 	}
 }
+
+func TestOptimizationKindsStamped(t *testing.T) {
+	// The facts pass plus a co-locating plan must stamp GetFieldCached
+	// for write-once field reads and InvokeMethodVoidAsync for
+	// confined void calls; a mutable field read stays GetField.
+	src := `
+class Conf {
+	int size;
+	Conf(int s) { this.size = s; }
+}
+class Counter {
+	int v;
+	void bump(int n) { this.v += n; }
+}
+class Main {
+	static void main() {
+		Conf c = new Conf(4);
+		Counter k = new Counter();
+		k.bump(c.size);
+		System.println("" + (c.size + k.v));
+	}
+}`
+	bp, _, err := compile.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analysis.Analyze(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.ODG.Graph.Vertices() {
+		v.Part = 0
+	}
+	for _, s := range res.ODG.Sites {
+		if s.Allocated == "Conf" || s.Allocated == "Counter" {
+			res.ODG.Graph.Vertex(s.Node).Part = 1
+		}
+	}
+	plan := BuildPlan(res, 2)
+	if plan.Facts == nil {
+		t.Fatal("BuildPlan did not adopt analysis facts")
+	}
+	np, err := RewriteForNode(bp, plan, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[int64]bool{}
+	cf := np.Class("Main")
+	m := cf.Method("main", "()V")
+	for _, in := range m.Code {
+		if in.Op == bytecode.LDC && cf.Pool.Entry(uint16(in.A)).Tag == bytecode.TagInt {
+			kinds[cf.Pool.Entry(uint16(in.A)).Int] = true
+		}
+	}
+	if !kinds[GetFieldCached] {
+		t.Errorf("no GetFieldCached access stamped in rewritten main (constants seen: %v)", kinds)
+	}
+	if !kinds[InvokeMethodVoidAsync] {
+		t.Errorf("no InvokeMethodVoidAsync access stamped in rewritten main (constants seen: %v)", kinds)
+	}
+
+	// Split the touch set across nodes: the async stamp must vanish.
+	if plan.CoLocated([]string{"Conf", "Counter"}) != true {
+		t.Error("expected Conf+Counter co-located in this plan")
+	}
+	for _, s := range res.ODG.Sites {
+		if s.Allocated == "Counter" {
+			res.ODG.Graph.Vertex(s.Node).Part = 0
+		}
+	}
+	plan2 := BuildPlan(res, 2)
+	if plan2.CoLocated([]string{"Conf", "Counter"}) {
+		t.Error("Conf and Counter must not report co-located after the split")
+	}
+}

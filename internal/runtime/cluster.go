@@ -8,6 +8,7 @@ import (
 	"autodist/internal/rewrite"
 	"autodist/internal/transport"
 	"autodist/internal/vm"
+	"autodist/internal/wire"
 )
 
 // Options configures a distributed run.
@@ -23,6 +24,10 @@ type Options struct {
 	Net *NetModel
 	// MaxSteps bounds each node's interpreter (0 = unlimited).
 	MaxSteps uint64
+	// Unoptimized disables the message-exchange optimisations
+	// (proxy-side caching, asynchronous void calls, batching) so runs
+	// can A/B-measure their effect. The protocol itself is unchanged.
+	Unoptimized bool
 }
 
 // Cluster is a set of nodes executing one distributed program.
@@ -44,6 +49,7 @@ func NewCluster(progs []*bytecode.Program, plan *rewrite.Plan, eps []transport.E
 			return nil, err
 		}
 		n.Net = opts.Net
+		n.Unoptimized = opts.Unoptimized
 		if opts.Out != nil {
 			n.VM.Out = opts.Out
 		}
@@ -59,8 +65,10 @@ func NewCluster(progs []*bytecode.Program, plan *rewrite.Plan, eps []transport.E
 }
 
 // Run starts every node's Message Exchange service, lets the
-// ExecutionStarter on node 0 invoke main(), then shuts the cluster
-// down. It returns the error from main, if any.
+// ExecutionStarter on node 0 invoke main(), runs a final barrier so
+// outstanding asynchronous work completes (and its deferred errors
+// surface), then shuts the cluster down. It returns the error from
+// main, if any.
 func (c *Cluster) Run() error {
 	for _, n := range c.Nodes {
 		n.Serve()
@@ -69,6 +77,9 @@ func (c *Cluster) Run() error {
 	// user initiated the application (paper §5).
 	starter := c.Nodes[0]
 	runErr := starter.VM.RunMain()
+	if runErr == nil {
+		runErr = c.finalBarrier(starter)
+	}
 
 	// Broadcast shutdown (including to ourselves to stop the serve
 	// loop).
@@ -81,6 +92,49 @@ func (c *Cluster) Run() error {
 	return runErr
 }
 
+// finalBarrier flushes the starter's asynchronous buffers and then
+// barriers every other node, so fire-and-forget work finishes before
+// shutdown and any deferred asynchronous failure becomes main's error.
+// Unoptimized runs never buffer asynchronous work, so they skip it
+// (keeping A/B message counts directly comparable to the seed
+// protocol).
+func (c *Cluster) finalBarrier(starter *Node) error {
+	if starter.Unoptimized {
+		return nil
+	}
+	if err := starter.flushAsync(); err != nil {
+		return err
+	}
+	// Barrier exactly the nodes with possibly-outstanding batches;
+	// a barrier response can surface new destinations (a barriered
+	// node flushing its own relayed buffers), so iterate until the
+	// set drains. Each round strictly consumes buffered work, so this
+	// terminates.
+	for dests := starter.takeAsyncDests(); len(dests) > 0; dests = starter.takeAsyncDests() {
+		for _, rank := range dests {
+			resp, err := starter.rawRequest(rank, KindBarrier, nil)
+			if err != nil {
+				return err
+			}
+			out, err := wire.DecodeDepResponse(resp.Payload)
+			if err != nil {
+				return err
+			}
+			starter.noteAsyncDests(out.AsyncDests)
+			if out.Err != "" {
+				return fmt.Errorf("barrier on node %d: %s", rank, out.Err)
+			}
+			if out.AsyncErr != "" {
+				return fmt.Errorf("deferred async failure on node %d: %s", rank, out.AsyncErr)
+			}
+		}
+	}
+	if e := starter.takeAsyncErr(); e != "" {
+		return fmt.Errorf("deferred async failure on node 0: %s", e)
+	}
+	return nil
+}
+
 // SimSeconds returns node 0's virtual completion time (the distributed
 // execution time of §7.2, measured where the user started the program).
 func (c *Cluster) SimSeconds() float64 {
@@ -91,10 +145,7 @@ func (c *Cluster) SimSeconds() float64 {
 func (c *Cluster) TotalStats() NodeStats {
 	var s NodeStats
 	for _, n := range c.Nodes {
-		s.NewRequests += n.Stats.NewRequests
-		s.DepRequests += n.Stats.DepRequests
-		s.BytesSent += n.Stats.BytesSent
-		s.MessagesSent += n.Stats.MessagesSent
+		s.add(n.Stats.snapshot())
 	}
 	return s
 }

@@ -3,10 +3,12 @@ package runtime
 import (
 	"fmt"
 	"strings"
+	"sync/atomic"
 
 	"autodist/internal/bytecode"
 	"autodist/internal/rewrite"
 	"autodist/internal/vm"
+	"autodist/internal/wire"
 )
 
 // registerNatives installs the DependentObject implementation and the
@@ -32,24 +34,25 @@ func (n *Node) registerNatives() {
 				// create locally and alias the proxy to it.
 				return nil, fmt.Errorf("runtime: proxy constructor for local site of %s", className)
 			}
-			wire, err := n.toWireSlice(ctorArgs)
+			wireArgs, err := n.toWireSlice(ctorArgs)
 			if err != nil {
 				return nil, err
 			}
-			payload, err := encodePayload(&newRequest{Class: className, Args: wire})
+			req := wire.NewRequest{Class: className, Args: wireArgs}
+			resp, err := n.request(home, KindNew, req.Encode())
 			if err != nil {
 				return nil, err
 			}
-			resp, err := n.request(home, KindNew, payload)
+			out, err := wire.DecodeNewResponse(resp.Payload)
 			if err != nil {
 				return nil, err
 			}
-			var out newResponse
-			if err := decodePayload(resp.Payload, &out); err != nil {
-				return nil, err
-			}
+			n.noteAsyncDests(out.AsyncDests)
 			if out.Err != "" {
 				return nil, fmt.Errorf("remote new %s on node %d: %s", className, home, out.Err)
+			}
+			if out.AsyncErr != "" {
+				return nil, fmt.Errorf("deferred async failure on node %d: %s", home, out.AsyncErr)
 			}
 			if err := n.restoreArrays(ctorArgs, out.OutArrays); err != nil {
 				return nil, err
@@ -64,7 +67,10 @@ func (n *Node) registerNatives() {
 			return nil, nil
 		})
 
-	// DependentObject.access: ship a DEPENDENCE message home.
+	// DependentObject.access: ship a DEPENDENCE message home — unless
+	// an optimisation kind licenses a cheaper path: cached write-once
+	// field reads cost zero messages on a hit, and confined void calls
+	// are buffered as fire-and-forget asynchronous messages.
 	machine.RegisterNative(depObjectClassName, "access", rewrite.AccessDesc,
 		func(m *vm.VM, args []vm.Value) (vm.Value, error) {
 			self := args[0].(*vm.Object)
@@ -82,29 +88,29 @@ func (n *Node) registerNatives() {
 				}
 				return n.localAccess(obj, kind, member, acc)
 			}
-			wire, err := n.toWireSlice(acc)
-			if err != nil {
-				return nil, err
+			switch {
+			case kind == rewrite.GetFieldCached && !n.Unoptimized:
+				key := fieldCacheKey{home, id, member}
+				if v, ok := n.cachedField(key); ok {
+					atomic.AddInt64(&n.Stats.CacheHits, 1)
+					return v, nil
+				}
+				v, err := n.remoteAccess(home, id, kind, member, acc)
+				if err != nil {
+					return nil, err
+				}
+				n.storeField(key, v)
+				return v, nil
+			case kind == rewrite.InvokeMethodVoidAsync && !n.Unoptimized:
+				wireArgs, err := n.toWireSlice(acc)
+				if err != nil {
+					return nil, err
+				}
+				return nil, n.asyncEnqueue(home, wire.DepRequest{
+					ID: id, Kind: kind, Member: member, Args: wireArgs,
+				})
 			}
-			payload, err := encodePayload(&depRequest{ID: id, Kind: kind, Member: member, Args: wire})
-			if err != nil {
-				return nil, err
-			}
-			resp, err := n.request(home, KindDependence, payload)
-			if err != nil {
-				return nil, err
-			}
-			var out depResponse
-			if err := decodePayload(resp.Payload, &out); err != nil {
-				return nil, err
-			}
-			if out.Err != "" {
-				return nil, fmt.Errorf("remote access %s: %s", member, out.Err)
-			}
-			if err := n.restoreArrays(acc, out.OutArrays); err != nil {
-				return nil, err
-			}
-			return n.fromWire(out.Value)
+			return n.remoteAccess(home, id, kind, member, acc)
 		})
 
 	// DependentObject.staticAccess: remote static fields.
@@ -121,29 +127,16 @@ func (n *Node) registerNatives() {
 			if home == n.Rank {
 				return n.staticAccessLocal(class, kind, member, acc)
 			}
-			wire, err := n.toWireSlice(acc)
+			wireArgs, err := n.toWireSlice(acc)
 			if err != nil {
 				return nil, err
 			}
-			payload, err := encodePayload(&depRequest{Static: true, Class: class, Kind: kind, Member: member, Args: wire})
+			req := wire.DepRequest{Static: true, Class: class, Kind: kind, Member: member, Args: wireArgs}
+			resp, err := n.request(home, KindDependence, req.Encode())
 			if err != nil {
 				return nil, err
 			}
-			resp, err := n.request(home, KindDependence, payload)
-			if err != nil {
-				return nil, err
-			}
-			var out depResponse
-			if err := decodePayload(resp.Payload, &out); err != nil {
-				return nil, err
-			}
-			if out.Err != "" {
-				return nil, fmt.Errorf("remote static access %s.%s: %s", class, member, out.Err)
-			}
-			if err := n.restoreArrays(acc, out.OutArrays); err != nil {
-				return nil, err
-			}
-			return n.fromWire(out.Value)
+			return n.finishDepResponse(home, resp.Payload, acc, "static access "+class+"."+member)
 		})
 
 	// Synthetic Class.access on every user class: the receiver turned
@@ -170,18 +163,55 @@ func (n *Node) registerNatives() {
 	}
 }
 
+// remoteAccess performs one synchronous DEPENDENCE exchange.
+func (n *Node) remoteAccess(home int, id int64, kind int, member string, acc []vm.Value) (vm.Value, error) {
+	wireArgs, err := n.toWireSlice(acc)
+	if err != nil {
+		return nil, err
+	}
+	req := wire.DepRequest{ID: id, Kind: kind, Member: member, Args: wireArgs}
+	resp, err := n.request(home, KindDependence, req.Encode())
+	if err != nil {
+		return nil, err
+	}
+	return n.finishDepResponse(home, resp.Payload, acc, "access "+member)
+}
+
+// finishDepResponse applies the common DEPENDENCE-response epilogue:
+// decode, inherit outstanding-batch bookkeeping, surface direct and
+// deferred errors, copy-restore array arguments, convert the value.
+func (n *Node) finishDepResponse(home int, payload []byte, acc []vm.Value, what string) (vm.Value, error) {
+	out, err := wire.DecodeDepResponse(payload)
+	if err != nil {
+		return nil, err
+	}
+	n.noteAsyncDests(out.AsyncDests)
+	if out.Err != "" {
+		return nil, fmt.Errorf("remote %s: %s", what, out.Err)
+	}
+	if out.AsyncErr != "" {
+		return nil, fmt.Errorf("deferred async failure on node %d: %s", home, out.AsyncErr)
+	}
+	if err := n.restoreArrays(acc, out.OutArrays); err != nil {
+		return nil, err
+	}
+	return n.fromWire(out.Value)
+}
+
 // localAccess performs an access on a local object: the server side of
-// DEPENDENCE handling and the local fast path of proxy dispatch.
+// DEPENDENCE handling and the local fast path of proxy dispatch. The
+// optimisation kinds degrade to their synchronous equivalents here —
+// a local access already costs zero messages.
 func (n *Node) localAccess(obj *vm.Object, kind int, member string, args []vm.Value) (vm.Value, error) {
 	switch kind {
-	case rewrite.InvokeMethodHasReturn, rewrite.InvokeMethodVoid:
+	case rewrite.InvokeMethodHasReturn, rewrite.InvokeMethodVoid, rewrite.InvokeMethodVoidAsync:
 		name, desc, ok := strings.Cut(member, ":")
 		if !ok {
 			return nil, fmt.Errorf("runtime: bad member key %q", member)
 		}
 		callArgs := append([]vm.Value{obj}, args...)
 		return n.VM.CallMethod(obj.Class.Name(), name, desc, callArgs)
-	case rewrite.GetField:
+	case rewrite.GetField, rewrite.GetFieldCached:
 		slot := obj.Class.FieldSlot(member)
 		if slot < 0 {
 			return nil, fmt.Errorf("runtime: %s has no field %s", obj.Class.Name(), member)

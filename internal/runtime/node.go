@@ -2,15 +2,22 @@ package runtime
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 
 	"autodist/internal/bytecode"
 	"autodist/internal/rewrite"
 	"autodist/internal/transport"
 	"autodist/internal/vm"
+	"autodist/internal/wire"
 )
 
 const depObjectClassName = rewrite.DependentObjectClass
+
+// asyncBatchMax bounds how many asynchronous dependence messages are
+// buffered per destination before an early flush.
+const asyncBatchMax = 128
 
 // NetModel charges communication costs to the virtual clock,
 // standing in for the paper's 100 Mbit Ethernet between the two
@@ -44,11 +51,43 @@ type Node struct {
 	Plan *rewrite.Plan
 	Net  *NetModel
 
+	// Unoptimized disables the message-exchange optimisations
+	// (proxy-side caching, asynchronous void calls, batching) for A/B
+	// measurement; the protocol and codec are unchanged.
+	Unoptimized bool
+
+	// causal records whether the transport guarantees causally
+	// ordered delivery; without it, asynchronous batches request
+	// completion acknowledgements.
+	causal bool
+
 	mu       sync.Mutex
 	registry map[int64]*vm.Object
 	proxies  map[objKey]*vm.Object
-	pending  map[uint64]chan transport.Message
+	pending  map[uint64]chan srvResp
 	nextTag  uint64
+
+	// asyncMu guards the per-destination buffers of not-yet-flushed
+	// asynchronous dependence messages, and the set of destinations
+	// with possibly-unprocessed fire-and-forget batches. That set
+	// travels with the logical thread: a reply transfers it to the
+	// caller, and the final barrier visits exactly the nodes in it.
+	asyncMu    sync.Mutex
+	asyncBuf   map[int][]wire.DepRequest
+	asyncDests map[int]bool
+
+	// batchCh feeds the batch worker, which processes aggregated
+	// asynchronous messages strictly in arrival order.
+	batchCh chan batchJob
+
+	// asyncErrMu guards the deferred error stashed by the batch
+	// worker; it is surfaced on the next response this node sends.
+	asyncErrMu sync.Mutex
+	asyncErr   string
+
+	// cacheMu guards the proxy-side cache of write-once field reads.
+	cacheMu    sync.Mutex
+	fieldCache map[fieldCacheKey]vm.Value
 
 	// Stats counts protocol activity.
 	Stats NodeStats
@@ -58,17 +97,76 @@ type Node struct {
 	errs chan error
 }
 
-// NodeStats counts messages for the evaluation harness.
+// srvResp is a matched response plus the drain barrier it must honour:
+// the receiver may not resume until asynchronous batches that arrived
+// before the response have been processed (preserving the single
+// logical thread's observable order).
+type srvResp struct {
+	msg   transport.Message
+	drain chan struct{}
+}
+
+// batchJob is one received batch frame awaiting the worker.
+type batchJob struct {
+	msg  transport.Message
+	done chan struct{}
+}
+
+// NodeStats counts messages for the evaluation harness. All fields are
+// updated atomically (request handlers run concurrently).
 type NodeStats struct {
 	NewRequests  int64
 	DepRequests  int64
 	BytesSent    int64
 	MessagesSent int64
+	// CacheHits counts remote field reads served from the proxy-side
+	// cache (zero messages each).
+	CacheHits int64
+	// AsyncCalls counts void invocations executed as fire-and-forget
+	// asynchronous messages.
+	AsyncCalls int64
+	// BatchFrames counts transport frames carrying aggregated
+	// asynchronous messages; BatchedRequests counts the messages
+	// inside them.
+	BatchFrames     int64
+	BatchedRequests int64
+}
+
+// add accumulates s2 into s.
+func (s *NodeStats) add(s2 NodeStats) {
+	s.NewRequests += s2.NewRequests
+	s.DepRequests += s2.DepRequests
+	s.BytesSent += s2.BytesSent
+	s.MessagesSent += s2.MessagesSent
+	s.CacheHits += s2.CacheHits
+	s.AsyncCalls += s2.AsyncCalls
+	s.BatchFrames += s2.BatchFrames
+	s.BatchedRequests += s2.BatchedRequests
+}
+
+// snapshot returns an atomically loaded copy.
+func (s *NodeStats) snapshot() NodeStats {
+	return NodeStats{
+		NewRequests:     atomic.LoadInt64(&s.NewRequests),
+		DepRequests:     atomic.LoadInt64(&s.DepRequests),
+		BytesSent:       atomic.LoadInt64(&s.BytesSent),
+		MessagesSent:    atomic.LoadInt64(&s.MessagesSent),
+		CacheHits:       atomic.LoadInt64(&s.CacheHits),
+		AsyncCalls:      atomic.LoadInt64(&s.AsyncCalls),
+		BatchFrames:     atomic.LoadInt64(&s.BatchFrames),
+		BatchedRequests: atomic.LoadInt64(&s.BatchedRequests),
+	}
 }
 
 type objKey struct {
 	node int
 	id   int64
+}
+
+type fieldCacheKey struct {
+	node   int
+	id     int64
+	member string
 }
 
 // NewNode wires a node from its rewritten program, endpoint and plan.
@@ -78,15 +176,20 @@ func NewNode(prog *bytecode.Program, ep transport.Endpoint, plan *rewrite.Plan) 
 		return nil, err
 	}
 	n := &Node{
-		Rank:     ep.Rank(),
-		VM:       machine,
-		EP:       ep,
-		Plan:     plan,
-		registry: map[int64]*vm.Object{},
-		proxies:  map[objKey]*vm.Object{},
-		pending:  map[uint64]chan transport.Message{},
-		done:     make(chan struct{}),
-		errs:     make(chan error, 16),
+		Rank:       ep.Rank(),
+		VM:         machine,
+		EP:         ep,
+		Plan:       plan,
+		causal:     transport.Causal(ep),
+		registry:   map[int64]*vm.Object{},
+		proxies:    map[objKey]*vm.Object{},
+		pending:    map[uint64]chan srvResp{},
+		asyncBuf:   map[int][]wire.DepRequest{},
+		asyncDests: map[int]bool{},
+		batchCh:    make(chan batchJob, 1024),
+		fieldCache: map[fieldCacheKey]vm.Value{},
+		done:       make(chan struct{}),
+		errs:       make(chan error, 16),
 	}
 	n.registerNatives()
 	return n, nil
@@ -137,31 +240,204 @@ func (n *Node) proxyIdentity(p *vm.Object) (home int, id int64, class string) {
 	return
 }
 
-// request sends a tagged message and blocks for the matching response,
-// advancing the virtual clock across the exchange.
+// send counts and transmits one message.
+func (n *Node) send(msg transport.Message) error {
+	atomic.AddInt64(&n.Stats.MessagesSent, 1)
+	atomic.AddInt64(&n.Stats.BytesSent, int64(len(msg.Payload)))
+	return n.EP.Send(msg)
+}
+
+// request flushes pending asynchronous messages (the ordering barrier
+// of §5's single logical thread), then sends a tagged message and
+// blocks for the matching response, advancing the virtual clock across
+// the exchange.
 func (n *Node) request(to int, kind uint8, payload []byte) (transport.Message, error) {
+	if err := n.flushAsync(); err != nil {
+		return transport.Message{}, err
+	}
+	return n.rawRequest(to, kind, payload)
+}
+
+// rawRequest is request without the asynchronous flush barrier (used
+// by the flush itself to await batch acknowledgements).
+func (n *Node) rawRequest(to int, kind uint8, payload []byte) (transport.Message, error) {
 	n.mu.Lock()
 	n.nextTag++
 	tag := n.nextTag
-	ch := make(chan transport.Message, 1)
+	ch := make(chan srvResp, 1)
 	n.pending[tag] = ch
 	n.mu.Unlock()
 
 	msg := transport.Message{To: to, Tag: tag, Kind: kind, Payload: payload, Time: n.VM.SimSeconds()}
-	n.Stats.MessagesSent++
-	n.Stats.BytesSent += int64(len(payload))
-	if err := n.EP.Send(msg); err != nil {
+	if err := n.send(msg); err != nil {
 		return transport.Message{}, err
 	}
 	select {
 	case resp := <-ch:
+		// A response may causally follow asynchronous batches that
+		// are still queued for the worker; wait for those before
+		// resuming so local reads observe their effects.
+		if resp.drain != nil {
+			select {
+			case <-resp.drain:
+			case <-n.done:
+				return transport.Message{}, fmt.Errorf("runtime: node %d shut down during drain", n.Rank)
+			}
+		}
 		// Virtual time: the response carries the remote clock after
 		// handling; add the return-path cost.
-		n.advanceTo(resp.Time + n.Net.Cost(len(resp.Payload)))
-		return resp, nil
+		n.advanceTo(resp.msg.Time + n.Net.Cost(len(resp.msg.Payload)))
+		n.clearAsyncDest(to)
+		return resp.msg, nil
 	case <-n.done:
 		return transport.Message{}, fmt.Errorf("runtime: node %d shut down while waiting for response", n.Rank)
 	}
+}
+
+// asyncEnqueue buffers one fire-and-forget dependence message for its
+// destination, flushing early when the buffer fills.
+func (n *Node) asyncEnqueue(to int, req wire.DepRequest) error {
+	atomic.AddInt64(&n.Stats.AsyncCalls, 1)
+	n.asyncMu.Lock()
+	n.asyncBuf[to] = append(n.asyncBuf[to], req)
+	full := len(n.asyncBuf[to]) >= asyncBatchMax
+	n.asyncMu.Unlock()
+	if full {
+		return n.flushAsync()
+	}
+	return nil
+}
+
+// flushAsync aggregates each destination's buffered asynchronous
+// messages into one batched frame and sends them. On transports
+// without causal delivery the batch requests an acknowledgement and
+// the flush awaits it, so later synchronous exchanges (possibly
+// through third nodes) cannot observe pre-batch state.
+func (n *Node) flushAsync() error {
+	n.asyncMu.Lock()
+	if len(n.asyncBuf) == 0 {
+		n.asyncMu.Unlock()
+		return nil
+	}
+	bufs := n.asyncBuf
+	n.asyncBuf = map[int][]wire.DepRequest{}
+	n.asyncMu.Unlock()
+
+	dests := make([]int, 0, len(bufs))
+	for to := range bufs {
+		dests = append(dests, to)
+	}
+	sort.Ints(dests)
+	for _, to := range dests {
+		reqs := bufs[to]
+		if len(reqs) == 0 {
+			continue
+		}
+		batch := wire.Batch{Ack: !n.causal, Reqs: reqs}
+		payload := batch.Encode()
+		atomic.AddInt64(&n.Stats.BatchFrames, 1)
+		atomic.AddInt64(&n.Stats.BatchedRequests, int64(len(reqs)))
+		if batch.Ack {
+			resp, err := n.rawRequest(to, KindDependenceBatch, payload)
+			if err != nil {
+				return err
+			}
+			out, err := wire.DecodeDepResponse(resp.Payload)
+			if err != nil {
+				return err
+			}
+			if out.Err != "" {
+				return fmt.Errorf("async batch on node %d: %s", to, out.Err)
+			}
+			if out.AsyncErr != "" {
+				return fmt.Errorf("deferred async failure on node %d: %s", to, out.AsyncErr)
+			}
+			continue
+		}
+		msg := transport.Message{To: to, Kind: KindDependenceBatch, Payload: payload, Time: n.VM.SimSeconds()}
+		if err := n.send(msg); err != nil {
+			return err
+		}
+		// Fire-and-forget: the destination now holds unprocessed work
+		// until something barriers it.
+		n.asyncMu.Lock()
+		n.asyncDests[to] = true
+		n.asyncMu.Unlock()
+	}
+	return nil
+}
+
+// clearAsyncDest drops a destination from the outstanding-batch set:
+// a response from it proves it drained every batch that causally
+// preceded the request (its serve loop orders batches before later
+// requests, and request handlers wait for the batch worker).
+func (n *Node) clearAsyncDest(d int) {
+	n.asyncMu.Lock()
+	delete(n.asyncDests, d)
+	n.asyncMu.Unlock()
+}
+
+// noteAsyncDests merges destinations inherited from a response.
+func (n *Node) noteAsyncDests(dests []int) {
+	if len(dests) == 0 {
+		return
+	}
+	n.asyncMu.Lock()
+	for _, d := range dests {
+		if d != n.Rank {
+			n.asyncDests[d] = true
+		}
+	}
+	n.asyncMu.Unlock()
+}
+
+// takeAsyncDests consumes the outstanding-batch destination set.
+func (n *Node) takeAsyncDests() []int {
+	n.asyncMu.Lock()
+	defer n.asyncMu.Unlock()
+	if len(n.asyncDests) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(n.asyncDests))
+	for d := range n.asyncDests {
+		out = append(out, d)
+	}
+	n.asyncDests = map[int]bool{}
+	sort.Ints(out)
+	return out
+}
+
+// stashAsyncErr records the first deferred asynchronous failure.
+func (n *Node) stashAsyncErr(err error) {
+	n.asyncErrMu.Lock()
+	if n.asyncErr == "" {
+		n.asyncErr = err.Error()
+	}
+	n.asyncErrMu.Unlock()
+}
+
+// takeAsyncErr consumes the stashed deferred failure.
+func (n *Node) takeAsyncErr() string {
+	n.asyncErrMu.Lock()
+	defer n.asyncErrMu.Unlock()
+	e := n.asyncErr
+	n.asyncErr = ""
+	return e
+}
+
+// cachedField returns a proxy-cache entry.
+func (n *Node) cachedField(key fieldCacheKey) (vm.Value, bool) {
+	n.cacheMu.Lock()
+	defer n.cacheMu.Unlock()
+	v, ok := n.fieldCache[key]
+	return v, ok
+}
+
+// storeField populates the proxy cache.
+func (n *Node) storeField(key fieldCacheKey, v vm.Value) {
+	n.cacheMu.Lock()
+	n.fieldCache[key] = v
+	n.cacheMu.Unlock()
 }
 
 // advanceTo moves this node's virtual clock forward to at least t
@@ -179,10 +455,19 @@ func (n *Node) advanceTo(t float64) {
 // Serve runs the Message Exchange service until shutdown. Each request
 // is handled in its own goroutine so nested remote calls (call-backs
 // into a node that is itself blocked on a request) cannot deadlock.
+// Batched asynchronous messages go to a dedicated worker that
+// processes them strictly in arrival order; synchronous requests and
+// responses that arrive after a batch wait for it to drain, preserving
+// the single logical thread's observable ordering.
 func (n *Node) Serve() {
+	n.wg.Add(1)
+	go n.batchWorker()
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
+		// lastBatch is the done channel of the most recently enqueued
+		// batch; messages ordered after it must wait for it.
+		var lastBatch chan struct{}
 		for {
 			msg, err := n.EP.Recv()
 			if err != nil {
@@ -195,24 +480,90 @@ func (n *Node) Serve() {
 				delete(n.pending, msg.Tag)
 				n.mu.Unlock()
 				if ch != nil {
-					ch <- msg
+					ch <- srvResp{msg: msg, drain: lastBatch}
 				}
 			case KindShutdown:
 				close(n.done)
 				_ = n.EP.Close()
 				return
+			case KindDependenceBatch:
+				done := make(chan struct{})
+				lastBatch = done
+				select {
+				case n.batchCh <- batchJob{msg: msg, done: done}:
+				case <-n.done:
+					return
+				}
 			default:
+				wait := lastBatch
 				n.wg.Add(1)
-				go func(m transport.Message) {
+				go func(m transport.Message, wait chan struct{}) {
 					defer n.wg.Done()
+					if wait != nil {
+						select {
+						case <-wait:
+						case <-n.done:
+							return
+						}
+					}
 					n.handle(m)
-				}(msg)
+				}(msg, wait)
 			}
 		}
 	}()
 }
 
-// handle processes one NEW or DEPENDENCE request and replies.
+// batchWorker processes aggregated asynchronous dependence messages
+// sequentially. Confined methods (the only ones the rewriter marks
+// async) never leave this node, so processing cannot block on other
+// nodes.
+func (n *Node) batchWorker() {
+	defer n.wg.Done()
+	for {
+		select {
+		case job := <-n.batchCh:
+			n.handleBatch(job)
+		case <-n.done:
+			return
+		}
+	}
+}
+
+func (n *Node) handleBatch(job batchJob) {
+	defer close(job.done)
+	msg := job.msg
+	n.advanceTo(msg.Time + n.Net.Cost(len(msg.Payload)))
+	batch, err := wire.DecodeBatch(msg.Payload)
+	if err != nil {
+		n.stashAsyncErr(err)
+	} else {
+		for i := range batch.Reqs {
+			atomic.AddInt64(&n.Stats.DepRequests, 1)
+			if _, _, err := n.handleDependence(&batch.Reqs[i]); err != nil {
+				n.stashAsyncErr(err)
+				break
+			}
+		}
+	}
+	// A tagged batch expects a completion acknowledgement (judged by
+	// the tag, not the decoded Ack flag, so a sender never hangs on a
+	// batch that failed to decode).
+	if msg.Tag != 0 {
+		out := wire.DepResponse{AsyncErr: n.takeAsyncErr()}
+		resp := transport.Message{
+			To: msg.From, Tag: msg.Tag, Kind: KindResponse,
+			Payload: out.Encode(), Time: n.VM.SimSeconds(),
+		}
+		if err := n.send(resp); err != nil {
+			select {
+			case n.errs <- err:
+			default:
+			}
+		}
+	}
+}
+
+// handle processes one NEW, DEPENDENCE or BARRIER request and replies.
 func (n *Node) handle(msg transport.Message) {
 	// Virtual time: receiving the request pulls our clock to the
 	// sender's time plus the transfer cost.
@@ -223,9 +574,7 @@ func (n *Node) handle(msg transport.Message) {
 			To: msg.From, Tag: msg.Tag, Kind: KindResponse,
 			Payload: payload, Time: n.VM.SimSeconds(),
 		}
-		n.Stats.MessagesSent++
-		n.Stats.BytesSent += int64(len(payload))
-		if err := n.EP.Send(resp); err != nil {
+		if err := n.send(resp); err != nil {
 			select {
 			case n.errs <- err:
 			default:
@@ -233,12 +582,24 @@ func (n *Node) handle(msg transport.Message) {
 		}
 	}
 
+	// finish flushes asynchronous messages buffered while serving this
+	// request (the reply hands the logical thread back to the caller,
+	// who may immediately observe their target state through a third
+	// node), then stamps the deferred-failure and outstanding-batch
+	// bookkeeping the caller inherits.
+	finish := func(errSlot, asyncErr *string, dests *[]int) {
+		if err := n.flushAsync(); err != nil && *errSlot == "" {
+			*errSlot = err.Error()
+		}
+		*asyncErr = n.takeAsyncErr()
+		*dests = n.takeAsyncDests()
+	}
+
 	switch msg.Kind {
 	case KindNew:
-		n.Stats.NewRequests++
-		var req newRequest
-		out := newResponse{}
-		if err := decodePayload(msg.Payload, &req); err != nil {
+		atomic.AddInt64(&n.Stats.NewRequests, 1)
+		out := wire.NewResponse{}
+		if req, err := wire.DecodeNewRequest(msg.Payload); err != nil {
 			out.Err = err.Error()
 		} else if id, outs, err := n.handleNew(&req); err != nil {
 			out.Err = err.Error()
@@ -246,16 +607,12 @@ func (n *Node) handle(msg transport.Message) {
 			out.ID = id
 			out.OutArrays = outs
 		}
-		payload, err := encodePayload(&out)
-		if err != nil {
-			payload, _ = encodePayload(&newResponse{Err: err.Error()})
-		}
-		reply(payload)
+		finish(&out.Err, &out.AsyncErr, &out.AsyncDests)
+		reply(out.Encode())
 	case KindDependence:
-		n.Stats.DepRequests++
-		var req depRequest
-		out := depResponse{}
-		if err := decodePayload(msg.Payload, &req); err != nil {
+		atomic.AddInt64(&n.Stats.DepRequests, 1)
+		out := wire.DepResponse{}
+		if req, err := wire.DecodeDepRequest(msg.Payload); err != nil {
 			out.Err = err.Error()
 		} else if val, outs, err := n.handleDependence(&req); err != nil {
 			out.Err = err.Error()
@@ -265,20 +622,23 @@ func (n *Node) handle(msg transport.Message) {
 			out.Value = w
 			out.OutArrays = outs
 		}
-		payload, err := encodePayload(&out)
-		if err != nil {
-			payload, _ = encodePayload(&depResponse{Err: err.Error()})
-		}
-		reply(payload)
+		finish(&out.Err, &out.AsyncErr, &out.AsyncDests)
+		reply(out.Encode())
 	case KindBarrier:
-		reply(nil)
+		// The barrier drains this node's own asynchronous buffers
+		// (they may hold relayed work) and surfaces deferred errors;
+		// destinations it flushed to come back to the caller, which
+		// barriers them in turn.
+		out := wire.DepResponse{}
+		finish(&out.Err, &out.AsyncErr, &out.AsyncDests)
+		reply(out.Encode())
 	}
 }
 
 // handleNew creates the real object for a remote NEW message: it finds
 // the class, resolves the constructor by argument count, allocates and
 // initialises the object, and registers it for remote reference.
-func (n *Node) handleNew(req *newRequest) (int64, []wireValue, error) {
+func (n *Node) handleNew(req *wire.NewRequest) (int64, []wire.Value, error) {
 	cls := n.VM.Class(req.Class)
 	if cls == nil {
 		return 0, nil, fmt.Errorf("node %d: unknown class %s", n.Rank, req.Class)
@@ -320,7 +680,7 @@ func findCtorByArity(cf *bytecode.ClassFile, arity int) *bytecode.Method {
 
 // handleDependence performs the access named by a DEPENDENCE message
 // on the home object (or on this node's statics).
-func (n *Node) handleDependence(req *depRequest) (vm.Value, []wireValue, error) {
+func (n *Node) handleDependence(req *wire.DepRequest) (vm.Value, []wire.Value, error) {
 	args, err := n.fromWireSlice(req.Args)
 	if err != nil {
 		return nil, nil, err

@@ -8,151 +8,86 @@
 // logical thread of control moves between nodes through request
 // messages; nested callbacks are served concurrently by per-request
 // goroutines so reentrant dependences cannot deadlock.
+//
+// The runtime is built on raw message exchange rather than RPC because
+// (as §5 argues) raw messages admit communication optimisations. Three
+// are implemented here, all licensed by static facts from
+// internal/analysis and stamped into access kinds by internal/rewrite:
+// proxy-side caching of write-once field reads, fire-and-forget
+// asynchronous void calls, and aggregation of consecutive asynchronous
+// messages into one batched frame. Payload bodies use the compact
+// internal/wire codec shared with the TCP transport.
 package runtime
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 
 	"autodist/internal/vm"
+	"autodist/internal/wire"
 )
 
 // Message kinds (paper §5 names NEW and DEPENDENCE; RESPONSE, BARRIER
-// and SHUTDOWN are the control frames any real MPI runtime also needs).
+// and SHUTDOWN are the control frames any real MPI runtime also needs;
+// DEPENDENCE_BATCH carries aggregated asynchronous dependence
+// messages).
 const (
 	KindNew uint8 = iota + 1
 	KindDependence
 	KindResponse
 	KindShutdown
 	KindBarrier
+	KindDependenceBatch
 )
-
-// wireValue is the gob-encodable form of a vm.Value. Objects travel as
-// global references (home node + id + class); strings and primitives by
-// value; arrays by deep copy (the dependence data of §4.2 — field
-// values, method arguments, results).
-type wireValue struct {
-	Kind  uint8
-	Int   int64
-	Float float64
-	Str   string
-	// Object reference fields.
-	Node  int
-	ID    int64
-	Class string
-	// Array payload.
-	Elem string
-	Arr  []wireValue
-}
-
-// wireValue kinds.
-const (
-	wNull uint8 = iota
-	wInt
-	wFloat
-	wStr
-	wObj
-	wArr
-)
-
-// newRequest asks the home node to instantiate Class with Args
-// (paper's NEW message).
-type newRequest struct {
-	Class string
-	Args  []wireValue
-}
-
-// newResponse returns the created object's identity. OutArrays carries
-// the post-constructor contents of array arguments (copy-restore
-// semantics: arrays travel by value, so mutations made by the callee
-// are shipped back and written into the caller's arrays).
-type newResponse struct {
-	ID        int64
-	OutArrays []wireValue
-	Err       string
-}
-
-// depRequest is the paper's DEPENDENCE message: an access to object ID
-// on the home node.
-type depRequest struct {
-	ID     int64 // 0 for static accesses
-	Static bool
-	Class  string // for static accesses
-	Kind   int    // rewrite.InvokeMethodHasReturn etc.
-	Member string
-	Args   []wireValue
-}
-
-// depResponse carries the access result back, plus copy-restore
-// contents for array arguments.
-type depResponse struct {
-	Value     wireValue
-	OutArrays []wireValue
-	Err       string
-}
-
-func encodePayload(v any) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
-		return nil, err
-	}
-	return buf.Bytes(), nil
-}
-
-func decodePayload(data []byte, v any) error {
-	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
-}
 
 // toWire converts a local vm.Value for transmission from this node.
 // Local objects are registered in the export registry so the remote
 // side can refer back to them; proxies are forwarded by their existing
 // identity (so a reference returning home unwraps to the real object).
-func (n *Node) toWire(v vm.Value) (wireValue, error) {
+func (n *Node) toWire(v vm.Value) (wire.Value, error) {
 	switch x := v.(type) {
 	case nil:
-		return wireValue{Kind: wNull}, nil
+		return wire.Value{Kind: wire.KNull}, nil
 	case int64:
-		return wireValue{Kind: wInt, Int: x}, nil
+		return wire.Value{Kind: wire.KInt, Int: x}, nil
 	case float64:
-		return wireValue{Kind: wFloat, Float: x}, nil
+		return wire.Value{Kind: wire.KFloat, Float: x}, nil
 	case string:
-		return wireValue{Kind: wStr, Str: x}, nil
+		return wire.Value{Kind: wire.KStr, Str: x}, nil
 	case *vm.Object:
 		if x.Class.Name() == depObjectClassName {
 			home, id, class := n.proxyIdentity(x)
-			return wireValue{Kind: wObj, Node: home, ID: id, Class: class}, nil
+			return wire.Value{Kind: wire.KObj, Node: home, ID: id, Class: class}, nil
 		}
 		n.export(x)
-		return wireValue{Kind: wObj, Node: n.Rank, ID: x.ID, Class: x.Class.Name()}, nil
+		return wire.Value{Kind: wire.KObj, Node: n.Rank, ID: x.ID, Class: x.Class.Name()}, nil
 	case *vm.Array:
-		out := wireValue{Kind: wArr, Elem: x.Elem, Arr: make([]wireValue, len(x.Data))}
+		out := wire.Value{Kind: wire.KArr, Elem: x.Elem, Arr: make([]wire.Value, len(x.Data))}
 		for i, e := range x.Data {
 			w, err := n.toWire(e)
 			if err != nil {
-				return wireValue{}, err
+				return wire.Value{}, err
 			}
 			out.Arr[i] = w
 		}
 		return out, nil
 	}
-	return wireValue{}, fmt.Errorf("runtime: cannot marshal %T", v)
+	return wire.Value{}, fmt.Errorf("runtime: cannot marshal %T", v)
 }
 
-// fromWire converts a received wireValue into a local vm.Value,
+// fromWire converts a received wire.Value into a local vm.Value,
 // materialising proxies for foreign objects and resolving references
 // that point at this node back to the real object.
-func (n *Node) fromWire(w wireValue) (vm.Value, error) {
+func (n *Node) fromWire(w wire.Value) (vm.Value, error) {
 	switch w.Kind {
-	case wNull:
+	case wire.KNull:
 		return nil, nil
-	case wInt:
+	case wire.KInt:
 		return w.Int, nil
-	case wFloat:
+	case wire.KFloat:
 		return w.Float, nil
-	case wStr:
+	case wire.KStr:
 		return w.Str, nil
-	case wObj:
+	case wire.KObj:
 		if w.Node == n.Rank {
 			obj := n.lookup(w.ID)
 			if obj == nil {
@@ -161,7 +96,7 @@ func (n *Node) fromWire(w wireValue) (vm.Value, error) {
 			return obj, nil
 		}
 		return n.proxyFor(w.Node, w.ID, w.Class)
-	case wArr:
+	case wire.KArr:
 		arr, err := n.VM.NewArray(w.Elem, len(w.Arr))
 		if err != nil {
 			return nil, err
@@ -178,8 +113,8 @@ func (n *Node) fromWire(w wireValue) (vm.Value, error) {
 	return nil, fmt.Errorf("runtime: unknown wire kind %d", w.Kind)
 }
 
-func (n *Node) toWireSlice(vs []vm.Value) ([]wireValue, error) {
-	out := make([]wireValue, len(vs))
+func (n *Node) toWireSlice(vs []vm.Value) ([]wire.Value, error) {
+	out := make([]wire.Value, len(vs))
 	for i, v := range vs {
 		w, err := n.toWire(v)
 		if err != nil {
@@ -190,7 +125,7 @@ func (n *Node) toWireSlice(vs []vm.Value) ([]wireValue, error) {
 	return out, nil
 }
 
-func (n *Node) fromWireSlice(ws []wireValue) ([]vm.Value, error) {
+func (n *Node) fromWireSlice(ws []wire.Value) ([]vm.Value, error) {
 	out := make([]vm.Value, len(ws))
 	for i, w := range ws {
 		v, err := n.fromWire(w)
@@ -204,10 +139,10 @@ func (n *Node) fromWireSlice(ws []wireValue) ([]vm.Value, error) {
 
 // arrayOuts re-encodes the (possibly mutated) local arrays that were
 // materialised for a request's array-kind argument positions, in order.
-func (n *Node) arrayOuts(reqArgs []wireValue, localArgs []vm.Value) ([]wireValue, error) {
-	var outs []wireValue
+func (n *Node) arrayOuts(reqArgs []wire.Value, localArgs []vm.Value) ([]wire.Value, error) {
+	var outs []wire.Value
 	for i, w := range reqArgs {
-		if w.Kind != wArr {
+		if w.Kind != wire.KArr {
 			continue
 		}
 		enc, err := n.toWire(localArgs[i])
@@ -222,7 +157,7 @@ func (n *Node) arrayOuts(reqArgs []wireValue, localArgs []vm.Value) ([]wireValue
 // restoreArrays copies returned array contents back into the caller's
 // original arrays (in array-argument order), recursing into nested
 // arrays so element identity is preserved where possible.
-func (n *Node) restoreArrays(origArgs []vm.Value, outs []wireValue) error {
+func (n *Node) restoreArrays(origArgs []vm.Value, outs []wire.Value) error {
 	j := 0
 	for _, a := range origArgs {
 		arr, ok := a.(*vm.Array)
@@ -240,12 +175,12 @@ func (n *Node) restoreArrays(origArgs []vm.Value, outs []wireValue) error {
 	return nil
 }
 
-func (n *Node) copyBack(dst *vm.Array, w wireValue) error {
-	if w.Kind != wArr || len(w.Arr) != len(dst.Data) {
+func (n *Node) copyBack(dst *vm.Array, w wire.Value) error {
+	if w.Kind != wire.KArr || len(w.Arr) != len(dst.Data) {
 		return fmt.Errorf("runtime: copy-restore shape mismatch")
 	}
 	for i, e := range w.Arr {
-		if e.Kind == wArr {
+		if e.Kind == wire.KArr {
 			if inner, ok := dst.Data[i].(*vm.Array); ok && inner != nil && len(inner.Data) == len(e.Arr) {
 				if err := n.copyBack(inner, e); err != nil {
 					return err

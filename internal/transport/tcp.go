@@ -1,16 +1,20 @@
 package transport
 
 import (
-	"encoding/gob"
+	"bufio"
 	"fmt"
 	"net"
 	"sync"
+
+	"autodist/internal/wire"
 )
 
 // tcpEndpoint is one node of a TCP fabric. Every node listens on its
 // own address; connections are dialled lazily per destination and each
 // direction uses its own connection, so no handshake protocol is
-// needed beyond a one-frame hello carrying the sender rank.
+// needed beyond the frame envelope carrying the sender rank. Frames
+// use the shared wire codec (length-prefixed binary), the same format
+// family as the runtime's payload bodies.
 type tcpEndpoint struct {
 	rank  int
 	addrs []string
@@ -19,8 +23,7 @@ type tcpEndpoint struct {
 	inbox chan Message
 
 	mu       sync.Mutex
-	conns    map[int]*gob.Encoder
-	raw      map[int]net.Conn
+	conns    map[int]net.Conn
 	accepted []net.Conn
 
 	closed  bool
@@ -41,8 +44,7 @@ func NewTCPNode(rank int, addrs []string, ln net.Listener) (Endpoint, error) {
 		addrs: addrs,
 		ln:    ln,
 		inbox: make(chan Message, 1024),
-		conns: map[int]*gob.Encoder{},
-		raw:   map[int]net.Conn{},
+		conns: map[int]net.Conn{},
 	}
 	e.wg.Add(1)
 	go e.acceptLoop()
@@ -76,13 +78,14 @@ func (e *tcpEndpoint) acceptLoop() {
 
 func (e *tcpEndpoint) readLoop(conn net.Conn) {
 	defer e.wg.Done()
-	dec := gob.NewDecoder(conn)
+	r := bufio.NewReader(conn)
 	for {
-		var msg Message
-		if err := dec.Decode(&msg); err != nil {
+		f, err := wire.ReadFrame(r)
+		if err != nil {
 			_ = conn.Close()
 			return
 		}
+		msg := Message{From: f.From, To: f.To, Tag: f.Tag, Kind: f.Kind, Time: f.Time, Payload: f.Payload}
 		e.closeMu.Lock()
 		closed := e.closed
 		if !closed {
@@ -104,24 +107,24 @@ func (e *tcpEndpoint) Send(msg Message) error {
 		return fmt.Errorf("transport: bad destination %d", msg.To)
 	}
 	msg.From = e.rank
+	frame := wire.Frame{From: msg.From, To: msg.To, Tag: msg.Tag, Kind: msg.Kind, Time: msg.Time, Payload: msg.Payload}
+	buf := wire.AppendFrame(nil, &frame)
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	enc, ok := e.conns[msg.To]
+	conn, ok := e.conns[msg.To]
 	if !ok {
-		conn, err := net.Dial("tcp", e.addrs[msg.To])
+		var err error
+		conn, err = net.Dial("tcp", e.addrs[msg.To])
 		if err != nil {
 			return fmt.Errorf("transport: dial node %d: %w", msg.To, err)
 		}
-		enc = gob.NewEncoder(conn)
-		e.conns[msg.To] = enc
-		e.raw[msg.To] = conn
+		e.conns[msg.To] = conn
 	}
-	if err := enc.Encode(msg); err != nil {
+	// One Write per frame keeps frames contiguous on the stream; the
+	// lock serialises writers per endpoint.
+	if _, err := conn.Write(buf); err != nil {
+		_ = conn.Close()
 		delete(e.conns, msg.To)
-		if c := e.raw[msg.To]; c != nil {
-			_ = c.Close()
-			delete(e.raw, msg.To)
-		}
 		return fmt.Errorf("transport: send to %d: %w", msg.To, err)
 	}
 	return nil
@@ -145,7 +148,7 @@ func (e *tcpEndpoint) Close() error {
 	e.closeMu.Unlock()
 	_ = e.ln.Close()
 	e.mu.Lock()
-	for _, c := range e.raw {
+	for _, c := range e.conns {
 		_ = c.Close()
 	}
 	for _, c := range e.accepted {

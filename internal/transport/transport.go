@@ -6,7 +6,8 @@
 //
 // Two interchangeable fabrics are provided: an in-process fabric built
 // on channels (hermetic tests, deterministic simulation) and a TCP
-// fabric with gob-encoded frames (real distributed execution).
+// fabric with compact binary frames (real distributed execution); both
+// use the internal/wire codec's frame envelope model.
 package transport
 
 import (
@@ -45,11 +46,24 @@ type Endpoint interface {
 // ErrClosed is returned by Recv after Close.
 var ErrClosed = fmt.Errorf("transport: endpoint closed")
 
+// Causal reports whether the fabric guarantees causally ordered
+// delivery: if send A completes before send B starts anywhere along a
+// happens-before chain, A is received before B at a shared receiver.
+// The in-process fabric has this property (channel sends are globally
+// ordered per inbox); independent TCP connections do not. The runtime
+// uses it to decide whether fire-and-forget asynchronous batches need
+// completion acknowledgements.
+func Causal(ep Endpoint) bool {
+	c, ok := ep.(interface{ CausalDelivery() bool })
+	return ok && c.CausalDelivery()
+}
+
 // inprocEndpoint is one port of an in-process fabric.
 type inprocEndpoint struct {
 	rank  int
 	size  int
 	inbox chan Message
+	done  chan struct{}
 	peers []*inprocEndpoint
 
 	mu     sync.Mutex
@@ -61,7 +75,7 @@ type inprocEndpoint struct {
 func NewInProc(n int) []Endpoint {
 	eps := make([]*inprocEndpoint, n)
 	for i := range eps {
-		eps[i] = &inprocEndpoint{rank: i, size: n, inbox: make(chan Message, 1024)}
+		eps[i] = &inprocEndpoint{rank: i, size: n, inbox: make(chan Message, 1024), done: make(chan struct{})}
 	}
 	for i := range eps {
 		eps[i].peers = eps
@@ -76,28 +90,45 @@ func NewInProc(n int) []Endpoint {
 func (e *inprocEndpoint) Rank() int { return e.rank }
 func (e *inprocEndpoint) Size() int { return e.size }
 
+// CausalDelivery marks the channel fabric as causally ordered.
+func (e *inprocEndpoint) CausalDelivery() bool { return true }
+
 func (e *inprocEndpoint) Send(msg Message) error {
 	if msg.To < 0 || msg.To >= e.size {
 		return fmt.Errorf("transport: bad destination %d", msg.To)
 	}
 	msg.From = e.rank
 	peer := e.peers[msg.To]
-	peer.mu.Lock()
-	closed := peer.closed
-	peer.mu.Unlock()
-	if closed {
+	// The inbox channel is never closed (closing with concurrent
+	// senders is a race); Close signals through the done channel
+	// instead, which also unblocks senders stuck on a full inbox.
+	select {
+	case <-peer.done:
+		return fmt.Errorf("transport: peer %d closed", msg.To)
+	default:
+	}
+	select {
+	case peer.inbox <- msg:
+		return nil
+	case <-peer.done:
 		return fmt.Errorf("transport: peer %d closed", msg.To)
 	}
-	peer.inbox <- msg
-	return nil
 }
 
 func (e *inprocEndpoint) Recv() (Message, error) {
-	msg, ok := <-e.inbox
-	if !ok {
+	// Drain buffered messages before honouring Close, preserving the
+	// closed-channel semantics the fabric previously had.
+	select {
+	case msg := <-e.inbox:
+		return msg, nil
+	default:
+	}
+	select {
+	case msg := <-e.inbox:
+		return msg, nil
+	case <-e.done:
 		return Message{}, ErrClosed
 	}
-	return msg, nil
 }
 
 func (e *inprocEndpoint) Close() error {
@@ -105,7 +136,7 @@ func (e *inprocEndpoint) Close() error {
 	defer e.mu.Unlock()
 	if !e.closed {
 		e.closed = true
-		close(e.inbox)
+		close(e.done)
 	}
 	return nil
 }

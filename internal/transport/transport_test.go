@@ -1,10 +1,14 @@
 package transport
 
 import (
+	"bytes"
+
 	"fmt"
 	"sync"
 	"testing"
 	"time"
+
+	"autodist/internal/wire"
 )
 
 func testFabric(t *testing.T, eps []Endpoint) {
@@ -129,6 +133,71 @@ func TestTCPRecvAfterClose(t *testing.T) {
 	_ = eps[0].Close()
 }
 
+func TestConcurrentSendAndCloseNoPanic(t *testing.T) {
+	// Regression: a peer may Close between Send's closed check and the
+	// channel send; this must surface as an error, never a panic —
+	// including for senders already blocked on a full inbox.
+	for iter := 0; iter < 50; iter++ {
+		eps := NewInProc(2)
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for s := 0; s < 8; s++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				for i := 0; i < 300; i++ {
+					if err := eps[0].Send(Message{To: 1, Tag: uint64(i)}); err != nil {
+						return // peer closed — expected
+					}
+				}
+			}()
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			_ = eps[1].Close()
+		}()
+		close(start)
+		wg.Wait()
+		_ = eps[0].Close()
+	}
+}
+
+func TestSendBlockedOnFullInboxUnblocksOnClose(t *testing.T) {
+	eps := NewInProc(2)
+	// Fill the peer inbox to capacity without draining it.
+	for i := 0; ; i++ {
+		blocked := make(chan error, 1)
+		go func() {
+			blocked <- eps[0].Send(Message{To: 1})
+		}()
+		select {
+		case err := <-blocked:
+			if err != nil {
+				t.Fatalf("send %d failed early: %v", i, err)
+			}
+		case <-time.After(20 * time.Millisecond):
+			// Sender is now blocked on the full inbox; Close must
+			// unblock it with an error rather than a panic.
+			_ = eps[1].Close()
+			select {
+			case err := <-blocked:
+				if err == nil {
+					t.Error("blocked send reported success after Close")
+				}
+			case <-time.After(2 * time.Second):
+				t.Fatal("blocked send did not unblock on Close")
+			}
+			return
+		}
+		if i > 5000 {
+			t.Fatal("inbox never filled")
+		}
+	}
+}
+
 func TestBadDestinationRejected(t *testing.T) {
 	eps := NewInProc(2)
 	if err := eps[0].Send(Message{To: 7}); err == nil {
@@ -156,5 +225,71 @@ func TestTimestampAndKindRoundTrip(t *testing.T) {
 	}
 	if got.Tag != 42 || got.Kind != 7 || got.Time != 1.25 || got.From != 0 {
 		t.Errorf("round trip lost fields: %+v", got)
+	}
+}
+
+// TestFramingAgreesWithWireCodec cross-checks that a payload encoded
+// with the runtime's wire codec survives both fabrics byte-for-byte:
+// the runtime body codec and the TCP frame envelope share one format
+// family and must not corrupt each other.
+func TestFramingAgreesWithWireCodec(t *testing.T) {
+	req := wire.DepRequest{
+		ID: 42, Kind: 1, Member: "bounce:(I)I",
+		Args: []wire.Value{
+			{Kind: wire.KInt, Int: -7},
+			{Kind: wire.KArr, Elem: "I", Arr: []wire.Value{{Kind: wire.KInt, Int: 1}, {Kind: wire.KNull}}},
+			{Kind: wire.KObj, Node: 1, ID: 9, Class: "Account"},
+		},
+	}
+	payload := req.Encode()
+
+	fabrics := map[string][]Endpoint{}
+	fabrics["inproc"] = NewInProc(2)
+	tcp, err := NewTCPCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fabrics["tcp"] = tcp
+
+	for name, eps := range fabrics {
+		if err := eps[0].Send(Message{To: 1, Tag: 5, Kind: 2, Payload: payload}); err != nil {
+			t.Fatalf("%s send: %v", name, err)
+		}
+		msg, err := eps[1].Recv()
+		if err != nil {
+			t.Fatalf("%s recv: %v", name, err)
+		}
+		if !bytes.Equal(msg.Payload, payload) {
+			t.Fatalf("%s: payload corrupted in transit", name)
+		}
+		got, err := wire.DecodeDepRequest(msg.Payload)
+		if err != nil {
+			t.Fatalf("%s decode: %v", name, err)
+		}
+		if got.ID != req.ID || got.Member != req.Member || len(got.Args) != 3 || got.Args[2].Class != "Account" {
+			t.Fatalf("%s: decoded %+v != sent %+v", name, got, req)
+		}
+		for _, ep := range eps {
+			_ = ep.Close()
+		}
+	}
+}
+
+func TestInProcReportsCausalTCPDoesNot(t *testing.T) {
+	inproc := NewInProc(2)
+	if !Causal(inproc[0]) {
+		t.Error("in-process fabric must report causal delivery")
+	}
+	tcp, err := NewTCPCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tcp[0].Close()
+	defer tcp[1].Close()
+	if Causal(tcp[0]) {
+		t.Error("TCP fabric must not report causal delivery")
+	}
+	for _, ep := range inproc {
+		_ = ep.Close()
 	}
 }

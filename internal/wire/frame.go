@@ -1,0 +1,109 @@
+package wire
+
+import (
+	"fmt"
+	"io"
+)
+
+// Frame is the transport envelope: one tagged message between nodes.
+// It mirrors transport.Message field-for-field; the transport converts
+// at its boundary so the codec stays dependency-free.
+type Frame struct {
+	From, To int
+	Tag      uint64
+	Kind     uint8
+	Time     float64
+	Payload  []byte
+}
+
+// MaxFrameBody bounds a decoded frame body so a corrupted length prefix
+// fails fast instead of attempting a huge allocation.
+const MaxFrameBody = 1 << 30
+
+// AppendFrame encodes the frame (length-prefixed body) onto b.
+func AppendFrame(b []byte, f *Frame) []byte {
+	body := appendUvarint(nil, uint64(f.From))
+	body = appendUvarint(body, uint64(f.To))
+	body = appendUvarint(body, f.Tag)
+	body = append(body, f.Kind)
+	body = appendFloat(body, f.Time)
+	body = appendUvarint(body, uint64(len(f.Payload)))
+	body = append(body, f.Payload...)
+	b = appendUvarint(b, uint64(len(body)))
+	return append(b, body...)
+}
+
+// WriteFrame encodes and writes the frame in a single Write call, so
+// concurrent writers that serialise per connection emit whole frames.
+func WriteFrame(w io.Writer, f *Frame) error {
+	_, err := w.Write(AppendFrame(nil, f))
+	return err
+}
+
+// ByteScanner is the reader a frame decoder needs (bufio.Reader
+// satisfies it).
+type ByteScanner interface {
+	io.Reader
+	io.ByteReader
+}
+
+// ReadFrame reads one length-prefixed frame. It returns io.EOF
+// unchanged on a clean end-of-stream before the length prefix.
+func ReadFrame(r ByteScanner) (Frame, error) {
+	var f Frame
+	n, err := readUvarint(r)
+	if err != nil {
+		return f, err
+	}
+	if n > MaxFrameBody {
+		return f, fmt.Errorf("wire: frame body %d exceeds limit", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return f, err
+	}
+	rd := NewReader(body)
+	f.From = int(rd.Uvarint())
+	f.To = int(rd.Uvarint())
+	f.Tag = rd.Uvarint()
+	f.Kind = rd.Byte()
+	f.Time = rd.Float()
+	pn := rd.Uvarint()
+	if rd.Err() != nil {
+		return f, rd.Err()
+	}
+	if pn > 0 {
+		if uint64(len(rd.Rest())) < pn {
+			return f, fmt.Errorf("wire: truncated frame payload")
+		}
+		f.Payload = rd.Rest()[:pn]
+	}
+	return f, nil
+}
+
+// readUvarint reads a varint from a stream one byte at a time, keeping
+// io.EOF distinguishable (a clean close between frames).
+func readUvarint(r io.ByteReader) (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; ; i++ {
+		b, err := r.ReadByte()
+		if err != nil {
+			if i > 0 && err == io.EOF {
+				return 0, io.ErrUnexpectedEOF
+			}
+			return 0, err
+		}
+		if i == 9 && b > 1 {
+			return 0, fmt.Errorf("wire: uvarint overflow")
+		}
+		if b < 0x80 {
+			return x | uint64(b)<<s, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+}

@@ -1,0 +1,195 @@
+package wire
+
+// Protocol payload bodies. These are the paper's NEW and DEPENDENCE
+// messages (§5) plus their responses and the batched form that carries
+// aggregated asynchronous dependence messages in one transport frame.
+
+// NewRequest asks an object's home node to instantiate Class with Args.
+type NewRequest struct {
+	Class string
+	Args  []Value
+}
+
+// Encode serialises the request.
+func (m *NewRequest) Encode() []byte {
+	b := appendString(nil, m.Class)
+	return appendValues(b, m.Args)
+}
+
+// DecodeNewRequest parses a NewRequest body.
+func DecodeNewRequest(data []byte) (NewRequest, error) {
+	r := NewReader(data)
+	var m NewRequest
+	m.Class = r.String()
+	m.Args = r.Values()
+	return m, r.Err()
+}
+
+// NewResponse returns the created object's identity. OutArrays carries
+// the post-constructor contents of array arguments (copy-restore
+// semantics). AsyncErr surfaces a deferred asynchronous-call failure
+// stashed on the responding node (see runtime).
+type NewResponse struct {
+	ID        int64
+	OutArrays []Value
+	Err       string
+	AsyncErr  string
+	// AsyncDests lists nodes the responder flushed fire-and-forget
+	// batches to while serving this request; the caller inherits
+	// responsibility for barriering them (see runtime).
+	AsyncDests []int
+}
+
+// Encode serialises the response.
+func (m *NewResponse) Encode() []byte {
+	b := appendVarint(nil, m.ID)
+	b = appendValues(b, m.OutArrays)
+	b = appendString(b, m.Err)
+	b = appendString(b, m.AsyncErr)
+	return appendInts(b, m.AsyncDests)
+}
+
+// DecodeNewResponse parses a NewResponse body.
+func DecodeNewResponse(data []byte) (NewResponse, error) {
+	r := NewReader(data)
+	var m NewResponse
+	m.ID = r.Varint()
+	m.OutArrays = r.Values()
+	m.Err = r.String()
+	m.AsyncErr = r.String()
+	m.AsyncDests = r.ints()
+	return m, r.Err()
+}
+
+// DepRequest is the paper's DEPENDENCE message: an access to object ID
+// on its home node (or to a class's static part when Static is set).
+// Kind is a rewrite access kind (rewrite.InvokeMethodHasReturn etc.).
+type DepRequest struct {
+	ID     int64
+	Static bool
+	Class  string
+	Kind   int
+	Member string
+	Args   []Value
+}
+
+func (m *DepRequest) append(b []byte) []byte {
+	b = appendVarint(b, m.ID)
+	b = appendBool(b, m.Static)
+	b = appendString(b, m.Class)
+	b = appendVarint(b, int64(m.Kind))
+	b = appendString(b, m.Member)
+	return appendValues(b, m.Args)
+}
+
+// Encode serialises the request.
+func (m *DepRequest) Encode() []byte { return m.append(nil) }
+
+func (r *Reader) depRequest() DepRequest {
+	var m DepRequest
+	m.ID = r.Varint()
+	m.Static = r.Bool()
+	m.Class = r.String()
+	m.Kind = int(r.Varint())
+	m.Member = r.String()
+	m.Args = r.Values()
+	return m
+}
+
+// DecodeDepRequest parses a DepRequest body.
+func DecodeDepRequest(data []byte) (DepRequest, error) {
+	r := NewReader(data)
+	m := r.depRequest()
+	return m, r.Err()
+}
+
+// DepResponse carries an access result back, plus copy-restore contents
+// for array arguments and any deferred asynchronous-call failure.
+type DepResponse struct {
+	Value     Value
+	OutArrays []Value
+	Err       string
+	AsyncErr  string
+	// AsyncDests: see NewResponse.AsyncDests.
+	AsyncDests []int
+}
+
+// Encode serialises the response.
+func (m *DepResponse) Encode() []byte {
+	b := m.Value.Append(nil)
+	b = appendValues(b, m.OutArrays)
+	b = appendString(b, m.Err)
+	b = appendString(b, m.AsyncErr)
+	return appendInts(b, m.AsyncDests)
+}
+
+// DecodeDepResponse parses a DepResponse body.
+func DecodeDepResponse(data []byte) (DepResponse, error) {
+	r := NewReader(data)
+	var m DepResponse
+	m.Value = r.Value()
+	m.OutArrays = r.Values()
+	m.Err = r.String()
+	m.AsyncErr = r.String()
+	m.AsyncDests = r.ints()
+	return m, r.Err()
+}
+
+func appendInts(b []byte, vs []int) []byte {
+	b = appendUvarint(b, uint64(len(vs)))
+	for _, v := range vs {
+		b = appendUvarint(b, uint64(v))
+	}
+	return b
+}
+
+func (r *Reader) ints() []int {
+	n := r.count()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = int(r.Uvarint())
+	}
+	return out
+}
+
+// Batch aggregates consecutive asynchronous dependence messages bound
+// for one destination into a single transport frame. Ack requests a
+// completion response (used on transports without causal delivery,
+// where the sender must await processing before its next synchronous
+// exchange).
+type Batch struct {
+	Ack  bool
+	Reqs []DepRequest
+}
+
+// Encode serialises the batch.
+func (m *Batch) Encode() []byte {
+	b := appendBool(nil, m.Ack)
+	b = appendUvarint(b, uint64(len(m.Reqs)))
+	for i := range m.Reqs {
+		b = m.Reqs[i].append(b)
+	}
+	return b
+}
+
+// DecodeBatch parses a Batch body.
+func DecodeBatch(data []byte) (Batch, error) {
+	r := NewReader(data)
+	var m Batch
+	m.Ack = r.Bool()
+	n := r.count()
+	if r.Err() != nil {
+		return m, r.Err()
+	}
+	m.Reqs = make([]DepRequest, n)
+	for i := 0; i < n; i++ {
+		m.Reqs[i] = r.depRequest()
+		if r.Err() != nil {
+			return m, r.Err()
+		}
+	}
+	return m, r.Err()
+}

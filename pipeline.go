@@ -51,6 +51,10 @@ type RunOptions struct {
 	// TCP executes over local TCP sockets instead of in-process
 	// channels (distributed runs only).
 	TCP bool
+	// Unoptimized disables the message-exchange optimisations
+	// (proxy-side caching of write-once fields, fire-and-forget
+	// asynchronous void calls, batching) for A/B measurement.
+	Unoptimized bool
 }
 
 // NetModel re-exports the runtime's communication cost model.
@@ -71,6 +75,14 @@ type RunResult struct {
 	Messages int64
 	// BytesSent counts payload bytes moved between nodes.
 	BytesSent int64
+	// CacheHits counts remote field reads served from the proxy-side
+	// cache (zero messages each).
+	CacheHits int64
+	// AsyncCalls counts void invocations executed as fire-and-forget
+	// asynchronous messages; BatchFrames counts the transport frames
+	// that carried them after aggregation.
+	AsyncCalls  int64
+	BatchFrames int64
 }
 
 // Run executes the program sequentially on one VM.
@@ -241,6 +253,7 @@ func (d *Distribution) Run(opts RunOptions) (*RunResult, error) {
 	}
 	cluster, err := runtime.NewCluster(progs, d.Result.Plan, eps, runtime.Options{
 		Out: out, CPUSpeeds: opts.CPUSpeeds, Net: opts.Net, MaxSteps: maxSteps,
+		Unoptimized: opts.Unoptimized,
 	})
 	if err != nil {
 		return nil, err
@@ -251,11 +264,14 @@ func (d *Distribution) Run(opts RunOptions) (*RunResult, error) {
 	}
 	stats := cluster.TotalStats()
 	return &RunResult{
-		Output:     sb.String(),
-		Wall:       time.Since(start),
-		SimSeconds: cluster.SimSeconds(),
-		Messages:   stats.MessagesSent,
-		BytesSent:  stats.BytesSent,
+		Output:      sb.String(),
+		Wall:        time.Since(start),
+		SimSeconds:  cluster.SimSeconds(),
+		Messages:    stats.MessagesSent,
+		BytesSent:   stats.BytesSent,
+		CacheHits:   stats.CacheHits,
+		AsyncCalls:  stats.AsyncCalls,
+		BatchFrames: stats.BatchFrames,
 	}, nil
 }
 
