@@ -140,6 +140,59 @@ func BenchmarkFigure11DistributedExecution(b *testing.B) {
 	}
 }
 
+// BenchmarkAdaptiveRepartitioning runs the phase-shifting workload —
+// whose hot object set moves mid-run — with the partition as a contract
+// versus as an initial placement with live object migration, exposing
+// the message counts and migration activity as metrics.
+func BenchmarkAdaptiveRepartitioning(b *testing.B) {
+	rows, err := experiments.TableAdaptive()
+	if err != nil {
+		b.Fatal(err)
+	}
+	printTable(b, "adaptive", experiments.FormatTableAdaptive(rows))
+	prog, err := autodist.CompileString(experiments.PhaseShiftSource)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range []struct {
+		name     string
+		adaptive bool
+	}{{"Static", false}, {"Adaptive", true}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			var last *autodist.RunResult
+			for i := 0; i < b.N; i++ {
+				an, err := prog.Analyze()
+				if err != nil {
+					b.Fatal(err)
+				}
+				plan, err := an.Partition(2, autodist.PartitionOptions{Seed: 1, Epsilon: experiments.BalanceEps})
+				if err != nil {
+					b.Fatal(err)
+				}
+				var dist *autodist.Distribution
+				if cfg.adaptive {
+					dist, err = plan.RewriteAdaptive()
+				} else {
+					dist, err = plan.Rewrite()
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				last, err = dist.Run(autodist.RunOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if last != nil {
+				b.ReportMetric(float64(last.Messages), "msgs/run")
+				b.ReportMetric(float64(last.BytesSent), "wire-B/run")
+				b.ReportMetric(float64(last.Migrations), "migrations/run")
+				b.ReportMetric(float64(last.Forwards), "forwards/run")
+			}
+		})
+	}
+}
+
 // BenchmarkTable3ProfilerOverheads regenerates Table 3 and times the
 // cheapest-vs-dearest metric pair on the method benchmark so the
 // instrumentation/sampling gap is visible in ns/op.

@@ -7,6 +7,10 @@
 //	jdrun -k 2 prog.mj                 # distributed, in-process fabric
 //	jdrun -k 2 -tcp prog.mj            # distributed over local TCP
 //	jdrun -k 2 -sim prog.mj            # report simulated times (1.7GHz + 800MHz nodes)
+//	jdrun -k 2 -adaptive prog.mj       # adaptive repartitioning with live migration
+//
+// -adaptive=off (the default) keeps the partition a compile-time
+// contract, exactly the static behaviour A/B runs compare against.
 package main
 
 import (
@@ -24,10 +28,16 @@ func main() {
 	eps := flag.Float64("eps", 0.6, "partitioner imbalance tolerance")
 	tcp := flag.Bool("tcp", false, "use local TCP transport instead of in-process channels")
 	unopt := flag.Bool("unoptimized", false, "disable message-exchange optimisations (caching/async/batching) for A/B runs")
+	adaptive := flag.Bool("adaptive", false, "treat the partition as an initial placement: migrate objects to their observed communication affinity at run time")
+	adaptEvery := flag.Int("adapt-every", 0, "adaptation epoch in synchronous requests (0 = default)")
 	sim := flag.Bool("sim", false, "enable the virtual clock (paper's heterogeneous testbed)")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		flag.Usage()
+		os.Exit(2)
+	}
+	if *adaptEvery > 0 && !*adaptive {
+		fmt.Fprintln(os.Stderr, "jdrun: -adapt-every requires -adaptive")
 		os.Exit(2)
 	}
 	die := func(err error) {
@@ -48,7 +58,7 @@ func main() {
 		die(err)
 	}
 
-	opts := autodist.RunOptions{Out: os.Stdout, TCP: *tcp, Unoptimized: *unopt}
+	opts := autodist.RunOptions{Out: os.Stdout, TCP: *tcp, Unoptimized: *unopt, AdaptEvery: *adaptEvery}
 	if *sim {
 		speeds := make([]float64, *k)
 		for i := range speeds {
@@ -80,7 +90,12 @@ func main() {
 	if err != nil {
 		die(err)
 	}
-	dist, err := plan.Rewrite()
+	var dist *autodist.Distribution
+	if *adaptive {
+		dist, err = plan.RewriteAdaptive()
+	} else {
+		dist, err = plan.Rewrite()
+	}
 	if err != nil {
 		die(err)
 	}
@@ -92,6 +107,10 @@ func main() {
 		*k, res.Messages, res.BytesSent, res.Wall)
 	fmt.Fprintf(os.Stderr, "optimisations: %d cache hits, %d async calls in %d batch frames\n",
 		res.CacheHits, res.AsyncCalls, res.BatchFrames)
+	if *adaptive {
+		fmt.Fprintf(os.Stderr, "adaptive: %d live migrations, %d forwarded requests\n",
+			res.Migrations, res.Forwards)
+	}
 	if *sim {
 		fmt.Fprintf(os.Stderr, "simulated time: %.6fs\n", res.SimSeconds)
 	}

@@ -22,9 +22,17 @@
 //	dist, err := plan.Rewrite()                     // communication generation
 //	out, err := dist.Run(autodist.RunOptions{})     // distributed execution
 //
+// Plan.RewriteAdaptive builds the same distribution with the partition
+// treated as an initial placement instead of a contract: the runtime
+// tracks per-object communication affinity and live-migrates objects
+// between nodes mid-run (see RunOptions.AdaptEvery and the Migrations
+// and Forwards counters on RunResult).
+//
 // Sequential execution (prog.Run), profiling (prog.Profile), quad-IR
 // listings and retargetable x86/StrongARM code generation
 // (prog.Disassemble, prog.GenerateAssembly) are available at every
-// stage. See README.md for the architecture overview and EXPERIMENTS.md
-// for the reproduction of the paper's tables and figures.
+// stage. See README.md for the architecture overview, ARCHITECTURE.md
+// for the pipeline walkthrough and wire-protocol reference, and
+// EXPERIMENTS.md for the reproduction of the paper's tables and
+// figures.
 package autodist

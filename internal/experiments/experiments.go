@@ -409,7 +409,9 @@ func shortMetric(m profiler.Metric) string {
 
 // MessageRow is one row of the message-optimisation A/B comparison:
 // the same distributed run with the message-exchange optimisations
-// (proxy-side caching, asynchronous void calls, batching) on and off.
+// (proxy-side caching, asynchronous void calls, batching) on and off,
+// plus a third run under adaptive repartitioning (the plan as an
+// initial placement with live object migration).
 type MessageRow struct {
 	Benchmark   string
 	BaseMsgs    int64
@@ -419,6 +421,8 @@ type MessageRow struct {
 	CacheHits   int64
 	AsyncCalls  int64
 	BatchFrames int64
+	AdaptMsgs   int64
+	Migrations  int64
 }
 
 // TableMessages measures the optimisations' effect on messages sent
@@ -441,24 +445,33 @@ func TableMessages() ([]MessageRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		run := func(unoptimized bool) (runtime.NodeStats, error) {
+		rwAdapt, err := rewrite.RewriteAdaptive(bp, res, 2)
+		if err != nil {
+			return nil, err
+		}
+		run := func(r *rewrite.Result, unoptimized bool, adaptEvery int) (runtime.NodeStats, error) {
 			var out strings.Builder
-			cluster, err := runtime.NewCluster(rw.Nodes, rw.Plan, transport.NewInProc(2), runtime.Options{
-				Out: &out, MaxSteps: 2_000_000_000, Unoptimized: unoptimized,
+			cluster, err := runtime.NewCluster(r.Nodes, r.Plan, transport.NewInProc(2), runtime.Options{
+				Out: &out, MaxSteps: 2_000_000_000, Unoptimized: unoptimized, AdaptEvery: adaptEvery,
 			})
 			if err != nil {
 				return runtime.NodeStats{}, err
 			}
 			if err := cluster.Run(); err != nil {
-				return runtime.NodeStats{}, fmt.Errorf("%s (unoptimized=%v): %w", name, unoptimized, err)
+				return runtime.NodeStats{}, fmt.Errorf("%s (unoptimized=%v adaptive=%v): %w",
+					name, unoptimized, adaptEvery > 0, err)
 			}
 			return cluster.TotalStats(), nil
 		}
-		base, err := run(true)
+		base, err := run(rw, true, 0)
 		if err != nil {
 			return nil, err
 		}
-		opt, err := run(false)
+		opt, err := run(rw, false, 0)
+		if err != nil {
+			return nil, err
+		}
+		adapt, err := run(rwAdapt, false, 32)
 		if err != nil {
 			return nil, err
 		}
@@ -469,6 +482,8 @@ func TableMessages() ([]MessageRow, error) {
 			CacheHits:   opt.CacheHits,
 			AsyncCalls:  opt.AsyncCalls,
 			BatchFrames: opt.BatchFrames,
+			AdaptMsgs:   adapt.MessagesSent,
+			Migrations:  adapt.Migrations,
 		})
 	}
 	return rows, nil
@@ -479,8 +494,9 @@ func TableMessages() ([]MessageRow, error) {
 func FormatTableMessages(rows []MessageRow) string {
 	var b strings.Builder
 	b.WriteString("Message-exchange optimisation: messages and bytes, optimised vs baseline protocol\n")
-	b.WriteString(fmt.Sprintf("%-10s %6s %6s %7s | %8s %8s %7s | %5s %5s %5s\n",
-		"benchmark", "msgs0", "msgs", "red", "bytes0", "bytes", "red", "hit", "async", "batch"))
+	b.WriteString("(adapt = messages under adaptive repartitioning; migr = live migrations it executed)\n")
+	b.WriteString(fmt.Sprintf("%-10s %6s %6s %7s | %8s %8s %7s | %5s %5s %5s | %6s %5s\n",
+		"benchmark", "msgs0", "msgs", "red", "bytes0", "bytes", "red", "hit", "async", "batch", "adapt", "migr"))
 	red := func(base, opt int64) string {
 		if base == 0 {
 			return "-"
@@ -488,10 +504,10 @@ func FormatTableMessages(rows []MessageRow) string {
 		return fmt.Sprintf("%.0f%%", float64(base-opt)/float64(base)*100)
 	}
 	for _, r := range rows {
-		b.WriteString(fmt.Sprintf("%-10s %6d %6d %7s | %8d %8d %7s | %5d %5d %5d\n",
+		b.WriteString(fmt.Sprintf("%-10s %6d %6d %7s | %8d %8d %7s | %5d %5d %5d | %6d %5d\n",
 			r.Benchmark, r.BaseMsgs, r.OptMsgs, red(r.BaseMsgs, r.OptMsgs),
 			r.BaseBytes, r.OptBytes, red(r.BaseBytes, r.OptBytes),
-			r.CacheHits, r.AsyncCalls, r.BatchFrames))
+			r.CacheHits, r.AsyncCalls, r.BatchFrames, r.AdaptMsgs, r.Migrations))
 	}
 	return b.String()
 }

@@ -277,3 +277,116 @@ func TestMethodStrings(t *testing.T) {
 		}
 	}
 }
+
+// refineTestGraph builds k anchors plus objects wired to anchors by the
+// given traffic matrix, seeded with the given parts.
+func refineTestGraph(k int, objTraffic [][]int64, seed []int) (*graph.Graph, []bool) {
+	g := graph.New("affinity")
+	for r := 0; r < k; r++ {
+		g.AddVertex("anchor", 1)
+	}
+	for i, tr := range objTraffic {
+		v := g.AddVertex("obj", 1)
+		for r, w := range tr {
+			if w > 0 {
+				g.AddEdge(v, r, w, graph.KindPlain)
+			}
+		}
+		g.Vertex(v).Part = seed[i]
+	}
+	pinned := make([]bool, g.NumVertices())
+	for r := 0; r < k; r++ {
+		pinned[r] = true
+		g.Vertex(r).Part = r
+	}
+	return g, pinned
+}
+
+func TestRefineMovesObjectTowardsTraffic(t *testing.T) {
+	// One object on node 1, all of its traffic from node 0.
+	g, pinned := refineTestGraph(2, [][]int64{{50, 0}}, []int{1})
+	res, err := Refine(g, pinned, Options{K: 2, Epsilon: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parts[2] != 0 {
+		t.Errorf("hot object stayed on node %d, want 0", res.Parts[2])
+	}
+	if res.EdgeCut != 0 {
+		t.Errorf("edgecut %d after refinement, want 0", res.EdgeCut)
+	}
+}
+
+func TestRefinePinnedAnchorsNeverMove(t *testing.T) {
+	g, pinned := refineTestGraph(3, [][]int64{{0, 9, 0}, {0, 0, 9}}, []int{0, 0})
+	res, err := Refine(g, pinned, Options{K: 3, Epsilon: 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 3; r++ {
+		if res.Parts[r] != r {
+			t.Errorf("anchor %d moved to %d", r, res.Parts[r])
+		}
+	}
+	if res.Parts[3] != 1 || res.Parts[4] != 2 {
+		t.Errorf("objects at %v, want nodes 1 and 2", res.Parts[3:])
+	}
+}
+
+func TestRefineStableAssignmentIsFixpoint(t *testing.T) {
+	// Objects already co-located with their traffic: refinement must
+	// not churn them (no hill-climbing moves at runtime).
+	g, pinned := refineTestGraph(2, [][]int64{{9, 0}, {0, 9}}, []int{0, 1})
+	res, err := Refine(g, pinned, Options{K: 2, Epsilon: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parts[2] != 0 || res.Parts[3] != 1 {
+		t.Errorf("stable assignment churned: %v", res.Parts)
+	}
+	res2, err := Refine(g, pinned, Options{K: 2, Epsilon: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Parts {
+		if res.Parts[i] != res2.Parts[i] {
+			t.Errorf("second refinement changed vertex %d: %d -> %d", i, res.Parts[i], res2.Parts[i])
+		}
+	}
+}
+
+func TestRefineRespectsBalanceEnvelope(t *testing.T) {
+	// 6 objects all pulled to node 0, but a tight envelope: some must
+	// stay behind. Total weight 8 (2 anchors + 6 objects); with
+	// epsilon 0.25 node 0 may hold at most 8/2*1.25+1 = 6.
+	traffic := make([][]int64, 6)
+	seed := make([]int, 6)
+	for i := range traffic {
+		traffic[i] = []int64{10, 0}
+		seed[i] = 1
+	}
+	g, pinned := refineTestGraph(2, traffic, seed)
+	res, err := Refine(g, pinned, Options{K: 2, Epsilon: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PartWeights[0][0] > 6 {
+		t.Errorf("node 0 weight %d exceeds balance envelope", res.PartWeights[0][0])
+	}
+	moved := 0
+	for _, p := range res.Parts[2:] {
+		if p == 0 {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Error("no object moved despite headroom")
+	}
+}
+
+func TestRefineEmptyGraph(t *testing.T) {
+	g := graph.New("empty")
+	if _, err := Refine(g, nil, Options{K: 2}); err != nil {
+		t.Fatal(err)
+	}
+}

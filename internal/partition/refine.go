@@ -1,0 +1,100 @@
+package partition
+
+import "autodist/internal/graph"
+
+// Refine incrementally re-partitions g starting from the assignment
+// already stored in its vertices (Vertex.Part), instead of computing a
+// partition from scratch. It is the entry point the adaptive runtime
+// feeds observed-affinity graphs through: the current object placement
+// seeds the search, pinned vertices (per-node anchors such as static
+// contexts) never move, and only moves that reduce the edgecut while
+// keeping every weight dimension inside the balance envelope are taken.
+// The refined assignment is written back into g and summarised in the
+// returned Result.
+//
+// The algorithm is the k-way boundary-refinement half of the multilevel
+// scheme: greedy passes over the vertices, each moving a vertex to the
+// neighbouring partition with the highest positive connectivity gain.
+// Unlike the from-scratch bisection path it takes no hill-climbing
+// moves, so a stable assignment is a fixpoint — repeated calls with
+// unchanged traffic do not oscillate.
+func Refine(g *graph.Graph, pinned []bool, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	n := g.NumVertices()
+	if n == 0 {
+		return &Result{Parts: nil, PartWeights: make([][]int64, 0)}, nil
+	}
+	k := opts.K
+	parts := g.Parts()
+	for i, p := range parts {
+		if p < 0 || p >= k {
+			parts[i] = 0
+		}
+	}
+	wg := buildWorkGraph(g)
+	tot := wg.totalWeight()
+	capPer := make([]float64, wg.dims)
+	for d := 0; d < wg.dims; d++ {
+		capPer[d] = float64(tot[d])/float64(k)*(1+opts.Epsilon) + 1
+	}
+	cur := make([][]int64, k)
+	for p := range cur {
+		cur[p] = make([]int64, wg.dims)
+	}
+	for v := 0; v < n; v++ {
+		for d, w := range wg.vwgt[v] {
+			cur[parts[v]][d] += w
+		}
+	}
+
+	conn := make([]int64, k)
+	for pass := 0; pass < opts.Refinements; pass++ {
+		improved := false
+		for v := 0; v < n; v++ {
+			if pinned != nil && v < len(pinned) && pinned[v] {
+				continue
+			}
+			for p := range conn {
+				conn[p] = 0
+			}
+			for _, u := range sortedNeighbors(wg.adj[v]) {
+				conn[parts[u]] += wg.adj[v][u]
+			}
+			from := parts[v]
+			best, bestGain := -1, int64(0)
+			for p := 0; p < k; p++ {
+				if p == from {
+					continue
+				}
+				gain := conn[p] - conn[from]
+				if gain <= bestGain {
+					continue
+				}
+				fits := true
+				for d, w := range wg.vwgt[v] {
+					if float64(cur[p][d]+w) > capPer[d] {
+						fits = false
+						break
+					}
+				}
+				if fits {
+					best, bestGain = p, gain
+				}
+			}
+			if best < 0 {
+				continue
+			}
+			parts[v] = best
+			for d, w := range wg.vwgt[v] {
+				cur[from][d] -= w
+				cur[best][d] += w
+			}
+			improved = true
+		}
+		if !improved {
+			break
+		}
+	}
+	g.SetParts(parts)
+	return summarize(g, parts, k), nil
+}

@@ -68,6 +68,14 @@ type Plan struct {
 	ClassParts map[string]map[int]bool
 	// Facts carries the static facts the optimisation kinds rest on.
 	Facts *analysis.Facts
+	// Adaptive marks the plan as an initial placement rather than a
+	// contract: the runtime may migrate objects between nodes at run
+	// time, so every allocated class is rewritten as dependent on every
+	// node (all instance accesses funnel through the access path, which
+	// is what makes ownership a runtime decision). Asynchronous
+	// confined-call stamping is disabled, because co-location is no
+	// longer a static guarantee once objects move.
+	Adaptive bool
 }
 
 // CoLocated reports whether every allocation site of every class in
@@ -192,10 +200,38 @@ type Result struct {
 	Nodes []*bytecode.Program
 }
 
+// markAllDependent widens the dependent-class sets for adaptive mode:
+// every class with an allocation site becomes dependent on every node,
+// so all instance accesses are mediated by the access path and any
+// object may change homes at run time.
+func (p *Plan) markAllDependent() {
+	p.Adaptive = true
+	for cls := range p.ClassParts {
+		for n := 0; n < p.K; n++ {
+			p.ClassHasRemote[n][cls] = true
+		}
+	}
+}
+
 // Rewrite produces the per-node programs. The input program is not
 // modified.
 func Rewrite(p *bytecode.Program, res *analysis.Result, k int) (*Result, error) {
+	return rewriteWith(p, res, k, false)
+}
+
+// RewriteAdaptive produces per-node programs for the adaptive runtime:
+// the partition is only the initial placement, every allocated class is
+// rewritten as dependent everywhere, and no asynchronous access kinds
+// are stamped (see Plan.Adaptive).
+func RewriteAdaptive(p *bytecode.Program, res *analysis.Result, k int) (*Result, error) {
+	return rewriteWith(p, res, k, true)
+}
+
+func rewriteWith(p *bytecode.Program, res *analysis.Result, k int, adaptive bool) (*Result, error) {
 	plan := BuildPlan(res, k)
+	if adaptive {
+		plan.markAllDependent()
+	}
 	out := &Result{Plan: plan, Nodes: make([]*bytecode.Program, k)}
 	for node := 0; node < k; node++ {
 		np, err := RewriteForNode(p, plan, node)
@@ -443,8 +479,13 @@ func (rw *methodRewriter) rewrite() error {
 				// A confined void call whose touch set is co-located
 				// provably completes on the receiver's home node, so
 				// the runtime may fire it asynchronously and batch it.
-				if touch, ok := rw.plan.Facts.AsyncConfined(cls, name, desc); ok && rw.plan.CoLocated(touch) {
-					kind = InvokeMethodVoidAsync
+				// Under an adaptive plan co-location is only the
+				// initial state — migration could strand the touch set
+				// — so the call stays synchronous.
+				if !rw.plan.Adaptive {
+					if touch, ok := rw.plan.Facts.AsyncConfined(cls, name, desc); ok && rw.plan.CoLocated(touch) {
+						kind = InvokeMethodVoidAsync
+					}
 				}
 			}
 			ldcInt(kind)

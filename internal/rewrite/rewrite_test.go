@@ -337,3 +337,114 @@ class Main {
 		t.Error("Conf and Counter must not report co-located after the split")
 	}
 }
+
+func TestAdaptivePlanIsInitialPlacementNotContract(t *testing.T) {
+	bp, res, _ := prep(t)
+	rw, err := RewriteAdaptive(bp, res, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := rw.Plan
+	if !plan.Adaptive {
+		t.Fatal("RewriteAdaptive produced a non-adaptive plan")
+	}
+	// Every allocated class must be dependent on every node, so all
+	// instance accesses are mediated and ownership can change at run
+	// time.
+	for cls := range plan.ClassParts {
+		for node := 0; node < plan.K; node++ {
+			if !plan.ClassHasRemote[node][cls] {
+				t.Errorf("class %s not dependent on node %d under adaptive plan", cls, node)
+			}
+		}
+	}
+	// The rewritten programs must still verify.
+	for i, np := range rw.Nodes {
+		if err := bytecode.VerifyProgram(np); err != nil {
+			t.Errorf("adaptive node %d program invalid: %v", i, err)
+		}
+	}
+}
+
+func TestAdaptivePlanStampsNoAsyncKinds(t *testing.T) {
+	// Migration voids the static co-location proof, so adaptive
+	// rewrites must never stamp InvokeMethodVoidAsync — but write-once
+	// caching (location-independent) stays.
+	src := `
+class Conf {
+	int size;
+	Conf(int s) { this.size = s; }
+}
+class Counter {
+	int v;
+	void bump(int n) { this.v += n; }
+}
+class Main {
+	static void main() {
+		Conf c = new Conf(4);
+		Counter k = new Counter();
+		k.bump(c.size);
+		System.println("" + (c.size + k.v));
+	}
+}`
+	bp, _, err := compile.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analysis.Analyze(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range res.ODG.Graph.Vertices() {
+		v.Part = 0
+	}
+	for _, s := range res.ODG.Sites {
+		if s.Allocated == "Conf" || s.Allocated == "Counter" {
+			res.ODG.Graph.Vertex(s.Node).Part = 1
+		}
+	}
+	rw, err := RewriteAdaptive(bp, res, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An access call site is emitted as: LDC kind; LDC member; args;
+	// INVOKEVIRTUAL DependentObject.access — so the kind constant sits
+	// three instructions before the invoke.
+	for node, np := range rw.Nodes {
+		for _, cf := range np.Classes() {
+			for i := range cf.Methods {
+				m := &cf.Methods[i]
+				for j, in := range m.Code {
+					if in.Op != bytecode.INVOKEVIRTUAL || j < 3 {
+						continue
+					}
+					cls, name, _ := cf.Pool.Ref(uint16(in.A))
+					if cls != DependentObjectClass || name != "access" {
+						continue
+					}
+					kin := m.Code[j-3]
+					if kin.Op == bytecode.LDC && cf.Pool.Entry(uint16(kin.A)).Tag == bytecode.TagInt &&
+						cf.Pool.Entry(uint16(kin.A)).Int == InvokeMethodVoidAsync {
+						t.Errorf("node %d: %s.%s stamps InvokeMethodVoidAsync under adaptive plan", node, cf.Name, m.Name)
+					}
+				}
+			}
+		}
+	}
+	np, err := RewriteForNode(bp, rw.Plan, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := np.Class("Main")
+	m := cf.Method("main", "()V")
+	sawCached := false
+	for _, in := range m.Code {
+		if in.Op == bytecode.LDC && cf.Pool.Entry(uint16(in.A)).Tag == bytecode.TagInt &&
+			cf.Pool.Entry(uint16(in.A)).Int == GetFieldCached {
+			sawCached = true
+		}
+	}
+	if !sawCached {
+		t.Error("write-once caching lost under adaptive plan")
+	}
+}

@@ -1,0 +1,213 @@
+package runtime
+
+import (
+	"fmt"
+	"sort"
+	"sync/atomic"
+
+	"autodist/internal/graph"
+	"autodist/internal/partition"
+	"autodist/internal/wire"
+)
+
+// This file implements the coordinator half of adaptive repartitioning
+// (the feedback loop the paper's §6 profiler anticipates: "we plan to
+// use this information to perform adaptive repartitioning"). Every node
+// counts its per-object message traffic; when the logical thread
+// crosses an epoch boundary it nudges the coordinator (node 0), which
+// polls every node's affinity report, folds the observed traffic into a
+// graph, re-partitions it incrementally with partition.Refine seeded by
+// the current placement, and executes the delta as live migrations
+// (migrate.go). Because the nudge is a synchronous exchange issued by
+// the single logical thread, the adaptation round runs at a quiescent
+// point — the only concurrent activity is the waiting thread's own
+// blocked call chain, whose objects the freeze protocol skips.
+
+// defaultAdaptEpsilon is the balance envelope for runtime refinement.
+// It is deliberately looser than the offline partitioner's default: at
+// run time the goal is cutting observed traffic, and the anchor
+// vertices keep statics pinned, so mild imbalance is the price of
+// locality.
+const defaultAdaptEpsilon = 1.0
+
+// defaultAdaptMinGain is the hysteresis threshold: an object migrates
+// only when the epoch's traffic towards its refined home exceeds the
+// traffic towards its current home by at least this many messages.
+const defaultAdaptMinGain = 4
+
+// maybeAdapt runs the adaptation trigger: every adaptEvery synchronous
+// requests the logical thread pauses to drive (or request) one
+// adaptation round. A zero adaptEvery disables the subsystem.
+func (n *Node) maybeAdapt() {
+	if n.adaptEvery <= 0 {
+		return
+	}
+	c := atomic.AddInt64(&n.reqEpoch, 1)
+	if c%int64(n.adaptEvery) != 0 {
+		return
+	}
+	if n.Rank == 0 {
+		n.runAdapt()
+		return
+	}
+	// Ask the coordinator to adapt while we wait: adaptation errors are
+	// best-effort and must not fail the program.
+	if _, err := n.rawRequest(0, KindAdapt, nil); err != nil {
+		select {
+		case n.errs <- err:
+		default:
+		}
+	}
+}
+
+// localAffinityReport snapshots this node's migratable objects and
+// epoch traffic counters, resetting the counters (affinity is
+// epoch-local so the coordinator reacts to phase shifts, not history).
+func (n *Node) localAffinityReport() wire.AffinityReport {
+	var rep wire.AffinityReport
+	n.mu.Lock()
+	ids := make([]int64, 0, len(n.home))
+	for id := range n.home {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		o := n.home[id]
+		if n.migratable(o) {
+			rep.Owned = append(rep.Owned, wire.OwnedObject{ID: id, Class: o.Class.Name()})
+		}
+	}
+	n.mu.Unlock()
+	n.affMu.Lock()
+	eids := make([]int64, 0, len(n.aff))
+	for id := range n.aff {
+		eids = append(eids, id)
+	}
+	sort.Slice(eids, func(i, j int) bool { return eids[i] < eids[j] })
+	for _, id := range eids {
+		c := n.aff[id]
+		rep.Edges = append(rep.Edges, wire.AffinityEdge{ID: id, Msgs: c.msgs, Bytes: c.bytes})
+	}
+	n.aff = map[int64]*affinityCell{}
+	n.affMu.Unlock()
+	return rep
+}
+
+// runAdapt executes one adaptation round on the coordinator: poll,
+// refine, migrate. Errors are swallowed (adaptation is best-effort; the
+// program is correct under any placement).
+func (n *Node) runAdapt() {
+	n.coordMu.Lock()
+	defer n.coordMu.Unlock()
+	k := n.EP.Size()
+	if k < 2 {
+		return
+	}
+
+	owner := map[int64]int{}
+	// traffic[id][node] accumulates the epoch's messages from node to
+	// object id (bytes act as a fractional tiebreak).
+	traffic := map[int64]map[int]int64{}
+	var ids []int64
+	for r := 0; r < k; r++ {
+		var rep wire.AffinityReport
+		if r == n.Rank {
+			rep = n.localAffinityReport()
+		} else {
+			resp, err := n.rawRequest(r, KindAffinity, nil)
+			if err != nil {
+				return
+			}
+			rep, err = wire.DecodeAffinityReport(resp.Payload)
+			if err != nil {
+				return
+			}
+		}
+		for _, o := range rep.Owned {
+			if _, seen := owner[o.ID]; !seen {
+				ids = append(ids, o.ID)
+			}
+			owner[o.ID] = r
+		}
+		for _, e := range rep.Edges {
+			t := traffic[e.ID]
+			if t == nil {
+				t = map[int]int64{}
+				traffic[e.ID] = t
+			}
+			t[r] += e.Msgs + e.Bytes/256
+		}
+	}
+	if len(ids) == 0 {
+		return
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+
+	// Affinity graph: one pinned anchor per node (its statics and
+	// non-migratable residents), one vertex per migratable object,
+	// edges weighted by the epoch's observed traffic.
+	g := graph.New("affinity")
+	for r := 0; r < k; r++ {
+		g.AddVertex(fmt.Sprintf("node%d", r), 1)
+	}
+	vidx := make(map[int64]int, len(ids))
+	for _, id := range ids {
+		vidx[id] = g.AddVertex(fmt.Sprintf("obj%d", id), 1)
+	}
+	pinned := make([]bool, g.NumVertices())
+	parts := make([]int, g.NumVertices())
+	for r := 0; r < k; r++ {
+		pinned[r] = true
+		parts[r] = r
+	}
+	for _, id := range ids {
+		parts[vidx[id]] = owner[id]
+		t := traffic[id]
+		nodes := make([]int, 0, len(t))
+		for r := range t {
+			nodes = append(nodes, r)
+		}
+		sort.Ints(nodes)
+		for _, r := range nodes {
+			if w := t[r]; w > 0 {
+				g.AddEdge(vidx[id], r, w, graph.KindPlain)
+			}
+		}
+	}
+	g.SetParts(parts)
+	res, err := partition.Refine(g, pinned, partition.Options{K: k, Epsilon: n.adaptEps})
+	if err != nil {
+		return
+	}
+
+	for _, id := range ids {
+		to := res.Parts[vidx[id]]
+		cur := owner[id]
+		if to == cur {
+			continue
+		}
+		// Hysteresis: only move when this epoch's traffic imbalance
+		// clearly favours the new home, so boundary noise does not
+		// bounce objects between nodes.
+		if traffic[id][to]-traffic[id][cur] < n.adaptMinGain {
+			continue
+		}
+		req := wire.MigrateRequest{ID: id, To: to}
+		var out wire.MigrateResponse
+		if cur == n.Rank {
+			out = n.handleMigrate(&req)
+		} else {
+			resp, err := n.rawRequest(cur, KindMigrate, req.Encode())
+			if err != nil {
+				return
+			}
+			if out, err = wire.DecodeMigrateResponse(resp.Payload); err != nil {
+				return
+			}
+		}
+		if out.Moved {
+			// Keep the coordinator's own redirects and caches fresh.
+			n.learnHome(id, to)
+		}
+	}
+}

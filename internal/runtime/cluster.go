@@ -28,6 +28,20 @@ type Options struct {
 	// (proxy-side caching, asynchronous void calls, batching) so runs
 	// can A/B-measure their effect. The protocol itself is unchanged.
 	Unoptimized bool
+	// AdaptEvery enables adaptive repartitioning: every AdaptEvery
+	// synchronous requests the logical thread triggers an adaptation
+	// round (affinity poll → incremental re-partition → live object
+	// migration) on the coordinator, node 0. Zero disables the
+	// subsystem entirely, preserving static-plan behaviour. Requires a
+	// plan built by rewrite.RewriteAdaptive, whose access mediation
+	// makes ownership a runtime decision.
+	AdaptEvery int
+	// AdaptEpsilon is the balance envelope for runtime refinement
+	// (default 1.0 — see partition.Refine).
+	AdaptEpsilon float64
+	// AdaptMinGain is the migration hysteresis threshold in messages
+	// per epoch (default 4).
+	AdaptMinGain int64
 }
 
 // Cluster is a set of nodes executing one distributed program.
@@ -42,6 +56,15 @@ func NewCluster(progs []*bytecode.Program, plan *rewrite.Plan, eps []transport.E
 	if len(progs) != len(eps) {
 		return nil, fmt.Errorf("runtime: %d programs for %d endpoints", len(progs), len(eps))
 	}
+	if opts.AdaptEvery > 0 && (plan == nil || !plan.Adaptive) {
+		return nil, fmt.Errorf("runtime: adaptive repartitioning needs a plan from rewrite.RewriteAdaptive")
+	}
+	if opts.AdaptEpsilon <= 0 {
+		opts.AdaptEpsilon = defaultAdaptEpsilon
+	}
+	if opts.AdaptMinGain <= 0 {
+		opts.AdaptMinGain = defaultAdaptMinGain
+	}
 	c := &Cluster{opts: opts}
 	for i := range progs {
 		n, err := NewNode(progs[i], eps[i], plan)
@@ -50,6 +73,9 @@ func NewCluster(progs []*bytecode.Program, plan *rewrite.Plan, eps []transport.E
 		}
 		n.Net = opts.Net
 		n.Unoptimized = opts.Unoptimized
+		n.adaptEvery = opts.AdaptEvery
+		n.adaptEps = opts.AdaptEpsilon
+		n.adaptMinGain = opts.AdaptMinGain
 		if opts.Out != nil {
 			n.VM.Out = opts.Out
 		}

@@ -1,0 +1,141 @@
+package runtime
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"autodist/internal/vm"
+	"autodist/internal/wire"
+)
+
+// This file implements the live object-migration half of the adaptive
+// repartitioning subsystem: the owner-side handoff (MIGRATE → freeze →
+// snapshot → TRANSFER → forwarding pointer) and the receiver-side
+// install. The coordinator that decides *what* to move lives in
+// adapt.go.
+//
+// Safety rests on three properties:
+//
+//  1. Quiescence: an object is snapshotted only when its access gate
+//     shows no in-flight local access (freezeObject); busy objects are
+//     skipped this epoch, never forced.
+//  2. Forwarding: after the handoff the previous owner keeps a
+//     forwarding pointer (the hint map) and relays stale requests to
+//     the new home, stamping Moved notices so callers redirect and
+//     invalidate cached reads. Requests are therefore never lost or
+//     duplicated across a handoff — they take at most a longer route.
+//  3. Batch ordering: migration commands travel as ordinary requests,
+//     so the serve loop's batch barrier makes them wait for every
+//     asynchronous batch that causally preceded them, and the
+//     adaptation trigger runs behind the logical thread's own flush
+//     barrier (see Node.request).
+
+// migratable reports whether an object's state can be shipped: every
+// field must survive toWire/fromWire round-trips with its sharing
+// intact. Arrays are deep-copied by the codec (the paper's copy-restore
+// dependence-data semantics), so objects holding arrays — including the
+// prelude's Vector — stay put.
+func (n *Node) migratable(o *vm.Object) bool {
+	for _, f := range o.Fields {
+		if _, bad := f.(*vm.Array); bad {
+			return false
+		}
+	}
+	return true
+}
+
+// handleMigrate executes a coordinator's ownership-transfer command for
+// one object this node owns. A false Moved result is a skip (busy or
+// non-migratable object, stale command), not a failure.
+func (n *Node) handleMigrate(req *wire.MigrateRequest) wire.MigrateResponse {
+	if req.To == n.Rank {
+		return wire.MigrateResponse{}
+	}
+	if req.To < 0 || req.To >= n.EP.Size() {
+		return wire.MigrateResponse{Err: fmt.Sprintf("migrate target %d out of range", req.To)}
+	}
+	h := n.holder(req.ID)
+	if h == nil || !n.migratable(h) {
+		return wire.MigrateResponse{}
+	}
+	if !n.freezeObject(req.ID) {
+		return wire.MigrateResponse{}
+	}
+	defer n.thawObject(req.ID)
+	// Re-read under the freeze: ownership cannot change while frozen
+	// (migrations are serialised by the coordinator), but the earlier
+	// read raced with in-flight accesses.
+	h = n.holder(req.ID)
+	if h == nil || !n.migratable(h) {
+		return wire.MigrateResponse{}
+	}
+	fields, err := n.toWireSlice(h.Fields)
+	if err != nil {
+		return wire.MigrateResponse{Err: err.Error()}
+	}
+	treq := wire.TransferRequest{ID: req.ID, Class: h.Class.Name(), Fields: fields}
+	resp, err := n.rawRequest(req.To, KindTransfer, treq.Encode())
+	if err != nil {
+		return wire.MigrateResponse{Err: err.Error()}
+	}
+	tout, err := wire.DecodeTransferResponse(resp.Payload)
+	if err != nil {
+		return wire.MigrateResponse{Err: err.Error()}
+	}
+	if tout.Err != "" {
+		return wire.MigrateResponse{Err: tout.Err}
+	}
+	// The new owner has installed the state: drop ownership, leave a
+	// forwarding pointer, and invalidate our own cached reads of it.
+	n.mu.Lock()
+	delete(n.home, req.ID)
+	n.hint[req.ID] = req.To
+	n.mu.Unlock()
+	n.dropCachedObject(req.ID)
+	atomic.AddInt64(&n.Stats.Migrations, 1)
+	return wire.MigrateResponse{Moved: true}
+}
+
+// handleTransfer installs a migrating object's state on this node. If
+// the object was born here (its canonical rep is still the original
+// real instance) the state moves back into that instance, so every
+// reference this node's heap already holds observes the return. If the
+// canonical rep is a proxy, a hidden backing instance holds the state
+// and the proxy keeps representing the object on the heap
+// (canonicalize maps escapes of the backing `this` back to it).
+func (n *Node) handleTransfer(req *wire.TransferRequest) wire.TransferResponse {
+	cls := n.VM.Class(req.Class)
+	if cls == nil {
+		return wire.TransferResponse{Err: fmt.Sprintf("node %d: unknown class %s", n.Rank, req.Class)}
+	}
+	vals, err := n.fromWireSlice(req.Fields)
+	if err != nil {
+		return wire.TransferResponse{Err: err.Error()}
+	}
+	n.mu.Lock()
+	var h *vm.Object
+	if c := n.canon[req.ID]; c != nil && c.Class.Name() != depObjectClassName {
+		h = c // born here, coming home: reuse the canonical instance
+	}
+	n.mu.Unlock()
+	if h == nil {
+		h = n.VM.NewObject(cls)
+		h.ID = req.ID
+	}
+	if len(vals) != len(h.Fields) {
+		return wire.TransferResponse{Err: fmt.Sprintf("node %d: %s transfer carries %d fields, class has %d",
+			n.Rank, req.Class, len(vals), len(h.Fields))}
+	}
+	copy(h.Fields, vals)
+	n.mu.Lock()
+	n.home[req.ID] = h
+	if n.canon[req.ID] == nil {
+		n.canon[req.ID] = h
+	}
+	delete(n.hint, req.ID)
+	n.mu.Unlock()
+	// Reads we cached while the object lived elsewhere are now served
+	// from the live instance.
+	n.dropCachedObject(req.ID)
+	return wire.TransferResponse{}
+}

@@ -1,0 +1,91 @@
+package runtime
+
+import (
+	"testing"
+	"time"
+
+	"autodist/internal/bytecode"
+	"autodist/internal/transport"
+)
+
+func testNode(t *testing.T) *Node {
+	t.Helper()
+	prog := bytecode.NewProgram()
+	prog.Add(bytecode.NewClassFile("Object", ""))
+	eps := transport.NewInProc(2)
+	n, err := NewNode(prog, eps[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestLearnHomeInvalidatesCachedReads pins the Moved-notice contract:
+// learning that an object's home moved must drop every proxy-side
+// cached read of that object (and only that object) and update the
+// ownership hint for future accesses.
+func TestLearnHomeInvalidatesCachedReads(t *testing.T) {
+	n := testNode(t)
+	n.storeField(fieldCacheKey{id: 7, member: "size"}, int64(1))
+	n.storeField(fieldCacheKey{id: 7, member: "tag"}, "x")
+	n.storeField(fieldCacheKey{id: 9, member: "size"}, int64(2))
+	n.hint[7] = 1
+
+	n.learnHome(7, 0)
+
+	if _, ok := n.cachedField(fieldCacheKey{id: 7, member: "size"}); ok {
+		t.Error("cached read of moved object 7 survived invalidation")
+	}
+	if _, ok := n.cachedField(fieldCacheKey{id: 7, member: "tag"}); ok {
+		t.Error("cached read of moved object 7 survived invalidation")
+	}
+	if _, ok := n.cachedField(fieldCacheKey{id: 9, member: "size"}); !ok {
+		t.Error("cached read of unmoved object 9 was dropped")
+	}
+	if got := n.hintFor(7, 1); got != 0 {
+		t.Errorf("hint for moved object = %d, want 0", got)
+	}
+}
+
+// TestLearnHomeIgnoresBogusRanks guards the redirect path against
+// corrupted Moved notices.
+func TestLearnHomeIgnoresBogusRanks(t *testing.T) {
+	n := testNode(t)
+	n.hint[7] = 1
+	n.learnHome(7, -1)
+	n.learnHome(7, 99)
+	if got := n.hintFor(7, 1); got != 1 {
+		t.Errorf("hint changed to %d on out-of-range Moved notice", got)
+	}
+}
+
+// TestFreezeGateBlocksAndDrains exercises the migration gate: a frozen
+// object admits no new accesses until thawed, and freezing fails while
+// an access is in flight.
+func TestFreezeGateBlocksAndDrains(t *testing.T) {
+	n := testNode(t)
+	if !n.enterObject(5) {
+		t.Fatal("enterObject failed on live node")
+	}
+	if n.freezeObject(5) {
+		t.Fatal("freeze succeeded with an access in flight")
+	}
+	n.exitObject(5)
+	if !n.freezeObject(5) {
+		t.Fatal("freeze failed on idle object")
+	}
+	entered := make(chan bool)
+	go func() {
+		entered <- n.enterObject(5)
+	}()
+	select {
+	case <-entered:
+		t.Fatal("access admitted while frozen")
+	case <-time.After(5 * time.Millisecond):
+	}
+	n.thawObject(5)
+	if ok := <-entered; !ok {
+		t.Fatal("access failed after thaw")
+	}
+	n.exitObject(5)
+}

@@ -14,7 +14,10 @@ import (
 // registerNatives installs the DependentObject implementation and the
 // synthetic local-dispatch access method (see rewrite: every dependent
 // class gains a native access so rewritten call sites also work when
-// the receiver turns out to be local).
+// the receiver turns out to be local). Both entry points funnel into
+// dispatchAccess, which consults the dynamic ownership map — under
+// adaptive repartitioning an object may live anywhere, regardless of
+// the shape (proxy or real) the call site happens to hold.
 func (n *Node) registerNatives() {
 	machine := n.VM
 
@@ -34,7 +37,7 @@ func (n *Node) registerNatives() {
 				// create locally and alias the proxy to it.
 				return nil, fmt.Errorf("runtime: proxy constructor for local site of %s", className)
 			}
-			wireArgs, err := n.toWireSlice(ctorArgs)
+			wireArgs, err := n.toWireSlice(n.canonicalizeSlice(ctorArgs))
 			if err != nil {
 				return nil, err
 			}
@@ -62,58 +65,23 @@ func (n *Node) registerNatives() {
 			self.Fields[cls.FieldSlot("className")] = className
 			self.Fields[cls.FieldSlot("remoteId")] = out.ID
 			n.mu.Lock()
-			n.proxies[objKey{home, out.ID}] = self
+			if n.canon[out.ID] == nil {
+				n.canon[out.ID] = self
+			}
+			n.hint[out.ID] = home
 			n.mu.Unlock()
 			return nil, nil
 		})
 
-	// DependentObject.access: ship a DEPENDENCE message home — unless
-	// an optimisation kind licenses a cheaper path: cached write-once
-	// field reads cost zero messages on a hit, and confined void calls
-	// are buffered as fire-and-forget asynchronous messages.
+	// DependentObject.access: the rewritten access path for receivers
+	// whose static type may live remotely.
 	machine.RegisterNative(depObjectClassName, "access", rewrite.AccessDesc,
 		func(m *vm.VM, args []vm.Value) (vm.Value, error) {
-			self := args[0].(*vm.Object)
-			kind := int(args[1].(int64))
-			member := args[2].(string)
-			var acc []vm.Value
-			if arr, ok := args[3].(*vm.Array); ok && arr != nil {
-				acc = arr.Data
-			}
-			home, id, _ := n.proxyIdentity(self)
-			if home == n.Rank {
-				obj := n.lookup(id)
-				if obj == nil {
-					return nil, fmt.Errorf("runtime: dangling home reference %d", id)
-				}
-				return n.localAccess(obj, kind, member, acc)
-			}
-			switch {
-			case kind == rewrite.GetFieldCached && !n.Unoptimized:
-				key := fieldCacheKey{home, id, member}
-				if v, ok := n.cachedField(key); ok {
-					atomic.AddInt64(&n.Stats.CacheHits, 1)
-					return v, nil
-				}
-				v, err := n.remoteAccess(home, id, kind, member, acc)
-				if err != nil {
-					return nil, err
-				}
-				n.storeField(key, v)
-				return v, nil
-			case kind == rewrite.InvokeMethodVoidAsync && !n.Unoptimized:
-				wireArgs, err := n.toWireSlice(acc)
-				if err != nil {
-					return nil, err
-				}
-				return nil, n.asyncEnqueue(home, wire.DepRequest{
-					ID: id, Kind: kind, Member: member, Args: wireArgs,
-				})
-			}
-			return n.remoteAccess(home, id, kind, member, acc)
+			return n.accessFromArgs(args)
 		})
 
-	// DependentObject.staticAccess: remote static fields.
+	// DependentObject.staticAccess: remote static fields. Static
+	// contexts are pinned by the plan and never migrate.
 	machine.RegisterNative(depObjectClassName, "staticAccess", rewrite.StaticAccessDesc,
 		func(m *vm.VM, args []vm.Value) (vm.Value, error) {
 			home := int(args[0].(int64))
@@ -125,9 +93,9 @@ func (n *Node) registerNatives() {
 				acc = arr.Data
 			}
 			if home == n.Rank {
-				return n.staticAccessLocal(class, kind, member, acc)
+				return n.staticAccessLocal(class, kind, member, n.canonicalizeSlice(acc))
 			}
-			wireArgs, err := n.toWireSlice(acc)
+			wireArgs, err := n.toWireSlice(n.canonicalizeSlice(acc))
 			if err != nil {
 				return nil, err
 			}
@@ -136,11 +104,13 @@ func (n *Node) registerNatives() {
 			if err != nil {
 				return nil, err
 			}
-			return n.finishDepResponse(home, resp.Payload, acc, "static access "+class+"."+member)
+			return n.finishDepResponse(home, 0, resp.Payload, acc, "static access "+class+"."+member)
 		})
 
-	// Synthetic Class.access on every user class: the receiver turned
-	// out to be local, so dispatch directly.
+	// Synthetic Class.access on every user class: the receiver's static
+	// type is dependent but the reference turned out to be a real local
+	// instance — dispatch through the same ownership-aware path (the
+	// instance may still have migrated away).
 	for _, cf := range machine.Program().Classes() {
 		for i := range cf.Methods {
 			m := &cf.Methods[i]
@@ -148,19 +118,126 @@ func (n *Node) registerNatives() {
 				m.Flags&bytecode.AccSynthetic != 0 {
 				machine.RegisterNative(cf.Name, "access", rewrite.AccessDesc,
 					func(mm *vm.VM, args []vm.Value) (vm.Value, error) {
-						obj := args[0].(*vm.Object)
-						kind := int(args[1].(int64))
-						member := args[2].(string)
-						var acc []vm.Value
-						if arr, ok := args[3].(*vm.Array); ok && arr != nil {
-							acc = arr.Data
-						}
-						return n.localAccess(obj, kind, member, acc)
+						return n.accessFromArgs(args)
 					})
 				break
 			}
 		}
 	}
+}
+
+// accessFromArgs unpacks the access-method calling convention and
+// dispatches.
+func (n *Node) accessFromArgs(args []vm.Value) (vm.Value, error) {
+	self := args[0].(*vm.Object)
+	kind := int(args[1].(int64))
+	member := args[2].(string)
+	var acc []vm.Value
+	if arr, ok := args[3].(*vm.Array); ok && arr != nil {
+		acc = arr.Data
+	}
+	return n.dispatchAccess(self, kind, member, acc)
+}
+
+// dispatchAccess routes one rewritten access: locally when this node
+// owns the object's state (whatever shape the reference has), remotely
+// — with the caching and asynchrony optimisations — otherwise. This is
+// the dynamic-ownership replacement for the static "proxy means remote,
+// real means local" rule, which dispatchStatic keeps as the fast path
+// when adaptation is off.
+func (n *Node) dispatchAccess(o *vm.Object, kind int, member string, acc []vm.Value) (vm.Value, error) {
+	if n.adaptEvery <= 0 {
+		return n.dispatchStatic(o, kind, member, acc)
+	}
+	acc = n.canonicalizeSlice(acc)
+	isProxy := o.Class.Name() == depObjectClassName
+	var id int64
+	var birth int
+	if isProxy {
+		birth, id, _ = n.proxyIdentity(o)
+	} else {
+		id = o.ID
+		birth = n.Rank
+	}
+
+	if !n.enterObject(id) {
+		return nil, fmt.Errorf("runtime: node %d shut down", n.Rank)
+	}
+	h := n.holder(id)
+	if h == nil && !isProxy {
+		// A real instance that was never exported is private to this
+		// node and trivially owned (it cannot have migrated).
+		n.mu.Lock()
+		if n.canon[id] == nil {
+			h = o
+		}
+		n.mu.Unlock()
+	}
+	if h != nil {
+		v, err := n.localAccess(h, kind, member, acc)
+		n.exitObject(id)
+		return n.canonicalize(v), err
+	}
+	n.exitObject(id)
+
+	home := n.hintFor(id, birth)
+	if home == n.Rank {
+		return nil, fmt.Errorf("runtime: dangling home reference %d on node %d", id, n.Rank)
+	}
+	return n.remoteDispatch(home, id, kind, member, acc)
+}
+
+// dispatchStatic is the non-adaptive fast path: objects never move, so
+// a real receiver is local by construction and a proxy's identity names
+// its permanent home — no ownership gates or canonicalisation needed.
+func (n *Node) dispatchStatic(o *vm.Object, kind int, member string, acc []vm.Value) (vm.Value, error) {
+	if o.Class.Name() != depObjectClassName {
+		return n.localAccess(o, kind, member, acc)
+	}
+	home, id, _ := n.proxyIdentity(o)
+	if home == n.Rank {
+		obj := n.holder(id)
+		if obj == nil {
+			return nil, fmt.Errorf("runtime: dangling home reference %d on node %d", id, n.Rank)
+		}
+		return n.localAccess(obj, kind, member, acc)
+	}
+	return n.remoteDispatch(home, id, kind, member, acc)
+}
+
+// remoteDispatch sends one access to the object's home, applying the
+// optimisation kinds the rewriter stamped (cache hits cost zero
+// messages; confined void calls buffer as fire-and-forget batches).
+func (n *Node) remoteDispatch(home int, id int64, kind int, member string, acc []vm.Value) (vm.Value, error) {
+	switch {
+	case kind == rewrite.GetFieldCached && !n.Unoptimized:
+		key := fieldCacheKey{id, member}
+		if v, ok := n.cachedField(key); ok {
+			atomic.AddInt64(&n.Stats.CacheHits, 1)
+			return v, nil
+		}
+		v, err := n.remoteAccess(home, id, kind, member, acc)
+		if err != nil {
+			return nil, err
+		}
+		// Re-check ownership: the object may have moved to this node
+		// while the read was in flight; a cache entry would then
+		// shadow the live field.
+		if n.holder(id) == nil {
+			n.storeField(key, v)
+		}
+		return v, nil
+	case kind == rewrite.InvokeMethodVoidAsync && !n.Unoptimized:
+		wireArgs, err := n.toWireSlice(acc)
+		if err != nil {
+			return nil, err
+		}
+		n.recordAffinity(id, 0)
+		return nil, n.asyncEnqueue(home, wire.DepRequest{
+			ID: id, Kind: kind, Member: member, Args: wireArgs,
+		})
+	}
+	return n.remoteAccess(home, id, kind, member, acc)
 }
 
 // remoteAccess performs one synchronous DEPENDENCE exchange.
@@ -170,22 +247,28 @@ func (n *Node) remoteAccess(home int, id int64, kind int, member string, acc []v
 		return nil, err
 	}
 	req := wire.DepRequest{ID: id, Kind: kind, Member: member, Args: wireArgs}
-	resp, err := n.request(home, KindDependence, req.Encode())
+	payload := req.Encode()
+	n.recordAffinity(id, len(payload))
+	resp, err := n.request(home, KindDependence, payload)
 	if err != nil {
 		return nil, err
 	}
-	return n.finishDepResponse(home, resp.Payload, acc, "access "+member)
+	return n.finishDepResponse(home, id, resp.Payload, acc, "access "+member)
 }
 
 // finishDepResponse applies the common DEPENDENCE-response epilogue:
-// decode, inherit outstanding-batch bookkeeping, surface direct and
-// deferred errors, copy-restore array arguments, convert the value.
-func (n *Node) finishDepResponse(home int, payload []byte, acc []vm.Value, what string) (vm.Value, error) {
+// decode, inherit outstanding-batch bookkeeping, absorb Moved redirect
+// notices, surface direct and deferred errors, copy-restore array
+// arguments, convert the value.
+func (n *Node) finishDepResponse(home int, id int64, payload []byte, acc []vm.Value, what string) (vm.Value, error) {
 	out, err := wire.DecodeDepResponse(payload)
 	if err != nil {
 		return nil, err
 	}
 	n.noteAsyncDests(out.AsyncDests)
+	if out.Moved && id != 0 {
+		n.learnHome(id, out.NewHome)
+	}
 	if out.Err != "" {
 		return nil, fmt.Errorf("remote %s: %s", what, out.Err)
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"autodist/internal/bytecode"
 	"autodist/internal/rewrite"
@@ -61,11 +62,56 @@ type Node struct {
 	// completion acknowledgements.
 	causal bool
 
-	mu       sync.Mutex
-	registry map[int64]*vm.Object
-	proxies  map[objKey]*vm.Object
-	pending  map[uint64]chan srvResp
-	nextTag  uint64
+	// Adaptive repartitioning configuration (see adapt.go); adaptEvery
+	// of zero disables the subsystem, preserving the static-plan
+	// behaviour exactly.
+	adaptEvery   int
+	adaptEps     float64
+	adaptMinGain int64
+
+	// mu guards the dynamic ownership map, which replaces the static
+	// plan's compile-time placement as the authority on where an
+	// object's state lives:
+	//
+	//   canon[id] — the unique heap object representing global id on
+	//               this node (a real instance if the object was born
+	//               or currently lives here, a DependentObject proxy
+	//               otherwise). Interning through canon preserves
+	//               reference equality across migrations.
+	//   home[id]  — the authoritative state-holder when this node owns
+	//               id. For ids adopted through migration whose canon
+	//               is proxy-shaped, home is a hidden backing instance
+	//               (never leaked to the program heap; see
+	//               canonicalize).
+	//   hint[id]  — the best-known current owner for ids not owned
+	//               here. Hints start at the plan's placement, follow
+	//               migrations via Moved notices, and are also the
+	//               forwarding pointers a previous owner serves stale
+	//               requests through.
+	mu      sync.Mutex
+	canon   map[int64]*vm.Object
+	home    map[int64]*vm.Object
+	hint    map[int64]int
+	pending map[uint64]chan srvResp
+	nextTag uint64
+
+	// gateMu guards the per-object access gates: every local access
+	// registers with its object's gate, and a migration freezes the
+	// gate only when no access is in flight, so an object is never
+	// snapshotted mid-method.
+	gateMu sync.Mutex
+	gates  map[int64]*objGate
+
+	// affMu guards the epoch-local affinity counters: per target
+	// object, the messages and payload bytes this node sent to it
+	// since the last coordinator poll.
+	affMu sync.Mutex
+	aff   map[int64]*affinityCell
+
+	// reqEpoch counts synchronous requests for the adaptation trigger.
+	reqEpoch int64
+	// coordMu serialises adaptation rounds on the coordinator.
+	coordMu sync.Mutex
 
 	// asyncMu guards the per-destination buffers of not-yet-flushed
 	// asynchronous dependence messages, and the set of destinations
@@ -130,6 +176,11 @@ type NodeStats struct {
 	// inside them.
 	BatchFrames     int64
 	BatchedRequests int64
+	// Migrations counts objects this node handed to a new owner;
+	// Forwards counts stale requests it relayed to an object's new
+	// home during handoff.
+	Migrations int64
+	Forwards   int64
 }
 
 // add accumulates s2 into s.
@@ -142,6 +193,8 @@ func (s *NodeStats) add(s2 NodeStats) {
 	s.AsyncCalls += s2.AsyncCalls
 	s.BatchFrames += s2.BatchFrames
 	s.BatchedRequests += s2.BatchedRequests
+	s.Migrations += s2.Migrations
+	s.Forwards += s2.Forwards
 }
 
 // snapshot returns an atomically loaded copy.
@@ -155,18 +208,30 @@ func (s *NodeStats) snapshot() NodeStats {
 		AsyncCalls:      atomic.LoadInt64(&s.AsyncCalls),
 		BatchFrames:     atomic.LoadInt64(&s.BatchFrames),
 		BatchedRequests: atomic.LoadInt64(&s.BatchedRequests),
+		Migrations:      atomic.LoadInt64(&s.Migrations),
+		Forwards:        atomic.LoadInt64(&s.Forwards),
 	}
 }
 
-type objKey struct {
-	node int
-	id   int64
-}
-
 type fieldCacheKey struct {
-	node   int
 	id     int64
 	member string
+}
+
+// objGate serialises object access against migration: active counts
+// in-flight local accesses, frozen (when non-nil) blocks new accesses
+// while a migration snapshot is in progress, and idle is closed when
+// active drops to zero so a waiting migration can proceed.
+type objGate struct {
+	active int
+	frozen chan struct{}
+	idle   chan struct{}
+}
+
+// affinityCell accumulates one epoch's traffic towards one object.
+type affinityCell struct {
+	msgs  int64
+	bytes int64
 }
 
 // NewNode wires a node from its rewritten program, endpoint and plan.
@@ -175,15 +240,21 @@ func NewNode(prog *bytecode.Program, ep transport.Endpoint, plan *rewrite.Plan) 
 	if err != nil {
 		return nil, err
 	}
+	// Disjoint per-node id namespaces make an object's id its global
+	// name, which the ownership map and migration protocol key on.
+	machine.SetObjectIDSpace(int64(ep.Rank()), int64(ep.Size()))
 	n := &Node{
 		Rank:       ep.Rank(),
 		VM:         machine,
 		EP:         ep,
 		Plan:       plan,
 		causal:     transport.Causal(ep),
-		registry:   map[int64]*vm.Object{},
-		proxies:    map[objKey]*vm.Object{},
+		canon:      map[int64]*vm.Object{},
+		home:       map[int64]*vm.Object{},
+		hint:       map[int64]int{},
 		pending:    map[uint64]chan srvResp{},
+		gates:      map[int64]*objGate{},
+		aff:        map[int64]*affinityCell{},
 		asyncBuf:   map[int][]wire.DepRequest{},
 		asyncDests: map[int]bool{},
 		batchCh:    make(chan batchJob, 1024),
@@ -195,26 +266,209 @@ func NewNode(prog *bytecode.Program, ep transport.Endpoint, plan *rewrite.Plan) 
 	return n, nil
 }
 
+// export publishes a locally-held real object so remote nodes can refer
+// to it by id. The object becomes (or stays) this node's canonical rep;
+// ownership is claimed only if the object has not migrated away.
 func (n *Node) export(o *vm.Object) {
 	n.mu.Lock()
-	n.registry[o.ID] = o
+	if n.canon[o.ID] == nil {
+		n.canon[o.ID] = o
+	}
+	if _, away := n.hint[o.ID]; !away && n.home[o.ID] == nil {
+		n.home[o.ID] = o
+	}
 	n.mu.Unlock()
 }
 
-func (n *Node) lookup(id int64) *vm.Object {
+// holder returns the authoritative state-holder for id if this node
+// currently owns it.
+func (n *Node) holder(id int64) *vm.Object {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.registry[id]
+	return n.home[id]
+}
+
+// hintFor returns the best-known owner for an id this node does not
+// hold, falling back to the proxy's birth home.
+func (n *Node) hintFor(id int64, birth int) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if h, ok := n.hint[id]; ok {
+		return h
+	}
+	return birth
+}
+
+// learnHome records a Moved notice: future accesses to id go straight
+// to newHome, and any proxy-side cached reads for the object are
+// invalidated (its home moved).
+func (n *Node) learnHome(id int64, newHome int) {
+	if newHome < 0 || newHome >= n.EP.Size() {
+		return
+	}
+	n.mu.Lock()
+	if n.home[id] == nil {
+		n.hint[id] = newHome
+	}
+	n.mu.Unlock()
+	n.dropCachedObject(id)
+}
+
+// canonicalize maps a hidden backing object (the state-holder of a
+// migrated-in id whose canonical rep is a proxy) back to the canonical
+// heap object, so `this` escaping from a method executed on the backing
+// instance preserves reference equality with the proxies the program
+// already holds. All other values pass through.
+func (n *Node) canonicalize(v vm.Value) vm.Value {
+	o, ok := v.(*vm.Object)
+	if !ok || o == nil || o.Class.Name() == depObjectClassName {
+		return v
+	}
+	n.mu.Lock()
+	c := n.canon[o.ID]
+	n.mu.Unlock()
+	if c != nil && c != o {
+		return c
+	}
+	return v
+}
+
+func (n *Node) canonicalizeSlice(vs []vm.Value) []vm.Value {
+	for i, v := range vs {
+		vs[i] = n.canonicalize(v)
+	}
+	return vs
+}
+
+// enterObject registers an in-flight local access to id, blocking while
+// a migration snapshot is in progress. Returns false only at shutdown.
+func (n *Node) enterObject(id int64) bool {
+	for {
+		n.gateMu.Lock()
+		g := n.gates[id]
+		if g == nil {
+			g = &objGate{}
+			n.gates[id] = g
+		}
+		if g.frozen != nil {
+			ch := g.frozen
+			n.gateMu.Unlock()
+			select {
+			case <-ch:
+			case <-n.done:
+				return false
+			}
+			continue
+		}
+		g.active++
+		n.gateMu.Unlock()
+		return true
+	}
+}
+
+// exitObject ends an in-flight access registered by enterObject.
+func (n *Node) exitObject(id int64) {
+	n.gateMu.Lock()
+	if g := n.gates[id]; g != nil {
+		g.active--
+		if g.active == 0 {
+			if g.idle != nil {
+				close(g.idle)
+				g.idle = nil
+			}
+			if g.frozen == nil {
+				delete(n.gates, id)
+			}
+		}
+	}
+	n.gateMu.Unlock()
+}
+
+// migrateFreezeTimeout bounds how long a migration waits for in-flight
+// accesses to drain before skipping the object this epoch.
+const migrateFreezeTimeout = 10 * time.Millisecond
+
+// freezeObject waits (bounded) for in-flight accesses to id to drain,
+// then blocks new ones until thawObject. Returns false if the object
+// stayed busy — the migration is skipped, never forced.
+func (n *Node) freezeObject(id int64) bool {
+	deadline := time.Now().Add(migrateFreezeTimeout)
+	for {
+		n.gateMu.Lock()
+		g := n.gates[id]
+		if g == nil {
+			g = &objGate{}
+			n.gates[id] = g
+		}
+		if g.frozen != nil {
+			// Another migration of the same id is in flight.
+			n.gateMu.Unlock()
+			return false
+		}
+		if g.active == 0 {
+			g.frozen = make(chan struct{})
+			n.gateMu.Unlock()
+			return true
+		}
+		if g.idle == nil {
+			g.idle = make(chan struct{})
+		}
+		ch := g.idle
+		n.gateMu.Unlock()
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			return false
+		}
+		t := time.NewTimer(wait)
+		select {
+		case <-ch:
+			t.Stop()
+		case <-t.C:
+			return false
+		case <-n.done:
+			t.Stop()
+			return false
+		}
+	}
+}
+
+// thawObject lifts a freeze installed by freezeObject.
+func (n *Node) thawObject(id int64) {
+	n.gateMu.Lock()
+	if g := n.gates[id]; g != nil && g.frozen != nil {
+		close(g.frozen)
+		g.frozen = nil
+		if g.active == 0 && g.idle == nil {
+			delete(n.gates, id)
+		}
+	}
+	n.gateMu.Unlock()
+}
+
+// recordAffinity charges one outgoing dependence message towards id to
+// the epoch-local affinity counters (no-op outside adaptive runs).
+func (n *Node) recordAffinity(id int64, bytes int) {
+	if n.adaptEvery <= 0 {
+		return
+	}
+	n.affMu.Lock()
+	c := n.aff[id]
+	if c == nil {
+		c = &affinityCell{}
+		n.aff[id] = c
+	}
+	c.msgs++
+	c.bytes += int64(bytes)
+	n.affMu.Unlock()
 }
 
 // proxyFor interns a DependentObject proxy for a remote object, so
-// reference equality holds across repeated transfers.
-func (n *Node) proxyFor(home int, id int64, class string) (*vm.Object, error) {
-	key := objKey{home, id}
+// reference equality holds across repeated transfers and migrations.
+func (n *Node) proxyFor(birth int, id int64, class string) (*vm.Object, error) {
 	n.mu.Lock()
-	if p, ok := n.proxies[key]; ok {
+	if c := n.canon[id]; c != nil {
 		n.mu.Unlock()
-		return p, nil
+		return c, nil
 	}
 	n.mu.Unlock()
 	cls := n.VM.Class(depObjectClassName)
@@ -222,16 +476,26 @@ func (n *Node) proxyFor(home int, id int64, class string) (*vm.Object, error) {
 		return nil, fmt.Errorf("runtime: %s not loaded on node %d", depObjectClassName, n.Rank)
 	}
 	p := n.VM.NewObject(cls)
-	p.Fields[cls.FieldSlot("homeNode")] = int64(home)
+	p.Fields[cls.FieldSlot("homeNode")] = int64(birth)
 	p.Fields[cls.FieldSlot("className")] = class
 	p.Fields[cls.FieldSlot("remoteId")] = id
 	n.mu.Lock()
-	n.proxies[key] = p
+	if c := n.canon[id]; c != nil {
+		n.mu.Unlock()
+		return c, nil
+	}
+	n.canon[id] = p
+	if _, owned := n.home[id]; !owned {
+		if _, ok := n.hint[id]; !ok {
+			n.hint[id] = birth
+		}
+	}
 	n.mu.Unlock()
 	return p, nil
 }
 
-// proxyIdentity reads a proxy's remote identity.
+// proxyIdentity reads a proxy's birth identity (the home field is the
+// placement at proxy creation; hintFor supplies the current owner).
 func (n *Node) proxyIdentity(p *vm.Object) (home int, id int64, class string) {
 	cls := p.Class
 	home = int(p.Fields[cls.FieldSlot("homeNode")].(int64))
@@ -248,13 +512,21 @@ func (n *Node) send(msg transport.Message) error {
 }
 
 // request flushes pending asynchronous messages (the ordering barrier
-// of §5's single logical thread), then sends a tagged message and
-// blocks for the matching response, advancing the virtual clock across
-// the exchange.
+// of §5's single logical thread), runs the adaptation trigger if an
+// epoch boundary was crossed, then sends a tagged message and blocks
+// for the matching response, advancing the virtual clock across the
+// exchange.
+//
+// The trigger runs after the flush on purpose: the logical thread is
+// the only source of application traffic, so at this point every
+// asynchronous batch it issued is on the wire ahead of any adaptation
+// message (causally-ordered fabrics) or already processed (acknowledged
+// batches), and the cluster is quiescent enough to migrate safely.
 func (n *Node) request(to int, kind uint8, payload []byte) (transport.Message, error) {
 	if err := n.flushAsync(); err != nil {
 		return transport.Message{}, err
 	}
+	n.maybeAdapt()
 	return n.rawRequest(to, kind, payload)
 }
 
@@ -440,6 +712,19 @@ func (n *Node) storeField(key fieldCacheKey, v vm.Value) {
 	n.cacheMu.Unlock()
 }
 
+// dropCachedObject invalidates every proxy-side cached read of the
+// object: its home moved, so cached entries are discarded and the next
+// read re-fetches from the new owner.
+func (n *Node) dropCachedObject(id int64) {
+	n.cacheMu.Lock()
+	for key := range n.fieldCache {
+		if key.id == id {
+			delete(n.fieldCache, key)
+		}
+	}
+	n.cacheMu.Unlock()
+}
+
 // advanceTo moves this node's virtual clock forward to at least t
 // seconds (no-op without a time model).
 func (n *Node) advanceTo(t float64) {
@@ -539,8 +824,13 @@ func (n *Node) handleBatch(job batchJob) {
 	} else {
 		for i := range batch.Reqs {
 			atomic.AddInt64(&n.Stats.DepRequests, 1)
-			if _, _, err := n.handleDependence(&batch.Reqs[i]); err != nil {
-				n.stashAsyncErr(err)
+			out := n.serveDependence(&batch.Reqs[i])
+			if out.Err != "" {
+				n.stashAsyncErr(fmt.Errorf("%s", out.Err))
+				break
+			}
+			if out.AsyncErr != "" {
+				n.stashAsyncErr(fmt.Errorf("%s", out.AsyncErr))
 				break
 			}
 		}
@@ -586,13 +876,17 @@ func (n *Node) handle(msg transport.Message) {
 	// request (the reply hands the logical thread back to the caller,
 	// who may immediately observe their target state through a third
 	// node), then stamps the deferred-failure and outstanding-batch
-	// bookkeeping the caller inherits.
+	// bookkeeping the caller inherits. Bookkeeping already present in
+	// the response (inherited from a forwarded downstream exchange) is
+	// merged, not overwritten.
 	finish := func(errSlot, asyncErr *string, dests *[]int) {
 		if err := n.flushAsync(); err != nil && *errSlot == "" {
 			*errSlot = err.Error()
 		}
-		*asyncErr = n.takeAsyncErr()
-		*dests = n.takeAsyncDests()
+		if e := n.takeAsyncErr(); e != "" && *asyncErr == "" {
+			*asyncErr = e
+		}
+		*dests = mergeDests(*dests, n.takeAsyncDests())
 	}
 
 	switch msg.Kind {
@@ -614,13 +908,8 @@ func (n *Node) handle(msg transport.Message) {
 		out := wire.DepResponse{}
 		if req, err := wire.DecodeDepRequest(msg.Payload); err != nil {
 			out.Err = err.Error()
-		} else if val, outs, err := n.handleDependence(&req); err != nil {
-			out.Err = err.Error()
-		} else if w, err := n.toWire(val); err != nil {
-			out.Err = err.Error()
 		} else {
-			out.Value = w
-			out.OutArrays = outs
+			out = n.serveDependence(&req)
 		}
 		finish(&out.Err, &out.AsyncErr, &out.AsyncDests)
 		reply(out.Encode())
@@ -632,7 +921,59 @@ func (n *Node) handle(msg transport.Message) {
 		out := wire.DepResponse{}
 		finish(&out.Err, &out.AsyncErr, &out.AsyncDests)
 		reply(out.Encode())
+	case KindAdapt:
+		// A non-coordinator node crossed an adaptation epoch and asked
+		// us (the coordinator) to run a round while its logical thread
+		// waits — the quiescent point the migrations rely on.
+		n.runAdapt()
+		out := wire.DepResponse{}
+		reply(out.Encode())
+	case KindAffinity:
+		rep := n.localAffinityReport()
+		reply(rep.Encode())
+	case KindMigrate:
+		out := wire.MigrateResponse{}
+		if req, err := wire.DecodeMigrateRequest(msg.Payload); err != nil {
+			out.Err = err.Error()
+		} else {
+			out = n.handleMigrate(&req)
+		}
+		reply(out.Encode())
+	case KindTransfer:
+		out := wire.TransferResponse{}
+		if req, err := wire.DecodeTransferRequest(msg.Payload); err != nil {
+			out.Err = err.Error()
+		} else {
+			out = n.handleTransfer(&req)
+		}
+		reply(out.Encode())
 	}
+}
+
+// mergeDests unions two outstanding-batch destination lists.
+func mergeDests(a, b []int) []int {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	seen := map[int]bool{}
+	var out []int
+	for _, d := range a {
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	for _, d := range b {
+		if !seen[d] {
+			seen[d] = true
+			out = append(out, d)
+		}
+	}
+	sort.Ints(out)
+	return out
 }
 
 // handleNew creates the real object for a remote NEW message: it finds
@@ -678,29 +1019,80 @@ func findCtorByArity(cf *bytecode.ClassFile, arity int) *bytecode.Method {
 	return nil
 }
 
-// handleDependence performs the access named by a DEPENDENCE message
-// on the home object (or on this node's statics).
-func (n *Node) handleDependence(req *wire.DepRequest) (vm.Value, []wire.Value, error) {
-	args, err := n.fromWireSlice(req.Args)
-	if err != nil {
-		return nil, nil, err
+// serveDependence performs the access named by a DEPENDENCE message on
+// the object's state-holder (or this node's statics). If the object has
+// migrated away, the request is transparently forwarded to its new home
+// and the response carries a Moved notice so the caller redirects.
+func (n *Node) serveDependence(req *wire.DepRequest) wire.DepResponse {
+	var out wire.DepResponse
+	fail := func(err error) wire.DepResponse {
+		out.Err = err.Error()
+		return out
 	}
-	var val vm.Value
-	if req.Static {
-		val, err = n.staticAccessLocal(req.Class, req.Kind, req.Member, args)
-	} else {
-		obj := n.lookup(req.ID)
-		if obj == nil {
-			return nil, nil, fmt.Errorf("node %d: no object %d", n.Rank, req.ID)
+	serve := func(do func(args []vm.Value) (vm.Value, error)) wire.DepResponse {
+		args, err := n.fromWireSlice(req.Args)
+		if err != nil {
+			return fail(err)
 		}
-		val, err = n.localAccess(obj, req.Kind, req.Member, args)
+		val, err := do(args)
+		if err != nil {
+			return fail(err)
+		}
+		outs, err := n.arrayOuts(req.Args, args)
+		if err != nil {
+			return fail(err)
+		}
+		w, err := n.toWire(val)
+		if err != nil {
+			return fail(err)
+		}
+		out.Value = w
+		out.OutArrays = outs
+		return out
 	}
+
+	if req.Static {
+		return serve(func(args []vm.Value) (vm.Value, error) {
+			return n.staticAccessLocal(req.Class, req.Kind, req.Member, args)
+		})
+	}
+	if !n.enterObject(req.ID) {
+		return fail(fmt.Errorf("node %d shut down", n.Rank))
+	}
+	if h := n.holder(req.ID); h != nil {
+		resp := serve(func(args []vm.Value) (vm.Value, error) {
+			return n.localAccess(h, req.Kind, req.Member, args)
+		})
+		n.exitObject(req.ID)
+		return resp
+	}
+	n.exitObject(req.ID)
+	n.mu.Lock()
+	fwd, ok := n.hint[req.ID]
+	n.mu.Unlock()
+	if !ok || fwd == n.Rank {
+		return fail(fmt.Errorf("node %d: no object %d", n.Rank, req.ID))
+	}
+	return n.forwardDependence(fwd, req)
+}
+
+// forwardDependence relays a stale request to the object's new home
+// (the handoff window of a live migration) and stamps the Moved notice
+// on the way back.
+func (n *Node) forwardDependence(to int, req *wire.DepRequest) wire.DepResponse {
+	atomic.AddInt64(&n.Stats.Forwards, 1)
+	resp, err := n.rawRequest(to, KindDependence, req.Encode())
 	if err != nil {
-		return nil, nil, err
+		return wire.DepResponse{Err: err.Error()}
 	}
-	outs, err := n.arrayOuts(req.Args, args)
+	out, err := wire.DecodeDepResponse(resp.Payload)
 	if err != nil {
-		return nil, nil, err
+		return wire.DepResponse{Err: err.Error()}
 	}
-	return val, outs, nil
+	if !out.Moved {
+		out.Moved, out.NewHome = true, to
+	}
+	// Refresh our own forwarding pointer with the freshest location.
+	n.learnHome(req.ID, out.NewHome)
+	return out
 }

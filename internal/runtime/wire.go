@@ -17,6 +17,19 @@
 // asynchronous void calls, and aggregation of consecutive asynchronous
 // messages into one batched frame. Payload bodies use the compact
 // internal/wire codec shared with the TCP transport.
+//
+// On top of the static protocol sits the adaptive-repartitioning
+// subsystem (adapt.go, migrate.go): under a rewrite.RewriteAdaptive
+// plan the compile-time partition is only an initial placement. Every
+// node maintains a dynamic ownership map (Node.canon/home/hint) and
+// epoch-local per-object traffic counters; a coordinator periodically
+// folds the observed affinity graph back through internal/partition's
+// refinement and executes the resulting delta as live object migration
+// — ownership-transfer frames, forwarding during handoff, and
+// invalidation of proxy-side caches whose home moved. Options.AdaptEvery
+// enables it; zero preserves the static behaviour exactly (the
+// -adaptive=off A/B baseline). ARCHITECTURE.md documents the protocol,
+// every frame kind, and the safety argument.
 package runtime
 
 import (
@@ -29,7 +42,11 @@ import (
 // Message kinds (paper §5 names NEW and DEPENDENCE; RESPONSE, BARRIER
 // and SHUTDOWN are the control frames any real MPI runtime also needs;
 // DEPENDENCE_BATCH carries aggregated asynchronous dependence
-// messages).
+// messages). The last four are the adaptive-repartitioning frames:
+// ADAPT asks the coordinator for an adaptation round, AFFINITY polls a
+// node's traffic counters, MIGRATE commands an ownership transfer and
+// TRANSFER ships the object state to its new home. ARCHITECTURE.md
+// documents every frame kind and its payload format.
 const (
 	KindNew uint8 = iota + 1
 	KindDependence
@@ -37,6 +54,10 @@ const (
 	KindShutdown
 	KindBarrier
 	KindDependenceBatch
+	KindAdapt
+	KindAffinity
+	KindMigrate
+	KindTransfer
 )
 
 // toWire converts a local vm.Value for transmission from this node.
@@ -55,11 +76,29 @@ func (n *Node) toWire(v vm.Value) (wire.Value, error) {
 		return wire.Value{Kind: wire.KStr, Str: x}, nil
 	case *vm.Object:
 		if x.Class.Name() == depObjectClassName {
-			home, id, class := n.proxyIdentity(x)
-			return wire.Value{Kind: wire.KObj, Node: home, ID: id, Class: class}, nil
+			birth, id, class := n.proxyIdentity(x)
+			node := birth
+			n.mu.Lock()
+			if n.home[id] != nil {
+				node = n.Rank // migrated in behind this proxy
+			} else if h, ok := n.hint[id]; ok {
+				node = h
+			}
+			n.mu.Unlock()
+			return wire.Value{Kind: wire.KObj, Node: node, ID: id, Class: class}, nil
 		}
 		n.export(x)
-		return wire.Value{Kind: wire.KObj, Node: n.Rank, ID: x.ID, Class: x.Class.Name()}, nil
+		node := n.Rank
+		n.mu.Lock()
+		if n.home[x.ID] == nil {
+			// Born here but migrated away: advertise the current
+			// owner, not ourselves.
+			if h, ok := n.hint[x.ID]; ok {
+				node = h
+			}
+		}
+		n.mu.Unlock()
+		return wire.Value{Kind: wire.KObj, Node: node, ID: x.ID, Class: x.Class.Name()}, nil
 	case *vm.Array:
 		out := wire.Value{Kind: wire.KArr, Elem: x.Elem, Arr: make([]wire.Value, len(x.Data))}
 		for i, e := range x.Data {
@@ -88,12 +127,14 @@ func (n *Node) fromWire(w wire.Value) (vm.Value, error) {
 	case wire.KStr:
 		return w.Str, nil
 	case wire.KObj:
+		n.mu.Lock()
+		c := n.canon[w.ID]
+		n.mu.Unlock()
+		if c != nil {
+			return c, nil
+		}
 		if w.Node == n.Rank {
-			obj := n.lookup(w.ID)
-			if obj == nil {
-				return nil, fmt.Errorf("runtime: dangling local reference %d", w.ID)
-			}
-			return obj, nil
+			return nil, fmt.Errorf("runtime: dangling local reference %d", w.ID)
 		}
 		return n.proxyFor(w.Node, w.ID, w.Class)
 	case wire.KArr:

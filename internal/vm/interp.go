@@ -428,7 +428,8 @@ func (vm *VM) run(c *Class, m *bytecode.Method, args []Value) (Value, error) {
 			return pop(), nil
 
 		default:
-			return nil, vm.errorf("unimplemented opcode %v", in.Op)
+			return nil, vm.errorf("unimplemented opcode %v in %s.%s:%s at pc %d",
+				in.Op, c.Name(), m.Name, m.Desc, pc)
 		}
 		pc++
 	}

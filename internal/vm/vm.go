@@ -70,6 +70,7 @@ type VM struct {
 
 	steps    uint64
 	nextObj  int64
+	idStride int64
 	stack    []StackEntry
 	quantumC int
 
@@ -110,6 +111,28 @@ func New(prog *bytecode.Program) (*VM, error) {
 
 // Program returns the loaded program.
 func (vm *VM) Program() *bytecode.Program { return vm.prog }
+
+// SetObjectIDSpace partitions the object-id namespace across a cluster:
+// ids allocated by this VM become offset+stride, offset+2·stride, … so
+// every node draws from a disjoint id set and an object's id names it
+// globally (the distributed runtime's dynamic ownership map keys on
+// it). Must be called before any allocation; a zero stride keeps the
+// sequential default (1, 2, 3, …).
+func (vm *VM) SetObjectIDSpace(offset, stride int64) {
+	if stride > 0 {
+		vm.nextObj = offset
+		vm.idStride = stride
+	}
+}
+
+// idStep returns the id-allocation step (1 unless a cluster id space
+// is installed).
+func (vm *VM) idStep() int64 {
+	if vm.idStride > 0 {
+		return vm.idStride
+	}
+	return 1
+}
 
 // Class returns a loaded class by name, or nil.
 func (vm *VM) Class(name string) *Class { return vm.classes[name] }
@@ -175,7 +198,7 @@ func (vm *VM) loadClass(name string) (*Class, error) {
 
 // NewObject allocates an instance of class with zeroed fields.
 func (vm *VM) NewObject(c *Class) *Object {
-	vm.nextObj++
+	vm.nextObj += vm.idStep()
 	o := &Object{Class: c, Fields: make([]Value, c.numFields), ID: vm.nextObj}
 	for name, idx := range c.fieldIdx {
 		o.Fields[idx] = zeroValue(c.fieldDesc[name])
@@ -194,7 +217,7 @@ func (vm *VM) NewArray(elem string, n int) (*Array, error) {
 	if n < 0 {
 		return nil, vm.errorf("negative array size %d", n)
 	}
-	vm.nextObj++
+	vm.nextObj += vm.idStep()
 	a := &Array{Elem: elem, Data: make([]Value, n), ID: vm.nextObj}
 	z := zeroValue(elem)
 	for i := range a.Data {

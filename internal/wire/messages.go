@@ -112,6 +112,13 @@ type DepResponse struct {
 	AsyncErr  string
 	// AsyncDests: see NewResponse.AsyncDests.
 	AsyncDests []int
+	// Moved reports that the target object no longer lives on the node
+	// the request was addressed to: the request was forwarded and
+	// NewHome is the responder's best knowledge of the current owner.
+	// The caller should redirect future accesses and invalidate any
+	// proxy-side caches for the object.
+	Moved   bool
+	NewHome int
 }
 
 // Encode serialises the response.
@@ -120,7 +127,9 @@ func (m *DepResponse) Encode() []byte {
 	b = appendValues(b, m.OutArrays)
 	b = appendString(b, m.Err)
 	b = appendString(b, m.AsyncErr)
-	return appendInts(b, m.AsyncDests)
+	b = appendInts(b, m.AsyncDests)
+	b = appendBool(b, m.Moved)
+	return appendUvarint(b, uint64(m.NewHome))
 }
 
 // DecodeDepResponse parses a DepResponse body.
@@ -132,6 +141,8 @@ func DecodeDepResponse(data []byte) (DepResponse, error) {
 	m.Err = r.String()
 	m.AsyncErr = r.String()
 	m.AsyncDests = r.ints()
+	m.Moved = r.Bool()
+	m.NewHome = int(r.Uvarint())
 	return m, r.Err()
 }
 
@@ -153,6 +164,151 @@ func (r *Reader) ints() []int {
 		out[i] = int(r.Uvarint())
 	}
 	return out
+}
+
+// Adaptive-repartitioning frames. The coordinator (node 0) polls each
+// node for an AffinityReport, feeds the observed traffic back through
+// the partitioner, and executes the delta as MigrateRequest commands;
+// the owning node ships the object's state in a TransferRequest.
+
+// OwnedObject describes one migratable object a node currently owns.
+type OwnedObject struct {
+	ID    int64
+	Class string
+}
+
+// AffinityEdge is one epoch's observed traffic from the reporting node
+// to the object ID (wherever it lives): the message and payload-byte
+// counts of synchronous and asynchronous dependence sends.
+type AffinityEdge struct {
+	ID    int64
+	Msgs  int64
+	Bytes int64
+}
+
+// AffinityReport answers an AFFINITY poll: the node's migratable
+// objects and its epoch-local traffic counters (reset by the poll).
+type AffinityReport struct {
+	Owned []OwnedObject
+	Edges []AffinityEdge
+}
+
+// Encode serialises the report.
+func (m *AffinityReport) Encode() []byte {
+	b := appendUvarint(nil, uint64(len(m.Owned)))
+	for i := range m.Owned {
+		b = appendVarint(b, m.Owned[i].ID)
+		b = appendString(b, m.Owned[i].Class)
+	}
+	b = appendUvarint(b, uint64(len(m.Edges)))
+	for i := range m.Edges {
+		b = appendVarint(b, m.Edges[i].ID)
+		b = appendVarint(b, m.Edges[i].Msgs)
+		b = appendVarint(b, m.Edges[i].Bytes)
+	}
+	return b
+}
+
+// DecodeAffinityReport parses an AffinityReport body.
+func DecodeAffinityReport(data []byte) (AffinityReport, error) {
+	r := NewReader(data)
+	var m AffinityReport
+	n := r.count()
+	for i := 0; i < n && r.Err() == nil; i++ {
+		m.Owned = append(m.Owned, OwnedObject{ID: r.Varint(), Class: r.String()})
+	}
+	n = r.count()
+	for i := 0; i < n && r.Err() == nil; i++ {
+		m.Edges = append(m.Edges, AffinityEdge{ID: r.Varint(), Msgs: r.Varint(), Bytes: r.Varint()})
+	}
+	return m, r.Err()
+}
+
+// MigrateRequest asks the object's current owner to hand ID over to
+// node To.
+type MigrateRequest struct {
+	ID int64
+	To int
+}
+
+// Encode serialises the request.
+func (m *MigrateRequest) Encode() []byte {
+	b := appendVarint(nil, m.ID)
+	return appendUvarint(b, uint64(m.To))
+}
+
+// DecodeMigrateRequest parses a MigrateRequest body.
+func DecodeMigrateRequest(data []byte) (MigrateRequest, error) {
+	r := NewReader(data)
+	var m MigrateRequest
+	m.ID = r.Varint()
+	m.To = int(r.Uvarint())
+	return m, r.Err()
+}
+
+// MigrateResponse reports the outcome of a migration command. Moved is
+// false when the owner declined (object busy, non-migratable, or
+// already gone) — a skip, not an error.
+type MigrateResponse struct {
+	Moved bool
+	Err   string
+}
+
+// Encode serialises the response.
+func (m *MigrateResponse) Encode() []byte {
+	b := appendBool(nil, m.Moved)
+	return appendString(b, m.Err)
+}
+
+// DecodeMigrateResponse parses a MigrateResponse body.
+func DecodeMigrateResponse(data []byte) (MigrateResponse, error) {
+	r := NewReader(data)
+	var m MigrateResponse
+	m.Moved = r.Bool()
+	m.Err = r.String()
+	return m, r.Err()
+}
+
+// TransferRequest carries a migrating object's state to its new owner:
+// the global id, the class, and the field values in slot order (object
+// references travel as global refs, exactly as in dependence messages).
+type TransferRequest struct {
+	ID     int64
+	Class  string
+	Fields []Value
+}
+
+// Encode serialises the request.
+func (m *TransferRequest) Encode() []byte {
+	b := appendVarint(nil, m.ID)
+	b = appendString(b, m.Class)
+	return appendValues(b, m.Fields)
+}
+
+// DecodeTransferRequest parses a TransferRequest body.
+func DecodeTransferRequest(data []byte) (TransferRequest, error) {
+	r := NewReader(data)
+	var m TransferRequest
+	m.ID = r.Varint()
+	m.Class = r.String()
+	m.Fields = r.Values()
+	return m, r.Err()
+}
+
+// TransferResponse acknowledges an installed transfer.
+type TransferResponse struct {
+	Err string
+}
+
+// Encode serialises the response.
+func (m *TransferResponse) Encode() []byte { return appendString(nil, m.Err) }
+
+// DecodeTransferResponse parses a TransferResponse body.
+func DecodeTransferResponse(data []byte) (TransferResponse, error) {
+	r := NewReader(data)
+	var m TransferResponse
+	m.Err = r.String()
+	return m, r.Err()
 }
 
 // Batch aggregates consecutive asynchronous dependence messages bound

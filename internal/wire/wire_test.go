@@ -231,3 +231,78 @@ func TestHugeCollectionCountRejectedWithoutAllocation(t *testing.T) {
 		t.Fatal("huge Batch count not rejected")
 	}
 }
+
+func TestMigrationMessageRoundTrips(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 200; i++ {
+		rep := AffinityReport{
+			Owned: []OwnedObject{{ID: r.Int63(), Class: "Cell"}, {ID: r.Int63(), Class: "Bank"}},
+			Edges: []AffinityEdge{{ID: r.Int63(), Msgs: int64(r.Intn(1000)), Bytes: int64(r.Intn(1 << 20))}},
+		}
+		gotRep, err := DecodeAffinityReport(rep.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(gotRep, rep) {
+			t.Fatalf("AffinityReport mismatch: %+v vs %+v", gotRep, rep)
+		}
+
+		mr := MigrateRequest{ID: r.Int63(), To: r.Intn(16)}
+		gotMR, err := DecodeMigrateRequest(mr.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotMR != mr {
+			t.Fatalf("MigrateRequest mismatch: %+v vs %+v", gotMR, mr)
+		}
+
+		mresp := MigrateResponse{Moved: i%2 == 0, Err: "busy"}
+		gotMresp, err := DecodeMigrateResponse(mresp.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotMresp != mresp {
+			t.Fatalf("MigrateResponse mismatch: %+v vs %+v", gotMresp, mresp)
+		}
+
+		tr := TransferRequest{ID: r.Int63(), Class: "Cell", Fields: []Value{randValue(r, 3), randValue(r, 2)}}
+		gotTR, err := DecodeTransferRequest(tr.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotTR.ID != tr.ID || gotTR.Class != tr.Class || len(gotTR.Fields) != len(tr.Fields) {
+			t.Fatalf("TransferRequest mismatch: %+v vs %+v", gotTR, tr)
+		}
+
+		tresp := TransferResponse{Err: "nope"}
+		gotTresp, err := DecodeTransferResponse(tresp.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotTresp != tresp {
+			t.Fatalf("TransferResponse mismatch: %+v vs %+v", gotTresp, tresp)
+		}
+	}
+}
+
+func TestDepResponseMovedNoticeRoundTrips(t *testing.T) {
+	m := DepResponse{Value: Value{Kind: KInt, Int: 9}, Moved: true, NewHome: 3}
+	got, err := DecodeDepResponse(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Moved || got.NewHome != 3 {
+		t.Fatalf("Moved notice lost: %+v", got)
+	}
+}
+
+func TestEmptyAffinityReportRoundTrips(t *testing.T) {
+	var rep AffinityReport
+	got, err := DecodeAffinityReport(rep.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Owned) != 0 || len(got.Edges) != 0 {
+		t.Fatalf("empty report decoded as %+v", got)
+	}
+}

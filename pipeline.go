@@ -55,7 +55,16 @@ type RunOptions struct {
 	// (proxy-side caching of write-once fields, fire-and-forget
 	// asynchronous void calls, batching) for A/B measurement.
 	Unoptimized bool
+	// AdaptEvery sets the adaptive-repartitioning epoch length in
+	// synchronous requests. It only applies to distributions built with
+	// Plan.RewriteAdaptive, which default to DefaultAdaptEvery when
+	// this is zero; on static distributions it must stay zero.
+	AdaptEvery int
 }
+
+// DefaultAdaptEvery is the adaptation epoch applied to adaptive
+// distributions when RunOptions.AdaptEvery is zero.
+const DefaultAdaptEvery = 32
 
 // NetModel re-exports the runtime's communication cost model.
 type NetModel = runtime.NetModel
@@ -83,6 +92,12 @@ type RunResult struct {
 	// that carried them after aggregation.
 	AsyncCalls  int64
 	BatchFrames int64
+	// Migrations counts live object migrations executed by the
+	// adaptive-repartitioning subsystem; Forwards counts stale
+	// requests relayed to an object's new home during handoff. Both
+	// are zero on static (non-adaptive) runs.
+	Migrations int64
+	Forwards   int64
 }
 
 // Run executes the program sequentially on one VM.
@@ -215,9 +230,23 @@ type Distribution struct {
 }
 
 // Rewrite generates per-node programs with communication calls
-// (paper §4.2, Figures 8–9).
+// (paper §4.2, Figures 8–9). The partition is a contract: objects stay
+// where the plan put them for the whole run.
 func (pl *Plan) Rewrite() (*Distribution, error) {
 	res, err := rewrite.Rewrite(pl.Analysis.Program.Bytecode, pl.Analysis.Result, pl.K)
+	if err != nil {
+		return nil, err
+	}
+	return &Distribution{Plan: pl, Result: res}, nil
+}
+
+// RewriteAdaptive generates per-node programs for adaptive
+// repartitioning: the partition is only the initial placement, every
+// instance access is mediated by the runtime's dynamic ownership map,
+// and Run starts the coordinator that migrates objects towards their
+// observed communication affinity.
+func (pl *Plan) RewriteAdaptive() (*Distribution, error) {
+	res, err := rewrite.RewriteAdaptive(pl.Analysis.Program.Bytecode, pl.Analysis.Result, pl.K)
 	if err != nil {
 		return nil, err
 	}
@@ -251,9 +280,13 @@ func (d *Distribution) Run(opts RunOptions) (*RunResult, error) {
 	for i, np := range d.Result.Nodes {
 		progs[i] = np
 	}
+	adaptEvery := opts.AdaptEvery
+	if d.Result.Plan.Adaptive && adaptEvery == 0 {
+		adaptEvery = DefaultAdaptEvery
+	}
 	cluster, err := runtime.NewCluster(progs, d.Result.Plan, eps, runtime.Options{
 		Out: out, CPUSpeeds: opts.CPUSpeeds, Net: opts.Net, MaxSteps: maxSteps,
-		Unoptimized: opts.Unoptimized,
+		Unoptimized: opts.Unoptimized, AdaptEvery: adaptEvery,
 	})
 	if err != nil {
 		return nil, err
@@ -272,6 +305,8 @@ func (d *Distribution) Run(opts RunOptions) (*RunResult, error) {
 		CacheHits:   stats.CacheHits,
 		AsyncCalls:  stats.AsyncCalls,
 		BatchFrames: stats.BatchFrames,
+		Migrations:  stats.Migrations,
+		Forwards:    stats.Forwards,
 	}, nil
 }
 
