@@ -20,6 +20,7 @@ import (
 	"autodist/internal/partition"
 	"autodist/internal/profiler"
 	"autodist/internal/rewrite"
+	"autodist/internal/runtime"
 )
 
 var printOnce sync.Map
@@ -351,4 +352,28 @@ func compileBenchProg(name string) (*bytecode.Program, error) {
 		return nil, err
 	}
 	return bp, nil
+}
+
+// BenchmarkReadReplication regenerates the replication A/B table and
+// times the readmostly workload under the static plan and the
+// coherence layer, reporting the message economics as metrics so the
+// numbers cited in the docs cannot rot silently.
+func BenchmarkReadReplication(b *testing.B) {
+	rows, err := experiments.TableReplication()
+	if err != nil {
+		b.Fatal(err)
+	}
+	printTable(b, "replication", experiments.FormatTableReplication(rows))
+	var static, replicated runtime.NodeStats
+	for i := 0; i < b.N; i++ {
+		var err error
+		static, replicated, err = experiments.RunReadMostlyAB()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(static.MessagesSent), "static-msgs/run")
+	b.ReportMetric(float64(replicated.MessagesSent), "repl-msgs/run")
+	b.ReportMetric(float64(replicated.ReplicaHits), "replica-hits/run")
+	b.ReportMetric(float64(replicated.Invalidations), "invalidations/run")
 }

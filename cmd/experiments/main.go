@@ -21,8 +21,9 @@ func main() {
 	table2 := flag.Bool("table2", false, "distribution pipeline timing (Table 2)")
 	table3 := flag.Bool("table3", false, "profiler overheads (Table 3)")
 	fig11 := flag.Bool("fig11", false, "distributed vs centralized performance (Figure 11)")
-	msgs := flag.Bool("messages", false, "message-exchange optimisation A/B (messages and bytes, incl. adaptive column)")
+	msgs := flag.Bool("messages", false, "message-exchange optimisation A/B (messages and bytes, incl. adaptive and replication columns)")
 	adaptive := flag.Bool("adaptive", false, "adaptive repartitioning A/B (live migration vs static plan)")
+	replicate := flag.Bool("replicate", false, "read-replication A/B (coherence layer vs static plan)")
 	figures := flag.Bool("figures", false, "dump Figures 3-9 (VCG graphs and listings)")
 	all := flag.Bool("all", false, "run everything")
 	outDir := flag.String("out", ".", "directory for figure dumps")
@@ -30,9 +31,9 @@ func main() {
 	flag.Parse()
 
 	if *all {
-		*table1, *table2, *table3, *fig11, *figures, *msgs, *adaptive = true, true, true, true, true, true, true
+		*table1, *table2, *table3, *fig11, *figures, *msgs, *adaptive, *replicate = true, true, true, true, true, true, true, true
 	}
-	if !*table1 && !*table2 && !*table3 && !*fig11 && !*figures && !*msgs && !*adaptive {
+	if !*table1 && !*table2 && !*table3 && !*fig11 && !*figures && !*msgs && !*adaptive && !*replicate {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -75,6 +76,13 @@ func main() {
 			die(err)
 		}
 		fmt.Println(experiments.FormatTableAdaptive(rows))
+	}
+	if *replicate {
+		rows, err := experiments.TableReplication()
+		if err != nil {
+			die(err)
+		}
+		fmt.Println(experiments.FormatTableReplication(rows))
 	}
 	if *table3 {
 		rows, err := experiments.Table3(*repeats)

@@ -8,9 +8,14 @@
 //	jdrun -k 2 -tcp prog.mj            # distributed over local TCP
 //	jdrun -k 2 -sim prog.mj            # report simulated times (1.7GHz + 800MHz nodes)
 //	jdrun -k 2 -adaptive prog.mj       # adaptive repartitioning with live migration
+//	jdrun -k 3 -replicate prog.mj      # read-replication with invalidate-on-write
 //
-// -adaptive=off (the default) keeps the partition a compile-time
-// contract, exactly the static behaviour A/B runs compare against.
+// -adaptive=off and -replicate=off (the defaults) keep today's static
+// behaviour exactly — the partition is a compile-time contract and
+// every access pays its remote round-trip — which is what A/B runs
+// compare against. -replicate composes with -adaptive. Incoherent flag
+// combinations (e.g. -unoptimized with -replicate, or distribution
+// flags without -k ≥ 2) fail fast with an error.
 package main
 
 import (
@@ -30,15 +35,36 @@ func main() {
 	unopt := flag.Bool("unoptimized", false, "disable message-exchange optimisations (caching/async/batching) for A/B runs")
 	adaptive := flag.Bool("adaptive", false, "treat the partition as an initial placement: migrate objects to their observed communication affinity at run time")
 	adaptEvery := flag.Int("adapt-every", 0, "adaptation epoch in synchronous requests (0 = default)")
+	replicate := flag.Bool("replicate", false, "replicate read-mostly objects onto reader nodes (invalidate-on-write coherence)")
 	sim := flag.Bool("sim", false, "enable the virtual clock (paper's heterogeneous testbed)")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if *adaptEvery > 0 && !*adaptive {
-		fmt.Fprintln(os.Stderr, "jdrun: -adapt-every requires -adaptive")
+	// Fail fast on incoherent flag combinations instead of silently
+	// ignoring half of them.
+	usageErr := func(msg string) {
+		fmt.Fprintln(os.Stderr, "jdrun:", msg)
 		os.Exit(2)
+	}
+	if *adaptEvery > 0 && !*adaptive {
+		usageErr("-adapt-every requires -adaptive")
+	}
+	if *replicate && *unopt {
+		usageErr("-unoptimized disables the optimisations -replicate enables; pick one")
+	}
+	if *k <= 1 {
+		switch {
+		case *adaptive:
+			usageErr("-adaptive requires a distributed run (-k ≥ 2)")
+		case *replicate:
+			usageErr("-replicate requires a distributed run (-k ≥ 2)")
+		case *unopt:
+			usageErr("-unoptimized requires a distributed run (-k ≥ 2)")
+		case *tcp:
+			usageErr("-tcp requires a distributed run (-k ≥ 2)")
+		}
 	}
 	die := func(err error) {
 		fmt.Fprintln(os.Stderr, "jdrun:", err)
@@ -58,7 +84,7 @@ func main() {
 		die(err)
 	}
 
-	opts := autodist.RunOptions{Out: os.Stdout, TCP: *tcp, Unoptimized: *unopt, AdaptEvery: *adaptEvery}
+	opts := autodist.RunOptions{Out: os.Stdout, TCP: *tcp, Unoptimized: *unopt, AdaptEvery: *adaptEvery, Replicate: *replicate}
 	if *sim {
 		speeds := make([]float64, *k)
 		for i := range speeds {
@@ -91,8 +117,8 @@ func main() {
 		die(err)
 	}
 	var dist *autodist.Distribution
-	if *adaptive {
-		dist, err = plan.RewriteAdaptive()
+	if *adaptive || *replicate {
+		dist, err = plan.RewriteWith(autodist.RewriteOptions{Adaptive: *adaptive, Replicate: *replicate})
 	} else {
 		dist, err = plan.Rewrite()
 	}
@@ -110,6 +136,10 @@ func main() {
 	if *adaptive {
 		fmt.Fprintf(os.Stderr, "adaptive: %d live migrations, %d forwarded requests\n",
 			res.Migrations, res.Forwards)
+	}
+	if *replicate {
+		fmt.Fprintf(os.Stderr, "replication: %d replica hits, %d fetches, %d invalidations\n",
+			res.ReplicaHits, res.ReplicaFetches, res.Invalidations)
 	}
 	if *sim {
 		fmt.Fprintf(os.Stderr, "simulated time: %.6fs\n", res.SimSeconds)

@@ -28,6 +28,13 @@
 // between nodes mid-run (see RunOptions.AdaptEvery and the Migrations
 // and Forwards counters on RunResult).
 //
+// Plan.RewriteWith composes the modes. RewriteOptions.Replicate stamps
+// read-replication access kinds for read-mostly classes; run with
+// RunOptions.Replicate, proxies then serve those reads from local
+// replica snapshots kept coherent by an invalidate-on-write protocol
+// (see the ReplicaHits, ReplicaFetches and Invalidations counters on
+// RunResult).
+//
 // Sequential execution (prog.Run), profiling (prog.Profile), quad-IR
 // listings and retargetable x86/StrongARM code generation
 // (prog.Disassemble, prog.GenerateAssembly) are available at every

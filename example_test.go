@@ -118,3 +118,50 @@ func ExamplePlan_RewriteAdaptive() {
 	fmt.Print(res.Output)
 	// Output: total=10
 }
+
+// ExamplePlan_RewriteWith composes the rewriting modes: Replicate
+// stamps read-replication access kinds for the analysis pass's
+// read-mostly candidate classes, and RunOptions.Replicate turns on the
+// coherence protocol — reads of the shared object are served from
+// local replicas and its rare writes invalidate them before
+// completing. The program's behaviour is unchanged.
+func ExamplePlan_RewriteWith() {
+	src := `
+class Table {
+	int a; int b; int c;
+	Table() { this.a = 1; this.b = 2; this.c = 3; }
+	int sum() { return this.a + this.b + this.c; }
+	void seta(int x) { this.a = x; }
+}
+class Main {
+	static void main() {
+		Table t = new Table();
+		int s = 0;
+		for (int i = 0; i < 5; i++) { s = s + t.sum(); }
+		t.seta(10);
+		System.println("total=" + (s + t.sum()));
+	}
+}`
+	prog, err := autodist.CompileString(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	an, err := prog.Analyze()
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := an.Partition(2, autodist.PartitionOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dist, err := plan.RewriteWith(autodist.RewriteOptions{Replicate: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := dist.Run(autodist.RunOptions{Replicate: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Output)
+	// Output: total=45
+}

@@ -18,6 +18,11 @@ type Result struct {
 	// optimisations in rewrite and runtime.
 	Facts *Facts
 
+	// Replication is the read/write-intensity pass that classifies
+	// classes as read-replication candidates (sharpenable with
+	// profiler.FieldAccessCounts via ApplyProfile).
+	Replication *ReplicaIntensity
+
 	// MainClass is the class whose static main() starts the program.
 	MainClass string
 
@@ -51,6 +56,7 @@ func Analyze(p *bytecode.Program) (*Result, error) {
 
 	t2 := time.Now()
 	res.Facts = BuildFacts(p, cg)
+	res.Replication = BuildReplicaIntensity(p, cg, res.Facts)
 	res.FactsTime = time.Since(t2)
 
 	res.CallGraph = cg

@@ -62,6 +62,10 @@ type Facts struct {
 	// keeps cyclic call chains sound).
 	notConfined map[MethodID]bool
 
+	// notReadOnly memoizes methods proven unsafe for replica-local
+	// execution (same memoization direction as notConfined).
+	notReadOnly map[MethodID]bool
+
 	// ctorEscapes records classes whose constructor lets `this`
 	// escape before construction completes (passed as an argument,
 	// stored into another object, or handed to a non-constructor
@@ -79,8 +83,14 @@ type methodFlow struct {
 	// instruction at index i (avOther elsewhere).
 	flags []string
 	// thisEscapes reports whether `this` flowed anywhere other than a
-	// field-access receiver or a constructor-call receiver.
+	// receiver position: returned, stored, or passed as an argument.
 	thisEscapes bool
+	// thisCalls reports whether `this` was the receiver of a
+	// non-constructor call. For constructor escape analysis that is as
+	// bad as an escape (the callee can forward the half-built object
+	// outward); for replica-read analysis it is fine, because the
+	// callee itself is recursively checked.
+	thisCalls bool
 }
 
 // BuildFacts runs the facts pass over the reachable methods.
@@ -89,6 +99,7 @@ func BuildFacts(p *bytecode.Program, cg *CallGraph) *Facts {
 		prog:        p,
 		mutated:     map[fieldKey]bool{},
 		notConfined: map[MethodID]bool{},
+		notReadOnly: map[MethodID]bool{},
 		ctorEscapes: map[string]bool{},
 		flagsCache:  map[*bytecode.Method]*methodFlow{},
 	}
@@ -102,7 +113,7 @@ func BuildFacts(p *bytecode.Program, cg *CallGraph) *Facts {
 			continue
 		}
 		flow := f.receiverFlags(cf, m)
-		if mid.Name == "<init>" && flow.thisEscapes {
+		if mid.Name == "<init>" && (flow.thisEscapes || flow.thisCalls) {
 			f.ctorEscapes[mid.Class] = true
 		}
 		for pc, in := range m.Code {
@@ -188,26 +199,40 @@ func (f *Facts) AsyncConfined(cls, name, desc string) ([]string, bool) {
 	return out, true
 }
 
-// confinedDispatch checks every implementation a call through static
-// type cls may dispatch to, accumulating touched classes.
-func (f *Facts) confinedDispatch(cls, name, desc string, touch map[string]bool, visited map[MethodID]bool) bool {
-	touch[cls] = true
+// dispatchImpls enumerates every implementation a call through static
+// type cls may dispatch to: onSub (optional) observes each possible
+// dynamic receiver class, check judges each concrete implementation.
+// It reports whether at least one implementation exists and every
+// check passed. Both facts passes (confinement and replica-reads)
+// share this walker so their dispatch enumeration cannot diverge.
+func (f *Facts) dispatchImpls(cls, name, desc string, onSub func(string), check func(MethodID) bool) bool {
 	any := false
 	for _, sub := range f.prog.Names() {
 		if !isSubclass(f.prog, sub, cls) {
 			continue
 		}
-		touch[sub] = true
+		if onSub != nil {
+			onSub(sub)
+		}
 		impl := declaringMethod(f.prog, MethodID{sub, name, desc})
 		if f.prog.Class(impl.Class) == nil || f.prog.Class(impl.Class).Method(name, desc) == nil {
 			continue
 		}
 		any = true
-		if !f.confinedMethod(impl, touch, visited) {
+		if !check(impl) {
 			return false
 		}
 	}
 	return any
+}
+
+// confinedDispatch checks every implementation a call through static
+// type cls may dispatch to, accumulating touched classes.
+func (f *Facts) confinedDispatch(cls, name, desc string, touch map[string]bool, visited map[MethodID]bool) bool {
+	touch[cls] = true
+	return f.dispatchImpls(cls, name, desc,
+		func(sub string) { touch[sub] = true },
+		func(impl MethodID) bool { return f.confinedMethod(impl, touch, visited) })
 }
 
 // confinedMethod checks one concrete method body against the
@@ -289,6 +314,101 @@ func (f *Facts) confinedMethod(mid MethodID, touch map[string]bool, visited map[
 func (f *Facts) fail(mid MethodID) bool {
 	f.notConfined[mid] = true
 	return false
+}
+
+// ReplicaRead reports whether a call through static type cls can be
+// served from a read replica: a non-void method that, over every
+// possible dispatch target and transitively through this-receiver
+// callees, only reads fields of the receiver — no field writes, no
+// statics, no allocations, no calls on other objects, no escape of
+// `this`. Such a method executed on a field snapshot returns exactly
+// what the owner would return as long as the snapshot is valid, which
+// the invalidate-on-write protocol guarantees.
+func (f *Facts) ReplicaRead(cls, name, desc string) bool {
+	if f == nil {
+		return false
+	}
+	params, ret, err := bytecode.ParseMethodDesc(desc)
+	if err != nil || ret == "V" {
+		return false
+	}
+	// Arguments must travel by value: reference parameters could leak
+	// shadow state, and arrays have copy-restore semantics a local
+	// replica call would skip.
+	for _, p := range params {
+		switch bytecode.DescKind(p) {
+		case bytecode.DescInt, bytecode.DescLong, bytecode.DescFloat,
+			bytecode.DescBool, bytecode.DescString:
+		default:
+			return false
+		}
+	}
+	return f.readOnlyDispatch(cls, name, desc, map[MethodID]bool{})
+}
+
+// readOnlyDispatch checks every implementation a call through static
+// type cls may dispatch to against the replica-read rules.
+func (f *Facts) readOnlyDispatch(cls, name, desc string, visited map[MethodID]bool) bool {
+	return f.dispatchImpls(cls, name, desc, nil,
+		func(impl MethodID) bool { return f.readOnlyMethod(impl, visited) })
+}
+
+// readOnlyMethod checks one concrete method body: reads confined to
+// `this`, nothing mutated, `this` never escaping, callees (on `this`
+// or pure Math/Str statics only) recursively read-only.
+func (f *Facts) readOnlyMethod(mid MethodID, visited map[MethodID]bool) bool {
+	if f.notReadOnly[mid] {
+		return false
+	}
+	if visited[mid] {
+		return true // cycle: no violation found on this path
+	}
+	visited[mid] = true
+	failRO := func() bool {
+		f.notReadOnly[mid] = true
+		return false
+	}
+	cf := f.prog.Class(mid.Class)
+	if cf == nil {
+		return failRO()
+	}
+	m := cf.Method(mid.Name, mid.Desc)
+	if m == nil || m.IsNative() || len(m.Code) == 0 {
+		return failRO()
+	}
+	flow := f.receiverFlags(cf, m)
+	if flow.thisEscapes {
+		// An escaping `this` would be the replica shadow, not the real
+		// object — it must never leave the replica-local call. Calls
+		// *on* `this` are fine: the recursion below proves the callee
+		// read-only too.
+		return failRO()
+	}
+	for pc, in := range m.Code {
+		switch in.Op {
+		case bytecode.PUTFIELD, bytecode.PUTSTATIC, bytecode.GETSTATIC,
+			bytecode.NEW, bytecode.NEWARRAY, bytecode.AASTORE:
+			return failRO()
+		case bytecode.GETFIELD:
+			if flow.flags[pc] != avThis {
+				return failRO()
+			}
+		case bytecode.INVOKEVIRTUAL, bytecode.INVOKESPECIAL:
+			_, name, desc := cf.Pool.Ref(uint16(in.A))
+			if flow.flags[pc] != avThis {
+				return failRO()
+			}
+			if !f.readOnlyDispatch(mid.Class, name, desc, visited) {
+				return failRO()
+			}
+		case bytecode.INVOKESTATIC:
+			cls, _, _ := cf.Pool.Ref(uint16(in.A))
+			if cls != "Math" && cls != "Str" {
+				return failRO()
+			}
+		}
+	}
+	return true
 }
 
 // receiverFlags runs the receiver-tracking dataflow over a method. It
@@ -433,10 +553,11 @@ func (f *Facts) receiverFlags(cf *bytecode.ClassFile, m *bytecode.Method) *metho
 				rcv := pop()
 				record(i, rcv)
 				// `this` as the receiver of anything but a
-				// constructor call can reach code that forwards it
-				// outward mid-construction.
+				// constructor call: recorded separately from true
+				// escapes — whether it matters depends on the
+				// analysis (see methodFlow.thisCalls).
 				if rcv == avThis && mname != "<init>" {
-					flow.thisEscapes = true
+					flow.thisCalls = true
 				}
 			}
 			if ret != "V" {

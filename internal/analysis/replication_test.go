@@ -1,0 +1,231 @@
+package analysis_test
+
+import (
+	"reflect"
+	"testing"
+
+	"autodist/internal/analysis"
+	"autodist/internal/compile"
+)
+
+const replicationSource = `
+class Dict {
+	int k0; int k1; int v0; int v1;
+	Dict() { this.k0 = 1; this.k1 = 2; this.v0 = 10; this.v1 = 20; }
+	int lookup(int k) {
+		if (k == this.k0) { return this.v0; }
+		if (k == this.k1) { return this.v1; }
+		return 0;
+	}
+	int sum() { return this.v0 + this.v1; }
+	void update(int v) { this.v0 = v; }
+}
+class Accum {
+	int total;
+	int add(int x) { this.total = this.total + x; return this.total; }
+}
+class Holder {
+	int[] data;
+	int reads;
+	Holder() { this.data = new int[4]; }
+	int peek() { return this.reads + this.reads + this.reads; }
+}
+class Outer {
+	Dict d;
+	Outer(Dict d) { this.d = d; }
+	int go() { return this.d.lookup(1); }
+}
+class Main {
+	static void main() {
+		Dict d = new Dict();
+		Accum a = new Accum();
+		Holder h = new Holder();
+		Outer o = new Outer(d);
+		System.println("" + (d.lookup(1) + d.sum() + a.add(3) + h.peek() + o.go()));
+		d.update(7);
+	}
+}
+`
+
+func analyzed(t *testing.T, src string) *analysis.Result {
+	t.Helper()
+	bp, _, err := compile.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analysis.Analyze(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestReplicaReadFacts(t *testing.T) {
+	res := analyzed(t, replicationSource)
+	f := res.Facts
+	cases := []struct {
+		cls, name, desc string
+		want            bool
+	}{
+		{"Dict", "lookup", "(I)I", true},  // pure reads of this
+		{"Dict", "sum", "()I", true},      // pure reads of this
+		{"Dict", "update", "(I)V", false}, // void (and a write)
+		{"Accum", "add", "(I)I", false},   // writes this.total
+		{"Outer", "go", "()I", false},     // dispatches through a field object
+		{"Holder", "peek", "()I", true},   // reads of this only
+		{"Dict", "missing", "()I", false}, // no such method
+	}
+	for _, c := range cases {
+		if got := f.ReplicaRead(c.cls, c.name, c.desc); got != c.want {
+			t.Errorf("ReplicaRead(%s.%s%s) = %v, want %v", c.cls, c.name, c.desc, got, c.want)
+		}
+	}
+}
+
+func TestReplicaReadRejectsEscapingThis(t *testing.T) {
+	res := analyzed(t, `
+class SelfRet {
+	int v;
+	SelfRet me() { return this; }
+	int get() { return this.v; }
+}
+class Main { static void main() { SelfRet s = new SelfRet(); System.println("" + s.get()); SelfRet u = s.me(); } }
+`)
+	if res.Facts.ReplicaRead("SelfRet", "me", "()LSelfRet;") {
+		t.Error("method returning `this` accepted as replica-read: the shadow would escape")
+	}
+	if !res.Facts.ReplicaRead("SelfRet", "get", "()I") {
+		t.Error("plain getter rejected")
+	}
+}
+
+func TestReplicaIntensityCandidates(t *testing.T) {
+	res := analyzed(t, replicationSource)
+	ri := res.Replication
+	if ri == nil {
+		t.Fatal("Analyze did not populate Replication")
+	}
+	// Dict: 6 read sites (lookup 4, sum 2) vs 1 write site — read-mostly.
+	if !ri.Candidate("Dict") {
+		t.Errorf("Dict not a candidate (reads=%d writes=%d)", ri.Reads["Dict"], ri.Writes["Dict"])
+	}
+	// Accum: 2 reads vs 1 write — not clearly read-dominated.
+	if ri.Candidate("Accum") {
+		t.Errorf("write-heavy Accum classified as candidate (reads=%d writes=%d)",
+			ri.Reads["Accum"], ri.Writes["Accum"])
+	}
+	// Holder: read-heavy but owns an array field — unmediated element
+	// stores could never invalidate replicas.
+	if ri.Candidate("Holder") {
+		t.Error("array-holding class classified as candidate")
+	}
+	// Object is the hierarchy root; replicating it would replicate
+	// everything.
+	if ri.Candidate("Object") {
+		t.Error("Object classified as candidate")
+	}
+	got := ri.Candidates()
+	for _, c := range got {
+		if c == "Holder" || c == "Accum" {
+			t.Errorf("Candidates() contains %s: %v", c, got)
+		}
+	}
+}
+
+func TestReplicaIntensityCtorEscapeExcluded(t *testing.T) {
+	res := analyzed(t, `
+class Sink {
+	static void take(Esc e) { }
+}
+class Esc {
+	int a; int b; int c;
+	Esc() { Sink.take(this); }
+	int ra() { return this.a; }
+	int rb() { return this.b; }
+	int rc() { return this.c; }
+}
+class Main { static void main() { Esc e = new Esc(); System.println("" + (e.ra() + e.rb() + e.rc())); } }
+`)
+	if res.Replication.Candidate("Esc") {
+		t.Error("class with escaping constructor classified as candidate")
+	}
+}
+
+func TestReplicaIntensityApplyProfile(t *testing.T) {
+	res := analyzed(t, replicationSource)
+	ri := res.Replication
+	before := ri.Candidates()
+	// Observed behaviour can flip both directions: Accum turns out
+	// read-hammered, Dict turns out write-hot.
+	ri.ApplyProfile(
+		map[string]int64{"Accum": 1000, "Dict": 10},
+		map[string]int64{"Accum": 3, "Dict": 10},
+	)
+	if !ri.Candidate("Accum") {
+		t.Error("profile-promoted Accum still rejected")
+	}
+	if ri.Candidate("Dict") {
+		t.Error("profile-demoted Dict still accepted")
+	}
+	after := ri.Candidates()
+	if reflect.DeepEqual(before, after) {
+		t.Errorf("profile had no effect on candidates: %v", after)
+	}
+}
+
+func TestReplicaReadDelegation(t *testing.T) {
+	// A read-only method may delegate to other read-only methods on
+	// `this` — the recursion proves the callees, so delegation is not
+	// an escape. A delegate reaching a writer still fails, as does
+	// passing `this` onward as an argument.
+	res := analyzed(t, `
+class Pair {
+	int a; int b;
+	int geta() { return this.a; }
+	int getb() { return this.b; }
+	int sum() { return this.geta() + this.getb(); }
+	int sum2() { return this.sum() + this.sum(); }
+	void seta(int x) { this.a = x; }
+	int bump() { this.seta(1); return this.a; }
+	int leak() { return Helper.use(this); }
+}
+class Helper {
+	static int use(Pair p) { return p.geta(); }
+}
+class Main { static void main() {
+	Pair p = new Pair();
+	p.seta(2);
+	System.println("" + (p.sum() + p.sum2() + p.bump() + p.leak()));
+} }
+`)
+	f := res.Facts
+	cases := []struct {
+		name, desc string
+		want       bool
+	}{
+		{"sum", "()I", true},   // delegates to read-only getters
+		{"sum2", "()I", true},  // two levels of delegation
+		{"bump", "()I", false}, // delegate chain reaches a writer
+		{"leak", "()I", false}, // `this` escapes as an argument
+	}
+	for _, c := range cases {
+		if got := f.ReplicaRead("Pair", c.name, c.desc); got != c.want {
+			t.Errorf("ReplicaRead(Pair.%s) = %v, want %v", c.name, got, c.want)
+		}
+	}
+	// The ctor-escape rule is unchanged: a constructor calling a
+	// method on `this` still disqualifies the class from write-once
+	// caching.
+	res2 := analyzed(t, `
+class Eager {
+	int v;
+	Eager() { this.setup(); }
+	void setup() { this.v = 1; }
+	int get() { return this.v; }
+}
+class Main { static void main() { Eager e = new Eager(); System.println("" + e.get()); } }
+`)
+	if res2.Facts.FieldImmutable("Eager", "v", "I") {
+		t.Error("ctor-calls-this class kept write-once caching")
+	}
+}

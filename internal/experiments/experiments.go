@@ -410,8 +410,9 @@ func shortMetric(m profiler.Metric) string {
 // MessageRow is one row of the message-optimisation A/B comparison:
 // the same distributed run with the message-exchange optimisations
 // (proxy-side caching, asynchronous void calls, batching) on and off,
-// plus a third run under adaptive repartitioning (the plan as an
-// initial placement with live object migration).
+// a third run under adaptive repartitioning (the plan as an initial
+// placement with live object migration), and a fourth under the
+// coherence layer's read-replication.
 type MessageRow struct {
 	Benchmark   string
 	BaseMsgs    int64
@@ -423,6 +424,9 @@ type MessageRow struct {
 	BatchFrames int64
 	AdaptMsgs   int64
 	Migrations  int64
+	ReplMsgs    int64
+	ReplHits    int64
+	Invals      int64
 }
 
 // TableMessages measures the optimisations' effect on messages sent
@@ -449,29 +453,37 @@ func TableMessages() ([]MessageRow, error) {
 		if err != nil {
 			return nil, err
 		}
-		run := func(r *rewrite.Result, unoptimized bool, adaptEvery int) (runtime.NodeStats, error) {
+		rwRepl, err := rewrite.RewriteWith(bp, res, 2, rewrite.Options{Replicate: true})
+		if err != nil {
+			return nil, err
+		}
+		run := func(r *rewrite.Result, opts runtime.Options) (runtime.NodeStats, error) {
 			var out strings.Builder
-			cluster, err := runtime.NewCluster(r.Nodes, r.Plan, transport.NewInProc(2), runtime.Options{
-				Out: &out, MaxSteps: 2_000_000_000, Unoptimized: unoptimized, AdaptEvery: adaptEvery,
-			})
+			opts.Out = &out
+			opts.MaxSteps = 2_000_000_000
+			cluster, err := runtime.NewCluster(r.Nodes, r.Plan, transport.NewInProc(2), opts)
 			if err != nil {
 				return runtime.NodeStats{}, err
 			}
 			if err := cluster.Run(); err != nil {
-				return runtime.NodeStats{}, fmt.Errorf("%s (unoptimized=%v adaptive=%v): %w",
-					name, unoptimized, adaptEvery > 0, err)
+				return runtime.NodeStats{}, fmt.Errorf("%s (unoptimized=%v adaptive=%v replicate=%v): %w",
+					name, opts.Unoptimized, opts.AdaptEvery > 0, opts.Replicate, err)
 			}
 			return cluster.TotalStats(), nil
 		}
-		base, err := run(rw, true, 0)
+		base, err := run(rw, runtime.Options{Unoptimized: true})
 		if err != nil {
 			return nil, err
 		}
-		opt, err := run(rw, false, 0)
+		opt, err := run(rw, runtime.Options{})
 		if err != nil {
 			return nil, err
 		}
-		adapt, err := run(rwAdapt, false, 32)
+		adapt, err := run(rwAdapt, runtime.Options{AdaptEvery: 32})
+		if err != nil {
+			return nil, err
+		}
+		repl, err := run(rwRepl, runtime.Options{Replicate: true})
 		if err != nil {
 			return nil, err
 		}
@@ -484,6 +496,9 @@ func TableMessages() ([]MessageRow, error) {
 			BatchFrames: opt.BatchFrames,
 			AdaptMsgs:   adapt.MessagesSent,
 			Migrations:  adapt.Migrations,
+			ReplMsgs:    repl.MessagesSent,
+			ReplHits:    repl.ReplicaHits,
+			Invals:      repl.Invalidations,
 		})
 	}
 	return rows, nil
@@ -494,9 +509,10 @@ func TableMessages() ([]MessageRow, error) {
 func FormatTableMessages(rows []MessageRow) string {
 	var b strings.Builder
 	b.WriteString("Message-exchange optimisation: messages and bytes, optimised vs baseline protocol\n")
-	b.WriteString("(adapt = messages under adaptive repartitioning; migr = live migrations it executed)\n")
-	b.WriteString(fmt.Sprintf("%-10s %6s %6s %7s | %8s %8s %7s | %5s %5s %5s | %6s %5s\n",
-		"benchmark", "msgs0", "msgs", "red", "bytes0", "bytes", "red", "hit", "async", "batch", "adapt", "migr"))
+	b.WriteString("(adapt = messages under adaptive repartitioning; migr = live migrations it executed;\n")
+	b.WriteString(" repl = messages under read-replication; rhit/inv = replica hits and invalidations)\n")
+	b.WriteString(fmt.Sprintf("%-10s %6s %6s %7s | %8s %8s %7s | %5s %5s %5s | %6s %5s | %6s %5s %4s\n",
+		"benchmark", "msgs0", "msgs", "red", "bytes0", "bytes", "red", "hit", "async", "batch", "adapt", "migr", "repl", "rhit", "inv"))
 	red := func(base, opt int64) string {
 		if base == 0 {
 			return "-"
@@ -504,10 +520,11 @@ func FormatTableMessages(rows []MessageRow) string {
 		return fmt.Sprintf("%.0f%%", float64(base-opt)/float64(base)*100)
 	}
 	for _, r := range rows {
-		b.WriteString(fmt.Sprintf("%-10s %6d %6d %7s | %8d %8d %7s | %5d %5d %5d | %6d %5d\n",
+		b.WriteString(fmt.Sprintf("%-10s %6d %6d %7s | %8d %8d %7s | %5d %5d %5d | %6d %5d | %6d %5d %4d\n",
 			r.Benchmark, r.BaseMsgs, r.OptMsgs, red(r.BaseMsgs, r.OptMsgs),
 			r.BaseBytes, r.OptBytes, red(r.BaseBytes, r.OptBytes),
-			r.CacheHits, r.AsyncCalls, r.BatchFrames, r.AdaptMsgs, r.Migrations))
+			r.CacheHits, r.AsyncCalls, r.BatchFrames, r.AdaptMsgs, r.Migrations,
+			r.ReplMsgs, r.ReplHits, r.Invals))
 	}
 	return b.String()
 }

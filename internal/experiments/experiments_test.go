@@ -303,3 +303,108 @@ func TestAdaptiveOutputsMatchStatic(t *testing.T) {
 		t.Errorf("adaptive phase-shift output %q != sequential %q", got.String(), want.String())
 	}
 }
+
+func TestReplicationBeatsRemoteReads(t *testing.T) {
+	// The acceptance criterion of the coherence layer: on the
+	// read-mostly workload (a shared directory object, two reader
+	// nodes, one write per phase) read-replication must cut total
+	// messages by at least half versus the static plan — replica
+	// fetches and invalidation traffic included. Outputs are checked
+	// against the sequential run inside RunReadMostlyAB.
+	static, replicated, err := RunReadMostlyAB()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if static.MessagesSent < 100 {
+		t.Fatalf("static readmostly run sent only %d messages — workload no longer exercises the wire",
+			static.MessagesSent)
+	}
+	if replicated.ReplicaHits == 0 || replicated.ReplicaFetches == 0 {
+		t.Errorf("replication never engaged: %+v", replicated)
+	}
+	if replicated.Invalidations == 0 {
+		t.Errorf("writes never invalidated replicas: %+v", replicated)
+	}
+	if replicated.MessagesSent*2 > static.MessagesSent {
+		t.Errorf("replicated run sent %d messages vs static %d — expected ≤ half",
+			replicated.MessagesSent, static.MessagesSent)
+	}
+}
+
+func TestReplicationTableColumns(t *testing.T) {
+	// The replication table renders with its expected columns and
+	// workloads (the static-path invariance itself is pinned by
+	// TestReplicateOffMatchesPlainRewrite).
+	rows, err := TableReplication()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) < 2 {
+		t.Fatalf("replication table too short: %+v", rows)
+	}
+	out := FormatTableReplication(rows)
+	for _, col := range []string{"workload", "msgs-rp", "hits", "inval", "readmostly", "bank"} {
+		if !strings.Contains(out, col) {
+			t.Errorf("formatted table missing %q:\n%s", col, out)
+		}
+	}
+}
+
+// TestReplicateOffMatchesPlainRewrite pins the -replicate=off
+// acceptance criterion numerically: distributing through the new
+// RewriteWith entry point with replication off must produce exactly
+// the same message and byte counts as the original Rewrite path on
+// the Table 1 benchmarks' representative workloads — the coherence
+// refactor may not perturb the static protocol at all.
+func TestReplicateOffMatchesPlainRewrite(t *testing.T) {
+	for _, tc := range []struct {
+		name, src string
+	}{
+		{"bank", BankExampleSource},
+		{"readmostly", ReadMostlySource},
+		{"phaseshift", PhaseShiftSource},
+	} {
+		run := func(via string) runtime.NodeStats {
+			t.Helper()
+			bp, _, err := compile.CompileSource(tc.src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := analysis.Analyze(bp)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := partition.Partition(res.ODG.Graph, partition.Options{K: 2, Seed: 1, Epsilon: BalanceEps}); err != nil {
+				t.Fatal(err)
+			}
+			var rw *rewrite.Result
+			if via == "plain" {
+				rw, err = rewrite.Rewrite(bp, res, 2)
+			} else {
+				rw, err = rewrite.RewriteWith(bp, res, 2, rewrite.Options{})
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out strings.Builder
+			cluster, err := runtime.NewCluster(rw.Nodes, rw.Plan, transport.NewInProc(2), runtime.Options{
+				Out: &out, MaxSteps: 2_000_000_000,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cluster.Run(); err != nil {
+				t.Fatalf("%s via %s: %v", tc.name, via, err)
+			}
+			return cluster.TotalStats()
+		}
+		plain, zero := run("plain"), run("zero-options")
+		if plain.MessagesSent != zero.MessagesSent || plain.BytesSent != zero.BytesSent {
+			t.Errorf("%s: RewriteWith{} diverged from Rewrite: %d/%d msgs, %d/%d bytes",
+				tc.name, plain.MessagesSent, zero.MessagesSent, plain.BytesSent, zero.BytesSent)
+		}
+		if plain.ReplicaHits != 0 || plain.ReplicaFetches != 0 || plain.Invalidations != 0 {
+			t.Errorf("%s: replication counters active on the static path: %+v", tc.name, plain)
+		}
+	}
+}

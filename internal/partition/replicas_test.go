@@ -1,0 +1,114 @@
+package partition
+
+import (
+	"reflect"
+	"testing"
+
+	"autodist/internal/graph"
+)
+
+func TestPlanReplicasGainAccounting(t *testing.T) {
+	costs := DefaultReplicaCosts
+	cases := []struct {
+		name   string
+		home   int
+		reads  map[int]int64
+		writes int64
+		want   []int
+	}{
+		{
+			name:  "read-only object replicates everywhere it is read",
+			home:  0,
+			reads: map[int]int64{1: 10, 2: 3}, writes: 0,
+			want: []int{1, 2},
+		},
+		{
+			name:  "home part never becomes a reader",
+			home:  1,
+			reads: map[int]int64{0: 50, 1: 500}, writes: 0,
+			want: []int{0},
+		},
+		{
+			name:  "writes price out a light reader",
+			home:  0,
+			reads: map[int]int64{1: 100, 2: 7}, writes: 2,
+			// per-reader cost = 2*(2+2) = 8: part 2's 7 reads lose.
+			want: []int{1},
+		},
+		{
+			name:  "write-hot object gets no replicas",
+			home:  0,
+			reads: map[int]int64{1: 10, 2: 10}, writes: 20,
+			want: nil,
+		},
+		{
+			name:  "break-even traffic does not replicate",
+			home:  0,
+			reads: map[int]int64{1: 8}, writes: 2,
+			want: nil,
+		},
+	}
+	for _, c := range cases {
+		if got := PlanReplicas(c.home, c.reads, c.writes, costs); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: PlanReplicas = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// TestRefineReplicated checks the composed entry point on a small
+// affinity graph: two pinned node anchors, one read-mostly object that
+// should stay home but gain a reader, one write-hot object that should
+// migrate instead.
+func TestRefineReplicated(t *testing.T) {
+	g := graph.New("affinity")
+	a0 := g.AddVertex("node0", 1)
+	a1 := g.AddVertex("node1", 1)
+	shared := g.AddVertex("shared", 1) // read-mostly, home 0
+	hot := g.AddVertex("hot", 1)       // write-dragged toward node 1
+	// shared is read from node 1 heavily but lives on node 0 with its
+	// writer; hot is hammered by node 1 only.
+	g.AddEdge(shared, a0, 4, graph.KindPlain)
+	g.AddEdge(shared, a1, 40, graph.KindPlain)
+	g.AddEdge(hot, a1, 30, graph.KindPlain)
+	g.SetParts([]int{0, 1, 0, 0})
+	pinned := []bool{true, true, false, false}
+	repl := []bool{false, false, true, false}
+	reads := map[int]map[int]int64{shared: {1: 40}}
+	writes := map[int]int64{shared: 1}
+
+	res, readers, err := RefineReplicated(g, pinned, repl, reads, writes,
+		DefaultReplicaCosts, Options{K: 2, Epsilon: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parts[hot] != 1 {
+		t.Errorf("write-hot vertex stayed on part %d, want 1", res.Parts[hot])
+	}
+	// The discount removes the replica-servable read pull, so the
+	// read-mostly object stays with its writer instead of being
+	// dragged to the reader part.
+	if res.Parts[shared] != 0 {
+		t.Errorf("read-mostly vertex moved to part %d, want home 0", res.Parts[shared])
+	}
+	want := map[int][]int{shared: {1}}
+	if !reflect.DeepEqual(readers, want) {
+		t.Errorf("reader sets = %v, want %v", readers, want)
+	}
+	if _, ok := readers[hot]; ok {
+		t.Error("non-replicable vertex got a reader set")
+	}
+}
+
+// TestRefineReplicatedEmptyInputs guards the degenerate shapes the
+// coordinator can produce mid-run.
+func TestRefineReplicatedEmptyInputs(t *testing.T) {
+	g := graph.New("empty")
+	res, readers, err := RefineReplicated(g, nil, nil, nil, nil,
+		DefaultReplicaCosts, Options{K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Parts) != 0 || len(readers) != 0 {
+		t.Errorf("unexpected output on empty graph: %+v %v", res, readers)
+	}
+}

@@ -25,7 +25,10 @@ import (
 // Metric selects which profiler is enabled.
 type Metric int
 
-// The six metrics plus the disabled baseline.
+// The six metrics plus the disabled baseline. FieldAccess is an
+// extension beyond the paper's Table 3 set: it counts per-class field
+// reads and writes, the observed read:write ratio that sharpens the
+// replication-candidate classification (analysis.ReplicaIntensity).
 const (
 	None Metric = iota
 	MethodDuration
@@ -34,9 +37,12 @@ const (
 	HotPaths
 	MemoryAllocation
 	DynamicCallGraph
+	FieldAccess
 )
 
 // Metrics lists all enabled metrics in Table 3's column order.
+// FieldAccess is deliberately excluded so Table 3 keeps the paper's
+// columns; attach it explicitly to measure read/write intensity.
 func Metrics() []Metric {
 	return []Metric{HotPaths, DynamicCallGraph, HotMethods, MethodDuration, MethodFrequency, MemoryAllocation}
 }
@@ -58,6 +64,8 @@ func (m Metric) String() string {
 		return "Memory Usage"
 	case DynamicCallGraph:
 		return "Dynamic Call Graph"
+	case FieldAccess:
+		return "Field Access"
 	}
 	return fmt.Sprintf("Metric(%d)", int(m))
 }
@@ -81,6 +89,8 @@ type Profiler struct {
 	frequency  map[string]int64
 	allocCount map[string]int64
 	allocSlots map[string]int64
+	readCount  map[string]int64
+	writeCount map[string]int64
 
 	// Sampling state.
 	hotCounts  map[string]int64
@@ -99,6 +109,8 @@ func Attach(machine *vm.VM, metric Metric) *Profiler {
 		frequency:  map[string]int64{},
 		allocCount: map[string]int64{},
 		allocSlots: map[string]int64{},
+		readCount:  map[string]int64{},
+		writeCount: map[string]int64{},
 		hotCounts:  map[string]int64{},
 		pathCounts: map[string]int64{},
 		callEdges:  map[CallEdge]int64{},
@@ -160,6 +172,33 @@ func Attach(machine *vm.VM, metric Metric) *Profiler {
 			p.allocCount[class]++
 			p.allocSlots[class] += int64(slots)
 		}
+	case FieldAccess:
+		// Stores executed while a constructor is on the stack are
+		// excluded from the write counts: they happen before the
+		// object can be shared, so they never cost replica
+		// invalidations — mirroring (slightly more coarsely) the
+		// static estimator's constructor-self-store exclusion in
+		// analysis.BuildReplicaIntensity.
+		ctorDepth := 0
+		machine.Hooks.MethodEnter = func(class, method string) {
+			if method == "<init>" {
+				ctorDepth++
+			}
+		}
+		machine.Hooks.MethodExit = func(class, method string) {
+			if method == "<init>" && ctorDepth > 0 {
+				ctorDepth--
+			}
+		}
+		machine.Hooks.OnFieldAccess = func(class, field string, write bool) {
+			if write {
+				if ctorDepth == 0 {
+					p.writeCount[class]++
+				}
+			} else {
+				p.readCount[class]++
+			}
+		}
 	}
 	return p
 }
@@ -179,6 +218,21 @@ func (p *Profiler) AllocationsOf(class string) int64 { return p.allocCount[class
 
 // CallEdgeCount returns the sampled weight of a caller→callee edge.
 func (p *Profiler) CallEdgeCount(e CallEdge) int64 { return p.callEdges[e] }
+
+// FieldAccessCounts returns the per-class field read and write counts
+// observed under the FieldAccess metric, in the shape
+// analysis.ReplicaIntensity.ApplyProfile consumes.
+func (p *Profiler) FieldAccessCounts() (reads, writes map[string]int64) {
+	reads = make(map[string]int64, len(p.readCount))
+	for k, v := range p.readCount {
+		reads[k] = v
+	}
+	writes = make(map[string]int64, len(p.writeCount))
+	for k, v := range p.writeCount {
+		writes[k] = v
+	}
+	return reads, writes
+}
 
 type kv struct {
 	k string
@@ -281,6 +335,10 @@ func (p *Profiler) Report() string {
 				break
 			}
 			fmt.Fprintf(&b, "%-40s -> %-40s %8d\n", r.e.Caller, r.e.Callee, r.v)
+		}
+	case FieldAccess:
+		for _, e := range topOf(p.readCount, 20) {
+			fmt.Fprintf(&b, "%-40s %10d reads %10d writes\n", e.k, e.v, p.writeCount[e.k])
 		}
 	default:
 		b.WriteString("(baseline: no metric enabled)\n")

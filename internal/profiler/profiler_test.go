@@ -166,3 +166,49 @@ func TestOutputUnchangedByProfiling(t *testing.T) {
 		}
 	}
 }
+
+func TestFieldAccessCounts(t *testing.T) {
+	src := `
+class Cell {
+	int v;
+	Cell(int v) { this.v = v; }
+	int get() { return this.v; }
+	void set(int x) { this.v = x; }
+}
+class Main {
+	static void main() {
+		Cell c = new Cell(1);
+		c.set(3);
+		int s = 0;
+		for (int i = 0; i < 10; i++) { s += c.get(); }
+		System.println("" + s);
+	}
+}
+`
+	bp, _, err := compile.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.Out = &strings.Builder{}
+	p := profiler.Attach(m, profiler.FieldAccess)
+	if err := m.RunMain(); err != nil {
+		t.Fatal(err)
+	}
+	reads, writes := p.FieldAccessCounts()
+	if reads["Cell"] != 10 {
+		t.Errorf("Cell reads = %d, want 10", reads["Cell"])
+	}
+	// Only the post-construction set() counts: the constructor's own
+	// store is excluded (it precedes sharing, so it would never cost a
+	// replica invalidation), mirroring the static estimator.
+	if writes["Cell"] != 1 {
+		t.Errorf("Cell writes = %d, want 1 (ctor store must be excluded)", writes["Cell"])
+	}
+	if !strings.Contains(p.Report(), "Field Access") {
+		t.Errorf("report missing header:\n%s", p.Report())
+	}
+}

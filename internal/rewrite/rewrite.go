@@ -16,13 +16,16 @@ import (
 )
 
 // Access kinds carried in the first argument of DependentObject.access,
-// following Figure 8's INVOKE_METHOD_HASRETURN constant. The last two
+// following Figure 8's INVOKE_METHOD_HASRETURN constant. Kinds 7–10
 // are optimisation kinds stamped when the static facts pass licenses
 // them: GetFieldCached marks a read of a write-once field (the proxy
-// may cache it — a cache hit costs zero messages), and
-// InvokeMethodVoidAsync marks a void call whose execution is confined
-// to co-located objects (the runtime may fire it asynchronously and
-// aggregate consecutive ones into one batched frame).
+// may cache it forever — the never-invalidated special case of the
+// coherence layer), InvokeMethodVoidAsync marks a void call whose
+// execution is confined to co-located objects (the runtime may fire it
+// asynchronously and aggregate consecutive ones into one batched
+// frame), and GetFieldReplicated/InvokeReplicaRead mark accesses to
+// replication-candidate classes that a proxy may satisfy from a local
+// read replica under the invalidate-on-write protocol.
 const (
 	InvokeMethodHasReturn = 1
 	InvokeMethodVoid      = 2
@@ -32,6 +35,8 @@ const (
 	PutStatic             = 6
 	GetFieldCached        = 7
 	InvokeMethodVoidAsync = 8
+	GetFieldReplicated    = 9
+	InvokeReplicaRead     = 10
 )
 
 // DependentObjectClass is the name of the synthetic proxy class.
@@ -76,6 +81,18 @@ type Plan struct {
 	// confined-call stamping is disabled, because co-location is no
 	// longer a static guarantee once objects move.
 	Adaptive bool
+	// Replicated is the set of read-replication candidate classes
+	// (nil when the plan was built without Options.Replicate). These
+	// classes are marked dependent on every node so that *all* their
+	// accesses — including writes on the owner — funnel through the
+	// runtime's coherence layer, which is what lets a write trigger
+	// replica invalidation. The set is closed under the inheritance
+	// chains the rewriter's type precision works at.
+	Replicated map[string]bool
+	// replicatedChain is the precomputed set of class names whose
+	// inheritance chain contains a Replicated member — the use-site
+	// types whose accesses may be replica-served.
+	replicatedChain map[string]bool
 }
 
 // CoLocated reports whether every allocation site of every class in
@@ -213,10 +230,87 @@ func (p *Plan) markAllDependent() {
 	}
 }
 
+// markReplicated installs the replication-candidate set: the analysis
+// candidates restricted to classes the program actually allocates,
+// then closed under inheritance chains (if any related allocated class
+// fails the gates, the whole chain stays unreplicated — the rewriter
+// cannot tell chain members apart at a use site). Replicated classes
+// become dependent on every node so writes anywhere are mediated.
+func (p *Plan) markReplicated(prog *bytecode.Program, ri *analysis.ReplicaIntensity) {
+	set := map[string]bool{}
+	for cls := range p.ClassParts {
+		if ri.Candidate(cls) {
+			set[cls] = true
+		}
+	}
+	// Chain closure, iterated to a fixpoint: drop any candidate
+	// related to an allocated non-candidate. Deletions cascade (losing
+	// one chain member can orphan another), and the fixpoint makes the
+	// result independent of map iteration order.
+	for changed := true; changed; {
+		changed = false
+		for cls := range set {
+			for other := range p.ClassParts {
+				if other != cls && !set[other] && other != "Object" && isRelated(prog, cls, other) {
+					delete(set, cls)
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	p.Replicated = set
+	// Precompute the chain closure of use-site types served from
+	// replicas, so per-site stamping is a map lookup instead of a
+	// related-class scan.
+	p.replicatedChain = map[string]bool{}
+	for _, name := range prog.Names() {
+		for rep := range set {
+			if isRelated(prog, rep, name) {
+				p.replicatedChain[name] = true
+				break
+			}
+		}
+	}
+	for cls := range set {
+		for n := 0; n < p.K; n++ {
+			p.ClassHasRemote[n][cls] = true
+		}
+	}
+}
+
+// touchesReplicated reports whether a confined call's touch set
+// intersects the replicated classes. Such calls must stay synchronous:
+// a buffered asynchronous write would let a later replica-served read
+// run ahead of its invalidation, and a batched replica fetch could
+// stall the batch worker behind remote exchanges.
+func (p *Plan) touchesReplicated(touch []string) bool {
+	for _, cls := range touch {
+		if p.Replicated[cls] {
+			return true
+		}
+	}
+	return false
+}
+
+// Options selects the rewriting mode. The zero value is the static
+// plan-as-contract rewrite; Adaptive and Replicate compose.
+type Options struct {
+	// Adaptive treats the partition as an initial placement with live
+	// migration (see Plan.Adaptive).
+	Adaptive bool
+	// Replicate stamps replication access kinds for the analysis
+	// pass's read-mostly candidate classes (see Plan.Replicated). The
+	// runtime protocol is enabled separately (runtime
+	// Options.Replicate / autodist RunOptions.Replicate); without it
+	// the stamped kinds degrade to plain synchronous accesses.
+	Replicate bool
+}
+
 // Rewrite produces the per-node programs. The input program is not
 // modified.
 func Rewrite(p *bytecode.Program, res *analysis.Result, k int) (*Result, error) {
-	return rewriteWith(p, res, k, false)
+	return RewriteWith(p, res, k, Options{})
 }
 
 // RewriteAdaptive produces per-node programs for the adaptive runtime:
@@ -224,13 +318,18 @@ func Rewrite(p *bytecode.Program, res *analysis.Result, k int) (*Result, error) 
 // rewritten as dependent everywhere, and no asynchronous access kinds
 // are stamped (see Plan.Adaptive).
 func RewriteAdaptive(p *bytecode.Program, res *analysis.Result, k int) (*Result, error) {
-	return rewriteWith(p, res, k, true)
+	return RewriteWith(p, res, k, Options{Adaptive: true})
 }
 
-func rewriteWith(p *bytecode.Program, res *analysis.Result, k int, adaptive bool) (*Result, error) {
+// RewriteWith produces the per-node programs under the given mode
+// options. The input program is not modified.
+func RewriteWith(p *bytecode.Program, res *analysis.Result, k int, opts Options) (*Result, error) {
 	plan := BuildPlan(res, k)
-	if adaptive {
+	if opts.Adaptive {
 		plan.markAllDependent()
+	}
+	if opts.Replicate {
+		plan.markReplicated(p, res.Replication)
 	}
 	out := &Result{Plan: plan, Nodes: make([]*bytecode.Program, k)}
 	for node := 0; node < k; node++ {
@@ -320,6 +419,14 @@ func (rw *methodRewriter) isDependent(cls string) bool {
 		}
 	}
 	return false
+}
+
+// isReplicated reports whether accesses through static type cls may be
+// served from read replicas: some replication-candidate class lies on
+// cls's inheritance chain (the candidate set is chain-closed, so this
+// is equivalent to the whole chain qualifying).
+func (rw *methodRewriter) isReplicated(cls string) bool {
+	return rw.plan.replicatedChain[cls]
 }
 
 // isRelated reports whether a and b are on the same inheritance chain.
@@ -481,12 +588,21 @@ func (rw *methodRewriter) rewrite() error {
 				// the runtime may fire it asynchronously and batch it.
 				// Under an adaptive plan co-location is only the
 				// initial state — migration could strand the touch set
-				// — so the call stays synchronous.
+				// — so the call stays synchronous. A touch set reaching
+				// a replicated class also stays synchronous, so its
+				// writes run the invalidation protocol inside the
+				// caller's request (see Plan.touchesReplicated).
 				if !rw.plan.Adaptive {
-					if touch, ok := rw.plan.Facts.AsyncConfined(cls, name, desc); ok && rw.plan.CoLocated(touch) {
+					if touch, ok := rw.plan.Facts.AsyncConfined(cls, name, desc); ok &&
+						rw.plan.CoLocated(touch) && !rw.plan.touchesReplicated(touch) {
 						kind = InvokeMethodVoidAsync
 					}
 				}
+			} else if rw.isReplicated(cls) && rw.plan.Facts.ReplicaRead(cls, name, desc) {
+				// A proven read-only call on a replication candidate
+				// may be served by executing the method on a local
+				// replica snapshot.
+				kind = InvokeReplicaRead
 			}
 			ldcInt(kind)
 			ldcStr(name + ":" + desc)
@@ -503,9 +619,13 @@ func (rw *methodRewriter) rewrite() error {
 			}
 			fieldKind := int64(GetField)
 			// Write-once fields never change after construction, so
-			// the proxy may serve repeat reads from its cache.
+			// the proxy may serve repeat reads from its cache; mutable
+			// fields of replication candidates are served from a
+			// replica kept fresh by invalidation instead.
 			if rw.plan.Facts.FieldImmutable(cls, name, desc) {
 				fieldKind = GetFieldCached
+			} else if rw.isReplicated(cls) {
+				fieldKind = GetFieldReplicated
 			}
 			ldcInt(fieldKind)
 			ldcStr(name)

@@ -2,6 +2,7 @@ package runtime
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"sync/atomic"
 
@@ -86,7 +87,10 @@ func (n *Node) localAffinityReport() wire.AffinityReport {
 	sort.Slice(eids, func(i, j int) bool { return eids[i] < eids[j] })
 	for _, id := range eids {
 		c := n.aff[id]
-		rep.Edges = append(rep.Edges, wire.AffinityEdge{ID: id, Msgs: c.msgs, Bytes: c.bytes})
+		rep.Edges = append(rep.Edges, wire.AffinityEdge{
+			ID: id, Msgs: c.reads + c.writes, Bytes: c.bytes,
+			Reads: c.reads, Writes: c.writes + c.localWrites,
+		})
 	}
 	n.aff = map[int64]*affinityCell{}
 	n.affMu.Unlock()
@@ -105,9 +109,13 @@ func (n *Node) runAdapt() {
 	}
 
 	owner := map[int64]int{}
+	class := map[int64]string{}
 	// traffic[id][node] accumulates the epoch's messages from node to
-	// object id (bytes act as a fractional tiebreak).
+	// object id (bytes act as a fractional tiebreak); reads and writes
+	// keep the per-direction split the replication planner prices.
 	traffic := map[int64]map[int]int64{}
+	reads := map[int64]map[int]int64{}
+	writes := map[int64]int64{}
 	var ids []int64
 	for r := 0; r < k; r++ {
 		var rep wire.AffinityReport
@@ -128,6 +136,7 @@ func (n *Node) runAdapt() {
 				ids = append(ids, o.ID)
 			}
 			owner[o.ID] = r
+			class[o.ID] = o.Class
 		}
 		for _, e := range rep.Edges {
 			t := traffic[e.ID]
@@ -136,6 +145,15 @@ func (n *Node) runAdapt() {
 				traffic[e.ID] = t
 			}
 			t[r] += e.Msgs + e.Bytes/256
+			if e.Reads > 0 {
+				rt := reads[e.ID]
+				if rt == nil {
+					rt = map[int]int64{}
+					reads[e.ID] = rt
+				}
+				rt[r] += e.Reads
+			}
+			writes[e.ID] += e.Writes
 		}
 	}
 	if len(ids) == 0 {
@@ -175,7 +193,33 @@ func (n *Node) runAdapt() {
 		}
 	}
 	g.SetParts(parts)
-	res, err := partition.Refine(g, pinned, partition.Options{K: k, Epsilon: n.adaptEps})
+
+	// Under replication, refinement is replication-aware: read traffic
+	// a replica would serve is discounted before refining (so replica
+	// hits do not drag homes toward readers), and reader sets planned
+	// against the current homes identify migrations that replication
+	// serves more cheaply.
+	var res *partition.Result
+	var err error
+	replicable := map[int64]bool{}
+	if n.replicate {
+		repl := make([]bool, g.NumVertices())
+		vreads := map[int]map[int]int64{}
+		vwrites := map[int]int64{}
+		for _, id := range ids {
+			v := vidx[id]
+			replicable[id] = n.Plan != nil && n.Plan.Replicated[class[id]]
+			repl[v] = replicable[id]
+			if rt := reads[id]; len(rt) > 0 {
+				vreads[v] = rt
+			}
+			vwrites[v] = writes[id]
+		}
+		res, _, err = partition.RefineReplicated(g, pinned, repl, vreads, vwrites,
+			partition.DefaultReplicaCosts, partition.Options{K: k, Epsilon: n.adaptEps})
+	} else {
+		res, err = partition.Refine(g, pinned, partition.Options{K: k, Epsilon: n.adaptEps})
+	}
 	if err != nil {
 		return
 	}
@@ -184,6 +228,15 @@ func (n *Node) runAdapt() {
 		to := res.Parts[vidx[id]]
 		cur := owner[id]
 		if to == cur {
+			continue
+		}
+		// A migration whose target is a part the *current* home would
+		// grant a replica is skipped: the reads pulling the object
+		// there are replica-served (zero messages), so moving the home
+		// would only trade them for invalidation traffic next to the
+		// writer.
+		if replicable[id] && slices.Contains(
+			partition.PlanReplicas(cur, reads[id], writes[id], partition.DefaultReplicaCosts), to) {
 			continue
 		}
 		// Hysteresis: only move when this epoch's traffic imbalance

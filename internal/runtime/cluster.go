@@ -42,6 +42,14 @@ type Options struct {
 	// AdaptMinGain is the migration hysteresis threshold in messages
 	// per epoch (default 4).
 	AdaptMinGain int64
+	// Replicate enables the read-replication protocol for the access
+	// kinds a replicated plan stamped (rewrite Options.Replicate):
+	// proxies satisfy replicated reads from local snapshots and writes
+	// invalidate them before completing. Off, those kinds degrade to
+	// plain synchronous accesses — the A/B baseline on identical
+	// bytecode. Requires a replicated plan, and conflicts with
+	// Unoptimized (replication is an optimisation).
+	Replicate bool
 }
 
 // Cluster is a set of nodes executing one distributed program.
@@ -59,6 +67,12 @@ func NewCluster(progs []*bytecode.Program, plan *rewrite.Plan, eps []transport.E
 	if opts.AdaptEvery > 0 && (plan == nil || !plan.Adaptive) {
 		return nil, fmt.Errorf("runtime: adaptive repartitioning needs a plan from rewrite.RewriteAdaptive")
 	}
+	if opts.Replicate && (plan == nil || plan.Replicated == nil) {
+		return nil, fmt.Errorf("runtime: replication needs a plan from rewrite.RewriteWith(Options{Replicate: true})")
+	}
+	if opts.Replicate && opts.Unoptimized {
+		return nil, fmt.Errorf("runtime: Replicate and Unoptimized are incoherent (replication is an optimisation)")
+	}
 	if opts.AdaptEpsilon <= 0 {
 		opts.AdaptEpsilon = defaultAdaptEpsilon
 	}
@@ -73,6 +87,7 @@ func NewCluster(progs []*bytecode.Program, plan *rewrite.Plan, eps []transport.E
 		}
 		n.Net = opts.Net
 		n.Unoptimized = opts.Unoptimized
+		n.replicate = opts.Replicate
 		n.adaptEvery = opts.AdaptEvery
 		n.adaptEps = opts.AdaptEpsilon
 		n.adaptMinGain = opts.AdaptMinGain

@@ -1,0 +1,300 @@
+package runtime
+
+import (
+	"sort"
+	"sync"
+
+	"autodist/internal/vm"
+)
+
+// coherence is the single state machine behind every "where can this
+// access be satisfied, and who else holds copies" question. It unifies
+// what used to be three parallel mechanisms:
+//
+//   - the proxy-side write-once field cache (PR 1): entries in
+//     cohEntry.once, the never-invalidated special case — the fields
+//     provably have no writes, so only a home move drops them;
+//   - migration cache-invalidation and forwarding hints (PR 2):
+//     cohEntry.hint is the forwarding pointer, and learn() is the one
+//     place a Moved notice both redirects future accesses and drops
+//     every locally-cached value of the object;
+//   - read replicas (this layer): cohEntry.replica is a full-field
+//     snapshot serving GetFieldReplicated/InvokeReplicaRead locally,
+//     dropped by the owner's INVALIDATE, and cohEntry.readers is the
+//     owner-side replica set the invalidate-on-write protocol walks.
+//
+// Lock discipline: coherence.mu is a leaf lock. No method sends
+// messages, takes Node.mu, or calls back into the runtime while
+// holding it.
+type coherence struct {
+	mu   sync.Mutex
+	ents map[int64]*cohEntry
+}
+
+// cohEntry is one object's coherence state on this node.
+type cohEntry struct {
+	// hint is the best-known current owner when this node does not
+	// hold the object: seeded from the plan's placement at proxy
+	// creation, refreshed by Moved notices, and doubling as the
+	// forwarding pointer a previous owner relays stale requests
+	// through. hintValid distinguishes "no knowledge".
+	hint      int
+	hintValid bool
+
+	// once caches write-once field reads. A write can never invalidate
+	// them (the facts pass proved there are no writes); only a home
+	// move discards them, conservatively, with everything else.
+	once map[string]vm.Value
+
+	// replica is the installed field-snapshot shadow, nil when no
+	// valid replica is held. gen counts invalidation events
+	// (INVALIDATE frames and Moved notices); an install racing an
+	// invalidation is discarded by comparing gen.
+	replica *vm.Object
+	gen     uint64
+
+	// denied records an owner's refusal to replicate the object, so
+	// the reader stops asking and uses plain remote reads.
+	denied bool
+
+	// readers is the owner-side replica set: ranks that installed a
+	// replica and must be invalidated before any write completes. It
+	// travels with ownership on migration.
+	readers map[int]bool
+}
+
+// ent returns (creating if needed) the entry for id. Callers hold mu.
+func (c *coherence) ent(id int64) *cohEntry {
+	if c.ents == nil {
+		c.ents = map[int64]*cohEntry{}
+	}
+	e := c.ents[id]
+	if e == nil {
+		e = &cohEntry{}
+		c.ents[id] = e
+	}
+	return e
+}
+
+// lookupHint returns the best-known owner for an object not held here.
+func (c *coherence) lookupHint(id int64) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e := c.ents[id]; e != nil && e.hintValid {
+		return e.hint, true
+	}
+	return 0, false
+}
+
+// seedHint records the birth placement for a freshly-interned proxy
+// without disturbing an existing (fresher) hint.
+func (c *coherence) seedHint(id int64, home int) {
+	c.mu.Lock()
+	e := c.ent(id)
+	if !e.hintValid {
+		e.hint, e.hintValid = home, true
+	}
+	c.mu.Unlock()
+}
+
+// learn processes a Moved notice: the one transition that both
+// redirects future accesses (hint) and invalidates every locally
+// cached value of the object — its state now lives under a different
+// owner, so cached reads and replicas may no longer be served.
+// ownedHere suppresses the hint update on the (transiently stale)
+// owner itself, and a self-pointing hint is dropped rather than stored
+// so a racy notice can never make this node forward to itself.
+func (c *coherence) learn(id int64, newHome int, self int, ownedHere bool) {
+	c.mu.Lock()
+	e := c.ent(id)
+	e.once = nil
+	e.replica = nil
+	e.gen++
+	if !ownedHere && newHome != self {
+		e.hint, e.hintValid = newHome, true
+	}
+	c.mu.Unlock()
+}
+
+// becomeOwner installs the post-transfer state on a new owner: the
+// forwarding pointer disappears (requests terminate here now), local
+// cached copies are superseded by the live instance, and the shipped
+// replica set (minus ourselves) becomes the entry's reader set.
+func (c *coherence) becomeOwner(id int64, readers []int, self int) {
+	c.mu.Lock()
+	e := c.ent(id)
+	e.hintValid = false
+	e.once = nil
+	e.replica = nil
+	e.gen++
+	e.readers = nil
+	for _, r := range readers {
+		if r == self {
+			continue
+		}
+		if e.readers == nil {
+			e.readers = map[int]bool{}
+		}
+		e.readers[r] = true
+	}
+	c.mu.Unlock()
+}
+
+// cachedOnce returns a write-once cache entry.
+func (c *coherence) cachedOnce(id int64, member string) (vm.Value, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e := c.ents[id]; e != nil && e.once != nil {
+		v, ok := e.once[member]
+		return v, ok
+	}
+	return nil, false
+}
+
+// storeOnce populates the write-once cache.
+func (c *coherence) storeOnce(id int64, member string, v vm.Value) {
+	c.mu.Lock()
+	e := c.ent(id)
+	if e.once == nil {
+		e.once = map[string]vm.Value{}
+	}
+	e.once[member] = v
+	c.mu.Unlock()
+}
+
+// replicaShadow returns the object's valid replica shadow, if any.
+func (c *coherence) replicaShadow(id int64) (*vm.Object, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e := c.ents[id]; e != nil && e.replica != nil {
+		return e.replica, true
+	}
+	return nil, false
+}
+
+// replicaGen reads the invalidation generation a fetch must present to
+// installReplica.
+func (c *coherence) replicaGen(id int64) uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e := c.ents[id]; e != nil {
+		return e.gen
+	}
+	return 0
+}
+
+// installReplica installs a fetched shadow unless an invalidation (or
+// home move) intervened since gen was read — the snapshot would then
+// predate a write and must not be served beyond the access that
+// fetched it. Reports whether the install took.
+func (c *coherence) installReplica(id int64, shadow *vm.Object, gen uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.ent(id)
+	if e.gen != gen {
+		return false
+	}
+	e.replica = shadow
+	return true
+}
+
+// invalidate drops the object's replica on an INVALIDATE frame and
+// bumps the generation so in-flight installs are discarded. The
+// write-once cache survives: its fields provably have no writes.
+func (c *coherence) invalidate(id int64) {
+	c.mu.Lock()
+	e := c.ent(id)
+	e.replica = nil
+	e.gen++
+	c.mu.Unlock()
+}
+
+// markDenied records that the owner refused replication of id.
+func (c *coherence) markDenied(id int64) {
+	c.mu.Lock()
+	c.ent(id).denied = true
+	c.mu.Unlock()
+}
+
+// replicaDenied reports a recorded refusal.
+func (c *coherence) replicaDenied(id int64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.ents[id]
+	return e != nil && e.denied
+}
+
+// addReader registers a node in the owner-side replica set.
+func (c *coherence) addReader(id int64, rank int) {
+	c.mu.Lock()
+	e := c.ent(id)
+	if e.readers == nil {
+		e.readers = map[int]bool{}
+	}
+	e.readers[rank] = true
+	c.mu.Unlock()
+}
+
+// readerList returns the entry's registered readers, sorted. Callers
+// hold mu.
+func (e *cohEntry) readerList() []int {
+	if e == nil || len(e.readers) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(e.readers))
+	for r := range e.readers {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// readersOf snapshots the owner-side replica set, sorted.
+func (c *coherence) readersOf(id int64) []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ents[id].readerList()
+}
+
+// clearReaders empties the replica set after an invalidation round:
+// every reader dropped its replica and will re-register on its next
+// fetch.
+func (c *coherence) clearReaders(id int64) {
+	c.mu.Lock()
+	if e := c.ents[id]; e != nil {
+		e.readers = nil
+	}
+	c.mu.Unlock()
+}
+
+// takeReaders removes and returns the replica set for a migration
+// handoff (called under the object's freeze gate, so no new reader can
+// register concurrently). restoreReaders undoes it if the transfer
+// fails.
+func (c *coherence) takeReaders(id int64) []int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.ents[id]
+	out := e.readerList()
+	if e != nil {
+		e.readers = nil
+	}
+	return out
+}
+
+// restoreReaders reinstates a taken replica set after a failed
+// handoff.
+func (c *coherence) restoreReaders(id int64, readers []int) {
+	if len(readers) == 0 {
+		return
+	}
+	c.mu.Lock()
+	e := c.ent(id)
+	if e.readers == nil {
+		e.readers = map[int]bool{}
+	}
+	for _, r := range readers {
+		e.readers[r] = true
+	}
+	c.mu.Unlock()
+}

@@ -1,0 +1,157 @@
+package runtime
+
+import (
+	"reflect"
+	"testing"
+
+	"autodist/internal/vm"
+)
+
+func shadowObj(t *testing.T, n *Node) *vm.Object {
+	t.Helper()
+	cls := n.VM.Class("Object")
+	if cls == nil {
+		t.Fatal("Object class missing")
+	}
+	return n.VM.NewObject(cls)
+}
+
+// TestCoherenceHintOverwrite pins the forwarding-pointer freshness
+// rule: a newer Moved notice overwrites an older hint outright, so a
+// node that learns the final home of a twice-migrated object forwards
+// straight there — the hint chain collapses at every node a redirect
+// reaches.
+func TestCoherenceHintOverwrite(t *testing.T) {
+	var c coherence
+	c.seedHint(1, 0)
+	c.learn(1, 1, 9, false)
+	if h, ok := c.lookupHint(1); !ok || h != 1 {
+		t.Fatalf("hint after first move = %d,%v, want 1,true", h, ok)
+	}
+	c.learn(1, 2, 9, false)
+	if h, ok := c.lookupHint(1); !ok || h != 2 {
+		t.Fatalf("hint after second move = %d,%v, want 2,true", h, ok)
+	}
+	// seedHint never clobbers fresher knowledge.
+	c.seedHint(1, 0)
+	if h, _ := c.lookupHint(1); h != 2 {
+		t.Fatalf("seedHint overwrote a learned hint: %d", h)
+	}
+}
+
+// TestCoherenceSelfHintDropped guards against a notice naming this
+// node itself: storing it would make the node forward requests to
+// itself ("dangling home reference"); the ownership map, not the hint,
+// answers for locally-held objects.
+func TestCoherenceSelfHintDropped(t *testing.T) {
+	var c coherence
+	c.seedHint(4, 1)
+	c.learn(4, 2, 2, false) // newHome == self
+	if h, _ := c.lookupHint(4); h != 1 {
+		t.Fatalf("self-pointing hint stored: %d", h)
+	}
+	c.learn(4, 0, 2, true) // owned here: hint untouched
+	if h, _ := c.lookupHint(4); h != 1 {
+		t.Fatalf("owned-here learn changed hint: %d", h)
+	}
+}
+
+// TestCoherenceInstallDiscardedAfterInvalidate is the
+// install/invalidate race: a replica fetched before an INVALIDATE
+// landed must not be kept, or a later read would see the pre-write
+// value.
+func TestCoherenceInstallDiscardedAfterInvalidate(t *testing.T) {
+	n := testNode(t)
+	gen := n.coh.replicaGen(7)
+	n.coh.invalidate(7) // write raced the fetch
+	if n.coh.installReplica(7, shadowObj(t, n), gen) {
+		t.Fatal("stale replica installed after invalidation")
+	}
+	if _, ok := n.coh.replicaShadow(7); ok {
+		t.Fatal("replicaShadow returned a discarded install")
+	}
+	// A clean install at the current generation takes.
+	gen = n.coh.replicaGen(7)
+	if !n.coh.installReplica(7, shadowObj(t, n), gen) {
+		t.Fatal("fresh install rejected")
+	}
+	if _, ok := n.coh.replicaShadow(7); !ok {
+		t.Fatal("installed replica not served")
+	}
+}
+
+// TestCoherenceInvalidateKeepsWriteOnce pins the never-invalidated
+// special case: INVALIDATE answers a write, and write-once fields
+// provably have none, so their cached reads survive; only a home move
+// (learn) drops them.
+func TestCoherenceInvalidateKeepsWriteOnce(t *testing.T) {
+	n := testNode(t)
+	n.coh.storeOnce(3, "size", int64(8))
+	gen := n.coh.replicaGen(3)
+	n.coh.installReplica(3, shadowObj(t, n), gen)
+
+	n.coh.invalidate(3)
+	if _, ok := n.coh.replicaShadow(3); ok {
+		t.Fatal("replica survived INVALIDATE")
+	}
+	if v, ok := n.coh.cachedOnce(3, "size"); !ok || v != int64(8) {
+		t.Fatal("write-once entry dropped by INVALIDATE")
+	}
+
+	n.coh.learn(3, 1, 9, false)
+	if _, ok := n.coh.cachedOnce(3, "size"); ok {
+		t.Fatal("write-once entry survived a home move")
+	}
+}
+
+// TestCoherenceReaderSetLifecycle covers the owner-side replica set:
+// registration, the invalidation round's clear, and the atomic
+// take/restore pair migration uses.
+func TestCoherenceReaderSetLifecycle(t *testing.T) {
+	var c coherence
+	c.addReader(5, 2)
+	c.addReader(5, 1)
+	c.addReader(5, 2)
+	if got := c.readersOf(5); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("readersOf = %v, want [1 2]", got)
+	}
+	c.clearReaders(5)
+	if got := c.readersOf(5); got != nil {
+		t.Fatalf("readers survived clear: %v", got)
+	}
+
+	c.addReader(5, 3)
+	taken := c.takeReaders(5)
+	if !reflect.DeepEqual(taken, []int{3}) || c.readersOf(5) != nil {
+		t.Fatalf("takeReaders = %v, residual %v", taken, c.readersOf(5))
+	}
+	c.restoreReaders(5, taken)
+	if got := c.readersOf(5); !reflect.DeepEqual(got, []int{3}) {
+		t.Fatalf("restoreReaders lost the set: %v", got)
+	}
+}
+
+// TestCoherenceBecomeOwner pins the transfer-install transition: hint
+// gone, caches gone, shipped reader set adopted minus the new owner
+// itself.
+func TestCoherenceBecomeOwner(t *testing.T) {
+	n := testNode(t)
+	n.coh.seedHint(6, 2)
+	n.coh.storeOnce(6, "f", int64(1))
+	gen := n.coh.replicaGen(6)
+	n.coh.installReplica(6, shadowObj(t, n), gen)
+
+	n.coh.becomeOwner(6, []int{0, 1, 2}, 0)
+	if _, ok := n.coh.lookupHint(6); ok {
+		t.Fatal("forwarding pointer survived ownership")
+	}
+	if _, ok := n.coh.cachedOnce(6, "f"); ok {
+		t.Fatal("cached read survived ownership")
+	}
+	if _, ok := n.coh.replicaShadow(6); ok {
+		t.Fatal("replica survived ownership")
+	}
+	if got := n.coh.readersOf(6); !reflect.DeepEqual(got, []int{1, 2}) {
+		t.Fatalf("adopted readers = %v, want [1 2] (self excluded)", got)
+	}
+}

@@ -20,10 +20,11 @@ import (
 //     shows no in-flight local access (freezeObject); busy objects are
 //     skipped this epoch, never forced.
 //  2. Forwarding: after the handoff the previous owner keeps a
-//     forwarding pointer (the hint map) and relays stale requests to
-//     the new home, stamping Moved notices so callers redirect and
-//     invalidate cached reads. Requests are therefore never lost or
-//     duplicated across a handoff — they take at most a longer route.
+//     forwarding pointer (the coherence layer's hint) and relays stale
+//     requests to the new home, stamping Moved notices so callers
+//     redirect and invalidate cached reads. Requests are therefore
+//     never lost or duplicated across a handoff — they take at most a
+//     longer route.
 //  3. Batch ordering: migration commands travel as ordinary requests,
 //     so the serve loop's batch barrier makes them wait for every
 //     asynchronous batch that causally preceded them, and the
@@ -73,25 +74,38 @@ func (n *Node) handleMigrate(req *wire.MigrateRequest) wire.MigrateResponse {
 	if err != nil {
 		return wire.MigrateResponse{Err: err.Error()}
 	}
-	treq := wire.TransferRequest{ID: req.ID, Class: h.Class.Name(), Fields: fields}
+	// The replica set travels with ownership: taking it under the
+	// freeze (no reader can register while frozen) and shipping it in
+	// the TRANSFER keeps home and replica set atomic — the new owner's
+	// first write invalidates exactly the replicas that exist.
+	readers := n.coh.takeReaders(req.ID)
+	treq := wire.TransferRequest{ID: req.ID, Class: h.Class.Name(), Fields: fields, Readers: readers}
+	fail := func(err error) wire.MigrateResponse {
+		n.coh.restoreReaders(req.ID, readers)
+		return wire.MigrateResponse{Err: err.Error()}
+	}
 	resp, err := n.rawRequest(req.To, KindTransfer, treq.Encode())
 	if err != nil {
-		return wire.MigrateResponse{Err: err.Error()}
+		return fail(err)
 	}
 	tout, err := wire.DecodeTransferResponse(resp.Payload)
 	if err != nil {
-		return wire.MigrateResponse{Err: err.Error()}
+		return fail(err)
 	}
 	if tout.Err != "" {
-		return wire.MigrateResponse{Err: tout.Err}
+		return fail(fmt.Errorf("%s", tout.Err))
 	}
-	// The new owner has installed the state: drop ownership, leave a
-	// forwarding pointer, and invalidate our own cached reads of it.
+	// The new owner has installed the state: the coherence layer
+	// leaves the forwarding pointer and invalidates our own cached
+	// reads of the object in one transition, and only then is
+	// ownership dropped. The order matters — at every instant either
+	// home[] or the hint answers for the object, so a concurrent
+	// export (toWire of a reference) can never observe "no hint, no
+	// home" and wrongly reclaim ownership mid-handoff.
+	n.coh.learn(req.ID, req.To, n.Rank, false)
 	n.mu.Lock()
 	delete(n.home, req.ID)
-	n.hint[req.ID] = req.To
 	n.mu.Unlock()
-	n.dropCachedObject(req.ID)
 	atomic.AddInt64(&n.Stats.Migrations, 1)
 	return wire.MigrateResponse{Moved: true}
 }
@@ -132,10 +146,11 @@ func (n *Node) handleTransfer(req *wire.TransferRequest) wire.TransferResponse {
 	if n.canon[req.ID] == nil {
 		n.canon[req.ID] = h
 	}
-	delete(n.hint, req.ID)
 	n.mu.Unlock()
-	// Reads we cached while the object lived elsewhere are now served
-	// from the live instance.
-	n.dropCachedObject(req.ID)
+	// One coherence transition: the forwarding pointer disappears
+	// (requests terminate here now), reads we cached while the object
+	// lived elsewhere yield to the live instance, and the shipped
+	// replica set becomes ours to invalidate.
+	n.coh.becomeOwner(req.ID, req.Readers, n.Rank)
 	return wire.TransferResponse{}
 }

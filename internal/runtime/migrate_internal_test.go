@@ -21,29 +21,29 @@ func testNode(t *testing.T) *Node {
 }
 
 // TestLearnHomeInvalidatesCachedReads pins the Moved-notice contract:
-// learning that an object's home moved must drop every proxy-side
-// cached read of that object (and only that object) and update the
-// ownership hint for future accesses.
+// learning that an object's home moved must drop every locally cached
+// value of that object (and only that object) — write-once reads and
+// replicas alike — and update the ownership hint for future accesses.
 func TestLearnHomeInvalidatesCachedReads(t *testing.T) {
-	n := testNode(t)
-	n.storeField(fieldCacheKey{id: 7, member: "size"}, int64(1))
-	n.storeField(fieldCacheKey{id: 7, member: "tag"}, "x")
-	n.storeField(fieldCacheKey{id: 9, member: "size"}, int64(2))
-	n.hint[7] = 1
+	n := testNode(t) // rank 0 of 2
+	n.coh.storeOnce(7, "size", int64(1))
+	n.coh.storeOnce(7, "tag", "x")
+	n.coh.storeOnce(9, "size", int64(2))
+	n.coh.seedHint(7, 0)
 
-	n.learnHome(7, 0)
+	n.learnHome(7, 1)
 
-	if _, ok := n.cachedField(fieldCacheKey{id: 7, member: "size"}); ok {
+	if _, ok := n.coh.cachedOnce(7, "size"); ok {
 		t.Error("cached read of moved object 7 survived invalidation")
 	}
-	if _, ok := n.cachedField(fieldCacheKey{id: 7, member: "tag"}); ok {
+	if _, ok := n.coh.cachedOnce(7, "tag"); ok {
 		t.Error("cached read of moved object 7 survived invalidation")
 	}
-	if _, ok := n.cachedField(fieldCacheKey{id: 9, member: "size"}); !ok {
+	if _, ok := n.coh.cachedOnce(9, "size"); !ok {
 		t.Error("cached read of unmoved object 9 was dropped")
 	}
-	if got := n.hintFor(7, 1); got != 0 {
-		t.Errorf("hint for moved object = %d, want 0", got)
+	if got := n.hintFor(7, 0); got != 1 {
+		t.Errorf("hint for moved object = %d, want 1", got)
 	}
 }
 
@@ -51,7 +51,7 @@ func TestLearnHomeInvalidatesCachedReads(t *testing.T) {
 // corrupted Moved notices.
 func TestLearnHomeIgnoresBogusRanks(t *testing.T) {
 	n := testNode(t)
-	n.hint[7] = 1
+	n.coh.seedHint(7, 1)
 	n.learnHome(7, -1)
 	n.learnHome(7, 99)
 	if got := n.hintFor(7, 1); got != 1 {

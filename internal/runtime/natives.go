@@ -68,8 +68,8 @@ func (n *Node) registerNatives() {
 			if n.canon[out.ID] == nil {
 				n.canon[out.ID] = self
 			}
-			n.hint[out.ID] = home
 			n.mu.Unlock()
+			n.coh.seedHint(out.ID, home)
 			return nil, nil
 		})
 
@@ -174,7 +174,7 @@ func (n *Node) dispatchAccess(o *vm.Object, kind int, member string, acc []vm.Va
 		n.mu.Unlock()
 	}
 	if h != nil {
-		v, err := n.localAccess(h, kind, member, acc)
+		v, err := n.localDispatch(h, kind, member, acc)
 		n.exitObject(id)
 		return n.canonicalize(v), err
 	}
@@ -192,7 +192,7 @@ func (n *Node) dispatchAccess(o *vm.Object, kind int, member string, acc []vm.Va
 // its permanent home — no ownership gates or canonicalisation needed.
 func (n *Node) dispatchStatic(o *vm.Object, kind int, member string, acc []vm.Value) (vm.Value, error) {
 	if o.Class.Name() != depObjectClassName {
-		return n.localAccess(o, kind, member, acc)
+		return n.localDispatch(o, kind, member, acc)
 	}
 	home, id, _ := n.proxyIdentity(o)
 	if home == n.Rank {
@@ -200,19 +200,34 @@ func (n *Node) dispatchStatic(o *vm.Object, kind int, member string, acc []vm.Va
 		if obj == nil {
 			return nil, fmt.Errorf("runtime: dangling home reference %d on node %d", id, n.Rank)
 		}
-		return n.localAccess(obj, kind, member, acc)
+		return n.localDispatch(obj, kind, member, acc)
 	}
 	return n.remoteDispatch(home, id, kind, member, acc)
 }
 
+// localDispatch is localAccess for accesses originating on this node
+// (as opposed to remote-served DEPENDENCE requests, whose senders
+// already recorded a write message): owner-local stores send no
+// messages, but each one still prices an invalidation, so they feed
+// the replication planner's write-rate estimate here — and nowhere
+// else, or remote writes would be double-counted.
+func (n *Node) localDispatch(obj *vm.Object, kind int, member string, acc []vm.Value) (vm.Value, error) {
+	if kind == rewrite.PutField {
+		n.recordLocalWrite(obj.ID)
+	}
+	return n.localAccess(obj, kind, member, acc)
+}
+
 // remoteDispatch sends one access to the object's home, applying the
-// optimisation kinds the rewriter stamped (cache hits cost zero
-// messages; confined void calls buffer as fire-and-forget batches).
+// optimisation kinds the rewriter stamped (cache and replica hits cost
+// zero messages; confined void calls buffer as fire-and-forget
+// batches).
 func (n *Node) remoteDispatch(home int, id int64, kind int, member string, acc []vm.Value) (vm.Value, error) {
 	switch {
 	case kind == rewrite.GetFieldCached && !n.Unoptimized:
-		key := fieldCacheKey{id, member}
-		if v, ok := n.cachedField(key); ok {
+		// Write-once reads: the never-invalidated special case of the
+		// coherence layer — only a home move drops these entries.
+		if v, ok := n.coh.cachedOnce(id, member); ok {
 			atomic.AddInt64(&n.Stats.CacheHits, 1)
 			return v, nil
 		}
@@ -224,15 +239,36 @@ func (n *Node) remoteDispatch(home int, id int64, kind int, member string, acc [
 		// while the read was in flight; a cache entry would then
 		// shadow the live field.
 		if n.holder(id) == nil {
-			n.storeField(key, v)
+			n.coh.storeOnce(id, member, v)
 		}
 		return v, nil
+	case (kind == rewrite.GetFieldReplicated || kind == rewrite.InvokeReplicaRead) &&
+		n.replicate && !n.Unoptimized:
+		if shadow, ok := n.coh.replicaShadow(id); ok {
+			atomic.AddInt64(&n.Stats.ReplicaHits, 1)
+			return n.replicaServe(shadow, kind, member, acc)
+		}
+		if !n.coh.replicaDenied(id) {
+			shadow, err := n.fetchReplica(home, id)
+			if err != nil {
+				return nil, err
+			}
+			if shadow != nil {
+				return n.replicaServe(shadow, kind, member, acc)
+			}
+			// The fetch may have followed Moved redirects and healed
+			// the hint; the fallback should use the fresh location.
+			home = n.hintFor(id, home)
+		}
+		// Denied: plain synchronous access (the kinds degrade at the
+		// owner).
+		return n.remoteAccess(home, id, kind, member, acc)
 	case kind == rewrite.InvokeMethodVoidAsync && !n.Unoptimized:
 		wireArgs, err := n.toWireSlice(acc)
 		if err != nil {
 			return nil, err
 		}
-		n.recordAffinity(id, 0)
+		n.recordAffinity(id, 0, true)
 		return nil, n.asyncEnqueue(home, wire.DepRequest{
 			ID: id, Kind: kind, Member: member, Args: wireArgs,
 		})
@@ -248,12 +284,24 @@ func (n *Node) remoteAccess(home int, id int64, kind int, member string, acc []v
 	}
 	req := wire.DepRequest{ID: id, Kind: kind, Member: member, Args: wireArgs}
 	payload := req.Encode()
-	n.recordAffinity(id, len(payload))
+	n.recordAffinity(id, len(payload), accessWrites(kind))
 	resp, err := n.request(home, KindDependence, payload)
 	if err != nil {
 		return nil, err
 	}
 	return n.finishDepResponse(home, id, resp.Payload, acc, "access "+member)
+}
+
+// accessWrites classifies an access kind for the affinity read/write
+// split: field reads and proven read-only invokes are reads;
+// everything else (stores and general invokes) may mutate.
+func accessWrites(kind int) bool {
+	switch kind {
+	case rewrite.GetField, rewrite.GetFieldCached, rewrite.GetFieldReplicated,
+		rewrite.InvokeReplicaRead, rewrite.GetStatic:
+		return false
+	}
+	return true
 }
 
 // finishDepResponse applies the common DEPENDENCE-response epilogue:
@@ -284,17 +332,23 @@ func (n *Node) finishDepResponse(home int, id int64, payload []byte, acc []vm.Va
 // localAccess performs an access on a local object: the server side of
 // DEPENDENCE handling and the local fast path of proxy dispatch. The
 // optimisation kinds degrade to their synchronous equivalents here —
-// a local access already costs zero messages.
+// a local access already costs zero messages. This is also the write
+// funnel of the coherence layer: replicated classes are rewritten as
+// dependent everywhere, so every field store — remote-served or
+// owner-local, direct or from inside a method body — lands in the
+// PutField case, where the invalidate-on-write barrier runs before the
+// write completes.
 func (n *Node) localAccess(obj *vm.Object, kind int, member string, args []vm.Value) (vm.Value, error) {
 	switch kind {
-	case rewrite.InvokeMethodHasReturn, rewrite.InvokeMethodVoid, rewrite.InvokeMethodVoidAsync:
+	case rewrite.InvokeMethodHasReturn, rewrite.InvokeMethodVoid,
+		rewrite.InvokeMethodVoidAsync, rewrite.InvokeReplicaRead:
 		name, desc, ok := strings.Cut(member, ":")
 		if !ok {
 			return nil, fmt.Errorf("runtime: bad member key %q", member)
 		}
 		callArgs := append([]vm.Value{obj}, args...)
 		return n.VM.CallMethod(obj.Class.Name(), name, desc, callArgs)
-	case rewrite.GetField, rewrite.GetFieldCached:
+	case rewrite.GetField, rewrite.GetFieldCached, rewrite.GetFieldReplicated:
 		slot := obj.Class.FieldSlot(member)
 		if slot < 0 {
 			return nil, fmt.Errorf("runtime: %s has no field %s", obj.Class.Name(), member)
@@ -309,6 +363,11 @@ func (n *Node) localAccess(obj *vm.Object, kind int, member string, args []vm.Va
 			return nil, fmt.Errorf("runtime: putfield needs 1 arg, got %d", len(args))
 		}
 		obj.Fields[slot] = args[0]
+		// Write barrier: no reader may keep serving the old value once
+		// this write is observable.
+		if err := n.invalidateReaders(obj.ID); err != nil {
+			return nil, err
+		}
 		return nil, nil
 	}
 	return nil, fmt.Errorf("runtime: unknown access kind %d", kind)

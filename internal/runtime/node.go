@@ -69,6 +69,12 @@ type Node struct {
 	adaptEps     float64
 	adaptMinGain int64
 
+	// replicate enables the read-replication protocol (REPLICATE /
+	// INVALIDATE / REPLICA-ACK) for access kinds the rewriter stamped
+	// against a replicated plan; off, those kinds degrade to plain
+	// synchronous accesses.
+	replicate bool
+
 	// mu guards the dynamic ownership map, which replaces the static
 	// plan's compile-time placement as the authority on where an
 	// object's state lives:
@@ -83,17 +89,20 @@ type Node struct {
 	//               is proxy-shaped, home is a hidden backing instance
 	//               (never leaked to the program heap; see
 	//               canonicalize).
-	//   hint[id]  — the best-known current owner for ids not owned
-	//               here. Hints start at the plan's placement, follow
-	//               migrations via Moved notices, and are also the
-	//               forwarding pointers a previous owner serves stale
-	//               requests through.
+	//
+	// Everything else about an object's whereabouts — forwarding
+	// hints, cached write-once reads, read replicas, owner-side
+	// replica sets — lives in the coherence state machine (coh, see
+	// coherence.go).
 	mu      sync.Mutex
 	canon   map[int64]*vm.Object
 	home    map[int64]*vm.Object
-	hint    map[int64]int
 	pending map[uint64]chan srvResp
 	nextTag uint64
+
+	// coh is the per-object coherence state machine: location hints,
+	// the write-once cache, read replicas and replica sets.
+	coh coherence
 
 	// gateMu guards the per-object access gates: every local access
 	// registers with its object's gate, and a migration freezes the
@@ -130,10 +139,6 @@ type Node struct {
 	// worker; it is surfaced on the next response this node sends.
 	asyncErrMu sync.Mutex
 	asyncErr   string
-
-	// cacheMu guards the proxy-side cache of write-once field reads.
-	cacheMu    sync.Mutex
-	fieldCache map[fieldCacheKey]vm.Value
 
 	// Stats counts protocol activity.
 	Stats NodeStats
@@ -181,6 +186,14 @@ type NodeStats struct {
 	// home during handoff.
 	Migrations int64
 	Forwards   int64
+	// ReplicaHits counts reads served from a local replica (zero
+	// messages each); ReplicaFetches counts REPLICATE exchanges that
+	// delivered a snapshot (redirect hops and denials excluded);
+	// Invalidations counts INVALIDATE frames this node sent to
+	// replica holders on writes.
+	ReplicaHits    int64
+	ReplicaFetches int64
+	Invalidations  int64
 }
 
 // add accumulates s2 into s.
@@ -195,6 +208,9 @@ func (s *NodeStats) add(s2 NodeStats) {
 	s.BatchedRequests += s2.BatchedRequests
 	s.Migrations += s2.Migrations
 	s.Forwards += s2.Forwards
+	s.ReplicaHits += s2.ReplicaHits
+	s.ReplicaFetches += s2.ReplicaFetches
+	s.Invalidations += s2.Invalidations
 }
 
 // snapshot returns an atomically loaded copy.
@@ -210,12 +226,10 @@ func (s *NodeStats) snapshot() NodeStats {
 		BatchedRequests: atomic.LoadInt64(&s.BatchedRequests),
 		Migrations:      atomic.LoadInt64(&s.Migrations),
 		Forwards:        atomic.LoadInt64(&s.Forwards),
+		ReplicaHits:     atomic.LoadInt64(&s.ReplicaHits),
+		ReplicaFetches:  atomic.LoadInt64(&s.ReplicaFetches),
+		Invalidations:   atomic.LoadInt64(&s.Invalidations),
 	}
-}
-
-type fieldCacheKey struct {
-	id     int64
-	member string
 }
 
 // objGate serialises object access against migration: active counts
@@ -228,10 +242,19 @@ type objGate struct {
 	idle   chan struct{}
 }
 
-// affinityCell accumulates one epoch's traffic towards one object.
+// affinityCell accumulates one epoch's traffic towards one object,
+// split into read and write messages so the coordinator's
+// replication-aware refinement can price invalidations (msgs = reads +
+// writes). localWrites additionally counts this node's own mediated
+// stores to objects it owns — they send no messages (and so never
+// enter the migration traffic totals), but each one drives an
+// invalidation round, so the replication planner must see the true
+// write rate.
 type affinityCell struct {
-	msgs  int64
-	bytes int64
+	reads       int64
+	writes      int64
+	bytes       int64
+	localWrites int64
 }
 
 // NewNode wires a node from its rewritten program, endpoint and plan.
@@ -251,14 +274,12 @@ func NewNode(prog *bytecode.Program, ep transport.Endpoint, plan *rewrite.Plan) 
 		causal:     transport.Causal(ep),
 		canon:      map[int64]*vm.Object{},
 		home:       map[int64]*vm.Object{},
-		hint:       map[int64]int{},
 		pending:    map[uint64]chan srvResp{},
 		gates:      map[int64]*objGate{},
 		aff:        map[int64]*affinityCell{},
 		asyncBuf:   map[int][]wire.DepRequest{},
 		asyncDests: map[int]bool{},
 		batchCh:    make(chan batchJob, 1024),
-		fieldCache: map[fieldCacheKey]vm.Value{},
 		done:       make(chan struct{}),
 		errs:       make(chan error, 16),
 	}
@@ -268,14 +289,22 @@ func NewNode(prog *bytecode.Program, ep transport.Endpoint, plan *rewrite.Plan) 
 
 // export publishes a locally-held real object so remote nodes can refer
 // to it by id. The object becomes (or stays) this node's canonical rep;
-// ownership is claimed only if the object has not migrated away.
+// ownership is claimed only if the object has not migrated away (a
+// forwarding hint for a real object records exactly that). The whole
+// check-and-claim runs inside one n.mu section — coherence.mu is a
+// leaf lock, so the hint read nests safely — and the migration handoff
+// sets the hint before dropping home under n.mu, so this section can
+// never observe "no hint, no home" mid-handoff and wrongly re-claim an
+// object whose state just moved.
 func (n *Node) export(o *vm.Object) {
 	n.mu.Lock()
 	if n.canon[o.ID] == nil {
 		n.canon[o.ID] = o
 	}
-	if _, away := n.hint[o.ID]; !away && n.home[o.ID] == nil {
-		n.home[o.ID] = o
+	if n.home[o.ID] == nil {
+		if _, away := n.coh.lookupHint(o.ID); !away {
+			n.home[o.ID] = o
+		}
 	}
 	n.mu.Unlock()
 }
@@ -291,27 +320,24 @@ func (n *Node) holder(id int64) *vm.Object {
 // hintFor returns the best-known owner for an id this node does not
 // hold, falling back to the proxy's birth home.
 func (n *Node) hintFor(id int64, birth int) int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if h, ok := n.hint[id]; ok {
+	if h, ok := n.coh.lookupHint(id); ok {
 		return h
 	}
 	return birth
 }
 
-// learnHome records a Moved notice: future accesses to id go straight
-// to newHome, and any proxy-side cached reads for the object are
-// invalidated (its home moved).
+// learnHome records a Moved notice through the coherence layer: future
+// accesses to id go straight to newHome, and every locally cached
+// value of the object — write-once reads and replicas alike — is
+// invalidated, because its state now answers to a different owner.
 func (n *Node) learnHome(id int64, newHome int) {
 	if newHome < 0 || newHome >= n.EP.Size() {
 		return
 	}
 	n.mu.Lock()
-	if n.home[id] == nil {
-		n.hint[id] = newHome
-	}
+	owned := n.home[id] != nil
 	n.mu.Unlock()
-	n.dropCachedObject(id)
+	n.coh.learn(id, newHome, n.Rank, owned)
 }
 
 // canonicalize maps a hidden backing object (the state-holder of a
@@ -447,7 +473,10 @@ func (n *Node) thawObject(id int64) {
 
 // recordAffinity charges one outgoing dependence message towards id to
 // the epoch-local affinity counters (no-op outside adaptive runs).
-func (n *Node) recordAffinity(id int64, bytes int) {
+// write marks messages that mutate the object; the split lets the
+// coordinator price replication. Replica hits are free and therefore
+// never charged; replica fetches are charged as reads by the caller.
+func (n *Node) recordAffinity(id int64, bytes int, write bool) {
 	if n.adaptEvery <= 0 {
 		return
 	}
@@ -457,8 +486,30 @@ func (n *Node) recordAffinity(id int64, bytes int) {
 		c = &affinityCell{}
 		n.aff[id] = c
 	}
-	c.msgs++
+	if write {
+		c.writes++
+	} else {
+		c.reads++
+	}
 	c.bytes += int64(bytes)
+	n.affMu.Unlock()
+}
+
+// recordLocalWrite charges one owner-local mediated store towards the
+// replication planner's write-rate estimate (no-op outside
+// adaptive+replicated runs; local writes cost no messages, so they
+// stay out of the migration traffic totals).
+func (n *Node) recordLocalWrite(id int64) {
+	if n.adaptEvery <= 0 || !n.replicate {
+		return
+	}
+	n.affMu.Lock()
+	c := n.aff[id]
+	if c == nil {
+		c = &affinityCell{}
+		n.aff[id] = c
+	}
+	c.localWrites++
 	n.affMu.Unlock()
 }
 
@@ -486,9 +537,7 @@ func (n *Node) proxyFor(birth int, id int64, class string) (*vm.Object, error) {
 	}
 	n.canon[id] = p
 	if _, owned := n.home[id]; !owned {
-		if _, ok := n.hint[id]; !ok {
-			n.hint[id] = birth
-		}
+		n.coh.seedHint(id, birth)
 	}
 	n.mu.Unlock()
 	return p, nil
@@ -697,34 +746,6 @@ func (n *Node) takeAsyncErr() string {
 	return e
 }
 
-// cachedField returns a proxy-cache entry.
-func (n *Node) cachedField(key fieldCacheKey) (vm.Value, bool) {
-	n.cacheMu.Lock()
-	defer n.cacheMu.Unlock()
-	v, ok := n.fieldCache[key]
-	return v, ok
-}
-
-// storeField populates the proxy cache.
-func (n *Node) storeField(key fieldCacheKey, v vm.Value) {
-	n.cacheMu.Lock()
-	n.fieldCache[key] = v
-	n.cacheMu.Unlock()
-}
-
-// dropCachedObject invalidates every proxy-side cached read of the
-// object: its home moved, so cached entries are discarded and the next
-// read re-fetches from the new owner.
-func (n *Node) dropCachedObject(id int64) {
-	n.cacheMu.Lock()
-	for key := range n.fieldCache {
-		if key.id == id {
-			delete(n.fieldCache, key)
-		}
-	}
-	n.cacheMu.Unlock()
-}
-
 // advanceTo moves this node's virtual clock forward to at least t
 // seconds (no-op without a time model).
 func (n *Node) advanceTo(t float64) {
@@ -759,7 +780,7 @@ func (n *Node) Serve() {
 				return
 			}
 			switch msg.Kind {
-			case KindResponse:
+			case KindResponse, KindReplicaAck:
 				n.mu.Lock()
 				ch := n.pending[msg.Tag]
 				delete(n.pending, msg.Tag)
@@ -767,6 +788,19 @@ func (n *Node) Serve() {
 				if ch != nil {
 					ch <- srvResp{msg: msg, drain: lastBatch}
 				}
+			case KindInvalidate:
+				// Invalidations bypass the batch barrier on purpose:
+				// dropping a replica early is always safe (the next
+				// read re-fetches), and the writer's request must not
+				// wait behind batch work here. They never originate
+				// from batch workers (the rewriter keeps replicated
+				// classes out of asynchronous touch sets), so no
+				// ordering is lost.
+				n.wg.Add(1)
+				go func(m transport.Message) {
+					defer n.wg.Done()
+					n.handleInvalidate(m)
+				}(msg)
 			case KindShutdown:
 				close(n.done)
 				_ = n.EP.Close()
@@ -939,6 +973,14 @@ func (n *Node) handle(msg transport.Message) {
 			out = n.handleMigrate(&req)
 		}
 		reply(out.Encode())
+	case KindReplicate:
+		out := wire.ReplicateResponse{}
+		if req, err := wire.DecodeReplicateRequest(msg.Payload); err != nil {
+			out.Err = err.Error()
+		} else {
+			out = n.handleReplicate(&req, msg.From)
+		}
+		reply(out.Encode())
 	case KindTransfer:
 		out := wire.TransferResponse{}
 		if req, err := wire.DecodeTransferRequest(msg.Payload); err != nil {
@@ -1067,9 +1109,7 @@ func (n *Node) serveDependence(req *wire.DepRequest) wire.DepResponse {
 		return resp
 	}
 	n.exitObject(req.ID)
-	n.mu.Lock()
-	fwd, ok := n.hint[req.ID]
-	n.mu.Unlock()
+	fwd, ok := n.coh.lookupHint(req.ID)
 	if !ok || fwd == n.Rank {
 		return fail(fmt.Errorf("node %d: no object %d", n.Rank, req.ID))
 	}

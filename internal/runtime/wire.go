@@ -21,15 +21,24 @@
 // On top of the static protocol sits the adaptive-repartitioning
 // subsystem (adapt.go, migrate.go): under a rewrite.RewriteAdaptive
 // plan the compile-time partition is only an initial placement. Every
-// node maintains a dynamic ownership map (Node.canon/home/hint) and
+// node maintains a dynamic ownership map (Node.canon/home) and
 // epoch-local per-object traffic counters; a coordinator periodically
 // folds the observed affinity graph back through internal/partition's
 // refinement and executes the resulting delta as live object migration
-// — ownership-transfer frames, forwarding during handoff, and
-// invalidation of proxy-side caches whose home moved. Options.AdaptEvery
-// enables it; zero preserves the static behaviour exactly (the
-// -adaptive=off A/B baseline). ARCHITECTURE.md documents the protocol,
-// every frame kind, and the safety argument.
+// — ownership-transfer frames and forwarding during handoff.
+// Options.AdaptEvery enables it; zero preserves the static behaviour
+// exactly (the -adaptive=off A/B baseline).
+//
+// Everything else about an object's whereabouts — forwarding hints,
+// the write-once read cache, read replicas and owner-side replica
+// sets — lives in one per-object coherence state machine
+// (coherence.go). Ownership is "home + replica set" rather than one
+// canonical location: under Options.Replicate (with a plan from
+// rewrite Options.Replicate) proxies satisfy reads of read-mostly
+// classes from local snapshots (replicate.go), and every write pushes
+// INVALIDATE frames that must be acknowledged before it completes.
+// ARCHITECTURE.md documents the protocol, every frame kind, and the
+// safety argument.
 package runtime
 
 import (
@@ -42,11 +51,15 @@ import (
 // Message kinds (paper §5 names NEW and DEPENDENCE; RESPONSE, BARRIER
 // and SHUTDOWN are the control frames any real MPI runtime also needs;
 // DEPENDENCE_BATCH carries aggregated asynchronous dependence
-// messages). The last four are the adaptive-repartitioning frames:
-// ADAPT asks the coordinator for an adaptation round, AFFINITY polls a
-// node's traffic counters, MIGRATE commands an ownership transfer and
-// TRANSFER ships the object state to its new home. ARCHITECTURE.md
-// documents every frame kind and its payload format.
+// messages). ADAPT/AFFINITY/MIGRATE/TRANSFER are the
+// adaptive-repartitioning frames: ADAPT asks the coordinator for an
+// adaptation round, AFFINITY polls a node's traffic counters, MIGRATE
+// commands an ownership transfer and TRANSFER ships the object state
+// to its new home. REPLICATE/INVALIDATE/REPLICA-ACK are the coherence
+// layer's read-replication frames: a reader pulls a registered replica
+// snapshot, and a write pushes invalidations that must be acknowledged
+// before it completes. ARCHITECTURE.md documents every frame kind and
+// its payload format.
 const (
 	KindNew uint8 = iota + 1
 	KindDependence
@@ -58,6 +71,9 @@ const (
 	KindAffinity
 	KindMigrate
 	KindTransfer
+	KindReplicate
+	KindInvalidate
+	KindReplicaAck
 )
 
 // toWire converts a local vm.Value for transmission from this node.
@@ -81,7 +97,7 @@ func (n *Node) toWire(v vm.Value) (wire.Value, error) {
 			n.mu.Lock()
 			if n.home[id] != nil {
 				node = n.Rank // migrated in behind this proxy
-			} else if h, ok := n.hint[id]; ok {
+			} else if h, ok := n.coh.lookupHint(id); ok {
 				node = h
 			}
 			n.mu.Unlock()
@@ -93,7 +109,7 @@ func (n *Node) toWire(v vm.Value) (wire.Value, error) {
 		if n.home[x.ID] == nil {
 			// Born here but migrated away: advertise the current
 			// owner, not ourselves.
-			if h, ok := n.hint[x.ID]; ok {
+			if h, ok := n.coh.lookupHint(x.ID); ok {
 				node = h
 			}
 		}

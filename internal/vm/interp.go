@@ -278,6 +278,9 @@ func (vm *VM) run(c *Class, m *bytecode.Method, args []Value) (Value, error) {
 			if slot < 0 {
 				return nil, vm.errorf("class %s has no field %s", o.Class.Name(), fname)
 			}
+			if vm.Hooks.OnFieldAccess != nil {
+				vm.Hooks.OnFieldAccess(o.Class.Name(), fname, false)
+			}
 			push(o.Fields[slot])
 		case bytecode.PUTFIELD:
 			_, fname, _ := pool.Ref(uint16(in.A))
@@ -290,6 +293,9 @@ func (vm *VM) run(c *Class, m *bytecode.Method, args []Value) (Value, error) {
 			slot := o.Class.FieldSlot(fname)
 			if slot < 0 {
 				return nil, vm.errorf("class %s has no field %s", o.Class.Name(), fname)
+			}
+			if vm.Hooks.OnFieldAccess != nil {
+				vm.Hooks.OnFieldAccess(o.Class.Name(), fname, true)
 			}
 			o.Fields[slot] = v
 		case bytecode.GETSTATIC:

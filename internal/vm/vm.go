@@ -29,6 +29,10 @@ type Hooks struct {
 	// OnAlloc overloads the allocator (memory allocation metric).
 	// size is the number of value slots allocated.
 	OnAlloc func(class string, size int)
+	// OnFieldAccess fires on every interpreted GETFIELD/PUTFIELD with
+	// the receiver's concrete class (field-access metric, feeding the
+	// read/write-intensity pass behind replication decisions).
+	OnFieldAccess func(class, field string, write bool)
 	// OnQuantum is the sampling hook: it fires every Quantum
 	// interpreted instructions with a snapshot of the call stack,
 	// modelling Joeq's interrupter-thread scheduling quantum.

@@ -1,0 +1,171 @@
+package wire
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestCoherenceMessageRoundTrips is the property test for the
+// replication protocol bodies: random REPLICATE/INVALIDATE/REPLICA-ACK
+// frames must survive encode/decode bit-for-bit.
+func TestCoherenceMessageRoundTrips(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	ids := []int64{0, 1, -1, 1 << 40, -(1 << 40)}
+	for i := 0; i < 300; i++ {
+		rr := ReplicateRequest{ID: ids[r.Intn(len(ids))]}
+		gotRR, err := DecodeReplicateRequest(rr.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotRR != rr {
+			t.Fatalf("ReplicateRequest mismatch: %+v vs %+v", gotRR, rr)
+		}
+
+		fields := make([]Value, r.Intn(4))
+		for j := range fields {
+			fields[j] = randValue(r, 2)
+		}
+		resp := ReplicateResponse{
+			Class: "Directory", Fields: fields,
+			Denied: i%3 == 0, Busy: i%5 == 0, Err: "", Moved: i%2 == 0, NewHome: r.Intn(16),
+		}
+		gotResp, err := DecodeReplicateResponse(resp.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotResp.Class != resp.Class || gotResp.Denied != resp.Denied ||
+			gotResp.Busy != resp.Busy ||
+			gotResp.Moved != resp.Moved || gotResp.NewHome != resp.NewHome ||
+			len(gotResp.Fields) != len(resp.Fields) {
+			t.Fatalf("ReplicateResponse mismatch: %+v vs %+v", gotResp, resp)
+		}
+		for j := range fields {
+			if !reflect.DeepEqual(normalize(gotResp.Fields[j]), normalize(fields[j])) {
+				t.Fatalf("ReplicateResponse field %d mismatch: %+v vs %+v",
+					j, gotResp.Fields[j], fields[j])
+			}
+		}
+
+		ir := InvalidateRequest{ID: ids[r.Intn(len(ids))]}
+		gotIR, err := DecodeInvalidateRequest(ir.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotIR != ir {
+			t.Fatalf("InvalidateRequest mismatch: %+v vs %+v", gotIR, ir)
+		}
+
+		ack := ReplicaAck{Err: []string{"", "boom", "节点"}[r.Intn(3)]}
+		gotAck, err := DecodeReplicaAck(ack.Encode())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotAck != ack {
+			t.Fatalf("ReplicaAck mismatch: %+v vs %+v", gotAck, ack)
+		}
+	}
+}
+
+// TestAffinityEdgeReadWriteSplitRoundTrips pins the extended affinity
+// report: the read/write split must survive alongside the totals.
+func TestAffinityEdgeReadWriteSplitRoundTrips(t *testing.T) {
+	rep := AffinityReport{
+		Owned: []OwnedObject{{ID: 4, Class: "Dir"}},
+		Edges: []AffinityEdge{{ID: 4, Msgs: 12, Bytes: 512, Reads: 10, Writes: 2}},
+	}
+	got, err := DecodeAffinityReport(rep.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rep) {
+		t.Fatalf("read/write split lost: %+v vs %+v", got, rep)
+	}
+}
+
+// TestTransferRequestCarriesReaders pins the atomic replica-set handoff
+// on migration.
+func TestTransferRequestCarriesReaders(t *testing.T) {
+	tr := TransferRequest{ID: 9, Class: "Dir", Fields: []Value{{Kind: KInt, Int: 3}}, Readers: []int{1, 3}}
+	got, err := DecodeTransferRequest(tr.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != tr.ID || got.Class != tr.Class || !reflect.DeepEqual(got.Readers, tr.Readers) {
+		t.Fatalf("TransferRequest readers lost: %+v vs %+v", got, tr)
+	}
+}
+
+// TestCoherenceTruncationFailsCleanly mirrors the codec-wide truncation
+// property for the new frames.
+func TestCoherenceTruncationFailsCleanly(t *testing.T) {
+	resp := ReplicateResponse{Class: "C", Fields: []Value{{Kind: KStr, Str: "abc"}}, Moved: true, NewHome: 2}
+	enc := resp.Encode()
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := DecodeReplicateResponse(enc[:cut]); err == nil {
+			t.Fatalf("ReplicateResponse truncation at %d not detected", cut)
+		}
+	}
+}
+
+func FuzzDecodeReplicateRequest(f *testing.F) {
+	f.Add((&ReplicateRequest{ID: 77}).Encode())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeReplicateRequest(data)
+		if err != nil {
+			return
+		}
+		got, err := DecodeReplicateRequest(m.Encode())
+		if err != nil || got != m {
+			t.Fatalf("re-decode mismatch: %+v vs %+v (%v)", got, m, err)
+		}
+	})
+}
+
+func FuzzDecodeReplicateResponse(f *testing.F) {
+	f.Add((&ReplicateResponse{Class: "C", Fields: []Value{{Kind: KInt, Int: 5}}, NewHome: 1}).Encode())
+	f.Add([]byte{0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeReplicateResponse(data)
+		if err != nil {
+			return
+		}
+		got, err := DecodeReplicateResponse(m.Encode())
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if got.Class != m.Class || got.Denied != m.Denied || got.Busy != m.Busy ||
+			got.Moved != m.Moved || got.NewHome != m.NewHome || len(got.Fields) != len(m.Fields) {
+			t.Fatalf("re-decode mismatch: %+v vs %+v", got, m)
+		}
+	})
+}
+
+func FuzzDecodeInvalidateRequest(f *testing.F) {
+	f.Add((&InvalidateRequest{ID: -3}).Encode())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeInvalidateRequest(data)
+		if err != nil {
+			return
+		}
+		got, err := DecodeInvalidateRequest(m.Encode())
+		if err != nil || got != m {
+			t.Fatalf("re-decode mismatch: %+v vs %+v (%v)", got, m, err)
+		}
+	})
+}
+
+func FuzzDecodeReplicaAck(f *testing.F) {
+	f.Add((&ReplicaAck{Err: "x"}).Encode())
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeReplicaAck(data)
+		if err != nil {
+			return
+		}
+		got, err := DecodeReplicaAck(m.Encode())
+		if err != nil || got != m {
+			t.Fatalf("re-decode mismatch: %+v vs %+v (%v)", got, m, err)
+		}
+	})
+}

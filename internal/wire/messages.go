@@ -179,11 +179,19 @@ type OwnedObject struct {
 
 // AffinityEdge is one epoch's observed traffic from the reporting node
 // to the object ID (wherever it lives): the message and payload-byte
-// counts of synchronous and asynchronous dependence sends.
+// counts of synchronous and asynchronous dependence sends. Reads and
+// Writes split the accesses by direction so the coordinator's
+// replication-aware refinement can weigh read savings against the
+// invalidation traffic writes would charge. Msgs counts messages only;
+// Writes may exceed the write messages because it also includes the
+// reporting node's own (message-free) mediated stores to objects it
+// owns — each of those still drives an invalidation round.
 type AffinityEdge struct {
-	ID    int64
-	Msgs  int64
-	Bytes int64
+	ID     int64
+	Msgs   int64
+	Bytes  int64
+	Reads  int64
+	Writes int64
 }
 
 // AffinityReport answers an AFFINITY poll: the node's migratable
@@ -205,6 +213,8 @@ func (m *AffinityReport) Encode() []byte {
 		b = appendVarint(b, m.Edges[i].ID)
 		b = appendVarint(b, m.Edges[i].Msgs)
 		b = appendVarint(b, m.Edges[i].Bytes)
+		b = appendVarint(b, m.Edges[i].Reads)
+		b = appendVarint(b, m.Edges[i].Writes)
 	}
 	return b
 }
@@ -219,7 +229,10 @@ func DecodeAffinityReport(data []byte) (AffinityReport, error) {
 	}
 	n = r.count()
 	for i := 0; i < n && r.Err() == nil; i++ {
-		m.Edges = append(m.Edges, AffinityEdge{ID: r.Varint(), Msgs: r.Varint(), Bytes: r.Varint()})
+		m.Edges = append(m.Edges, AffinityEdge{
+			ID: r.Varint(), Msgs: r.Varint(), Bytes: r.Varint(),
+			Reads: r.Varint(), Writes: r.Varint(),
+		})
 	}
 	return m, r.Err()
 }
@@ -272,17 +285,22 @@ func DecodeMigrateResponse(data []byte) (MigrateResponse, error) {
 // TransferRequest carries a migrating object's state to its new owner:
 // the global id, the class, and the field values in slot order (object
 // references travel as global refs, exactly as in dependence messages).
+// Readers is the object's replica set — the ranks holding read replicas
+// the new owner must invalidate on future writes; shipping it with the
+// state keeps home and replica set atomic across the handoff.
 type TransferRequest struct {
-	ID     int64
-	Class  string
-	Fields []Value
+	ID      int64
+	Class   string
+	Fields  []Value
+	Readers []int
 }
 
 // Encode serialises the request.
 func (m *TransferRequest) Encode() []byte {
 	b := appendVarint(nil, m.ID)
 	b = appendString(b, m.Class)
-	return appendValues(b, m.Fields)
+	b = appendValues(b, m.Fields)
+	return appendInts(b, m.Readers)
 }
 
 // DecodeTransferRequest parses a TransferRequest body.
@@ -292,6 +310,7 @@ func DecodeTransferRequest(data []byte) (TransferRequest, error) {
 	m.ID = r.Varint()
 	m.Class = r.String()
 	m.Fields = r.Values()
+	m.Readers = r.ints()
 	return m, r.Err()
 }
 
@@ -307,6 +326,112 @@ func (m *TransferResponse) Encode() []byte { return appendString(nil, m.Err) }
 func DecodeTransferResponse(data []byte) (TransferResponse, error) {
 	r := NewReader(data)
 	var m TransferResponse
+	m.Err = r.String()
+	return m, r.Err()
+}
+
+// Coherence frames. Read-replication runs a pull-based
+// invalidate-on-write protocol: a reader asks an object's owner for a
+// replica (REPLICATE), the owner snapshots the object under its
+// quiescence gate and registers the reader, and every subsequent write
+// at the owner pushes an INVALIDATE to each registered reader, which
+// drops its replica and answers with a REPLICA-ACK before the write
+// completes.
+
+// ReplicateRequest asks the object's owner for a read replica of ID,
+// registering the requesting node for invalidation on writes.
+type ReplicateRequest struct {
+	ID int64
+}
+
+// Encode serialises the request.
+func (m *ReplicateRequest) Encode() []byte { return appendVarint(nil, m.ID) }
+
+// DecodeReplicateRequest parses a ReplicateRequest body.
+func DecodeReplicateRequest(data []byte) (ReplicateRequest, error) {
+	r := NewReader(data)
+	var m ReplicateRequest
+	m.ID = r.Varint()
+	return m, r.Err()
+}
+
+// ReplicateResponse carries the replica: the object's concrete class
+// and a field snapshot in slot order (object references as global refs,
+// exactly as in TRANSFER). Denied reports that the owner declined,
+// telling the reader to fall back to plain remote reads; Busy marks
+// the refusal as transient (a busy access gate), so the reader must
+// not cache it — structural refusals (non-replicated class, fields
+// that cannot be snapshotted) are permanent. Moved redirects the
+// reader to NewHome when the object migrated away from the addressed
+// node.
+type ReplicateResponse struct {
+	Class   string
+	Fields  []Value
+	Denied  bool
+	Busy    bool
+	Err     string
+	Moved   bool
+	NewHome int
+}
+
+// Encode serialises the response.
+func (m *ReplicateResponse) Encode() []byte {
+	b := appendString(nil, m.Class)
+	b = appendValues(b, m.Fields)
+	b = appendBool(b, m.Denied)
+	b = appendBool(b, m.Busy)
+	b = appendString(b, m.Err)
+	b = appendBool(b, m.Moved)
+	return appendUvarint(b, uint64(m.NewHome))
+}
+
+// DecodeReplicateResponse parses a ReplicateResponse body.
+func DecodeReplicateResponse(data []byte) (ReplicateResponse, error) {
+	r := NewReader(data)
+	var m ReplicateResponse
+	m.Class = r.String()
+	m.Fields = r.Values()
+	m.Denied = r.Bool()
+	m.Busy = r.Bool()
+	m.Err = r.String()
+	m.Moved = r.Bool()
+	m.NewHome = int(r.Uvarint())
+	return m, r.Err()
+}
+
+// InvalidateRequest tells a replica holder that object ID was written:
+// the replica must be dropped before the acknowledgement is sent.
+type InvalidateRequest struct {
+	ID int64
+}
+
+// Encode serialises the request.
+func (m *InvalidateRequest) Encode() []byte { return appendVarint(nil, m.ID) }
+
+// DecodeInvalidateRequest parses an InvalidateRequest body.
+func DecodeInvalidateRequest(data []byte) (InvalidateRequest, error) {
+	r := NewReader(data)
+	var m InvalidateRequest
+	m.ID = r.Varint()
+	return m, r.Err()
+}
+
+// ReplicaAck acknowledges an INVALIDATE: the sender no longer serves
+// reads of the object from a replica. The writing node's request does
+// not complete until every registered reader has acknowledged, which is
+// what makes a write observed by the program order a barrier against
+// stale replica reads.
+type ReplicaAck struct {
+	Err string
+}
+
+// Encode serialises the acknowledgement.
+func (m *ReplicaAck) Encode() []byte { return appendString(nil, m.Err) }
+
+// DecodeReplicaAck parses a ReplicaAck body.
+func DecodeReplicaAck(data []byte) (ReplicaAck, error) {
+	r := NewReader(data)
+	var m ReplicaAck
 	m.Err = r.String()
 	return m, r.Err()
 }

@@ -60,6 +60,15 @@ type RunOptions struct {
 	// Plan.RewriteAdaptive, which default to DefaultAdaptEvery when
 	// this is zero; on static distributions it must stay zero.
 	AdaptEvery int
+	// Replicate enables the coherence layer's read-replication
+	// protocol: proxies satisfy reads of replication-candidate classes
+	// from local snapshots, and writes invalidate every replica before
+	// completing. It requires a distribution built with
+	// RewriteOptions.Replicate (fail-fast otherwise) and conflicts
+	// with Unoptimized. Off, a replicated distribution still runs —
+	// its stamped access kinds degrade to plain synchronous accesses
+	// (the A/B baseline on identical bytecode).
+	Replicate bool
 }
 
 // DefaultAdaptEvery is the adaptation epoch applied to adaptive
@@ -98,6 +107,14 @@ type RunResult struct {
 	// are zero on static (non-adaptive) runs.
 	Migrations int64
 	Forwards   int64
+	// ReplicaHits counts reads served from a local replica (zero
+	// messages each); ReplicaFetches counts REPLICATE exchanges that
+	// delivered a snapshot; Invalidations counts INVALIDATE frames
+	// writes pushed to replica holders. All are zero unless the run
+	// used RunOptions.Replicate on a replicated distribution.
+	ReplicaHits    int64
+	ReplicaFetches int64
+	Invalidations  int64
 }
 
 // Run executes the program sequentially on one VM.
@@ -158,7 +175,9 @@ func (p *Program) Profile(metric ProfileMetric, opts RunOptions) (*profiler.Prof
 // ProfileMetric re-exports the profiler's metric enum.
 type ProfileMetric = profiler.Metric
 
-// Profiler metrics (paper §6).
+// Profiler metrics (paper §6), plus the field-access metric whose
+// per-class read/write counts sharpen the replication classification
+// (analysis.ReplicaIntensity.ApplyProfile).
 const (
 	ProfileNone             = profiler.None
 	ProfileMethodDuration   = profiler.MethodDuration
@@ -167,6 +186,7 @@ const (
 	ProfileHotPaths         = profiler.HotPaths
 	ProfileMemoryAllocation = profiler.MemoryAllocation
 	ProfileDynamicCallGraph = profiler.DynamicCallGraph
+	ProfileFieldAccess      = profiler.FieldAccess
 )
 
 // Analysis is the dependence-analysis stage output.
@@ -246,7 +266,20 @@ func (pl *Plan) Rewrite() (*Distribution, error) {
 // and Run starts the coordinator that migrates objects towards their
 // observed communication affinity.
 func (pl *Plan) RewriteAdaptive() (*Distribution, error) {
-	res, err := rewrite.RewriteAdaptive(pl.Analysis.Program.Bytecode, pl.Analysis.Result, pl.K)
+	return pl.RewriteWith(RewriteOptions{Adaptive: true})
+}
+
+// RewriteOptions selects the rewriting mode: the zero value is the
+// static plan-as-contract rewrite, Adaptive enables live migration,
+// Replicate stamps read-replication access kinds for the analysis
+// pass's read-mostly candidate classes. The two compose.
+type RewriteOptions = rewrite.Options
+
+// RewriteWith generates per-node programs under the given mode
+// options (see RewriteOptions). Run it with RunOptions.Replicate to
+// enable the replication protocol on a replicated distribution.
+func (pl *Plan) RewriteWith(opts RewriteOptions) (*Distribution, error) {
+	res, err := rewrite.RewriteWith(pl.Analysis.Program.Bytecode, pl.Analysis.Result, pl.K, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -286,7 +319,7 @@ func (d *Distribution) Run(opts RunOptions) (*RunResult, error) {
 	}
 	cluster, err := runtime.NewCluster(progs, d.Result.Plan, eps, runtime.Options{
 		Out: out, CPUSpeeds: opts.CPUSpeeds, Net: opts.Net, MaxSteps: maxSteps,
-		Unoptimized: opts.Unoptimized, AdaptEvery: adaptEvery,
+		Unoptimized: opts.Unoptimized, AdaptEvery: adaptEvery, Replicate: opts.Replicate,
 	})
 	if err != nil {
 		return nil, err
@@ -297,16 +330,19 @@ func (d *Distribution) Run(opts RunOptions) (*RunResult, error) {
 	}
 	stats := cluster.TotalStats()
 	return &RunResult{
-		Output:      sb.String(),
-		Wall:        time.Since(start),
-		SimSeconds:  cluster.SimSeconds(),
-		Messages:    stats.MessagesSent,
-		BytesSent:   stats.BytesSent,
-		CacheHits:   stats.CacheHits,
-		AsyncCalls:  stats.AsyncCalls,
-		BatchFrames: stats.BatchFrames,
-		Migrations:  stats.Migrations,
-		Forwards:    stats.Forwards,
+		Output:         sb.String(),
+		Wall:           time.Since(start),
+		SimSeconds:     cluster.SimSeconds(),
+		Messages:       stats.MessagesSent,
+		BytesSent:      stats.BytesSent,
+		CacheHits:      stats.CacheHits,
+		AsyncCalls:     stats.AsyncCalls,
+		BatchFrames:    stats.BatchFrames,
+		Migrations:     stats.Migrations,
+		Forwards:       stats.Forwards,
+		ReplicaHits:    stats.ReplicaHits,
+		ReplicaFetches: stats.ReplicaFetches,
+		Invalidations:  stats.Invalidations,
 	}, nil
 }
 
