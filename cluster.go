@@ -1,0 +1,261 @@
+package autodist
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+
+	"autodist/internal/bytecode"
+	"autodist/internal/runtime"
+	"autodist/internal/transport"
+	"autodist/internal/vm"
+)
+
+// Value is a program value crossing the service boundary: entrypoint
+// arguments and invocation results. MJ ints/booleans are int64, floats
+// are float64, strings are string; nil is the null reference.
+type Value = vm.Value
+
+// Cluster is a deployed distribution: every node's Message Exchange
+// service is up and stays resident between invocations, so one
+// compiled distribution can serve many requests. Invoke runs any
+// static entrypoint of the ExecutionStarter class; coherence state —
+// migrated objects, forwarding hints, write-once caches, read replicas
+// — persists across invocations, so placement and replicas learned
+// serving request N make request N+1 cheaper (see
+// InvokeResult.RetainedHits). Shutdown drains and stops the nodes.
+type Cluster struct {
+	rt       *runtime.Cluster
+	cfg      Config
+	out      *clusterOut
+	deployed time.Time
+}
+
+// maxCapturedOutput bounds the output a resident deployment captures
+// when no writer was supplied: a long-lived service printing on every
+// request must not grow memory without bound. Batch runs stay far
+// below it; services needing full output pass Config.Out.
+const maxCapturedOutput = 1 << 20
+
+// clusterOut serialises the shared out-writer (concurrent Invoke
+// callers may print) and captures output when the deployment did not
+// supply a writer. Capture is bounded by maxCapturedOutput; writes
+// past the bound are counted but discarded.
+type clusterOut struct {
+	mu      sync.Mutex
+	w       io.Writer // nil: capture into sb
+	sb      strings.Builder
+	dropped int64
+}
+
+func (o *clusterOut) Write(p []byte) (int, error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if o.w != nil {
+		return o.w.Write(p)
+	}
+	if room := maxCapturedOutput - o.sb.Len(); room < len(p) {
+		o.dropped += int64(len(p) - max(room, 0))
+		if room > 0 {
+			o.sb.Write(p[:room])
+		}
+		return len(p), nil
+	}
+	return o.sb.Write(p)
+}
+
+// String returns the captured output ("" when a writer was supplied)
+// and how many bytes were dropped past the capture bound.
+func (o *clusterOut) String() (string, int64) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.sb.String(), o.dropped
+}
+
+// Deploy brings the distributed program up as a resident service: it
+// creates the fabric (in-process channels or local TCP), builds one VM
+// per node, starts every Message Exchange service, and returns the
+// live Cluster without invoking anything. The configuration is
+// normalized against the plan (K, Adaptive, the adaptation-epoch
+// default) and then validated — Config.Validate is the single
+// authority on incoherent combinations.
+func (d *Distribution) Deploy(cfg Config) (*Cluster, error) {
+	// Normalize against the plan: zero values are filled in, but an
+	// explicit setting that contradicts the distribution is an error —
+	// never silently rewritten.
+	if cfg.K != 0 && cfg.K != d.Plan.K {
+		return nil, fmt.Errorf("autodist: Config.K = %d but the distribution was partitioned for %d nodes", cfg.K, d.Plan.K)
+	}
+	cfg.K = d.Plan.K
+	if cfg.Adaptive && !d.Result.Plan.Adaptive {
+		return nil, fmt.Errorf("autodist: Config.Adaptive set but the distribution is static (build it with Plan.RewriteAdaptive or RewriteOptions.Adaptive)")
+	}
+	cfg.Adaptive = d.Result.Plan.Adaptive
+	if cfg.Adaptive && cfg.AdaptEvery == 0 {
+		cfg.AdaptEvery = DefaultAdaptEvery
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var eps []transport.Endpoint
+	if cfg.TCP {
+		var err error
+		eps, err = transport.NewTCPCluster(cfg.K)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		eps = transport.NewInProc(cfg.K)
+	}
+	out := &clusterOut{w: cfg.Out}
+	maxSteps := cfg.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = defaultMaxSteps
+	}
+	progs := make([]*bytecode.Program, cfg.K)
+	copy(progs, d.Result.Nodes)
+	rt, err := runtime.NewCluster(progs, d.Result.Plan, eps, runtime.Options{
+		Out: out, CPUSpeeds: cfg.CPUSpeeds, Net: cfg.Net, MaxSteps: maxSteps,
+		Unoptimized: cfg.Unoptimized, AdaptEvery: cfg.AdaptEvery, Replicate: cfg.Replicate,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt.Start()
+	return &Cluster{rt: rt, cfg: cfg, out: out, deployed: time.Now()}, nil
+}
+
+// InvokeResult is one entrypoint invocation's outcome: the returned
+// value and the invocation's share of the cluster's traffic (counter
+// deltas taken while the invocation held the logical thread).
+type InvokeResult struct {
+	// Entry is the invoked entrypoint name.
+	Entry string
+	// Value is the entrypoint's return value (nil for void).
+	Value Value
+	// Wall is the host-measured invocation time (including any wait
+	// for the logical thread).
+	Wall time.Duration
+	// Messages and BytesSent count the distribution traffic this
+	// invocation generated; the remaining counters mirror RunResult's
+	// (see there for semantics).
+	Messages       int64
+	BytesSent      int64
+	CacheHits      int64
+	AsyncCalls     int64
+	BatchFrames    int64
+	Migrations     int64
+	Forwards       int64
+	ReplicaHits    int64
+	ReplicaFetches int64
+	Invalidations  int64
+	// RetainedHits counts the hits this invocation served from cache
+	// or replica state learned during an earlier invocation — direct
+	// evidence that the resident cluster's coherence state is carrying
+	// work across requests.
+	RetainedHits int64
+}
+
+// Invoke executes a named static entrypoint of the ExecutionStarter
+// class — any static method of the main class, main() included — with
+// the given arguments, and returns its value plus per-invocation
+// traffic counters. Safe for concurrent use: invocations from
+// multiple goroutines serialise on the starter's logical thread while
+// the coherence layer, replication protocol and adaptive coordinator
+// keep running across them.
+//
+// Go arguments are coerced to program values: int variants become
+// int64, bool becomes the MJ boolean encoding, float32 becomes
+// float64; strings, int64, float64 and nil pass through.
+func (c *Cluster) Invoke(entry string, args ...Value) (*InvokeResult, error) {
+	vmArgs := make([]vm.Value, len(args))
+	for i, a := range args {
+		vmArgs[i] = coerceValue(a)
+	}
+	start := time.Now()
+	v, delta, err := c.rt.InvokeEntry(entry, vmArgs)
+	if err != nil {
+		return nil, err
+	}
+	return &InvokeResult{
+		Entry:          entry,
+		Value:          v,
+		Wall:           time.Since(start),
+		Messages:       delta.MessagesSent,
+		BytesSent:      delta.BytesSent,
+		CacheHits:      delta.CacheHits,
+		AsyncCalls:     delta.AsyncCalls,
+		BatchFrames:    delta.BatchFrames,
+		Migrations:     delta.Migrations,
+		Forwards:       delta.Forwards,
+		ReplicaHits:    delta.ReplicaHits,
+		ReplicaFetches: delta.ReplicaFetches,
+		Invalidations:  delta.Invalidations,
+		RetainedHits:   delta.RetainedHits,
+	}, nil
+}
+
+// coerceValue maps common Go values onto the VM's value domain.
+func coerceValue(a Value) vm.Value {
+	switch x := a.(type) {
+	case int:
+		return int64(x)
+	case int32:
+		return int64(x)
+	case uint:
+		return int64(x)
+	case uint32:
+		return int64(x)
+	case bool:
+		if x {
+			return int64(1)
+		}
+		return int64(0)
+	case float32:
+		return float64(x)
+	}
+	return a
+}
+
+// Entrypoints lists the static entrypoints this cluster can Invoke,
+// sorted by name.
+func (c *Cluster) Entrypoints() []string { return c.rt.Entrypoints() }
+
+// Invocations returns how many entrypoint invocations the cluster has
+// served.
+func (c *Cluster) Invocations() int64 { return c.rt.Invocations() }
+
+// Stats returns live cumulative counters for the deployment —
+// RunResult-shaped, readable at any time without stopping the cluster.
+// Output holds everything captured so far when the deployment did not
+// supply a writer (bounded; see Deploy). SimSeconds is the virtual
+// clock as of the last completed invocation.
+func (c *Cluster) Stats() *RunResult {
+	output, dropped := c.out.String()
+	r := &RunResult{
+		Output:        output,
+		OutputDropped: dropped,
+		Wall:          time.Since(c.deployed),
+		SimSeconds:    c.rt.SimSecondsObserved(),
+	}
+	r.fillStats(c.rt.TotalStats())
+	return r
+}
+
+// Shutdown drains the deployment and stops it: in-flight invocations
+// finish (new ones are rejected), outstanding asynchronous batches are
+// flushed through the final barrier — surfacing any deferred
+// asynchronous failure as the returned error — and every node winds
+// down. A cancelled or expired context skips the drain and stops the
+// nodes immediately. Idempotent.
+func (c *Cluster) Shutdown(ctx context.Context) error {
+	return c.rt.Shutdown(ctx)
+}
+
+// Kill stops the cluster immediately: no drain, no final barrier.
+// Batch Run uses it after a failed main(); long-lived services should
+// prefer Shutdown.
+func (c *Cluster) Kill() { c.rt.Kill() }

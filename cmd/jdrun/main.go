@@ -1,5 +1,6 @@
 // Command jdrun executes an MJ program: sequentially on one VM, or
-// automatically distributed across k nodes (in-process or local TCP).
+// automatically distributed across k nodes (in-process or local TCP),
+// either as a one-shot batch run or as a resident service.
 //
 // Usage:
 //
@@ -9,19 +10,33 @@
 //	jdrun -k 2 -sim prog.mj            # report simulated times (1.7GHz + 800MHz nodes)
 //	jdrun -k 2 -adaptive prog.mj       # adaptive repartitioning with live migration
 //	jdrun -k 3 -replicate prog.mj      # read-replication with invalidate-on-write
+//	jdrun -k 2 -serve prog.mj          # deploy resident, read invocations from stdin
+//
+// -serve deploys the distribution and keeps it serving: each stdin
+// line names a static entrypoint of the main class plus arguments
+// ("main", "put 2 40", …), invoked on the live cluster; results print
+// to stdout and per-invocation traffic counters to stderr. EOF drains
+// the cluster and prints the cumulative summary. Blank lines and lines
+// starting with '#' are skipped.
 //
 // -adaptive=off and -replicate=off (the defaults) keep today's static
 // behaviour exactly — the partition is a compile-time contract and
 // every access pays its remote round-trip — which is what A/B runs
 // compare against. -replicate composes with -adaptive. Incoherent flag
 // combinations (e.g. -unoptimized with -replicate, or distribution
-// flags without -k ≥ 2) fail fast with an error.
+// flags without -k ≥ 2) fail fast with an error: the checks live in
+// autodist's Config.Validate, the single source of truth shared with
+// the library API.
 package main
 
 import (
+	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"autodist"
 	"autodist/internal/experiments"
@@ -37,38 +52,46 @@ func main() {
 	adaptEvery := flag.Int("adapt-every", 0, "adaptation epoch in synchronous requests (0 = default)")
 	replicate := flag.Bool("replicate", false, "replicate read-mostly objects onto reader nodes (invalidate-on-write coherence)")
 	sim := flag.Bool("sim", false, "enable the virtual clock (paper's heterogeneous testbed)")
+	serve := flag.Bool("serve", false, "deploy the cluster resident and invoke entrypoints read from stdin")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		flag.Usage()
 		os.Exit(2)
 	}
-	// Fail fast on incoherent flag combinations instead of silently
-	// ignoring half of them.
 	usageErr := func(msg string) {
 		fmt.Fprintln(os.Stderr, "jdrun:", msg)
 		os.Exit(2)
 	}
-	if *adaptEvery > 0 && !*adaptive {
-		usageErr("-adapt-every requires -adaptive")
-	}
-	if *replicate && *unopt {
-		usageErr("-unoptimized disables the optimisations -replicate enables; pick one")
-	}
-	if *k <= 1 {
-		switch {
-		case *adaptive:
-			usageErr("-adaptive requires a distributed run (-k ≥ 2)")
-		case *replicate:
-			usageErr("-replicate requires a distributed run (-k ≥ 2)")
-		case *unopt:
-			usageErr("-unoptimized requires a distributed run (-k ≥ 2)")
-		case *tcp:
-			usageErr("-tcp requires a distributed run (-k ≥ 2)")
-		}
-	}
 	die := func(err error) {
 		fmt.Fprintln(os.Stderr, "jdrun:", err)
 		os.Exit(1)
+	}
+
+	// One validated configuration instead of hand-rolled pairwise
+	// checks: Config.Validate rejects every incoherent combination
+	// (-adapt-every without -adaptive, -unoptimized with -replicate,
+	// distribution flags with k = 1, …).
+	cfg := autodist.Config{
+		K: *k, Out: os.Stdout, TCP: *tcp, Unoptimized: *unopt,
+		Adaptive: *adaptive, AdaptEvery: *adaptEvery, Replicate: *replicate,
+	}
+	if *sim {
+		speeds := make([]float64, *k)
+		for i := range speeds {
+			speeds[i] = experiments.ComputeNodeHz
+		}
+		speeds[0] = experiments.ServiceNodeHz
+		cfg.CPUSpeeds = speeds
+		cfg.Net = &autodist.NetModel{
+			LatencySec:  experiments.EthernetLatencySec,
+			BytesPerSec: experiments.EthernetBytesPerSec,
+		}
+	}
+	if err := cfg.Validate(); err != nil {
+		usageErr(strings.TrimPrefix(err.Error(), "autodist: "))
+	}
+	if *serve && *k <= 1 {
+		usageErr("-serve requires a distributed run (-k ≥ 2)")
 	}
 
 	var srcs []string
@@ -84,22 +107,8 @@ func main() {
 		die(err)
 	}
 
-	opts := autodist.RunOptions{Out: os.Stdout, TCP: *tcp, Unoptimized: *unopt, AdaptEvery: *adaptEvery, Replicate: *replicate}
-	if *sim {
-		speeds := make([]float64, *k)
-		for i := range speeds {
-			speeds[i] = experiments.ComputeNodeHz
-		}
-		speeds[0] = experiments.ServiceNodeHz
-		opts.CPUSpeeds = speeds
-		opts.Net = &autodist.NetModel{
-			LatencySec:  experiments.EthernetLatencySec,
-			BytesPerSec: experiments.EthernetBytesPerSec,
-		}
-	}
-
 	if *k <= 1 {
-		res, err := prog.Run(opts)
+		res, err := prog.Run(cfg)
 		if err != nil {
 			die(err)
 		}
@@ -125,23 +134,105 @@ func main() {
 	if err != nil {
 		die(err)
 	}
-	res, err := dist.Run(opts)
+
+	if *serve {
+		if err := serveLoop(dist, cfg); err != nil {
+			die(err)
+		}
+		return
+	}
+
+	res, err := dist.Run(cfg)
 	if err != nil {
 		die(err)
 	}
-	fmt.Fprintf(os.Stderr, "distributed over %d nodes: %d messages, %d payload bytes (wall %v)\n",
-		*k, res.Messages, res.BytesSent, res.Wall)
+	printSummary(*k, res, *adaptive, *replicate, *sim, -1)
+}
+
+// serveLoop deploys the distribution resident and invokes one
+// entrypoint per stdin line until EOF, then drains and prints the
+// cumulative summary.
+func serveLoop(dist *autodist.Distribution, cfg autodist.Config) error {
+	cluster, err := dist.Deploy(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "deployed %d nodes; entrypoints: %s\n",
+		cfg.K, strings.Join(cluster.Entrypoints(), " "))
+	sc := bufio.NewScanner(os.Stdin)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		args := make([]autodist.Value, 0, len(fields)-1)
+		for _, f := range fields[1:] {
+			args = append(args, parseArg(f))
+		}
+		res, err := cluster.Invoke(fields[0], args...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "jdrun:", err)
+			continue
+		}
+		if res.Value != nil {
+			fmt.Printf("%s = %v\n", res.Entry, res.Value)
+		} else {
+			fmt.Printf("%s ok\n", res.Entry)
+		}
+		fmt.Fprintf(os.Stderr, "  [%d msgs, %d bytes, %d cache hits (%d retained), %d replica hits, %d migrations, %v]\n",
+			res.Messages, res.BytesSent, res.CacheHits, res.RetainedHits,
+			res.ReplicaHits, res.Migrations, res.Wall)
+	}
+	if err := sc.Err(); err != nil {
+		_ = cluster.Shutdown(context.Background())
+		return err
+	}
+	served := cluster.Invocations()
+	if err := cluster.Shutdown(context.Background()); err != nil {
+		return err
+	}
+	printSummary(cfg.K, cluster.Stats(), cfg.Adaptive, cfg.Replicate, len(cfg.CPUSpeeds) > 0, served)
+	return nil
+}
+
+// parseArg maps a REPL token onto a program value: integer, float, or
+// (optionally quoted) string.
+func parseArg(f string) autodist.Value {
+	if n, err := strconv.ParseInt(f, 10, 64); err == nil {
+		return n
+	}
+	if x, err := strconv.ParseFloat(f, 64); err == nil {
+		return x
+	}
+	return strings.Trim(f, `"`)
+}
+
+// printSummary writes the cumulative traffic counters to stderr.
+// served < 0 means a one-shot batch run.
+func printSummary(k int, res *autodist.RunResult, adaptive, replicate, sim bool, served int64) {
+	if served >= 0 {
+		fmt.Fprintf(os.Stderr, "served %d invocations over %d nodes: %d messages, %d payload bytes (wall %v)\n",
+			served, k, res.Messages, res.BytesSent, res.Wall)
+	} else {
+		fmt.Fprintf(os.Stderr, "distributed over %d nodes: %d messages, %d payload bytes (wall %v)\n",
+			k, res.Messages, res.BytesSent, res.Wall)
+	}
 	fmt.Fprintf(os.Stderr, "optimisations: %d cache hits, %d async calls in %d batch frames\n",
 		res.CacheHits, res.AsyncCalls, res.BatchFrames)
-	if *adaptive {
+	if served > 0 {
+		fmt.Fprintf(os.Stderr, "retention: %d hits served from state learned in earlier invocations\n",
+			res.RetainedHits)
+	}
+	if adaptive {
 		fmt.Fprintf(os.Stderr, "adaptive: %d live migrations, %d forwarded requests\n",
 			res.Migrations, res.Forwards)
 	}
-	if *replicate {
+	if replicate {
 		fmt.Fprintf(os.Stderr, "replication: %d replica hits, %d fetches, %d invalidations\n",
 			res.ReplicaHits, res.ReplicaFetches, res.Invalidations)
 	}
-	if *sim {
+	if sim {
 		fmt.Fprintf(os.Stderr, "simulated time: %.6fs\n", res.SimSeconds)
 	}
 }

@@ -13,14 +13,36 @@
 // an optional deterministic virtual clock for heterogeneous-node
 // experiments.
 //
-// The five pipeline stages mirror the paper's Figure 1:
+// The five pipeline stages mirror the paper's Figure 1, and the
+// compiled distribution is served through a deployment lifecycle:
+// Deploy brings the nodes up and keeps them resident, Invoke runs any
+// static entrypoint of the main (ExecutionStarter) class — as many
+// times as needed, from any goroutine — and Shutdown drains
+// outstanding work through the final barrier before stopping:
 //
 //	src := `... MJ source with a static main() ...`
 //	prog, err := autodist.CompileString(src)        // front-end
 //	an, err := prog.Analyze()                       // ODG construction
 //	plan, err := an.Partition(2, autodist.PartitionOptions{}) // Metis-style
 //	dist, err := plan.Rewrite()                     // communication generation
-//	out, err := dist.Run(autodist.RunOptions{})     // distributed execution
+//	cluster, err := dist.Deploy(autodist.Config{})  // resident deployment
+//	_, err = cluster.Invoke("main")                 // provision once
+//	res, err := cluster.Invoke("lookup", 42)        // serve requests...
+//	live := cluster.Stats()                         // live counters, any time
+//	err = cluster.Shutdown(ctx)                     // drain + final barrier
+//
+// Coherence state — object placement, forwarding hints, write-once
+// caches, read replicas — persists between invocations, so migrations
+// and replicas learned serving one request make the next cheaper (the
+// RetainedHits counter measures exactly those cross-invocation hits).
+// For one-shot batch semantics, Distribution.Run survives as the
+// wrapper Deploy → Invoke("main") → Shutdown:
+//
+//	out, err := dist.Run(autodist.RunOptions{})     // batch execution
+//
+// Config (alias RunOptions) is the single validated execution
+// configuration: Config.Validate is the one source of truth for
+// incoherent option combinations, shared with the cmd/jdrun CLI.
 //
 // Plan.RewriteAdaptive builds the same distribution with the partition
 // treated as an initial placement instead of a contract: the runtime

@@ -1,6 +1,7 @@
 package autodist_test
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -88,6 +89,61 @@ func ExampleDistribution_Run() {
 	}
 	fmt.Print(res.Output)
 	// Output: total=10
+}
+
+// ExampleDistribution_Deploy serves the program as a resident
+// deployment instead of a one-shot batch: main() provisions once,
+// then entrypoints are invoked against the live cluster and Shutdown
+// drains it.
+func ExampleDistribution_Deploy() {
+	src := `
+class Counter {
+	int v;
+	int bump(int n) { this.v = this.v + n; return this.v; }
+}
+class Main {
+	static Counter c;
+	static void main() { Main.c = new Counter(); }
+	static int add(int n) { return Main.c.bump(n); }
+}`
+	prog, err := autodist.CompileString(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	an, err := prog.Analyze()
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := an.Partition(2, autodist.PartitionOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dist, err := plan.Rewrite()
+	if err != nil {
+		log.Fatal(err)
+	}
+	cluster, err := dist.Deploy(autodist.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cluster.Invoke("main"); err != nil {
+		log.Fatal(err)
+	}
+	for i := 1; i <= 4; i++ {
+		res, err := cluster.Invoke("add", i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("add(%d)=%v\n", i, res.Value)
+	}
+	if err := cluster.Shutdown(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	// Output:
+	// add(1)=1
+	// add(2)=3
+	// add(3)=6
+	// add(4)=10
 }
 
 // ExamplePlan_RewriteAdaptive runs the same distribution with the

@@ -65,6 +65,23 @@ func BuildCallGraph(p *bytecode.Program) (*CallGraph, error) {
 	if resolveStatic(p, root) == nil {
 		return nil, fmt.Errorf("analysis: %s not found", root)
 	}
+	// Every static method of the main class is an analysis root, not
+	// just main: they are the program's invocable entrypoints (the
+	// service surface a deployed cluster serves through
+	// Cluster.Invoke), so their allocation sites, dependences and —
+	// crucially — their field writes must be visible to partitioning
+	// and to the facts pass. A write performed only by a non-main
+	// entrypoint would otherwise be invisible, and the write-once
+	// cache would serve stale values to a resident cluster.
+	roots := []MethodID{root}
+	if cf := p.Class(p.MainClass); cf != nil {
+		for i := range cf.Methods {
+			m := &cf.Methods[i]
+			if m.IsEntrypoint() && m.Name != "main" {
+				roots = append(roots, MethodID{p.MainClass, m.Name, m.Desc})
+			}
+		}
+	}
 
 	// Virtual call sites discovered so far: caller → (class, name, desc).
 	type vsite struct {
@@ -72,8 +89,10 @@ func BuildCallGraph(p *bytecode.Program) (*CallGraph, error) {
 		target MethodID
 	}
 	var virtualSites []vsite
-	work := []MethodID{root}
-	cg.Reachable[root] = true
+	work := append([]MethodID{}, roots...)
+	for _, r := range roots {
+		cg.Reachable[r] = true
+	}
 
 	addReachable := func(caller, callee MethodID) {
 		cg.Edges[caller] = append(cg.Edges[caller], callee)

@@ -41,6 +41,15 @@ func (m *Method) IsStatic() bool { return m.Flags&AccStatic != 0 }
 // IsNative reports whether the method is implemented by the VM.
 func (m *Method) IsNative() bool { return m.Flags&AccNative != 0 }
 
+// IsEntrypoint reports whether the method is an invocable service
+// entrypoint when declared on the program's main class: static,
+// non-native, non-synthetic, and not a constructor. The one predicate
+// shared by the analysis roots, the rewriter's entrypoint table and
+// the runtime's fallback resolution.
+func (m *Method) IsEntrypoint() bool {
+	return m.IsStatic() && !m.IsNative() && m.Flags&AccSynthetic == 0 && m.Name != "<init>"
+}
+
 // Key returns the "name:desc" key used for method lookup.
 func (m *Method) Key() string { return m.Name + ":" + m.Desc }
 

@@ -59,6 +59,16 @@ const StaticAccessDesc = "(ITIT[LObject;)LObject;"
 type Plan struct {
 	// K is the number of nodes the program was partitioned for.
 	K int
+	// MainClass is the ExecutionStarter class (paper §5): the class
+	// whose static methods are the program's invocable entrypoints,
+	// main() being the conventional one.
+	MainClass string
+	// Entrypoints is the entrypoint table: every static, non-native,
+	// non-constructor method of MainClass, mapped to its descriptor.
+	// A deployed cluster resolves Cluster.Invoke names here, so a
+	// resident distribution can serve any starter entrypoint — not
+	// just the one-shot main().
+	Entrypoints map[string]string
 	// SitePart maps each allocation site to its home node.
 	SitePart map[analysis.SiteKey]int
 	// StaticPart maps each class with static context to the home
@@ -137,6 +147,7 @@ func BuildPlan(res *analysis.Result, k int) *Plan {
 	}
 	plan := &Plan{
 		K:              k,
+		MainClass:      res.MainClass,
 		SitePart:       map[analysis.SiteKey]int{},
 		StaticPart:     map[string]int{},
 		ClassHasRemote: map[int]map[string]bool{},
@@ -179,6 +190,33 @@ func BuildPlan(res *analysis.Result, k int) *Plan {
 	}
 	plan.ClassParts = classParts
 	return plan
+}
+
+// collectEntrypoints fills the entrypoint table with every static,
+// non-native, non-constructor method of the plan's MainClass. MJ has no
+// overloading, so a name maps to exactly one descriptor.
+func (p *Plan) collectEntrypoints(prog *bytecode.Program) {
+	p.Entrypoints = map[string]string{}
+	cf := prog.Class(p.MainClass)
+	if cf == nil {
+		return
+	}
+	for i := range cf.Methods {
+		m := &cf.Methods[i]
+		if m.IsEntrypoint() {
+			p.Entrypoints[m.Name] = m.Desc
+		}
+	}
+}
+
+// EntrypointNames returns the entrypoint table's names, sorted.
+func (p *Plan) EntrypointNames() []string {
+	out := make([]string, 0, len(p.Entrypoints))
+	for name := range p.Entrypoints {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // DependentClasses returns, for a node, the sorted list of classes that
@@ -325,6 +363,7 @@ func RewriteAdaptive(p *bytecode.Program, res *analysis.Result, k int) (*Result,
 // options. The input program is not modified.
 func RewriteWith(p *bytecode.Program, res *analysis.Result, k int, opts Options) (*Result, error) {
 	plan := BuildPlan(res, k)
+	plan.collectEntrypoints(p)
 	if opts.Adaptive {
 		plan.markAllDependent()
 	}

@@ -448,3 +448,58 @@ class Main {
 		t.Error("write-once caching lost under adaptive plan")
 	}
 }
+
+// TestEntrypointTable: RewriteWith must publish every static method of
+// the main class as an invocable entrypoint, with its descriptor, and
+// nothing else.
+func TestEntrypointTable(t *testing.T) {
+	src := `
+class Helper { int id; Helper(int id) { this.id = id; } int get() { return this.id; } }
+class Main {
+	static Helper h;
+	static void main() { Main.h = new Helper(3); }
+	static int lookup(int unused) { return Main.h.get(); }
+	static void touch() { Main.h.get(); }
+	int instanceMethod() { return 1; }
+}
+`
+	bp, _, err := compile.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analysis.Analyze(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := partition.Partition(res.ODG.Graph, partition.Options{K: 2, Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	rw, err := Rewrite(bp, res, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := rw.Plan
+	if p.MainClass != "Main" {
+		t.Fatalf("plan.MainClass = %q, want Main", p.MainClass)
+	}
+	want := map[string]string{
+		"main":   "()V",
+		"lookup": "(I)I",
+		"touch":  "()V",
+	}
+	if len(p.Entrypoints) != len(want) {
+		t.Fatalf("Entrypoints = %v, want %v", p.Entrypoints, want)
+	}
+	for name, desc := range want {
+		if p.Entrypoints[name] != desc {
+			t.Errorf("Entrypoints[%q] = %q, want %q", name, p.Entrypoints[name], desc)
+		}
+	}
+	if got := p.EntrypointNames(); strings.Join(got, " ") != "lookup main touch" {
+		t.Errorf("EntrypointNames() = %v", got)
+	}
+	// Instance methods and constructors must not leak into the table.
+	if _, ok := p.Entrypoints["instanceMethod"]; ok {
+		t.Error("instance method published as an entrypoint")
+	}
+}

@@ -1,8 +1,13 @@
 package runtime
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"autodist/internal/bytecode"
 	"autodist/internal/rewrite"
@@ -53,9 +58,49 @@ type Options struct {
 }
 
 // Cluster is a set of nodes executing one distributed program.
+//
+// A cluster follows a deployment lifecycle rather than a one-shot run:
+// Start brings up every node's Message Exchange service and keeps it
+// serving; InvokeEntry executes a named static entrypoint of the
+// ExecutionStarter class (as many times as the caller likes, from any
+// goroutine); Shutdown drains in-flight invocations, flushes
+// asynchronous batches through the final barrier, and stops the nodes.
+// Run wraps the three for the classic batch semantics.
+//
+// Coherence state — the dynamic ownership map, forwarding hints, the
+// write-once cache, read replicas, affinity counters — persists across
+// invocations, so migrations and replicas learned serving one request
+// speed up the next (NodeStats.RetainedHits counts exactly those
+// cross-invocation hits).
 type Cluster struct {
 	Nodes []*Node
 	opts  Options
+
+	// invokeMu serialises logical-thread execution at the starter:
+	// InvokeEntry is safe to call from many goroutines, but the
+	// runtime's single-logical-thread protocol admits one application
+	// thread at a time. Everything below the starter — the serve
+	// loops, batch workers, the adaptive coordinator, the replication
+	// protocol — keeps running across and between invocations.
+	invokeMu sync.Mutex
+
+	// stateMu guards the lifecycle flags and in-flight registration.
+	stateMu  sync.Mutex
+	started  bool
+	closed   bool
+	inflight sync.WaitGroup
+	stopOnce sync.Once
+
+	// invokeEpoch counts entrypoint invocations; coherence entries are
+	// stamped with it so cross-invocation retention is observable.
+	invokeEpoch int64
+
+	// simSnapshot is node 0's virtual clock as of the last completed
+	// invocation (math.Float64bits, updated under invokeMu, read
+	// atomically). Live Stats readers use it instead of the VM's raw
+	// cycle counter, which the interpreter increments without
+	// synchronisation while an invocation runs.
+	simSnapshot uint64
 }
 
 // NewCluster builds nodes from per-node rewritten programs and
@@ -91,6 +136,7 @@ func NewCluster(progs []*bytecode.Program, plan *rewrite.Plan, eps []transport.E
 		n.adaptEvery = opts.AdaptEvery
 		n.adaptEps = opts.AdaptEpsilon
 		n.adaptMinGain = opts.AdaptMinGain
+		n.coh.epoch = &c.invokeEpoch
 		if opts.Out != nil {
 			n.VM.Out = opts.Out
 		}
@@ -105,32 +151,250 @@ func NewCluster(progs []*bytecode.Program, plan *rewrite.Plan, eps []transport.E
 	return c, nil
 }
 
-// Run starts every node's Message Exchange service, lets the
-// ExecutionStarter on node 0 invoke main(), runs a final barrier so
-// outstanding asynchronous work completes (and its deferred errors
-// surface), then shuts the cluster down. It returns the error from
-// main, if any.
-func (c *Cluster) Run() error {
+// Start brings up every node's Message Exchange service and leaves the
+// cluster resident, ready to serve InvokeEntry calls. Idempotent.
+func (c *Cluster) Start() {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	if c.started || c.closed {
+		return
+	}
+	c.started = true
 	for _, n := range c.Nodes {
 		n.Serve()
 	}
-	// ExecutionStarter: exactly one copy runs, on the node where the
-	// user initiated the application (paper §5).
+}
+
+// Entrypoints returns the names of the starter entrypoints this
+// cluster can invoke, sorted.
+func (c *Cluster) Entrypoints() []string {
 	starter := c.Nodes[0]
-	runErr := starter.VM.RunMain()
-	if runErr == nil {
-		runErr = c.finalBarrier(starter)
+	if starter.Plan != nil && starter.Plan.Entrypoints != nil {
+		return starter.Plan.EntrypointNames()
+	}
+	prog := starter.VM.Program()
+	cf := prog.Class(prog.MainClass)
+	if cf == nil {
+		return nil
+	}
+	var out []string
+	for i := range cf.Methods {
+		m := &cf.Methods[i]
+		if m.IsEntrypoint() {
+			out = append(out, m.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// resolveEntry maps an entrypoint name to the starter class and method
+// descriptor, consulting the plan's entrypoint table first and falling
+// back to scanning the starter program (plans predating the table).
+func (c *Cluster) resolveEntry(name string) (class, desc string, err error) {
+	starter := c.Nodes[0]
+	prog := starter.VM.Program()
+	if prog.MainClass == "" {
+		return "", "", fmt.Errorf("runtime: program has no main class")
+	}
+	if p := starter.Plan; p != nil && p.Entrypoints != nil {
+		if d, ok := p.Entrypoints[name]; ok {
+			return p.MainClass, d, nil
+		}
+		return "", "", fmt.Errorf("runtime: %s has no static entrypoint %q (have %v)",
+			p.MainClass, name, p.EntrypointNames())
+	}
+	cf := prog.Class(prog.MainClass)
+	if cf == nil {
+		return "", "", fmt.Errorf("runtime: main class %s not loaded", prog.MainClass)
+	}
+	for i := range cf.Methods {
+		m := &cf.Methods[i]
+		if m.Name == name && m.IsEntrypoint() {
+			return cf.Name, m.Desc, nil
+		}
+	}
+	return "", "", fmt.Errorf("runtime: %s has no static entrypoint %q", prog.MainClass, name)
+}
+
+// InvokeEntry executes one named static entrypoint of the
+// ExecutionStarter on node 0 and returns its value together with the
+// per-invocation traffic delta. It is safe to call from multiple
+// goroutines: invocations serialise at the starter (the protocol has a
+// single logical thread of control) while the rest of the cluster —
+// coherence, replication, the adaptive coordinator — keeps running, so
+// state learned serving one invocation speeds up the next.
+func (c *Cluster) InvokeEntry(name string, args []vm.Value) (vm.Value, NodeStats, error) {
+	c.stateMu.Lock()
+	if !c.started {
+		c.stateMu.Unlock()
+		return nil, NodeStats{}, fmt.Errorf("runtime: cluster not started")
+	}
+	if c.closed {
+		c.stateMu.Unlock()
+		return nil, NodeStats{}, fmt.Errorf("runtime: cluster is shut down")
+	}
+	c.inflight.Add(1)
+	c.stateMu.Unlock()
+	defer c.inflight.Done()
+
+	c.invokeMu.Lock()
+	defer c.invokeMu.Unlock()
+
+	class, desc, err := c.resolveEntry(name)
+	if err != nil {
+		return nil, NodeStats{}, err
+	}
+	params, _, err := bytecode.ParseMethodDesc(desc)
+	if err != nil {
+		return nil, NodeStats{}, fmt.Errorf("runtime: entrypoint %s.%s: %w", class, name, err)
+	}
+	if len(args) != len(params) {
+		return nil, NodeStats{}, fmt.Errorf("runtime: entrypoint %s.%s takes %d argument(s), got %d",
+			class, name, len(params), len(args))
+	}
+	// Type-check at the service boundary: a mistyped value would
+	// otherwise panic the interpreter deep inside a serve goroutine —
+	// one malformed request must not kill a resident cluster.
+	for i, p := range params {
+		if err := checkArgType(args[i], p); err != nil {
+			return nil, NodeStats{}, fmt.Errorf("runtime: entrypoint %s.%s argument %d: %w", class, name, i+1, err)
+		}
+	}
+	atomic.AddInt64(&c.invokeEpoch, 1)
+	before := c.TotalStats()
+	starter := c.Nodes[0]
+	v, err := starter.VM.CallMethod(class, name, desc, args)
+	delta := c.TotalStats()
+	delta.sub(before)
+	atomic.StoreUint64(&c.simSnapshot, math.Float64bits(starter.VM.SimSeconds()))
+	if err != nil {
+		return nil, delta, err
+	}
+	return starter.canonicalize(v), delta, nil
+}
+
+// checkArgType rejects an invocation argument whose dynamic type does
+// not match the entrypoint's parameter descriptor.
+func checkArgType(v vm.Value, desc string) error {
+	switch bytecode.DescKind(desc) {
+	case bytecode.DescInt, bytecode.DescLong, bytecode.DescBool:
+		if _, ok := v.(int64); !ok {
+			return fmt.Errorf("want int (%s), got %T", desc, v)
+		}
+	case bytecode.DescFloat:
+		if _, ok := v.(float64); !ok {
+			return fmt.Errorf("want float (%s), got %T", desc, v)
+		}
+	case bytecode.DescString:
+		if _, ok := v.(string); !ok {
+			return fmt.Errorf("want string, got %T", v)
+		}
+	case bytecode.DescArray:
+		if _, ok := v.(*vm.Array); v != nil && !ok {
+			return fmt.Errorf("want array (%s), got %T", desc, v)
+		}
+	default:
+		if _, ok := v.(*vm.Object); v != nil && !ok {
+			return fmt.Errorf("want object (%s), got %T", desc, v)
+		}
+	}
+	return nil
+}
+
+// Invocations returns the number of entrypoint invocations so far.
+func (c *Cluster) Invocations() int64 {
+	return atomic.LoadInt64(&c.invokeEpoch)
+}
+
+// Shutdown drains the cluster and stops it: it waits for in-flight
+// invocations (no new ones are admitted), flushes outstanding
+// asynchronous batches and runs the final barrier — so fire-and-forget
+// work finishes and any deferred asynchronous failure surfaces as the
+// returned error — then broadcasts shutdown and waits for every serve
+// loop. A cancelled context skips the drain and barrier and stops the
+// nodes immediately. Idempotent: later calls return nil.
+func (c *Cluster) Shutdown(ctx context.Context) error {
+	c.stateMu.Lock()
+	if c.closed {
+		c.stateMu.Unlock()
+		return nil
+	}
+	c.closed = true
+	started := c.started
+	c.stateMu.Unlock()
+	if !started {
+		for _, n := range c.Nodes {
+			_ = n.EP.Close()
+		}
+		return nil
 	}
 
-	// Broadcast shutdown (including to ourselves to stop the serve
-	// loop).
-	for rank := len(c.Nodes) - 1; rank >= 0; rank-- {
-		_ = starter.EP.Send(transport.Message{To: rank, Kind: KindShutdown})
+	drained := true
+	done := make(chan struct{})
+	go func() { c.inflight.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		drained = false
 	}
-	for _, n := range c.Nodes {
-		n.wg.Wait()
+	var err error
+	if drained {
+		err = c.finalBarrier(c.Nodes[0])
 	}
-	return runErr
+	atomic.StoreUint64(&c.simSnapshot, math.Float64bits(c.Nodes[0].VM.SimSeconds()))
+	c.stop()
+	if err == nil && !drained {
+		err = ctx.Err()
+	}
+	return err
+}
+
+// Kill stops the cluster immediately: no drain, no final barrier. The
+// batch Run path uses it after a failed main(); services should prefer
+// Shutdown.
+func (c *Cluster) Kill() {
+	c.stateMu.Lock()
+	c.closed = true
+	started := c.started
+	c.stateMu.Unlock()
+	if !started {
+		for _, n := range c.Nodes {
+			_ = n.EP.Close()
+		}
+		return
+	}
+	c.stop()
+}
+
+// stop broadcasts shutdown (including to the starter itself, stopping
+// its serve loop) and waits for every node to wind down.
+func (c *Cluster) stop() {
+	c.stopOnce.Do(func() {
+		starter := c.Nodes[0]
+		for rank := len(c.Nodes) - 1; rank >= 0; rank-- {
+			_ = starter.EP.Send(transport.Message{To: rank, Kind: KindShutdown})
+		}
+		for _, n := range c.Nodes {
+			n.wg.Wait()
+		}
+	})
+}
+
+// Run executes the classic batch lifecycle: start every node's Message
+// Exchange service, let the ExecutionStarter on node 0 invoke main()
+// once (paper §5), run the final barrier so outstanding asynchronous
+// work completes (and its deferred errors surface), then shut the
+// cluster down. It returns the error from main, if any.
+func (c *Cluster) Run() error {
+	c.Start()
+	if _, _, err := c.InvokeEntry("main", nil); err != nil {
+		// Match the one-shot contract: a failed main skips the final
+		// barrier but still stops every node.
+		c.Kill()
+		return err
+	}
+	return c.Shutdown(context.Background())
 }
 
 // finalBarrier flushes the starter's asynchronous buffers and then
@@ -178,11 +442,23 @@ func (c *Cluster) finalBarrier(starter *Node) error {
 
 // SimSeconds returns node 0's virtual completion time (the distributed
 // execution time of §7.2, measured where the user started the program).
+// Only call on a quiescent cluster — after Run or Shutdown; live
+// readers must use SimSecondsObserved.
 func (c *Cluster) SimSeconds() float64 {
 	return c.Nodes[0].VM.SimSeconds()
 }
 
-// TotalStats sums protocol counters over all nodes.
+// SimSecondsObserved returns node 0's virtual clock as of the last
+// completed invocation (and, after Shutdown, the final barrier). Safe
+// to call on a live cluster: the interpreter advances the raw cycle
+// counter without synchronisation mid-invocation, so live readers get
+// this invocation-boundary snapshot instead.
+func (c *Cluster) SimSecondsObserved() float64 {
+	return math.Float64frombits(atomic.LoadUint64(&c.simSnapshot))
+}
+
+// TotalStats sums protocol counters over all nodes. Counters are read
+// atomically, so it is safe to call on a live cluster mid-invocation.
 func (c *Cluster) TotalStats() NodeStats {
 	var s NodeStats
 	for _, n := range c.Nodes {
@@ -200,7 +476,7 @@ func RunDistributed(progs []*bytecode.Program, plan *rewrite.Plan, opts Options)
 	eps := transport.NewInProc(len(progs))
 	c, err := NewCluster(progs, plan, eps, opts)
 	if err != nil {
-		return nil, err
+		return c, err
 	}
 	if err := c.Run(); err != nil {
 		return c, err

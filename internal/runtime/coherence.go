@@ -3,6 +3,7 @@ package runtime
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"autodist/internal/vm"
 )
@@ -29,6 +30,22 @@ import (
 type coherence struct {
 	mu   sync.Mutex
 	ents map[int64]*cohEntry
+
+	// epoch points at the cluster's invocation counter (nil outside a
+	// cluster). Cache and replica entries are stamped with the epoch
+	// they were filled in, so a hit can tell whether it is being served
+	// from state learned in an earlier entrypoint invocation — the
+	// cross-invocation retention the deployment lifecycle promises.
+	epoch *int64
+}
+
+// curEpoch reads the cluster's current invocation epoch (0 when the
+// node is not part of an invocation-counting cluster).
+func (c *coherence) curEpoch() int64 {
+	if c.epoch == nil {
+		return 0
+	}
+	return atomic.LoadInt64(c.epoch)
 }
 
 // cohEntry is one object's coherence state on this node.
@@ -44,14 +61,18 @@ type cohEntry struct {
 	// once caches write-once field reads. A write can never invalidate
 	// them (the facts pass proved there are no writes); only a home
 	// move discards them, conservatively, with everything else.
-	once map[string]vm.Value
+	// onceEpoch records the invocation epoch each entry was filled in.
+	once      map[string]vm.Value
+	onceEpoch map[string]int64
 
 	// replica is the installed field-snapshot shadow, nil when no
 	// valid replica is held. gen counts invalidation events
 	// (INVALIDATE frames and Moved notices); an install racing an
-	// invalidation is discarded by comparing gen.
-	replica *vm.Object
-	gen     uint64
+	// invalidation is discarded by comparing gen. replicaEpoch records
+	// the invocation epoch the shadow was installed in.
+	replica      *vm.Object
+	gen          uint64
+	replicaEpoch int64
 
 	// denied records an owner's refusal to replicate the object, so
 	// the reader stops asking and uses plain remote reads.
@@ -108,6 +129,7 @@ func (c *coherence) learn(id int64, newHome int, self int, ownedHere bool) {
 	c.mu.Lock()
 	e := c.ent(id)
 	e.once = nil
+	e.onceEpoch = nil
 	e.replica = nil
 	e.gen++
 	if !ownedHere && newHome != self {
@@ -125,6 +147,7 @@ func (c *coherence) becomeOwner(id int64, readers []int, self int) {
 	e := c.ent(id)
 	e.hintValid = false
 	e.once = nil
+	e.onceEpoch = nil
 	e.replica = nil
 	e.gen++
 	e.readers = nil
@@ -142,34 +165,56 @@ func (c *coherence) becomeOwner(id int64, readers []int, self int) {
 
 // cachedOnce returns a write-once cache entry.
 func (c *coherence) cachedOnce(id int64, member string) (vm.Value, bool) {
+	v, _, ok := c.cachedOnceHit(id, member)
+	return v, ok
+}
+
+// cachedOnceHit returns a write-once cache entry plus whether the hit
+// is *retained* — served from an entry filled during an earlier
+// invocation epoch.
+func (c *coherence) cachedOnceHit(id int64, member string) (v vm.Value, retained, ok bool) {
+	cur := c.curEpoch()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e := c.ents[id]; e != nil && e.once != nil {
-		v, ok := e.once[member]
-		return v, ok
+		v, ok = e.once[member]
+		retained = ok && cur > 0 && e.onceEpoch[member] < cur
+		return v, retained, ok
 	}
-	return nil, false
+	return nil, false, false
 }
 
-// storeOnce populates the write-once cache.
+// storeOnce populates the write-once cache, stamping the entry with
+// the current invocation epoch.
 func (c *coherence) storeOnce(id int64, member string, v vm.Value) {
+	cur := c.curEpoch()
 	c.mu.Lock()
 	e := c.ent(id)
 	if e.once == nil {
 		e.once = map[string]vm.Value{}
+		e.onceEpoch = map[string]int64{}
 	}
 	e.once[member] = v
+	e.onceEpoch[member] = cur
 	c.mu.Unlock()
 }
 
 // replicaShadow returns the object's valid replica shadow, if any.
 func (c *coherence) replicaShadow(id int64) (*vm.Object, bool) {
+	o, _, ok := c.replicaShadowHit(id)
+	return o, ok
+}
+
+// replicaShadowHit returns the replica shadow plus whether the hit is
+// retained from an earlier invocation epoch.
+func (c *coherence) replicaShadowHit(id int64) (o *vm.Object, retained, ok bool) {
+	cur := c.curEpoch()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e := c.ents[id]; e != nil && e.replica != nil {
-		return e.replica, true
+		return e.replica, cur > 0 && e.replicaEpoch < cur, true
 	}
-	return nil, false
+	return nil, false, false
 }
 
 // replicaGen reads the invalidation generation a fetch must present to
@@ -188,6 +233,7 @@ func (c *coherence) replicaGen(id int64) uint64 {
 // predate a write and must not be served beyond the access that
 // fetched it. Reports whether the install took.
 func (c *coherence) installReplica(id int64, shadow *vm.Object, gen uint64) bool {
+	cur := c.curEpoch()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	e := c.ent(id)
@@ -195,6 +241,7 @@ func (c *coherence) installReplica(id int64, shadow *vm.Object, gen uint64) bool
 		return false
 	}
 	e.replica = shadow
+	e.replicaEpoch = cur
 	return true
 }
 

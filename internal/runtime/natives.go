@@ -227,8 +227,11 @@ func (n *Node) remoteDispatch(home int, id int64, kind int, member string, acc [
 	case kind == rewrite.GetFieldCached && !n.Unoptimized:
 		// Write-once reads: the never-invalidated special case of the
 		// coherence layer — only a home move drops these entries.
-		if v, ok := n.coh.cachedOnce(id, member); ok {
+		if v, retained, ok := n.coh.cachedOnceHit(id, member); ok {
 			atomic.AddInt64(&n.Stats.CacheHits, 1)
+			if retained {
+				atomic.AddInt64(&n.Stats.RetainedHits, 1)
+			}
 			return v, nil
 		}
 		v, err := n.remoteAccess(home, id, kind, member, acc)
@@ -244,8 +247,11 @@ func (n *Node) remoteDispatch(home int, id int64, kind int, member string, acc [
 		return v, nil
 	case (kind == rewrite.GetFieldReplicated || kind == rewrite.InvokeReplicaRead) &&
 		n.replicate && !n.Unoptimized:
-		if shadow, ok := n.coh.replicaShadow(id); ok {
+		if shadow, retained, ok := n.coh.replicaShadowHit(id); ok {
 			atomic.AddInt64(&n.Stats.ReplicaHits, 1)
+			if retained {
+				atomic.AddInt64(&n.Stats.RetainedHits, 1)
+			}
 			return n.replicaServe(shadow, kind, member, acc)
 		}
 		if !n.coh.replicaDenied(id) {

@@ -194,6 +194,12 @@ type NodeStats struct {
 	ReplicaHits    int64
 	ReplicaFetches int64
 	Invalidations  int64
+	// RetainedHits counts cache and replica hits served from entries
+	// installed during an *earlier* entrypoint invocation of a resident
+	// cluster — the proof that coherence state (and the speedups it
+	// buys) survives across Cluster.Invoke calls. Always zero on
+	// one-shot runs (there is no earlier invocation).
+	RetainedHits int64
 }
 
 // add accumulates s2 into s.
@@ -211,6 +217,25 @@ func (s *NodeStats) add(s2 NodeStats) {
 	s.ReplicaHits += s2.ReplicaHits
 	s.ReplicaFetches += s2.ReplicaFetches
 	s.Invalidations += s2.Invalidations
+	s.RetainedHits += s2.RetainedHits
+}
+
+// sub subtracts s2 from s (for per-invocation deltas of snapshots).
+func (s *NodeStats) sub(s2 NodeStats) {
+	s.NewRequests -= s2.NewRequests
+	s.DepRequests -= s2.DepRequests
+	s.BytesSent -= s2.BytesSent
+	s.MessagesSent -= s2.MessagesSent
+	s.CacheHits -= s2.CacheHits
+	s.AsyncCalls -= s2.AsyncCalls
+	s.BatchFrames -= s2.BatchFrames
+	s.BatchedRequests -= s2.BatchedRequests
+	s.Migrations -= s2.Migrations
+	s.Forwards -= s2.Forwards
+	s.ReplicaHits -= s2.ReplicaHits
+	s.ReplicaFetches -= s2.ReplicaFetches
+	s.Invalidations -= s2.Invalidations
+	s.RetainedHits -= s2.RetainedHits
 }
 
 // snapshot returns an atomically loaded copy.
@@ -229,6 +254,7 @@ func (s *NodeStats) snapshot() NodeStats {
 		ReplicaHits:     atomic.LoadInt64(&s.ReplicaHits),
 		ReplicaFetches:  atomic.LoadInt64(&s.ReplicaFetches),
 		Invalidations:   atomic.LoadInt64(&s.Invalidations),
+		RetainedHits:    atomic.LoadInt64(&s.RetainedHits),
 	}
 }
 

@@ -1,6 +1,8 @@
 package vm
 
 import (
+	"sync/atomic"
+
 	"autodist/internal/bytecode"
 )
 
@@ -105,7 +107,7 @@ func (vm *VM) run(c *Class, m *bytecode.Method, args []Value) (Value, error) {
 		}
 		in := code[pc]
 		if vm.Time != nil {
-			vm.Cycles += cycleCost(in.Op)
+			atomic.AddUint64(&vm.Cycles, cycleCost(in.Op))
 		}
 
 		switch in.Op {

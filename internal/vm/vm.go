@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"autodist/internal/bytecode"
@@ -69,7 +70,10 @@ type VM struct {
 	// instructions (0 = unlimited); a safety net for tests.
 	MaxSteps uint64
 
-	// Cycles is the accumulated simulated cycle count.
+	// Cycles is the accumulated simulated cycle count. Accessed
+	// atomically: the distributed runtime's serve goroutines charge
+	// communication costs (ChargeCycles) concurrently with the
+	// interpreter, and live Stats readers sample SimSeconds.
 	Cycles uint64
 
 	steps    uint64
@@ -328,16 +332,16 @@ func (vm *VM) SimSeconds() float64 {
 	if vm.Time == nil || vm.Time.CyclesPerSecond <= 0 {
 		return 0
 	}
-	return float64(vm.Cycles) / vm.Time.CyclesPerSecond
+	return float64(atomic.LoadUint64(&vm.Cycles)) / vm.Time.CyclesPerSecond
 }
 
 // ChargeCycles adds simulated cycles from outside the interpreter (the
 // transport charges communication costs this way).
-func (vm *VM) ChargeCycles(n uint64) { vm.Cycles += n }
+func (vm *VM) ChargeCycles(n uint64) { atomic.AddUint64(&vm.Cycles, n) }
 
 func (vm *VM) charge(n uint64) {
 	if vm.Time != nil {
-		vm.Cycles += n
+		atomic.AddUint64(&vm.Cycles, n)
 	}
 }
 

@@ -1,6 +1,7 @@
 package autodist
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
@@ -16,7 +17,6 @@ import (
 	"autodist/internal/quad"
 	"autodist/internal/rewrite"
 	"autodist/internal/runtime"
-	"autodist/internal/transport"
 	"autodist/internal/vm"
 )
 
@@ -37,9 +37,20 @@ func CompileString(srcs ...string) (*Program, error) {
 	return &Program{Bytecode: bp, Checked: checked}, nil
 }
 
-// RunOptions configures sequential and distributed execution.
-type RunOptions struct {
-	// Out receives program output; defaults to io.Discard.
+// Config configures execution — sequential, one-shot distributed, or a
+// resident deployment. It is the one validated home for what used to
+// be an accreted flag soup: Validate is the single source of truth for
+// incoherent combinations, shared by Deploy, Run and the CLI
+// front-ends (cmd/jdrun builds a Config from its flags and validates
+// it instead of re-checking pairwise conflicts by hand).
+type Config struct {
+	// K is the node count the configuration targets. Deploy and
+	// Distribution.Run fill it from the plan; CLI front-ends set it
+	// from their -k flag so Validate can reject distribution-only
+	// options on sequential invocations. Zero or one means sequential.
+	K int
+	// Out receives program output; defaults to capturing into the
+	// result's Output field.
 	Out io.Writer
 	// MaxSteps bounds interpretation (0 = default safety limit).
 	MaxSteps uint64
@@ -55,10 +66,15 @@ type RunOptions struct {
 	// (proxy-side caching of write-once fields, fire-and-forget
 	// asynchronous void calls, batching) for A/B measurement.
 	Unoptimized bool
+	// Adaptive records that the partition is an initial placement with
+	// live object migration. Deploy and Distribution.Run fill it from
+	// the plan (distributions built with Plan.RewriteAdaptive or
+	// RewriteOptions.Adaptive); CLI front-ends set it from -adaptive.
+	Adaptive bool
 	// AdaptEvery sets the adaptive-repartitioning epoch length in
-	// synchronous requests. It only applies to distributions built with
-	// Plan.RewriteAdaptive, which default to DefaultAdaptEvery when
-	// this is zero; on static distributions it must stay zero.
+	// synchronous requests. It only applies to adaptive distributions,
+	// which default to DefaultAdaptEvery when this is zero; on static
+	// distributions it must stay zero.
 	AdaptEvery int
 	// Replicate enables the coherence layer's read-replication
 	// protocol: proxies satisfy reads of replication-candidate classes
@@ -69,6 +85,46 @@ type RunOptions struct {
 	// its stamped access kinds degrade to plain synchronous accesses
 	// (the A/B baseline on identical bytecode).
 	Replicate bool
+}
+
+// RunOptions is the legacy name for Config; every existing caller
+// keeps compiling and behaving identically.
+type RunOptions = Config
+
+// Validate rejects incoherent option combinations. It is the one
+// source of truth for the pairwise conflict rules: distribution-only
+// options on a sequential configuration, the adaptation epoch without
+// an adaptive distribution, replication with the optimisations
+// disabled, and a virtual-clock speed table shorter than the cluster.
+func (c *Config) Validate() error {
+	if c.K < 0 {
+		return fmt.Errorf("autodist: negative node count %d", c.K)
+	}
+	if c.AdaptEvery < 0 {
+		return fmt.Errorf("autodist: negative adaptation epoch %d", c.AdaptEvery)
+	}
+	if c.K <= 1 {
+		switch {
+		case c.Adaptive:
+			return fmt.Errorf("autodist: Adaptive requires a distributed run (K ≥ 2)")
+		case c.Replicate:
+			return fmt.Errorf("autodist: Replicate requires a distributed run (K ≥ 2)")
+		case c.Unoptimized:
+			return fmt.Errorf("autodist: Unoptimized requires a distributed run (K ≥ 2)")
+		case c.TCP:
+			return fmt.Errorf("autodist: TCP requires a distributed run (K ≥ 2)")
+		}
+	}
+	if c.AdaptEvery > 0 && !c.Adaptive {
+		return fmt.Errorf("autodist: AdaptEvery requires an adaptive distribution (Plan.RewriteAdaptive / -adaptive)")
+	}
+	if c.Replicate && c.Unoptimized {
+		return fmt.Errorf("autodist: Unoptimized disables the optimisations Replicate enables; pick one")
+	}
+	if c.K > 1 && len(c.CPUSpeeds) > 0 && len(c.CPUSpeeds) < c.K {
+		return fmt.Errorf("autodist: CPUSpeeds has %d entries for %d nodes", len(c.CPUSpeeds), c.K)
+	}
+	return nil
 }
 
 // DefaultAdaptEvery is the adaptation epoch applied to adaptive
@@ -82,8 +138,12 @@ const defaultMaxSteps = 2_000_000_000
 
 // RunResult reports an execution's outcome.
 type RunResult struct {
-	// Output is the program's printed output when Out was nil.
-	Output string
+	// Output is the program's printed output when Out was nil. For
+	// resident deployments the capture is bounded; OutputDropped
+	// counts bytes discarded past the bound (always 0 for batch and
+	// sequential runs — pass Config.Out to stream full output).
+	Output        string
+	OutputDropped int64
 	// Wall is the host-measured execution time.
 	Wall time.Duration
 	// SimSeconds is the virtual-clock completion time (0 without
@@ -115,26 +175,67 @@ type RunResult struct {
 	ReplicaHits    int64
 	ReplicaFetches int64
 	Invalidations  int64
+	// RetainedHits counts cache and replica hits served from state
+	// learned during an earlier Cluster.Invoke call — the
+	// cross-invocation retention of a resident deployment. Always zero
+	// on one-shot runs.
+	RetainedHits int64
+}
+
+// fillStats copies the runtime's protocol counters into the result.
+func (r *RunResult) fillStats(s runtime.NodeStats) {
+	r.Messages = s.MessagesSent
+	r.BytesSent = s.BytesSent
+	r.CacheHits = s.CacheHits
+	r.AsyncCalls = s.AsyncCalls
+	r.BatchFrames = s.BatchFrames
+	r.Migrations = s.Migrations
+	r.Forwards = s.Forwards
+	r.ReplicaHits = s.ReplicaHits
+	r.ReplicaFetches = s.ReplicaFetches
+	r.Invalidations = s.Invalidations
+	r.RetainedHits = s.RetainedHits
+}
+
+// newVM is the shared VM-setup path of Program.Run and
+// Program.Profile (Deploy builds its per-node VMs through
+// runtime.NewCluster, but applies the same out-writer capture and
+// MaxSteps default): it clones the bytecode into a fresh interpreter,
+// wires the out-writer (capturing into the returned builder when
+// cfg.Out is nil), applies the MaxSteps safety default, and installs
+// the virtual clock when CPU speeds are configured.
+func (p *Program) newVM(cfg Config) (*vm.VM, *strings.Builder, error) {
+	if cfg.K > 1 {
+		return nil, nil, fmt.Errorf("autodist: sequential execution cannot honour K = %d (use Distribution.Deploy or Run)", cfg.K)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, nil, err
+	}
+	machine, err := vm.New(p.Bytecode.Clone())
+	if err != nil {
+		return nil, nil, err
+	}
+	sb := &strings.Builder{}
+	if cfg.Out != nil {
+		machine.Out = cfg.Out
+	} else {
+		machine.Out = sb
+	}
+	machine.MaxSteps = cfg.MaxSteps
+	if machine.MaxSteps == 0 {
+		machine.MaxSteps = defaultMaxSteps
+	}
+	if len(cfg.CPUSpeeds) > 0 {
+		machine.Time = &vm.TimeModel{CyclesPerSecond: cfg.CPUSpeeds[0]}
+	}
+	return machine, sb, nil
 }
 
 // Run executes the program sequentially on one VM.
 func (p *Program) Run(opts RunOptions) (*RunResult, error) {
-	machine, err := vm.New(p.Bytecode.Clone())
+	machine, sb, err := p.newVM(opts)
 	if err != nil {
 		return nil, err
-	}
-	var sb strings.Builder
-	if opts.Out != nil {
-		machine.Out = opts.Out
-	} else {
-		machine.Out = &sb
-	}
-	machine.MaxSteps = opts.MaxSteps
-	if machine.MaxSteps == 0 {
-		machine.MaxSteps = defaultMaxSteps
-	}
-	if len(opts.CPUSpeeds) > 0 {
-		machine.Time = &vm.TimeModel{CyclesPerSecond: opts.CPUSpeeds[0]}
 	}
 	start := time.Now()
 	if err := machine.RunMain(); err != nil {
@@ -150,26 +251,16 @@ func (p *Program) Run(opts RunOptions) (*RunResult, error) {
 // Profile runs the program under one profiler metric and returns the
 // profiler alongside the run result.
 func (p *Program) Profile(metric ProfileMetric, opts RunOptions) (*profiler.Profiler, *RunResult, error) {
-	machine, err := vm.New(p.Bytecode.Clone())
+	machine, sb, err := p.newVM(opts)
 	if err != nil {
 		return nil, nil, err
-	}
-	var sb strings.Builder
-	if opts.Out != nil {
-		machine.Out = opts.Out
-	} else {
-		machine.Out = &sb
-	}
-	machine.MaxSteps = opts.MaxSteps
-	if machine.MaxSteps == 0 {
-		machine.MaxSteps = defaultMaxSteps
 	}
 	prof := profiler.Attach(machine, metric)
 	start := time.Now()
 	if err := machine.RunMain(); err != nil {
 		return nil, nil, err
 	}
-	return prof, &RunResult{Output: sb.String(), Wall: time.Since(start)}, nil
+	return prof, &RunResult{Output: sb.String(), Wall: time.Since(start), SimSeconds: machine.SimSeconds()}, nil
 }
 
 // ProfileMetric re-exports the profiler's metric enum.
@@ -286,64 +377,23 @@ func (pl *Plan) RewriteWith(opts RewriteOptions) (*Distribution, error) {
 	return &Distribution{Plan: pl, Result: res}, nil
 }
 
-// Run executes the distributed program (paper §5): one node per
-// partition, ExecutionStarter on node 0.
+// Run executes the distributed program as a one-shot batch (paper §5):
+// one node per partition, ExecutionStarter on node 0. It is a thin
+// wrapper over the deployment lifecycle — Deploy, Invoke("main"),
+// Shutdown — preserved so batch callers need not manage a Cluster.
 func (d *Distribution) Run(opts RunOptions) (*RunResult, error) {
-	k := d.Plan.K
-	var eps []transport.Endpoint
-	if opts.TCP {
-		var err error
-		eps, err = transport.NewTCPCluster(k)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		eps = transport.NewInProc(k)
-	}
-	var sb strings.Builder
-	out := opts.Out
-	if out == nil {
-		out = &sb
-	}
-	maxSteps := opts.MaxSteps
-	if maxSteps == 0 {
-		maxSteps = defaultMaxSteps
-	}
-	progs := make([]*bytecode.Program, k)
-	for i, np := range d.Result.Nodes {
-		progs[i] = np
-	}
-	adaptEvery := opts.AdaptEvery
-	if d.Result.Plan.Adaptive && adaptEvery == 0 {
-		adaptEvery = DefaultAdaptEvery
-	}
-	cluster, err := runtime.NewCluster(progs, d.Result.Plan, eps, runtime.Options{
-		Out: out, CPUSpeeds: opts.CPUSpeeds, Net: opts.Net, MaxSteps: maxSteps,
-		Unoptimized: opts.Unoptimized, AdaptEvery: adaptEvery, Replicate: opts.Replicate,
-	})
+	cluster, err := d.Deploy(opts)
 	if err != nil {
 		return nil, err
 	}
-	start := time.Now()
-	if err := cluster.Run(); err != nil {
+	if _, err := cluster.Invoke("main"); err != nil {
+		cluster.Kill()
 		return nil, err
 	}
-	stats := cluster.TotalStats()
-	return &RunResult{
-		Output:         sb.String(),
-		Wall:           time.Since(start),
-		SimSeconds:     cluster.SimSeconds(),
-		Messages:       stats.MessagesSent,
-		BytesSent:      stats.BytesSent,
-		CacheHits:      stats.CacheHits,
-		AsyncCalls:     stats.AsyncCalls,
-		BatchFrames:    stats.BatchFrames,
-		Migrations:     stats.Migrations,
-		Forwards:       stats.Forwards,
-		ReplicaHits:    stats.ReplicaHits,
-		ReplicaFetches: stats.ReplicaFetches,
-		Invalidations:  stats.Invalidations,
-	}, nil
+	if err := cluster.Shutdown(context.Background()); err != nil {
+		return nil, err
+	}
+	return cluster.Stats(), nil
 }
 
 // Disassemble renders a method's bytecode (empty string if missing).

@@ -1,0 +1,385 @@
+package autodist_test
+
+// Tests for the deployment lifecycle (Deploy / Invoke / Stats /
+// Shutdown) and the validated Config: a resident cluster serving many
+// entrypoint invocations, sequentially and concurrently, with
+// coherence state retained across them.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"autodist"
+)
+
+// serviceSource is the request-loop workload: main() provisions a
+// shared Table once; every other static method of Main is a service
+// entrypoint invoked against the resident cluster.
+const serviceSource = `
+class Table {
+	int label;
+	int v0; int v1; int v2; int v3;
+	Table(int label) {
+		this.label = label;
+		this.v0 = 10; this.v1 = 20; this.v2 = 30; this.v3 = 40;
+	}
+	int get(int slot) {
+		if (slot == 0) { return this.v0; }
+		if (slot == 1) { return this.v1; }
+		if (slot == 2) { return this.v2; }
+		return this.v3;
+	}
+	void put(int slot, int val) {
+		if (slot == 0) { this.v0 = val; }
+		if (slot == 1) { this.v1 = val; }
+		if (slot == 2) { this.v2 = val; }
+		if (slot == 3) { this.v3 = val; }
+	}
+	int sum() { return this.v0 + this.v1 + this.v2 + this.v3; }
+	void bump(int n) { this.v0 = this.v0 + n; }
+}
+class Main {
+	static Table t;
+	static void main() { Main.t = new Table(7); System.println("service up"); }
+	static int get(int slot) { return Main.t.get(slot); }
+	static int put(int slot, int val) { Main.t.put(slot, val); return Main.t.get(slot); }
+	static int sum() { return Main.t.sum(); }
+	static int label() { return Main.t.label; }
+	static void bump(int n) { Main.t.bump(n); }
+}
+`
+
+// deployService compiles the service workload, pins the Table on node
+// 1 (so every request crosses the wire), deploys k nodes and invokes
+// main() once to provision.
+func deployService(t testing.TB, k int, cfg autodist.Config) *autodist.Cluster {
+	t.Helper()
+	cluster, err := deployServiceErr(k, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cluster
+}
+
+// buildServiceDist compiles the service workload and rewrites it
+// k-ways with the Table pinned on node 1.
+func buildServiceDist(k int) (*autodist.Distribution, error) {
+	prog, err := autodist.CompileString(serviceSource)
+	if err != nil {
+		return nil, err
+	}
+	an, err := prog.Analyze()
+	if err != nil {
+		return nil, err
+	}
+	plan, err := an.Partition(k, autodist.PartitionOptions{Seed: 1, Epsilon: 0.6})
+	if err != nil {
+		return nil, err
+	}
+	for _, v := range an.Result.ODG.Graph.Vertices() {
+		v.Part = 0
+	}
+	for _, s := range an.Result.ODG.Sites {
+		if s.Allocated == "Table" {
+			an.Result.ODG.Graph.Vertex(s.Node).Part = 1 % k
+		}
+	}
+	return plan.Rewrite()
+}
+
+func deployServiceErr(k int, cfg autodist.Config) (*autodist.Cluster, error) {
+	dist, err := buildServiceDist(k)
+	if err != nil {
+		return nil, err
+	}
+	cluster, err := dist.Deploy(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := cluster.Invoke("main"); err != nil {
+		cluster.Kill()
+		return nil, err
+	}
+	return cluster, nil
+}
+
+// TestClusterServesEntrypoints is the acceptance scenario: a resident
+// cluster serves ≥2 distinct entrypoints across ≥10 sequential and ≥4
+// concurrent invocations with correct results.
+func TestClusterServesEntrypoints(t *testing.T) {
+	cluster := deployService(t, 2, autodist.Config{})
+	defer cluster.Shutdown(context.Background())
+
+	eps := cluster.Entrypoints()
+	want := []string{"bump", "get", "label", "main", "put", "sum"}
+	if strings.Join(eps, ",") != strings.Join(want, ",") {
+		t.Fatalf("Entrypoints() = %v, want %v", eps, want)
+	}
+
+	// ≥10 sequential invocations across three distinct entrypoints.
+	seq := []struct {
+		entry string
+		args  []autodist.Value
+		want  int64
+	}{
+		{"sum", nil, 100},
+		{"get", []autodist.Value{0}, 10},
+		{"get", []autodist.Value{3}, 40},
+		{"put", []autodist.Value{1, 25}, 25},
+		{"sum", nil, 105},
+		{"put", []autodist.Value{0, 11}, 11},
+		{"put", []autodist.Value{2, 33}, 33},
+		{"get", []autodist.Value{2}, 33},
+		{"sum", nil, 109},
+		{"get", []autodist.Value{1}, 25},
+	}
+	for i, step := range seq {
+		res, err := cluster.Invoke(step.entry, step.args...)
+		if err != nil {
+			t.Fatalf("step %d: Invoke(%s, %v): %v", i, step.entry, step.args, err)
+		}
+		if res.Value != step.want {
+			t.Fatalf("step %d: %s(%v) = %v, want %d", i, step.entry, step.args, res.Value, step.want)
+		}
+	}
+
+	// ≥4 concurrent invocations from separate goroutines: distinct
+	// slots so results are deterministic.
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for slot := int64(0); slot < 4; slot++ {
+		wg.Add(1)
+		go func(slot int64) {
+			defer wg.Done()
+			res, err := cluster.Invoke("put", slot, 1000+slot)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if res.Value != 1000+slot {
+				errs <- fmt.Errorf("concurrent put(%d) = %v, want %d", slot, res.Value, 1000+slot)
+			}
+		}(slot)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	res, err := cluster.Invoke("sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value != int64(4006) {
+		t.Fatalf("sum after concurrent puts = %v, want 4006", res.Value)
+	}
+	if n := cluster.Invocations(); n < 15 {
+		t.Errorf("Invocations() = %d, want ≥ 15", n)
+	}
+}
+
+// TestClusterRetainsStateAcrossInvokes proves coherence state persists
+// between invocations: the second identical invocation sends strictly
+// fewer messages than the first, and the RetainedHits counter pins the
+// hits to state learned in an earlier invocation.
+func TestClusterRetainsStateAcrossInvokes(t *testing.T) {
+	cluster := deployService(t, 2, autodist.Config{})
+	defer cluster.Shutdown(context.Background())
+
+	first, err := cluster.Invoke("label")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := cluster.Invoke("label")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Value != int64(7) || second.Value != int64(7) {
+		t.Fatalf("label() = %v then %v, want 7 both times", first.Value, second.Value)
+	}
+	if first.Messages == 0 {
+		t.Fatalf("first label() sent no messages; the Table is not remote from the starter")
+	}
+	if second.Messages >= first.Messages {
+		t.Errorf("second label() sent %d messages, want strictly fewer than the first's %d",
+			second.Messages, first.Messages)
+	}
+	if second.RetainedHits == 0 {
+		t.Error("second label() reported no retained hits; cross-invocation cache retention broken")
+	}
+	if total := cluster.Stats().RetainedHits; total == 0 {
+		t.Error("cluster Stats() reports no retained hits")
+	}
+}
+
+// TestClusterStatsLive reads cumulative counters off a live cluster
+// without stopping it.
+func TestClusterStatsLive(t *testing.T) {
+	cluster := deployService(t, 2, autodist.Config{})
+	defer cluster.Shutdown(context.Background())
+
+	before := cluster.Stats()
+	if _, err := cluster.Invoke("sum"); err != nil {
+		t.Fatal(err)
+	}
+	after := cluster.Stats()
+	if after.Messages <= before.Messages {
+		t.Errorf("Stats().Messages did not grow across an invocation: %d then %d",
+			before.Messages, after.Messages)
+	}
+	if !strings.Contains(after.Output, "service up") {
+		t.Errorf("live Stats().Output missing provisioning print; got %q", after.Output)
+	}
+}
+
+// TestDeployRejectsPlanMismatch: explicit Config settings that
+// contradict the distribution are errors, never silently rewritten.
+func TestDeployRejectsPlanMismatch(t *testing.T) {
+	dist, err := buildServiceDist(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dist.Deploy(autodist.Config{K: 3}); err == nil {
+		t.Error("Deploy accepted K=3 on a 2-way distribution")
+	}
+	if _, err := dist.Deploy(autodist.Config{Adaptive: true}); err == nil {
+		t.Error("Deploy accepted Adaptive on a static distribution")
+	}
+	// Matching explicit values are fine.
+	cluster, err := dist.Deploy(autodist.Config{K: 2})
+	if err != nil {
+		t.Fatalf("Deploy with matching K: %v", err)
+	}
+	cluster.Kill()
+}
+
+// TestStatsConcurrentWithInvoke reads live Stats — including the
+// virtual-clock snapshot — while invocations run; must be
+// race-detector clean.
+func TestStatsConcurrentWithInvoke(t *testing.T) {
+	cluster := deployService(t, 2, autodist.Config{CPUSpeeds: []float64{1.7e9, 8e8}})
+	defer cluster.Shutdown(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < 20; i++ {
+			if _, err := cluster.Invoke("sum"); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	var last float64
+	for i := 0; i < 50; i++ {
+		last = cluster.Stats().SimSeconds
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if final := cluster.Stats().SimSeconds; final <= 0 || final < last {
+		t.Errorf("SimSeconds snapshot went backwards or stayed zero: %v then %v", last, final)
+	}
+}
+
+// TestShutdownIdempotentAndInvokeAfterShutdown pins the lifecycle
+// edges: Shutdown twice is fine, Invoke afterwards is a clean error.
+func TestShutdownIdempotentAndInvokeAfterShutdown(t *testing.T) {
+	cluster := deployService(t, 2, autodist.Config{})
+	if err := cluster.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Shutdown(context.Background()); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+	if _, err := cluster.Invoke("sum"); err == nil {
+		t.Fatal("Invoke after Shutdown succeeded")
+	}
+}
+
+// TestConfigValidate pins the single source of truth for incoherent
+// option combinations.
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  autodist.Config
+		ok   bool
+	}{
+		{"zero value", autodist.Config{}, true},
+		{"plain distributed", autodist.Config{K: 2}, true},
+		{"adaptive distributed", autodist.Config{K: 2, Adaptive: true, AdaptEvery: 8}, true},
+		{"replicated distributed", autodist.Config{K: 3, Replicate: true}, true},
+		{"tcp sequential", autodist.Config{K: 1, TCP: true}, false},
+		{"unoptimized sequential", autodist.Config{Unoptimized: true}, false},
+		{"adaptive sequential", autodist.Config{K: 1, Adaptive: true}, false},
+		{"replicate sequential", autodist.Config{K: 0, Replicate: true}, false},
+		{"adapt-every without adaptive", autodist.Config{K: 2, AdaptEvery: 8}, false},
+		{"replicate with unoptimized", autodist.Config{K: 2, Replicate: true, Unoptimized: true}, false},
+		{"negative adapt-every", autodist.Config{K: 2, Adaptive: true, AdaptEvery: -1}, false},
+		{"negative k", autodist.Config{K: -2}, false},
+		{"short speed table", autodist.Config{K: 3, CPUSpeeds: []float64{1e9}}, false},
+		{"full speed table", autodist.Config{K: 2, CPUSpeeds: []float64{1e9, 8e8}}, true},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%s: Validate() = %v, want nil", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: Validate() accepted an incoherent config", tc.name)
+		}
+	}
+}
+
+// TestRunMatchesLifecycle proves Distribution.Run is exactly the
+// Deploy → Invoke("main") → Shutdown composition: output and traffic
+// counters agree on the bank pipeline.
+func TestRunMatchesLifecycle(t *testing.T) {
+	build := func() *autodist.Distribution {
+		prog, err := autodist.CompileString(serviceSource)
+		if err != nil {
+			t.Fatal(err)
+		}
+		an, err := prog.Analyze()
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := an.Partition(2, autodist.PartitionOptions{Seed: 1, Epsilon: 0.6})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dist, err := plan.Rewrite()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dist
+	}
+	run, err := build().Run(autodist.RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cluster, err := build().Deploy(autodist.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cluster.Invoke("main"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cluster.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	manual := cluster.Stats()
+
+	if run.Output != manual.Output {
+		t.Errorf("Run output %q != lifecycle output %q", run.Output, manual.Output)
+	}
+	if run.Messages != manual.Messages || run.BytesSent != manual.BytesSent ||
+		run.CacheHits != manual.CacheHits || run.AsyncCalls != manual.AsyncCalls {
+		t.Errorf("Run counters (%d msgs, %d B, %d hits, %d async) != lifecycle counters (%d msgs, %d B, %d hits, %d async)",
+			run.Messages, run.BytesSent, run.CacheHits, run.AsyncCalls,
+			manual.Messages, manual.BytesSent, manual.CacheHits, manual.AsyncCalls)
+	}
+}
