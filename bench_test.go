@@ -11,6 +11,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"autodist"
 	"autodist/internal/analysis"
@@ -420,6 +421,76 @@ func BenchmarkInvokeThroughput(b *testing.B) {
 			b.ReportMetric(float64(last.Messages), "msgs/run")
 		}
 	})
+}
+
+// BenchmarkConcurrentInvoke measures parallel Invoke across the
+// cluster: the same service workload (a compute entrypoint whose
+// remote read is cache-served after the first fetch) driven by 8
+// client goroutines against a serialised deployment (MaxConcurrent=1,
+// the paper's single-logical-thread protocol) and a concurrent one
+// (MaxConcurrent=8, one logical thread per in-flight invocation). On
+// a multi-core host the concurrent deployment should clear at least
+// twice the serialised invocations/sec (TestConcurrentInvokeScales
+// enforces exactly that); invocations/sec is reported as a metric
+// either way.
+func BenchmarkConcurrentInvoke(b *testing.B) {
+	const clients, workN = 8, 4000
+	for _, conc := range []int{1, 8} {
+		b.Run(fmt.Sprintf("MaxConcurrent%d", conc), func(b *testing.B) {
+			cluster, err := deployServiceErr(2, autodist.Config{MaxConcurrent: conc})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer cluster.Shutdown(context.Background())
+			// Warm the write-once cache so every measured invocation is
+			// compute + a local cache hit, the steady state.
+			if _, err := cluster.Invoke("work", 1); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			start := time.Now()
+			var wg sync.WaitGroup
+			jobs := make(chan struct{})
+			errs := make(chan error, clients)
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					// On error, record it once and keep draining jobs —
+					// a dead worker must not leave the dispatcher
+					// blocked on the unbuffered channel.
+					failed := false
+					for range jobs {
+						if failed {
+							continue
+						}
+						res, err := cluster.Invoke("work", workN)
+						if err != nil {
+							errs <- err
+							failed = true
+							continue
+						}
+						if res.Value != int64(workN*7) {
+							errs <- fmt.Errorf("work(%d) = %v", workN, res.Value)
+							failed = true
+						}
+					}
+				}()
+			}
+			for i := 0; i < b.N; i++ {
+				jobs <- struct{}{}
+			}
+			close(jobs)
+			wg.Wait()
+			b.StopTimer()
+			close(errs)
+			for err := range errs {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "invocations/s")
+		})
+	}
 }
 
 // BenchmarkReadReplication regenerates the replication A/B table and

@@ -120,6 +120,7 @@ func (d *Distribution) Deploy(cfg Config) (*Cluster, error) {
 	rt, err := runtime.NewCluster(progs, d.Result.Plan, eps, runtime.Options{
 		Out: out, CPUSpeeds: cfg.CPUSpeeds, Net: cfg.Net, MaxSteps: maxSteps,
 		Unoptimized: cfg.Unoptimized, AdaptEvery: cfg.AdaptEvery, Replicate: cfg.Replicate,
+		MaxConcurrent: cfg.MaxConcurrent,
 	})
 	if err != nil {
 		return nil, err
@@ -129,8 +130,9 @@ func (d *Distribution) Deploy(cfg Config) (*Cluster, error) {
 }
 
 // InvokeResult is one entrypoint invocation's outcome: the returned
-// value and the invocation's share of the cluster's traffic (counter
-// deltas taken while the invocation held the logical thread).
+// value and the invocation's share of the cluster's traffic — the
+// per-thread counters its logical thread accumulated on every node,
+// so the numbers stay exact when invocations run concurrently.
 type InvokeResult struct {
 	// Entry is the invoked entrypoint name.
 	Entry string
@@ -162,10 +164,15 @@ type InvokeResult struct {
 // Invoke executes a named static entrypoint of the ExecutionStarter
 // class — any static method of the main class, main() included — with
 // the given arguments, and returns its value plus per-invocation
-// traffic counters. Safe for concurrent use: invocations from
-// multiple goroutines serialise on the starter's logical thread while
-// the coherence layer, replication protocol and adaptive coordinator
-// keep running across them.
+// traffic counters (this invocation's logical thread's counters,
+// rolled up across every node — exact even while other invocations
+// run). Safe for concurrent use: up to Config.MaxConcurrent
+// invocations execute as truly concurrent logical threads across the
+// cluster, synchronising only at per-object access gates; with the
+// default of one they serialise exactly like the paper's
+// single-logical-thread protocol. The coherence layer, replication
+// protocol and adaptive coordinator keep running across and between
+// them.
 //
 // Go arguments are coerced to program values: int variants become
 // int64, bool becomes the MJ boolean encoding, float32 becomes

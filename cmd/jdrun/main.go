@@ -11,13 +11,20 @@
 //	jdrun -k 2 -adaptive prog.mj       # adaptive repartitioning with live migration
 //	jdrun -k 3 -replicate prog.mj      # read-replication with invalidate-on-write
 //	jdrun -k 2 -serve prog.mj          # deploy resident, read invocations from stdin
+//	jdrun -k 2 -serve -concurrency 8 prog.mj  # dispatch stdin invocations from 8 workers
 //
 // -serve deploys the distribution and keeps it serving: each stdin
 // line names a static entrypoint of the main class plus arguments
 // ("main", "put 2 40", …), invoked on the live cluster; results print
 // to stdout and per-invocation traffic counters to stderr. EOF drains
 // the cluster and prints the cumulative summary. Blank lines and lines
-// starting with '#' are skipped.
+// starting with '#' are skipped. -concurrency N dispatches invocations
+// from a pool of N workers — the cluster admits them as N concurrent
+// logical threads (Config.MaxConcurrent) — and prints per-thread
+// counters in the summary; the default of 1 keeps the REPL strictly
+// sequential. The first line (conventionally main, the provisioning
+// step) always completes before the pool dispatches the rest, so later
+// invocations can depend on the state it creates.
 //
 // -adaptive=off and -replicate=off (the defaults) keep today's static
 // behaviour exactly — the partition is a compile-time contract and
@@ -37,6 +44,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"sync"
 
 	"autodist"
 	"autodist/internal/experiments"
@@ -53,6 +61,7 @@ func main() {
 	replicate := flag.Bool("replicate", false, "replicate read-mostly objects onto reader nodes (invalidate-on-write coherence)")
 	sim := flag.Bool("sim", false, "enable the virtual clock (paper's heterogeneous testbed)")
 	serve := flag.Bool("serve", false, "deploy the cluster resident and invoke entrypoints read from stdin")
+	concurrency := flag.Int("concurrency", 1, "worker-pool size for -serve: invocations run as this many concurrent logical threads")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		flag.Usage()
@@ -74,6 +83,7 @@ func main() {
 	cfg := autodist.Config{
 		K: *k, Out: os.Stdout, TCP: *tcp, Unoptimized: *unopt,
 		Adaptive: *adaptive, AdaptEvery: *adaptEvery, Replicate: *replicate,
+		MaxConcurrent: *concurrency,
 	}
 	if *sim {
 		speeds := make([]float64, *k)
@@ -92,6 +102,9 @@ func main() {
 	}
 	if *serve && *k <= 1 {
 		usageErr("-serve requires a distributed run (-k ≥ 2)")
+	}
+	if *concurrency > 1 && !*serve {
+		usageErr("-concurrency only applies to -serve (a batch run invokes main() once)")
 	}
 
 	var srcs []string
@@ -151,30 +164,50 @@ func main() {
 
 // serveLoop deploys the distribution resident and invokes one
 // entrypoint per stdin line until EOF, then drains and prints the
-// cumulative summary.
+// cumulative summary. With cfg.MaxConcurrent > 1 the lines dispatch to
+// a worker pool of that size — the cluster runs them as concurrent
+// logical threads — and the summary includes per-worker (per-thread)
+// counters; with the default of 1 the loop is strictly sequential and
+// its output deterministic.
 func serveLoop(dist *autodist.Distribution, cfg autodist.Config) error {
 	cluster, err := dist.Deploy(cfg)
 	if err != nil {
 		return err
 	}
+	workers := cfg.MaxConcurrent
+	if workers < 1 {
+		workers = 1
+	}
 	fmt.Fprintf(os.Stderr, "deployed %d nodes; entrypoints: %s\n",
 		cfg.K, strings.Join(cluster.Entrypoints(), " "))
-	sc := bufio.NewScanner(os.Stdin)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
+
+	// workerStats are one REPL worker's counters: with -concurrency N
+	// each worker drives its own logical thread through the cluster.
+	type workerStats struct {
+		invocations int64
+		messages    int64
+		bytes       int64
+		failures    int64
+	}
+	stats := make([]workerStats, workers)
+	var outMu sync.Mutex
+	invoke := func(w int, line string) {
 		fields := strings.Fields(line)
 		args := make([]autodist.Value, 0, len(fields)-1)
 		for _, f := range fields[1:] {
 			args = append(args, parseArg(f))
 		}
 		res, err := cluster.Invoke(fields[0], args...)
+		outMu.Lock()
+		defer outMu.Unlock()
 		if err != nil {
+			stats[w].failures++
 			fmt.Fprintln(os.Stderr, "jdrun:", err)
-			continue
+			return
 		}
+		stats[w].invocations++
+		stats[w].messages += res.Messages
+		stats[w].bytes += res.BytesSent
 		if res.Value != nil {
 			fmt.Printf("%s = %v\n", res.Entry, res.Value)
 		} else {
@@ -184,6 +217,39 @@ func serveLoop(dist *autodist.Distribution, cfg autodist.Config) error {
 			res.Messages, res.BytesSent, res.CacheHits, res.RetainedHits,
 			res.ReplicaHits, res.Migrations, res.Wall)
 	}
+
+	lines := make(chan string)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for line := range lines {
+				invoke(w, line)
+			}
+		}(w)
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	first := true
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if first {
+			// The first invocation (conventionally main, the
+			// provisioning step) runs to completion before the pool
+			// dispatches anything — later lines may depend on the
+			// state it creates.
+			invoke(0, line)
+			first = false
+			continue
+		}
+		lines <- line
+	}
+	close(lines)
+	wg.Wait()
 	if err := sc.Err(); err != nil {
 		_ = cluster.Shutdown(context.Background())
 		return err
@@ -191,6 +257,12 @@ func serveLoop(dist *autodist.Distribution, cfg autodist.Config) error {
 	served := cluster.Invocations()
 	if err := cluster.Shutdown(context.Background()); err != nil {
 		return err
+	}
+	if workers > 1 {
+		for w := range stats {
+			fmt.Fprintf(os.Stderr, "thread %d: %d invocations, %d messages, %d payload bytes, %d failures\n",
+				w, stats[w].invocations, stats[w].messages, stats[w].bytes, stats[w].failures)
+		}
 	}
 	printSummary(cfg.K, cluster.Stats(), cfg.Adaptive, cfg.Replicate, len(cfg.CPUSpeeds) > 0, served)
 	return nil

@@ -31,6 +31,13 @@
 //	live := cluster.Stats()                         // live counters, any time
 //	err = cluster.Shutdown(ctx)                     // drain + final barrier
 //
+// Config.MaxConcurrent sets how many invocations run at once: the
+// default of 1 serialises them (the paper's single-logical-thread
+// protocol, preserved exactly), while N > 1 admits N concurrent
+// logical threads — each invocation executes in parallel across the
+// cluster with its own thread id on the wire and per-thread contexts
+// on every node, synchronising only at per-object access gates.
+//
 // Coherence state — object placement, forwarding hints, write-once
 // caches, read replicas — persists between invocations, so migrations
 // and replicas learned serving one request make the next cheaper (the

@@ -14,7 +14,13 @@
 //     because the write-once cache filled serving request N still
 //     holds when request N+1 arrives (the RetainedHits counter);
 //   - Shutdown drains outstanding asynchronous work through the final
-//     barrier before the nodes stop.
+//     barrier before the nodes stop;
+//   - concurrent clients: the cluster is deployed with
+//     Config.MaxConcurrent = 8, so invocations from concurrent
+//     goroutines run as parallel logical threads across the cluster —
+//     and a phase of M client goroutines × K invocations each
+//     self-checks that every concurrent result equals the one the
+//     same request stream produced sequentially.
 package main
 
 import (
@@ -64,7 +70,10 @@ func main() {
 		fail(err)
 	}
 
-	cluster, err := dist.Deploy(autodist.Config{Out: os.Stdout})
+	// MaxConcurrent 8: up to eight invocations run as concurrent
+	// logical threads. The sequential phases below are unaffected
+	// (one caller at a time), the concurrent phases genuinely overlap.
+	cluster, err := dist.Deploy(autodist.Config{Out: os.Stdout, MaxConcurrent: 8})
 	if err != nil {
 		fail(err)
 	}
@@ -138,6 +147,76 @@ func main() {
 		fail(err)
 	}
 	check("sum", 4006)
+
+	// Concurrent-clients phase: M client goroutines × K invocations
+	// each — four writers with disjoint slots, two compute/read
+	// clients — first executed sequentially (recording every result),
+	// then again from concurrent goroutines. Slot-disjoint writers and
+	// input-determined reads make each client's stream deterministic,
+	// so the concurrent results must match the sequential ones
+	// entry-for-entry.
+	const clients, perClient = 6, 8
+	ops := func(client int, i int) (entry string, args []autodist.Value) {
+		if client < 4 {
+			return "put", []autodist.Value{int64(client), int64(2000 + 10*client + i)}
+		}
+		if client == 4 {
+			return "work", []autodist.Value{int64(10 * (i + 1))}
+		}
+		return "label", nil
+	}
+	runStream := func(client int) ([]autodist.Value, error) {
+		out := make([]autodist.Value, perClient)
+		for i := 0; i < perClient; i++ {
+			entry, args := ops(client, i)
+			res, err := cluster.Invoke(entry, args...)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = res.Value
+		}
+		return out, nil
+	}
+	sequential := make([][]autodist.Value, clients)
+	for cl := 0; cl < clients; cl++ {
+		seq, err := runStream(cl)
+		if err != nil {
+			fail(err)
+		}
+		sequential[cl] = seq
+	}
+	concurrent := make([][]autodist.Value, clients)
+	clientErrs := make(chan error, clients)
+	var cwg sync.WaitGroup
+	for cl := 0; cl < clients; cl++ {
+		cwg.Add(1)
+		go func(cl int) {
+			defer cwg.Done()
+			got, err := runStream(cl)
+			if err != nil {
+				clientErrs <- err
+				return
+			}
+			concurrent[cl] = got
+		}(cl)
+	}
+	cwg.Wait()
+	close(clientErrs)
+	for err := range clientErrs {
+		fail(err)
+	}
+	for cl := 0; cl < clients; cl++ {
+		for i := 0; i < perClient; i++ {
+			if concurrent[cl][i] != sequential[cl][i] {
+				entry, args := ops(cl, i)
+				fail(fmt.Errorf("concurrent client %d: %s(%v) = %v, sequential run got %v",
+					cl, entry, args, concurrent[cl][i], sequential[cl][i]))
+			}
+		}
+	}
+	check("sum", 4*2000+10*0+10*1+10*2+10*3+4*(perClient-1))
+	fmt.Printf("concurrent clients: %d goroutines x %d invocations matched the sequential run\n",
+		clients, perClient)
 
 	stats := cluster.Stats()
 	fmt.Printf("served %d invocations: %d messages, %d payload bytes, %d cache hits (%d retained)\n",

@@ -37,9 +37,12 @@ const defaultAdaptEpsilon = 1.0
 const defaultAdaptMinGain = 4
 
 // maybeAdapt runs the adaptation trigger: every adaptEvery synchronous
-// requests the logical thread pauses to drive (or request) one
-// adaptation round. A zero adaptEvery disables the subsystem.
-func (n *Node) maybeAdapt() {
+// requests a logical thread pauses to drive (or request) one
+// adaptation round, which is accounted on that thread — the
+// invocation that crosses the epoch pays for (and reports) the
+// migrations it triggers, exactly as the pre-thread delta did. A zero
+// adaptEvery disables the subsystem.
+func (n *Node) maybeAdapt(lt *lthread) {
 	if n.adaptEvery <= 0 {
 		return
 	}
@@ -48,12 +51,12 @@ func (n *Node) maybeAdapt() {
 		return
 	}
 	if n.Rank == 0 {
-		n.runAdapt()
+		n.runAdapt(lt)
 		return
 	}
 	// Ask the coordinator to adapt while we wait: adaptation errors are
 	// best-effort and must not fail the program.
-	if _, err := n.rawRequest(0, KindAdapt, nil); err != nil {
+	if _, err := n.rawRequest(lt, 0, KindAdapt, nil); err != nil {
 		select {
 		case n.errs <- err:
 		default:
@@ -100,7 +103,7 @@ func (n *Node) localAffinityReport() wire.AffinityReport {
 // runAdapt executes one adaptation round on the coordinator: poll,
 // refine, migrate. Errors are swallowed (adaptation is best-effort; the
 // program is correct under any placement).
-func (n *Node) runAdapt() {
+func (n *Node) runAdapt(lt *lthread) {
 	n.coordMu.Lock()
 	defer n.coordMu.Unlock()
 	k := n.EP.Size()
@@ -122,7 +125,7 @@ func (n *Node) runAdapt() {
 		if r == n.Rank {
 			rep = n.localAffinityReport()
 		} else {
-			resp, err := n.rawRequest(r, KindAffinity, nil)
+			resp, err := n.rawRequest(lt, r, KindAffinity, nil)
 			if err != nil {
 				return
 			}
@@ -248,9 +251,9 @@ func (n *Node) runAdapt() {
 		req := wire.MigrateRequest{ID: id, To: to}
 		var out wire.MigrateResponse
 		if cur == n.Rank {
-			out = n.handleMigrate(&req)
+			out = n.handleMigrate(lt, &req)
 		} else {
-			resp, err := n.rawRequest(cur, KindMigrate, req.Encode())
+			resp, err := n.rawRequest(lt, cur, KindMigrate, req.Encode())
 			if err != nil {
 				return
 			}

@@ -55,6 +55,15 @@ type Options struct {
 	// bytecode. Requires a replicated plan, and conflicts with
 	// Unoptimized (replication is an optimisation).
 	Replicate bool
+	// MaxConcurrent is the number of logical threads the cluster
+	// admits at once: InvokeEntry callers beyond it queue at the
+	// admission gate. Zero or one preserves the paper's
+	// single-logical-thread protocol exactly (invocations serialise);
+	// higher values run that many invocations as concurrent logical
+	// threads, each with its own thread id on the wire, per-thread
+	// interpreter context and per-thread asynchronous bookkeeping,
+	// synchronising only at the per-object access gates.
+	MaxConcurrent int
 }
 
 // Cluster is a set of nodes executing one distributed program.
@@ -76,30 +85,43 @@ type Cluster struct {
 	Nodes []*Node
 	opts  Options
 
-	// invokeMu serialises logical-thread execution at the starter:
-	// InvokeEntry is safe to call from many goroutines, but the
-	// runtime's single-logical-thread protocol admits one application
-	// thread at a time. Everything below the starter — the serve
-	// loops, batch workers, the adaptive coordinator, the replication
-	// protocol — keeps running across and between invocations.
-	invokeMu sync.Mutex
+	// sem is the admission gate for logical threads: one slot per
+	// concurrently-running invocation (capacity Options.MaxConcurrent,
+	// minimum 1). With one slot invocations serialise exactly like the
+	// old single-logical-thread protocol; with N slots up to N
+	// invocations run as concurrent logical threads. Everything below
+	// the starter — the serve loops, batch workers, the adaptive
+	// coordinator, the replication protocol — keeps running across and
+	// between invocations either way.
+	sem chan struct{}
 
-	// stateMu guards the lifecycle flags and in-flight registration.
+	// stateMu guards the lifecycle flags, in-flight registration and
+	// the active-thread table.
 	stateMu  sync.Mutex
 	started  bool
 	closed   bool
 	inflight sync.WaitGroup
 	stopOnce sync.Once
+	// active is the set of thread ids currently executing; retiring an
+	// invocation sweeps every node's contexts below the oldest active
+	// id so straggler-recreated contexts cannot accumulate.
+	active map[uint64]bool
 
-	// invokeEpoch counts entrypoint invocations; coherence entries are
-	// stamped with it so cross-invocation retention is observable.
+	// invokeEpoch counts entrypoint invocations; it doubles as the
+	// thread-id source (invocation N runs as logical thread N) and the
+	// coherence retention stamp.
 	invokeEpoch int64
 
+	// residMu guards the outstanding-batch destinations inherited from
+	// retired threads; the shutdown barrier drains them.
+	residMu    sync.Mutex
+	residDests map[int]bool
+
 	// simSnapshot is node 0's virtual clock as of the last completed
-	// invocation (math.Float64bits, updated under invokeMu, read
+	// invocation (math.Float64bits, monotonically advanced, read
 	// atomically). Live Stats readers use it instead of the VM's raw
-	// cycle counter, which the interpreter increments without
-	// synchronisation while an invocation runs.
+	// cycle counter, which concurrent logical threads advance while
+	// invocations run.
 	simSnapshot uint64
 }
 
@@ -118,13 +140,21 @@ func NewCluster(progs []*bytecode.Program, plan *rewrite.Plan, eps []transport.E
 	if opts.Replicate && opts.Unoptimized {
 		return nil, fmt.Errorf("runtime: Replicate and Unoptimized are incoherent (replication is an optimisation)")
 	}
+	if opts.MaxConcurrent < 0 {
+		return nil, fmt.Errorf("runtime: negative MaxConcurrent %d", opts.MaxConcurrent)
+	}
 	if opts.AdaptEpsilon <= 0 {
 		opts.AdaptEpsilon = defaultAdaptEpsilon
 	}
 	if opts.AdaptMinGain <= 0 {
 		opts.AdaptMinGain = defaultAdaptMinGain
 	}
-	c := &Cluster{opts: opts}
+	c := &Cluster{
+		opts:       opts,
+		sem:        make(chan struct{}, max(1, opts.MaxConcurrent)),
+		active:     map[uint64]bool{},
+		residDests: map[int]bool{},
+	}
 	for i := range progs {
 		n, err := NewNode(progs[i], eps[i], plan)
 		if err != nil {
@@ -218,12 +248,15 @@ func (c *Cluster) resolveEntry(name string) (class, desc string, err error) {
 }
 
 // InvokeEntry executes one named static entrypoint of the
-// ExecutionStarter on node 0 and returns its value together with the
-// per-invocation traffic delta. It is safe to call from multiple
-// goroutines: invocations serialise at the starter (the protocol has a
-// single logical thread of control) while the rest of the cluster —
-// coherence, replication, the adaptive coordinator — keeps running, so
-// state learned serving one invocation speeds up the next.
+// ExecutionStarter on node 0 as its own logical thread and returns its
+// value together with the invocation's traffic delta (the per-thread
+// counters rolled up across every node — race-free even while other
+// invocations run). It is safe to call from multiple goroutines: up to
+// Options.MaxConcurrent invocations run as truly concurrent logical
+// threads (one slot — the default — serialises them exactly like the
+// paper's single-logical-thread protocol), while the rest of the
+// cluster — coherence, replication, the adaptive coordinator — keeps
+// running, so state learned serving one invocation speeds up the next.
 func (c *Cluster) InvokeEntry(name string, args []vm.Value) (vm.Value, NodeStats, error) {
 	c.stateMu.Lock()
 	if !c.started {
@@ -237,9 +270,6 @@ func (c *Cluster) InvokeEntry(name string, args []vm.Value) (vm.Value, NodeStats
 	c.inflight.Add(1)
 	c.stateMu.Unlock()
 	defer c.inflight.Done()
-
-	c.invokeMu.Lock()
-	defer c.invokeMu.Unlock()
 
 	class, desc, err := c.resolveEntry(name)
 	if err != nil {
@@ -261,17 +291,149 @@ func (c *Cluster) InvokeEntry(name string, args []vm.Value) (vm.Value, NodeStats
 			return nil, NodeStats{}, fmt.Errorf("runtime: entrypoint %s.%s argument %d: %w", class, name, i+1, err)
 		}
 	}
-	atomic.AddInt64(&c.invokeEpoch, 1)
-	before := c.TotalStats()
+
+	// Admission: one slot per concurrent logical thread.
+	select {
+	case c.sem <- struct{}{}:
+	case <-c.Nodes[0].done:
+		return nil, NodeStats{}, fmt.Errorf("runtime: cluster is shut down")
+	}
+	defer func() { <-c.sem }()
+
+	// This invocation IS logical thread tid, cluster-wide: every frame
+	// it causes carries the id, and every node accounts its work on
+	// the thread's context. Allocation and registration share one
+	// critical section — a concurrently-completing invocation computes
+	// its stale-sweep bound from invokeEpoch and the active table
+	// under the same lock, so it can never observe this tid allocated
+	// but unregistered and reap its live contexts.
+	c.stateMu.Lock()
+	tid := uint64(atomic.AddInt64(&c.invokeEpoch, 1))
+	c.active[tid] = true
+	c.stateMu.Unlock()
+
 	starter := c.Nodes[0]
-	v, err := starter.VM.CallMethod(class, name, desc, args)
-	delta := c.TotalStats()
-	delta.sub(before)
-	atomic.StoreUint64(&c.simSnapshot, math.Float64bits(starter.VM.SimSeconds()))
+	lt := starter.lthread(tid)
+	v, err := lt.vt.CallMethod(class, name, desc, args)
+	// Invocation-end ordering point: batches this thread already sent
+	// must be processed before the result returns, so any invocation
+	// started afterwards observes this one's effects (the guarantee
+	// the old global serve-loop barrier gave). Buffered-but-unsent
+	// work deliberately stays lazy — it moves to the starter's carry
+	// buffer at retire, exactly like the shared per-node buffer used
+	// to behave, and the next flush (or the shutdown barrier) sends
+	// it.
+	if derr := c.drainThread(starter, lt); derr != nil && err == nil {
+		err = derr
+	}
+	c.advanceSimSnapshot(starter.VM.SimSeconds())
+
+	// Retire the thread on every node, rolling its per-thread counters
+	// into the invocation delta and inheriting leftover bookkeeping:
+	// outstanding batch destinations feed the shutdown barrier, and an
+	// unconsumed deferred asynchronous failure becomes this
+	// invocation's error. The tid stays in the active table until its
+	// own retire completes — a concurrently-completing invocation's
+	// stale sweep must never reap this thread's contexts first.
+	var delta NodeStats
+	for _, n := range c.Nodes {
+		st, dests, aerr := n.retireThread(tid)
+		delta.add(st)
+		c.noteResidDests(dests)
+		if aerr != "" && err == nil {
+			err = fmt.Errorf("deferred async failure on node %d: %s", n.Rank, aerr)
+		}
+	}
+	c.stateMu.Lock()
+	delete(c.active, tid)
+	minActive := uint64(atomic.LoadInt64(&c.invokeEpoch)) + 1
+	for a := range c.active {
+		if a < minActive {
+			minActive = a
+		}
+	}
+	c.stateMu.Unlock()
+	for _, n := range c.Nodes {
+		c.noteResidDests(n.retireStaleBelow(minActive))
+	}
 	if err != nil {
 		return nil, delta, err
 	}
 	return starter.canonicalize(v), delta, nil
+}
+
+// noteResidDests merges outstanding-batch destinations inherited from
+// retired threads into the set the shutdown barrier drains.
+func (c *Cluster) noteResidDests(dests []int) {
+	if len(dests) == 0 {
+		return
+	}
+	c.residMu.Lock()
+	for _, d := range dests {
+		c.residDests[d] = true
+	}
+	c.residMu.Unlock()
+}
+
+// drainThread barriers a completing invocation's outstanding
+// fire-and-forget destinations: each barrier is thread-id-correlated,
+// so the receiving node orders it behind the thread's own queued
+// batches (and only those — another thread's slow batch cannot delay
+// it, and the reentrant gates make it deadlock-free). A deferred
+// failure discovered here surfaces on this invocation.
+func (c *Cluster) drainThread(starter *Node, lt *lthread) error {
+	for dests := starter.takeAsyncDests(lt); len(dests) > 0; dests = starter.takeAsyncDests(lt) {
+		for _, rank := range dests {
+			resp, err := starter.rawRequest(lt, rank, KindBarrier, nil)
+			if err != nil {
+				return err
+			}
+			out, err := wire.DecodeDepResponse(resp.Payload)
+			if err != nil {
+				return err
+			}
+			starter.noteAsyncDests(lt, out.AsyncDests)
+			if out.Err != "" {
+				return fmt.Errorf("barrier on node %d: %s", rank, out.Err)
+			}
+			if out.AsyncErr != "" {
+				return fmt.Errorf("deferred async failure on node %d: %s", rank, out.AsyncErr)
+			}
+		}
+	}
+	return nil
+}
+
+// advanceSimSnapshot moves the published virtual-clock snapshot
+// forward to at least t (concurrent invocation completions race; the
+// clock must never appear to run backwards).
+func (c *Cluster) advanceSimSnapshot(t float64) {
+	for {
+		cur := atomic.LoadUint64(&c.simSnapshot)
+		if math.Float64frombits(cur) >= t {
+			return
+		}
+		if atomic.CompareAndSwapUint64(&c.simSnapshot, cur, math.Float64bits(t)) {
+			return
+		}
+	}
+}
+
+// takeResidDests consumes the outstanding-batch destinations inherited
+// from retired threads.
+func (c *Cluster) takeResidDests() []int {
+	c.residMu.Lock()
+	defer c.residMu.Unlock()
+	if len(c.residDests) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(c.residDests))
+	for d := range c.residDests {
+		out = append(out, d)
+	}
+	c.residDests = map[int]bool{}
+	sort.Ints(out)
+	return out
 }
 
 // checkArgType rejects an invocation argument whose dynamic type does
@@ -342,7 +504,7 @@ func (c *Cluster) Shutdown(ctx context.Context) error {
 	if drained {
 		err = c.finalBarrier(c.Nodes[0])
 	}
-	atomic.StoreUint64(&c.simSnapshot, math.Float64bits(c.Nodes[0].VM.SimSeconds()))
+	c.advanceSimSnapshot(c.Nodes[0].VM.SimSeconds())
 	c.stop()
 	if err == nil && !drained {
 		err = ctx.Err()
@@ -397,27 +559,29 @@ func (c *Cluster) Run() error {
 	return c.Shutdown(context.Background())
 }
 
-// finalBarrier flushes the starter's asynchronous buffers and then
-// barriers every other node, so fire-and-forget work finishes before
-// shutdown and any deferred asynchronous failure becomes main's error.
-// Unoptimized runs never buffer asynchronous work, so they skip it
-// (keeping A/B message counts directly comparable to the seed
-// protocol).
+// finalBarrier drains the outstanding-batch destinations inherited
+// from every retired logical thread (plus anything on the system
+// thread) by barriering them, so fire-and-forget work finishes before
+// shutdown and any deferred asynchronous failure — per-thread or
+// residual — becomes the shutdown error. Unoptimized runs never buffer
+// asynchronous work, so they skip it (keeping A/B message counts
+// directly comparable to the seed protocol).
 func (c *Cluster) finalBarrier(starter *Node) error {
 	if starter.Unoptimized {
 		return nil
 	}
-	if err := starter.flushAsync(); err != nil {
+	sys := starter.lthread(0)
+	if err := starter.flushAsync(sys); err != nil {
 		return err
 	}
-	// Barrier exactly the nodes with possibly-outstanding batches;
-	// a barrier response can surface new destinations (a barriered
-	// node flushing its own relayed buffers), so iterate until the
-	// set drains. Each round strictly consumes buffered work, so this
-	// terminates.
-	for dests := starter.takeAsyncDests(); len(dests) > 0; dests = starter.takeAsyncDests() {
+	// Barrier exactly the nodes with possibly-outstanding batches; a
+	// barrier response can surface new destinations (a barriered node
+	// flushing relayed buffers), so iterate until the set drains. Each
+	// round strictly consumes buffered work, so this terminates.
+	dests := mergeDests(c.takeResidDests(), starter.takeAsyncDests(sys))
+	for len(dests) > 0 {
 		for _, rank := range dests {
-			resp, err := starter.rawRequest(rank, KindBarrier, nil)
+			resp, err := starter.rawRequest(sys, rank, KindBarrier, nil)
 			if err != nil {
 				return err
 			}
@@ -425,7 +589,7 @@ func (c *Cluster) finalBarrier(starter *Node) error {
 			if err != nil {
 				return err
 			}
-			starter.noteAsyncDests(out.AsyncDests)
+			starter.noteAsyncDests(sys, out.AsyncDests)
 			if out.Err != "" {
 				return fmt.Errorf("barrier on node %d: %s", rank, out.Err)
 			}
@@ -433,8 +597,12 @@ func (c *Cluster) finalBarrier(starter *Node) error {
 				return fmt.Errorf("deferred async failure on node %d: %s", rank, out.AsyncErr)
 			}
 		}
+		dests = mergeDests(c.takeResidDests(), starter.takeAsyncDests(sys))
 	}
-	if e := starter.takeAsyncErr(); e != "" {
+	if e := takeAsyncErr(sys); e != "" {
+		return fmt.Errorf("deferred async failure on node 0: %s", e)
+	}
+	if e := starter.takeResidErr(); e != "" {
 		return fmt.Errorf("deferred async failure on node 0: %s", e)
 	}
 	return nil

@@ -68,10 +68,10 @@ class Main {
 
 	// Migrate 1→2, then 2→0: node 1's hint now points at node 2, node
 	// 2's at node 0 — a two-hop chain behind node 1.
-	if out := n1.handleMigrate(&wire.MigrateRequest{ID: id, To: 2}); !out.Moved || out.Err != "" {
+	if out := n1.handleMigrate(n1.lthread(0), &wire.MigrateRequest{ID: id, To: 2}); !out.Moved || out.Err != "" {
 		t.Fatalf("migration 1→2 failed: %+v", out)
 	}
-	if out := n2.handleMigrate(&wire.MigrateRequest{ID: id, To: 0}); !out.Moved || out.Err != "" {
+	if out := n2.handleMigrate(n2.lthread(0), &wire.MigrateRequest{ID: id, To: 0}); !out.Moved || out.Err != "" {
 		t.Fatalf("migration 2→0 failed: %+v", out)
 	}
 	if h, ok := n1.coh.lookupHint(id); !ok || h != 2 {
@@ -80,7 +80,7 @@ class Main {
 
 	// First access through the stale chain: node 2 forwards once and
 	// the Moved notice names the final home.
-	v, err := n1.remoteAccess(2, id, rewrite.GetField, "v", nil)
+	v, err := n1.remoteAccess(n1.lthread(0), 2, id, rewrite.GetField, "v", nil)
 	if err != nil {
 		t.Fatalf("access through stale chain: %v", err)
 	}
@@ -95,7 +95,7 @@ class Main {
 	}
 
 	// Second access goes direct: no forwarding anywhere.
-	if _, err := n1.remoteAccess(n1.hintFor(id, 1), id, rewrite.GetField, "v", nil); err != nil {
+	if _, err := n1.remoteAccess(n1.lthread(0), n1.hintFor(id, 1), id, rewrite.GetField, "v", nil); err != nil {
 		t.Fatal(err)
 	}
 	if got := n2.Stats.Forwards + n0.Stats.Forwards + n1.Stats.Forwards; got != 1 {

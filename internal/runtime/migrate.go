@@ -2,7 +2,6 @@ package runtime
 
 import (
 	"fmt"
-	"sync/atomic"
 
 	"autodist/internal/vm"
 	"autodist/internal/wire"
@@ -46,9 +45,10 @@ func (n *Node) migratable(o *vm.Object) bool {
 }
 
 // handleMigrate executes a coordinator's ownership-transfer command for
-// one object this node owns. A false Moved result is a skip (busy or
-// non-migratable object, stale command), not a failure.
-func (n *Node) handleMigrate(req *wire.MigrateRequest) wire.MigrateResponse {
+// one object this node owns, accounted on the logical thread whose
+// epoch crossing triggered the round. A false Moved result is a skip
+// (busy or non-migratable object, stale command), not a failure.
+func (n *Node) handleMigrate(lt *lthread, req *wire.MigrateRequest) wire.MigrateResponse {
 	if req.To == n.Rank {
 		return wire.MigrateResponse{}
 	}
@@ -84,7 +84,7 @@ func (n *Node) handleMigrate(req *wire.MigrateRequest) wire.MigrateResponse {
 		n.coh.restoreReaders(req.ID, readers)
 		return wire.MigrateResponse{Err: err.Error()}
 	}
-	resp, err := n.rawRequest(req.To, KindTransfer, treq.Encode())
+	resp, err := n.rawRequest(lt, req.To, KindTransfer, treq.Encode())
 	if err != nil {
 		return fail(err)
 	}
@@ -106,7 +106,7 @@ func (n *Node) handleMigrate(req *wire.MigrateRequest) wire.MigrateResponse {
 	n.mu.Lock()
 	delete(n.home, req.ID)
 	n.mu.Unlock()
-	atomic.AddInt64(&n.Stats.Migrations, 1)
+	n.count(lt, func(s *NodeStats) *int64 { return &s.Migrations }, 1)
 	return wire.MigrateResponse{Moved: true}
 }
 

@@ -64,19 +64,20 @@ func TestLearnHomeIgnoresBogusRanks(t *testing.T) {
 // an access is in flight.
 func TestFreezeGateBlocksAndDrains(t *testing.T) {
 	n := testNode(t)
-	if !n.enterObject(5) {
+	lt := n.lthread(0)
+	if !n.enterObject(lt, 5) {
 		t.Fatal("enterObject failed on live node")
 	}
 	if n.freezeObject(5) {
 		t.Fatal("freeze succeeded with an access in flight")
 	}
-	n.exitObject(5)
+	n.exitObject(lt, 5)
 	if !n.freezeObject(5) {
 		t.Fatal("freeze failed on idle object")
 	}
 	entered := make(chan bool)
 	go func() {
-		entered <- n.enterObject(5)
+		entered <- n.enterObject(lt, 5)
 	}()
 	select {
 	case <-entered:
@@ -87,5 +88,5 @@ func TestFreezeGateBlocksAndDrains(t *testing.T) {
 	if ok := <-entered; !ok {
 		t.Fatal("access failed after thaw")
 	}
-	n.exitObject(5)
+	n.exitObject(lt, 5)
 }

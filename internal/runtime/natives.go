@@ -3,7 +3,6 @@ package runtime
 import (
 	"fmt"
 	"strings"
-	"sync/atomic"
 
 	"autodist/internal/bytecode"
 	"autodist/internal/rewrite"
@@ -24,7 +23,8 @@ func (n *Node) registerNatives() {
 	// DependentObject.<init>(home, className, ctorArgs): send a NEW
 	// message to the home node and record the returned identity.
 	machine.RegisterNative(depObjectClassName, "<init>", rewrite.CtorDesc,
-		func(m *vm.VM, args []vm.Value) (vm.Value, error) {
+		func(t *vm.Thread, args []vm.Value) (vm.Value, error) {
+			lt := n.ltOf(t)
 			self := args[0].(*vm.Object)
 			home := int(args[1].(int64))
 			className := args[2].(string)
@@ -42,7 +42,7 @@ func (n *Node) registerNatives() {
 				return nil, err
 			}
 			req := wire.NewRequest{Class: className, Args: wireArgs}
-			resp, err := n.request(home, KindNew, req.Encode())
+			resp, err := n.request(lt, home, KindNew, req.Encode())
 			if err != nil {
 				return nil, err
 			}
@@ -50,7 +50,7 @@ func (n *Node) registerNatives() {
 			if err != nil {
 				return nil, err
 			}
-			n.noteAsyncDests(out.AsyncDests)
+			n.noteAsyncDests(lt, out.AsyncDests)
 			if out.Err != "" {
 				return nil, fmt.Errorf("remote new %s on node %d: %s", className, home, out.Err)
 			}
@@ -76,14 +76,15 @@ func (n *Node) registerNatives() {
 	// DependentObject.access: the rewritten access path for receivers
 	// whose static type may live remotely.
 	machine.RegisterNative(depObjectClassName, "access", rewrite.AccessDesc,
-		func(m *vm.VM, args []vm.Value) (vm.Value, error) {
-			return n.accessFromArgs(args)
+		func(t *vm.Thread, args []vm.Value) (vm.Value, error) {
+			return n.accessFromArgs(n.ltOf(t), args)
 		})
 
 	// DependentObject.staticAccess: remote static fields. Static
 	// contexts are pinned by the plan and never migrate.
 	machine.RegisterNative(depObjectClassName, "staticAccess", rewrite.StaticAccessDesc,
-		func(m *vm.VM, args []vm.Value) (vm.Value, error) {
+		func(t *vm.Thread, args []vm.Value) (vm.Value, error) {
+			lt := n.ltOf(t)
 			home := int(args[0].(int64))
 			class := args[1].(string)
 			kind := int(args[2].(int64))
@@ -93,18 +94,18 @@ func (n *Node) registerNatives() {
 				acc = arr.Data
 			}
 			if home == n.Rank {
-				return n.staticAccessLocal(class, kind, member, n.canonicalizeSlice(acc))
+				return n.staticAccessLocal(lt, class, kind, member, n.canonicalizeSlice(acc))
 			}
 			wireArgs, err := n.toWireSlice(n.canonicalizeSlice(acc))
 			if err != nil {
 				return nil, err
 			}
 			req := wire.DepRequest{Static: true, Class: class, Kind: kind, Member: member, Args: wireArgs}
-			resp, err := n.request(home, KindDependence, req.Encode())
+			resp, err := n.request(lt, home, KindDependence, req.Encode())
 			if err != nil {
 				return nil, err
 			}
-			return n.finishDepResponse(home, 0, resp.Payload, acc, "static access "+class+"."+member)
+			return n.finishDepResponse(lt, home, 0, resp.Payload, acc, "static access "+class+"."+member)
 		})
 
 	// Synthetic Class.access on every user class: the receiver's static
@@ -117,8 +118,8 @@ func (n *Node) registerNatives() {
 			if m.Name == "access" && m.Desc == rewrite.AccessDesc &&
 				m.Flags&bytecode.AccSynthetic != 0 {
 				machine.RegisterNative(cf.Name, "access", rewrite.AccessDesc,
-					func(mm *vm.VM, args []vm.Value) (vm.Value, error) {
-						return n.accessFromArgs(args)
+					func(t *vm.Thread, args []vm.Value) (vm.Value, error) {
+						return n.accessFromArgs(n.ltOf(t), args)
 					})
 				break
 			}
@@ -127,8 +128,8 @@ func (n *Node) registerNatives() {
 }
 
 // accessFromArgs unpacks the access-method calling convention and
-// dispatches.
-func (n *Node) accessFromArgs(args []vm.Value) (vm.Value, error) {
+// dispatches on the invoking logical thread.
+func (n *Node) accessFromArgs(lt *lthread, args []vm.Value) (vm.Value, error) {
 	self := args[0].(*vm.Object)
 	kind := int(args[1].(int64))
 	member := args[2].(string)
@@ -136,7 +137,7 @@ func (n *Node) accessFromArgs(args []vm.Value) (vm.Value, error) {
 	if arr, ok := args[3].(*vm.Array); ok && arr != nil {
 		acc = arr.Data
 	}
-	return n.dispatchAccess(self, kind, member, acc)
+	return n.dispatchAccess(lt, self, kind, member, acc)
 }
 
 // dispatchAccess routes one rewritten access: locally when this node
@@ -145,9 +146,9 @@ func (n *Node) accessFromArgs(args []vm.Value) (vm.Value, error) {
 // the dynamic-ownership replacement for the static "proxy means remote,
 // real means local" rule, which dispatchStatic keeps as the fast path
 // when adaptation is off.
-func (n *Node) dispatchAccess(o *vm.Object, kind int, member string, acc []vm.Value) (vm.Value, error) {
+func (n *Node) dispatchAccess(lt *lthread, o *vm.Object, kind int, member string, acc []vm.Value) (vm.Value, error) {
 	if n.adaptEvery <= 0 {
-		return n.dispatchStatic(o, kind, member, acc)
+		return n.dispatchStatic(lt, o, kind, member, acc)
 	}
 	acc = n.canonicalizeSlice(acc)
 	isProxy := o.Class.Name() == depObjectClassName
@@ -160,7 +161,7 @@ func (n *Node) dispatchAccess(o *vm.Object, kind int, member string, acc []vm.Va
 		birth = n.Rank
 	}
 
-	if !n.enterObject(id) {
+	if !n.enterObject(lt, id) {
 		return nil, fmt.Errorf("runtime: node %d shut down", n.Rank)
 	}
 	h := n.holder(id)
@@ -174,25 +175,29 @@ func (n *Node) dispatchAccess(o *vm.Object, kind int, member string, acc []vm.Va
 		n.mu.Unlock()
 	}
 	if h != nil {
-		v, err := n.localDispatch(h, kind, member, acc)
-		n.exitObject(id)
+		v, err := n.localDispatch(lt, h, kind, member, acc)
+		n.exitObject(lt, id)
 		return n.canonicalize(v), err
 	}
-	n.exitObject(id)
+	n.exitObject(lt, id)
 
 	home := n.hintFor(id, birth)
 	if home == n.Rank {
 		return nil, fmt.Errorf("runtime: dangling home reference %d on node %d", id, n.Rank)
 	}
-	return n.remoteDispatch(home, id, kind, member, acc)
+	return n.remoteDispatch(lt, home, id, kind, member, acc)
 }
 
 // dispatchStatic is the non-adaptive fast path: objects never move, so
 // a real receiver is local by construction and a proxy's identity names
-// its permanent home — no ownership gates or canonicalisation needed.
-func (n *Node) dispatchStatic(o *vm.Object, kind int, member string, acc []vm.Value) (vm.Value, error) {
+// its permanent home — no ownership lookups or canonicalisation
+// needed. Local accesses still take the object's gate: it is the
+// mutual exclusion between concurrent logical threads (uncontended
+// under MaxConcurrent = 1, where behaviour is exactly the old
+// single-thread protocol's).
+func (n *Node) dispatchStatic(lt *lthread, o *vm.Object, kind int, member string, acc []vm.Value) (vm.Value, error) {
 	if o.Class.Name() != depObjectClassName {
-		return n.localDispatch(o, kind, member, acc)
+		return n.localGated(lt, o, kind, member, acc)
 	}
 	home, id, _ := n.proxyIdentity(o)
 	if home == n.Rank {
@@ -200,9 +205,18 @@ func (n *Node) dispatchStatic(o *vm.Object, kind int, member string, acc []vm.Va
 		if obj == nil {
 			return nil, fmt.Errorf("runtime: dangling home reference %d on node %d", id, n.Rank)
 		}
-		return n.localDispatch(obj, kind, member, acc)
+		return n.localGated(lt, obj, kind, member, acc)
 	}
-	return n.remoteDispatch(home, id, kind, member, acc)
+	return n.remoteDispatch(lt, home, id, kind, member, acc)
+}
+
+// localGated is localDispatch under the object's access gate.
+func (n *Node) localGated(lt *lthread, obj *vm.Object, kind int, member string, acc []vm.Value) (vm.Value, error) {
+	if !n.enterObject(lt, obj.ID) {
+		return nil, fmt.Errorf("runtime: node %d shut down", n.Rank)
+	}
+	defer n.exitObject(lt, obj.ID)
+	return n.localDispatch(lt, obj, kind, member, acc)
 }
 
 // localDispatch is localAccess for accesses originating on this node
@@ -211,30 +225,30 @@ func (n *Node) dispatchStatic(o *vm.Object, kind int, member string, acc []vm.Va
 // messages, but each one still prices an invalidation, so they feed
 // the replication planner's write-rate estimate here — and nowhere
 // else, or remote writes would be double-counted.
-func (n *Node) localDispatch(obj *vm.Object, kind int, member string, acc []vm.Value) (vm.Value, error) {
+func (n *Node) localDispatch(lt *lthread, obj *vm.Object, kind int, member string, acc []vm.Value) (vm.Value, error) {
 	if kind == rewrite.PutField {
 		n.recordLocalWrite(obj.ID)
 	}
-	return n.localAccess(obj, kind, member, acc)
+	return n.localAccess(lt, obj, kind, member, acc)
 }
 
 // remoteDispatch sends one access to the object's home, applying the
 // optimisation kinds the rewriter stamped (cache and replica hits cost
 // zero messages; confined void calls buffer as fire-and-forget
 // batches).
-func (n *Node) remoteDispatch(home int, id int64, kind int, member string, acc []vm.Value) (vm.Value, error) {
+func (n *Node) remoteDispatch(lt *lthread, home int, id int64, kind int, member string, acc []vm.Value) (vm.Value, error) {
 	switch {
 	case kind == rewrite.GetFieldCached && !n.Unoptimized:
 		// Write-once reads: the never-invalidated special case of the
 		// coherence layer — only a home move drops these entries.
 		if v, retained, ok := n.coh.cachedOnceHit(id, member); ok {
-			atomic.AddInt64(&n.Stats.CacheHits, 1)
+			n.count(lt, func(s *NodeStats) *int64 { return &s.CacheHits }, 1)
 			if retained {
-				atomic.AddInt64(&n.Stats.RetainedHits, 1)
+				n.count(lt, func(s *NodeStats) *int64 { return &s.RetainedHits }, 1)
 			}
 			return v, nil
 		}
-		v, err := n.remoteAccess(home, id, kind, member, acc)
+		v, err := n.remoteAccess(lt, home, id, kind, member, acc)
 		if err != nil {
 			return nil, err
 		}
@@ -248,19 +262,19 @@ func (n *Node) remoteDispatch(home int, id int64, kind int, member string, acc [
 	case (kind == rewrite.GetFieldReplicated || kind == rewrite.InvokeReplicaRead) &&
 		n.replicate && !n.Unoptimized:
 		if shadow, retained, ok := n.coh.replicaShadowHit(id); ok {
-			atomic.AddInt64(&n.Stats.ReplicaHits, 1)
+			n.count(lt, func(s *NodeStats) *int64 { return &s.ReplicaHits }, 1)
 			if retained {
-				atomic.AddInt64(&n.Stats.RetainedHits, 1)
+				n.count(lt, func(s *NodeStats) *int64 { return &s.RetainedHits }, 1)
 			}
-			return n.replicaServe(shadow, kind, member, acc)
+			return n.replicaServe(lt, shadow, kind, member, acc)
 		}
 		if !n.coh.replicaDenied(id) {
-			shadow, err := n.fetchReplica(home, id)
+			shadow, err := n.fetchReplica(lt, home, id)
 			if err != nil {
 				return nil, err
 			}
 			if shadow != nil {
-				return n.replicaServe(shadow, kind, member, acc)
+				return n.replicaServe(lt, shadow, kind, member, acc)
 			}
 			// The fetch may have followed Moved redirects and healed
 			// the hint; the fallback should use the fresh location.
@@ -268,22 +282,22 @@ func (n *Node) remoteDispatch(home int, id int64, kind int, member string, acc [
 		}
 		// Denied: plain synchronous access (the kinds degrade at the
 		// owner).
-		return n.remoteAccess(home, id, kind, member, acc)
+		return n.remoteAccess(lt, home, id, kind, member, acc)
 	case kind == rewrite.InvokeMethodVoidAsync && !n.Unoptimized:
 		wireArgs, err := n.toWireSlice(acc)
 		if err != nil {
 			return nil, err
 		}
 		n.recordAffinity(id, 0, true)
-		return nil, n.asyncEnqueue(home, wire.DepRequest{
+		return nil, n.asyncEnqueue(lt, home, wire.DepRequest{
 			ID: id, Kind: kind, Member: member, Args: wireArgs,
 		})
 	}
-	return n.remoteAccess(home, id, kind, member, acc)
+	return n.remoteAccess(lt, home, id, kind, member, acc)
 }
 
 // remoteAccess performs one synchronous DEPENDENCE exchange.
-func (n *Node) remoteAccess(home int, id int64, kind int, member string, acc []vm.Value) (vm.Value, error) {
+func (n *Node) remoteAccess(lt *lthread, home int, id int64, kind int, member string, acc []vm.Value) (vm.Value, error) {
 	wireArgs, err := n.toWireSlice(acc)
 	if err != nil {
 		return nil, err
@@ -291,11 +305,11 @@ func (n *Node) remoteAccess(home int, id int64, kind int, member string, acc []v
 	req := wire.DepRequest{ID: id, Kind: kind, Member: member, Args: wireArgs}
 	payload := req.Encode()
 	n.recordAffinity(id, len(payload), accessWrites(kind))
-	resp, err := n.request(home, KindDependence, payload)
+	resp, err := n.request(lt, home, KindDependence, payload)
 	if err != nil {
 		return nil, err
 	}
-	return n.finishDepResponse(home, id, resp.Payload, acc, "access "+member)
+	return n.finishDepResponse(lt, home, id, resp.Payload, acc, "access "+member)
 }
 
 // accessWrites classifies an access kind for the affinity read/write
@@ -314,12 +328,12 @@ func accessWrites(kind int) bool {
 // decode, inherit outstanding-batch bookkeeping, absorb Moved redirect
 // notices, surface direct and deferred errors, copy-restore array
 // arguments, convert the value.
-func (n *Node) finishDepResponse(home int, id int64, payload []byte, acc []vm.Value, what string) (vm.Value, error) {
+func (n *Node) finishDepResponse(lt *lthread, home int, id int64, payload []byte, acc []vm.Value, what string) (vm.Value, error) {
 	out, err := wire.DecodeDepResponse(payload)
 	if err != nil {
 		return nil, err
 	}
-	n.noteAsyncDests(out.AsyncDests)
+	n.noteAsyncDests(lt, out.AsyncDests)
 	if out.Moved && id != 0 {
 		n.learnHome(id, out.NewHome)
 	}
@@ -344,7 +358,7 @@ func (n *Node) finishDepResponse(home int, id int64, payload []byte, acc []vm.Va
 // owner-local, direct or from inside a method body — lands in the
 // PutField case, where the invalidate-on-write barrier runs before the
 // write completes.
-func (n *Node) localAccess(obj *vm.Object, kind int, member string, args []vm.Value) (vm.Value, error) {
+func (n *Node) localAccess(lt *lthread, obj *vm.Object, kind int, member string, args []vm.Value) (vm.Value, error) {
 	switch kind {
 	case rewrite.InvokeMethodHasReturn, rewrite.InvokeMethodVoid,
 		rewrite.InvokeMethodVoidAsync, rewrite.InvokeReplicaRead:
@@ -353,7 +367,7 @@ func (n *Node) localAccess(obj *vm.Object, kind int, member string, args []vm.Va
 			return nil, fmt.Errorf("runtime: bad member key %q", member)
 		}
 		callArgs := append([]vm.Value{obj}, args...)
-		return n.VM.CallMethod(obj.Class.Name(), name, desc, callArgs)
+		return lt.vt.CallMethod(obj.Class.Name(), name, desc, callArgs)
 	case rewrite.GetField, rewrite.GetFieldCached, rewrite.GetFieldReplicated:
 		slot := obj.Class.FieldSlot(member)
 		if slot < 0 {
@@ -371,7 +385,7 @@ func (n *Node) localAccess(obj *vm.Object, kind int, member string, args []vm.Va
 		obj.Fields[slot] = args[0]
 		// Write barrier: no reader may keep serving the old value once
 		// this write is observable.
-		if err := n.invalidateReaders(obj.ID); err != nil {
+		if err := n.invalidateReaders(lt, obj.ID); err != nil {
 			return nil, err
 		}
 		return nil, nil
@@ -380,7 +394,7 @@ func (n *Node) localAccess(obj *vm.Object, kind int, member string, args []vm.Va
 }
 
 // staticAccessLocal reads or writes a static field on this node.
-func (n *Node) staticAccessLocal(class string, kind int, member string, args []vm.Value) (vm.Value, error) {
+func (n *Node) staticAccessLocal(lt *lthread, class string, kind int, member string, args []vm.Value) (vm.Value, error) {
 	switch kind {
 	case rewrite.GetStatic:
 		return n.VM.GetStatic(class, member)
@@ -394,7 +408,7 @@ func (n *Node) staticAccessLocal(class string, kind int, member string, args []v
 		if !ok {
 			return nil, fmt.Errorf("runtime: bad member key %q", member)
 		}
-		return n.VM.CallMethod(class, name, desc, args)
+		return lt.vt.CallMethod(class, name, desc, args)
 	}
 	return nil, fmt.Errorf("runtime: unknown static access kind %d", kind)
 }

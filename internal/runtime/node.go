@@ -122,23 +122,24 @@ type Node struct {
 	// coordMu serialises adaptation rounds on the coordinator.
 	coordMu sync.Mutex
 
-	// asyncMu guards the per-destination buffers of not-yet-flushed
-	// asynchronous dependence messages, and the set of destinations
-	// with possibly-unprocessed fire-and-forget batches. That set
-	// travels with the logical thread: a reply transfers it to the
-	// caller, and the final barrier visits exactly the nodes in it.
-	asyncMu    sync.Mutex
-	asyncBuf   map[int][]wire.DepRequest
-	asyncDests map[int]bool
+	// ltMu guards the per-logical-thread context table (see
+	// thread.go). All thread-scoped state — asynchronous batch
+	// buffers, outstanding-batch destination sets, deferred errors,
+	// per-thread counters, the interpreter context — lives in the
+	// lthread, keyed by the thread id every frame carries.
+	ltMu sync.Mutex
+	lts  map[uint64]*lthread
 
-	// batchCh feeds the batch worker, which processes aggregated
-	// asynchronous messages strictly in arrival order.
-	batchCh chan batchJob
+	// residMu guards the residual deferred error left behind by
+	// already-retired threads; the shutdown barrier surfaces it.
+	residMu  sync.Mutex
+	residErr string
 
-	// asyncErrMu guards the deferred error stashed by the batch
-	// worker; it is surfaced on the next response this node sends.
-	asyncErrMu sync.Mutex
-	asyncErr   string
+	// carryMu guards the carry buffer: fire-and-forget work that a
+	// retired thread buffered but never sent, adopted by the next
+	// thread that flushes on this node (or by the shutdown barrier).
+	carryMu sync.Mutex
+	carry   map[int][]wire.DepRequest
 
 	// Stats counts protocol activity.
 	Stats NodeStats
@@ -148,13 +149,13 @@ type Node struct {
 	errs chan error
 }
 
-// srvResp is a matched response plus the drain barrier it must honour:
-// the receiver may not resume until asynchronous batches that arrived
-// before the response have been processed (preserving the single
-// logical thread's observable order).
+// srvResp is a matched response plus the drain barriers it must
+// honour: the receiver may not resume until asynchronous batches of
+// its own logical thread that arrived before the response have been
+// processed (preserving each logical thread's observable order).
 type srvResp struct {
 	msg   transport.Message
-	drain chan struct{}
+	drain []chan struct{}
 }
 
 // batchJob is one received batch frame awaiting the worker.
@@ -258,12 +259,20 @@ func (s *NodeStats) snapshot() NodeStats {
 	}
 }
 
-// objGate serialises object access against migration: active counts
-// in-flight local accesses, frozen (when non-nil) blocks new accesses
-// while a migration snapshot is in progress, and idle is closed when
-// active drops to zero so a waiting migration can proceed.
+// objGate is one object's access gate. Under the single-logical-thread
+// protocol it only had to serialise accesses against migration
+// snapshots; with concurrent logical threads it is real mutual
+// exclusion: one logical thread holds the object at a time (reentrant
+// — the same thread may nest accesses, including through remote
+// call-backs, which carry its id), other threads queue, and a
+// migration or replica snapshot freezes the gate only when no thread
+// holds it. depth counts the owning thread's nested in-flight
+// accesses, frozen (when non-nil) blocks new accesses while a
+// snapshot is in progress, and idle is closed when depth drops to zero
+// so waiting threads and snapshots can proceed.
 type objGate struct {
-	active int
+	owner  uint64 // logical thread holding the gate (valid when depth > 0)
+	depth  int
 	frozen chan struct{}
 	idle   chan struct{}
 }
@@ -293,21 +302,19 @@ func NewNode(prog *bytecode.Program, ep transport.Endpoint, plan *rewrite.Plan) 
 	// name, which the ownership map and migration protocol key on.
 	machine.SetObjectIDSpace(int64(ep.Rank()), int64(ep.Size()))
 	n := &Node{
-		Rank:       ep.Rank(),
-		VM:         machine,
-		EP:         ep,
-		Plan:       plan,
-		causal:     transport.Causal(ep),
-		canon:      map[int64]*vm.Object{},
-		home:       map[int64]*vm.Object{},
-		pending:    map[uint64]chan srvResp{},
-		gates:      map[int64]*objGate{},
-		aff:        map[int64]*affinityCell{},
-		asyncBuf:   map[int][]wire.DepRequest{},
-		asyncDests: map[int]bool{},
-		batchCh:    make(chan batchJob, 1024),
-		done:       make(chan struct{}),
-		errs:       make(chan error, 16),
+		Rank:    ep.Rank(),
+		VM:      machine,
+		EP:      ep,
+		Plan:    plan,
+		causal:  transport.Causal(ep),
+		canon:   map[int64]*vm.Object{},
+		home:    map[int64]*vm.Object{},
+		pending: map[uint64]chan srvResp{},
+		gates:   map[int64]*objGate{},
+		aff:     map[int64]*affinityCell{},
+		lts:     map[uint64]*lthread{},
+		done:    make(chan struct{}),
+		errs:    make(chan error, 16),
 	}
 	n.registerNatives()
 	return n, nil
@@ -392,9 +399,12 @@ func (n *Node) canonicalizeSlice(vs []vm.Value) []vm.Value {
 	return vs
 }
 
-// enterObject registers an in-flight local access to id, blocking while
-// a migration snapshot is in progress. Returns false only at shutdown.
-func (n *Node) enterObject(id int64) bool {
+// enterObject acquires the object's gate for a logical thread,
+// blocking while another thread holds it or a migration snapshot is in
+// progress. Reentrant per thread: nested accesses by the holding
+// thread — local nesting or a remote call-back carrying its id — enter
+// immediately. Returns false only at shutdown.
+func (n *Node) enterObject(lt *lthread, id int64) bool {
 	for {
 		n.gateMu.Lock()
 		g := n.gates[id]
@@ -402,28 +412,41 @@ func (n *Node) enterObject(id int64) bool {
 			g = &objGate{}
 			n.gates[id] = g
 		}
-		if g.frozen != nil {
-			ch := g.frozen
+		if g.depth > 0 && g.owner == lt.tid {
+			g.depth++
 			n.gateMu.Unlock()
-			select {
-			case <-ch:
-			case <-n.done:
-				return false
-			}
-			continue
+			return true
 		}
-		g.active++
+		var ch chan struct{}
+		switch {
+		case g.frozen != nil:
+			ch = g.frozen
+		case g.depth > 0:
+			// Held by another logical thread: wait for it to drain.
+			if g.idle == nil {
+				g.idle = make(chan struct{})
+			}
+			ch = g.idle
+		default:
+			g.owner, g.depth = lt.tid, 1
+			n.gateMu.Unlock()
+			return true
+		}
 		n.gateMu.Unlock()
-		return true
+		select {
+		case <-ch:
+		case <-n.done:
+			return false
+		}
 	}
 }
 
 // exitObject ends an in-flight access registered by enterObject.
-func (n *Node) exitObject(id int64) {
+func (n *Node) exitObject(lt *lthread, id int64) {
 	n.gateMu.Lock()
 	if g := n.gates[id]; g != nil {
-		g.active--
-		if g.active == 0 {
+		g.depth--
+		if g.depth == 0 {
 			if g.idle != nil {
 				close(g.idle)
 				g.idle = nil
@@ -457,7 +480,7 @@ func (n *Node) freezeObject(id int64) bool {
 			n.gateMu.Unlock()
 			return false
 		}
-		if g.active == 0 {
+		if g.depth == 0 {
 			g.frozen = make(chan struct{})
 			n.gateMu.Unlock()
 			return true
@@ -490,7 +513,7 @@ func (n *Node) thawObject(id int64) {
 	if g := n.gates[id]; g != nil && g.frozen != nil {
 		close(g.frozen)
 		g.frozen = nil
-		if g.active == 0 && g.idle == nil {
+		if g.depth == 0 && g.idle == nil {
 			delete(n.gates, id)
 		}
 	}
@@ -579,35 +602,37 @@ func (n *Node) proxyIdentity(p *vm.Object) (home int, id int64, class string) {
 	return
 }
 
-// send counts and transmits one message.
-func (n *Node) send(msg transport.Message) error {
-	atomic.AddInt64(&n.Stats.MessagesSent, 1)
-	atomic.AddInt64(&n.Stats.BytesSent, int64(len(msg.Payload)))
+// send stamps the logical thread id, counts and transmits one message.
+func (n *Node) send(lt *lthread, msg transport.Message) error {
+	msg.TID = lt.tid
+	n.count(lt, func(s *NodeStats) *int64 { return &s.MessagesSent }, 1)
+	n.count(lt, func(s *NodeStats) *int64 { return &s.BytesSent }, int64(len(msg.Payload)))
 	return n.EP.Send(msg)
 }
 
-// request flushes pending asynchronous messages (the ordering barrier
-// of §5's single logical thread), runs the adaptation trigger if an
-// epoch boundary was crossed, then sends a tagged message and blocks
-// for the matching response, advancing the virtual clock across the
-// exchange.
+// request flushes the thread's pending asynchronous messages (each
+// logical thread's ordering barrier), runs the adaptation trigger if
+// an epoch boundary was crossed, then sends a tagged message and
+// blocks for the matching response, advancing the virtual clock across
+// the exchange.
 //
-// The trigger runs after the flush on purpose: the logical thread is
-// the only source of application traffic, so at this point every
-// asynchronous batch it issued is on the wire ahead of any adaptation
-// message (causally-ordered fabrics) or already processed (acknowledged
-// batches), and the cluster is quiescent enough to migrate safely.
-func (n *Node) request(to int, kind uint8, payload []byte) (transport.Message, error) {
-	if err := n.flushAsync(); err != nil {
+// The trigger runs after the flush on purpose: at this point every
+// asynchronous batch this thread issued is on the wire ahead of any
+// adaptation message (causally-ordered fabrics) or already processed
+// (acknowledged batches). Other threads' in-flight work is safe by
+// construction — migrations freeze per-object gates and skip busy
+// objects, and stale requests are forwarded.
+func (n *Node) request(lt *lthread, to int, kind uint8, payload []byte) (transport.Message, error) {
+	if err := n.flushAsync(lt); err != nil {
 		return transport.Message{}, err
 	}
-	n.maybeAdapt()
-	return n.rawRequest(to, kind, payload)
+	n.maybeAdapt(lt)
+	return n.rawRequest(lt, to, kind, payload)
 }
 
 // rawRequest is request without the asynchronous flush barrier (used
 // by the flush itself to await batch acknowledgements).
-func (n *Node) rawRequest(to int, kind uint8, payload []byte) (transport.Message, error) {
+func (n *Node) rawRequest(lt *lthread, to int, kind uint8, payload []byte) (transport.Message, error) {
 	n.mu.Lock()
 	n.nextTag++
 	tag := n.nextTag
@@ -616,17 +641,17 @@ func (n *Node) rawRequest(to int, kind uint8, payload []byte) (transport.Message
 	n.mu.Unlock()
 
 	msg := transport.Message{To: to, Tag: tag, Kind: kind, Payload: payload, Time: n.VM.SimSeconds()}
-	if err := n.send(msg); err != nil {
+	if err := n.send(lt, msg); err != nil {
 		return transport.Message{}, err
 	}
 	select {
 	case resp := <-ch:
-		// A response may causally follow asynchronous batches that
-		// are still queued for the worker; wait for those before
-		// resuming so local reads observe their effects.
-		if resp.drain != nil {
+		// A response may causally follow asynchronous batches of this
+		// thread that are still queued for its batch worker; wait for
+		// those before resuming so local reads observe their effects.
+		for _, d := range resp.drain {
 			select {
-			case <-resp.drain:
+			case <-d:
 			case <-n.done:
 				return transport.Message{}, fmt.Errorf("runtime: node %d shut down during drain", n.Rank)
 			}
@@ -634,7 +659,7 @@ func (n *Node) rawRequest(to int, kind uint8, payload []byte) (transport.Message
 		// Virtual time: the response carries the remote clock after
 		// handling; add the return-path cost.
 		n.advanceTo(resp.msg.Time + n.Net.Cost(len(resp.msg.Payload)))
-		n.clearAsyncDest(to)
+		n.clearAsyncDest(lt, to)
 		return resp.msg, nil
 	case <-n.done:
 		return transport.Message{}, fmt.Errorf("runtime: node %d shut down while waiting for response", n.Rank)
@@ -642,33 +667,38 @@ func (n *Node) rawRequest(to int, kind uint8, payload []byte) (transport.Message
 }
 
 // asyncEnqueue buffers one fire-and-forget dependence message for its
-// destination, flushing early when the buffer fills.
-func (n *Node) asyncEnqueue(to int, req wire.DepRequest) error {
-	atomic.AddInt64(&n.Stats.AsyncCalls, 1)
-	n.asyncMu.Lock()
-	n.asyncBuf[to] = append(n.asyncBuf[to], req)
-	full := len(n.asyncBuf[to]) >= asyncBatchMax
-	n.asyncMu.Unlock()
+// destination on the issuing thread, flushing early when the buffer
+// fills.
+func (n *Node) asyncEnqueue(lt *lthread, to int, req wire.DepRequest) error {
+	n.count(lt, func(s *NodeStats) *int64 { return &s.AsyncCalls }, 1)
+	lt.mu.Lock()
+	lt.asyncBuf[to] = append(lt.asyncBuf[to], req)
+	full := len(lt.asyncBuf[to]) >= asyncBatchMax
+	lt.mu.Unlock()
 	if full {
-		return n.flushAsync()
+		return n.flushAsync(lt)
 	}
 	return nil
 }
 
 // flushAsync aggregates each destination's buffered asynchronous
-// messages into one batched frame and sends them. On transports
-// without causal delivery the batch requests an acknowledgement and
-// the flush awaits it, so later synchronous exchanges (possibly
-// through third nodes) cannot observe pre-batch state.
-func (n *Node) flushAsync() error {
-	n.asyncMu.Lock()
-	if len(n.asyncBuf) == 0 {
-		n.asyncMu.Unlock()
+// messages of one logical thread into one batched frame and sends
+// them. On transports without causal delivery the batch requests an
+// acknowledgement and the flush awaits it, so later synchronous
+// exchanges (possibly through third nodes) cannot observe pre-batch
+// state.
+func (n *Node) flushAsync(lt *lthread) error {
+	// Leftovers from retired threads flush ahead of this thread's own
+	// work, merged into the same frames.
+	n.adoptCarry(lt)
+	lt.mu.Lock()
+	if len(lt.asyncBuf) == 0 {
+		lt.mu.Unlock()
 		return nil
 	}
-	bufs := n.asyncBuf
-	n.asyncBuf = map[int][]wire.DepRequest{}
-	n.asyncMu.Unlock()
+	bufs := lt.asyncBuf
+	lt.asyncBuf = map[int][]wire.DepRequest{}
+	lt.mu.Unlock()
 
 	dests := make([]int, 0, len(bufs))
 	for to := range bufs {
@@ -682,10 +712,10 @@ func (n *Node) flushAsync() error {
 		}
 		batch := wire.Batch{Ack: !n.causal, Reqs: reqs}
 		payload := batch.Encode()
-		atomic.AddInt64(&n.Stats.BatchFrames, 1)
-		atomic.AddInt64(&n.Stats.BatchedRequests, int64(len(reqs)))
+		n.count(lt, func(s *NodeStats) *int64 { return &s.BatchFrames }, 1)
+		n.count(lt, func(s *NodeStats) *int64 { return &s.BatchedRequests }, int64(len(reqs)))
 		if batch.Ack {
-			resp, err := n.rawRequest(to, KindDependenceBatch, payload)
+			resp, err := n.rawRequest(lt, to, KindDependenceBatch, payload)
 			if err != nil {
 				return err
 			}
@@ -702,73 +732,78 @@ func (n *Node) flushAsync() error {
 			continue
 		}
 		msg := transport.Message{To: to, Kind: KindDependenceBatch, Payload: payload, Time: n.VM.SimSeconds()}
-		if err := n.send(msg); err != nil {
+		if err := n.send(lt, msg); err != nil {
 			return err
 		}
 		// Fire-and-forget: the destination now holds unprocessed work
-		// until something barriers it.
-		n.asyncMu.Lock()
-		n.asyncDests[to] = true
-		n.asyncMu.Unlock()
+		// of this thread until something barriers it.
+		lt.mu.Lock()
+		lt.asyncDests[to] = true
+		lt.mu.Unlock()
 	}
 	return nil
 }
 
-// clearAsyncDest drops a destination from the outstanding-batch set:
-// a response from it proves it drained every batch that causally
-// preceded the request (its serve loop orders batches before later
-// requests, and request handlers wait for the batch worker).
-func (n *Node) clearAsyncDest(d int) {
-	n.asyncMu.Lock()
-	delete(n.asyncDests, d)
-	n.asyncMu.Unlock()
+// clearAsyncDest drops a destination from the thread's
+// outstanding-batch set: a response from it proves it drained every
+// batch of this thread that causally preceded the request (its serve
+// loop orders the thread's batches before its later requests, and
+// request handlers wait for the thread's batch worker).
+func (n *Node) clearAsyncDest(lt *lthread, d int) {
+	lt.mu.Lock()
+	delete(lt.asyncDests, d)
+	lt.mu.Unlock()
 }
 
-// noteAsyncDests merges destinations inherited from a response.
-func (n *Node) noteAsyncDests(dests []int) {
+// noteAsyncDests merges destinations inherited from a response into
+// the thread's outstanding-batch set.
+func (n *Node) noteAsyncDests(lt *lthread, dests []int) {
 	if len(dests) == 0 {
 		return
 	}
-	n.asyncMu.Lock()
+	lt.mu.Lock()
 	for _, d := range dests {
 		if d != n.Rank {
-			n.asyncDests[d] = true
+			lt.asyncDests[d] = true
 		}
 	}
-	n.asyncMu.Unlock()
+	lt.mu.Unlock()
 }
 
-// takeAsyncDests consumes the outstanding-batch destination set.
-func (n *Node) takeAsyncDests() []int {
-	n.asyncMu.Lock()
-	defer n.asyncMu.Unlock()
-	if len(n.asyncDests) == 0 {
+// takeAsyncDests consumes the thread's outstanding-batch destination
+// set.
+func (n *Node) takeAsyncDests(lt *lthread) []int {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	if len(lt.asyncDests) == 0 {
 		return nil
 	}
-	out := make([]int, 0, len(n.asyncDests))
-	for d := range n.asyncDests {
+	out := make([]int, 0, len(lt.asyncDests))
+	for d := range lt.asyncDests {
 		out = append(out, d)
 	}
-	n.asyncDests = map[int]bool{}
+	lt.asyncDests = map[int]bool{}
 	sort.Ints(out)
 	return out
 }
 
-// stashAsyncErr records the first deferred asynchronous failure.
-func (n *Node) stashAsyncErr(err error) {
-	n.asyncErrMu.Lock()
-	if n.asyncErr == "" {
-		n.asyncErr = err.Error()
+// stashAsyncErr records a thread's first deferred asynchronous
+// failure; it surfaces on the thread's next response from this node,
+// or on its invocation result.
+func stashAsyncErr(lt *lthread, err error) {
+	lt.mu.Lock()
+	if lt.asyncErr == "" {
+		lt.asyncErr = err.Error()
 	}
-	n.asyncErrMu.Unlock()
+	lt.mu.Unlock()
 }
 
-// takeAsyncErr consumes the stashed deferred failure.
-func (n *Node) takeAsyncErr() string {
-	n.asyncErrMu.Lock()
-	defer n.asyncErrMu.Unlock()
-	e := n.asyncErr
-	n.asyncErr = ""
+// takeAsyncErr consumes the thread's stashed deferred failure.
+func takeAsyncErr(lt *lthread) string {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	e := lt.asyncErr
+	lt.asyncErr = ""
 	return e
 }
 
@@ -786,20 +821,57 @@ func (n *Node) advanceTo(t float64) {
 
 // Serve runs the Message Exchange service until shutdown. Each request
 // is handled in its own goroutine so nested remote calls (call-backs
-// into a node that is itself blocked on a request) cannot deadlock.
-// Batched asynchronous messages go to a dedicated worker that
-// processes them strictly in arrival order; synchronous requests and
-// responses that arrive after a batch wait for it to drain, preserving
-// the single logical thread's observable ordering.
+// into a node that is itself blocked on a request) cannot deadlock,
+// and a blocked logical thread never stalls the serve loop or other
+// threads. Batched asynchronous messages are keyed by thread id: each
+// batch processes on its own goroutine chained behind the same
+// thread's previous batch, so one thread's batches run strictly in
+// order while different threads' run in parallel — and a batch
+// blocked on an object gate held by another logical thread delays
+// only its own thread, never anyone else's queue. The batch barrier
+// is per logical thread too: a request or response for thread T waits
+// only for T's own queued batches, while system frames (thread 0)
+// conservatively wait for every thread's.
 func (n *Node) Serve() {
-	n.wg.Add(1)
-	go n.batchWorker()
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
-		// lastBatch is the done channel of the most recently enqueued
-		// batch; messages ordered after it must wait for it.
-		var lastBatch chan struct{}
+		// lastBatch maps a thread id to the done channel of its most
+		// recently enqueued batch; the thread's later messages must
+		// wait for it (and transitively, through the per-thread batch
+		// chain, for all of its earlier batches).
+		lastBatch := map[uint64]chan struct{}{}
+		// barriers returns the drain set a message must honour.
+		barriers := func(tid uint64) []chan struct{} {
+			if tid != 0 {
+				if ch := lastBatch[tid]; ch != nil {
+					return []chan struct{}{ch}
+				}
+				return nil
+			}
+			// System frames order behind every thread's batches:
+			// migration and shutdown commands must observe all
+			// causally-preceding application work.
+			var out []chan struct{}
+			for _, ch := range lastBatch {
+				out = append(out, ch)
+			}
+			return out
+		}
+		// sweep drops drained entries so the map stays bounded by the
+		// number of threads with genuinely outstanding batches.
+		sweep := func() {
+			if len(lastBatch) < 64 {
+				return
+			}
+			for tid, ch := range lastBatch {
+				select {
+				case <-ch:
+					delete(lastBatch, tid)
+				default:
+				}
+			}
+		}
 		for {
 			msg, err := n.EP.Recv()
 			if err != nil {
@@ -812,7 +884,7 @@ func (n *Node) Serve() {
 				delete(n.pending, msg.Tag)
 				n.mu.Unlock()
 				if ch != nil {
-					ch <- srvResp{msg: msg, drain: lastBatch}
+					ch <- srvResp{msg: msg, drain: barriers(msg.TID)}
 				}
 			case KindInvalidate:
 				// Invalidations bypass the batch barrier on purpose:
@@ -832,21 +904,31 @@ func (n *Node) Serve() {
 				_ = n.EP.Close()
 				return
 			case KindDependenceBatch:
+				prev := lastBatch[msg.TID]
 				done := make(chan struct{})
-				lastBatch = done
-				select {
-				case n.batchCh <- batchJob{msg: msg, done: done}:
-				case <-n.done:
-					return
-				}
-			default:
-				wait := lastBatch
+				lastBatch[msg.TID] = done
+				sweep()
 				n.wg.Add(1)
-				go func(m transport.Message, wait chan struct{}) {
+				go func(job batchJob, prev chan struct{}) {
 					defer n.wg.Done()
-					if wait != nil {
+					if prev != nil {
 						select {
-						case <-wait:
+						case <-prev:
+						case <-n.done:
+							close(job.done)
+							return
+						}
+					}
+					n.handleBatch(job)
+				}(batchJob{msg: msg, done: done}, prev)
+			default:
+				wait := barriers(msg.TID)
+				n.wg.Add(1)
+				go func(m transport.Message, wait []chan struct{}) {
+					defer n.wg.Done()
+					for _, w := range wait {
+						select {
+						case <-w:
 						case <-n.done:
 							return
 						}
@@ -858,39 +940,30 @@ func (n *Node) Serve() {
 	}()
 }
 
-// batchWorker processes aggregated asynchronous dependence messages
-// sequentially. Confined methods (the only ones the rewriter marks
-// async) never leave this node, so processing cannot block on other
-// nodes.
-func (n *Node) batchWorker() {
-	defer n.wg.Done()
-	for {
-		select {
-		case job := <-n.batchCh:
-			n.handleBatch(job)
-		case <-n.done:
-			return
-		}
-	}
-}
-
+// handleBatch processes one aggregated asynchronous dependence frame
+// on the logical thread it belongs to. Confined methods (the only
+// ones the rewriter marks async) never leave this node, but their
+// object gates can block behind another logical thread's in-flight
+// access — which is why each batch runs on its own goroutine, chained
+// behind the same thread's previous batch only (see Serve).
 func (n *Node) handleBatch(job batchJob) {
 	defer close(job.done)
 	msg := job.msg
+	lt := n.lthread(msg.TID)
 	n.advanceTo(msg.Time + n.Net.Cost(len(msg.Payload)))
 	batch, err := wire.DecodeBatch(msg.Payload)
 	if err != nil {
-		n.stashAsyncErr(err)
+		stashAsyncErr(lt, err)
 	} else {
 		for i := range batch.Reqs {
-			atomic.AddInt64(&n.Stats.DepRequests, 1)
-			out := n.serveDependence(&batch.Reqs[i])
+			n.count(lt, func(s *NodeStats) *int64 { return &s.DepRequests }, 1)
+			out := n.serveDependence(lt, &batch.Reqs[i])
 			if out.Err != "" {
-				n.stashAsyncErr(fmt.Errorf("%s", out.Err))
+				stashAsyncErr(lt, fmt.Errorf("%s", out.Err))
 				break
 			}
 			if out.AsyncErr != "" {
-				n.stashAsyncErr(fmt.Errorf("%s", out.AsyncErr))
+				stashAsyncErr(lt, fmt.Errorf("%s", out.AsyncErr))
 				break
 			}
 		}
@@ -899,12 +972,12 @@ func (n *Node) handleBatch(job batchJob) {
 	// the tag, not the decoded Ack flag, so a sender never hangs on a
 	// batch that failed to decode).
 	if msg.Tag != 0 {
-		out := wire.DepResponse{AsyncErr: n.takeAsyncErr()}
+		out := wire.DepResponse{AsyncErr: takeAsyncErr(lt)}
 		resp := transport.Message{
 			To: msg.From, Tag: msg.Tag, Kind: KindResponse,
 			Payload: out.Encode(), Time: n.VM.SimSeconds(),
 		}
-		if err := n.send(resp); err != nil {
+		if err := n.send(lt, resp); err != nil {
 			select {
 			case n.errs <- err:
 			default:
@@ -913,8 +986,10 @@ func (n *Node) handleBatch(job batchJob) {
 	}
 }
 
-// handle processes one NEW, DEPENDENCE or BARRIER request and replies.
+// handle processes one NEW, DEPENDENCE or BARRIER request and replies
+// on the logical thread the request belongs to.
 func (n *Node) handle(msg transport.Message) {
+	lt := n.lthread(msg.TID)
 	// Virtual time: receiving the request pulls our clock to the
 	// sender's time plus the transfer cost.
 	n.advanceTo(msg.Time + n.Net.Cost(len(msg.Payload)))
@@ -924,7 +999,7 @@ func (n *Node) handle(msg transport.Message) {
 			To: msg.From, Tag: msg.Tag, Kind: KindResponse,
 			Payload: payload, Time: n.VM.SimSeconds(),
 		}
-		if err := n.send(resp); err != nil {
+		if err := n.send(lt, resp); err != nil {
 			select {
 			case n.errs <- err:
 			default:
@@ -932,30 +1007,31 @@ func (n *Node) handle(msg transport.Message) {
 		}
 	}
 
-	// finish flushes asynchronous messages buffered while serving this
-	// request (the reply hands the logical thread back to the caller,
-	// who may immediately observe their target state through a third
-	// node), then stamps the deferred-failure and outstanding-batch
-	// bookkeeping the caller inherits. Bookkeeping already present in
-	// the response (inherited from a forwarded downstream exchange) is
-	// merged, not overwritten.
+	// finish flushes asynchronous messages the thread buffered while
+	// this node served its request (the reply hands the logical thread
+	// back to the caller, who may immediately observe their target
+	// state through a third node), then stamps the thread's
+	// deferred-failure and outstanding-batch bookkeeping the caller
+	// inherits. Bookkeeping already present in the response (inherited
+	// from a forwarded downstream exchange) is merged, not
+	// overwritten.
 	finish := func(errSlot, asyncErr *string, dests *[]int) {
-		if err := n.flushAsync(); err != nil && *errSlot == "" {
+		if err := n.flushAsync(lt); err != nil && *errSlot == "" {
 			*errSlot = err.Error()
 		}
-		if e := n.takeAsyncErr(); e != "" && *asyncErr == "" {
+		if e := takeAsyncErr(lt); e != "" && *asyncErr == "" {
 			*asyncErr = e
 		}
-		*dests = mergeDests(*dests, n.takeAsyncDests())
+		*dests = mergeDests(*dests, n.takeAsyncDests(lt))
 	}
 
 	switch msg.Kind {
 	case KindNew:
-		atomic.AddInt64(&n.Stats.NewRequests, 1)
+		n.count(lt, func(s *NodeStats) *int64 { return &s.NewRequests }, 1)
 		out := wire.NewResponse{}
 		if req, err := wire.DecodeNewRequest(msg.Payload); err != nil {
 			out.Err = err.Error()
-		} else if id, outs, err := n.handleNew(&req); err != nil {
+		} else if id, outs, err := n.handleNew(lt, &req); err != nil {
 			out.Err = err.Error()
 		} else {
 			out.ID = id
@@ -964,28 +1040,32 @@ func (n *Node) handle(msg transport.Message) {
 		finish(&out.Err, &out.AsyncErr, &out.AsyncDests)
 		reply(out.Encode())
 	case KindDependence:
-		atomic.AddInt64(&n.Stats.DepRequests, 1)
+		n.count(lt, func(s *NodeStats) *int64 { return &s.DepRequests }, 1)
 		out := wire.DepResponse{}
 		if req, err := wire.DecodeDepRequest(msg.Payload); err != nil {
 			out.Err = err.Error()
 		} else {
-			out = n.serveDependence(&req)
+			out = n.serveDependence(lt, &req)
 		}
 		finish(&out.Err, &out.AsyncErr, &out.AsyncDests)
 		reply(out.Encode())
 	case KindBarrier:
-		// The barrier drains this node's own asynchronous buffers
-		// (they may hold relayed work) and surfaces deferred errors;
-		// destinations it flushed to come back to the caller, which
-		// barriers them in turn.
+		// The barrier drains the thread's buffers relayed through this
+		// node and surfaces its deferred errors — plus any residual
+		// failure left by threads retired in the meantime; destinations
+		// it flushed to come back to the caller, which barriers them in
+		// turn.
 		out := wire.DepResponse{}
 		finish(&out.Err, &out.AsyncErr, &out.AsyncDests)
+		if e := n.takeResidErr(); e != "" && out.AsyncErr == "" {
+			out.AsyncErr = e
+		}
 		reply(out.Encode())
 	case KindAdapt:
 		// A non-coordinator node crossed an adaptation epoch and asked
 		// us (the coordinator) to run a round while its logical thread
-		// waits — the quiescent point the migrations rely on.
-		n.runAdapt()
+		// waits; the round is accounted on that thread.
+		n.runAdapt(lt)
 		out := wire.DepResponse{}
 		reply(out.Encode())
 	case KindAffinity:
@@ -996,7 +1076,7 @@ func (n *Node) handle(msg transport.Message) {
 		if req, err := wire.DecodeMigrateRequest(msg.Payload); err != nil {
 			out.Err = err.Error()
 		} else {
-			out = n.handleMigrate(&req)
+			out = n.handleMigrate(lt, &req)
 		}
 		reply(out.Encode())
 	case KindReplicate:
@@ -1046,8 +1126,9 @@ func mergeDests(a, b []int) []int {
 
 // handleNew creates the real object for a remote NEW message: it finds
 // the class, resolves the constructor by argument count, allocates and
-// initialises the object, and registers it for remote reference.
-func (n *Node) handleNew(req *wire.NewRequest) (int64, []wire.Value, error) {
+// initialises the object (on the requesting logical thread's
+// interpreter context), and registers it for remote reference.
+func (n *Node) handleNew(lt *lthread, req *wire.NewRequest) (int64, []wire.Value, error) {
 	cls := n.VM.Class(req.Class)
 	if cls == nil {
 		return 0, nil, fmt.Errorf("node %d: unknown class %s", n.Rank, req.Class)
@@ -1062,7 +1143,7 @@ func (n *Node) handleNew(req *wire.NewRequest) (int64, []wire.Value, error) {
 	}
 	obj := n.VM.NewObject(cls)
 	callArgs := append([]vm.Value{obj}, args...)
-	if _, err := n.VM.Invoke(cls, ctor, callArgs); err != nil {
+	if _, err := lt.vt.Invoke(cls, ctor, callArgs); err != nil {
 		return 0, nil, err
 	}
 	n.export(obj)
@@ -1088,10 +1169,11 @@ func findCtorByArity(cf *bytecode.ClassFile, arity int) *bytecode.Method {
 }
 
 // serveDependence performs the access named by a DEPENDENCE message on
-// the object's state-holder (or this node's statics). If the object has
-// migrated away, the request is transparently forwarded to its new home
-// and the response carries a Moved notice so the caller redirects.
-func (n *Node) serveDependence(req *wire.DepRequest) wire.DepResponse {
+// the object's state-holder (or this node's statics), on the
+// requesting logical thread. If the object has migrated away, the
+// request is transparently forwarded to its new home and the response
+// carries a Moved notice so the caller redirects.
+func (n *Node) serveDependence(lt *lthread, req *wire.DepRequest) wire.DepResponse {
 	var out wire.DepResponse
 	fail := func(err error) wire.DepResponse {
 		out.Err = err.Error()
@@ -1121,33 +1203,33 @@ func (n *Node) serveDependence(req *wire.DepRequest) wire.DepResponse {
 
 	if req.Static {
 		return serve(func(args []vm.Value) (vm.Value, error) {
-			return n.staticAccessLocal(req.Class, req.Kind, req.Member, args)
+			return n.staticAccessLocal(lt, req.Class, req.Kind, req.Member, args)
 		})
 	}
-	if !n.enterObject(req.ID) {
+	if !n.enterObject(lt, req.ID) {
 		return fail(fmt.Errorf("node %d shut down", n.Rank))
 	}
 	if h := n.holder(req.ID); h != nil {
 		resp := serve(func(args []vm.Value) (vm.Value, error) {
-			return n.localAccess(h, req.Kind, req.Member, args)
+			return n.localAccess(lt, h, req.Kind, req.Member, args)
 		})
-		n.exitObject(req.ID)
+		n.exitObject(lt, req.ID)
 		return resp
 	}
-	n.exitObject(req.ID)
+	n.exitObject(lt, req.ID)
 	fwd, ok := n.coh.lookupHint(req.ID)
 	if !ok || fwd == n.Rank {
 		return fail(fmt.Errorf("node %d: no object %d", n.Rank, req.ID))
 	}
-	return n.forwardDependence(fwd, req)
+	return n.forwardDependence(lt, fwd, req)
 }
 
 // forwardDependence relays a stale request to the object's new home
-// (the handoff window of a live migration) and stamps the Moved notice
-// on the way back.
-func (n *Node) forwardDependence(to int, req *wire.DepRequest) wire.DepResponse {
-	atomic.AddInt64(&n.Stats.Forwards, 1)
-	resp, err := n.rawRequest(to, KindDependence, req.Encode())
+// (the handoff window of a live migration) on the same logical thread
+// and stamps the Moved notice on the way back.
+func (n *Node) forwardDependence(lt *lthread, to int, req *wire.DepRequest) wire.DepResponse {
+	n.count(lt, func(s *NodeStats) *int64 { return &s.Forwards }, 1)
+	resp, err := n.rawRequest(lt, to, KindDependence, req.Encode())
 	if err != nil {
 		return wire.DepResponse{Err: err.Error()}
 	}

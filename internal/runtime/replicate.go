@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"strings"
 	"sync"
-	"sync/atomic"
 
 	"autodist/internal/rewrite"
 	"autodist/internal/transport"
@@ -96,13 +95,13 @@ func (n *Node) handleReplicate(req *wire.ReplicateRequest, from int) wire.Replic
 // replication — the caller falls back to a plain remote access. The
 // returned shadow is valid for the triggering access even if a racing
 // invalidation prevented the install.
-func (n *Node) fetchReplica(home int, id int64) (*vm.Object, error) {
+func (n *Node) fetchReplica(lt *lthread, home int, id int64) (*vm.Object, error) {
 	req := wire.ReplicateRequest{ID: id}
 	payload := req.Encode()
 	for hops := 0; hops <= n.EP.Size(); hops++ {
 		gen := n.coh.replicaGen(id)
 		n.recordAffinity(id, len(payload), false)
-		resp, err := n.rawRequest(home, KindReplicate, payload)
+		resp, err := n.rawRequest(lt, home, KindReplicate, payload)
 		if err != nil {
 			return nil, err
 		}
@@ -153,7 +152,7 @@ func (n *Node) fetchReplica(home int, id int64) (*vm.Object, error) {
 		// Only exchanges that actually delivered a usable snapshot
 		// count as fetches (redirect hops, denials and malformed
 		// payloads do not).
-		atomic.AddInt64(&n.Stats.ReplicaFetches, 1)
+		n.count(lt, func(s *NodeStats) *int64 { return &s.ReplicaFetches }, 1)
 		n.coh.installReplica(id, shadow, gen)
 		return shadow, nil
 	}
@@ -163,7 +162,7 @@ func (n *Node) fetchReplica(home int, id int64) (*vm.Object, error) {
 // replicaServe satisfies one stamped access from a replica shadow:
 // field reads index the snapshot, replica-read invokes execute the
 // (proven read-only) method body on it.
-func (n *Node) replicaServe(shadow *vm.Object, kind int, member string, acc []vm.Value) (vm.Value, error) {
+func (n *Node) replicaServe(lt *lthread, shadow *vm.Object, kind int, member string, acc []vm.Value) (vm.Value, error) {
 	switch kind {
 	case rewrite.GetFieldReplicated:
 		slot := shadow.Class.FieldSlot(member)
@@ -177,7 +176,7 @@ func (n *Node) replicaServe(shadow *vm.Object, kind int, member string, acc []vm
 			return nil, fmt.Errorf("runtime: bad member key %q", member)
 		}
 		callArgs := append([]vm.Value{shadow}, acc...)
-		return n.VM.CallMethod(shadow.Class.Name(), name, desc, callArgs)
+		return lt.vt.CallMethod(shadow.Class.Name(), name, desc, callArgs)
 	}
 	return nil, fmt.Errorf("runtime: access kind %d cannot be replica-served", kind)
 }
@@ -189,7 +188,7 @@ func (n *Node) replicaServe(shadow *vm.Object, kind int, member string, acc []vm
 // them in independent goroutines), so the barrier costs roughly one
 // round trip regardless of fan-out. The drained replica set is
 // cleared — readers re-register on their next fetch.
-func (n *Node) invalidateReaders(id int64) error {
+func (n *Node) invalidateReaders(lt *lthread, id int64) error {
 	readers := n.coh.readersOf(id)
 	if len(readers) == 0 {
 		return nil
@@ -202,11 +201,11 @@ func (n *Node) invalidateReaders(id int64) error {
 		if r == n.Rank {
 			continue
 		}
-		atomic.AddInt64(&n.Stats.Invalidations, 1)
+		n.count(lt, func(s *NodeStats) *int64 { return &s.Invalidations }, 1)
 		wg.Add(1)
 		go func(i, r int) {
 			defer wg.Done()
-			resp, err := n.rawRequest(r, KindInvalidate, payload)
+			resp, err := n.rawRequest(lt, r, KindInvalidate, payload)
 			if err != nil {
 				errs[i] = err
 				return
@@ -236,6 +235,7 @@ func (n *Node) invalidateReaders(id int64) error {
 // loop's batch barrier (see Serve): dropping early is always safe, and
 // the writer must not block behind unrelated batch work.
 func (n *Node) handleInvalidate(msg transport.Message) {
+	lt := n.lthread(msg.TID)
 	n.advanceTo(msg.Time + n.Net.Cost(len(msg.Payload)))
 	var ack wire.ReplicaAck
 	if req, err := wire.DecodeInvalidateRequest(msg.Payload); err != nil {
@@ -247,7 +247,7 @@ func (n *Node) handleInvalidate(msg transport.Message) {
 		To: msg.From, Tag: msg.Tag, Kind: KindReplicaAck,
 		Payload: ack.Encode(), Time: n.VM.SimSeconds(),
 	}
-	if err := n.send(resp); err != nil {
+	if err := n.send(lt, resp); err != nil {
 		select {
 		case n.errs <- err:
 		default:

@@ -33,6 +33,7 @@ class Main {
 	static void main() { Main.c = new Counter(); }
 	static void bump(int n) { Main.c.bump(n); }
 	static void poison(int n) { Main.c.poison(n); }
+	static int poisonget(int n) { Main.c.poison(n); return Main.c.get(); }
 	static int get() { return Main.c.get(); }
 }
 `
@@ -183,7 +184,7 @@ func TestInvokeEntryResolution(t *testing.T) {
 		t.Errorf("type error = %v", err)
 	}
 	got := c.Entrypoints()
-	want := "bump get main poison"
+	want := "bump get main poison poisonget"
 	if strings.Join(got, " ") != want {
 		t.Errorf("Entrypoints() = %v, want %q", got, want)
 	}

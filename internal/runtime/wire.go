@@ -4,10 +4,16 @@
 // messages, DependentObject proxies with (class, home node, unique id)
 // identity, and one ExecutionStarter that invokes main() on node 0.
 //
-// Execution follows the paper's call-migration model: the single
-// logical thread of control moves between nodes through request
-// messages; nested callbacks are served concurrently by per-request
-// goroutines so reentrant dependences cannot deadlock.
+// Execution generalises the paper's call-migration model from one to
+// N concurrent logical threads (Options.MaxConcurrent; the default of
+// 1 is the paper's single thread of control, preserved exactly): each
+// in-flight entrypoint invocation is a logical thread whose id rides
+// on every frame, moving between nodes through request messages, with
+// per-thread execution contexts on each node (thread.go) and real
+// per-object mutual exclusion at the access gates. Nested callbacks
+// are served concurrently by per-request goroutines so reentrant
+// dependences cannot deadlock and a blocked thread never stalls the
+// serve loop or other threads.
 //
 // The runtime is built on raw message exchange rather than RPC because
 // (as §5 argues) raw messages admit communication optimisations. Three

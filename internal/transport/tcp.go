@@ -22,13 +22,26 @@ type tcpEndpoint struct {
 	ln    net.Listener
 	inbox chan Message
 
+	// mu guards the connection table and the accepted list only —
+	// never a dial or a write. Dials run outside it (a slow peer must
+	// not stall sends to every other peer) and each connection carries
+	// its own write mutex, so concurrent senders serialise per
+	// destination, not per endpoint.
 	mu       sync.Mutex
-	conns    map[int]net.Conn
+	conns    map[int]*tcpConn
 	accepted []net.Conn
 
 	closed  bool
 	closeMu sync.Mutex
 	wg      sync.WaitGroup
+}
+
+// tcpConn is one outgoing connection with its per-connection write
+// lock: whole frames stay contiguous on the stream while sends to
+// different peers proceed in parallel.
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
 }
 
 // NewTCPNode creates the endpoint for rank within a cluster whose
@@ -44,7 +57,7 @@ func NewTCPNode(rank int, addrs []string, ln net.Listener) (Endpoint, error) {
 		addrs: addrs,
 		ln:    ln,
 		inbox: make(chan Message, 1024),
-		conns: map[int]net.Conn{},
+		conns: map[int]*tcpConn{},
 	}
 	e.wg.Add(1)
 	go e.acceptLoop()
@@ -85,7 +98,7 @@ func (e *tcpEndpoint) readLoop(conn net.Conn) {
 			_ = conn.Close()
 			return
 		}
-		msg := Message{From: f.From, To: f.To, Tag: f.Tag, Kind: f.Kind, Time: f.Time, Payload: f.Payload}
+		msg := Message{From: f.From, To: f.To, Tag: f.Tag, TID: f.TID, Kind: f.Kind, Time: f.Time, Payload: f.Payload}
 		e.closeMu.Lock()
 		closed := e.closed
 		if !closed {
@@ -107,27 +120,55 @@ func (e *tcpEndpoint) Send(msg Message) error {
 		return fmt.Errorf("transport: bad destination %d", msg.To)
 	}
 	msg.From = e.rank
-	frame := wire.Frame{From: msg.From, To: msg.To, Tag: msg.Tag, Kind: msg.Kind, Time: msg.Time, Payload: msg.Payload}
+	frame := wire.Frame{From: msg.From, To: msg.To, Tag: msg.Tag, TID: msg.TID, Kind: msg.Kind, Time: msg.Time, Payload: msg.Payload}
 	buf := wire.AppendFrame(nil, &frame)
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	conn, ok := e.conns[msg.To]
-	if !ok {
-		var err error
-		conn, err = net.Dial("tcp", e.addrs[msg.To])
-		if err != nil {
-			return fmt.Errorf("transport: dial node %d: %w", msg.To, err)
-		}
-		e.conns[msg.To] = conn
+	conn, err := e.connTo(msg.To)
+	if err != nil {
+		return err
 	}
 	// One Write per frame keeps frames contiguous on the stream; the
-	// lock serialises writers per endpoint.
-	if _, err := conn.Write(buf); err != nil {
-		_ = conn.Close()
-		delete(e.conns, msg.To)
+	// per-connection lock serialises writers per destination, so a
+	// slow write to one peer never stalls sends to the others.
+	conn.mu.Lock()
+	_, err = conn.c.Write(buf)
+	conn.mu.Unlock()
+	if err != nil {
+		_ = conn.c.Close()
+		e.mu.Lock()
+		if e.conns[msg.To] == conn {
+			delete(e.conns, msg.To)
+		}
+		e.mu.Unlock()
 		return fmt.Errorf("transport: send to %d: %w", msg.To, err)
 	}
 	return nil
+}
+
+// connTo returns the live connection to a peer, dialling it outside
+// the endpoint lock if none exists. Concurrent first sends may race to
+// dial; the loser's connection is closed and the table's entry wins,
+// so every sender funnels through one connection per destination.
+func (e *tcpEndpoint) connTo(to int) (*tcpConn, error) {
+	e.mu.Lock()
+	conn := e.conns[to]
+	e.mu.Unlock()
+	if conn != nil {
+		return conn, nil
+	}
+	c, err := net.Dial("tcp", e.addrs[to])
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial node %d: %w", to, err)
+	}
+	e.mu.Lock()
+	if existing := e.conns[to]; existing != nil {
+		e.mu.Unlock()
+		_ = c.Close()
+		return existing, nil
+	}
+	conn = &tcpConn{c: c}
+	e.conns[to] = conn
+	e.mu.Unlock()
+	return conn, nil
 }
 
 func (e *tcpEndpoint) Recv() (Message, error) {
@@ -149,7 +190,7 @@ func (e *tcpEndpoint) Close() error {
 	_ = e.ln.Close()
 	e.mu.Lock()
 	for _, c := range e.conns {
-		_ = c.Close()
+		_ = c.c.Close()
 	}
 	for _, c := range e.accepted {
 		_ = c.Close()

@@ -16,11 +16,15 @@ import (
 )
 
 // Message is one tagged frame. Tag correlates requests with responses;
-// Time carries the sender's simulated clock for the virtual-time model
-// (paper §7.2's heterogeneous-node experiments).
+// TID names the logical thread the frame belongs to (0 is the system
+// thread), so replies, asynchronous batches and deferred errors
+// correlate per thread rather than per node; Time carries the sender's
+// simulated clock for the virtual-time model (paper §7.2's
+// heterogeneous-node experiments).
 type Message struct {
 	From, To int
 	Tag      uint64
+	TID      uint64
 	Kind     uint8
 	Time     float64
 	Payload  []byte

@@ -215,7 +215,7 @@ func TestTimestampAndKindRoundTrip(t *testing.T) {
 	}
 	defer eps[0].Close()
 	defer eps[1].Close()
-	want := Message{To: 1, Tag: 42, Kind: 7, Time: 1.25, Payload: []byte{1, 2, 3}}
+	want := Message{To: 1, Tag: 42, TID: 1 << 40, Kind: 7, Time: 1.25, Payload: []byte{1, 2, 3}}
 	if err := eps[0].Send(want); err != nil {
 		t.Fatal(err)
 	}
@@ -223,8 +223,55 @@ func TestTimestampAndKindRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Tag != 42 || got.Kind != 7 || got.Time != 1.25 || got.From != 0 {
+	if got.Tag != 42 || got.TID != 1<<40 || got.Kind != 7 || got.Time != 1.25 || got.From != 0 {
 		t.Errorf("round trip lost fields: %+v", got)
+	}
+}
+
+// TestTCPConcurrentSendersDistinctPeers exercises the dial-outside-lock
+// path: many goroutines send first messages to different peers at
+// once (racing dials to the same peer included); every frame must
+// arrive intact exactly once.
+func TestTCPConcurrentSendersDistinctPeers(t *testing.T) {
+	const n, per = 4, 16
+	eps, err := NewTCPCluster(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, ep := range eps {
+			_ = ep.Close()
+		}
+	}()
+	var wg sync.WaitGroup
+	for peer := 1; peer < n; peer++ {
+		for i := 0; i < per; i++ {
+			wg.Add(1)
+			go func(peer, i int) {
+				defer wg.Done()
+				msg := Message{To: peer, Tag: uint64(i), TID: uint64(peer), Payload: []byte(fmt.Sprintf("m%d-%d", peer, i))}
+				if err := eps[0].Send(msg); err != nil {
+					t.Errorf("send to %d: %v", peer, err)
+				}
+			}(peer, i)
+		}
+	}
+	wg.Wait()
+	for peer := 1; peer < n; peer++ {
+		seen := map[uint64]bool{}
+		for i := 0; i < per; i++ {
+			msg, err := eps[peer].Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if msg.TID != uint64(peer) || string(msg.Payload) != fmt.Sprintf("m%d-%d", peer, msg.Tag) {
+				t.Fatalf("node %d got corrupted frame %+v", peer, msg)
+			}
+			if seen[msg.Tag] {
+				t.Fatalf("node %d got duplicate tag %d", peer, msg.Tag)
+			}
+			seen[msg.Tag] = true
+		}
 	}
 }
 

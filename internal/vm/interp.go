@@ -39,23 +39,31 @@ func cycleCost(op bytecode.Op) uint64 {
 	}
 }
 
-// Invoke runs a method to completion and returns its result (nil for
-// void). For instance methods args[0] is the receiver.
+// Invoke runs a method to completion on the VM's implicit main thread
+// (sequential embedders and tests); concurrent callers use NewThread +
+// Thread.Invoke.
 func (vm *VM) Invoke(c *Class, m *bytecode.Method, args []Value) (Value, error) {
+	return vm.main.Invoke(c, m, args)
+}
+
+// Invoke runs a method to completion on this thread and returns its
+// result (nil for void). For instance methods args[0] is the receiver.
+func (t *Thread) Invoke(c *Class, m *bytecode.Method, args []Value) (Value, error) {
+	vm := t.vm
 	if m.IsNative() {
 		fn := vm.findNative(c, m)
 		if fn == nil {
-			return nil, vm.errorf("no native implementation for %s.%s:%s", c.Name(), m.Name, m.Desc)
+			return nil, t.errorf("no native implementation for %s.%s:%s", c.Name(), m.Name, m.Desc)
 		}
-		return fn(vm, args)
+		return fn(t, args)
 	}
 
 	if vm.Hooks.MethodEnter != nil {
 		vm.Hooks.MethodEnter(c.Name(), m.Name)
 	}
-	vm.stack = append(vm.stack, StackEntry{Class: c.Name(), Method: m.Name})
-	ret, err := vm.run(c, m, args)
-	vm.stack = vm.stack[:len(vm.stack)-1]
+	t.stack = append(t.stack, StackEntry{Class: c.Name(), Method: m.Name})
+	ret, err := t.run(c, m, args)
+	t.stack = t.stack[:len(t.stack)-1]
 	if vm.Hooks.MethodExit != nil {
 		vm.Hooks.MethodExit(c.Name(), m.Name)
 	}
@@ -71,7 +79,8 @@ func (vm *VM) findNative(c *Class, m *bytecode.Method) NativeFunc {
 	return nil
 }
 
-func (vm *VM) run(c *Class, m *bytecode.Method, args []Value) (Value, error) {
+func (t *Thread) run(c *Class, m *bytecode.Method, args []Value) (Value, error) {
+	vm := t.vm
 	locals := make([]Value, m.MaxLocals)
 	copy(locals, args)
 	// A small fixed operand stack; the verifier bounds depth, and 64
@@ -92,22 +101,26 @@ func (vm *VM) run(c *Class, m *bytecode.Method, args []Value) (Value, error) {
 
 	for {
 		if pc < 0 || pc >= len(code) {
-			return nil, vm.errorf("%s.%s: pc %d out of range", c.Name(), m.Name, pc)
+			return nil, t.errorf("%s.%s: pc %d out of range", c.Name(), m.Name, pc)
 		}
-		vm.steps++
-		if vm.MaxSteps > 0 && vm.steps > vm.MaxSteps {
-			return nil, vm.errorf("step limit %d exceeded", vm.MaxSteps)
+		t.steps++
+		if vm.MaxSteps > 0 && t.steps > vm.MaxSteps {
+			return nil, t.errorf("step limit %d exceeded", vm.MaxSteps)
 		}
 		if vm.Hooks.OnQuantum != nil && vm.Hooks.Quantum > 0 {
-			vm.quantumC++
-			if vm.quantumC >= vm.Hooks.Quantum {
-				vm.quantumC = 0
-				vm.Hooks.OnQuantum(vm.CallStack())
+			t.quantumC++
+			if t.quantumC >= vm.Hooks.Quantum {
+				t.quantumC = 0
+				vm.Hooks.OnQuantum(t.CallStack())
 			}
 		}
 		in := code[pc]
+		// Per-thread cycle accounting (thread-confined, plain add)
+		// aggregated into the node's shared virtual clock (atomic).
 		if vm.Time != nil {
-			atomic.AddUint64(&vm.Cycles, cycleCost(in.Op))
+			cost := cycleCost(in.Op)
+			atomic.AddUint64(&vm.Cycles, cost)
+			t.cycles += cost
 		}
 
 		switch in.Op {
@@ -123,7 +136,7 @@ func (vm *VM) run(c *Class, m *bytecode.Method, args []Value) (Value, error) {
 			case bytecode.TagUtf8:
 				push(e.Str)
 			default:
-				return nil, vm.errorf("ldc of non-constant pool entry %d", in.A)
+				return nil, t.errorf("ldc of non-constant pool entry %d", in.A)
 			}
 		case bytecode.ACONSTNULL:
 			push(nil)
@@ -167,13 +180,13 @@ func (vm *VM) run(c *Class, m *bytecode.Method, args []Value) (Value, error) {
 		case bytecode.IDIV:
 			b, a := popI(), popI()
 			if b == 0 {
-				return nil, vm.errorf("division by zero")
+				return nil, t.errorf("division by zero")
 			}
 			push(a / b)
 		case bytecode.IREM:
 			b, a := popI(), popI()
 			if b == 0 {
-				return nil, vm.errorf("division by zero")
+				return nil, t.errorf("division by zero")
 			}
 			push(a % b)
 		case bytecode.INEG:
@@ -265,7 +278,7 @@ func (vm *VM) run(c *Class, m *bytecode.Method, args []Value) (Value, error) {
 			name := pool.ClassName(uint16(in.A))
 			nc := vm.classes[name]
 			if nc == nil {
-				return nil, vm.errorf("new of unknown class %s", name)
+				return nil, t.errorf("new of unknown class %s", name)
 			}
 			push(vm.NewObject(nc))
 
@@ -274,11 +287,11 @@ func (vm *VM) run(c *Class, m *bytecode.Method, args []Value) (Value, error) {
 			ov := pop()
 			o, ok := ov.(*Object)
 			if !ok || o == nil {
-				return nil, vm.errorf("getfield %s on %s", fname, Stringify(ov))
+				return nil, t.errorf("getfield %s on %s", fname, Stringify(ov))
 			}
 			slot := o.Class.FieldSlot(fname)
 			if slot < 0 {
-				return nil, vm.errorf("class %s has no field %s", o.Class.Name(), fname)
+				return nil, t.errorf("class %s has no field %s", o.Class.Name(), fname)
 			}
 			if vm.Hooks.OnFieldAccess != nil {
 				vm.Hooks.OnFieldAccess(o.Class.Name(), fname, false)
@@ -290,11 +303,11 @@ func (vm *VM) run(c *Class, m *bytecode.Method, args []Value) (Value, error) {
 			ov := pop()
 			o, ok := ov.(*Object)
 			if !ok || o == nil {
-				return nil, vm.errorf("putfield %s on %s", fname, Stringify(ov))
+				return nil, t.errorf("putfield %s on %s", fname, Stringify(ov))
 			}
 			slot := o.Class.FieldSlot(fname)
 			if slot < 0 {
-				return nil, vm.errorf("class %s has no field %s", o.Class.Name(), fname)
+				return nil, t.errorf("class %s has no field %s", o.Class.Name(), fname)
 			}
 			if vm.Hooks.OnFieldAccess != nil {
 				vm.Hooks.OnFieldAccess(o.Class.Name(), fname, true)
@@ -304,37 +317,47 @@ func (vm *VM) run(c *Class, m *bytecode.Method, args []Value) (Value, error) {
 			cls, fname, _ := pool.Ref(uint16(in.A))
 			sc := vm.classes[cls]
 			if sc == nil {
-				return nil, vm.errorf("getstatic on unknown class %s", cls)
+				return nil, t.errorf("getstatic on unknown class %s", cls)
 			}
+			// One static access — resolution included, the probe reads
+			// the statics maps — is the unit of atomicity between
+			// concurrent logical threads.
+			vm.staticMu.Lock()
 			st := sc.staticsFor(fname)
 			if st == nil {
-				return nil, vm.errorf("no static field %s.%s", cls, fname)
+				vm.staticMu.Unlock()
+				return nil, t.errorf("no static field %s.%s", cls, fname)
 			}
-			push(st[fname])
+			v := st[fname]
+			vm.staticMu.Unlock()
+			push(v)
 		case bytecode.PUTSTATIC:
 			cls, fname, _ := pool.Ref(uint16(in.A))
 			sc := vm.classes[cls]
 			if sc == nil {
-				return nil, vm.errorf("putstatic on unknown class %s", cls)
+				return nil, t.errorf("putstatic on unknown class %s", cls)
 			}
+			vm.staticMu.Lock()
 			st := sc.staticsFor(fname)
 			if st == nil {
-				return nil, vm.errorf("no static field %s.%s", cls, fname)
+				vm.staticMu.Unlock()
+				return nil, t.errorf("no static field %s.%s", cls, fname)
 			}
 			st[fname] = pop()
+			vm.staticMu.Unlock()
 
 		case bytecode.INVOKEVIRTUAL, bytecode.INVOKESPECIAL, bytecode.INVOKESTATIC:
 			cls, name, desc := pool.Ref(uint16(in.A))
 			params, ret, err := bytecode.ParseMethodDesc(desc)
 			if err != nil {
-				return nil, vm.errorf("bad descriptor %s: %v", desc, err)
+				return nil, t.errorf("bad descriptor %s: %v", desc, err)
 			}
 			nargs := len(params)
 			if in.Op != bytecode.INVOKESTATIC {
 				nargs++
 			}
 			if len(stack) < nargs {
-				return nil, vm.errorf("stack underflow calling %s.%s", cls, name)
+				return nil, t.errorf("stack underflow calling %s.%s", cls, name)
 			}
 			callArgs := make([]Value, nargs)
 			copy(callArgs, stack[len(stack)-nargs:])
@@ -347,25 +370,25 @@ func (vm *VM) run(c *Class, m *bytecode.Method, args []Value) (Value, error) {
 				recv := callArgs[0]
 				ro, ok := recv.(*Object)
 				if !ok || ro == nil {
-					return nil, vm.errorf("invokevirtual %s.%s on %s", cls, name, Stringify(recv))
+					return nil, t.errorf("invokevirtual %s.%s on %s", cls, name, Stringify(recv))
 				}
 				bm := ro.Class.lookupVirtual(name, desc)
 				if bm == nil {
-					return nil, vm.errorf("no method %s:%s on %s", name, desc, ro.Class.Name())
+					return nil, t.errorf("no method %s:%s on %s", name, desc, ro.Class.Name())
 				}
 				tc, tm = bm.class, bm.method
 			default:
 				sc := vm.classes[cls]
 				if sc == nil {
-					return nil, vm.errorf("call to unknown class %s", cls)
+					return nil, t.errorf("call to unknown class %s", cls)
 				}
 				bm := sc.lookupVirtual(name, desc)
 				if bm == nil {
-					return nil, vm.errorf("no method %s.%s:%s", cls, name, desc)
+					return nil, t.errorf("no method %s.%s:%s", cls, name, desc)
 				}
 				tc, tm = bm.class, bm.method
 			}
-			rv, err := vm.Invoke(tc, tm, callArgs)
+			rv, err := t.Invoke(tc, tm, callArgs)
 			if err != nil {
 				return nil, err
 			}
@@ -380,7 +403,7 @@ func (vm *VM) run(c *Class, m *bytecode.Method, args []Value) (Value, error) {
 				break
 			}
 			if !vm.instanceOf(v, name) {
-				return nil, vm.errorf("cannot cast %s to %s", Stringify(v), name)
+				return nil, t.errorf("cannot cast %s to %s", Stringify(v), name)
 			}
 		case bytecode.INSTANCEOF:
 			name := pool.ClassName(uint16(in.A))
@@ -403,7 +426,7 @@ func (vm *VM) run(c *Class, m *bytecode.Method, args []Value) (Value, error) {
 			av := pop()
 			a, ok := av.(*Array)
 			if !ok || a == nil {
-				return nil, vm.errorf("arraylength of %s", Stringify(av))
+				return nil, t.errorf("arraylength of %s", Stringify(av))
 			}
 			push(int64(len(a.Data)))
 		case bytecode.IALOAD, bytecode.FALOAD, bytecode.AALOAD:
@@ -411,10 +434,10 @@ func (vm *VM) run(c *Class, m *bytecode.Method, args []Value) (Value, error) {
 			av := pop()
 			a, ok := av.(*Array)
 			if !ok || a == nil {
-				return nil, vm.errorf("array load on %s", Stringify(av))
+				return nil, t.errorf("array load on %s", Stringify(av))
 			}
 			if idx < 0 || int(idx) >= len(a.Data) {
-				return nil, vm.errorf("array index %d out of bounds [0,%d)", idx, len(a.Data))
+				return nil, t.errorf("array index %d out of bounds [0,%d)", idx, len(a.Data))
 			}
 			push(a.Data[idx])
 		case bytecode.IASTORE, bytecode.FASTORE, bytecode.AASTORE:
@@ -423,10 +446,10 @@ func (vm *VM) run(c *Class, m *bytecode.Method, args []Value) (Value, error) {
 			av := pop()
 			a, ok := av.(*Array)
 			if !ok || a == nil {
-				return nil, vm.errorf("array store on %s", Stringify(av))
+				return nil, t.errorf("array store on %s", Stringify(av))
 			}
 			if idx < 0 || int(idx) >= len(a.Data) {
-				return nil, vm.errorf("array index %d out of bounds [0,%d)", idx, len(a.Data))
+				return nil, t.errorf("array index %d out of bounds [0,%d)", idx, len(a.Data))
 			}
 			a.Data[idx] = v
 
@@ -436,7 +459,7 @@ func (vm *VM) run(c *Class, m *bytecode.Method, args []Value) (Value, error) {
 			return pop(), nil
 
 		default:
-			return nil, vm.errorf("unimplemented opcode %v in %s.%s:%s at pc %d",
+			return nil, t.errorf("unimplemented opcode %v in %s.%s:%s at pc %d",
 				in.Op, c.Name(), m.Name, m.Desc, pc)
 		}
 		pc++

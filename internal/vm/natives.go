@@ -22,36 +22,36 @@ func registerBuiltins(vm *VM) {
 			fmt.Fprint(vm.Out, s)
 		}
 	}
-	reg("System", "print", "(T)V", func(vm *VM, args []Value) (Value, error) {
-		printTo(vm, args[0].(string))
+	reg("System", "print", "(T)V", func(t *Thread, args []Value) (Value, error) {
+		printTo(t.vm, args[0].(string))
 		return nil, nil
 	})
-	reg("System", "println", "(T)V", func(vm *VM, args []Value) (Value, error) {
-		printTo(vm, args[0].(string)+"\n")
+	reg("System", "println", "(T)V", func(t *Thread, args []Value) (Value, error) {
+		printTo(t.vm, args[0].(string)+"\n")
 		return nil, nil
 	})
-	reg("System", "println", "(I)V", func(vm *VM, args []Value) (Value, error) {
-		printTo(vm, Stringify(args[0])+"\n")
+	reg("System", "println", "(I)V", func(t *Thread, args []Value) (Value, error) {
+		printTo(t.vm, Stringify(args[0])+"\n")
 		return nil, nil
 	})
-	reg("System", "println", "(J)V", func(vm *VM, args []Value) (Value, error) {
-		printTo(vm, Stringify(args[0])+"\n")
+	reg("System", "println", "(J)V", func(t *Thread, args []Value) (Value, error) {
+		printTo(t.vm, Stringify(args[0])+"\n")
 		return nil, nil
 	})
-	reg("System", "println", "(F)V", func(vm *VM, args []Value) (Value, error) {
-		printTo(vm, Stringify(args[0])+"\n")
+	reg("System", "println", "(F)V", func(t *Thread, args []Value) (Value, error) {
+		printTo(t.vm, Stringify(args[0])+"\n")
 		return nil, nil
 	})
-	reg("System", "currentTimeMillis", "()J", func(vm *VM, args []Value) (Value, error) {
-		return vm.NowMillis(), nil
+	reg("System", "currentTimeMillis", "()J", func(t *Thread, args []Value) (Value, error) {
+		return t.vm.NowMillis(), nil
 	})
-	reg("System", "nanoTime", "()J", func(vm *VM, args []Value) (Value, error) {
-		return vm.NowMillis() * 1e6, nil
+	reg("System", "nanoTime", "()J", func(t *Thread, args []Value) (Value, error) {
+		return t.vm.NowMillis() * 1e6, nil
 	})
 
 	// Math.
 	f1 := func(name string, f func(float64) float64) {
-		reg("Math", name, "(F)F", func(vm *VM, args []Value) (Value, error) {
+		reg("Math", name, "(F)F", func(t *Thread, args []Value) (Value, error) {
 			return f(args[0].(float64)), nil
 		})
 	}
@@ -62,68 +62,68 @@ func registerBuiltins(vm *VM) {
 	f1("log", math.Log)
 	f1("floor", math.Floor)
 	f1("abs", math.Abs)
-	reg("Math", "pow", "(FF)F", func(vm *VM, args []Value) (Value, error) {
+	reg("Math", "pow", "(FF)F", func(t *Thread, args []Value) (Value, error) {
 		return math.Pow(args[0].(float64), args[1].(float64)), nil
 	})
-	reg("Math", "abs", "(I)I", func(vm *VM, args []Value) (Value, error) {
+	reg("Math", "abs", "(I)I", func(t *Thread, args []Value) (Value, error) {
 		v := args[0].(int64)
 		if v < 0 {
 			v = -v
 		}
 		return v, nil
 	})
-	reg("Math", "min", "(II)I", func(vm *VM, args []Value) (Value, error) {
+	reg("Math", "min", "(II)I", func(t *Thread, args []Value) (Value, error) {
 		return min(args[0].(int64), args[1].(int64)), nil
 	})
-	reg("Math", "max", "(II)I", func(vm *VM, args []Value) (Value, error) {
+	reg("Math", "max", "(II)I", func(t *Thread, args []Value) (Value, error) {
 		return max(args[0].(int64), args[1].(int64)), nil
 	})
-	reg("Math", "min", "(FF)F", func(vm *VM, args []Value) (Value, error) {
+	reg("Math", "min", "(FF)F", func(t *Thread, args []Value) (Value, error) {
 		return math.Min(args[0].(float64), args[1].(float64)), nil
 	})
-	reg("Math", "max", "(FF)F", func(vm *VM, args []Value) (Value, error) {
+	reg("Math", "max", "(FF)F", func(t *Thread, args []Value) (Value, error) {
 		return math.Max(args[0].(float64), args[1].(float64)), nil
 	})
 
 	// Str.
-	reg("Str", "length", "(T)I", func(vm *VM, args []Value) (Value, error) {
+	reg("Str", "length", "(T)I", func(t *Thread, args []Value) (Value, error) {
 		return int64(len(args[0].(string))), nil
 	})
-	reg("Str", "charAt", "(TI)I", func(vm *VM, args []Value) (Value, error) {
+	reg("Str", "charAt", "(TI)I", func(t *Thread, args []Value) (Value, error) {
 		s := args[0].(string)
 		i := args[1].(int64)
 		if i < 0 || int(i) >= len(s) {
-			return nil, vm.errorf("Str.charAt index %d out of range [0,%d)", i, len(s))
+			return nil, t.errorf("Str.charAt index %d out of range [0,%d)", i, len(s))
 		}
 		return int64(s[i]), nil
 	})
-	reg("Str", "substring", "(TII)T", func(vm *VM, args []Value) (Value, error) {
+	reg("Str", "substring", "(TII)T", func(t *Thread, args []Value) (Value, error) {
 		s := args[0].(string)
 		a, b := args[1].(int64), args[2].(int64)
 		if a < 0 || b < a || int(b) > len(s) {
-			return nil, vm.errorf("Str.substring [%d,%d) out of range for length %d", a, b, len(s))
+			return nil, t.errorf("Str.substring [%d,%d) out of range for length %d", a, b, len(s))
 		}
 		return s[a:b], nil
 	})
-	reg("Str", "equals", "(TT)Z", func(vm *VM, args []Value) (Value, error) {
+	reg("Str", "equals", "(TT)Z", func(t *Thread, args []Value) (Value, error) {
 		if args[0].(string) == args[1].(string) {
 			return int64(1), nil
 		}
 		return int64(0), nil
 	})
-	reg("Str", "compare", "(TT)I", func(vm *VM, args []Value) (Value, error) {
+	reg("Str", "compare", "(TT)I", func(t *Thread, args []Value) (Value, error) {
 		return int64(strings.Compare(args[0].(string), args[1].(string))), nil
 	})
-	reg("Str", "indexOf", "(TT)I", func(vm *VM, args []Value) (Value, error) {
+	reg("Str", "indexOf", "(TT)I", func(t *Thread, args []Value) (Value, error) {
 		return int64(strings.Index(args[0].(string), args[1].(string))), nil
 	})
-	reg("Str", "valueOf", "(I)T", func(vm *VM, args []Value) (Value, error) {
+	reg("Str", "valueOf", "(I)T", func(t *Thread, args []Value) (Value, error) {
 		return strconv.FormatInt(args[0].(int64), 10), nil
 	})
-	reg("Str", "fromChar", "(I)T", func(vm *VM, args []Value) (Value, error) {
+	reg("Str", "fromChar", "(I)T", func(t *Thread, args []Value) (Value, error) {
 		return string(rune(args[0].(int64))), nil
 	})
-	reg("Str", "hash", "(T)I", func(vm *VM, args []Value) (Value, error) {
+	reg("Str", "hash", "(T)I", func(t *Thread, args []Value) (Value, error) {
 		s := args[0].(string)
 		var h int64
 		for i := 0; i < len(s); i++ {

@@ -10,6 +10,7 @@ package vm
 import (
 	"fmt"
 	"strconv"
+	"sync"
 
 	"autodist/internal/bytecode"
 )
@@ -54,11 +55,13 @@ type Class struct {
 	fieldDesc map[string]string
 	numFields int
 
-	// statics holds this class's own static fields.
+	// statics holds this class's own static fields (guarded by the
+	// VM's staticMu — concurrent logical threads share them).
 	statics map[string]Value
 
 	// methodCache caches virtual-dispatch lookups ("name:desc" →
-	// declaring class + method).
+	// declaring class + method), guarded by cacheMu.
+	cacheMu     sync.Mutex
 	methodCache map[string]*boundMethod
 }
 

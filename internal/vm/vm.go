@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -11,8 +12,11 @@ import (
 )
 
 // NativeFunc implements a native method. For instance methods args[0]
-// is the receiver.
-type NativeFunc func(vm *VM, args []Value) (Value, error)
+// is the receiver. The Thread is the interpreter context the call runs
+// on — natives that re-enter the interpreter (or block on remote
+// exchanges, as the distributed runtime's do) stay on it, so the
+// per-thread stack, step and cycle accounting remain coherent.
+type NativeFunc func(t *Thread, args []Value) (Value, error)
 
 // StackEntry identifies one frame for the sampling profiler.
 type StackEntry struct {
@@ -53,49 +57,111 @@ type TimeModel struct {
 }
 
 // VM is one virtual machine instance (one "node" in the distributed
-// configuration).
+// configuration). A VM hosts any number of concurrent logical threads
+// (see Thread): the class table, native registry and allocator are
+// shared — allocation ids and counters are atomic — while each thread
+// carries its own interpreter context (call stack, step budget, cycle
+// account). Statics and the virtual-dispatch cache are internally
+// locked; field slots of shared objects are NOT — mutual exclusion
+// between threads touching the same object is the embedder's job (the
+// distributed runtime's per-object access gates).
 type VM struct {
 	prog    *bytecode.Program
 	classes map[string]*Class
 	natives map[string]NativeFunc
 
-	// Out receives System.print output.
+	// Out receives System.print output. Concurrent threads share it;
+	// writers must be safe for concurrent use when threads run in
+	// parallel.
 	Out io.Writer
-	// Hooks are profiler attachment points.
+	// Hooks are profiler attachment points. They fire on every thread;
+	// hook bodies must be thread-safe if threads run concurrently (the
+	// profiler only attaches to sequential runs).
 	Hooks Hooks
 	// Time is the optional simulated-clock model; when nil the VM
 	// does not track cycles.
 	Time *TimeModel
-	// MaxSteps aborts execution after this many interpreted
+	// MaxSteps aborts a logical thread after this many interpreted
 	// instructions (0 = unlimited); a safety net for tests.
 	MaxSteps uint64
 
-	// Cycles is the accumulated simulated cycle count. Accessed
-	// atomically: the distributed runtime's serve goroutines charge
-	// communication costs (ChargeCycles) concurrently with the
-	// interpreter, and live Stats readers sample SimSeconds.
+	// Cycles is the accumulated simulated cycle count — the node's
+	// virtual clock, aggregated over every logical thread. Accessed
+	// atomically: threads and the distributed runtime's serve
+	// goroutines charge cycles concurrently, and live Stats readers
+	// sample SimSeconds.
 	Cycles uint64
 
-	steps    uint64
-	nextObj  int64
+	nextObj  int64 // atomic: threads allocate concurrently
 	idStride int64
-	stack    []StackEntry
-	quantumC int
+
+	// staticMu guards every class's static-field storage: GETSTATIC /
+	// PUTSTATIC are the unit of atomicity between concurrent logical
+	// threads (one coarse lock — static traffic is rare next to field
+	// traffic, and the distributed runtime additionally pins each
+	// class's statics to one node).
+	staticMu sync.Mutex
+
+	// main is the implicit thread behind the sequential entry points
+	// (RunMain, VM.Invoke, VM.CallMethod) so single-threaded embedders
+	// and tests need not manage Thread objects.
+	main *Thread
 
 	// NowMillis supplies System.currentTimeMillis; defaults to wall
 	// clock. Tests and the simulator override it.
 	NowMillis func() int64
 
 	// Stats track allocator activity (memory profile, Table 3).
+	// Updated atomically (threads allocate concurrently).
 	Stats Stats
 }
 
-// Stats accumulates allocator counters.
+// Stats accumulates allocator counters. All fields are updated
+// atomically.
 type Stats struct {
 	ObjectsAllocated int64
 	ArraysAllocated  int64
 	SlotsAllocated   int64
 }
+
+// Thread is one logical thread's interpreter context: the call stack,
+// instruction budget and cycle account are per-thread, everything else
+// (heap, classes, natives, the virtual clock they aggregate into) is
+// the VM's. Threads are cheap; the distributed runtime creates one per
+// in-flight invocation per node. A Thread must not be used from two
+// goroutines at once.
+type Thread struct {
+	vm *VM
+
+	// Data is the embedder's attachment slot: the distributed runtime
+	// hangs its per-logical-thread execution context (asynchronous
+	// batch buffers, deferred errors, per-thread counters) here so
+	// natives can reach it from the Thread they were invoked on.
+	Data any
+
+	stack    []StackEntry
+	steps    uint64
+	quantumC int
+	// cycles is the thread's simulated-cycle account. Plain (not
+	// atomic): a Thread is single-goroutine by contract, and readers
+	// must wait for the thread to quiesce — keeping the interpreter's
+	// per-instruction accounting to one atomic op (the shared clock).
+	cycles uint64
+}
+
+// NewThread creates a fresh interpreter context on the VM.
+func (vm *VM) NewThread() *Thread { return &Thread{vm: vm} }
+
+// VM returns the machine the thread executes on.
+func (t *Thread) VM() *VM { return t.vm }
+
+// Steps returns the number of instructions this thread interpreted.
+func (t *Thread) Steps() uint64 { return t.steps }
+
+// Cycles returns this thread's simulated-cycle account — its share of
+// the VM's aggregate virtual clock. Like Steps, it must only be read
+// once the thread has quiesced (its Invoke returned).
+func (t *Thread) Cycles() uint64 { return t.cycles }
 
 // New creates a VM for the program and loads every class.
 func New(prog *bytecode.Program) (*VM, error) {
@@ -108,6 +174,7 @@ func New(prog *bytecode.Program) (*VM, error) {
 			return time.Now().UnixMilli()
 		},
 	}
+	vm.main = vm.NewThread()
 	for _, name := range prog.Names() {
 		if _, err := vm.loadClass(name); err != nil {
 			return nil, err
@@ -140,6 +207,13 @@ func (vm *VM) idStep() int64 {
 		return vm.idStride
 	}
 	return 1
+}
+
+// nextID draws the next allocation id atomically (concurrent logical
+// threads allocate in parallel; each still draws from this node's
+// disjoint id set).
+func (vm *VM) nextID() int64 {
+	return atomic.AddInt64(&vm.nextObj, vm.idStep())
 }
 
 // Class returns a loaded class by name, or nil.
@@ -204,15 +278,15 @@ func (vm *VM) loadClass(name string) (*Class, error) {
 	return c, nil
 }
 
-// NewObject allocates an instance of class with zeroed fields.
+// NewObject allocates an instance of class with zeroed fields. Safe
+// for concurrent use by multiple threads.
 func (vm *VM) NewObject(c *Class) *Object {
-	vm.nextObj += vm.idStep()
-	o := &Object{Class: c, Fields: make([]Value, c.numFields), ID: vm.nextObj}
+	o := &Object{Class: c, Fields: make([]Value, c.numFields), ID: vm.nextID()}
 	for name, idx := range c.fieldIdx {
 		o.Fields[idx] = zeroValue(c.fieldDesc[name])
 	}
-	vm.Stats.ObjectsAllocated++
-	vm.Stats.SlotsAllocated += int64(c.numFields)
+	atomic.AddInt64(&vm.Stats.ObjectsAllocated, 1)
+	atomic.AddInt64(&vm.Stats.SlotsAllocated, int64(c.numFields))
 	if vm.Hooks.OnAlloc != nil {
 		vm.Hooks.OnAlloc(c.Name(), c.numFields)
 	}
@@ -220,19 +294,19 @@ func (vm *VM) NewObject(c *Class) *Object {
 	return o
 }
 
-// NewArray allocates an array with zeroed elements.
+// NewArray allocates an array with zeroed elements. Safe for
+// concurrent use by multiple threads.
 func (vm *VM) NewArray(elem string, n int) (*Array, error) {
 	if n < 0 {
 		return nil, vm.errorf("negative array size %d", n)
 	}
-	vm.nextObj += vm.idStep()
-	a := &Array{Elem: elem, Data: make([]Value, n), ID: vm.nextObj}
+	a := &Array{Elem: elem, Data: make([]Value, n), ID: vm.nextID()}
 	z := zeroValue(elem)
 	for i := range a.Data {
 		a.Data[i] = z
 	}
-	vm.Stats.ArraysAllocated++
-	vm.Stats.SlotsAllocated += int64(n)
+	atomic.AddInt64(&vm.Stats.ArraysAllocated, 1)
+	atomic.AddInt64(&vm.Stats.SlotsAllocated, int64(n))
 	if vm.Hooks.OnAlloc != nil {
 		vm.Hooks.OnAlloc("["+elem, n)
 	}
@@ -240,25 +314,31 @@ func (vm *VM) NewArray(elem string, n int) (*Array, error) {
 	return a, nil
 }
 
-// LookupVirtual resolves a virtual call on dynamic class c.
+// LookupVirtual resolves a virtual call on dynamic class c. The cache
+// is locked: concurrent logical threads dispatch in parallel.
 func (c *Class) lookupVirtual(name, desc string) *boundMethod {
 	key := name + ":" + desc
-	if bm, ok := c.methodCache[key]; ok {
+	c.cacheMu.Lock()
+	bm, ok := c.methodCache[key]
+	c.cacheMu.Unlock()
+	if ok {
 		return bm
 	}
 	for x := c; x != nil; x = x.Super {
 		if m := x.File.Method(name, desc); m != nil {
-			bm := &boundMethod{class: x, method: m}
-			c.methodCache[key] = bm
-			return bm
+			bm = &boundMethod{class: x, method: m}
+			break
 		}
 	}
-	c.methodCache[key] = nil
-	return nil
+	c.cacheMu.Lock()
+	c.methodCache[key] = bm
+	c.cacheMu.Unlock()
+	return bm
 }
 
 // Statics returns the static-field store of the class declaring name,
-// walking up the hierarchy.
+// walking up the hierarchy. The probe reads the statics maps, so
+// callers must hold the VM's staticMu.
 func (c *Class) staticsFor(name string) map[string]Value {
 	for x := c; x != nil; x = x.Super {
 		if _, ok := x.statics[name]; ok {
@@ -268,34 +348,43 @@ func (c *Class) staticsFor(name string) map[string]Value {
 	return nil
 }
 
-// GetStatic reads a static field (test/diagnostic helper).
+// GetStatic reads a static field under the statics lock: the unit of
+// atomicity between concurrent logical threads is one static access.
 func (vm *VM) GetStatic(class, field string) (Value, error) {
 	c := vm.classes[class]
 	if c == nil {
 		return nil, fmt.Errorf("vm: class %s not found", class)
 	}
+	vm.staticMu.Lock()
 	st := c.staticsFor(field)
 	if st == nil {
+		vm.staticMu.Unlock()
 		return nil, fmt.Errorf("vm: no static %s.%s", class, field)
 	}
-	return st[field], nil
+	v := st[field]
+	vm.staticMu.Unlock()
+	return v, nil
 }
 
-// SetStatic writes a static field (runtime/diagnostic helper).
+// SetStatic writes a static field under the statics lock.
 func (vm *VM) SetStatic(class, field string, v Value) error {
 	c := vm.classes[class]
 	if c == nil {
 		return fmt.Errorf("vm: class %s not found", class)
 	}
+	vm.staticMu.Lock()
 	st := c.staticsFor(field)
 	if st == nil {
+		vm.staticMu.Unlock()
 		return fmt.Errorf("vm: no static %s.%s", class, field)
 	}
 	st[field] = v
+	vm.staticMu.Unlock()
 	return nil
 }
 
-// RunMain executes the program's main class.
+// RunMain executes the program's main class on the VM's implicit main
+// thread.
 func (vm *VM) RunMain() error {
 	if vm.prog.MainClass == "" {
 		return fmt.Errorf("vm: program has no main class")
@@ -308,22 +397,39 @@ func (vm *VM) RunMain() error {
 	if m == nil {
 		return fmt.Errorf("vm: %s has no main()V", vm.prog.MainClass)
 	}
-	_, err := vm.Invoke(c, m, nil)
+	_, err := vm.main.Invoke(c, m, nil)
 	return err
 }
 
-// CallMethod invokes a named method with arguments (helper for the
-// runtime and tests). For instance methods args[0] must be the receiver.
-func (vm *VM) CallMethod(class, name, desc string, args []Value) (Value, error) {
+// resolveMethod maps (class, name, desc) to the declaring class and
+// method via virtual dispatch.
+func (vm *VM) resolveMethod(class, name, desc string) (*Class, *bytecode.Method, error) {
 	c := vm.classes[class]
 	if c == nil {
-		return nil, fmt.Errorf("vm: class %s not found", class)
+		return nil, nil, fmt.Errorf("vm: class %s not found", class)
 	}
 	bm := c.lookupVirtual(name, desc)
 	if bm == nil {
-		return nil, fmt.Errorf("vm: no method %s.%s:%s", class, name, desc)
+		return nil, nil, fmt.Errorf("vm: no method %s.%s:%s", class, name, desc)
 	}
-	return vm.Invoke(bm.class, bm.method, args)
+	return bm.class, bm.method, nil
+}
+
+// CallMethod invokes a named method with arguments on the VM's
+// implicit main thread (sequential embedders and tests). For instance
+// methods args[0] must be the receiver. Concurrent callers must use
+// per-thread contexts: NewThread + Thread.CallMethod.
+func (vm *VM) CallMethod(class, name, desc string, args []Value) (Value, error) {
+	return vm.main.CallMethod(class, name, desc, args)
+}
+
+// CallMethod invokes a named method with arguments on this thread.
+func (t *Thread) CallMethod(class, name, desc string, args []Value) (Value, error) {
+	c, m, err := t.vm.resolveMethod(class, name, desc)
+	if err != nil {
+		return nil, err
+	}
+	return t.Invoke(c, m, args)
 }
 
 // SimSeconds converts accumulated cycles to simulated seconds (0 when
@@ -359,19 +465,30 @@ func (e *VMError) Error() string {
 	return s
 }
 
+// errorf builds a VMError with no stack context (allocator-level
+// errors that can fire off any thread); interpreter errors go through
+// Thread.errorf, which snapshots the failing thread's stack.
 func (vm *VM) errorf(format string, args ...any) error {
-	st := make([]StackEntry, len(vm.stack))
-	copy(st, vm.stack)
+	return &VMError{Msg: fmt.Sprintf(format, args...)}
+}
+
+func (t *Thread) errorf(format string, args ...any) error {
+	st := make([]StackEntry, len(t.stack))
+	copy(st, t.stack)
 	return &VMError{Msg: fmt.Sprintf(format, args...), Stack: st}
 }
 
-// CallStack returns a snapshot of the current interpreter call stack
+// CallStack returns a snapshot of the thread's interpreter call stack
 // (outermost first).
-func (vm *VM) CallStack() []StackEntry {
-	st := make([]StackEntry, len(vm.stack))
-	copy(st, vm.stack)
+func (t *Thread) CallStack() []StackEntry {
+	st := make([]StackEntry, len(t.stack))
+	copy(st, t.stack)
 	return st
 }
 
-// Steps returns the number of interpreted instructions so far.
-func (vm *VM) Steps() uint64 { return vm.steps }
+// CallStack returns the implicit main thread's call stack.
+func (vm *VM) CallStack() []StackEntry { return vm.main.CallStack() }
+
+// Steps returns the number of instructions the implicit main thread
+// interpreted.
+func (vm *VM) Steps() uint64 { return vm.main.steps }

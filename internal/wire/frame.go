@@ -11,18 +11,54 @@ import (
 type Frame struct {
 	From, To int
 	Tag      uint64
-	Kind     uint8
-	Time     float64
-	Payload  []byte
+	// TID is the logical-thread id the frame belongs to: replies,
+	// asynchronous batches and deferred errors correlate per thread,
+	// not per node. Zero is the system thread (migration, adaptation,
+	// shutdown and other runtime-internal traffic).
+	TID     uint64
+	Kind    uint8
+	Time    float64
+	Payload []byte
 }
+
+// Frame body versions. Version 1 is the pre-thread-id layout (no TID
+// field; decodes with TID 0); version 2 added the logical-thread id.
+// The decoder selects the layout by the version byte alone — a frame
+// can only carry a thread id if its version says so, and an unknown
+// version is a clean error, never a panic or a misparse.
+const (
+	FrameVersion1 = 1
+	FrameVersion  = 2
+)
 
 // MaxFrameBody bounds a decoded frame body so a corrupted length prefix
 // fails fast instead of attempting a huge allocation.
 const MaxFrameBody = 1 << 30
 
-// AppendFrame encodes the frame (length-prefixed body) onto b.
+// AppendFrame encodes the frame (length-prefixed, versioned body) onto b.
 func AppendFrame(b []byte, f *Frame) []byte {
-	body := appendUvarint(nil, uint64(f.From))
+	body := append([]byte(nil), FrameVersion)
+	body = appendUvarint(body, uint64(f.From))
+	body = appendUvarint(body, uint64(f.To))
+	body = appendUvarint(body, f.Tag)
+	body = appendUvarint(body, f.TID)
+	body = append(body, f.Kind)
+	body = appendFloat(body, f.Time)
+	body = appendUvarint(body, uint64(len(f.Payload)))
+	body = append(body, f.Payload...)
+	b = appendUvarint(b, uint64(len(body)))
+	return append(b, body...)
+}
+
+// AppendFrameV1 encodes the frame in the legacy thread-unaware layout
+// (f.TID must be zero — version 1 has nowhere to put it). It exists so
+// tests can pin the cross-version decode contract.
+func AppendFrameV1(b []byte, f *Frame) ([]byte, error) {
+	if f.TID != 0 {
+		return nil, fmt.Errorf("wire: frame version 1 cannot carry thread id %d", f.TID)
+	}
+	body := append([]byte(nil), FrameVersion1)
+	body = appendUvarint(body, uint64(f.From))
 	body = appendUvarint(body, uint64(f.To))
 	body = appendUvarint(body, f.Tag)
 	body = append(body, f.Kind)
@@ -30,7 +66,7 @@ func AppendFrame(b []byte, f *Frame) []byte {
 	body = appendUvarint(body, uint64(len(f.Payload)))
 	body = append(body, f.Payload...)
 	b = appendUvarint(b, uint64(len(body)))
-	return append(b, body...)
+	return append(b, body...), nil
 }
 
 // WriteFrame encodes and writes the frame in a single Write call, so
@@ -66,9 +102,21 @@ func ReadFrame(r ByteScanner) (Frame, error) {
 		return f, err
 	}
 	rd := NewReader(body)
+	ver := rd.Byte()
+	switch ver {
+	case FrameVersion1, FrameVersion:
+	default:
+		if err := rd.Err(); err != nil {
+			return f, err
+		}
+		return f, fmt.Errorf("wire: unsupported frame version %d", ver)
+	}
 	f.From = int(rd.Uvarint())
 	f.To = int(rd.Uvarint())
 	f.Tag = rd.Uvarint()
+	if ver >= FrameVersion {
+		f.TID = rd.Uvarint()
+	}
 	f.Kind = rd.Byte()
 	f.Time = rd.Float()
 	pn := rd.Uvarint()

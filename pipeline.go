@@ -85,6 +85,28 @@ type Config struct {
 	// its stamped access kinds degrade to plain synchronous accesses
 	// (the A/B baseline on identical bytecode).
 	Replicate bool
+	// MaxConcurrent is the number of entrypoint invocations a deployed
+	// cluster runs at once: Cluster.Invoke admits that many concurrent
+	// logical threads (each with its own thread id on the wire and
+	// per-thread execution contexts on every node), and callers beyond
+	// it queue. Zero or one — the default — serialises invocations,
+	// preserving the paper's single-logical-thread protocol exactly.
+	// Values above one require a distributed deployment (K ≥ 2).
+	//
+	// Concurrency contract: mutual exclusion between logical threads
+	// covers every rewriter-mediated access — all accesses to
+	// dependent classes (classes with cross-partition instances), and
+	// every instance access under an adaptive plan
+	// (Plan.RewriteAdaptive), which mediates all of them. State whose
+	// class is co-located with all of its accessors compiles to plain
+	// unmediated field opcodes; under MaxConcurrent > 1 such state
+	// must not be shared mutably between invocations (pin it on a
+	// remote partition or build the distribution adaptively if it
+	// must be). And as with any per-object locking, invocations whose
+	// methods nest accesses to multiple shared objects in conflicting
+	// orders can deadlock each other — structure entrypoints to
+	// acquire shared objects in a consistent order.
+	MaxConcurrent int
 }
 
 // RunOptions is the legacy name for Config; every existing caller
@@ -103,6 +125,9 @@ func (c *Config) Validate() error {
 	if c.AdaptEvery < 0 {
 		return fmt.Errorf("autodist: negative adaptation epoch %d", c.AdaptEvery)
 	}
+	if c.MaxConcurrent < 0 {
+		return fmt.Errorf("autodist: negative MaxConcurrent %d", c.MaxConcurrent)
+	}
 	if c.K <= 1 {
 		switch {
 		case c.Adaptive:
@@ -113,6 +138,8 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("autodist: Unoptimized requires a distributed run (K ≥ 2)")
 		case c.TCP:
 			return fmt.Errorf("autodist: TCP requires a distributed run (K ≥ 2)")
+		case c.MaxConcurrent > 1:
+			return fmt.Errorf("autodist: MaxConcurrent requires a distributed deployment (K ≥ 2)")
 		}
 	}
 	if c.AdaptEvery > 0 && !c.Adaptive {

@@ -1,0 +1,5 @@
+//go:build !race
+
+package autodist_test
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package autodist_test
+
+// raceEnabled reports whether the race detector is compiled in; the
+// throughput-scaling guard skips under it (the detector's
+// happens-before tracking serialises execution and voids the ratio).
+const raceEnabled = true

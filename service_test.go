@@ -8,9 +8,11 @@ package autodist_test
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"autodist"
 )
@@ -49,6 +51,11 @@ class Main {
 	static int sum() { return Main.t.sum(); }
 	static int label() { return Main.t.label; }
 	static void bump(int n) { Main.t.bump(n); }
+	static int work(int n) {
+		int s = 0;
+		for (int i = 0; i < n; i++) { s = s + Main.t.label; }
+		return s;
+	}
 }
 `
 
@@ -114,7 +121,7 @@ func TestClusterServesEntrypoints(t *testing.T) {
 	defer cluster.Shutdown(context.Background())
 
 	eps := cluster.Entrypoints()
-	want := []string{"bump", "get", "label", "main", "put", "sum"}
+	want := []string{"bump", "get", "label", "main", "put", "sum", "work"}
 	if strings.Join(eps, ",") != strings.Join(want, ",") {
 		t.Fatalf("Entrypoints() = %v, want %v", eps, want)
 	}
@@ -321,6 +328,10 @@ func TestConfigValidate(t *testing.T) {
 		{"negative k", autodist.Config{K: -2}, false},
 		{"short speed table", autodist.Config{K: 3, CPUSpeeds: []float64{1e9}}, false},
 		{"full speed table", autodist.Config{K: 2, CPUSpeeds: []float64{1e9, 8e8}}, true},
+		{"concurrent distributed", autodist.Config{K: 2, MaxConcurrent: 8}, true},
+		{"serialised distributed", autodist.Config{K: 2, MaxConcurrent: 1}, true},
+		{"concurrency sequential", autodist.Config{K: 1, MaxConcurrent: 8}, false},
+		{"negative concurrency", autodist.Config{K: 2, MaxConcurrent: -1}, false},
 	}
 	for _, tc := range cases {
 		err := tc.cfg.Validate()
@@ -381,5 +392,144 @@ func TestRunMatchesLifecycle(t *testing.T) {
 		t.Errorf("Run counters (%d msgs, %d B, %d hits, %d async) != lifecycle counters (%d msgs, %d B, %d hits, %d async)",
 			run.Messages, run.BytesSent, run.CacheHits, run.AsyncCalls,
 			manual.Messages, manual.BytesSent, manual.CacheHits, manual.AsyncCalls)
+	}
+}
+
+// TestConcurrentInvokeCorrect runs disjoint-slot writers and shared
+// readers as truly concurrent logical threads (MaxConcurrent = 8) and
+// checks every result against the value a sequential run produces:
+// parallel Invoke must change throughput, never answers.
+func TestConcurrentInvokeCorrect(t *testing.T) {
+	cluster := deployService(t, 2, autodist.Config{MaxConcurrent: 8})
+	defer cluster.Shutdown(context.Background())
+
+	const clients, per = 8, 5
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*per)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if g < 4 {
+					// Writers: one per slot, so each slot's history is a
+					// single sequential sequence and every read-back is
+					// deterministic even while other slots change.
+					val := int64(100*g + i)
+					res, err := cluster.Invoke("put", int64(g), val)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if res.Value != val {
+						errs <- fmt.Errorf("concurrent put(%d, %d) = %v", g, val, res.Value)
+						return
+					}
+					continue
+				}
+				// Readers: label never changes (and after the first
+				// fetch it is a cache hit on every thread), and work's
+				// result depends only on its input.
+				if res, err := cluster.Invoke("label"); err != nil {
+					errs <- err
+					return
+				} else if res.Value != int64(7) {
+					errs <- fmt.Errorf("concurrent label() = %v, want 7", res.Value)
+					return
+				}
+				if res, err := cluster.Invoke("work", 50); err != nil {
+					errs <- err
+					return
+				} else if res.Value != int64(50*7) {
+					errs <- fmt.Errorf("concurrent work(50) = %v, want %d", res.Value, 50*7)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// Final state matches the sequential run exactly: each slot holds
+	// its single writer's last value.
+	for slot := int64(0); slot < 4; slot++ {
+		res, err := cluster.Invoke("get", slot)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := int64(100*slot + per - 1); res.Value != want {
+			t.Errorf("slot %d holds %v, want its writer's last value %d", slot, res.Value, want)
+		}
+	}
+}
+
+// TestConcurrentInvokeScales is the throughput guard: at MaxConcurrent
+// = 8 the service workload must clear at least twice the
+// invocations/sec of the serialised (MaxConcurrent = 1) deployment on
+// the same machine.
+func TestConcurrentInvokeScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("throughput guard skipped in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("race detector serialises execution; the throughput ratio is meaningless under it")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("need ≥4 CPUs for a meaningful scaling guard, have %d", runtime.NumCPU())
+	}
+	const clients, per, workN = 8, 12, 4000
+	measure := func(maxConcurrent int) (float64, error) {
+		cluster, err := deployServiceErr(2, autodist.Config{MaxConcurrent: maxConcurrent})
+		if err != nil {
+			return 0, err
+		}
+		defer cluster.Shutdown(context.Background())
+		// Warm the write-once cache so both runs serve label locally.
+		if _, err := cluster.Invoke("work", 1); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		var wg sync.WaitGroup
+		errs := make(chan error, clients)
+		for g := 0; g < clients; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					res, err := cluster.Invoke("work", workN)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if res.Value != int64(workN*7) {
+						errs <- fmt.Errorf("work(%d) = %v, want %d", workN, res.Value, workN*7)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			return 0, err
+		}
+		return float64(clients*per) / time.Since(start).Seconds(), nil
+	}
+
+	serial, err := measure(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := measure(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("throughput: %.0f inv/s serialised, %.0f inv/s at MaxConcurrent=8 (%.1fx)",
+		serial, parallel, parallel/serial)
+	if parallel < 2*serial {
+		t.Errorf("MaxConcurrent=8 reached %.0f inv/s, less than 2x the serialised %.0f inv/s",
+			parallel, serial)
 	}
 }
