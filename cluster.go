@@ -102,8 +102,11 @@ func (d *Distribution) Deploy(cfg Config) (*Cluster, error) {
 	}
 	var eps []transport.Endpoint
 	if cfg.TCP {
+		topts := transport.DefaultTCPOptions()
+		topts.Coalesce = !cfg.TCPNoCoalesce
+		topts.Compress = cfg.TCPCompress
 		var err error
-		eps, err = transport.NewTCPCluster(cfg.K)
+		eps, err = transport.NewTCPClusterOpts(cfg.K, topts)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"os"
+	"strings"
+	"sync"
+
+	"autodist"
+	"autodist/internal/benchfmt"
+)
+
+// listenLoop deploys the distribution resident and serves invocations
+// over TCP: each accepted connection carries newline-delimited
+// invocation lines (the -serve syntax) and gets one reply line per
+// request, in order per connection. Connections run concurrently; the
+// cluster's MaxConcurrent admission governs how many invocations
+// execute at once. "!stats" returns a benchfmt.StatsSnapshot as JSON;
+// "!shutdown" drains the cluster and returns. The bound address is
+// announced on stderr so callers may listen on port 0.
+func listenLoop(dist *autodist.Distribution, cfg autodist.Config, addr string) error {
+	cluster, err := dist.Deploy(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		_ = cluster.Shutdown(context.Background())
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "listening on %s; %d nodes; entrypoints: %s\n",
+		ln.Addr(), cfg.K, strings.Join(cluster.Entrypoints(), " "))
+
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	shutdown := func() { stopOnce.Do(func() { close(stop) }) }
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return // listener closed by shutdown
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				serveConn(c, cluster, shutdown)
+			}()
+		}
+	}()
+
+	<-stop
+	_ = ln.Close()
+	wg.Wait()
+	served := cluster.Invocations()
+	if err := cluster.Shutdown(context.Background()); err != nil {
+		return err
+	}
+	printSummary(cfg.K, cluster.Stats(), cfg.Adaptive, cfg.Replicate, len(cfg.CPUSpeeds) > 0, served)
+	return nil
+}
+
+// serveConn handles one client connection until EOF: invocation lines
+// are answered in order ("entry = value", "entry ok", "err: ...");
+// "!stats" answers with a JSON counter snapshot and "!shutdown" asks
+// the server to drain and exit (acknowledged with "!bye").
+func serveConn(c net.Conn, cluster *autodist.Cluster, shutdown func()) {
+	defer c.Close()
+	w := bufio.NewWriter(c)
+	sc := bufio.NewScanner(c)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case line == "!stats":
+			res := cluster.Stats()
+			snap := benchfmt.StatsSnapshot{
+				Invocations: cluster.Invocations(),
+				Messages:    res.Messages,
+				Bytes:       res.BytesSent,
+			}
+			data, _ := json.Marshal(snap)
+			fmt.Fprintf(w, "!stats %s\n", data)
+		case line == "!shutdown":
+			fmt.Fprintln(w, "!bye")
+			_ = w.Flush()
+			shutdown()
+			return
+		default:
+			fields := strings.Fields(line)
+			args := make([]autodist.Value, 0, len(fields)-1)
+			for _, f := range fields[1:] {
+				args = append(args, parseArg(f))
+			}
+			res, err := cluster.Invoke(fields[0], args...)
+			switch {
+			case err != nil:
+				fmt.Fprintf(w, "err: %v\n", err)
+			case res.Value != nil:
+				fmt.Fprintf(w, "%s = %v\n", res.Entry, res.Value)
+			default:
+				fmt.Fprintf(w, "%s ok\n", res.Entry)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return
+		}
+	}
+}

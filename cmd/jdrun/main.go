@@ -12,6 +12,7 @@
 //	jdrun -k 3 -replicate prog.mj      # read-replication with invalidate-on-write
 //	jdrun -k 2 -serve prog.mj          # deploy resident, read invocations from stdin
 //	jdrun -k 2 -serve -concurrency 8 prog.mj  # dispatch stdin invocations from 8 workers
+//	jdrun -k 2 -tcp -listen 127.0.0.1:0 -concurrency 8 prog.mj  # network invocation server
 //
 // -serve deploys the distribution and keeps it serving: each stdin
 // line names a static entrypoint of the main class plus arguments
@@ -25,6 +26,22 @@
 // sequential. The first line (conventionally main, the provisioning
 // step) always completes before the pool dispatches the rest, so later
 // invocations can depend on the state it creates.
+//
+// -listen addr deploys resident like -serve but accepts invocations
+// over TCP instead of stdin: each accepted connection carries
+// newline-delimited invocation lines in the -serve syntax and receives
+// one reply line per request ("sum = 100", "put ok", "err: ..."), in
+// order per connection. Connections are served concurrently; the
+// cluster admits up to -concurrency invocations at once. Two meta
+// commands serve load-generation harnesses (cmd/loadgen): "!stats"
+// returns a JSON snapshot of the cluster's cumulative counters, and
+// "!shutdown" drains the cluster, prints the summary and exits. The
+// bound address is announced on stderr ("listening on ...") so
+// harnesses can pass port 0.
+//
+// -tcp-nocoalesce and -tcp-compress tune the TCP fabric (A/B levers
+// for the transport benchmarks): the former restores one Write syscall
+// per frame, the latter negotiates DEFLATE segment framing.
 //
 // -adaptive=off and -replicate=off (the defaults) keep today's static
 // behaviour exactly — the partition is a compile-time contract and
@@ -55,13 +72,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "partitioner seed")
 	eps := flag.Float64("eps", 0.6, "partitioner imbalance tolerance")
 	tcp := flag.Bool("tcp", false, "use local TCP transport instead of in-process channels")
+	tcpNoCoalesce := flag.Bool("tcp-nocoalesce", false, "disable the TCP write combiner (one Write per frame; A/B lever)")
+	tcpCompress := flag.Bool("tcp-compress", false, "negotiate DEFLATE segment framing on TCP connections")
 	unopt := flag.Bool("unoptimized", false, "disable message-exchange optimisations (caching/async/batching) for A/B runs")
 	adaptive := flag.Bool("adaptive", false, "treat the partition as an initial placement: migrate objects to their observed communication affinity at run time")
 	adaptEvery := flag.Int("adapt-every", 0, "adaptation epoch in synchronous requests (0 = default)")
 	replicate := flag.Bool("replicate", false, "replicate read-mostly objects onto reader nodes (invalidate-on-write coherence)")
 	sim := flag.Bool("sim", false, "enable the virtual clock (paper's heterogeneous testbed)")
 	serve := flag.Bool("serve", false, "deploy the cluster resident and invoke entrypoints read from stdin")
-	concurrency := flag.Int("concurrency", 1, "worker-pool size for -serve: invocations run as this many concurrent logical threads")
+	listen := flag.String("listen", "", "deploy the cluster resident and serve invocations over TCP on this address")
+	concurrency := flag.Int("concurrency", 1, "worker-pool size for -serve/-listen: invocations run as this many concurrent logical threads")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		flag.Usage()
@@ -82,6 +102,7 @@ func main() {
 	// distribution flags with k = 1, …).
 	cfg := autodist.Config{
 		K: *k, Out: os.Stdout, TCP: *tcp, Unoptimized: *unopt,
+		TCPNoCoalesce: *tcpNoCoalesce, TCPCompress: *tcpCompress,
 		Adaptive: *adaptive, AdaptEvery: *adaptEvery, Replicate: *replicate,
 		MaxConcurrent: *concurrency,
 	}
@@ -100,11 +121,14 @@ func main() {
 	if err := cfg.Validate(); err != nil {
 		usageErr(strings.TrimPrefix(err.Error(), "autodist: "))
 	}
-	if *serve && *k <= 1 {
-		usageErr("-serve requires a distributed run (-k ≥ 2)")
+	if *serve && *listen != "" {
+		usageErr("-serve and -listen are mutually exclusive")
 	}
-	if *concurrency > 1 && !*serve {
-		usageErr("-concurrency only applies to -serve (a batch run invokes main() once)")
+	if (*serve || *listen != "") && *k <= 1 {
+		usageErr("-serve/-listen require a distributed run (-k ≥ 2)")
+	}
+	if *concurrency > 1 && !*serve && *listen == "" {
+		usageErr("-concurrency only applies to -serve/-listen (a batch run invokes main() once)")
 	}
 
 	var srcs []string
@@ -150,6 +174,12 @@ func main() {
 
 	if *serve {
 		if err := serveLoop(dist, cfg); err != nil {
+			die(err)
+		}
+		return
+	}
+	if *listen != "" {
+		if err := listenLoop(dist, cfg, *listen); err != nil {
 			die(err)
 		}
 		return

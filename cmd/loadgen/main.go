@@ -1,0 +1,318 @@
+// Command loadgen drives a jdrun -listen invocation server over real
+// TCP and measures wall-clock transport performance, emitting (or
+// merging into) a BENCH_transport.json report so the perf trajectory
+// is tracked across changes.
+//
+// Usage:
+//
+//	jdrun -k 2 -tcp -listen 127.0.0.1:7070 -concurrency 8 examples/service/service.mj &
+//	loadgen -addr 127.0.0.1:7070 -conns 8 -init main -line "sum" \
+//	        -label coalesce -k 2 -concurrency 8 -out BENCH_transport.json
+//
+//	loadgen -validate BENCH_transport.json   # CI schema check
+//
+// The harness opens -conns client connections, provisions once with
+// -init, warms up, snapshots the server's "!stats" counters, hammers
+// -line for -duration, snapshots again, and computes invokes/sec,
+// p50/p99 latency, and frames/bytes per invoke from the deltas. An
+// in-process probe (-allocs, on by default) also measures allocations
+// per transport Send over a live TCP pair with testing.AllocsPerRun —
+// the zero-allocation send-path guard, recorded as allocs_per_send.
+//
+// When -out names an existing valid report, the new run is merged into
+// it (replacing any run with the same -label), so legacy/fast A/B
+// pairs accumulate in one committed file.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"autodist/internal/benchfmt"
+	"autodist/internal/transport"
+	"autodist/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "", "jdrun -listen server address")
+	conns := flag.Int("conns", 8, "client TCP connections (one in-flight invocation each)")
+	initLine := flag.String("init", "main", "provisioning invocation sent once before the run (empty to skip)")
+	line := flag.String("line", "sum", "invocation line each connection repeats")
+	warmup := flag.Duration("warmup", 1*time.Second, "warmup before measurement")
+	duration := flag.Duration("duration", 5*time.Second, "measurement window")
+	label := flag.String("label", "coalesce", "run label recorded in the report")
+	k := flag.Int("k", 2, "server node count (metadata)")
+	concurrency := flag.Int("concurrency", 8, "server MaxConcurrent (metadata)")
+	coalesce := flag.Bool("coalesce", true, "server write-combiner mode (metadata)")
+	compress := flag.Bool("compress", false, "server compression mode (metadata)")
+	workload := flag.String("workload", "examples/service/service.mj", "workload description recorded in the report")
+	out := flag.String("out", "", "write (or merge into) this BENCH_transport.json")
+	allocs := flag.Bool("allocs", true, "measure allocations per transport Send in-process")
+	validate := flag.String("validate", "", "validate an existing report and exit")
+	flag.Parse()
+
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+	if *validate != "" {
+		r, err := benchfmt.ReadTransportReport(*validate)
+		if err != nil {
+			die(err)
+		}
+		fmt.Printf("%s: valid (%d runs, %.0f allocs/send)\n", *validate, len(r.Runs), r.AllocsPerSend)
+		return
+	}
+	if *addr == "" {
+		die(fmt.Errorf("-addr is required (or -validate)"))
+	}
+
+	run, err := drive(*addr, *conns, *initLine, *line, *warmup, *duration)
+	if err != nil {
+		die(err)
+	}
+	run.Label = *label
+	run.Concurrency = *concurrency
+	run.K = *k
+	run.Coalesce = *coalesce
+	run.Compress = *compress
+
+	var allocsPerSend float64
+	if *allocs {
+		allocsPerSend = measureSendAllocs()
+	}
+
+	fmt.Printf("%s: %d invocations in %.2fs = %.0f invokes/sec, p50 %.3fms p99 %.3fms, %.1f frames / %.0f bytes per invoke",
+		run.Label, run.Invocations, run.DurationSec, run.InvokesPerSec,
+		run.P50Ms, run.P99Ms, run.FramesPerInvoke, run.BytesPerInvoke)
+	if *allocs {
+		fmt.Printf(", %.0f allocs/send", allocsPerSend)
+	}
+	fmt.Println()
+
+	if *out == "" {
+		return
+	}
+	report := &benchfmt.TransportReport{
+		Benchmark: "transport_loadgen",
+		Date:      time.Now().Format("2006-01-02"),
+		Host:      fmt.Sprintf("%s/%s, %d cpus", runtime.GOOS, runtime.GOARCH, runtime.NumCPU()),
+		Workload:  fmt.Sprintf("%s · %q", *workload, *line),
+	}
+	if prev, err := benchfmt.ReadTransportReport(*out); err == nil {
+		report = prev
+		report.Date = time.Now().Format("2006-01-02")
+	}
+	if *allocs {
+		report.AllocsPerSend = allocsPerSend
+	}
+	kept := report.Runs[:0]
+	for _, r := range report.Runs {
+		if r.Label != run.Label {
+			kept = append(kept, r)
+		}
+	}
+	report.Runs = append(kept, *run)
+	if err := benchfmt.WriteTransportReport(*out, report); err != nil {
+		die(err)
+	}
+}
+
+// drive runs the measurement protocol against the server and returns a
+// partially filled run (topology metadata is the caller's).
+func drive(addr string, conns int, initLine, line string, warmup, duration time.Duration) (*benchfmt.TransportRun, error) {
+	// Control connection: provisioning and !stats snapshots.
+	ctl, err := dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer ctl.close()
+	if initLine != "" {
+		if reply, err := ctl.roundTrip(initLine); err != nil {
+			return nil, err
+		} else if strings.HasPrefix(reply, "err:") {
+			return nil, fmt.Errorf("provisioning %q failed: %s", initLine, reply)
+		}
+	}
+
+	clients := make([]*client, conns)
+	for i := range clients {
+		if clients[i], err = dial(addr); err != nil {
+			return nil, err
+		}
+		defer clients[i].close()
+	}
+
+	// measuring gates latency recording; stop ends the workers.
+	var measuring, stop atomic.Bool
+	lats := make([][]time.Duration, conns)
+	counts := make([]int64, conns)
+	errs := make([]error, conns)
+	var wg sync.WaitGroup
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *client) {
+			defer wg.Done()
+			for !stop.Load() {
+				t0 := time.Now()
+				reply, err := c.roundTrip(line)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if strings.HasPrefix(reply, "err:") {
+					errs[i] = fmt.Errorf("invocation %q failed: %s", line, reply)
+					return
+				}
+				if measuring.Load() {
+					lats[i] = append(lats[i], time.Since(t0))
+					counts[i]++
+				}
+			}
+		}(i, c)
+	}
+
+	time.Sleep(warmup)
+	before, err := ctl.stats()
+	if err != nil {
+		stop.Store(true)
+		wg.Wait()
+		return nil, err
+	}
+	start := time.Now()
+	measuring.Store(true)
+	time.Sleep(duration)
+	measuring.Store(false)
+	elapsed := time.Since(start)
+	after, err := ctl.stats()
+	stop.Store(true)
+	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range errs {
+		if e != nil {
+			return nil, e
+		}
+	}
+
+	var all []time.Duration
+	var total int64
+	for i := range lats {
+		all = append(all, lats[i]...)
+		total += counts[i]
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("no invocations completed in the measurement window")
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		idx := int(p * float64(len(all)-1))
+		return float64(all[idx]) / float64(time.Millisecond)
+	}
+	run := &benchfmt.TransportRun{
+		Conns:         conns,
+		DurationSec:   elapsed.Seconds(),
+		Invocations:   total,
+		InvokesPerSec: float64(total) / elapsed.Seconds(),
+		P50Ms:         pct(0.50),
+		P99Ms:         pct(0.99),
+	}
+	// Per-invoke traffic from the server's own counters: the snapshot
+	// delta attributes internode frames and payload bytes to the
+	// window's invocations (including warmup stragglers, which wash
+	// out over any reasonable window).
+	if di := after.Invocations - before.Invocations; di > 0 {
+		run.FramesPerInvoke = float64(after.Messages-before.Messages) / float64(di)
+		run.BytesPerInvoke = float64(after.Bytes-before.Bytes) / float64(di)
+	}
+	return run, nil
+}
+
+// client is one line-protocol connection to the server.
+type client struct {
+	c net.Conn
+	r *bufio.Reader
+}
+
+func dial(addr string) (*client, error) {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &client{c: c, r: bufio.NewReader(c)}, nil
+}
+
+func (c *client) close() { _ = c.c.Close() }
+
+// roundTrip sends one line and returns the reply line.
+func (c *client) roundTrip(line string) (string, error) {
+	if _, err := fmt.Fprintln(c.c, line); err != nil {
+		return "", err
+	}
+	reply, err := c.r.ReadString('\n')
+	if err != nil {
+		return "", err
+	}
+	return strings.TrimSpace(reply), nil
+}
+
+// stats fetches a counter snapshot.
+func (c *client) stats() (benchfmt.StatsSnapshot, error) {
+	reply, err := c.roundTrip("!stats")
+	if err != nil {
+		return benchfmt.StatsSnapshot{}, err
+	}
+	return benchfmt.ParseStatsReply(reply)
+}
+
+// measureSendAllocs measures steady-state allocations per
+// transport.Send over a live two-endpoint TCP fabric in this process —
+// the same guard BenchmarkTCPSend enforces, recorded in the report.
+// GC is disabled during the measurement so the buffer pools aren't
+// flushed mid-run.
+func measureSendAllocs() float64 {
+	eps, err := transport.NewTCPCluster(2)
+	if err != nil {
+		return -1
+	}
+	defer func() {
+		for _, ep := range eps {
+			_ = ep.Close()
+		}
+	}()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			m, err := eps[1].Recv()
+			if err != nil {
+				return
+			}
+			wire.PutBuf(m.Payload)
+		}
+	}()
+	payload := make([]byte, 128)
+	msg := transport.Message{To: 1, Kind: 7, Tag: 42, TID: 3, Payload: payload}
+	send := func() {
+		if err := eps[0].Send(msg); err != nil {
+			panic(err)
+		}
+	}
+	for i := 0; i < 2000; i++ { // warm the pools and connection
+		send()
+	}
+	defer debug.SetGCPercent(debug.SetGCPercent(-1))
+	return testing.AllocsPerRun(5000, send)
+}

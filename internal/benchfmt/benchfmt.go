@@ -1,0 +1,151 @@
+// Package benchfmt defines the JSON shapes the wall-clock benchmark
+// harness exchanges and records: the cluster-counter snapshot jdrun's
+// -listen server returns for "!stats", and the BENCH_transport.json
+// report cmd/loadgen emits. Keeping them in one package makes the
+// producer (jdrun/loadgen) and every consumer (CI schema validation,
+// later trend tooling) agree by construction.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// StatsSnapshot is the counter snapshot a jdrun -listen server returns
+// for the "!stats" meta command: cumulative since deployment, so a
+// harness differences two snapshots around its measurement window to
+// attribute traffic to it.
+type StatsSnapshot struct {
+	// Invocations counts entrypoint invocations served.
+	Invocations int64 `json:"invocations"`
+	// Messages counts frames sent between cluster nodes; Bytes counts
+	// their payload bytes.
+	Messages int64 `json:"messages"`
+	Bytes    int64 `json:"bytes"`
+}
+
+// ParseStatsReply parses the server's "!stats {json}" reply line.
+func ParseStatsReply(reply string) (StatsSnapshot, error) {
+	var snap StatsSnapshot
+	rest, ok := strings.CutPrefix(reply, "!stats ")
+	if !ok {
+		return snap, fmt.Errorf("benchfmt: malformed stats reply %q", reply)
+	}
+	if err := json.Unmarshal([]byte(rest), &snap); err != nil {
+		return snap, fmt.Errorf("benchfmt: stats reply: %w", err)
+	}
+	return snap, nil
+}
+
+// TransportRun is one measured loadgen configuration: a label (e.g.
+// "coalesce" or "nocoalesce"), the knobs it ran under, and its results.
+type TransportRun struct {
+	Label string `json:"label"`
+	// Conns is the number of client TCP connections driving the
+	// server; Concurrency the server-side MaxConcurrent; K the node
+	// count; DurationSec the measurement window (after warmup).
+	Conns       int     `json:"conns"`
+	Concurrency int     `json:"concurrency"`
+	K           int     `json:"k"`
+	DurationSec float64 `json:"duration_sec"`
+	// Coalesce/Compress record the transport mode under test.
+	Coalesce bool `json:"coalesce"`
+	Compress bool `json:"compress"`
+	// Invocations completed inside the window; InvokesPerSec is the
+	// headline throughput.
+	Invocations   int64   `json:"invocations"`
+	InvokesPerSec float64 `json:"invokes_per_sec"`
+	// P50Ms/P99Ms are request-latency percentiles in milliseconds.
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	// FramesPerInvoke/BytesPerInvoke are the internode traffic each
+	// invocation cost, from !stats deltas around the window.
+	FramesPerInvoke float64 `json:"frames_per_invoke"`
+	BytesPerInvoke  float64 `json:"bytes_per_invoke"`
+}
+
+// TransportReport is the committed BENCH_transport.json document.
+type TransportReport struct {
+	// Benchmark names the harness ("transport_loadgen").
+	Benchmark string `json:"benchmark"`
+	// Date is the run date (YYYY-MM-DD); Host a free-form machine
+	// description.
+	Date string `json:"date"`
+	Host string `json:"host,omitempty"`
+	// Workload describes the driven program and invocation line.
+	Workload string `json:"workload"`
+	// AllocsPerSend is the transport-level send-path allocation count
+	// measured in-process (testing.AllocsPerRun over a live TCP pair);
+	// the zero-allocation criterion pins it at 0.
+	AllocsPerSend float64 `json:"allocs_per_send"`
+	// Runs holds one entry per measured configuration.
+	Runs []TransportRun `json:"runs"`
+}
+
+// Validate checks the report is schema-complete and internally sane —
+// the CI smoke job runs it against a freshly emitted report.
+func (r *TransportReport) Validate() error {
+	if r.Benchmark != "transport_loadgen" {
+		return fmt.Errorf("benchfmt: benchmark %q, want transport_loadgen", r.Benchmark)
+	}
+	if r.Date == "" {
+		return fmt.Errorf("benchfmt: missing date")
+	}
+	if r.Workload == "" {
+		return fmt.Errorf("benchfmt: missing workload")
+	}
+	if len(r.Runs) == 0 {
+		return fmt.Errorf("benchfmt: no runs")
+	}
+	for i, run := range r.Runs {
+		if run.Label == "" {
+			return fmt.Errorf("benchfmt: run %d missing label", i)
+		}
+		if run.Conns <= 0 || run.Concurrency <= 0 || run.K < 2 {
+			return fmt.Errorf("benchfmt: run %q has implausible topology (conns %d, concurrency %d, k %d)",
+				run.Label, run.Conns, run.Concurrency, run.K)
+		}
+		if run.DurationSec <= 0 {
+			return fmt.Errorf("benchfmt: run %q has no measurement window", run.Label)
+		}
+		if run.Invocations <= 0 || run.InvokesPerSec <= 0 {
+			return fmt.Errorf("benchfmt: run %q measured no throughput", run.Label)
+		}
+		if run.P50Ms < 0 || run.P99Ms < run.P50Ms {
+			return fmt.Errorf("benchfmt: run %q has inconsistent latency percentiles (p50 %.3f, p99 %.3f)",
+				run.Label, run.P50Ms, run.P99Ms)
+		}
+	}
+	return nil
+}
+
+// ReadTransportReport loads and validates a BENCH_transport.json file.
+func ReadTransportReport(path string) (*TransportReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r TransportReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchfmt: %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// WriteTransportReport validates and writes the report with stable
+// indentation (committed artifacts diff cleanly).
+func WriteTransportReport(path string, r *TransportReport) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -252,6 +252,7 @@ func Decode(data []byte) (*ClassFile, error) {
 		default:
 			return nil, fmt.Errorf("bytecode: unknown pool tag %d at %d", tag, i)
 		}
+		e.seal()
 		cf.Pool.entries = append(cf.Pool.entries, e)
 	}
 	// Rebuild the dedup index so later additions reuse entries.

@@ -3,6 +3,7 @@ package bytecode
 import (
 	"fmt"
 	"strings"
+	"sync"
 )
 
 // Type descriptors follow the JVM grammar:
@@ -90,6 +91,34 @@ func ElemOf(d string) string {
 
 // ArrayDesc builds an array descriptor over elem.
 func ArrayDesc(elem string) string { return "[" + elem }
+
+// descCache memoizes ParseMethodDesc results. Descriptors come from
+// constant pools, so the working set is the program's method set —
+// small and immutable — while the interpreter parses one per invoke
+// instruction: the cache turns that per-call allocation into a lookup.
+var descCache sync.Map // string -> *cachedDesc
+
+type cachedDesc struct {
+	params []string
+	ret    string
+}
+
+// ParseMethodDescCached is ParseMethodDesc behind a process-wide
+// memo. The returned params slice is shared — callers must treat it
+// as read-only. Malformed descriptors are not cached (error paths are
+// cold by construction).
+func ParseMethodDescCached(d string) (params []string, ret string, err error) {
+	if v, ok := descCache.Load(d); ok {
+		c := v.(*cachedDesc)
+		return c.params, c.ret, nil
+	}
+	params, ret, err = ParseMethodDesc(d)
+	if err != nil {
+		return nil, "", err
+	}
+	descCache.Store(d, &cachedDesc{params: params, ret: ret})
+	return params, ret, nil
+}
 
 // ParseMethodDesc splits a method descriptor into parameter descriptors
 // and the return descriptor.

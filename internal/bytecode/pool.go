@@ -26,6 +26,23 @@ type PoolEntry struct {
 	// TagMethodRef, Class/Name/Desc index Utf8 entries.
 	Index             uint16
 	Class, Name, Desc uint16
+	// Box is the constant pre-converted to an interface value, set
+	// once at pool construction (see seal): an interpreter executing
+	// LDC pushes Box instead of re-boxing — and so re-allocating —
+	// the constant on every execution.
+	Box any
+}
+
+// seal precomputes the boxed form of a loadable constant.
+func (e *PoolEntry) seal() {
+	switch e.Tag {
+	case TagUtf8:
+		e.Box = e.Str
+	case TagInt:
+		e.Box = e.Int
+	case TagFloat:
+		e.Box = e.Float
+	}
 }
 
 // ConstPool is a deduplicating constant pool. Index 0 is reserved as the
@@ -63,6 +80,7 @@ func (p *ConstPool) intern(key string, e PoolEntry) uint16 {
 		return i
 	}
 	i := uint16(len(p.entries))
+	e.seal()
 	p.entries = append(p.entries, e)
 	p.lookup[key] = i
 	return i

@@ -56,11 +56,13 @@ func (n *Node) maybeAdapt(lt *lthread) {
 	}
 	// Ask the coordinator to adapt while we wait: adaptation errors are
 	// best-effort and must not fail the program.
-	if _, err := n.rawRequest(lt, 0, KindAdapt, nil); err != nil {
+	if resp, err := n.rawRequest(lt, 0, KindAdapt, nil); err != nil {
 		select {
 		case n.errs <- err:
 		default:
 		}
+	} else {
+		wire.PutBuf(resp.Payload)
 	}
 }
 
@@ -130,6 +132,7 @@ func (n *Node) runAdapt(lt *lthread) {
 				return
 			}
 			rep, err = wire.DecodeAffinityReport(resp.Payload)
+			wire.PutBuf(resp.Payload)
 			if err != nil {
 				return
 			}
@@ -257,7 +260,9 @@ func (n *Node) runAdapt(lt *lthread) {
 			if err != nil {
 				return
 			}
-			if out, err = wire.DecodeMigrateResponse(resp.Payload); err != nil {
+			out, err = wire.DecodeMigrateResponse(resp.Payload)
+			wire.PutBuf(resp.Payload)
+			if err != nil {
 				return
 			}
 		}

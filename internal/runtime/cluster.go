@@ -275,7 +275,7 @@ func (c *Cluster) InvokeEntry(name string, args []vm.Value) (vm.Value, NodeStats
 	if err != nil {
 		return nil, NodeStats{}, err
 	}
-	params, _, err := bytecode.ParseMethodDesc(desc)
+	params, _, err := bytecode.ParseMethodDescCached(desc)
 	if err != nil {
 		return nil, NodeStats{}, fmt.Errorf("runtime: entrypoint %s.%s: %w", class, name, err)
 	}
@@ -389,6 +389,7 @@ func (c *Cluster) drainThread(starter *Node, lt *lthread) error {
 				return err
 			}
 			out, err := wire.DecodeDepResponse(resp.Payload)
+			wire.PutBuf(resp.Payload)
 			if err != nil {
 				return err
 			}
@@ -537,6 +538,10 @@ func (c *Cluster) stop() {
 		for rank := len(c.Nodes) - 1; rank >= 0; rank-- {
 			_ = starter.EP.Send(transport.Message{To: rank, Kind: KindShutdown})
 		}
+		// Flush barrier: on fabrics with buffered writers the shutdown
+		// frames may still sit in a write batch; push them to the
+		// kernel before waiting for the serve loops to wind down.
+		_ = transport.Flush(starter.EP)
 		for _, n := range c.Nodes {
 			n.wg.Wait()
 		}
@@ -586,6 +591,7 @@ func (c *Cluster) finalBarrier(starter *Node) error {
 				return err
 			}
 			out, err := wire.DecodeDepResponse(resp.Payload)
+			wire.PutBuf(resp.Payload)
 			if err != nil {
 				return err
 			}

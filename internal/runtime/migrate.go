@@ -89,6 +89,7 @@ func (n *Node) handleMigrate(lt *lthread, req *wire.MigrateRequest) wire.Migrate
 		return fail(err)
 	}
 	tout, err := wire.DecodeTransferResponse(resp.Payload)
+	wire.PutBuf(resp.Payload)
 	if err != nil {
 		return fail(err)
 	}

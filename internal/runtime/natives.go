@@ -47,6 +47,7 @@ func (n *Node) registerNatives() {
 				return nil, err
 			}
 			out, err := wire.DecodeNewResponse(resp.Payload)
+			wire.PutBuf(resp.Payload)
 			if err != nil {
 				return nil, err
 			}
@@ -92,11 +93,13 @@ func (n *Node) registerNatives() {
 			var acc []vm.Value
 			if arr, ok := args[4].(*vm.Array); ok && arr != nil {
 				acc = arr.Data
+				// Rewriter-emitted argument array; dead on return.
+				defer n.VM.RecycleArray(arr)
 			}
 			if home == n.Rank {
 				return n.staticAccessLocal(lt, class, kind, member, n.canonicalizeSlice(acc))
 			}
-			wireArgs, err := n.toWireSlice(n.canonicalizeSlice(acc))
+			wireArgs, err := n.toWireSliceScratch(lt, n.canonicalizeSlice(acc))
 			if err != nil {
 				return nil, err
 			}
@@ -105,7 +108,7 @@ func (n *Node) registerNatives() {
 			if err != nil {
 				return nil, err
 			}
-			return n.finishDepResponse(lt, home, 0, resp.Payload, acc, "static access "+class+"."+member)
+			return n.finishDepResponse(lt, home, 0, resp.Payload, acc, "static access", class+"."+member)
 		})
 
 	// Synthetic Class.access on every user class: the receiver's static
@@ -133,11 +136,17 @@ func (n *Node) accessFromArgs(lt *lthread, args []vm.Value) (vm.Value, error) {
 	self := args[0].(*vm.Object)
 	kind := int(args[1].(int64))
 	member := args[2].(string)
+	var arr *vm.Array
 	var acc []vm.Value
-	if arr, ok := args[3].(*vm.Array); ok && arr != nil {
-		acc = arr.Data
+	if a, ok := args[3].(*vm.Array); ok && a != nil {
+		arr, acc = a, a.Data
 	}
-	return n.dispatchAccess(lt, self, kind, member, acc)
+	ret, err := n.dispatchAccess(lt, self, kind, member, acc)
+	// The argument array is rewriter-emitted and dead once the access
+	// returns (callees receive its elements, never the array itself),
+	// so it goes back to the allocator.
+	n.VM.RecycleArray(arr)
+	return ret, err
 }
 
 // dispatchAccess routes one rewritten access: locally when this node
@@ -298,7 +307,7 @@ func (n *Node) remoteDispatch(lt *lthread, home int, id int64, kind int, member 
 
 // remoteAccess performs one synchronous DEPENDENCE exchange.
 func (n *Node) remoteAccess(lt *lthread, home int, id int64, kind int, member string, acc []vm.Value) (vm.Value, error) {
-	wireArgs, err := n.toWireSlice(acc)
+	wireArgs, err := n.toWireSliceScratch(lt, acc)
 	if err != nil {
 		return nil, err
 	}
@@ -309,7 +318,7 @@ func (n *Node) remoteAccess(lt *lthread, home int, id int64, kind int, member st
 	if err != nil {
 		return nil, err
 	}
-	return n.finishDepResponse(lt, home, id, resp.Payload, acc, "access "+member)
+	return n.finishDepResponse(lt, home, id, resp.Payload, acc, "access", member)
 }
 
 // accessWrites classifies an access kind for the affinity read/write
@@ -328,8 +337,9 @@ func accessWrites(kind int) bool {
 // decode, inherit outstanding-batch bookkeeping, absorb Moved redirect
 // notices, surface direct and deferred errors, copy-restore array
 // arguments, convert the value.
-func (n *Node) finishDepResponse(lt *lthread, home int, id int64, payload []byte, acc []vm.Value, what string) (vm.Value, error) {
+func (n *Node) finishDepResponse(lt *lthread, home int, id int64, payload []byte, acc []vm.Value, whatKind, whatMember string) (vm.Value, error) {
 	out, err := wire.DecodeDepResponse(payload)
+	wire.PutBuf(payload)
 	if err != nil {
 		return nil, err
 	}
@@ -338,12 +348,15 @@ func (n *Node) finishDepResponse(lt *lthread, home int, id int64, payload []byte
 		n.learnHome(id, out.NewHome)
 	}
 	if out.Err != "" {
-		return nil, fmt.Errorf("remote %s: %s", what, out.Err)
+		// The label is split so the happy path never concatenates it.
+		return nil, fmt.Errorf("remote %s %s: %s", whatKind, whatMember, out.Err)
 	}
 	if out.AsyncErr != "" {
 		return nil, fmt.Errorf("deferred async failure on node %d: %s", home, out.AsyncErr)
 	}
-	if err := n.restoreArrays(acc, out.OutArrays); err != nil {
+	err = n.restoreArrays(acc, out.OutArrays)
+	wire.PutValues(out.OutArrays)
+	if err != nil {
 		return nil, err
 	}
 	return n.fromWire(out.Value)
@@ -366,8 +379,13 @@ func (n *Node) localAccess(lt *lthread, obj *vm.Object, kind int, member string,
 		if !ok {
 			return nil, fmt.Errorf("runtime: bad member key %q", member)
 		}
-		callArgs := append([]vm.Value{obj}, args...)
-		return lt.vt.CallMethod(obj.Class.Name(), name, desc, callArgs)
+		// Assemble receiver+args in the thread's scratch buffer: the VM
+		// copies call arguments into frame locals on entry, so the
+		// buffer is free again by the time any nested access on this
+		// logical thread could want it.
+		lt.callBuf = append(lt.callBuf[:0], obj)
+		lt.callBuf = append(lt.callBuf, args...)
+		return lt.vt.CallMethod(obj.Class.Name(), name, desc, lt.callBuf)
 	case rewrite.GetField, rewrite.GetFieldCached, rewrite.GetFieldReplicated:
 		slot := obj.Class.FieldSlot(member)
 		if slot < 0 {

@@ -62,6 +62,15 @@ type Node struct {
 	// completion acknowledgements.
 	causal bool
 
+	// copies records whether the transport's Send consumes the payload
+	// before returning (TCP encodes it into the connection batch). If
+	// so, send recycles the encode buffer to the wire pool as soon as
+	// Send accepts it; otherwise (in-process channels hand the slice
+	// itself to the receiver) the buffer is recycled on the receiving
+	// side — by the serve loop after the handler returns, or by the
+	// requester after decoding a response.
+	copies bool
+
 	// Adaptive repartitioning configuration (see adapt.go); adaptEvery
 	// of zero disables the subsystem, preserving the static-plan
 	// behaviour exactly.
@@ -147,6 +156,11 @@ type Node struct {
 	done chan struct{}
 	wg   sync.WaitGroup
 	errs chan error
+
+	// workers recycles the handler goroutines Serve dispatches onto,
+	// so steady-state requests reuse warm (already-grown) stacks
+	// instead of paying runtime.newstack on every message.
+	workers workerPool
 }
 
 // srvResp is a matched response plus the drain barriers it must
@@ -277,6 +291,21 @@ type objGate struct {
 	idle   chan struct{}
 }
 
+// gatePool recycles objGate cells. Gates live only while an object has
+// in-flight accesses (exit deletes the map entry when the last access
+// drains), so an uncontended access would otherwise allocate one gate
+// per call. Waiters never retain a gate across a wait — they capture
+// the channel, then re-look the id up after waking — so a deleted gate
+// is safe to recycle immediately. Recycled gates are always quiescent:
+// depth 0, no idle waiters, not frozen.
+var gatePool = sync.Pool{New: func() any { return new(objGate) }}
+
+func getGate() *objGate {
+	g := gatePool.Get().(*objGate)
+	g.owner, g.depth, g.frozen, g.idle = 0, 0, nil, nil
+	return g
+}
+
 // affinityCell accumulates one epoch's traffic towards one object,
 // split into read and write messages so the coordinator's
 // replication-aware refinement can price invalidations (msgs = reads +
@@ -307,6 +336,7 @@ func NewNode(prog *bytecode.Program, ep transport.Endpoint, plan *rewrite.Plan) 
 		EP:      ep,
 		Plan:    plan,
 		causal:  transport.Causal(ep),
+		copies:  transport.CopiesPayload(ep),
 		canon:   map[int64]*vm.Object{},
 		home:    map[int64]*vm.Object{},
 		pending: map[uint64]chan srvResp{},
@@ -409,7 +439,7 @@ func (n *Node) enterObject(lt *lthread, id int64) bool {
 		n.gateMu.Lock()
 		g := n.gates[id]
 		if g == nil {
-			g = &objGate{}
+			g = getGate()
 			n.gates[id] = g
 		}
 		if g.depth > 0 && g.owner == lt.tid {
@@ -453,6 +483,7 @@ func (n *Node) exitObject(lt *lthread, id int64) {
 			}
 			if g.frozen == nil {
 				delete(n.gates, id)
+				gatePool.Put(g)
 			}
 		}
 	}
@@ -472,7 +503,7 @@ func (n *Node) freezeObject(id int64) bool {
 		n.gateMu.Lock()
 		g := n.gates[id]
 		if g == nil {
-			g = &objGate{}
+			g = getGate()
 			n.gates[id] = g
 		}
 		if g.frozen != nil {
@@ -515,6 +546,7 @@ func (n *Node) thawObject(id int64) {
 		g.frozen = nil
 		if g.depth == 0 && g.idle == nil {
 			delete(n.gates, id)
+			gatePool.Put(g)
 		}
 	}
 	n.gateMu.Unlock()
@@ -603,11 +635,21 @@ func (n *Node) proxyIdentity(p *vm.Object) (home int, id int64, class string) {
 }
 
 // send stamps the logical thread id, counts and transmits one message.
+// It consumes msg.Payload: on fabrics whose Send copies, the buffer
+// goes back to the wire pool the moment Send accepts it, so callers
+// must not reuse an encoded payload across sends — re-encode instead
+// (see fetchReplica's redirect loop).
 func (n *Node) send(lt *lthread, msg transport.Message) error {
 	msg.TID = lt.tid
 	n.count(lt, func(s *NodeStats) *int64 { return &s.MessagesSent }, 1)
 	n.count(lt, func(s *NodeStats) *int64 { return &s.BytesSent }, int64(len(msg.Payload)))
-	return n.EP.Send(msg)
+	if err := n.EP.Send(msg); err != nil {
+		return err
+	}
+	if n.copies {
+		wire.PutBuf(msg.Payload)
+	}
+	return nil
 }
 
 // request flushes the thread's pending asynchronous messages (each
@@ -633,19 +675,41 @@ func (n *Node) request(lt *lthread, to int, kind uint8, payload []byte) (transpo
 // rawRequest is request without the asynchronous flush barrier (used
 // by the flush itself to await batch acknowledgements).
 func (n *Node) rawRequest(lt *lthread, to int, kind uint8, payload []byte) (transport.Message, error) {
+	// Response channels are recycled: each carries exactly one value
+	// per registration (Serve unregisters the tag before sending), so
+	// a channel received from is empty and safe to reuse for the next
+	// request. Channels abandoned on the shutdown path are simply not
+	// returned to the pool.
+	ch, _ := respChPool.Get().(chan srvResp)
+	if ch == nil {
+		ch = make(chan srvResp, 1)
+	}
 	n.mu.Lock()
 	n.nextTag++
 	tag := n.nextTag
-	ch := make(chan srvResp, 1)
 	n.pending[tag] = ch
 	n.mu.Unlock()
 
 	msg := transport.Message{To: to, Tag: tag, Kind: kind, Payload: payload, Time: n.VM.SimSeconds()}
 	if err := n.send(lt, msg); err != nil {
+		// Nothing went out, so no response can arrive: unregister the
+		// tag, and recycle the channel only if the registration was
+		// still there (it always is — defensive against future
+		// concurrent cancellation paths).
+		n.mu.Lock()
+		_, registered := n.pending[tag]
+		delete(n.pending, tag)
+		n.mu.Unlock()
+		if registered {
+			respChPool.Put(ch)
+		}
 		return transport.Message{}, err
 	}
 	select {
 	case resp := <-ch:
+		// The channel delivered its one value for this registration;
+		// it is empty again and reusable.
+		respChPool.Put(ch)
 		// A response may causally follow asynchronous batches of this
 		// thread that are still queued for its batch worker; wait for
 		// those before resuming so local reads observe their effects.
@@ -662,9 +726,16 @@ func (n *Node) rawRequest(lt *lthread, to int, kind uint8, payload []byte) (tran
 		n.clearAsyncDest(lt, to)
 		return resp.msg, nil
 	case <-n.done:
+		// The response may still be in flight; the channel cannot be
+		// reused (Serve could yet deliver into it).
 		return transport.Message{}, fmt.Errorf("runtime: node %d shut down while waiting for response", n.Rank)
 	}
 }
+
+// respChPool recycles rawRequest response channels (cap-1 buffered);
+// each registration delivers at most one value, so a received-from
+// channel returns to the pool empty.
+var respChPool sync.Pool
 
 // asyncEnqueue buffers one fire-and-forget dependence message for its
 // destination on the issuing thread, flushing early when the buffer
@@ -720,6 +791,7 @@ func (n *Node) flushAsync(lt *lthread) error {
 				return err
 			}
 			out, err := wire.DecodeDepResponse(resp.Payload)
+			wire.PutBuf(resp.Payload)
 			if err != nil {
 				return err
 			}
@@ -832,7 +904,40 @@ func (n *Node) advanceTo(t float64) {
 // is per logical thread too: a request or response for thread T waits
 // only for T's own queued batches, while system frames (thread 0)
 // conservatively wait for every thread's.
+// execTask runs one dispatched frame on a pool worker: honour the
+// kind's ordering barriers, hand off to the handler, recycle the
+// payload (decoders copy, so the frame buffer is dead once the handler
+// returns — or the node shuts down).
+func (n *Node) execTask(t srvTask) {
+	defer n.wg.Done()
+	defer wire.PutBuf(t.msg.Payload)
+	switch t.msg.Kind {
+	case KindInvalidate:
+		n.handleInvalidate(t.msg)
+	case KindDependenceBatch:
+		if t.prev != nil {
+			select {
+			case <-t.prev:
+			case <-n.done:
+				close(t.done)
+				return
+			}
+		}
+		n.handleBatch(batchJob{msg: t.msg, done: t.done})
+	default:
+		for _, w := range t.wait {
+			select {
+			case <-w:
+			case <-n.done:
+				return
+			}
+		}
+		n.handle(t.msg)
+	}
+}
+
 func (n *Node) Serve() {
+	n.workers.exec = n.execTask
 	n.wg.Add(1)
 	go func() {
 		defer n.wg.Done()
@@ -884,7 +989,11 @@ func (n *Node) Serve() {
 				delete(n.pending, msg.Tag)
 				n.mu.Unlock()
 				if ch != nil {
+					// The requester recycles the payload after
+					// decoding it.
 					ch <- srvResp{msg: msg, drain: barriers(msg.TID)}
+				} else {
+					wire.PutBuf(msg.Payload)
 				}
 			case KindInvalidate:
 				// Invalidations bypass the batch barrier on purpose:
@@ -895,10 +1004,7 @@ func (n *Node) Serve() {
 				// classes out of asynchronous touch sets), so no
 				// ordering is lost.
 				n.wg.Add(1)
-				go func(m transport.Message) {
-					defer n.wg.Done()
-					n.handleInvalidate(m)
-				}(msg)
+				n.workers.run(srvTask{msg: msg})
 			case KindShutdown:
 				close(n.done)
 				_ = n.EP.Close()
@@ -909,32 +1015,10 @@ func (n *Node) Serve() {
 				lastBatch[msg.TID] = done
 				sweep()
 				n.wg.Add(1)
-				go func(job batchJob, prev chan struct{}) {
-					defer n.wg.Done()
-					if prev != nil {
-						select {
-						case <-prev:
-						case <-n.done:
-							close(job.done)
-							return
-						}
-					}
-					n.handleBatch(job)
-				}(batchJob{msg: msg, done: done}, prev)
+				n.workers.run(srvTask{msg: msg, done: done, prev: prev})
 			default:
-				wait := barriers(msg.TID)
 				n.wg.Add(1)
-				go func(m transport.Message, wait []chan struct{}) {
-					defer n.wg.Done()
-					for _, w := range wait {
-						select {
-						case <-w:
-						case <-n.done:
-							return
-						}
-					}
-					n.handle(m)
-				}(msg, wait)
+				n.workers.run(srvTask{msg: msg, wait: barriers(msg.TID)})
 			}
 		}
 	}()
@@ -958,6 +1042,7 @@ func (n *Node) handleBatch(job batchJob) {
 		for i := range batch.Reqs {
 			n.count(lt, func(s *NodeStats) *int64 { return &s.DepRequests }, 1)
 			out := n.serveDependence(lt, &batch.Reqs[i])
+			wire.PutValues(batch.Reqs[i].Args)
 			if out.Err != "" {
 				stashAsyncErr(lt, fmt.Errorf("%s", out.Err))
 				break
@@ -1046,6 +1131,7 @@ func (n *Node) handle(msg transport.Message) {
 			out.Err = err.Error()
 		} else {
 			out = n.serveDependence(lt, &req)
+			wire.PutValues(req.Args)
 		}
 		finish(&out.Err, &out.AsyncErr, &out.AsyncDests)
 		reply(out.Encode())
@@ -1160,7 +1246,7 @@ func findCtorByArity(cf *bytecode.ClassFile, arity int) *bytecode.Method {
 		if m.Name != "<init>" {
 			continue
 		}
-		params, _, err := bytecode.ParseMethodDesc(m.Desc)
+		params, _, err := bytecode.ParseMethodDescCached(m.Desc)
 		if err == nil && len(params) == arity {
 			return m
 		}
@@ -1180,10 +1266,13 @@ func (n *Node) serveDependence(lt *lthread, req *wire.DepRequest) wire.DepRespon
 		return out
 	}
 	serve := func(do func(args []vm.Value) (vm.Value, error)) wire.DepResponse {
-		args, err := n.fromWireSlice(req.Args)
+		args, err := n.fromWireSlicePooled(req.Args)
 		if err != nil {
 			return fail(err)
 		}
+		// The decoded slice is dead once the out-array write-back has
+		// read it; the values themselves travel on independently.
+		defer putVals(args)
 		val, err := do(args)
 		if err != nil {
 			return fail(err)
@@ -1234,6 +1323,7 @@ func (n *Node) forwardDependence(lt *lthread, to int, req *wire.DepRequest) wire
 		return wire.DepResponse{Err: err.Error()}
 	}
 	out, err := wire.DecodeDepResponse(resp.Payload)
+	wire.PutBuf(resp.Payload)
 	if err != nil {
 		return wire.DepResponse{Err: err.Error()}
 	}

@@ -97,15 +97,18 @@ func (n *Node) handleReplicate(req *wire.ReplicateRequest, from int) wire.Replic
 // invalidation prevented the install.
 func (n *Node) fetchReplica(lt *lthread, home int, id int64) (*vm.Object, error) {
 	req := wire.ReplicateRequest{ID: id}
-	payload := req.Encode()
 	for hops := 0; hops <= n.EP.Size(); hops++ {
 		gen := n.coh.replicaGen(id)
+		// send consumes the payload buffer, so each redirect hop
+		// re-encodes the (tiny) request.
+		payload := req.Encode()
 		n.recordAffinity(id, len(payload), false)
 		resp, err := n.rawRequest(lt, home, KindReplicate, payload)
 		if err != nil {
 			return nil, err
 		}
 		out, err := wire.DecodeReplicateResponse(resp.Payload)
+		wire.PutBuf(resp.Payload)
 		if err != nil {
 			return nil, err
 		}
@@ -194,7 +197,6 @@ func (n *Node) invalidateReaders(lt *lthread, id int64) error {
 		return nil
 	}
 	req := wire.InvalidateRequest{ID: id}
-	payload := req.Encode()
 	errs := make([]error, len(readers))
 	var wg sync.WaitGroup
 	for i, r := range readers {
@@ -205,12 +207,15 @@ func (n *Node) invalidateReaders(lt *lthread, id int64) error {
 		wg.Add(1)
 		go func(i, r int) {
 			defer wg.Done()
-			resp, err := n.rawRequest(lt, r, KindInvalidate, payload)
+			// Per-destination encode: send consumes the buffer, so the
+			// fan-out cannot share one encoded request.
+			resp, err := n.rawRequest(lt, r, KindInvalidate, req.Encode())
 			if err != nil {
 				errs[i] = err
 				return
 			}
 			ack, err := wire.DecodeReplicaAck(resp.Payload)
+			wire.PutBuf(resp.Payload)
 			if err != nil {
 				errs[i] = err
 				return

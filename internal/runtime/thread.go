@@ -62,6 +62,15 @@ type lthread struct {
 	// on the thread's next response (or its invocation result).
 	asyncErr string
 
+	// callBuf and wireBuf are per-thread scratch slices for call
+	// argument assembly and wire-value conversion. Safe to reuse
+	// because both are fully consumed before control re-enters code
+	// that could touch them again on the same logical thread: the VM
+	// copies call args into frame locals on entry, and wire values are
+	// encoded into the outgoing payload before the request is sent.
+	callBuf []vm.Value
+	wireBuf []wire.Value
+
 	// stats are this thread's protocol counters on this node — the
 	// per-thread shadow of Node.Stats that per-invocation deltas are
 	// built from. Updated atomically alongside the global counters.

@@ -49,6 +49,7 @@ package runtime
 
 import (
 	"fmt"
+	"sync"
 
 	"autodist/internal/vm"
 	"autodist/internal/wire"
@@ -184,6 +185,75 @@ func (n *Node) toWireSlice(vs []vm.Value) ([]wire.Value, error) {
 			return nil, err
 		}
 		out[i] = w
+	}
+	return out, nil
+}
+
+// toWireSliceScratch is toWireSlice into the logical thread's reusable
+// conversion buffer. Only for synchronous exchanges that encode the
+// result into a payload before the next access on the thread: the
+// asynchronous batch path retains its slices in asyncBuf and must use
+// the allocating variant.
+func (n *Node) toWireSliceScratch(lt *lthread, vs []vm.Value) ([]wire.Value, error) {
+	if cap(lt.wireBuf) < len(vs) {
+		lt.wireBuf = make([]wire.Value, len(vs))
+	}
+	out := lt.wireBuf[:len(vs)]
+	for i, v := range vs {
+		w, err := n.toWire(v)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = w
+	}
+	return out, nil
+}
+
+// valsPool recycles the []vm.Value argument slices the serve path
+// decodes into, via the same two-level box scheme as wire.GetBuf (the
+// box returns to the pool immediately; the slice travels with the
+// handler until putVals).
+var valsPool = sync.Pool{New: func() any { return new(valsBox) }}
+
+type valsBox struct{ s []vm.Value }
+
+func getVals(n int) []vm.Value {
+	b := valsPool.Get().(*valsBox)
+	s := b.s
+	b.s = nil
+	valsPool.Put(b)
+	if cap(s) < n {
+		return make([]vm.Value, n)
+	}
+	return s[:n]
+}
+
+// putVals returns a slice obtained from getVals once the handler is
+// done with it. Values the handler extracted live on independently —
+// only the slice header's backing store is recycled.
+func putVals(s []vm.Value) {
+	if cap(s) == 0 || cap(s) > 256 {
+		return
+	}
+	s = s[:cap(s)]
+	clear(s)
+	b := valsPool.Get().(*valsBox)
+	b.s = s
+	valsPool.Put(b)
+}
+
+// fromWireSlicePooled is fromWireSlice into a recycled slice; the
+// caller must hand the slice back through putVals when the access
+// completes (values extracted from it are unaffected).
+func (n *Node) fromWireSlicePooled(ws []wire.Value) ([]vm.Value, error) {
+	out := getVals(len(ws))
+	for i, w := range ws {
+		v, err := n.fromWire(w)
+		if err != nil {
+			putVals(out)
+			return nil, err
+		}
+		out[i] = v
 	}
 	return out, nil
 }

@@ -1,0 +1,140 @@
+package runtime
+
+import (
+	"autodist/internal/transport"
+
+	"sync"
+	"time"
+)
+
+// workerIdle is roughly how long a pooled handler goroutine may sit
+// parked before the janitor retires it. Long enough that a steady
+// request stream keeps its workers warm, short enough that idle
+// clusters (and finished tests) release them promptly.
+const workerIdle = time.Second
+
+// srvTask is one dispatched message: the frame plus the ordering
+// barriers its kind requires (see Serve). Passing a value struct
+// through the worker channel keeps the per-message dispatch
+// allocation-free — a closure would put its capture block on the heap
+// for every frame.
+type srvTask struct {
+	msg transport.Message
+	// done is this batch's completion barrier (KindDependenceBatch).
+	done chan struct{}
+	// prev chains the batch behind the same thread's previous one.
+	prev chan struct{}
+	// wait holds barriers a synchronous request must honour.
+	wait []chan struct{}
+}
+
+// workerPool recycles handler goroutines. The Serve loop dispatches
+// every request to a goroutine; spawning a fresh one per message makes
+// each handler re-grow its stack on the way into the VM call chain —
+// profiles showed runtime.newstack/copystack eating double-digit CPU
+// under request/response load. The pool hands tasks to previously used
+// goroutines instead (most recently parked first, so the hottest stack
+// is reused), and spawns a new one only when none is free. It never
+// queues: a task always gets a goroutine immediately, preserving the
+// spawn-per-message semantics — unbounded concurrency, no deadlock
+// risk from handlers that block on object gates or batch barriers.
+//
+// A parked worker blocks on a plain channel receive — no timer, no
+// select (an earlier timer-per-worker variant put selectgo and timer
+// block/unblock on the hot path). Idle reaping is the janitor's job:
+// one goroutine per active pool sweeps every workerIdle and closes
+// workers parked through a full sweep. The janitor exits when the
+// free list empties; parking a worker revives it, so a non-empty free
+// list always has a janitor and nothing leaks.
+type workerPool struct {
+	// exec runs one task; set once before the pool dispatches.
+	exec func(srvTask)
+
+	mu   sync.Mutex
+	free []poolWorker // parked workers, LIFO
+	// gen counts janitor sweeps; a worker parked in gen g is retired
+	// at the end of gen g+1 (idle between one and two sweep periods).
+	gen       uint64
+	janitorOn bool
+}
+
+// poolWorker is one parked goroutine: its task channel and the sweep
+// generation it parked in.
+type poolWorker struct {
+	ch  chan srvTask
+	gen uint64
+}
+
+// run executes t on a parked goroutine, or a new one if none is free.
+func (p *workerPool) run(t srvTask) {
+	p.mu.Lock()
+	var ch chan srvTask
+	if k := len(p.free); k > 0 {
+		ch = p.free[k-1].ch
+		p.free = p.free[:k-1]
+	}
+	p.mu.Unlock()
+	if ch == nil {
+		ch = make(chan srvTask, 1)
+		go p.loop(ch)
+	}
+	ch <- t
+}
+
+// loop is one pooled worker: run a task, park, wait for the next. The
+// janitor retires a long-parked worker by closing its channel.
+func (p *workerPool) loop(ch chan srvTask) {
+	for t := range ch {
+		p.exec(t)
+		p.park(ch)
+	}
+}
+
+// park returns a worker to the free list, reviving the janitor if it
+// has exited (an empty free list is the only state it exits in, so a
+// parked worker is always under watch).
+func (p *workerPool) park(ch chan srvTask) {
+	p.mu.Lock()
+	p.free = append(p.free, poolWorker{ch: ch, gen: p.gen})
+	if !p.janitorOn {
+		p.janitorOn = true
+		go p.janitor()
+	}
+	p.mu.Unlock()
+}
+
+// janitor retires workers that stayed parked through a full sweep
+// period. Channels are unlinked from the free list under the lock
+// before being closed, so run can never race a send against the
+// close.
+func (p *workerPool) janitor() {
+	for {
+		time.Sleep(workerIdle)
+		p.mu.Lock()
+		var stale []poolWorker
+		kept := p.free[:0]
+		for _, w := range p.free {
+			if w.gen < p.gen {
+				stale = append(stale, w)
+			} else {
+				kept = append(kept, w)
+			}
+		}
+		p.free = kept
+		p.gen++
+		if len(p.free) == 0 {
+			// Nothing left to watch; exit. Busy workers park later
+			// and restart the janitor then.
+			p.janitorOn = false
+			p.mu.Unlock()
+			for _, w := range stale {
+				close(w.ch)
+			}
+			return
+		}
+		p.mu.Unlock()
+		for _, w := range stale {
+			close(w.ch)
+		}
+	}
+}

@@ -50,6 +50,28 @@ type Endpoint interface {
 // ErrClosed is returned by Recv after Close.
 var ErrClosed = fmt.Errorf("transport: endpoint closed")
 
+// CopiesPayload reports whether the fabric's Send consumes
+// msg.Payload before returning — encoding it into a connection batch
+// or onto the socket — so the caller may recycle the payload buffer
+// (wire.PutBuf) as soon as Send returns. The TCP fabric copies; the
+// in-process fabric hands the payload slice itself to the receiver, so
+// there the buffer is recycled by the consumer after handling instead.
+func CopiesPayload(ep Endpoint) bool {
+	c, ok := ep.(interface{ SendCopiesPayload() bool })
+	return ok && c.SendCopiesPayload()
+}
+
+// Flush blocks until every frame the endpoint accepted so far has been
+// handed to the kernel — the flush barrier runtime shutdown uses so
+// control frames are never stranded in a write batch. Fabrics without
+// buffered writers (in-process channels) flush trivially.
+func Flush(ep Endpoint) error {
+	if f, ok := ep.(interface{ Flush() error }); ok {
+		return f.Flush()
+	}
+	return nil
+}
+
 // Causal reports whether the fabric guarantees causally ordered
 // delivery: if send A completes before send B starts anywhere along a
 // happens-before chain, A is received before B at a shared receiver.

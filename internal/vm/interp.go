@@ -10,6 +10,10 @@ import (
 // deliberately ordered (division ≫ multiplication > simple ALU;
 // allocation and dispatch carry fixed overheads) so the simulated-clock
 // experiments reproduce relative, not absolute, performance.
+// frameStack is the operand-stack capacity reserved per frame in the
+// thread arena; the compiler's expression depth never approaches it.
+const frameStack = 64
+
 const (
 	cycSimple = 1
 	cycMul    = 3
@@ -71,8 +75,16 @@ func (t *Thread) Invoke(c *Class, m *bytecode.Method, args []Value) (Value, erro
 }
 
 func (vm *VM) findNative(c *Class, m *bytecode.Method) NativeFunc {
+	// The hierarchy walk concatenates a registry key per class tried;
+	// memoize hits per (class, method) so steady-state native dispatch
+	// neither allocates nor re-walks. Misses are not cached — they end
+	// in an interpreter error anyway.
+	if v, ok := c.nativeCache.Load(m); ok {
+		return v.(NativeFunc)
+	}
 	for x := c; x != nil; x = x.Super {
 		if fn, ok := vm.natives[x.Name()+"."+m.Name+":"+m.Desc]; ok {
+			c.nativeCache.Store(m, fn)
 			return fn
 		}
 	}
@@ -81,11 +93,18 @@ func (vm *VM) findNative(c *Class, m *bytecode.Method) NativeFunc {
 
 func (t *Thread) run(c *Class, m *bytecode.Method, args []Value) (Value, error) {
 	vm := t.vm
-	locals := make([]Value, m.MaxLocals)
+	// Locals and the operand stack are carved from the thread's frame
+	// arena in one piece (locals first, then frameStack spare slots for
+	// the stack). The verifier bounds operand depth and frameStack
+	// covers every program the compiler emits; a deeper stack falls
+	// back to a heap append transparently.
+	lbase := len(t.larena)
+	nloc := int(m.MaxLocals)
+	fr := t.pushLocals(nloc + frameStack)
+	defer func() { t.larena = t.larena[:lbase] }()
+	locals := fr[:nloc:nloc]
 	copy(locals, args)
-	// A small fixed operand stack; the verifier bounds depth, and 64
-	// covers every program the compiler emits.
-	stack := make([]Value, 0, 16)
+	stack := fr[nloc:nloc]
 	pool := c.File.Pool
 	code := m.Code
 	pc := 0
@@ -127,14 +146,12 @@ func (t *Thread) run(c *Class, m *bytecode.Method, args []Value) (Value, error) 
 		case bytecode.NOP:
 
 		case bytecode.LDC:
+			// Constants are pre-boxed at pool construction, so the push
+			// costs no allocation however often this LDC executes.
 			e := pool.Entry(uint16(in.A))
 			switch e.Tag {
-			case bytecode.TagInt:
-				push(e.Int)
-			case bytecode.TagFloat:
-				push(e.Float)
-			case bytecode.TagUtf8:
-				push(e.Str)
+			case bytecode.TagInt, bytecode.TagFloat, bytecode.TagUtf8:
+				push(e.Box)
 			default:
 				return nil, t.errorf("ldc of non-constant pool entry %d", in.A)
 			}
@@ -348,7 +365,7 @@ func (t *Thread) run(c *Class, m *bytecode.Method, args []Value) (Value, error) 
 
 		case bytecode.INVOKEVIRTUAL, bytecode.INVOKESPECIAL, bytecode.INVOKESTATIC:
 			cls, name, desc := pool.Ref(uint16(in.A))
-			params, ret, err := bytecode.ParseMethodDesc(desc)
+			params, ret, err := bytecode.ParseMethodDescCached(desc)
 			if err != nil {
 				return nil, t.errorf("bad descriptor %s: %v", desc, err)
 			}
@@ -359,9 +376,11 @@ func (t *Thread) run(c *Class, m *bytecode.Method, args []Value) (Value, error) 
 			if len(stack) < nargs {
 				return nil, t.errorf("stack underflow calling %s.%s", cls, name)
 			}
-			callArgs := make([]Value, nargs)
-			copy(callArgs, stack[len(stack)-nargs:])
-			stack = stack[:len(stack)-nargs]
+			// The arguments stay in place on the operand stack for the
+			// duration of the call: the callee copies them into its
+			// locals on entry (natives read them synchronously and
+			// retain nothing), so no per-call slice is materialised.
+			callArgs := stack[len(stack)-nargs:]
 
 			var tc *Class
 			var tm *bytecode.Method
@@ -392,6 +411,7 @@ func (t *Thread) run(c *Class, m *bytecode.Method, args []Value) (Value, error) 
 			if err != nil {
 				return nil, err
 			}
+			stack = stack[:len(stack)-nargs]
 			if ret != "V" {
 				push(rv)
 			}

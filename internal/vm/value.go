@@ -59,10 +59,22 @@ type Class struct {
 	// VM's staticMu — concurrent logical threads share them).
 	statics map[string]Value
 
-	// methodCache caches virtual-dispatch lookups ("name:desc" →
-	// declaring class + method), guarded by cacheMu.
-	cacheMu     sync.Mutex
-	methodCache map[string]*boundMethod
+	// methodCache caches virtual-dispatch lookups ({name, desc} →
+	// declaring class + method). A sync.Map keyed by a struct keeps
+	// the steady-state hit path lock-free and allocation-free — the
+	// interpreter consults it on every invoke instruction, so neither
+	// a mutex nor a concatenated string key belongs here.
+	methodCache sync.Map // methodKey -> *boundMethod
+
+	// nativeCache memoizes native-dispatch lookups for the same
+	// reason, keyed by the method object (unique per loaded program).
+	nativeCache sync.Map // *bytecode.Method -> NativeFunc
+}
+
+// methodKey identifies a method by name and descriptor without the
+// per-lookup string concatenation a combined key would cost.
+type methodKey struct {
+	name, desc string
 }
 
 type boundMethod struct {

@@ -147,6 +147,28 @@ type Thread struct {
 	// must wait for the thread to quiesce — keeping the interpreter's
 	// per-instruction accounting to one atomic op (the shared clock).
 	cycles uint64
+	// larena backs frame locals. Calls nest LIFO within a thread, so
+	// each frame carves its locals from the tail and releases back to
+	// its base on return — steady-state interpretation allocates no
+	// locals slices at all.
+	larena []Value
+}
+
+// pushLocals carves a zeroed n-slot locals slice off the thread's
+// frame arena. The caller must restore len(t.larena) to its previous
+// value when the frame returns. Growing abandons the old backing
+// array: live outer frames keep their subslices into it (each frame
+// only ever touches its own carve), and it is collected once they
+// return.
+func (t *Thread) pushLocals(n int) []Value {
+	base := len(t.larena)
+	if base+n > cap(t.larena) {
+		t.larena = make([]Value, base, base+n+64)
+	}
+	t.larena = t.larena[:base+n]
+	ls := t.larena[base : base+n : base+n]
+	clear(ls)
+	return ls
 }
 
 // NewThread creates a fresh interpreter context on the VM.
@@ -242,11 +264,10 @@ func (vm *VM) loadClass(name string) (*Class, error) {
 		return nil, fmt.Errorf("vm: class %s not found", name)
 	}
 	c := &Class{
-		File:        cf,
-		fieldIdx:    make(map[string]int),
-		fieldDesc:   make(map[string]string),
-		statics:     make(map[string]Value),
-		methodCache: make(map[string]*boundMethod),
+		File:      cf,
+		fieldIdx:  make(map[string]int),
+		fieldDesc: make(map[string]string),
+		statics:   make(map[string]Value),
 	}
 	// Install before recursing so self-references terminate.
 	vm.classes[name] = c
@@ -296,11 +317,33 @@ func (vm *VM) NewObject(c *Class) *Object {
 
 // NewArray allocates an array with zeroed elements. Safe for
 // concurrent use by multiple threads.
+// arrayPool recycles Array cells handed back through RecycleArray.
+// The rewriter's access calling convention creates a fresh argument
+// array per mediated access and provably drops it when the call
+// returns, so the runtime can return those (and only those) for reuse.
+var arrayPool = sync.Pool{New: func() any { return new(Array) }}
+
+// RecycleArray returns an array the caller proves dead to the
+// allocation pool. Only for arrays whose uniqueness the caller can
+// guarantee — the rewriter-emitted access argument arrays; arrays that
+// reached the program heap must never come back through here.
+func (vm *VM) RecycleArray(a *Array) {
+	if a == nil || cap(a.Data) > 64 {
+		return
+	}
+	clear(a.Data[:cap(a.Data)])
+	arrayPool.Put(a)
+}
+
 func (vm *VM) NewArray(elem string, n int) (*Array, error) {
 	if n < 0 {
 		return nil, vm.errorf("negative array size %d", n)
 	}
-	a := &Array{Elem: elem, Data: make([]Value, n), ID: vm.nextID()}
+	a := arrayPool.Get().(*Array)
+	if cap(a.Data) < n {
+		a.Data = make([]Value, n)
+	}
+	a.Elem, a.Data, a.ID = elem, a.Data[:n], vm.nextID()
 	z := zeroValue(elem)
 	for i := range a.Data {
 		a.Data[i] = z
@@ -317,22 +360,18 @@ func (vm *VM) NewArray(elem string, n int) (*Array, error) {
 // LookupVirtual resolves a virtual call on dynamic class c. The cache
 // is locked: concurrent logical threads dispatch in parallel.
 func (c *Class) lookupVirtual(name, desc string) *boundMethod {
-	key := name + ":" + desc
-	c.cacheMu.Lock()
-	bm, ok := c.methodCache[key]
-	c.cacheMu.Unlock()
-	if ok {
-		return bm
+	key := methodKey{name: name, desc: desc}
+	if v, ok := c.methodCache.Load(key); ok {
+		return v.(*boundMethod)
 	}
+	var bm *boundMethod
 	for x := c; x != nil; x = x.Super {
 		if m := x.File.Method(name, desc); m != nil {
 			bm = &boundMethod{class: x, method: m}
 			break
 		}
 	}
-	c.cacheMu.Lock()
-	c.methodCache[key] = bm
-	c.cacheMu.Unlock()
+	c.methodCache.Store(key, bm)
 	return bm
 }
 

@@ -1,0 +1,59 @@
+package wire
+
+import "sync"
+
+// Buffer pooling for the transport hot path. Frame envelopes, payload
+// bodies and decode copies all cycle through one pool so steady-state
+// send/receive does no per-message heap allocation: encoders append
+// into a pooled buffer, the transport (or the runtime's serve loop,
+// for the in-process fabric) returns it once the message is consumed.
+//
+// The pool is two-level on purpose. sync.Pool takes interface values,
+// and storing a raw []byte in one boxes the slice header — an
+// allocation per Put that would defeat the point. Instead the byte
+// buffers travel inside reusable *bufBox cells: PutBuf takes an empty
+// cell from boxPool, GetBuf returns the emptied cell to it, and in
+// steady state both pools cycle with zero allocation.
+
+// defaultBufCap sizes fresh pool buffers: large enough for the typical
+// dependence request/response body, small enough that idle buffers are
+// cheap.
+const defaultBufCap = 512
+
+// maxPooledBuf bounds what PutBuf retains. Occasional huge payloads
+// (TRANSFER of a large object graph, REPLICATE snapshots) must not pin
+// megabytes in the pool forever.
+const maxPooledBuf = 1 << 20
+
+type bufBox struct{ b []byte }
+
+var boxPool = sync.Pool{New: func() any { return new(bufBox) }}
+
+// bufPool holds *bufBox cells whose b field carries a recycled buffer.
+var bufPool sync.Pool
+
+// GetBuf returns an empty byte slice with pooled capacity. Append into
+// it freely; hand it back with PutBuf when the encoded bytes are dead.
+func GetBuf() []byte {
+	if x := bufPool.Get(); x != nil {
+		box := x.(*bufBox)
+		b := box.b
+		box.b = nil
+		boxPool.Put(box)
+		return b[:0]
+	}
+	return make([]byte, 0, defaultBufCap)
+}
+
+// PutBuf recycles a buffer obtained from GetBuf (or any other slice —
+// the pool does not care where capacity came from). The caller must
+// not touch the slice afterwards. Nil, tiny and oversized buffers are
+// dropped.
+func PutBuf(b []byte) {
+	if cap(b) < 64 || cap(b) > maxPooledBuf {
+		return
+	}
+	box := boxPool.Get().(*bufBox)
+	box.b = b[:0]
+	bufPool.Put(box)
+}

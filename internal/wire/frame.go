@@ -1,6 +1,7 @@
 package wire
 
 import (
+	"encoding/binary"
 	"fmt"
 	"io"
 )
@@ -35,19 +36,49 @@ const (
 // fails fast instead of attempting a huge allocation.
 const MaxFrameBody = 1 << 30
 
-// AppendFrame encodes the frame (length-prefixed, versioned body) onto b.
+// uvarintLen is the encoded size of v as an unsigned varint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// frameBodyLen is the exact encoded body size of f in the current
+// frame version, so AppendFrame can emit the length prefix first and
+// encode the body in place — no intermediate buffer, no allocation
+// beyond growing b itself.
+func frameBodyLen(f *Frame) int {
+	return 1 + // version byte
+		uvarintLen(uint64(f.From)) +
+		uvarintLen(uint64(f.To)) +
+		uvarintLen(f.Tag) +
+		uvarintLen(f.TID) +
+		1 + // kind byte
+		8 + // time
+		uvarintLen(uint64(len(f.Payload))) +
+		len(f.Payload)
+}
+
+// AppendFrame encodes the frame (length-prefixed, versioned body) onto
+// b. It is allocation-free apart from growing b: the body length is
+// computed up front and the fields encode directly into the
+// destination, so a caller appending into a pooled or pre-grown buffer
+// pays nothing per frame. The emitted bytes are identical to the
+// historical two-pass encoder's.
 func AppendFrame(b []byte, f *Frame) []byte {
-	body := append([]byte(nil), FrameVersion)
-	body = appendUvarint(body, uint64(f.From))
-	body = appendUvarint(body, uint64(f.To))
-	body = appendUvarint(body, f.Tag)
-	body = appendUvarint(body, f.TID)
-	body = append(body, f.Kind)
-	body = appendFloat(body, f.Time)
-	body = appendUvarint(body, uint64(len(f.Payload)))
-	body = append(body, f.Payload...)
-	b = appendUvarint(b, uint64(len(body)))
-	return append(b, body...)
+	b = appendUvarint(b, uint64(frameBodyLen(f)))
+	b = append(b, FrameVersion)
+	b = appendUvarint(b, uint64(f.From))
+	b = appendUvarint(b, uint64(f.To))
+	b = appendUvarint(b, f.Tag)
+	b = appendUvarint(b, f.TID)
+	b = append(b, f.Kind)
+	b = appendFloat(b, f.Time)
+	b = appendUvarint(b, uint64(len(f.Payload)))
+	return append(b, f.Payload...)
 }
 
 // AppendFrameV1 encodes the frame in the legacy thread-unaware layout
@@ -71,8 +102,11 @@ func AppendFrameV1(b []byte, f *Frame) ([]byte, error) {
 
 // WriteFrame encodes and writes the frame in a single Write call, so
 // concurrent writers that serialise per connection emit whole frames.
+// The encode buffer is pooled; steady-state callers allocate nothing.
 func WriteFrame(w io.Writer, f *Frame) error {
-	_, err := w.Write(AppendFrame(nil, f))
+	buf := AppendFrame(GetBuf(), f)
+	_, err := w.Write(buf)
+	PutBuf(buf)
 	return err
 }
 
@@ -86,21 +120,70 @@ type ByteScanner interface {
 // ReadFrame reads one length-prefixed frame. It returns io.EOF
 // unchanged on a clean end-of-stream before the length prefix.
 func ReadFrame(r ByteScanner) (Frame, error) {
+	f, _, err := ReadFrameScratch(r, nil)
+	return f, err
+}
+
+// ReadFrameScratch reads one frame using (and returning) a reusable
+// scratch buffer for the body, so a steady-state read loop allocates
+// only when a frame outgrows every predecessor. The returned frame's
+// Payload aliases the scratch buffer: it is valid until the next
+// ReadFrameScratch call with the same scratch, and callers that keep
+// the payload must copy it out (the TCP transport copies into a pooled
+// buffer). io.EOF is returned unchanged on a clean end-of-stream
+// before the length prefix.
+func ReadFrameScratch(r ByteScanner, scratch []byte) (Frame, []byte, error) {
 	var f Frame
 	n, err := readUvarint(r)
 	if err != nil {
-		return f, err
+		return f, scratch, err
 	}
 	if n > MaxFrameBody {
-		return f, fmt.Errorf("wire: frame body %d exceeds limit", n)
+		return f, scratch, fmt.Errorf("wire: frame body %d exceeds limit", n)
 	}
-	body := make([]byte, n)
+	if uint64(cap(scratch)) < n {
+		scratch = make([]byte, n)
+	}
+	body := scratch[:n]
 	if _, err := io.ReadFull(r, body); err != nil {
 		if err == io.EOF {
 			err = io.ErrUnexpectedEOF
 		}
-		return f, err
+		return f, scratch, err
 	}
+	f, err = decodeFrameBody(body)
+	return f, scratch, err
+}
+
+// DecodeFrameBuf decodes one length-prefixed frame from the front of
+// buf, returning the remainder. The frame's Payload aliases buf. It is
+// the in-memory counterpart of ReadFrame, used to walk coalesced
+// multi-frame buffers (a decompressed segment, a captured stream).
+// io.EOF is returned on an empty buffer.
+func DecodeFrameBuf(buf []byte) (Frame, []byte, error) {
+	var f Frame
+	if len(buf) == 0 {
+		return f, buf, io.EOF
+	}
+	n, w := binary.Uvarint(buf)
+	if w <= 0 {
+		return f, buf, fmt.Errorf("wire: bad frame length prefix")
+	}
+	if n > MaxFrameBody {
+		return f, buf, fmt.Errorf("wire: frame body %d exceeds limit", n)
+	}
+	rest := buf[w:]
+	if uint64(len(rest)) < n {
+		return f, buf, fmt.Errorf("wire: truncated frame body (%d of %d bytes)", len(rest), n)
+	}
+	f, err := decodeFrameBody(rest[:n])
+	return f, rest[n:], err
+}
+
+// decodeFrameBody parses a version-dispatched frame body. The payload
+// aliases body.
+func decodeFrameBody(body []byte) (Frame, error) {
+	var f Frame
 	rd := NewReader(body)
 	ver := rd.Byte()
 	switch ver {

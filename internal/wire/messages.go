@@ -3,6 +3,14 @@ package wire
 // Protocol payload bodies. These are the paper's NEW and DEPENDENCE
 // messages (§5) plus their responses and the batched form that carries
 // aggregated asynchronous dependence messages in one transport frame.
+//
+// Every Encode starts from a pooled buffer (GetBuf), so steady-state
+// encoding allocates only when a message outgrows the pooled capacity.
+// Whoever consumes the encoded payload last — the TCP transport after
+// copying it into a connection's write batch, or the runtime's serve
+// loop after decoding a delivered in-process message — hands the
+// buffer back with PutBuf. Callers outside that lifecycle may simply
+// drop the slice; the pool refills elsewhere.
 
 // NewRequest asks an object's home node to instantiate Class with Args.
 type NewRequest struct {
@@ -12,7 +20,7 @@ type NewRequest struct {
 
 // Encode serialises the request.
 func (m *NewRequest) Encode() []byte {
-	b := appendString(nil, m.Class)
+	b := appendString(GetBuf(), m.Class)
 	return appendValues(b, m.Args)
 }
 
@@ -42,7 +50,7 @@ type NewResponse struct {
 
 // Encode serialises the response.
 func (m *NewResponse) Encode() []byte {
-	b := appendVarint(nil, m.ID)
+	b := appendVarint(GetBuf(), m.ID)
 	b = appendValues(b, m.OutArrays)
 	b = appendString(b, m.Err)
 	b = appendString(b, m.AsyncErr)
@@ -83,15 +91,15 @@ func (m *DepRequest) append(b []byte) []byte {
 }
 
 // Encode serialises the request.
-func (m *DepRequest) Encode() []byte { return m.append(nil) }
+func (m *DepRequest) Encode() []byte { return m.append(GetBuf()) }
 
 func (r *Reader) depRequest() DepRequest {
 	var m DepRequest
 	m.ID = r.Varint()
 	m.Static = r.Bool()
-	m.Class = r.String()
+	m.Class = r.Sym()
 	m.Kind = int(r.Varint())
-	m.Member = r.String()
+	m.Member = r.Sym()
 	m.Args = r.Values()
 	return m
 }
@@ -123,7 +131,7 @@ type DepResponse struct {
 
 // Encode serialises the response.
 func (m *DepResponse) Encode() []byte {
-	b := m.Value.Append(nil)
+	b := m.Value.Append(GetBuf())
 	b = appendValues(b, m.OutArrays)
 	b = appendString(b, m.Err)
 	b = appendString(b, m.AsyncErr)
@@ -203,7 +211,7 @@ type AffinityReport struct {
 
 // Encode serialises the report.
 func (m *AffinityReport) Encode() []byte {
-	b := appendUvarint(nil, uint64(len(m.Owned)))
+	b := appendUvarint(GetBuf(), uint64(len(m.Owned)))
 	for i := range m.Owned {
 		b = appendVarint(b, m.Owned[i].ID)
 		b = appendString(b, m.Owned[i].Class)
@@ -246,7 +254,7 @@ type MigrateRequest struct {
 
 // Encode serialises the request.
 func (m *MigrateRequest) Encode() []byte {
-	b := appendVarint(nil, m.ID)
+	b := appendVarint(GetBuf(), m.ID)
 	return appendUvarint(b, uint64(m.To))
 }
 
@@ -269,7 +277,7 @@ type MigrateResponse struct {
 
 // Encode serialises the response.
 func (m *MigrateResponse) Encode() []byte {
-	b := appendBool(nil, m.Moved)
+	b := appendBool(GetBuf(), m.Moved)
 	return appendString(b, m.Err)
 }
 
@@ -297,7 +305,7 @@ type TransferRequest struct {
 
 // Encode serialises the request.
 func (m *TransferRequest) Encode() []byte {
-	b := appendVarint(nil, m.ID)
+	b := appendVarint(GetBuf(), m.ID)
 	b = appendString(b, m.Class)
 	b = appendValues(b, m.Fields)
 	return appendInts(b, m.Readers)
@@ -320,7 +328,7 @@ type TransferResponse struct {
 }
 
 // Encode serialises the response.
-func (m *TransferResponse) Encode() []byte { return appendString(nil, m.Err) }
+func (m *TransferResponse) Encode() []byte { return appendString(GetBuf(), m.Err) }
 
 // DecodeTransferResponse parses a TransferResponse body.
 func DecodeTransferResponse(data []byte) (TransferResponse, error) {
@@ -345,7 +353,7 @@ type ReplicateRequest struct {
 }
 
 // Encode serialises the request.
-func (m *ReplicateRequest) Encode() []byte { return appendVarint(nil, m.ID) }
+func (m *ReplicateRequest) Encode() []byte { return appendVarint(GetBuf(), m.ID) }
 
 // DecodeReplicateRequest parses a ReplicateRequest body.
 func DecodeReplicateRequest(data []byte) (ReplicateRequest, error) {
@@ -376,7 +384,7 @@ type ReplicateResponse struct {
 
 // Encode serialises the response.
 func (m *ReplicateResponse) Encode() []byte {
-	b := appendString(nil, m.Class)
+	b := appendString(GetBuf(), m.Class)
 	b = appendValues(b, m.Fields)
 	b = appendBool(b, m.Denied)
 	b = appendBool(b, m.Busy)
@@ -406,7 +414,7 @@ type InvalidateRequest struct {
 }
 
 // Encode serialises the request.
-func (m *InvalidateRequest) Encode() []byte { return appendVarint(nil, m.ID) }
+func (m *InvalidateRequest) Encode() []byte { return appendVarint(GetBuf(), m.ID) }
 
 // DecodeInvalidateRequest parses an InvalidateRequest body.
 func DecodeInvalidateRequest(data []byte) (InvalidateRequest, error) {
@@ -426,7 +434,7 @@ type ReplicaAck struct {
 }
 
 // Encode serialises the acknowledgement.
-func (m *ReplicaAck) Encode() []byte { return appendString(nil, m.Err) }
+func (m *ReplicaAck) Encode() []byte { return appendString(GetBuf(), m.Err) }
 
 // DecodeReplicaAck parses a ReplicaAck body.
 func DecodeReplicaAck(data []byte) (ReplicaAck, error) {
@@ -448,7 +456,7 @@ type Batch struct {
 
 // Encode serialises the batch.
 func (m *Batch) Encode() []byte {
-	b := appendBool(nil, m.Ack)
+	b := appendBool(GetBuf(), m.Ack)
 	b = appendUvarint(b, uint64(len(m.Reqs)))
 	for i := range m.Reqs {
 		b = m.Reqs[i].append(b)

@@ -1,0 +1,183 @@
+package wire
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+)
+
+// Compressed framing mode. When a TCP connection negotiates
+// compression (the dialer announces with SegmentMagic, the accepter
+// detects it), the byte stream after the magic is a sequence of
+// *segments* instead of raw frames:
+//
+//	uvarint rawLen | uvarint compLen | data
+//
+// compLen > 0: data is compLen bytes of DEFLATE inflating to exactly
+// rawLen bytes. compLen == 0: data is rawLen bytes verbatim (the
+// writer's fallback for small or incompressible batches). Each
+// segment's decoded bytes are a whole number of ordinary wire frames —
+// a frame never spans segments — so the reader walks them with
+// DecodeFrameBuf and the per-frame codec is untouched: compression is
+// a transparent stream transform, negotiated per connection and
+// invisible to everything above the transport.
+
+// SegmentMagic is the stream preamble a dialer writes to announce
+// compressed framing. It decodes as an absurd raw frame (a 74-byte
+// length prefix followed by impossible bytes), so an accepter that
+// expects it can detect it unambiguously with a 4-byte peek.
+var SegmentMagic = [4]byte{'J', 'D', 'Z', '1'}
+
+// DefaultCompressMin is the batch size below which the segment writer
+// skips DEFLATE: tiny control frames cost more to compress than to
+// send.
+const DefaultCompressMin = 512
+
+// maxSegment bounds a decoded segment, like MaxFrameBody bounds a
+// frame body.
+const maxSegment = MaxFrameBody
+
+// SegmentWriter emits segments onto w. Not safe for concurrent use;
+// the transport serialises writers per connection.
+type SegmentWriter struct {
+	w   io.Writer
+	min int
+	fw  *flate.Writer
+	// out accumulates one whole segment (header + data) so each
+	// segment leaves in a single Write, preserving the transport's
+	// one-syscall-per-batch property; comp is the deflate scratch.
+	out  []byte
+	comp []byte
+}
+
+// NewSegmentWriter wraps w. Batches shorter than compressMin (or that
+// DEFLATE fails to shrink) are sent verbatim; compressMin <= 0 selects
+// DefaultCompressMin.
+func NewSegmentWriter(w io.Writer, compressMin int) *SegmentWriter {
+	if compressMin <= 0 {
+		compressMin = DefaultCompressMin
+	}
+	fw, err := flate.NewWriter(nil, flate.BestSpeed)
+	if err != nil {
+		// flate.NewWriter only fails on an invalid level; BestSpeed is
+		// valid by construction.
+		panic(err)
+	}
+	return &SegmentWriter{w: w, min: compressMin, fw: fw}
+}
+
+// sliceWriter appends into a byte slice owned by the segment writer so
+// flate can deflate straight into the outgoing buffer.
+type sliceWriter struct{ b *[]byte }
+
+func (s sliceWriter) Write(p []byte) (int, error) {
+	*s.b = append(*s.b, p...)
+	return len(p), nil
+}
+
+// WriteSegment sends one batch of whole frames as a single segment
+// (one Write call). An empty batch is a no-op.
+func (s *SegmentWriter) WriteSegment(raw []byte) error {
+	if len(raw) == 0 {
+		return nil
+	}
+	comp := []byte(nil)
+	if len(raw) >= s.min {
+		s.comp = s.comp[:0]
+		s.fw.Reset(sliceWriter{&s.comp})
+		if _, err := s.fw.Write(raw); err != nil {
+			return err
+		}
+		if err := s.fw.Close(); err != nil {
+			return err
+		}
+		if len(s.comp) < len(raw) {
+			comp = s.comp
+		}
+		// Otherwise compression did not shrink the batch; send raw.
+	}
+	s.out = s.out[:0]
+	s.out = appendUvarint(s.out, uint64(len(raw)))
+	s.out = appendUvarint(s.out, uint64(len(comp)))
+	if comp != nil {
+		s.out = append(s.out, comp...)
+	} else {
+		s.out = append(s.out, raw...)
+	}
+	_, err := s.w.Write(s.out)
+	return err
+}
+
+// SegmentReader decodes a segment stream. Not safe for concurrent use.
+type SegmentReader struct {
+	r    ByteScanner
+	fr   io.ReadCloser
+	br   *bytes.Reader
+	raw  []byte
+	comp []byte
+}
+
+// NewSegmentReader wraps r, positioned just past SegmentMagic.
+func NewSegmentReader(r ByteScanner) *SegmentReader {
+	return &SegmentReader{r: r, br: bytes.NewReader(nil)}
+}
+
+// Next reads and (if needed) inflates one segment, returning its
+// decoded bytes — a whole number of frames for DecodeFrameBuf. The
+// returned slice is reused by the following Next call. io.EOF is
+// returned unchanged on a clean end-of-stream at a segment boundary.
+func (s *SegmentReader) Next() ([]byte, error) {
+	rawLen, err := readUvarint(s.r)
+	if err != nil {
+		return nil, err
+	}
+	compLen, err := readUvarint(s.r)
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	if rawLen > maxSegment || compLen > maxSegment {
+		return nil, fmt.Errorf("wire: segment of %d/%d bytes exceeds limit", rawLen, compLen)
+	}
+	if uint64(cap(s.raw)) < rawLen {
+		s.raw = make([]byte, rawLen)
+	}
+	raw := s.raw[:rawLen]
+	if compLen == 0 {
+		if _, err := io.ReadFull(s.r, raw); err != nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return nil, err
+		}
+		return raw, nil
+	}
+	if uint64(cap(s.comp)) < compLen {
+		s.comp = make([]byte, compLen)
+	}
+	comp := s.comp[:compLen]
+	if _, err := io.ReadFull(s.r, comp); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	s.br.Reset(comp)
+	if s.fr == nil {
+		s.fr = flate.NewReader(s.br)
+	} else if err := s.fr.(flate.Resetter).Reset(s.br, nil); err != nil {
+		return nil, err
+	}
+	if _, err := io.ReadFull(s.fr, raw); err != nil {
+		return nil, fmt.Errorf("wire: corrupt compressed segment: %w", err)
+	}
+	// The deflate stream must end exactly at rawLen bytes.
+	var one [1]byte
+	if n, err := s.fr.Read(one[:]); n != 0 || (err != nil && err != io.EOF) {
+		return nil, fmt.Errorf("wire: compressed segment longer than declared")
+	}
+	return raw, nil
+}

@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Value kinds. A Value is the wire form of a vm.Value: objects travel
@@ -186,6 +187,50 @@ func (r *Reader) String() string {
 	return s
 }
 
+// symMu guards the decoder's symbol table. Protocol symbols — class
+// names, member keys, array element tags — come from the finite set
+// the compiler emitted, but every message re-transmits them; interning
+// makes steady-state decoding of those fields allocation-free. Data
+// strings (values, error text) never pass through here, so the table
+// stays bounded by the program's own name set.
+var (
+	symMu  sync.RWMutex
+	symTab = map[string]string{}
+)
+
+func internSym(b []byte) string {
+	symMu.RLock()
+	s, ok := symTab[string(b)] // no-copy map probe
+	symMu.RUnlock()
+	if ok {
+		return s
+	}
+	symMu.Lock()
+	s, ok = symTab[string(b)]
+	if !ok {
+		s = string(b)
+		symTab[s] = s
+	}
+	symMu.Unlock()
+	return s
+}
+
+// Sym decodes a length-prefixed string through the symbol table: for
+// protocol-level identifiers drawn from a finite set, not user data.
+func (r *Reader) Sym() string {
+	n := r.Uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if uint64(len(r.buf)-r.off) < n {
+		r.fail("truncated string of %d bytes at %d", n, r.off)
+		return ""
+	}
+	s := internSym(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
 // Float decodes a fixed 8-byte float64.
 func (r *Reader) Float() float64 {
 	if r.err != nil {
@@ -236,9 +281,9 @@ func (r *Reader) Value() Value {
 	case KObj:
 		v.Node = int(r.Uvarint())
 		v.ID = r.Varint()
-		v.Class = r.String()
+		v.Class = r.Sym()
 	case KArr:
-		v.Elem = r.String()
+		v.Elem = r.Sym()
 		n := r.count()
 		if r.err != nil {
 			return v
@@ -256,13 +301,50 @@ func (r *Reader) Value() Value {
 	return v
 }
 
-// Values decodes a length-prefixed []Value.
+// valuesPool recycles decoded []Value lists through PutValues, with
+// the two-level box scheme of GetBuf (boxes cycle through the pool,
+// slices travel with the decoded message).
+var valuesPool = sync.Pool{New: func() any { return new(valuesBox) }}
+
+type valuesBox struct{ s []Value }
+
+func getValues(n int) []Value {
+	b := valuesPool.Get().(*valuesBox)
+	s := b.s
+	b.s = nil
+	valuesPool.Put(b)
+	if cap(s) < n {
+		return make([]Value, n)
+	}
+	return s[:n]
+}
+
+// PutValues recycles a value list decoded by Values once the message
+// it belongs to has been fully served. Values extracted from the list
+// (including nested array contents) live on independently; only the
+// list's backing store is reused. Callers that retain the slice must
+// simply not call this — an unreturned list is garbage-collected as
+// before.
+func PutValues(s []Value) {
+	if cap(s) == 0 || cap(s) > 256 {
+		return
+	}
+	s = s[:cap(s)]
+	clear(s)
+	b := valuesPool.Get().(*valuesBox)
+	b.s = s
+	valuesPool.Put(b)
+}
+
+// Values decodes a length-prefixed []Value. The returned slice may
+// come from the recycle pool (see PutValues); decoding fills every
+// slot, so recycled capacity is never observable.
 func (r *Reader) Values() []Value {
 	n := r.count()
 	if r.err != nil || n == 0 {
 		return nil
 	}
-	out := make([]Value, n)
+	out := getValues(n)
 	for i := 0; i < n; i++ {
 		out[i] = r.Value()
 		if r.err != nil {

@@ -62,6 +62,17 @@ type Config struct {
 	// TCP executes over local TCP sockets instead of in-process
 	// channels (distributed runs only).
 	TCP bool
+	// TCPNoCoalesce disables the TCP transport's per-connection write
+	// combiner, restoring one Write syscall per frame. The byte stream
+	// is identical either way (coalescing only changes Write
+	// boundaries); this exists for A/B measurement and bisection.
+	// Requires TCP.
+	TCPNoCoalesce bool
+	// TCPCompress negotiates DEFLATE segment framing on every TCP
+	// connection: batches of frames travel as compressed segments,
+	// shrinking payload-heavy traffic (object snapshots, large
+	// argument arrays) at some CPU cost. Off by default. Requires TCP.
+	TCPCompress bool
 	// Unoptimized disables the message-exchange optimisations
 	// (proxy-side caching of write-once fields, fire-and-forget
 	// asynchronous void calls, batching) for A/B measurement.
@@ -141,6 +152,15 @@ func (c *Config) Validate() error {
 		case c.MaxConcurrent > 1:
 			return fmt.Errorf("autodist: MaxConcurrent requires a distributed deployment (K ≥ 2)")
 		}
+	}
+	if c.TCPNoCoalesce && !c.TCP {
+		return fmt.Errorf("autodist: TCPNoCoalesce requires TCP")
+	}
+	if c.TCPCompress && !c.TCP {
+		return fmt.Errorf("autodist: TCPCompress requires TCP")
+	}
+	if c.TCPCompress && c.TCPNoCoalesce {
+		return fmt.Errorf("autodist: TCPCompress needs the write combiner; drop TCPNoCoalesce")
 	}
 	if c.AdaptEvery > 0 && !c.Adaptive {
 		return fmt.Errorf("autodist: AdaptEvery requires an adaptive distribution (Plan.RewriteAdaptive / -adaptive)")
