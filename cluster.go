@@ -31,6 +31,7 @@ type Cluster struct {
 	rt       *runtime.Cluster
 	cfg      Config
 	out      *clusterOut
+	chaos    *transport.Chaos // non-nil iff Config.FailureRecovery
 	deployed time.Time
 }
 
@@ -113,6 +114,24 @@ func (d *Distribution) Deploy(cfg Config) (*Cluster, error) {
 	} else {
 		eps = transport.NewInProc(cfg.K)
 	}
+	var chaos *transport.Chaos
+	if cfg.FailureRecovery {
+		// The chaos layer always wraps a recovering deployment — with
+		// all-zero rules it passes frames through untouched — so
+		// Cluster.FailNode works whether or not faults are injected.
+		// The reliability layer sits above it and must heal everything
+		// it injects.
+		chaos, eps = transport.NewChaos(eps, transport.ChaosRules{
+			Seed: cfg.ChaosSeed, Drop: cfg.ChaosDrop, Dup: cfg.ChaosDup, Reorder: cfg.ChaosReorder,
+		})
+		ropts := transport.ReliableOptions{
+			HeartbeatInterval: cfg.HeartbeatInterval,
+			RetransmitTimeout: cfg.RetransmitTimeout,
+		}
+		for i := range eps {
+			eps[i] = transport.NewReliable(eps[i], ropts)
+		}
+	}
 	out := &clusterOut{w: cfg.Out}
 	maxSteps := cfg.MaxSteps
 	if maxSteps == 0 {
@@ -123,13 +142,33 @@ func (d *Distribution) Deploy(cfg Config) (*Cluster, error) {
 	rt, err := runtime.NewCluster(progs, d.Result.Plan, eps, runtime.Options{
 		Out: out, CPUSpeeds: cfg.CPUSpeeds, Net: cfg.Net, MaxSteps: maxSteps,
 		Unoptimized: cfg.Unoptimized, AdaptEvery: cfg.AdaptEvery, Replicate: cfg.Replicate,
-		MaxConcurrent: cfg.MaxConcurrent,
+		MaxConcurrent: cfg.MaxConcurrent, FailureRecovery: cfg.FailureRecovery,
 	})
 	if err != nil {
 		return nil, err
 	}
 	rt.Start()
-	return &Cluster{rt: rt, cfg: cfg, out: out, deployed: time.Now()}, nil
+	return &Cluster{rt: rt, cfg: cfg, out: out, chaos: chaos, deployed: time.Now()}, nil
+}
+
+// FailNode simulates the crash of one node: its endpoint is severed
+// and every frame to or from it is black-holed, exactly as if the
+// process died. The reliability layer detects the silence within the
+// heartbeat deadline, survivors promote their replicas of the dead
+// node's objects, and in-flight invocations that hit it are re-driven
+// (see Config.FailureRecovery). Requires a deployment with
+// FailureRecovery; node 0 hosts the ExecutionStarter and the recovery
+// coordinator and cannot be failed. Idempotent per rank; there is no
+// way to revive a failed node.
+func (c *Cluster) FailNode(rank int) error {
+	if c.chaos == nil {
+		return fmt.Errorf("autodist: FailNode requires a deployment with Config.FailureRecovery")
+	}
+	if rank <= 0 || rank >= c.cfg.K {
+		return fmt.Errorf("autodist: cannot fail node %d of a %d-node deployment (node 0 hosts the starter and recovery coordinator)", rank, c.cfg.K)
+	}
+	c.chaos.Kill(rank)
+	return nil
 }
 
 // InvokeResult is one entrypoint invocation's outcome: the returned
@@ -162,6 +201,10 @@ type InvokeResult struct {
 	// evidence that the resident cluster's coherence state is carrying
 	// work across requests.
 	RetainedHits int64
+	// RedrivenInvocations counts how many times this invocation was
+	// re-executed after a node death (0 on the failure-free path; see
+	// Config.FailureRecovery).
+	RedrivenInvocations int64
 }
 
 // Invoke executes a named static entrypoint of the ExecutionStarter
@@ -205,6 +248,8 @@ func (c *Cluster) Invoke(entry string, args ...Value) (*InvokeResult, error) {
 		ReplicaFetches: delta.ReplicaFetches,
 		Invalidations:  delta.Invalidations,
 		RetainedHits:   delta.RetainedHits,
+
+		RedrivenInvocations: delta.RedrivenInvocations,
 	}, nil
 }
 

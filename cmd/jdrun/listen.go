@@ -63,7 +63,7 @@ func listenLoop(dist *autodist.Distribution, cfg autodist.Config, addr string) e
 	if err := cluster.Shutdown(context.Background()); err != nil {
 		return err
 	}
-	printSummary(cfg.K, cluster.Stats(), cfg.Adaptive, cfg.Replicate, len(cfg.CPUSpeeds) > 0, served)
+	printSummary(cfg.K, cluster.Stats(), cfg.Adaptive, cfg.Replicate, cfg.FailureRecovery, len(cfg.CPUSpeeds) > 0, served)
 	return nil
 }
 
@@ -87,6 +87,8 @@ func serveConn(c net.Conn, cluster *autodist.Cluster, shutdown func()) {
 				Invocations: cluster.Invocations(),
 				Messages:    res.Messages,
 				Bytes:       res.BytesSent,
+				Retransmits: res.Retransmits,
+				Recoveries:  res.Recoveries,
 			}
 			data, _ := json.Marshal(snap)
 			fmt.Fprintf(w, "!stats %s\n", data)

@@ -13,6 +13,8 @@
 //	jdrun -k 2 -serve prog.mj          # deploy resident, read invocations from stdin
 //	jdrun -k 2 -serve -concurrency 8 prog.mj  # dispatch stdin invocations from 8 workers
 //	jdrun -k 2 -tcp -listen 127.0.0.1:0 -concurrency 8 prog.mj  # network invocation server
+//	jdrun -k 3 -replicate -recover prog.mj                      # fault-tolerant deployment
+//	jdrun -k 3 -recover -chaos drop=0.01,seed=7 prog.mj         # + deterministic fault injection
 //
 // -serve deploys the distribution and keeps it serving: each stdin
 // line names a static entrypoint of the main class plus arguments
@@ -38,6 +40,17 @@
 // "!shutdown" drains the cluster, prints the summary and exits. The
 // bound address is announced on stderr ("listening on ...") so
 // harnesses can pass port 0.
+//
+// -recover wraps every endpoint in the reliability layer
+// (sequence-numbered frames, ack-driven retransmission, heartbeat
+// failure detection) and arms the runtime's recovery protocol: when a
+// node dies, survivors promote their replicas of its objects and
+// failed invocations are re-driven with exactly-once effects.
+// -heartbeat and -retransmit tune the detection and resend timers;
+// -chaos injects deterministic seeded faults (frame drop / duplicate /
+// reorder probabilities) under the reliability layer, which must heal
+// them — the summary's "fault tolerance" line reports how much healing
+// happened.
 //
 // -tcp-nocoalesce and -tcp-compress tune the TCP fabric (A/B levers
 // for the transport benchmarks): the former restores one Write syscall
@@ -82,6 +95,10 @@ func main() {
 	serve := flag.Bool("serve", false, "deploy the cluster resident and invoke entrypoints read from stdin")
 	listen := flag.String("listen", "", "deploy the cluster resident and serve invocations over TCP on this address")
 	concurrency := flag.Int("concurrency", 1, "worker-pool size for -serve/-listen: invocations run as this many concurrent logical threads")
+	recover := flag.Bool("recover", false, "enable fault tolerance: reliable frames with retransmission, heartbeat failure detection, replica promotion on node loss")
+	heartbeat := flag.Duration("heartbeat", 0, "liveness-probe period for -recover (0 = default)")
+	retransmit := flag.Duration("retransmit", 0, "base ack timeout before a frame is resent under -recover (0 = default)")
+	chaos := flag.String("chaos", "", `deterministic fault injection under -recover: "drop=0.01,dup=0.01,reorder=0.01,seed=7"`)
 	flag.Parse()
 	if flag.NArg() == 0 {
 		flag.Usage()
@@ -104,7 +121,13 @@ func main() {
 		K: *k, Out: os.Stdout, TCP: *tcp, Unoptimized: *unopt,
 		TCPNoCoalesce: *tcpNoCoalesce, TCPCompress: *tcpCompress,
 		Adaptive: *adaptive, AdaptEvery: *adaptEvery, Replicate: *replicate,
-		MaxConcurrent: *concurrency,
+		MaxConcurrent:   *concurrency,
+		FailureRecovery: *recover, HeartbeatInterval: *heartbeat, RetransmitTimeout: *retransmit,
+	}
+	if *chaos != "" {
+		if err := parseChaos(*chaos, &cfg); err != nil {
+			usageErr(err.Error())
+		}
 	}
 	if *sim {
 		speeds := make([]float64, *k)
@@ -189,7 +212,7 @@ func main() {
 	if err != nil {
 		die(err)
 	}
-	printSummary(*k, res, *adaptive, *replicate, *sim, -1)
+	printSummary(*k, res, *adaptive, *replicate, *recover, *sim, -1)
 }
 
 // serveLoop deploys the distribution resident and invokes one
@@ -294,7 +317,45 @@ func serveLoop(dist *autodist.Distribution, cfg autodist.Config) error {
 				w, stats[w].invocations, stats[w].messages, stats[w].bytes, stats[w].failures)
 		}
 	}
-	printSummary(cfg.K, cluster.Stats(), cfg.Adaptive, cfg.Replicate, len(cfg.CPUSpeeds) > 0, served)
+	printSummary(cfg.K, cluster.Stats(), cfg.Adaptive, cfg.Replicate, cfg.FailureRecovery, len(cfg.CPUSpeeds) > 0, served)
+	return nil
+}
+
+// parseChaos applies a "drop=0.01,dup=0.01,reorder=0.01,seed=7" spec
+// to the chaos knobs; range checks stay in Config.Validate.
+func parseChaos(spec string, cfg *autodist.Config) error {
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return fmt.Errorf("-chaos: %q is not key=value", part)
+		}
+		if key == "seed" {
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return fmt.Errorf("-chaos: bad seed %q", val)
+			}
+			cfg.ChaosSeed = n
+			continue
+		}
+		p, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return fmt.Errorf("-chaos: bad probability %q for %s", val, key)
+		}
+		switch key {
+		case "drop":
+			cfg.ChaosDrop = p
+		case "dup":
+			cfg.ChaosDup = p
+		case "reorder":
+			cfg.ChaosReorder = p
+		default:
+			return fmt.Errorf("-chaos: unknown key %q (want drop, dup, reorder, seed)", key)
+		}
+	}
 	return nil
 }
 
@@ -312,7 +373,7 @@ func parseArg(f string) autodist.Value {
 
 // printSummary writes the cumulative traffic counters to stderr.
 // served < 0 means a one-shot batch run.
-func printSummary(k int, res *autodist.RunResult, adaptive, replicate, sim bool, served int64) {
+func printSummary(k int, res *autodist.RunResult, adaptive, replicate, recovery, sim bool, served int64) {
 	if served >= 0 {
 		fmt.Fprintf(os.Stderr, "served %d invocations over %d nodes: %d messages, %d payload bytes (wall %v)\n",
 			served, k, res.Messages, res.BytesSent, res.Wall)
@@ -333,6 +394,10 @@ func printSummary(k int, res *autodist.RunResult, adaptive, replicate, sim bool,
 	if replicate {
 		fmt.Fprintf(os.Stderr, "replication: %d replica hits, %d fetches, %d invalidations\n",
 			res.ReplicaHits, res.ReplicaFetches, res.Invalidations)
+	}
+	if recovery {
+		fmt.Fprintf(os.Stderr, "fault tolerance: %d retransmits, %d recovered frames, %d promoted replicas, %d re-driven invocations\n",
+			res.Retransmits, res.Recoveries, res.PromotedReplicas, res.RedrivenInvocations)
 	}
 	if sim {
 		fmt.Fprintf(os.Stderr, "simulated time: %.6fs\n", res.SimSeconds)

@@ -59,6 +59,7 @@ func main() {
 	workload := flag.String("workload", "examples/service/service.mj", "workload description recorded in the report")
 	out := flag.String("out", "", "write (or merge into) this BENCH_transport.json")
 	allocs := flag.Bool("allocs", true, "measure allocations per transport Send in-process")
+	expectFaults := flag.Bool("expect-faults", false, "fail unless the server reports nonzero retransmits and recoveries (chaos smoke runs)")
 	validate := flag.String("validate", "", "validate an existing report and exit")
 	flag.Parse()
 
@@ -99,7 +100,14 @@ func main() {
 	if *allocs {
 		fmt.Printf(", %.0f allocs/send", allocsPerSend)
 	}
+	if run.Retransmits != 0 || run.Recoveries != 0 {
+		fmt.Printf(", %d retransmits / %d recoveries", run.Retransmits, run.Recoveries)
+	}
 	fmt.Println()
+	if *expectFaults && (run.Retransmits == 0 || run.Recoveries == 0) {
+		die(fmt.Errorf("expected fault healing but measured %d retransmits / %d recoveries (is the server running -recover with -chaos?)",
+			run.Retransmits, run.Recoveries))
+	}
 
 	if *out == "" {
 		return
@@ -237,6 +245,11 @@ func drive(addr string, conns int, initLine, line string, warmup, duration time.
 		run.FramesPerInvoke = float64(after.Messages-before.Messages) / float64(di)
 		run.BytesPerInvoke = float64(after.Bytes-before.Bytes) / float64(di)
 	}
+	// Healing counters: nonzero only against a -recover server, and
+	// only when chaos (or a real fault) actually made the reliability
+	// layer work.
+	run.Retransmits = after.Retransmits - before.Retransmits
+	run.Recoveries = after.Recoveries - before.Recoveries
 	return run, nil
 }
 

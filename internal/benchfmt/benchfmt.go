@@ -24,6 +24,12 @@ type StatsSnapshot struct {
 	// their payload bytes.
 	Messages int64 `json:"messages"`
 	Bytes    int64 `json:"bytes"`
+	// Retransmits counts frames the reliability layer resent;
+	// Recoveries counts frames it healed on receive (late arrivals
+	// delivered, duplicates suppressed). Both are zero unless the
+	// server runs with -recover.
+	Retransmits int64 `json:"retransmits,omitempty"`
+	Recoveries  int64 `json:"recoveries,omitempty"`
 }
 
 // ParseStatsReply parses the server's "!stats {json}" reply line.
@@ -64,6 +70,11 @@ type TransportRun struct {
 	// invocation cost, from !stats deltas around the window.
 	FramesPerInvoke float64 `json:"frames_per_invoke"`
 	BytesPerInvoke  float64 `json:"bytes_per_invoke"`
+	// Retransmits/Recoveries are the reliability layer's healing
+	// counters over the window (!stats deltas); nonzero only for runs
+	// against a -recover server, typically with -chaos injection.
+	Retransmits int64 `json:"retransmits,omitempty"`
+	Recoveries  int64 `json:"recoveries,omitempty"`
 }
 
 // TransportReport is the committed BENCH_transport.json document.

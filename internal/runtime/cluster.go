@@ -8,12 +8,22 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"autodist/internal/bytecode"
 	"autodist/internal/rewrite"
 	"autodist/internal/transport"
 	"autodist/internal/vm"
 	"autodist/internal/wire"
+)
+
+// maxRedrives bounds how many times one invocation is re-driven after
+// peer-down failures (cascading deaths mid-re-drive each consume one);
+// redriveWait bounds how long a re-drive waits for the recovery round
+// to finish repairing ownership.
+const (
+	maxRedrives = 3
+	redriveWait = 2 * time.Second
 )
 
 // Options configures a distributed run.
@@ -55,6 +65,15 @@ type Options struct {
 	// bytecode. Requires a replicated plan, and conflicts with
 	// Unoptimized (replication is an optimisation).
 	Replicate bool
+	// FailureRecovery enables the node-loss recovery protocol: dead
+	// peers (reported by the transport's reliability layer) trigger a
+	// replica-promotion round on the coordinator, effectful requests
+	// carry dedup ids, and invocations that hit a dead node are
+	// re-driven with their completed prefix replayed from journals.
+	// Meaningful only over a transport wrapped with
+	// transport.NewReliable; off (the default), nothing changes on the
+	// wire.
+	FailureRecovery bool
 	// MaxConcurrent is the number of logical threads the cluster
 	// admits at once: InvokeEntry callers beyond it queue at the
 	// admission gate. Zero or one preserves the paper's
@@ -162,6 +181,7 @@ func NewCluster(progs []*bytecode.Program, plan *rewrite.Plan, eps []transport.E
 		}
 		n.Net = opts.Net
 		n.Unoptimized = opts.Unoptimized
+		n.recovery = opts.FailureRecovery
 		n.replicate = opts.Replicate
 		n.adaptEvery = opts.AdaptEvery
 		n.adaptEps = opts.AdaptEpsilon
@@ -314,17 +334,35 @@ func (c *Cluster) InvokeEntry(name string, args []vm.Value) (vm.Value, NodeStats
 
 	starter := c.Nodes[0]
 	lt := starter.lthread(tid)
-	v, err := lt.vt.CallMethod(class, name, desc, args)
-	// Invocation-end ordering point: batches this thread already sent
-	// must be processed before the result returns, so any invocation
-	// started afterwards observes this one's effects (the guarantee
-	// the old global serve-loop barrier gave). Buffered-but-unsent
-	// work deliberately stays lazy — it moves to the starter's carry
-	// buffer at retire, exactly like the shared per-node buffer used
-	// to behave, and the next flush (or the shutdown barrier) sends
-	// it.
-	if derr := c.drainThread(starter, lt); derr != nil && err == nil {
-		err = derr
+	run := func() (vm.Value, error) {
+		v, err := lt.vt.CallMethod(class, name, desc, args)
+		// Invocation-end ordering point: batches this thread already
+		// sent must be processed before the result returns, so any
+		// invocation started afterwards observes this one's effects
+		// (the guarantee the old global serve-loop barrier gave).
+		// Buffered-but-unsent work deliberately stays lazy — it moves
+		// to the starter's carry buffer at retire, exactly like the
+		// shared per-node buffer used to behave, and the next flush (or
+		// the shutdown barrier) sends it.
+		if derr := c.drainThread(starter, lt); derr != nil && err == nil {
+			err = derr
+		}
+		return v, err
+	}
+	v, err := run()
+	// Failure recovery: an invocation that hit a dead node is re-driven
+	// on the same logical thread once the coordinator's recovery round
+	// has promoted replicas and repaired ownership. Surviving nodes
+	// answer the replayed request prefix from their dedup journals, so
+	// effects that completed on the first attempt are never doubled;
+	// execution diverges only at the failure frontier, now against the
+	// promoted copies.
+	for attempt := 0; err != nil && c.opts.FailureRecovery &&
+		transport.IsPeerDown(err) && attempt < maxRedrives; attempt++ {
+		starter.awaitRecovery(redriveWait)
+		lt = starter.redriveThread(tid)
+		starter.count(lt, func(s *NodeStats) *int64 { return &s.RedrivenInvocations }, 1)
+		v, err = run()
 	}
 	c.advanceSimSnapshot(starter.VM.SimSeconds())
 
@@ -384,6 +422,12 @@ func (c *Cluster) noteResidDests(dests []int) {
 func (c *Cluster) drainThread(starter *Node, lt *lthread) error {
 	for dests := starter.takeAsyncDests(lt); len(dests) > 0; dests = starter.takeAsyncDests(lt) {
 		for _, rank := range dests {
+			if starter.isDead(rank) {
+				// Whatever the dead node owed this thread died with it;
+				// the invocation-level error (if any) already surfaced
+				// through the request that hit it.
+				continue
+			}
 			resp, err := starter.rawRequest(lt, rank, KindBarrier, nil)
 			if err != nil {
 				return err
@@ -586,8 +630,15 @@ func (c *Cluster) finalBarrier(starter *Node) error {
 	dests := mergeDests(c.takeResidDests(), starter.takeAsyncDests(sys))
 	for len(dests) > 0 {
 		for _, rank := range dests {
+			if starter.isDead(rank) {
+				continue
+			}
 			resp, err := starter.rawRequest(sys, rank, KindBarrier, nil)
 			if err != nil {
+				if transport.IsPeerDown(err) {
+					// Died mid-shutdown: nothing left to drain there.
+					continue
+				}
 				return err
 			}
 			out, err := wire.DecodeDepResponse(resp.Payload)
@@ -637,6 +688,13 @@ func (c *Cluster) TotalStats() NodeStats {
 	var s NodeStats
 	for _, n := range c.Nodes {
 		s.add(n.Stats.snapshot())
+		// Fold in the transport reliability layer's fault counters, so
+		// the one stats surface reports retransmissions and healed
+		// frames alongside the protocol counters.
+		if f, ok := transport.Faults(n.EP); ok {
+			s.Retransmits += f.Retransmits
+			s.Recoveries += f.Recovered
+		}
 	}
 	return s
 }

@@ -209,6 +209,16 @@ func (n *Node) dispatchStatic(lt *lthread, o *vm.Object, kind int, member string
 		return n.localGated(lt, o, kind, member, acc)
 	}
 	home, id, _ := n.proxyIdentity(o)
+	if n.recovery {
+		// Failure recovery breaks the "objects never move" premise: a
+		// replica promoted after its owner died rehomes the object even
+		// under a static plan. Consult live ownership and the repaired
+		// hints exactly like the adaptive path does.
+		if obj := n.holder(id); obj != nil {
+			return n.localGated(lt, obj, kind, member, acc)
+		}
+		home = n.hintFor(id, home)
+	}
 	if home == n.Rank {
 		obj := n.holder(id)
 		if obj == nil {

@@ -1,6 +1,7 @@
 package runtime
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"sync"
@@ -106,8 +107,32 @@ type Node struct {
 	mu      sync.Mutex
 	canon   map[int64]*vm.Object
 	home    map[int64]*vm.Object
-	pending map[uint64]chan srvResp
+	pending map[uint64]pendingReq
 	nextTag uint64
+
+	// recovery enables the failure-recovery protocol: effectful
+	// requests carry dedup ids, dead peers trigger a recovery round on
+	// the coordinator (rank 0), and re-driven invocations replay from
+	// the journal. Off (the default), none of it touches the wire.
+	recovery bool
+
+	// deadMu guards the set of ranks the failure detector declared
+	// dead. Sticky: a dead rank never comes back.
+	deadMu sync.Mutex
+	dead   map[int]bool
+
+	// recMu guards the recovery-round progress the re-drive path waits
+	// on: recActive counts in-progress rounds, recGen completed ones.
+	// recRoundMu serialises the rounds themselves on the coordinator.
+	recMu      sync.Mutex
+	recActive  int
+	recGen     uint64
+	recRoundMu sync.Mutex
+
+	// downOnce makes the done-channel close idempotent: both a SHUTDOWN
+	// frame and an endpoint failure (the node was killed) close it, and
+	// the two can race.
+	downOnce sync.Once
 
 	// coh is the per-object coherence state machine: location hints,
 	// the write-once cache, read replicas and replica sets.
@@ -166,10 +191,21 @@ type Node struct {
 // srvResp is a matched response plus the drain barriers it must
 // honour: the receiver may not resume until asynchronous batches of
 // its own logical thread that arrived before the response have been
-// processed (preserving each logical thread's observable order).
+// processed (preserving each logical thread's observable order). err
+// is set instead of msg when the failure detector swept the request —
+// its destination died with the response outstanding.
 type srvResp struct {
 	msg   transport.Message
 	drain []chan struct{}
+	err   error
+}
+
+// pendingReq is one outstanding tagged request: the channel its
+// response is delivered on, and the destination rank so a PeerDown
+// sweep can fail exactly the requests waiting on the dead node.
+type pendingReq struct {
+	ch   chan srvResp
+	dest int
 }
 
 // batchJob is one received batch frame awaiting the worker.
@@ -215,6 +251,19 @@ type NodeStats struct {
 	// buys) survives across Cluster.Invoke calls. Always zero on
 	// one-shot runs (there is no earlier invocation).
 	RetainedHits int64
+	// Retransmits and Recoveries mirror the transport reliability
+	// layer's fault counters when TotalStats folds them in: frames
+	// resent after an ack timeout, and frames healed on the receive
+	// side (suppressed duplicates plus reorder-buffered deliveries).
+	Retransmits int64
+	Recoveries  int64
+	// PromotedReplicas counts replicas this node installed as the new
+	// authoritative copy after their owner died; RedrivenInvocations
+	// counts entrypoint invocations re-executed after a peer-down
+	// failure (the dedup journal keeps the replayed prefix
+	// exactly-once).
+	PromotedReplicas    int64
+	RedrivenInvocations int64
 }
 
 // add accumulates s2 into s.
@@ -233,6 +282,10 @@ func (s *NodeStats) add(s2 NodeStats) {
 	s.ReplicaFetches += s2.ReplicaFetches
 	s.Invalidations += s2.Invalidations
 	s.RetainedHits += s2.RetainedHits
+	s.Retransmits += s2.Retransmits
+	s.Recoveries += s2.Recoveries
+	s.PromotedReplicas += s2.PromotedReplicas
+	s.RedrivenInvocations += s2.RedrivenInvocations
 }
 
 // sub subtracts s2 from s (for per-invocation deltas of snapshots).
@@ -251,6 +304,10 @@ func (s *NodeStats) sub(s2 NodeStats) {
 	s.ReplicaFetches -= s2.ReplicaFetches
 	s.Invalidations -= s2.Invalidations
 	s.RetainedHits -= s2.RetainedHits
+	s.Retransmits -= s2.Retransmits
+	s.Recoveries -= s2.Recoveries
+	s.PromotedReplicas -= s2.PromotedReplicas
+	s.RedrivenInvocations -= s2.RedrivenInvocations
 }
 
 // snapshot returns an atomically loaded copy.
@@ -270,6 +327,11 @@ func (s *NodeStats) snapshot() NodeStats {
 		ReplicaFetches:  atomic.LoadInt64(&s.ReplicaFetches),
 		Invalidations:   atomic.LoadInt64(&s.Invalidations),
 		RetainedHits:    atomic.LoadInt64(&s.RetainedHits),
+
+		Retransmits:         atomic.LoadInt64(&s.Retransmits),
+		Recoveries:          atomic.LoadInt64(&s.Recoveries),
+		PromotedReplicas:    atomic.LoadInt64(&s.PromotedReplicas),
+		RedrivenInvocations: atomic.LoadInt64(&s.RedrivenInvocations),
 	}
 }
 
@@ -339,7 +401,8 @@ func NewNode(prog *bytecode.Program, ep transport.Endpoint, plan *rewrite.Plan) 
 		copies:  transport.CopiesPayload(ep),
 		canon:   map[int64]*vm.Object{},
 		home:    map[int64]*vm.Object{},
-		pending: map[uint64]chan srvResp{},
+		pending: map[uint64]pendingReq{},
+		dead:    map[int]bool{},
 		gates:   map[int64]*objGate{},
 		aff:     map[int64]*affinityCell{},
 		lts:     map[uint64]*lthread{},
@@ -680,6 +743,13 @@ func (n *Node) rawRequest(lt *lthread, to int, kind uint8, payload []byte) (tran
 	// a channel received from is empty and safe to reuse for the next
 	// request. Channels abandoned on the shutdown path are simply not
 	// returned to the pool.
+	if n.isDead(to) {
+		// Fail fast instead of registering a request no response can
+		// ever answer: the destination was declared dead.
+		wire.PutBuf(payload)
+		return transport.Message{}, fmt.Errorf("runtime: node %d: request (kind %d) to node %d: %w",
+			n.Rank, kind, to, transport.ErrPeerDown)
+	}
 	ch, _ := respChPool.Get().(chan srvResp)
 	if ch == nil {
 		ch = make(chan srvResp, 1)
@@ -687,10 +757,19 @@ func (n *Node) rawRequest(lt *lthread, to int, kind uint8, payload []byte) (tran
 	n.mu.Lock()
 	n.nextTag++
 	tag := n.nextTag
-	n.pending[tag] = ch
+	n.pending[tag] = pendingReq{ch: ch, dest: to}
 	n.mu.Unlock()
 
 	msg := transport.Message{To: to, Tag: tag, Kind: kind, Payload: payload, Time: n.VM.SimSeconds()}
+	if n.recovery && lt.tid != 0 {
+		// Effectful request kinds carry an idempotency id so a re-driven
+		// invocation's replayed prefix is answered from the receiver's
+		// journal instead of re-executing (exactly-once effects).
+		switch kind {
+		case KindNew, KindDependence, KindDependenceBatch:
+			msg.Dedup = lt.nextDedup()
+		}
+	}
 	if err := n.send(lt, msg); err != nil {
 		// Nothing went out, so no response can arrive: unregister the
 		// tag, and recycle the channel only if the registration was
@@ -710,6 +789,11 @@ func (n *Node) rawRequest(lt *lthread, to int, kind uint8, payload []byte) (tran
 		// The channel delivered its one value for this registration;
 		// it is empty again and reusable.
 		respChPool.Put(ch)
+		if resp.err != nil {
+			// Swept by the failure detector: the destination died with
+			// this request outstanding.
+			return transport.Message{}, resp.err
+		}
 		// A response may causally follow asynchronous batches of this
 		// thread that are still queued for its batch worker; wait for
 		// those before resuming so local reads observe their effects.
@@ -980,21 +1064,31 @@ func (n *Node) Serve() {
 		for {
 			msg, err := n.EP.Recv()
 			if err != nil {
+				// Endpoint died under us — the node was killed, or torn
+				// down without a SHUTDOWN frame. Close done exactly as a
+				// SHUTDOWN would, so gate waiters, pending requesters
+				// and the cluster's shutdown wait all unblock instead of
+				// hanging on a node that can no longer hear anything.
+				n.closeDone()
 				return
 			}
 			switch msg.Kind {
 			case KindResponse, KindReplicaAck:
 				n.mu.Lock()
-				ch := n.pending[msg.Tag]
+				pr, ok := n.pending[msg.Tag]
 				delete(n.pending, msg.Tag)
 				n.mu.Unlock()
-				if ch != nil {
+				if ok {
 					// The requester recycles the payload after
 					// decoding it.
-					ch <- srvResp{msg: msg, drain: barriers(msg.TID)}
+					pr.ch <- srvResp{msg: msg, drain: barriers(msg.TID)}
 				} else {
 					wire.PutBuf(msg.Payload)
 				}
+			case wire.KindPeerDown:
+				// Synthesised locally by the reliability layer (never on
+				// the wire): msg.From is the dead rank.
+				n.handlePeerDown(msg.From)
 			case KindInvalidate:
 				// Invalidations bypass the batch barrier on purpose:
 				// dropping a replica early is always safe (the next
@@ -1006,7 +1100,7 @@ func (n *Node) Serve() {
 				n.wg.Add(1)
 				n.workers.run(srvTask{msg: msg})
 			case KindShutdown:
-				close(n.done)
+				n.closeDone()
 				_ = n.EP.Close()
 				return
 			case KindDependenceBatch:
@@ -1035,6 +1129,9 @@ func (n *Node) handleBatch(job batchJob) {
 	msg := job.msg
 	lt := n.lthread(msg.TID)
 	n.advanceTo(msg.Time + n.Net.Cost(len(msg.Payload)))
+	if msg.Dedup != 0 && n.replayJournaled(lt, msg) {
+		return
+	}
 	batch, err := wire.DecodeBatch(msg.Payload)
 	if err != nil {
 		stashAsyncErr(lt, err)
@@ -1058,9 +1155,13 @@ func (n *Node) handleBatch(job batchJob) {
 	// batch that failed to decode).
 	if msg.Tag != 0 {
 		out := wire.DepResponse{AsyncErr: takeAsyncErr(lt)}
+		payload := out.Encode()
+		if msg.Dedup != 0 && !bytes.Contains(payload, peerDownMarker) {
+			lt.journalPut(msg.From, msg.Dedup, payload)
+		}
 		resp := transport.Message{
 			To: msg.From, Tag: msg.Tag, Kind: KindResponse,
-			Payload: out.Encode(), Time: n.VM.SimSeconds(),
+			Payload: payload, Time: n.VM.SimSeconds(),
 		}
 		if err := n.send(lt, resp); err != nil {
 			select {
@@ -1079,7 +1180,19 @@ func (n *Node) handle(msg transport.Message) {
 	// sender's time plus the transfer cost.
 	n.advanceTo(msg.Time + n.Net.Cost(len(msg.Payload)))
 
+	if msg.Dedup != 0 && n.replayJournaled(lt, msg) {
+		return
+	}
+
 	reply := func(payload []byte) {
+		if msg.Dedup != 0 && !bytes.Contains(payload, peerDownMarker) {
+			// Record the response so a replay of this request (after a
+			// re-drive) is answered without re-executing. Responses that
+			// themselves report a dead-peer failure are not recorded:
+			// after recovery the re-driven request must re-execute, not
+			// replay the failure.
+			lt.journalPut(msg.From, msg.Dedup, payload)
+		}
 		resp := transport.Message{
 			To: msg.From, Tag: msg.Tag, Kind: KindResponse,
 			Payload: payload, Time: n.VM.SimSeconds(),
@@ -1179,6 +1292,32 @@ func (n *Node) handle(msg transport.Message) {
 			out.Err = err.Error()
 		} else {
 			out = n.handleTransfer(&req)
+		}
+		reply(out.Encode())
+	case KindRecover:
+		out := wire.RecoverResponse{}
+		if req, err := wire.DecodeRecoverRequest(msg.Payload); err != nil {
+			out.Err = err.Error()
+		} else {
+			out.IDs = n.coh.replicasOf(req.Dead)
+		}
+		reply(out.Encode())
+	case KindPromote:
+		out := wire.PromoteResponse{}
+		if req, err := wire.DecodePromoteRequest(msg.Payload); err != nil {
+			out.Err = err.Error()
+		} else {
+			out.Promoted = n.promoteReplicas(lt, req.Dead, req.IDs)
+		}
+		reply(out.Encode())
+	case KindRehome:
+		out := wire.RehomeResponse{}
+		if req, err := wire.DecodeRehomeRequest(msg.Payload); err != nil {
+			out.Err = err.Error()
+		} else if len(req.IDs) != len(req.Homes) {
+			out.Err = fmt.Sprintf("node %d: rehome with %d ids, %d homes", n.Rank, len(req.IDs), len(req.Homes))
+		} else {
+			n.applyRehome(req.Dead, req.IDs, req.Homes)
 		}
 		reply(out.Encode())
 	}

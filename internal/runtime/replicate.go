@@ -228,6 +228,12 @@ func (n *Node) invalidateReaders(lt *lthread, id int64) error {
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
+			// A reader that died counts as acknowledged: its replica
+			// perished with it, which is exactly what the invalidation
+			// was for. Any other failure still fails the write.
+			if transport.IsPeerDown(err) {
+				continue
+			}
 			return err
 		}
 	}

@@ -62,6 +62,17 @@ type lthread struct {
 	// on the thread's next response (or its invocation result).
 	asyncErr string
 
+	// dedupNext numbers this thread's outgoing effectful requests when
+	// failure recovery is on (rawRequest stamps it into the frame's
+	// Dedup field); a re-driven invocation resets it to replay the same
+	// id sequence. journal is the receiving side: recorded responses
+	// keyed by (sender, dedup id), so a replayed request returns its
+	// original response instead of re-executing — the exactly-once
+	// guarantee across retransmission and re-drive. The journal dies
+	// with the thread at retire.
+	dedupNext uint64
+	journal   map[journalKey][]byte
+
 	// callBuf and wireBuf are per-thread scratch slices for call
 	// argument assembly and wire-value conversion. Safe to reuse
 	// because both are fully consumed before control re-enters code
@@ -75,6 +86,42 @@ type lthread struct {
 	// per-thread shadow of Node.Stats that per-invocation deltas are
 	// built from. Updated atomically alongside the global counters.
 	stats NodeStats
+}
+
+// journalKey names one effectful request in a thread's dedup journal.
+type journalKey struct {
+	from  int
+	dedup uint64
+}
+
+// nextDedup allocates the thread's next request-idempotency id.
+func (lt *lthread) nextDedup() uint64 {
+	lt.mu.Lock()
+	lt.dedupNext++
+	v := lt.dedupNext
+	lt.mu.Unlock()
+	return v
+}
+
+// journalGet looks up the recorded response for a replayed request.
+func (lt *lthread) journalGet(from int, dedup uint64) ([]byte, bool) {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	p, ok := lt.journal[journalKey{from, dedup}]
+	return p, ok
+}
+
+// journalPut records a response payload (copied; the original travels
+// on to the transport) so a replay of the same request can be answered
+// without re-executing.
+func (lt *lthread) journalPut(from int, dedup uint64, payload []byte) {
+	cp := append([]byte(nil), payload...)
+	lt.mu.Lock()
+	if lt.journal == nil {
+		lt.journal = map[journalKey][]byte{}
+	}
+	lt.journal[journalKey{from, dedup}] = cp
+	lt.mu.Unlock()
 }
 
 // lthread returns (creating if needed) the context for a thread id on

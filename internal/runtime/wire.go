@@ -81,6 +81,15 @@ const (
 	KindReplicate
 	KindInvalidate
 	KindReplicaAck
+	// RECOVER/PROMOTE/REHOME are the failure-recovery round (recover.go):
+	// after the transport's failure detector declares a node dead, the
+	// recovery coordinator polls survivors for promotable replicas
+	// (RECOVER), instructs the chosen holder to install its replica as
+	// the new authoritative copy (PROMOTE), and broadcasts the repaired
+	// ownership map (REHOME).
+	KindRecover
+	KindPromote
+	KindRehome
 )
 
 // toWire converts a local vm.Value for transmission from this node.

@@ -1,0 +1,385 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"autodist/internal/wire"
+)
+
+// ReliableOptions tunes the reliability wrapper. The zero value picks
+// defaults suited to LAN tests: 25ms heartbeats, a peer is declared
+// dead after 4 missed intervals, unacknowledged frames retransmit
+// after 50ms with exponential backoff.
+type ReliableOptions struct {
+	// HeartbeatInterval is the liveness-probe period (0 = 25ms).
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is how many silent intervals declare a peer dead
+	// (0 = 4).
+	HeartbeatMisses int
+	// RetransmitTimeout is the base ack timeout before a frame is
+	// resent (0 = 50ms); attempt n waits timeout<<(n-1), capped.
+	RetransmitTimeout time.Duration
+}
+
+func (o *ReliableOptions) interval() time.Duration {
+	if o.HeartbeatInterval <= 0 {
+		return 25 * time.Millisecond
+	}
+	return o.HeartbeatInterval
+}
+
+func (o *ReliableOptions) misses() int {
+	if o.HeartbeatMisses <= 0 {
+		return 4
+	}
+	return o.HeartbeatMisses
+}
+
+func (o *ReliableOptions) retransmit() time.Duration {
+	if o.RetransmitTimeout <= 0 {
+		return 50 * time.Millisecond
+	}
+	return o.RetransmitTimeout
+}
+
+// Deadline is the failure-detection deadline the options imply: a peer
+// silent this long is declared dead.
+func (o *ReliableOptions) Deadline() time.Duration {
+	return o.interval() * time.Duration(o.misses())
+}
+
+// relEntry is one unacknowledged outbound frame. The payload is a
+// master copy owned by the ring; every (re)transmission over a
+// non-copying inner fabric sends a fresh copy so the receiver can own
+// what it gets.
+type relEntry struct {
+	msg      Message
+	lastSent time.Time
+	attempts int
+}
+
+// relPeer is the per-peer reliability state: outbound sequence numbers
+// and the unacked ring, inbound cursor and reorder buffer, and the
+// failure detector's clock.
+type relPeer struct {
+	// Outbound: seq of the next frame is nextSeq+1; unacked holds
+	// frames in seq order awaiting a cumulative ack.
+	nextSeq uint64
+	unacked []relEntry
+	// Inbound: recvNext is the next expected seq; reorder buffers
+	// frames that arrived early.
+	recvNext uint64
+	reorder  map[uint64]Message
+	// Failure detection.
+	lastHeard time.Time
+	active    bool
+	down      bool
+}
+
+// relEndpoint layers per-peer FIFO exactly-once delivery, ack-driven
+// retransmission and heartbeat failure detection over any inner
+// fabric. Frames are sequenced per (sender, receiver) direction and
+// carry cumulative acknowledgements; heartbeats keep quiet links alive
+// and carry acks of their own. When a peer misses enough heartbeats it
+// is declared dead: its ring is dropped, later Sends fail fast with
+// ErrPeerDown, and a synthetic KindPeerDown message is delivered into
+// the local receive stream so the runtime can start recovery.
+//
+// Send never propagates inner transmission errors: a frame that could
+// not reach the socket stays in the ring and is retried with backoff,
+// so a peer that was never reachable produces a PeerDown verdict
+// within the heartbeat deadline instead of an error-per-send retry
+// loop.
+type relEndpoint struct {
+	inner       Endpoint
+	opts        ReliableOptions
+	innerCopies bool
+
+	inbox     chan Message
+	done      chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	mu    sync.Mutex
+	peers []*relPeer
+
+	retransmits atomic.Int64
+	recovered   atomic.Int64
+	peersDown   atomic.Int64
+}
+
+// NewReliable wraps ep with the reliability layer. The wrapper owns
+// the inner endpoint: closing the wrapper closes ep.
+func NewReliable(ep Endpoint, opts ReliableOptions) Endpoint {
+	e := &relEndpoint{
+		inner:       ep,
+		opts:        opts,
+		innerCopies: CopiesPayload(ep),
+		inbox:       make(chan Message, 1024),
+		done:        make(chan struct{}),
+		peers:       make([]*relPeer, ep.Size()),
+	}
+	for i := range e.peers {
+		e.peers[i] = &relPeer{recvNext: 1, reorder: map[uint64]Message{}}
+	}
+	e.wg.Add(2)
+	go e.recvLoop()
+	go e.tickLoop()
+	return e
+}
+
+func (e *relEndpoint) Rank() int { return e.inner.Rank() }
+func (e *relEndpoint) Size() int { return e.inner.Size() }
+
+// SendCopiesPayload: Send copies the payload into the ring's master
+// copy before returning, so callers recycle their buffer immediately.
+func (e *relEndpoint) SendCopiesPayload() bool { return true }
+
+// CausalDelivery: retransmission can reorder frames across peers (a
+// delayed frame to B may be retried after a fresh frame to C that
+// causally follows it), so the wrapper never claims causal delivery
+// even over a causal inner fabric. The runtime responds by
+// acknowledging all asynchronous batches — which also makes every
+// effectful frame a tagged request the dedup journal can intercept.
+func (e *relEndpoint) CausalDelivery() bool { return false }
+
+// Flush delegates to the inner fabric's write barrier.
+func (e *relEndpoint) Flush() error { return Flush(e.inner) }
+
+// FaultCounters exposes the reliability counters (see Faults).
+func (e *relEndpoint) FaultCounters() FaultStats {
+	return FaultStats{
+		Retransmits: e.retransmits.Load(),
+		Recovered:   e.recovered.Load(),
+		PeersDown:   e.peersDown.Load(),
+	}
+}
+
+func (e *relEndpoint) Send(msg Message) error {
+	if msg.To < 0 || msg.To >= e.Size() {
+		return fmt.Errorf("transport: bad destination %d", msg.To)
+	}
+	msg.From = e.Rank()
+	e.mu.Lock()
+	p := e.peers[msg.To]
+	if p.down {
+		e.mu.Unlock()
+		return fmt.Errorf("transport: send to node %d (frame kind %d): %w", msg.To, msg.Kind, ErrPeerDown)
+	}
+	p.nextSeq++
+	msg.Seq = p.nextSeq
+	msg.Ack = p.recvNext - 1
+	if len(msg.Payload) > 0 {
+		msg.Payload = append([]byte(nil), msg.Payload...)
+	}
+	now := time.Now()
+	p.unacked = append(p.unacked, relEntry{msg: msg, lastSent: now, attempts: 1})
+	if !p.active {
+		p.active = true
+		p.lastHeard = now
+	}
+	e.mu.Unlock()
+	// Transmission errors are absorbed: the frame is in the ring and
+	// the retransmit scan owns its fate; a dead destination surfaces as
+	// PeerDown at the heartbeat deadline, not as a send error.
+	_ = e.transmit(msg)
+	return nil
+}
+
+// transmit sends one copy of a ring frame over the inner fabric. Over
+// a non-copying inner fabric the receiver keeps the slice it gets, so
+// each transmission sends a fresh copy of the master payload.
+func (e *relEndpoint) transmit(msg Message) error {
+	if !e.innerCopies && len(msg.Payload) > 0 {
+		msg.Payload = append(wire.GetBuf(), msg.Payload...)
+	}
+	return e.inner.Send(msg)
+}
+
+func (e *relEndpoint) Recv() (Message, error) {
+	select {
+	case msg := <-e.inbox:
+		return msg, nil
+	default:
+	}
+	select {
+	case msg := <-e.inbox:
+		return msg, nil
+	case <-e.done:
+		return Message{}, ErrClosed
+	}
+}
+
+func (e *relEndpoint) Close() error {
+	e.closeOnce.Do(func() {
+		close(e.done)
+		_ = e.inner.Close()
+	})
+	// Wait outside the Once: recvLoop re-enters the same Once on its
+	// inner-Recv error path, so waiting for it inside would deadlock.
+	e.wg.Wait()
+	return nil
+}
+
+// deliverLocal hands a message to the local consumer, bounded by Close.
+func (e *relEndpoint) deliverLocal(msg Message) bool {
+	select {
+	case e.inbox <- msg:
+		return true
+	case <-e.done:
+		return false
+	}
+}
+
+// recvLoop drains the inner fabric: acks retire ring entries,
+// heartbeats refresh the failure detector, duplicates are suppressed,
+// and out-of-order frames wait in the reorder buffer until the gap
+// fills. Exactly the in-order prefix is delivered to the consumer.
+func (e *relEndpoint) recvLoop() {
+	defer e.wg.Done()
+	for {
+		msg, err := e.inner.Recv()
+		if err != nil {
+			// Inner endpoint died (closed under us, or the process is
+			// being torn down): surface ErrClosed to our consumer.
+			e.closeOnce.Do(func() {
+				close(e.done)
+				_ = e.inner.Close()
+			})
+			return
+		}
+		if msg.From < 0 || msg.From >= e.Size() {
+			continue
+		}
+		var deliver []Message
+		e.mu.Lock()
+		p := e.peers[msg.From]
+		if p.down {
+			// A declared-dead peer stays dead; drop zombie frames.
+			e.mu.Unlock()
+			wire.PutBuf(msg.Payload)
+			continue
+		}
+		p.lastHeard = time.Now()
+		p.active = true
+		// Cumulative ack retires ring entries.
+		if msg.Ack > 0 {
+			i := 0
+			for i < len(p.unacked) && p.unacked[i].msg.Seq <= msg.Ack {
+				i++
+			}
+			if i > 0 {
+				p.unacked = append(p.unacked[:0], p.unacked[i:]...)
+			}
+		}
+		switch {
+		case msg.Kind == wire.KindHeartbeat:
+			// Liveness and ack only; never delivered.
+		case msg.Seq == 0:
+			// Unsequenced frame (a peer without the wrapper); pass
+			// through unordered.
+			deliver = append(deliver, msg)
+		case msg.Seq < p.recvNext:
+			// Duplicate of an already-delivered frame (retransmit that
+			// crossed its ack): suppress.
+			e.recovered.Add(1)
+			wire.PutBuf(msg.Payload)
+		case msg.Seq > p.recvNext:
+			// Early frame: hold until the gap fills.
+			if _, dup := p.reorder[msg.Seq]; dup {
+				e.recovered.Add(1)
+				wire.PutBuf(msg.Payload)
+			} else {
+				p.reorder[msg.Seq] = msg
+			}
+		default:
+			deliver = append(deliver, msg)
+			p.recvNext++
+			for {
+				next, ok := p.reorder[p.recvNext]
+				if !ok {
+					break
+				}
+				delete(p.reorder, p.recvNext)
+				e.recovered.Add(1)
+				deliver = append(deliver, next)
+				p.recvNext++
+			}
+		}
+		e.mu.Unlock()
+		for _, m := range deliver {
+			if !e.deliverLocal(m) {
+				return
+			}
+		}
+	}
+}
+
+// tickLoop is the heartbeat and retransmission clock: every interval
+// it declares peers past the deadline dead (synthesising PeerDown),
+// resends unacked frames past their backoff, and heartbeats every
+// active live peer so quiet links stay provably alive.
+func (e *relEndpoint) tickLoop() {
+	defer e.wg.Done()
+	ticker := time.NewTicker(e.opts.interval())
+	defer ticker.Stop()
+	deadline := e.opts.Deadline()
+	rto := e.opts.retransmit()
+	for {
+		select {
+		case <-e.done:
+			return
+		case <-ticker.C:
+		}
+		now := time.Now()
+		var resend []Message
+		var downs []int
+		var beats []Message
+		e.mu.Lock()
+		for rank, p := range e.peers {
+			if rank == e.Rank() || !p.active || p.down {
+				continue
+			}
+			if now.Sub(p.lastHeard) > deadline {
+				p.down = true
+				p.unacked = nil
+				p.reorder = map[uint64]Message{}
+				downs = append(downs, rank)
+				continue
+			}
+			for i := range p.unacked {
+				ent := &p.unacked[i]
+				backoff := rto << uint(min(ent.attempts-1, 5))
+				if now.Sub(ent.lastSent) >= backoff {
+					ent.lastSent = now
+					ent.attempts++
+					m := ent.msg
+					m.Ack = p.recvNext - 1
+					resend = append(resend, m)
+				}
+			}
+			beats = append(beats, Message{
+				From: e.Rank(), To: rank, Kind: wire.KindHeartbeat, Ack: p.recvNext - 1,
+			})
+		}
+		e.mu.Unlock()
+		for _, m := range resend {
+			e.retransmits.Add(1)
+			_ = e.transmit(m)
+		}
+		for _, m := range beats {
+			// A heartbeat with nothing yet received has Seq=Ack=Dedup=0
+			// and rides the v2 envelope; its kind still marks it.
+			_ = e.inner.Send(m)
+		}
+		for _, rank := range downs {
+			e.peersDown.Add(1)
+			if !e.deliverLocal(Message{From: rank, To: e.Rank(), Kind: wire.KindPeerDown}) {
+				return
+			}
+		}
+	}
+}

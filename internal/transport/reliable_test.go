@@ -1,0 +1,260 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"autodist/internal/wire"
+)
+
+// fastRel tunes the reliability layer for tests: retransmission heals
+// injected faults within milliseconds, while the failure deadline is
+// long enough (2ms × 200 misses = 400ms) that no plausible run of
+// injected drops can mimic a death.
+var fastRel = ReliableOptions{
+	HeartbeatInterval: 2 * time.Millisecond,
+	HeartbeatMisses:   200,
+	RetransmitTimeout: 2 * time.Millisecond,
+}
+
+// reliableChaosPair builds a two-node in-process fabric with the chaos
+// layer under the reliability layer — the production stacking order.
+func reliableChaosPair(t *testing.T, rules ChaosRules) (a, b Endpoint, ctl *Chaos) {
+	t.Helper()
+	ctl, eps := NewChaos(NewInProc(2), rules)
+	a = NewReliable(eps[0], fastRel)
+	b = NewReliable(eps[1], fastRel)
+	t.Cleanup(func() {
+		_ = a.Close()
+		_ = b.Close()
+	})
+	return a, b, ctl
+}
+
+// protocolKinds spans the full frame-kind space the runtime sends
+// (NEW=1 … REHOME=16); the reliability guarantee is kind-agnostic and
+// must hold for every one of them.
+const protocolKinds = 16
+
+// TestReliableExactlyOnceUnderChaos is the transport tentpole test:
+// under every chaos profile — single drops, burst drops, duplicates,
+// reordering, and all at once — a sequenced stream of frames covering
+// every protocol kind is delivered exactly once, in order, with
+// payloads intact. Seeded rules make each case's fault pattern
+// deterministic.
+func TestReliableExactlyOnceUnderChaos(t *testing.T) {
+	cases := []struct {
+		name            string
+		rules           ChaosRules
+		wantRetransmits bool // dropped frames must have been resent
+		wantRecovered   bool // dup/reorder must have been healed on receive
+	}{
+		{"clean", ChaosRules{Seed: 7}, false, false},
+		{"single drop", ChaosRules{Seed: 7, Drop: 0.02}, true, false},
+		{"burst drop", ChaosRules{Seed: 7, Drop: 0.4}, true, false},
+		{"duplicate", ChaosRules{Seed: 7, Dup: 0.3}, false, true},
+		{"reorder", ChaosRules{Seed: 7, Reorder: 0.3}, false, true},
+		{"mixed", ChaosRules{Seed: 7, Drop: 0.15, Dup: 0.15, Reorder: 0.15}, true, true},
+	}
+	const frames = 300
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b, _ := reliableChaosPair(t, tc.rules)
+			recvErr := make(chan error, 1)
+			go func() {
+				for i := 0; i < frames; i++ {
+					m, err := b.Recv()
+					if err != nil {
+						recvErr <- fmt.Errorf("recv %d: %w", i, err)
+						return
+					}
+					wantKind := uint8(1 + i%protocolKinds)
+					if m.Kind == wire.KindPeerDown {
+						recvErr <- fmt.Errorf("spurious PeerDown for node %d after %d frames", m.From, i)
+						return
+					}
+					if m.Tag != uint64(i) {
+						recvErr <- fmt.Errorf("frame %d arrived with tag %d: lost, doubled or reordered", i, m.Tag)
+						return
+					}
+					if m.Kind != wantKind {
+						recvErr <- fmt.Errorf("frame %d has kind %d, want %d", i, m.Kind, wantKind)
+						return
+					}
+					if want := fmt.Sprintf("payload-%d", i); string(m.Payload) != want {
+						recvErr <- fmt.Errorf("frame %d payload %q, want %q", i, m.Payload, want)
+						return
+					}
+				}
+				recvErr <- nil
+			}()
+			for i := 0; i < frames; i++ {
+				msg := Message{
+					To: 1, Tag: uint64(i), TID: 3, Kind: uint8(1 + i%protocolKinds),
+					Payload: []byte(fmt.Sprintf("payload-%d", i)),
+				}
+				if err := a.Send(msg); err != nil {
+					t.Fatalf("send %d: %v", i, err)
+				}
+			}
+			select {
+			case err := <-recvErr:
+				if err != nil {
+					t.Fatal(err)
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatal("receiver did not observe all frames: delivery stalled")
+			}
+			sf, _ := Faults(a)
+			rf, _ := Faults(b)
+			if tc.wantRetransmits && sf.Retransmits == 0 {
+				t.Errorf("chaos dropped frames but the sender recorded no retransmits")
+			}
+			if tc.wantRecovered && rf.Recovered == 0 {
+				t.Errorf("chaos duplicated/reordered frames but the receiver recorded no recoveries")
+			}
+			if sf.PeersDown != 0 || rf.PeersDown != 0 {
+				t.Errorf("spurious peer-down verdicts: sender %d, receiver %d", sf.PeersDown, rf.PeersDown)
+			}
+		})
+	}
+}
+
+// TestNeverReachablePeerDown pins the detection contract for a peer
+// that was never reachable: Send itself never errors (the frame parks
+// in the retransmit ring), the failure detector synthesises a PeerDown
+// verdict within the heartbeat deadline, and every later Send fails
+// fast with an error naming the peer and the frame kind.
+func TestNeverReachablePeerDown(t *testing.T) {
+	ctl, eps := NewChaos(NewInProc(2), ChaosRules{})
+	opts := ReliableOptions{HeartbeatInterval: 5 * time.Millisecond}
+	a := NewReliable(eps[0], opts)
+	t.Cleanup(func() { _ = a.Close() })
+	ctl.Kill(1) // node 1 never comes up
+
+	start := time.Now()
+	if err := a.Send(Message{To: 1, Kind: 7, Tag: 1, Payload: []byte("x")}); err != nil {
+		t.Fatalf("send to a not-yet-declared-dead peer must be absorbed, got %v", err)
+	}
+	m, err := a.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if m.Kind != wire.KindPeerDown || m.From != 1 {
+		t.Fatalf("expected PeerDown(from=1), got kind %d from %d", m.Kind, m.From)
+	}
+	if elapsed < opts.Deadline() {
+		t.Errorf("peer declared dead after %v, before the %v deadline", elapsed, opts.Deadline())
+	}
+	if limit := 20 * opts.Deadline(); elapsed > limit {
+		t.Errorf("peer-down verdict took %v, want within %v of the deadline", elapsed, limit)
+	}
+
+	err = a.Send(Message{To: 1, Kind: 9})
+	if !IsPeerDown(err) || !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("send to a dead peer: %v, want ErrPeerDown", err)
+	}
+	if !strings.Contains(err.Error(), "node 1") || !strings.Contains(err.Error(), "kind 9") {
+		t.Errorf("dead-peer error %q lacks peer id and frame kind context", err)
+	}
+	if f, _ := Faults(a); f.PeersDown != 1 {
+		t.Errorf("FaultCounters().PeersDown = %d, want 1", f.PeersDown)
+	}
+}
+
+// TestReliablePassesUnsequencedFrames: frames from a peer without the
+// reliability wrapper (Seq 0) pass straight through — cross-version
+// interop with pre-reliability nodes.
+func TestReliablePassesUnsequencedFrames(t *testing.T) {
+	eps := NewInProc(2)
+	b := NewReliable(eps[1], fastRel)
+	t.Cleanup(func() { _ = b.Close() })
+	if err := eps[0].Send(Message{To: 1, Tag: 42, Kind: 5, Payload: []byte("bare")}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Tag != 42 || m.Kind != 5 || string(m.Payload) != "bare" {
+		t.Fatalf("unsequenced frame mangled: %+v", m)
+	}
+}
+
+// TestChaosDeterministic: the same seed replays the same fault
+// pattern — two identical runs of the bare chaos layer (no healing)
+// deliver the identical frame sequence.
+func TestChaosDeterministic(t *testing.T) {
+	deliver := func() []uint64 {
+		_, eps := NewChaos(NewInProc(2), ChaosRules{Seed: 11, Drop: 0.2, Dup: 0.2, Reorder: 0.2})
+		defer eps[0].Close()
+		defer eps[1].Close()
+		for i := 0; i < 100; i++ {
+			if err := eps[0].Send(Message{To: 1, Tag: uint64(i), Kind: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Drain until the link has been quiet for a while: with no
+		// healing layer some frames (including any sentinel we might
+		// send) are simply gone, so a quiet-period cutoff is the only
+		// hang-free way to collect "everything that arrived".
+		got := make(chan uint64)
+		go func() {
+			defer close(got)
+			for {
+				m, err := eps[1].Recv()
+				if err != nil {
+					return
+				}
+				got <- m.Tag
+			}
+		}()
+		var tags []uint64
+		for {
+			select {
+			case tag, ok := <-got:
+				if !ok {
+					return tags
+				}
+				tags = append(tags, tag)
+			case <-time.After(300 * time.Millisecond):
+				return tags
+			}
+		}
+	}
+	first, second := deliver(), deliver()
+	if len(first) != len(second) {
+		t.Fatalf("same seed delivered %d then %d frames", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("same seed diverged at frame %d: %d vs %d", i, first[i], second[i])
+		}
+	}
+}
+
+// TestChaosRulesValidate pins the probability range contract.
+func TestChaosRulesValidate(t *testing.T) {
+	for _, tc := range []struct {
+		rules ChaosRules
+		ok    bool
+	}{
+		{ChaosRules{}, true},
+		{ChaosRules{Drop: 0.99, Dup: 0.5, Reorder: 0}, true},
+		{ChaosRules{Drop: 1.0}, false},
+		{ChaosRules{Dup: -0.1}, false},
+		{ChaosRules{Reorder: 2}, false},
+	} {
+		err := tc.rules.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("%+v: %v", tc.rules, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%+v accepted", tc.rules)
+		}
+	}
+}

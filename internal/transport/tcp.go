@@ -397,7 +397,7 @@ func (e *tcpEndpoint) deliver(f *wire.Frame) bool {
 	if len(f.Payload) > 0 {
 		p = append(wire.GetBuf(), f.Payload...)
 	}
-	msg := Message{From: f.From, To: f.To, Tag: f.Tag, TID: f.TID, Kind: f.Kind, Time: f.Time, Payload: p}
+	msg := Message{From: f.From, To: f.To, Tag: f.Tag, TID: f.TID, Kind: f.Kind, Seq: f.Seq, Ack: f.Ack, Dedup: f.Dedup, Time: f.Time, Payload: p}
 	// Fast path: a non-blocking send skips the two-case select
 	// machinery whenever the inbox has room (the common case with a
 	// live consumer).
@@ -428,10 +428,10 @@ func (e *tcpEndpoint) Send(msg Message) error {
 		return fmt.Errorf("transport: bad destination %d", msg.To)
 	}
 	msg.From = e.rank
-	frame := wire.Frame{From: msg.From, To: msg.To, Tag: msg.Tag, TID: msg.TID, Kind: msg.Kind, Time: msg.Time, Payload: msg.Payload}
+	frame := wire.Frame{From: msg.From, To: msg.To, Tag: msg.Tag, TID: msg.TID, Kind: msg.Kind, Seq: msg.Seq, Ack: msg.Ack, Dedup: msg.Dedup, Time: msg.Time, Payload: msg.Payload}
 	conn, err := e.connTo(msg.To)
 	if err != nil {
-		return err
+		return fmt.Errorf("transport: send to node %d (frame kind %d): %w", msg.To, msg.Kind, err)
 	}
 	if e.opts.Coalesce || conn.sw != nil {
 		err = conn.enqueue(&frame, e.opts.maxPending())
@@ -440,7 +440,7 @@ func (e *tcpEndpoint) Send(msg Message) error {
 	}
 	if err != nil {
 		e.dropConn(msg.To, conn)
-		return fmt.Errorf("transport: send to %d: %w", msg.To, err)
+		return fmt.Errorf("transport: send to node %d (frame kind %d): %w", msg.To, msg.Kind, err)
 	}
 	return nil
 }

@@ -11,7 +11,9 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 )
 
@@ -26,8 +28,16 @@ type Message struct {
 	Tag      uint64
 	TID      uint64
 	Kind     uint8
-	Time     float64
-	Payload  []byte
+	// Seq and Ack are the reliability layer's sequence number and
+	// cumulative acknowledgement for the (sender, receiver) direction;
+	// Dedup is the runtime's idempotency id for re-driven requests. All
+	// three are zero on fabrics without the reliability wrapper, and
+	// frames with all three zero keep the version-2 wire layout.
+	Seq     uint64
+	Ack     uint64
+	Dedup   uint64
+	Time    float64
+	Payload []byte
 }
 
 // Endpoint is one node's port into the fabric — the MPI service of
@@ -49,6 +59,41 @@ type Endpoint interface {
 
 // ErrClosed is returned by Recv after Close.
 var ErrClosed = fmt.Errorf("transport: endpoint closed")
+
+// ErrPeerDown is returned (wrapped, with peer and frame-kind context)
+// by a reliability-layer Send once the failure detector has declared
+// the destination dead. Use IsPeerDown to test for it: runtime errors
+// cross the wire as strings, so the sentinel alone is not enough.
+var ErrPeerDown = errors.New("transport: peer down")
+
+// IsPeerDown reports whether err (or its text, for errors that crossed
+// the wire as strings inside response payloads) indicates a dead peer.
+func IsPeerDown(err error) bool {
+	if err == nil {
+		return false
+	}
+	return errors.Is(err, ErrPeerDown) || strings.Contains(err.Error(), "peer down")
+}
+
+// FaultStats is the reliability layer's counter snapshot: frames
+// retransmitted after an ack timeout, frames recovered on the receive
+// side (duplicates suppressed plus out-of-order frames healed by
+// buffering), and peers declared dead.
+type FaultStats struct {
+	Retransmits int64
+	Recovered   int64
+	PeersDown   int64
+}
+
+// Faults returns the endpoint's fault counters if the fabric tracks
+// them (the reliability wrapper does; bare fabrics do not).
+func Faults(ep Endpoint) (FaultStats, bool) {
+	f, ok := ep.(interface{ FaultCounters() FaultStats })
+	if !ok {
+		return FaultStats{}, false
+	}
+	return f.FaultCounters(), true
+}
 
 // CopiesPayload reports whether the fabric's Send consumes
 // msg.Payload before returning — encoding it into a connection batch

@@ -16,20 +16,51 @@ type Frame struct {
 	// asynchronous batches and deferred errors correlate per thread,
 	// not per node. Zero is the system thread (migration, adaptation,
 	// shutdown and other runtime-internal traffic).
-	TID     uint64
-	Kind    uint8
+	TID  uint64
+	Kind uint8
+	// Seq and Ack are the reliability layer's per-(peer, direction)
+	// sequence number and cumulative acknowledgement; Dedup is the
+	// runtime's per-(thread, invocation) idempotency id for re-driven
+	// requests. All three are zero outside fault-tolerant runs, and a
+	// frame with all three zero encodes in the version-2 layout — the
+	// wire stream of a non-fault-tolerant cluster is byte-identical to
+	// the pre-v3 protocol.
+	Seq     uint64
+	Ack     uint64
+	Dedup   uint64
 	Time    float64
 	Payload []byte
 }
 
 // Frame body versions. Version 1 is the pre-thread-id layout (no TID
-// field; decodes with TID 0); version 2 added the logical-thread id.
-// The decoder selects the layout by the version byte alone — a frame
-// can only carry a thread id if its version says so, and an unknown
-// version is a clean error, never a panic or a misparse.
+// field; decodes with TID 0); version 2 added the logical-thread id;
+// version 3 appends the reliability fields (Seq, Ack, Dedup) after the
+// thread id. The decoder selects the layout by the version byte alone —
+// a frame can only carry a thread id or sequence numbers if its version
+// says so, and an unknown version is a clean error, never a panic or a
+// misparse. The encoder picks the smallest sufficient version: frames
+// with zero Seq/Ack/Dedup emit version 2 unchanged.
 const (
 	FrameVersion1 = 1
 	FrameVersion  = 2
+	FrameVersion3 = 3
+)
+
+// Transport-level control kinds. They live at the top of the kind
+// space, far from the runtime's message kinds, and never reach the
+// runtime's handlers: HEARTBEAT frames are absorbed by the reliability
+// layer (they exist to carry liveness and acknowledgements), and
+// PEERDOWN is synthesised locally by the failure detector — it is the
+// one control kind a runtime serve loop does observe.
+const (
+	// KindHeartbeat is a reliability-layer liveness probe carrying the
+	// sender's cumulative acknowledgement. Never sequenced, never
+	// retransmitted, never delivered to the application.
+	KindHeartbeat uint8 = 0xF0
+	// KindPeerDown is the failure detector's verdict, synthesised into
+	// the local receive stream (never sent on the wire): Message.From
+	// names the peer declared dead.
+	KindPeerDown uint8 = 0xF1
 )
 
 // MaxFrameBody bounds a decoded frame body so a corrupted length prefix
@@ -51,7 +82,7 @@ func uvarintLen(v uint64) int {
 // encode the body in place — no intermediate buffer, no allocation
 // beyond growing b itself.
 func frameBodyLen(f *Frame) int {
-	return 1 + // version byte
+	n := 1 + // version byte
 		uvarintLen(uint64(f.From)) +
 		uvarintLen(uint64(f.To)) +
 		uvarintLen(f.Tag) +
@@ -60,21 +91,37 @@ func frameBodyLen(f *Frame) int {
 		8 + // time
 		uvarintLen(uint64(len(f.Payload))) +
 		len(f.Payload)
+	if f.Seq != 0 || f.Ack != 0 || f.Dedup != 0 {
+		n += uvarintLen(f.Seq) + uvarintLen(f.Ack) + uvarintLen(f.Dedup)
+	}
+	return n
 }
 
 // AppendFrame encodes the frame (length-prefixed, versioned body) onto
 // b. It is allocation-free apart from growing b: the body length is
 // computed up front and the fields encode directly into the
 // destination, so a caller appending into a pooled or pre-grown buffer
-// pays nothing per frame. The emitted bytes are identical to the
-// historical two-pass encoder's.
+// pays nothing per frame. Frames without reliability state (Seq, Ack
+// and Dedup all zero) emit the version-2 layout, byte-identical to the
+// historical encoder's; only the reliability layer's frames pay for the
+// version-3 fields.
 func AppendFrame(b []byte, f *Frame) []byte {
 	b = appendUvarint(b, uint64(frameBodyLen(f)))
-	b = append(b, FrameVersion)
+	v3 := f.Seq != 0 || f.Ack != 0 || f.Dedup != 0
+	if v3 {
+		b = append(b, FrameVersion3)
+	} else {
+		b = append(b, FrameVersion)
+	}
 	b = appendUvarint(b, uint64(f.From))
 	b = appendUvarint(b, uint64(f.To))
 	b = appendUvarint(b, f.Tag)
 	b = appendUvarint(b, f.TID)
+	if v3 {
+		b = appendUvarint(b, f.Seq)
+		b = appendUvarint(b, f.Ack)
+		b = appendUvarint(b, f.Dedup)
+	}
 	b = append(b, f.Kind)
 	b = appendFloat(b, f.Time)
 	b = appendUvarint(b, uint64(len(f.Payload)))
@@ -187,7 +234,7 @@ func decodeFrameBody(body []byte) (Frame, error) {
 	rd := NewReader(body)
 	ver := rd.Byte()
 	switch ver {
-	case FrameVersion1, FrameVersion:
+	case FrameVersion1, FrameVersion, FrameVersion3:
 	default:
 		if err := rd.Err(); err != nil {
 			return f, err
@@ -199,6 +246,11 @@ func decodeFrameBody(body []byte) (Frame, error) {
 	f.Tag = rd.Uvarint()
 	if ver >= FrameVersion {
 		f.TID = rd.Uvarint()
+	}
+	if ver >= FrameVersion3 {
+		f.Seq = rd.Uvarint()
+		f.Ack = rd.Uvarint()
+		f.Dedup = rd.Uvarint()
 	}
 	f.Kind = rd.Byte()
 	f.Time = rd.Float()

@@ -8,9 +8,9 @@ import (
 )
 
 // runtimeFrameKinds mirrors the runtime's frame-kind space (NEW=1 …
-// REPLICA-ACK=13). The codec is kind-agnostic, but the thread-id field
+// REHOME=16). The codec is kind-agnostic, but the thread-id field
 // must round-trip on every kind the protocol actually sends.
-var runtimeFrameKinds = []uint8{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13}
+var runtimeFrameKinds = []uint8{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
 
 // TestFrameThreadIDRoundTrip is the round-trip property for the
 // thread-id field: for every runtime frame kind and a spread of thread
@@ -78,7 +78,7 @@ func TestFrameVersion1HasNoThreadID(t *testing.T) {
 // TestFrameUnknownVersionRejected: a version byte the decoder does not
 // know is a clean error, never a panic or a silent misparse.
 func TestFrameUnknownVersionRejected(t *testing.T) {
-	for _, ver := range []byte{0, 3, 77, 255} {
+	for _, ver := range []byte{0, 4, 77, 255} {
 		var f Frame
 		enc := AppendFrame(nil, &f)
 		// The version byte is the first body byte, right after the
@@ -96,6 +96,8 @@ func TestFrameUnknownVersionRejected(t *testing.T) {
 func FuzzReadFrame(f *testing.F) {
 	seed := Frame{From: 2, To: 1, Tag: 9, TID: 1 << 33, Kind: 6, Time: -0.5, Payload: []byte("abc")}
 	f.Add(AppendFrame(nil, &seed))
+	v3 := Frame{From: 1, To: 2, Tag: 3, TID: 4, Seq: 1 << 21, Ack: 7, Dedup: 1 << 40, Kind: 9, Payload: []byte("v3")}
+	f.Add(AppendFrame(nil, &v3))
 	if v1, err := AppendFrameV1(nil, &Frame{From: 1, Kind: 2}); err == nil {
 		f.Add(v1)
 	}
@@ -113,6 +115,7 @@ func FuzzReadFrame(f *testing.F) {
 		}
 		if again.From != got.From || again.To != got.To || again.Tag != got.Tag ||
 			again.TID != got.TID || again.Kind != got.Kind || again.Time != got.Time ||
+			again.Seq != got.Seq || again.Ack != got.Ack || again.Dedup != got.Dedup ||
 			!bytes.Equal(again.Payload, got.Payload) {
 			t.Fatalf("re-decode mismatch: %+v vs %+v", again, got)
 		}

@@ -1,0 +1,159 @@
+package wire
+
+// Recovery-round messages. When the failure detector declares a node
+// dead, the recovery coordinator (rank 0) runs a three-step round over
+// the survivors: RECOVER polls each live node for the replicas it holds
+// of objects owned by the dead rank, PROMOTE instructs the chosen
+// holder to install its replica as the new authoritative copy, and
+// REHOME broadcasts the repaired ownership so every hint and reader set
+// forgets the dead rank. All three ride the ordinary tagged
+// request/response machinery on the system thread.
+
+func appendIDs(b []byte, ids []int64) []byte {
+	b = appendUvarint(b, uint64(len(ids)))
+	for _, id := range ids {
+		b = appendVarint(b, id)
+	}
+	return b
+}
+
+func (r *Reader) ids() []int64 {
+	n := r.count()
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = r.Varint()
+	}
+	return out
+}
+
+// RecoverRequest asks a surviving node which objects it can stand in
+// for: ids it holds a valid replica of whose last known owner is Dead.
+type RecoverRequest struct {
+	Dead int
+}
+
+// Encode serialises the request into a pooled buffer.
+func (m *RecoverRequest) Encode() []byte {
+	return appendUvarint(GetBuf(), uint64(m.Dead))
+}
+
+// DecodeRecoverRequest parses a RecoverRequest payload.
+func DecodeRecoverRequest(data []byte) (RecoverRequest, error) {
+	r := NewReader(data)
+	m := RecoverRequest{Dead: int(r.Uvarint())}
+	return m, r.Err()
+}
+
+// RecoverResponse lists the replica-backed ids the responder can
+// promote for the dead rank.
+type RecoverResponse struct {
+	IDs []int64
+	Err string
+}
+
+// Encode serialises the response into a pooled buffer.
+func (m *RecoverResponse) Encode() []byte {
+	b := appendIDs(GetBuf(), m.IDs)
+	return appendString(b, m.Err)
+}
+
+// DecodeRecoverResponse parses a RecoverResponse payload.
+func DecodeRecoverResponse(data []byte) (RecoverResponse, error) {
+	r := NewReader(data)
+	m := RecoverResponse{IDs: r.ids(), Err: r.String()}
+	return m, r.Err()
+}
+
+// PromoteRequest instructs the receiver to promote its replicas of the
+// listed ids (owned by Dead) to authoritative copies.
+type PromoteRequest struct {
+	Dead int
+	IDs  []int64
+}
+
+// Encode serialises the request into a pooled buffer.
+func (m *PromoteRequest) Encode() []byte {
+	b := appendUvarint(GetBuf(), uint64(m.Dead))
+	return appendIDs(b, m.IDs)
+}
+
+// DecodePromoteRequest parses a PromoteRequest payload.
+func DecodePromoteRequest(data []byte) (PromoteRequest, error) {
+	r := NewReader(data)
+	m := PromoteRequest{Dead: int(r.Uvarint()), IDs: r.ids()}
+	return m, r.Err()
+}
+
+// PromoteResponse reports which ids were actually promoted (a replica
+// may have been invalidated between RECOVER and PROMOTE).
+type PromoteResponse struct {
+	Promoted []int64
+	Err      string
+}
+
+// Encode serialises the response into a pooled buffer.
+func (m *PromoteResponse) Encode() []byte {
+	b := appendIDs(GetBuf(), m.Promoted)
+	return appendString(b, m.Err)
+}
+
+// DecodePromoteResponse parses a PromoteResponse payload.
+func DecodePromoteResponse(data []byte) (PromoteResponse, error) {
+	r := NewReader(data)
+	m := PromoteResponse{Promoted: r.ids(), Err: r.String()}
+	return m, r.Err()
+}
+
+// RehomeRequest repairs ownership metadata after promotion: every
+// listed id now lives at the parallel Homes entry, and all traces of
+// the dead rank (hints, reader-set entries) must be dropped.
+type RehomeRequest struct {
+	Dead  int
+	IDs   []int64
+	Homes []int
+}
+
+// Encode serialises the request into a pooled buffer.
+func (m *RehomeRequest) Encode() []byte {
+	b := appendUvarint(GetBuf(), uint64(m.Dead))
+	b = appendIDs(b, m.IDs)
+	b = appendUvarint(b, uint64(len(m.Homes)))
+	for _, h := range m.Homes {
+		b = appendUvarint(b, uint64(h))
+	}
+	return b
+}
+
+// DecodeRehomeRequest parses a RehomeRequest payload.
+func DecodeRehomeRequest(data []byte) (RehomeRequest, error) {
+	r := NewReader(data)
+	m := RehomeRequest{Dead: int(r.Uvarint()), IDs: r.ids()}
+	n := r.count()
+	if r.Err() == nil && n > 0 {
+		m.Homes = make([]int, n)
+		for i := range m.Homes {
+			m.Homes[i] = int(r.Uvarint())
+		}
+	}
+	return m, r.Err()
+}
+
+// RehomeResponse acknowledges a rehome broadcast.
+type RehomeResponse struct {
+	Err string
+}
+
+// Encode serialises the response into a pooled buffer.
+func (m *RehomeResponse) Encode() []byte {
+	return appendString(GetBuf(), m.Err)
+}
+
+// DecodeRehomeResponse parses a RehomeResponse payload.
+func DecodeRehomeResponse(data []byte) (RehomeResponse, error) {
+	r := NewReader(data)
+	m := RehomeResponse{Err: r.String()}
+	return m, r.Err()
+}

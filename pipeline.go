@@ -17,6 +17,7 @@ import (
 	"autodist/internal/quad"
 	"autodist/internal/rewrite"
 	"autodist/internal/runtime"
+	"autodist/internal/transport"
 	"autodist/internal/vm"
 )
 
@@ -96,6 +97,38 @@ type Config struct {
 	// its stamped access kinds degrade to plain synchronous accesses
 	// (the A/B baseline on identical bytecode).
 	Replicate bool
+	// FailureRecovery makes a deployment survive node loss: every
+	// endpoint is wrapped with the transport reliability layer
+	// (sequence-numbered frames, ack-driven retransmission, heartbeat
+	// failure detection) and the runtime's recovery protocol is armed —
+	// a dead node's replicated objects are promoted on survivors,
+	// ownership metadata is repaired cluster-wide, and invocations that
+	// hit the dead node are re-driven with their completed prefix
+	// replayed from dedup journals (exactly-once effects). Node 0 hosts
+	// the ExecutionStarter and the recovery coordinator; its loss is
+	// not survivable. Requires K ≥ 2. Off (the default), the wire
+	// stream is byte-identical to a non-recovering deployment.
+	FailureRecovery bool
+	// HeartbeatInterval is the reliability layer's liveness-probe
+	// period (0 = 25ms); a peer silent for four intervals is declared
+	// dead. Requires FailureRecovery.
+	HeartbeatInterval time.Duration
+	// RetransmitTimeout is the base ack timeout before a frame is
+	// resent (0 = 50ms), backed off exponentially per attempt. Requires
+	// FailureRecovery.
+	RetransmitTimeout time.Duration
+	// ChaosSeed, ChaosDrop, ChaosDup and ChaosReorder configure the
+	// deterministic fault-injection layer under the reliability layer:
+	// per-link seeded random streams drop, duplicate or reorder frames
+	// with the given probabilities (each in [0,1)), replaying the same
+	// fault pattern for the same seed. The reliability layer must heal
+	// everything injected. Chaos requires FailureRecovery; all-zero
+	// probabilities inject nothing (the wrapper still enables
+	// Cluster.FailNode).
+	ChaosSeed    int64
+	ChaosDrop    float64
+	ChaosDup     float64
+	ChaosReorder float64
 	// MaxConcurrent is the number of entrypoint invocations a deployed
 	// cluster runs at once: Cluster.Invoke admits that many concurrent
 	// logical threads (each with its own thread id on the wire and
@@ -151,7 +184,28 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("autodist: TCP requires a distributed run (K ≥ 2)")
 		case c.MaxConcurrent > 1:
 			return fmt.Errorf("autodist: MaxConcurrent requires a distributed deployment (K ≥ 2)")
+		case c.FailureRecovery:
+			return fmt.Errorf("autodist: FailureRecovery requires a distributed deployment (K ≥ 2)")
 		}
+	}
+	if c.HeartbeatInterval < 0 {
+		return fmt.Errorf("autodist: negative HeartbeatInterval %v", c.HeartbeatInterval)
+	}
+	if c.RetransmitTimeout < 0 {
+		return fmt.Errorf("autodist: negative RetransmitTimeout %v", c.RetransmitTimeout)
+	}
+	if !c.FailureRecovery {
+		if c.HeartbeatInterval != 0 || c.RetransmitTimeout != 0 {
+			return fmt.Errorf("autodist: HeartbeatInterval/RetransmitTimeout require FailureRecovery")
+		}
+		if c.ChaosSeed != 0 || c.ChaosDrop != 0 || c.ChaosDup != 0 || c.ChaosReorder != 0 {
+			return fmt.Errorf("autodist: chaos injection requires FailureRecovery")
+		}
+	}
+	if err := (transport.ChaosRules{
+		Seed: c.ChaosSeed, Drop: c.ChaosDrop, Dup: c.ChaosDup, Reorder: c.ChaosReorder,
+	}).Validate(); err != nil {
+		return fmt.Errorf("autodist: %w", err)
 	}
 	if c.TCPNoCoalesce && !c.TCP {
 		return fmt.Errorf("autodist: TCPNoCoalesce requires TCP")
@@ -227,6 +281,17 @@ type RunResult struct {
 	// cross-invocation retention of a resident deployment. Always zero
 	// on one-shot runs.
 	RetainedHits int64
+	// Retransmits counts frames the reliability layer resent after an
+	// ack timeout; Recoveries counts frames it healed on the receive
+	// side (retransmitted-then-delivered plus duplicates suppressed).
+	// PromotedReplicas counts replica shadows promoted to authoritative
+	// owner after a node death; RedrivenInvocations counts entrypoint
+	// invocations re-executed against the promoted copies. All are zero
+	// unless the deployment used Config.FailureRecovery.
+	Retransmits         int64
+	Recoveries          int64
+	PromotedReplicas    int64
+	RedrivenInvocations int64
 }
 
 // fillStats copies the runtime's protocol counters into the result.
@@ -242,6 +307,10 @@ func (r *RunResult) fillStats(s runtime.NodeStats) {
 	r.ReplicaFetches = s.ReplicaFetches
 	r.Invalidations = s.Invalidations
 	r.RetainedHits = s.RetainedHits
+	r.Retransmits = s.Retransmits
+	r.Recoveries = s.Recoveries
+	r.PromotedReplicas = s.PromotedReplicas
+	r.RedrivenInvocations = s.RedrivenInvocations
 }
 
 // newVM is the shared VM-setup path of Program.Run and

@@ -332,6 +332,13 @@ func TestConfigValidate(t *testing.T) {
 		{"serialised distributed", autodist.Config{K: 2, MaxConcurrent: 1}, true},
 		{"concurrency sequential", autodist.Config{K: 1, MaxConcurrent: 8}, false},
 		{"negative concurrency", autodist.Config{K: 2, MaxConcurrent: -1}, false},
+		{"recovery distributed", autodist.Config{K: 2, FailureRecovery: true}, true},
+		{"recovery sequential", autodist.Config{K: 1, FailureRecovery: true}, false},
+		{"chaos without recovery", autodist.Config{K: 2, ChaosDrop: 0.1}, false},
+		{"heartbeat without recovery", autodist.Config{K: 2, HeartbeatInterval: time.Millisecond}, false},
+		{"negative heartbeat", autodist.Config{K: 2, FailureRecovery: true, HeartbeatInterval: -time.Millisecond}, false},
+		{"chaos probability out of range", autodist.Config{K: 2, FailureRecovery: true, ChaosDrop: 1.5}, false},
+		{"chaos valid", autodist.Config{K: 2, FailureRecovery: true, ChaosSeed: 7, ChaosDrop: 0.01}, true},
 	}
 	for _, tc := range cases {
 		err := tc.cfg.Validate()
