@@ -19,10 +19,12 @@ import (
 	"autodist/internal/bytecode"
 	"autodist/internal/compile"
 	"autodist/internal/experiments"
+	"autodist/internal/jit"
 	"autodist/internal/partition"
 	"autodist/internal/profiler"
 	"autodist/internal/rewrite"
 	"autodist/internal/runtime"
+	"autodist/internal/vm"
 )
 
 var printOnce sync.Map
@@ -490,6 +492,63 @@ func BenchmarkConcurrentInvoke(b *testing.B) {
 			}
 			b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "invocations/s")
 		})
+	}
+}
+
+// BenchmarkCompiledKernels times the tiered-execution kernels on both
+// tiers — sub-benchmark Interp runs the pure interpreter, Compiled the
+// quad→Go compiled tier — and reports the resulting speedup as a
+// metric, so `go test -bench=CompiledKernels` regenerates the numbers
+// committed to BENCH_compile.json. Output equality against each
+// kernel's golden checksum is enforced on every iteration.
+func BenchmarkCompiledKernels(b *testing.B) {
+	for _, name := range bench.CompileKernelNames() {
+		p, err := bench.Get(name)
+		if err != nil {
+			b.Fatal(err)
+		}
+		build := func(compileTier bool) (*vm.VM, *strings.Builder) {
+			bp, _, err := compile.CompileSource(p.Source)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m, err := vm.New(bp)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sb := &strings.Builder{}
+			m.Out = sb
+			m.MaxSteps = 10_000_000_000
+			if compileTier {
+				m.EnableJIT(1, jit.Backend(m))
+			}
+			return m, sb
+		}
+		nsPerOp := map[string]float64{}
+		for _, tier := range []struct {
+			name    string
+			compile bool
+		}{{"Interp", false}, {"Compiled", true}} {
+			b.Run(name+"/"+tier.name, func(b *testing.B) {
+				m, sb := build(tier.compile)
+				b.ResetTimer()
+				start := time.Now()
+				for i := 0; i < b.N; i++ {
+					sb.Reset()
+					if err := m.RunMain(); err != nil {
+						b.Fatal(err)
+					}
+					if sb.String() != p.ExpectOutput {
+						b.Fatalf("%s (%s): output %q, want %q", name, tier.name, sb.String(), p.ExpectOutput)
+					}
+				}
+				b.StopTimer()
+				nsPerOp[tier.name] = float64(time.Since(start).Nanoseconds()) / float64(b.N)
+				if tier.compile && nsPerOp["Interp"] > 0 {
+					b.ReportMetric(nsPerOp["Interp"]/nsPerOp["Compiled"], "speedup-x")
+				}
+			})
+		}
 	}
 }
 

@@ -143,6 +143,7 @@ func (d *Distribution) Deploy(cfg Config) (*Cluster, error) {
 		Out: out, CPUSpeeds: cfg.CPUSpeeds, Net: cfg.Net, MaxSteps: maxSteps,
 		Unoptimized: cfg.Unoptimized, AdaptEvery: cfg.AdaptEvery, Replicate: cfg.Replicate,
 		MaxConcurrent: cfg.MaxConcurrent, FailureRecovery: cfg.FailureRecovery,
+		Compile: cfg.Compile, CompileThreshold: compileThreshold(cfg),
 	})
 	if err != nil {
 		return nil, err
@@ -205,6 +206,13 @@ type InvokeResult struct {
 	// re-executed after a node death (0 on the failure-free path; see
 	// Config.FailureRecovery).
 	RedrivenInvocations int64
+	// CompiledMethods, TierUps and Deopts are this invocation's share
+	// of the tiered-execution activity: compilations its logical
+	// thread triggered, compiled frames it entered, and deopt
+	// fallbacks it took (see Config.Compile).
+	CompiledMethods int64
+	TierUps         int64
+	Deopts          int64
 }
 
 // Invoke executes a named static entrypoint of the ExecutionStarter
@@ -250,6 +258,9 @@ func (c *Cluster) Invoke(entry string, args ...Value) (*InvokeResult, error) {
 		RetainedHits:   delta.RetainedHits,
 
 		RedrivenInvocations: delta.RedrivenInvocations,
+		CompiledMethods:     delta.CompiledMethods,
+		TierUps:             delta.TierUps,
+		Deopts:              delta.Deopts,
 	}, nil
 }
 

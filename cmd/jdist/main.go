@@ -8,6 +8,7 @@
 //	jdist -k 2 prog.mj                      # analyze + partition + rewrite, print summary
 //	jdist -k 2 -crg crg.vcg -odg odg.vcg prog.mj
 //	jdist -quads Bank.main prog.mj          # Figure 5-style quad listing
+//	jdist -tier Bank.main prog.mj           # quads + compiled-op listing + deopt points
 //	jdist -asm Bank.main -target x86 prog.mj
 //	jdist -k 2 -dump-node 0 prog.mj         # disassemble node 0's rewritten code
 package main
@@ -22,9 +23,11 @@ import (
 	"autodist/internal/bytecode"
 	"autodist/internal/codegen"
 	"autodist/internal/compile"
+	"autodist/internal/jit"
 	"autodist/internal/partition"
 	"autodist/internal/quad"
 	"autodist/internal/rewrite"
+	"autodist/internal/vm"
 )
 
 func main() {
@@ -35,6 +38,7 @@ func main() {
 	crgOut := flag.String("crg", "", "write class relation graph VCG to file")
 	odgOut := flag.String("odg", "", "write object dependence graph VCG to file")
 	quads := flag.String("quads", "", "print quad IR for Class.method")
+	tier := flag.String("tier", "", "print the tiered-execution view of Class.method: quads, the compiled-op listing and its deopt points")
 	asm := flag.String("asm", "", "print generated assembly for Class.method")
 	target := flag.String("target", "x86", "code generation target: x86|strongarm")
 	dumpNode := flag.Int("dump-node", -1, "disassemble the rewritten program for this node")
@@ -61,10 +65,13 @@ func main() {
 		die(err)
 	}
 
-	if *quads != "" || *asm != "" {
+	if *quads != "" || *asm != "" || *tier != "" {
 		spec := *quads
 		if spec == "" {
 			spec = *asm
+		}
+		if spec == "" {
+			spec = *tier
 		}
 		cls, meth, ok := strings.Cut(spec, ".")
 		if !ok {
@@ -84,6 +91,30 @@ func main() {
 		}
 		if *quads != "" {
 			fmt.Print(f.Format())
+			return
+		}
+		if *tier != "" {
+			// The tier view pairs the quad IR with what the compiled
+			// tier makes of it: one Go closure per quad, and a deopt
+			// annotation wherever execution must fall back to the
+			// interpreter (access-mediated sites resolve to native
+			// methods, so every one of them is a deopt point).
+			machine, err := vm.New(prog.Clone())
+			if err != nil {
+				die(err)
+			}
+			vc := machine.Class(cls)
+			if vc == nil {
+				die(fmt.Errorf("class %s not loaded", cls))
+			}
+			fmt.Print(f.Format())
+			fmt.Println()
+			cm, err := jit.Compile(machine, vc, vc.File.MethodByName(meth))
+			if err != nil {
+				fmt.Printf("not compilable: %v\n", err)
+				return
+			}
+			fmt.Print(cm.Listing())
 			return
 		}
 		out, err := codegen.Generate(f, *target)

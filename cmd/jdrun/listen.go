@@ -63,7 +63,7 @@ func listenLoop(dist *autodist.Distribution, cfg autodist.Config, addr string) e
 	if err := cluster.Shutdown(context.Background()); err != nil {
 		return err
 	}
-	printSummary(cfg.K, cluster.Stats(), cfg.Adaptive, cfg.Replicate, cfg.FailureRecovery, len(cfg.CPUSpeeds) > 0, served)
+	printSummary(cfg.K, cluster.Stats(), cfg.Adaptive, cfg.Replicate, cfg.FailureRecovery, len(cfg.CPUSpeeds) > 0, cfg.Compile, served)
 	return nil
 }
 
@@ -84,11 +84,14 @@ func serveConn(c net.Conn, cluster *autodist.Cluster, shutdown func()) {
 		case line == "!stats":
 			res := cluster.Stats()
 			snap := benchfmt.StatsSnapshot{
-				Invocations: cluster.Invocations(),
-				Messages:    res.Messages,
-				Bytes:       res.BytesSent,
-				Retransmits: res.Retransmits,
-				Recoveries:  res.Recoveries,
+				Invocations:     cluster.Invocations(),
+				Messages:        res.Messages,
+				Bytes:           res.BytesSent,
+				Retransmits:     res.Retransmits,
+				Recoveries:      res.Recoveries,
+				CompiledMethods: res.CompiledMethods,
+				TierUps:         res.TierUps,
+				Deopts:          res.Deopts,
 			}
 			data, _ := json.Marshal(snap)
 			fmt.Fprintf(w, "!stats %s\n", data)

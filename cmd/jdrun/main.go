@@ -99,6 +99,8 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", 0, "liveness-probe period for -recover (0 = default)")
 	retransmit := flag.Duration("retransmit", 0, "base ack timeout before a frame is resent under -recover (0 = default)")
 	chaos := flag.String("chaos", "", `deterministic fault injection under -recover: "drop=0.01,dup=0.01,reorder=0.01,seed=7"`)
+	compileTier := flag.Bool("compile", false, "tiered execution: compile hot methods from quads to Go closures (deopt keeps behaviour identical)")
+	compileThreshold := flag.Int("compile-threshold", 0, "hotness count that promotes a method under -compile (0 = default)")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		flag.Usage()
@@ -123,6 +125,7 @@ func main() {
 		Adaptive: *adaptive, AdaptEvery: *adaptEvery, Replicate: *replicate,
 		MaxConcurrent:   *concurrency,
 		FailureRecovery: *recover, HeartbeatInterval: *heartbeat, RetransmitTimeout: *retransmit,
+		Compile: *compileTier, CompileThreshold: *compileThreshold,
 	}
 	if *chaos != "" {
 		if err := parseChaos(*chaos, &cfg); err != nil {
@@ -172,6 +175,10 @@ func main() {
 		if err != nil {
 			die(err)
 		}
+		if *compileTier {
+			fmt.Fprintf(os.Stderr, "tiered execution: %d compiled methods, %d tier-ups, %d deopts\n",
+				res.CompiledMethods, res.TierUps, res.Deopts)
+		}
 		if *sim {
 			fmt.Fprintf(os.Stderr, "simulated time: %.6fs (wall %v)\n", res.SimSeconds, res.Wall)
 		}
@@ -212,7 +219,7 @@ func main() {
 	if err != nil {
 		die(err)
 	}
-	printSummary(*k, res, *adaptive, *replicate, *recover, *sim, -1)
+	printSummary(*k, res, *adaptive, *replicate, *recover, *sim, *compileTier, -1)
 }
 
 // serveLoop deploys the distribution resident and invokes one
@@ -317,7 +324,7 @@ func serveLoop(dist *autodist.Distribution, cfg autodist.Config) error {
 				w, stats[w].invocations, stats[w].messages, stats[w].bytes, stats[w].failures)
 		}
 	}
-	printSummary(cfg.K, cluster.Stats(), cfg.Adaptive, cfg.Replicate, cfg.FailureRecovery, len(cfg.CPUSpeeds) > 0, served)
+	printSummary(cfg.K, cluster.Stats(), cfg.Adaptive, cfg.Replicate, cfg.FailureRecovery, len(cfg.CPUSpeeds) > 0, cfg.Compile, served)
 	return nil
 }
 
@@ -373,7 +380,7 @@ func parseArg(f string) autodist.Value {
 
 // printSummary writes the cumulative traffic counters to stderr.
 // served < 0 means a one-shot batch run.
-func printSummary(k int, res *autodist.RunResult, adaptive, replicate, recovery, sim bool, served int64) {
+func printSummary(k int, res *autodist.RunResult, adaptive, replicate, recovery, sim, compiled bool, served int64) {
 	if served >= 0 {
 		fmt.Fprintf(os.Stderr, "served %d invocations over %d nodes: %d messages, %d payload bytes (wall %v)\n",
 			served, k, res.Messages, res.BytesSent, res.Wall)
@@ -398,6 +405,10 @@ func printSummary(k int, res *autodist.RunResult, adaptive, replicate, recovery,
 	if recovery {
 		fmt.Fprintf(os.Stderr, "fault tolerance: %d retransmits, %d recovered frames, %d promoted replicas, %d re-driven invocations\n",
 			res.Retransmits, res.Recoveries, res.PromotedReplicas, res.RedrivenInvocations)
+	}
+	if compiled {
+		fmt.Fprintf(os.Stderr, "tiered execution: %d compiled methods, %d tier-ups, %d deopts\n",
+			res.CompiledMethods, res.TierUps, res.Deopts)
 	}
 	if sim {
 		fmt.Fprintf(os.Stderr, "simulated time: %.6fs\n", res.SimSeconds)

@@ -26,6 +26,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
@@ -39,8 +40,12 @@ import (
 	"testing"
 	"time"
 
+	"autodist/internal/bench"
 	"autodist/internal/benchfmt"
+	"autodist/internal/compile"
+	"autodist/internal/jit"
 	"autodist/internal/transport"
+	"autodist/internal/vm"
 	"autodist/internal/wire"
 )
 
@@ -60,7 +65,11 @@ func main() {
 	out := flag.String("out", "", "write (or merge into) this BENCH_transport.json")
 	allocs := flag.Bool("allocs", true, "measure allocations per transport Send in-process")
 	expectFaults := flag.Bool("expect-faults", false, "fail unless the server reports nonzero retransmits and recoveries (chaos smoke runs)")
-	validate := flag.String("validate", "", "validate an existing report and exit")
+	compileTier := flag.Bool("compile", false, "server tiered-execution mode (metadata): record compile counters from !stats deltas")
+	kernels := flag.String("kernels", "", "in-process interpreted-vs-compiled A/B over these bench kernels (comma-separated, or \"all\"); writes a BENCH_compile.json report to -out")
+	kernelIters := flag.Int("kernel-iters", 3, "main() invocations per side in -kernels mode")
+	kernelThreshold := flag.Int("kernel-threshold", 1, "hotness threshold for the compiled side in -kernels mode")
+	validate := flag.String("validate", "", "validate an existing report (transport or compile, sniffed) and exit")
 	flag.Parse()
 
 	die := func(err error) {
@@ -68,15 +77,19 @@ func main() {
 		os.Exit(1)
 	}
 	if *validate != "" {
-		r, err := benchfmt.ReadTransportReport(*validate)
-		if err != nil {
+		if err := validateReport(*validate); err != nil {
 			die(err)
 		}
-		fmt.Printf("%s: valid (%d runs, %.0f allocs/send)\n", *validate, len(r.Runs), r.AllocsPerSend)
+		return
+	}
+	if *kernels != "" {
+		if err := runKernels(*kernels, *kernelIters, *kernelThreshold, *out); err != nil {
+			die(err)
+		}
 		return
 	}
 	if *addr == "" {
-		die(fmt.Errorf("-addr is required (or -validate)"))
+		die(fmt.Errorf("-addr is required (or -validate / -kernels)"))
 	}
 
 	run, err := drive(*addr, *conns, *initLine, *line, *warmup, *duration)
@@ -88,6 +101,7 @@ func main() {
 	run.K = *k
 	run.Coalesce = *coalesce
 	run.Compress = *compress
+	run.Compile = *compileTier
 
 	var allocsPerSend float64
 	if *allocs {
@@ -250,7 +264,156 @@ func drive(addr string, conns int, initLine, line string, warmup, duration time.
 	// layer work.
 	run.Retransmits = after.Retransmits - before.Retransmits
 	run.Recoveries = after.Recoveries - before.Recoveries
+	// Tiered-execution counters: nonzero only against a -compile
+	// server (compilations may all land in warmup; tier-ups keep
+	// accumulating through the window).
+	run.CompiledMethods = after.CompiledMethods - before.CompiledMethods
+	run.TierUps = after.TierUps - before.TierUps
+	run.Deopts = after.Deopts - before.Deopts
 	return run, nil
+}
+
+// validateReport validates a committed benchmark report, sniffing its
+// type from the "benchmark" field.
+func validateReport(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var head struct {
+		Benchmark string `json:"benchmark"`
+	}
+	if err := json.Unmarshal(data, &head); err != nil {
+		return fmt.Errorf("loadgen: %s: %w", path, err)
+	}
+	switch head.Benchmark {
+	case "compile_kernels":
+		r, err := benchfmt.ReadCompileReport(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: valid (%d kernels, threshold %d)\n", path, len(r.Runs), r.Threshold)
+	default:
+		r, err := benchfmt.ReadTransportReport(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: valid (%d runs, %.0f allocs/send)\n", path, len(r.Runs), r.AllocsPerSend)
+	}
+	return nil
+}
+
+// runKernels measures the tiered-execution speedup in-process: each
+// kernel's main() runs -kernel-iters times on a pure interpreter and
+// again on a JIT-enabled VM (threshold -kernel-threshold), outputs are
+// required to be byte-identical (and to match the kernel's registered
+// expectation), and the per-iteration wall-time ratio is recorded. The
+// report merges into -out like the transport report does, replacing
+// same-kernel rows.
+func runKernels(spec string, iters, threshold int, out string) error {
+	names := bench.CompileKernelNames()
+	if spec != "all" {
+		names = strings.Split(spec, ",")
+	}
+	if iters < 1 {
+		iters = 1
+	}
+	report := &benchfmt.CompileReport{
+		Benchmark: "compile_kernels",
+		Date:      time.Now().Format("2006-01-02"),
+		Host:      fmt.Sprintf("%s/%s, %d cpus", runtime.GOOS, runtime.GOARCH, runtime.NumCPU()),
+		Threshold: threshold,
+	}
+	if out != "" {
+		if prev, err := benchfmt.ReadCompileReport(out); err == nil {
+			report = prev
+			report.Date = time.Now().Format("2006-01-02")
+			report.Threshold = threshold
+		}
+	}
+	for _, name := range names {
+		run, err := measureKernel(strings.TrimSpace(name), iters, threshold)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: interp %.2fms/op, compiled %.2fms/op, speedup %.1fx (%d compiled, %d tier-ups, %d deopts)\n",
+			run.Kernel, run.InterpNsPerOp/1e6, run.CompiledNsPerOp/1e6, run.Speedup,
+			run.CompiledMethods, run.TierUps, run.Deopts)
+		kept := report.Runs[:0]
+		for _, r := range report.Runs {
+			if r.Kernel != run.Kernel {
+				kept = append(kept, r)
+			}
+		}
+		report.Runs = append(kept, *run)
+	}
+	if out == "" {
+		return nil
+	}
+	return benchfmt.WriteCompileReport(out, report)
+}
+
+// measureKernel runs one kernel on both tiers and returns its row.
+func measureKernel(name string, iters, threshold int) (*benchfmt.CompileRun, error) {
+	prog, err := bench.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	build := func() (*vm.VM, *strings.Builder, error) {
+		bp, _, err := compile.CompileSource(prog.Source)
+		if err != nil {
+			return nil, nil, fmt.Errorf("%s: %w", name, err)
+		}
+		m, err := vm.New(bp)
+		if err != nil {
+			return nil, nil, err
+		}
+		sb := &strings.Builder{}
+		m.Out = sb
+		m.MaxSteps = 10_000_000_000
+		return m, sb, nil
+	}
+	timeSide := func(enable bool) (float64, *vm.VM, string, error) {
+		m, sb, err := build()
+		if err != nil {
+			return 0, nil, "", err
+		}
+		if enable {
+			m.EnableJIT(threshold, jit.Backend(m))
+		}
+		t0 := time.Now()
+		for i := 0; i < iters; i++ {
+			if err := m.RunMain(); err != nil {
+				return 0, nil, "", fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		return float64(time.Since(t0).Nanoseconds()) / float64(iters), m, sb.String(), nil
+	}
+	interpNs, _, interpOut, err := timeSide(false)
+	if err != nil {
+		return nil, err
+	}
+	compiledNs, mj, compiledOut, err := timeSide(true)
+	if err != nil {
+		return nil, err
+	}
+	if interpOut != compiledOut {
+		return nil, fmt.Errorf("%s: tiered output diverged:\ninterp:\n%s\ncompiled:\n%s", name, interpOut, compiledOut)
+	}
+	if prog.ExpectOutput != "" && compiledOut != strings.Repeat(prog.ExpectOutput, iters) {
+		return nil, fmt.Errorf("%s: unexpected output %q", name, compiledOut)
+	}
+	cm, tu, d := mj.JITStats()
+	return &benchfmt.CompileRun{
+		Kernel:          name,
+		Iters:           iters,
+		InterpNsPerOp:   interpNs,
+		CompiledNsPerOp: compiledNs,
+		Speedup:         interpNs / compiledNs,
+		CompiledMethods: int64(cm),
+		TierUps:         int64(tu),
+		Deopts:          int64(d),
+	}, nil
 }
 
 // client is one line-protocol connection to the server.

@@ -782,3 +782,104 @@ class MonteCarlo {
 }`,
 	})
 }
+
+// CompileKernelNames returns the tiered-execution benchmark kernels:
+// compute-bound loops with no native calls on the hot path, so the
+// compiled tier's speedup is measured on pure interpretation overhead
+// (the BENCH_compile.json workloads).
+func CompileKernelNames() []string {
+	return []string{"kernel_int", "kernel_float", "kernel_array", "kernel_rec"}
+}
+
+func init() {
+	register(Program{
+		Name:         "kernel_int",
+		Description:  "tiered-execution kernel: integer arithmetic/logic loop, no natives on the hot path",
+		ExpectOutput: "kernel_int: 9201402379481030590\n",
+		Source: `
+class Main {
+	static int mix(int s, int i) {
+		s = s + i * i - (i / 3) + (i % 7);
+		s = s ^ (i << 2);
+		s = s + (s >> 3);
+		return s;
+	}
+	static void main() {
+		int s = 0;
+		for (int i = 0; i < 200000; i++) {
+			s = mix(s, i);
+		}
+		System.println("kernel_int: " + s);
+	}
+}`,
+	})
+
+	register(Program{
+		Name:         "kernel_float",
+		Description:  "tiered-execution kernel: floating-point recurrence loop, no natives on the hot path",
+		ExpectOutput: "kernel_float: 0\n",
+		Source: `
+class Main {
+	static void main() {
+		float s = 0.0;
+		float x = 1.5;
+		for (int i = 0; i < 200000; i++) {
+			s = s + x * 1.0001 - s / 3.5;
+			x = 0.0 - x;
+		}
+		int positive = 0;
+		if (s > 0.0) { positive = 1; }
+		System.println("kernel_float: " + positive);
+	}
+}`,
+	})
+
+	register(Program{
+		Name:         "kernel_array",
+		Description:  "tiered-execution kernel: in-place array heapsort-style sweeps, no natives on the hot path",
+		ExpectOutput: "kernel_array: 523776\n",
+		Source: `
+class Main {
+	static void main() {
+		int n = 1024;
+		int[] a = new int[n];
+		for (int i = 0; i < n; i++) {
+			a[i] = (i * 1103515245 + 12345) & 1023;
+		}
+		for (int pass = 0; pass < 200; pass++) {
+			for (int i = 1; i < n; i++) {
+				int v = a[i];
+				int j = i - 1;
+				boolean moving = true;
+				while (moving) {
+					if (j < 0) { moving = false; }
+					else if (a[j] > v) { a[j + 1] = a[j]; j--; }
+					else { moving = false; }
+				}
+				a[j + 1] = v;
+			}
+			a[pass % n] = pass & 1023;
+		}
+		int s = 0;
+		for (int i = 0; i < n; i++) { s += a[i]; }
+		System.println("kernel_array: " + s);
+	}
+}`,
+	})
+
+	register(Program{
+		Name:         "kernel_rec",
+		Description:  "tiered-execution kernel: recursive fibonacci, call-heavy with no natives",
+		ExpectOutput: "kernel_rec: 196418\n",
+		Source: `
+class Main {
+	static int fib(int n) {
+		if (n < 2) { return n; }
+		return fib(n - 1) + fib(n - 2);
+	}
+	static void main() {
+		System.println("kernel_rec: " + fib(27));
+	}
+}`,
+	})
+}

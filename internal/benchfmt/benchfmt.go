@@ -30,6 +30,11 @@ type StatsSnapshot struct {
 	// server runs with -recover.
 	Retransmits int64 `json:"retransmits,omitempty"`
 	Recoveries  int64 `json:"recoveries,omitempty"`
+	// CompiledMethods/TierUps/Deopts are the tiered-execution counters;
+	// all zero unless the server runs with -compile.
+	CompiledMethods int64 `json:"compiled_methods,omitempty"`
+	TierUps         int64 `json:"tier_ups,omitempty"`
+	Deopts          int64 `json:"deopts,omitempty"`
 }
 
 // ParseStatsReply parses the server's "!stats {json}" reply line.
@@ -75,6 +80,13 @@ type TransportRun struct {
 	// against a -recover server, typically with -chaos injection.
 	Retransmits int64 `json:"retransmits,omitempty"`
 	Recoveries  int64 `json:"recoveries,omitempty"`
+	// Compile records whether the server ran with tiered execution;
+	// CompiledMethods/TierUps/Deopts are its !stats deltas over the
+	// window when it did.
+	Compile         bool  `json:"compile,omitempty"`
+	CompiledMethods int64 `json:"compiled_methods,omitempty"`
+	TierUps         int64 `json:"tier_ups,omitempty"`
+	Deopts          int64 `json:"deopts,omitempty"`
 }
 
 // TransportReport is the committed BENCH_transport.json document.
@@ -151,6 +163,102 @@ func ReadTransportReport(path string) (*TransportReport, error) {
 // WriteTransportReport validates and writes the report with stable
 // indentation (committed artifacts diff cleanly).
 func WriteTransportReport(path string, r *TransportReport) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// CompileRun is one kernel measured interpreted vs compiled: the
+// tiered-execution A/B the BENCH_compile.json report commits.
+type CompileRun struct {
+	// Kernel names the workload (a bench.Programs entry).
+	Kernel string `json:"kernel"`
+	// Iters is how many times the kernel entrypoint ran per side.
+	Iters int `json:"iters"`
+	// InterpNsPerOp/CompiledNsPerOp are the per-iteration wall times.
+	InterpNsPerOp   float64 `json:"interp_ns_per_op"`
+	CompiledNsPerOp float64 `json:"compiled_ns_per_op"`
+	// Speedup is InterpNsPerOp / CompiledNsPerOp.
+	Speedup float64 `json:"speedup"`
+	// CompiledMethods/TierUps/Deopts are the compiled side's counters.
+	CompiledMethods int64 `json:"compiled_methods"`
+	TierUps         int64 `json:"tier_ups"`
+	Deopts          int64 `json:"deopts,omitempty"`
+}
+
+// CompileReport is the committed BENCH_compile.json document.
+type CompileReport struct {
+	// Benchmark names the harness ("compile_kernels").
+	Benchmark string `json:"benchmark"`
+	// Date is the run date (YYYY-MM-DD); Host a free-form machine
+	// description.
+	Date string `json:"date"`
+	Host string `json:"host,omitempty"`
+	// Threshold is the hotness threshold the compiled side ran under.
+	Threshold int `json:"threshold"`
+	// Runs holds one entry per kernel.
+	Runs []CompileRun `json:"runs"`
+}
+
+// Validate checks the report is schema-complete and internally sane.
+func (r *CompileReport) Validate() error {
+	if r.Benchmark != "compile_kernels" {
+		return fmt.Errorf("benchfmt: benchmark %q, want compile_kernels", r.Benchmark)
+	}
+	if r.Date == "" {
+		return fmt.Errorf("benchfmt: missing date")
+	}
+	if r.Threshold < 1 {
+		return fmt.Errorf("benchfmt: implausible threshold %d", r.Threshold)
+	}
+	if len(r.Runs) == 0 {
+		return fmt.Errorf("benchfmt: no runs")
+	}
+	for i, run := range r.Runs {
+		if run.Kernel == "" {
+			return fmt.Errorf("benchfmt: run %d missing kernel", i)
+		}
+		if run.Iters <= 0 {
+			return fmt.Errorf("benchfmt: run %q has no iterations", run.Kernel)
+		}
+		if run.InterpNsPerOp <= 0 || run.CompiledNsPerOp <= 0 {
+			return fmt.Errorf("benchfmt: run %q measured no time", run.Kernel)
+		}
+		if run.Speedup <= 0 {
+			return fmt.Errorf("benchfmt: run %q has no speedup figure", run.Kernel)
+		}
+		if run.CompiledMethods <= 0 || run.TierUps <= 0 {
+			return fmt.Errorf("benchfmt: run %q compiled nothing (compiled %d, tier-ups %d)",
+				run.Kernel, run.CompiledMethods, run.TierUps)
+		}
+	}
+	return nil
+}
+
+// ReadCompileReport loads and validates a BENCH_compile.json file.
+func ReadCompileReport(path string) (*CompileReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r CompileReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchfmt: %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// WriteCompileReport validates and writes the report with stable
+// indentation.
+func WriteCompileReport(path string, r *CompileReport) error {
 	if err := r.Validate(); err != nil {
 		return err
 	}

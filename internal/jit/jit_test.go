@@ -1,0 +1,283 @@
+package jit_test
+
+import (
+	"strings"
+	"testing"
+
+	"autodist/internal/compile"
+	"autodist/internal/jit"
+	"autodist/internal/vm"
+)
+
+// runDiff runs src's main() `iters` times on a pure interpreter and on
+// a tiered VM (threshold 1 → maximal compilation), asserting byte-equal
+// output and exactly equal step/cycle totals — the compiled tier's
+// observably-identical contract.
+func runDiff(t *testing.T, src string, iters int) (interp, tiered *vm.VM) {
+	t.Helper()
+	build := func(enable bool) (*vm.VM, *strings.Builder) {
+		bp, _, err := compile.CompileSource(src)
+		if err != nil {
+			t.Fatalf("compile: %v", err)
+		}
+		m, err := vm.New(bp)
+		if err != nil {
+			t.Fatalf("vm.New: %v", err)
+		}
+		var out strings.Builder
+		m.Out = &out
+		m.MaxSteps = 100_000_000
+		m.Time = &vm.TimeModel{CyclesPerSecond: 1e6}
+		if enable {
+			m.EnableJIT(1, jit.Backend(m))
+		}
+		return m, &out
+	}
+	mi, outI := build(false)
+	mj, outJ := build(true)
+	for n := 0; n < iters; n++ {
+		if _, err := mi.CallMethod("Main", "main", "()V", nil); err != nil {
+			t.Fatalf("interp run %d: %v", n, err)
+		}
+		if _, err := mj.CallMethod("Main", "main", "()V", nil); err != nil {
+			t.Fatalf("tiered run %d: %v", n, err)
+		}
+	}
+	if outI.String() != outJ.String() {
+		t.Errorf("output diverged:\ninterp:\n%s\ntiered:\n%s", outI.String(), outJ.String())
+	}
+	if si, sj := mi.Steps(), mj.Steps(); si != sj {
+		t.Errorf("steps diverged: interp %d, tiered %d", si, sj)
+	}
+	if ci, cj := mi.Cycles, mj.Cycles; ci != cj {
+		t.Errorf("cycles diverged: interp %d, tiered %d", ci, cj)
+	}
+	return mi, mj
+}
+
+func TestCompiledIntKernel(t *testing.T) {
+	_, mj := runDiff(t, `
+class Main {
+	static void main() {
+		int s = 0;
+		int i = 0;
+		while (i < 1000) {
+			s = s + i * i - (i / 3) + (i % 7);
+			s = s ^ (i << 2);
+			i = i + 1;
+		}
+		System.println("" + s);
+	}
+}`, 3)
+	if c, tu, _ := mj.JITStats(); c == 0 || tu == 0 {
+		t.Errorf("expected compilation and tier-ups, got compiled=%d tierups=%d", c, tu)
+	}
+}
+
+func TestCompiledFloatKernel(t *testing.T) {
+	runDiff(t, `
+class Main {
+	static void main() {
+		float s = 0.0;
+		float x = 1.5;
+		int i = 0;
+		while (i < 500) {
+			s = s + x * 1.0001 - s / 3.5;
+			x = 0.0 - x;
+			i = i + 1;
+		}
+		System.println("" + (s > 0.0));
+	}
+}`, 3)
+}
+
+func TestCompiledArrays(t *testing.T) {
+	runDiff(t, `
+class Main {
+	static void main() {
+		int[] a = new int[64];
+		int i = 0;
+		while (i < 64) {
+			a[i] = i * 3;
+			i = i + 1;
+		}
+		int s = 0;
+		i = 0;
+		while (i < a.length) {
+			s = s + a[i];
+			i = i + 1;
+		}
+		System.println("" + s);
+	}
+}`, 3)
+}
+
+func TestCompiledObjectsAndCalls(t *testing.T) {
+	_, mj := runDiff(t, `
+class Counter {
+	int n;
+	void bump(int d) { this.n = this.n + d; }
+	int get() { return this.n; }
+}
+class Main {
+	static int twice(int x) { return x + x; }
+	static void main() {
+		Counter c = new Counter();
+		int i = 0;
+		while (i < 200) {
+			c.bump(twice(i));
+			i = i + 1;
+		}
+		System.println("" + c.get());
+	}
+}`, 3)
+	if c, _, _ := mj.JITStats(); c == 0 {
+		t.Errorf("expected compiled methods")
+	}
+}
+
+func TestDeoptOnNativeCall(t *testing.T) {
+	// Math.sqrt is native: the compiled frame must deopt mid-method,
+	// finish interpreted, and still match step/cycle totals exactly.
+	_, mj := runDiff(t, `
+class Main {
+	static void main() {
+		float s = 0.0;
+		int i = 1;
+		while (i < 50) {
+			s = s + Math.sqrt(0.0 + i * i);
+			i = i + 1;
+		}
+		System.println("" + s);
+	}
+}`, 3)
+	if _, _, d := mj.JITStats(); d == 0 {
+		t.Errorf("expected deopts on native Math.sqrt, got none")
+	}
+}
+
+func TestCompiledRecursion(t *testing.T) {
+	runDiff(t, `
+class Main {
+	static int fib(int n) {
+		if (n < 2) { return n; }
+		return fib(n - 1) + fib(n - 2);
+	}
+	static void main() {
+		System.println("" + fib(15));
+	}
+}`, 3)
+}
+
+func TestCompiledStringsAndBranches(t *testing.T) {
+	runDiff(t, `
+class Main {
+	static void main() {
+		string s = "";
+		int i = 0;
+		while (i < 10) {
+			if (i % 2 == 0) { s = s + "e"; } else { s = s + "o"; }
+			i = i + 1;
+		}
+		System.println(s);
+		string a = "x";
+		string b = "x";
+		if (a == b) { System.println("eq"); } else { System.println("ne"); }
+	}
+}`, 2)
+}
+
+func TestCompiledInheritanceAndCasts(t *testing.T) {
+	runDiff(t, `
+class Animal {
+	int kind() { return 0; }
+}
+class Dog extends Animal {
+	int kind() { return 1; }
+}
+class Main {
+	static void main() {
+		Animal a = new Dog();
+		int i = 0;
+		int s = 0;
+		while (i < 100) {
+			s = s + a.kind();
+			if (a instanceof Dog) { s = s + 1; }
+			i = i + 1;
+		}
+		Dog d = (Dog) a;
+		System.println("" + (s + d.kind()));
+	}
+}`, 2)
+}
+
+// TestCompileOffIdentical pins that a VM without EnableJIT behaves
+// byte-identically to the seed interpreter (trivially true structurally
+// — asserted here so regressions in run() show up).
+func TestCompileOffIdentical(t *testing.T) {
+	src := `
+class Main {
+	static void main() {
+		int i = 0;
+		int s = 0;
+		while (i < 100) { s = s + i; i = i + 1; }
+		System.println("" + s);
+	}
+}`
+	bp, _, err := compile.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	m.Out = &out
+	if err := m.RunMain(); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != "4950\n" {
+		t.Errorf("output = %q", out.String())
+	}
+	if c, tu, d := m.JITStats(); c != 0 || tu != 0 || d != 0 {
+		t.Errorf("jit stats nonzero without EnableJIT: %d %d %d", c, tu, d)
+	}
+}
+
+func TestListing(t *testing.T) {
+	src := `
+class Main {
+	static int work(int n) {
+		int s = 0;
+		int i = 0;
+		while (i < n) {
+			s = s + Math.abs(0 - i);
+			i = i + 1;
+		}
+		return s;
+	}
+	static void main() { System.println("" + work(10)); }
+}`
+	bp, _, err := compile.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := vm.New(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := m.Class("Main")
+	meth := c.File.Method("work", "(I)I")
+	cm, err := jit.Compile(m, c, meth)
+	if err != nil {
+		t.Fatalf("Compile: %v", err)
+	}
+	ls := cm.Listing()
+	if !strings.Contains(ls, "compiled Main.work:(I)I") {
+		t.Errorf("listing missing header:\n%s", ls)
+	}
+	if !strings.Contains(ls, "deopt") {
+		t.Errorf("listing missing deopt annotation for Math.abs:\n%s", ls)
+	}
+}

@@ -1,0 +1,276 @@
+package quad_test
+
+// Fuzz and property tests for the bytecode→quad translator: any method
+// that passes the bytecode verifier must translate without panicking,
+// and a successful translation must produce a well-formed CFG — entry
+// and exit sentinels, mutually consistent In/Out edge lists, disjoint
+// in-bounds pc ranges, register operands inside the declared register
+// file, and INVOKE operand-stack snapshots no deeper than the verified
+// maximum stack. The compiled tier trusts every one of these invariants
+// (block accounting is pc-range-based, deopt materialization consumes
+// the INVOKE snapshots), so they are pinned here both on fuzz-generated
+// methods and on every method of the experiment corpus.
+
+import (
+	"testing"
+
+	"autodist/internal/bytecode"
+	"autodist/internal/compile"
+	"autodist/internal/experiments"
+	"autodist/internal/quad"
+)
+
+// checkFunc asserts the translator's structural invariants for one
+// successfully translated method.
+func checkFunc(t *testing.T, fn *quad.Func, m *bytecode.Method, maxStack int) {
+	t.Helper()
+	if len(fn.Blocks) < 2 {
+		t.Fatalf("%s: %d blocks, want entry+exit at least", m.Name, len(fn.Blocks))
+	}
+	checkReg := func(o quad.Operand) {
+		if r, ok := o.(quad.Reg); ok && (r.N < 0 || r.N >= fn.NumRegs) {
+			t.Errorf("%s: register R%d outside file [0,%d)", m.Name, r.N, fn.NumRegs)
+		}
+	}
+	covered := make([]bool, len(m.Code))
+	for id, b := range fn.Blocks {
+		if b.ID != id {
+			t.Errorf("%s: block at index %d has ID %d", m.Name, id, b.ID)
+		}
+		for _, o := range b.Out {
+			if o < 0 || o >= len(fn.Blocks) {
+				t.Fatalf("%s: BB%d out-edge %d out of range", m.Name, id, o)
+			}
+			if !containsInt(fn.Blocks[o].In, id) {
+				t.Errorf("%s: BB%d→BB%d edge missing from In list", m.Name, id, o)
+			}
+		}
+		for _, i := range b.In {
+			if i < 0 || i >= len(fn.Blocks) {
+				t.Fatalf("%s: BB%d in-edge %d out of range", m.Name, id, i)
+			}
+			if !containsInt(fn.Blocks[i].Out, id) {
+				t.Errorf("%s: BB%d←BB%d edge missing from Out list", m.Name, id, i)
+			}
+		}
+		if id < 2 {
+			continue // entry/exit sentinels carry no code
+		}
+		if b.PCStart < 0 || b.PCEnd > len(m.Code) || b.PCStart > b.PCEnd {
+			t.Fatalf("%s: BB%d pc range [%d,%d) outside code [0,%d)",
+				m.Name, id, b.PCStart, b.PCEnd, len(m.Code))
+		}
+		for pc := b.PCStart; pc < b.PCEnd; pc++ {
+			if covered[pc] {
+				t.Errorf("%s: pc %d covered by two blocks", m.Name, pc)
+			}
+			covered[pc] = true
+		}
+		for _, q := range b.Quads {
+			if q.PC < b.PCStart || q.PC >= b.PCEnd {
+				// Flush moves synthesized at block exit carry the
+				// terminator's pc; anything outside the block's own
+				// range breaks the compiled tier's deopt accounting.
+				t.Errorf("%s: BB%d quad %d pc %d outside block range [%d,%d)",
+					m.Name, id, q.ID, q.PC, b.PCStart, b.PCEnd)
+			}
+			if q.HasDst {
+				checkReg(q.Dst)
+			}
+			for _, a := range q.Args {
+				checkReg(a)
+			}
+			for _, s := range q.Stack {
+				checkReg(s)
+			}
+			if q.Op == quad.INVOKE && len(q.Stack) > maxStack {
+				t.Errorf("%s: INVOKE at pc %d snapshots %d stack slots, verifier max %d",
+					m.Name, q.PC, len(q.Stack), maxStack)
+			}
+			if q.Op == quad.IFCMP || q.Op == quad.GOTO {
+				if q.Target < 0 || q.Target >= len(fn.Blocks) {
+					t.Errorf("%s: branch target BB%d out of range", m.Name, q.Target)
+				}
+			}
+		}
+	}
+}
+
+func containsInt(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// TestTranslateInvariantsOnCorpus runs the property checks over every
+// method of the experiment workloads — real compiler output covering
+// objects, arrays, floats, strings, branches and calls.
+func TestTranslateInvariantsOnCorpus(t *testing.T) {
+	for _, src := range []struct{ name, source string }{
+		{"bank", experiments.BankExampleSource},
+		{"phaseshift", experiments.PhaseShiftSource},
+		{"readmostly", experiments.ReadMostlySource},
+	} {
+		bp, _, err := compile.CompileSource(src.source)
+		if err != nil {
+			t.Fatalf("%s: %v", src.name, err)
+		}
+		for _, cf := range bp.Classes() {
+			for i := range cf.Methods {
+				m := &cf.Methods[i]
+				if m.IsNative() || len(m.Code) == 0 {
+					continue
+				}
+				maxStack, err := bytecode.VerifyMethod(cf, m)
+				if err != nil {
+					t.Fatalf("%s: %s.%s fails verification: %v", src.name, cf.Name, m.Name, err)
+				}
+				fn, err := quad.Translate(cf, m)
+				if err != nil {
+					t.Fatalf("%s: %s.%s fails translation: %v", src.name, cf.Name, m.Name, err)
+				}
+				checkFunc(t, fn, m, maxStack)
+			}
+		}
+	}
+}
+
+// fuzzAlphabet decodes fuzz bytes into a method over a constrained but
+// expressive opcode alphabet: int/float arithmetic, locals, stack
+// shuffles, branches, arrays, statics and calls. Operands that need
+// pool entries use a prebuilt pool; branch targets and local indices
+// are reduced modulo their legal range, so the verifier — not the
+// decoder — decides which programs are structurally valid.
+func fuzzMethod(data []byte) (*bytecode.ClassFile, *bytecode.Method) {
+	cf := bytecode.NewClassFile("F", "")
+	ci := cf.Pool.AddInt(7)
+	cfl := cf.Pool.AddFloat(2.5)
+	mref := cf.Pool.AddMethodRef("F", "g", "(I)I")
+	fref := cf.Pool.AddFieldRef("F", "x", "I")
+	cls := cf.Pool.AddClass("F")
+	elem := cf.Pool.AddUtf8("I")
+	const maxLocals = 4
+
+	var code []bytecode.Instr
+	for i := 0; i+1 < len(data) && len(code) < 64; i += 2 {
+		op, arg := data[i], int32(data[i+1])
+		switch op % 28 {
+		case 0:
+			code = append(code, bytecode.Instr{Op: bytecode.ICONST0})
+		case 1:
+			code = append(code, bytecode.Instr{Op: bytecode.ICONST1})
+		case 2:
+			code = append(code, bytecode.Instr{Op: bytecode.LDC, A: int32(ci)})
+		case 3:
+			code = append(code, bytecode.Instr{Op: bytecode.LDC, A: int32(cfl)})
+		case 4:
+			code = append(code, bytecode.Instr{Op: bytecode.ILOAD, A: arg % maxLocals})
+		case 5:
+			code = append(code, bytecode.Instr{Op: bytecode.ISTORE, A: arg % maxLocals})
+		case 6:
+			code = append(code, bytecode.Instr{Op: bytecode.IINC, A: arg % maxLocals, B: 1})
+		case 7:
+			code = append(code, bytecode.Instr{Op: bytecode.DUP})
+		case 8:
+			code = append(code, bytecode.Instr{Op: bytecode.POP})
+		case 9:
+			code = append(code, bytecode.Instr{Op: bytecode.SWAP})
+		case 10:
+			code = append(code, bytecode.Instr{Op: bytecode.IADD})
+		case 11:
+			code = append(code, bytecode.Instr{Op: bytecode.ISUB})
+		case 12:
+			code = append(code, bytecode.Instr{Op: bytecode.IMUL})
+		case 13:
+			code = append(code, bytecode.Instr{Op: bytecode.IDIV})
+		case 14:
+			code = append(code, bytecode.Instr{Op: bytecode.IXOR})
+		case 15:
+			code = append(code, bytecode.Instr{Op: bytecode.ISHL})
+		case 16:
+			code = append(code, bytecode.Instr{Op: bytecode.INEG})
+		case 17:
+			code = append(code, bytecode.Instr{Op: bytecode.I2F})
+		case 18:
+			code = append(code, bytecode.Instr{Op: bytecode.F2I})
+		case 19:
+			code = append(code, bytecode.Instr{Op: bytecode.FADD})
+		case 20:
+			// Branch targets are fixed up after decoding, once the
+			// final instruction count is known.
+			code = append(code, bytecode.Instr{Op: bytecode.GOTO, A: arg})
+		case 21:
+			code = append(code, bytecode.Instr{Op: bytecode.IFICMP, A: arg % 6, B: arg})
+		case 22:
+			code = append(code, bytecode.Instr{Op: bytecode.IRETURN})
+		case 23:
+			code = append(code, bytecode.Instr{Op: bytecode.INVOKESTATIC, A: int32(mref)})
+		case 24:
+			code = append(code, bytecode.Instr{Op: bytecode.NEWARRAY, A: int32(elem)})
+		case 25:
+			code = append(code, bytecode.Instr{Op: bytecode.ARRAYLENGTH})
+		case 26:
+			code = append(code, bytecode.Instr{Op: bytecode.GETSTATIC, A: int32(fref)})
+		case 27:
+			code = append(code, bytecode.Instr{Op: bytecode.INSTANCEOF, A: int32(cls)})
+		}
+	}
+	if len(code) == 0 {
+		return nil, nil
+	}
+	for i, in := range code {
+		if in.Op.IsBranch() {
+			code[i] = in.WithTarget(in.Target() % len(code))
+			if code[i].Target() < 0 {
+				code[i] = code[i].WithTarget(0)
+			}
+		}
+	}
+	m := bytecode.Method{
+		Flags:     bytecode.AccStatic,
+		Name:      "f",
+		Desc:      "()I",
+		MaxLocals: maxLocals,
+		Code:      code,
+	}
+	// The callee keeps INVOKESTATIC resolvable within the class file.
+	g := bytecode.Method{
+		Flags:     bytecode.AccStatic,
+		Name:      "g",
+		Desc:      "(I)I",
+		MaxLocals: 1,
+		Code:      []bytecode.Instr{{Op: bytecode.ILOAD, A: 0}, {Op: bytecode.IRETURN}},
+	}
+	cf.Methods = append(cf.Methods, m, g)
+	return cf, &cf.Methods[0]
+}
+
+// FuzzTranslate: whatever the verifier accepts, the translator must
+// handle without panicking, and its output must satisfy every CFG
+// invariant the compiled tier depends on.
+func FuzzTranslate(f *testing.F) {
+	// Seeds: straight-line, a loop, a call, stack shuffles.
+	f.Add([]byte{0, 0, 1, 0, 10, 0, 22, 0})
+	f.Add([]byte{1, 0, 5, 0, 4, 0, 2, 0, 21, 2, 6, 0, 22, 0})
+	f.Add([]byte{1, 0, 23, 0, 22, 0})
+	f.Add([]byte{2, 0, 7, 0, 9, 0, 8, 0, 22, 0})
+	f.Add([]byte{3, 0, 19, 0, 18, 0, 22, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cf, m := fuzzMethod(data)
+		if m == nil {
+			return
+		}
+		maxStack, err := bytecode.VerifyMethod(cf, m)
+		if err != nil {
+			return // structurally invalid; the translator never sees these
+		}
+		fn, err := quad.Translate(cf, m)
+		if err != nil {
+			return // rejection is a performance decision, not a crash
+		}
+		checkFunc(t, fn, m, maxStack)
+	})
+}

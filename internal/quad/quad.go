@@ -172,6 +172,16 @@ type Quad struct {
 	Desc   string
 	// Invoke distinguishes virtual/special/static calls.
 	Invoke bytecode.Op
+	// PC is the index of the bytecode instruction this quad was
+	// translated from. It is the side table that lets a compiled
+	// frame deoptimize: falling back to the interpreter resumes
+	// fetch/decode at exactly this pc.
+	PC int
+	// Stack is, for INVOKE quads only, a snapshot of the abstract
+	// operand stack just before the call (arguments still on top).
+	// A deopt at the call site materializes this stack and resumes
+	// the interpreter at PC, which re-executes the invoke.
+	Stack []Operand
 }
 
 // String renders the quad in the paper's listing style.
@@ -288,6 +298,12 @@ type Block struct {
 	Quads []*Quad
 	In    []int
 	Out   []int
+	// PCStart/PCEnd delimit the half-open bytecode range
+	// [PCStart, PCEnd) this block was translated from. Both are 0
+	// for the synthetic entry/exit blocks. Compiled code charges
+	// step/cycle accounting per block from this range so tiered
+	// execution stays observably identical to interpretation.
+	PCStart, PCEnd int
 }
 
 // Func is one translated method.

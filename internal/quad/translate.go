@@ -186,6 +186,12 @@ func (tr *translator) run() error {
 			return err
 		}
 	}
+	// Record the bytecode range each block covers (the pc side table
+	// used for deopt and per-block step accounting).
+	for id, r := range ranges {
+		tr.f.Blocks[id].PCStart = r.start
+		tr.f.Blocks[id].PCEnd = r.end
+	}
 	tr.f.NumRegs = tr.nextReg
 	return nil
 }
@@ -290,8 +296,11 @@ func (tr *translator) translateBlock(start, end int, inVals map[int]Operand, emi
 		return o
 	}
 
-	// emit appends a quad in pass 2; pass 1 only tracks values.
+	// emit appends a quad in pass 2; pass 1 only tracks values. Every
+	// quad is stamped with the bytecode pc it was translated from.
+	pc := start
 	emit := func(q *Quad) *Quad {
+		q.PC = pc
 		if emitQuads {
 			return tr.emit(blk, q)
 		}
@@ -323,6 +332,7 @@ func (tr *translator) translateBlock(start, end int, inVals map[int]Operand, emi
 	}
 
 	for i := start; i < end; i++ {
+		pc = i
 		in := code[i]
 		switch in.Op {
 		case bytecode.NOP:
@@ -525,6 +535,10 @@ func (tr *translator) translateBlock(start, end int, inVals map[int]Operand, emi
 			if err != nil {
 				return nil, err
 			}
+			// Snapshot the operand stack before popping the call's
+			// arguments: a deopt at this site rebuilds exactly this
+			// stack and lets the interpreter re-execute the invoke.
+			snap := append([]Operand(nil), stack...)
 			nargs := len(params)
 			if in.Op != bytecode.INVOKESTATIC {
 				nargs++
@@ -533,7 +547,7 @@ func (tr *translator) translateBlock(start, end int, inVals map[int]Operand, emi
 			for k := nargs - 1; k >= 0; k-- {
 				args[k] = pop()
 			}
-			q := &Quad{Op: INVOKE, Args: args, Class: cls, Member: name, Desc: desc, Invoke: in.Op}
+			q := &Quad{Op: INVOKE, Args: args, Class: cls, Member: name, Desc: desc, Invoke: in.Op, Stack: snap}
 			if ret != "V" {
 				q.Dst = tr.temp(localKind(ret))
 				q.HasDst = true

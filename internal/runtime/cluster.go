@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"autodist/internal/bytecode"
+	"autodist/internal/jit"
 	"autodist/internal/rewrite"
 	"autodist/internal/transport"
 	"autodist/internal/vm"
@@ -83,6 +84,17 @@ type Options struct {
 	// interpreter context and per-thread asynchronous bookkeeping,
 	// synchronising only at the per-object access gates.
 	MaxConcurrent int
+	// Compile enables tiered execution on every node's VM: methods
+	// whose hotness counter (invocations plus taken loop back-edges)
+	// reaches CompileThreshold are compiled from quads to Go closures;
+	// access-mediated sites deopt back to the interpreter, so
+	// distributed behaviour — messages, replicas, dedup journals — is
+	// observably identical. Off (the default), the VMs stay purely
+	// interpreted, byte-identical to the untiered runtime.
+	Compile bool
+	// CompileThreshold is the hotness count that triggers compilation
+	// (values below 1 clamp to 1). Ignored unless Compile is set.
+	CompileThreshold int
 }
 
 // Cluster is a set of nodes executing one distributed program.
@@ -195,6 +207,9 @@ func NewCluster(progs []*bytecode.Program, plan *rewrite.Plan, eps []transport.E
 		}
 		if opts.MaxSteps > 0 {
 			n.VM.MaxSteps = opts.MaxSteps
+		}
+		if opts.Compile {
+			n.VM.EnableJIT(opts.CompileThreshold, jit.Backend(n.VM))
 		}
 		c.Nodes = append(c.Nodes, n)
 	}
@@ -695,6 +710,13 @@ func (c *Cluster) TotalStats() NodeStats {
 			s.Retransmits += f.Retransmits
 			s.Recoveries += f.Recovered
 		}
+		// Fold in the VM's tiered-execution counters the same way: the
+		// VM owns them (per-thread shadows only surface per-invocation
+		// deltas at retire), so this is the sole global source.
+		cm, tu, d := n.VM.JITStats()
+		s.CompiledMethods += int64(cm)
+		s.TierUps += int64(tu)
+		s.Deopts += int64(d)
 	}
 	return s
 }

@@ -108,6 +108,9 @@ func (n *Node) handleMigrate(lt *lthread, req *wire.MigrateRequest) wire.Migrate
 	delete(n.home, req.ID)
 	n.mu.Unlock()
 	n.count(lt, func(s *NodeStats) *int64 { return &s.Migrations }, 1)
+	// The object left this node: invalidate compiled methods so the
+	// tier re-profiles under the new ownership map.
+	n.VM.InvalidateCompiled()
 	return wire.MigrateResponse{Moved: true}
 }
 
@@ -153,5 +156,8 @@ func (n *Node) handleTransfer(req *wire.TransferRequest) wire.TransferResponse {
 	// lived elsewhere yield to the live instance, and the shipped
 	// replica set becomes ours to invalidate.
 	n.coh.becomeOwner(req.ID, req.Readers, n.Rank)
+	// Ownership arrived: re-profile under the new shape (matching the
+	// sender's invalidation in handleMigrate).
+	n.VM.InvalidateCompiled()
 	return wire.TransferResponse{}
 }

@@ -264,6 +264,14 @@ type NodeStats struct {
 	// exactly-once).
 	PromotedReplicas    int64
 	RedrivenInvocations int64
+	// CompiledMethods, TierUps and Deopts are the tiered-execution
+	// counters (compilation events, compiled-frame entries, interpreter
+	// fallbacks). Globally they are owned by each node's VM and folded
+	// in by TotalStats; per-thread shadows surface only in
+	// per-invocation deltas, folded in at retireThread.
+	CompiledMethods int64
+	TierUps         int64
+	Deopts          int64
 }
 
 // add accumulates s2 into s.
@@ -286,6 +294,9 @@ func (s *NodeStats) add(s2 NodeStats) {
 	s.Recoveries += s2.Recoveries
 	s.PromotedReplicas += s2.PromotedReplicas
 	s.RedrivenInvocations += s2.RedrivenInvocations
+	s.CompiledMethods += s2.CompiledMethods
+	s.TierUps += s2.TierUps
+	s.Deopts += s2.Deopts
 }
 
 // sub subtracts s2 from s (for per-invocation deltas of snapshots).
@@ -308,6 +319,9 @@ func (s *NodeStats) sub(s2 NodeStats) {
 	s.Recoveries -= s2.Recoveries
 	s.PromotedReplicas -= s2.PromotedReplicas
 	s.RedrivenInvocations -= s2.RedrivenInvocations
+	s.CompiledMethods -= s2.CompiledMethods
+	s.TierUps -= s2.TierUps
+	s.Deopts -= s2.Deopts
 }
 
 // snapshot returns an atomically loaded copy.
@@ -332,6 +346,9 @@ func (s *NodeStats) snapshot() NodeStats {
 		Recoveries:          atomic.LoadInt64(&s.Recoveries),
 		PromotedReplicas:    atomic.LoadInt64(&s.PromotedReplicas),
 		RedrivenInvocations: atomic.LoadInt64(&s.RedrivenInvocations),
+		CompiledMethods:     atomic.LoadInt64(&s.CompiledMethods),
+		TierUps:             atomic.LoadInt64(&s.TierUps),
+		Deopts:              atomic.LoadInt64(&s.Deopts),
 	}
 }
 

@@ -333,6 +333,10 @@ func (n *Node) applyRehome(dead int, ids []int64, homes []int) {
 		n.learnHome(id, homes[i])
 	}
 	n.coh.purgeRank(dead)
+	// Ownership just moved under the node: drop compiled methods so
+	// the tier re-profiles under the repaired topology (deopt guards
+	// already keep stale code correct; this is hygiene, not safety).
+	n.VM.InvalidateCompiled()
 }
 
 // replicasOf lists the ids this node holds a valid replica of whose

@@ -191,7 +191,17 @@ func (n *Node) retireThread(tid uint64) (stats NodeStats, dests []int, asyncErr 
 		n.carryMu.Unlock()
 	}
 	sort.Ints(dests)
-	return lt.stats.snapshot(), dests, asyncErr
+	stats = lt.stats.snapshot()
+	// The interpreter thread has quiesced (its invocation completed and
+	// its context is unregistered), so its tiered-execution counters
+	// are stable: fold them into the per-invocation delta. They are
+	// deliberately NOT added to n.Stats — TotalStats reads the global
+	// totals straight from the VM, so adding here would double-count.
+	cm, tu, d := lt.vt.JITCounters()
+	stats.CompiledMethods += int64(cm)
+	stats.TierUps += int64(tu)
+	stats.Deopts += int64(d)
+	return stats, dests, asyncErr
 }
 
 // adoptCarry moves the node's carried fire-and-forget leftovers (from

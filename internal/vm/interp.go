@@ -93,6 +93,26 @@ func (vm *VM) findNative(c *Class, m *bytecode.Method) NativeFunc {
 
 func (t *Thread) run(c *Class, m *bytecode.Method, args []Value) (Value, error) {
 	vm := t.vm
+	// Tiered execution: when a JIT backend is attached, hot methods are
+	// promoted out of the fetch/decode loop into compiled form. The
+	// sampling profiler needs exact per-instruction quanta, so tier-up
+	// is disabled while OnQuantum is attached.
+	var prof *methodProfile
+	if js := vm.jit; js != nil && vm.Hooks.OnQuantum == nil {
+		prof = js.profileFor(m)
+		if cm := prof.compiled(); cm != nil {
+			t.tierUpC++
+			js.tierUps.Add(1)
+			return cm.Run(t, args)
+		}
+		if !prof.bad.Load() && prof.count.Add(1) >= js.threshold {
+			if cm := js.promote(t, c, m, prof); cm != nil {
+				t.tierUpC++
+				js.tierUps.Add(1)
+				return cm.Run(t, args)
+			}
+		}
+	}
 	// Locals and the operand stack are carved from the thread's frame
 	// arena in one piece (locals first, then frameStack spare slots for
 	// the stack). The verifier bounds operand depth and frameStack
@@ -105,9 +125,35 @@ func (t *Thread) run(c *Class, m *bytecode.Method, args []Value) (Value, error) 
 	locals := fr[:nloc:nloc]
 	copy(locals, args)
 	stack := fr[nloc:nloc]
+	return t.exec(c, m, locals, stack, 0, prof)
+}
+
+// ResumeAt continues executing m in the interpreter from an arbitrary
+// pc with explicit frame state — the deoptimization entry point. A
+// compiled frame that reaches a site it cannot execute materializes its
+// locals and operand stack, and the interpreter finishes the method
+// from the bytecode instruction the faulting quad was translated from.
+// The caller (Thread.Invoke via the compiled method) already pushed the
+// StackEntry and fired MethodEnter, so this does neither.
+func (t *Thread) ResumeAt(c *Class, m *bytecode.Method, locals, stack []Value, pc int) (Value, error) {
+	lbase := len(t.larena)
+	nloc := int(m.MaxLocals)
+	fr := t.pushLocals(nloc + len(stack) + frameStack)
+	defer func() { t.larena = t.larena[:lbase] }()
+	flocals := fr[:nloc:nloc]
+	copy(flocals, locals)
+	fstack := fr[nloc : nloc+len(stack)]
+	copy(fstack, stack)
+	return t.exec(c, m, flocals, fstack, pc, nil)
+}
+
+// exec is the fetch/decode loop over an already-carved frame. prof, when
+// non-nil, accumulates loop back-edge counts into the method's hotness
+// counter (deopted frames pass nil — their entry was already counted).
+func (t *Thread) exec(c *Class, m *bytecode.Method, locals, stack []Value, pc int, prof *methodProfile) (Value, error) {
+	vm := t.vm
 	pool := c.File.Pool
 	code := m.Code
-	pc := 0
 
 	push := func(v Value) { stack = append(stack, v) }
 	pop := func() Value {
@@ -252,6 +298,11 @@ func (t *Thread) run(c *Class, m *bytecode.Method, args []Value) (Value, error) 
 			push(Stringify(a) + Stringify(b))
 
 		case bytecode.GOTO:
+			// Backward branches feed the hotness counter so loopy
+			// methods tier up even when rarely re-invoked.
+			if prof != nil && int(in.A) <= pc {
+				prof.count.Add(1)
+			}
 			pc = int(in.A)
 			continue
 		case bytecode.IFICMP:
@@ -263,6 +314,9 @@ func (t *Thread) run(c *Class, m *bytecode.Method, args []Value) (Value, error) 
 				cmp = 1
 			}
 			if bytecode.Cond(in.A).Eval(cmp) {
+				if prof != nil && int(in.B) <= pc {
+					prof.count.Add(1)
+				}
 				pc = int(in.B)
 				continue
 			}
@@ -275,18 +329,27 @@ func (t *Thread) run(c *Class, m *bytecode.Method, args []Value) (Value, error) 
 				cmp = 1
 			}
 			if bytecode.Cond(in.A).Eval(cmp) {
+				if prof != nil && int(in.B) <= pc {
+					prof.count.Add(1)
+				}
 				pc = int(in.B)
 				continue
 			}
 		case bytecode.IFACMPEQ:
 			b, a := pop(), pop()
 			if refEqual(a, b) {
+				if prof != nil && int(in.A) <= pc {
+					prof.count.Add(1)
+				}
 				pc = int(in.A)
 				continue
 			}
 		case bytecode.IFACMPNE:
 			b, a := pop(), pop()
 			if !refEqual(a, b) {
+				if prof != nil && int(in.A) <= pc {
+					prof.count.Add(1)
+				}
 				pc = int(in.A)
 				continue
 			}

@@ -1,0 +1,256 @@
+package vm
+
+// Tiered execution support: the VM owns hot-method detection (per-call
+// and loop back-edge counters), the compiled-code cache, and the
+// accounting/deopt contract compiled frames must honor. The actual
+// quad→closure compiler lives in internal/jit and is injected through
+// EnableJIT so the core VM keeps no dependency on the IR packages.
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"autodist/internal/bytecode"
+)
+
+// CompiledMethod is one method promoted to the compiled tier. Run must
+// be observably identical to interpreting the method: same result, same
+// errors, same side effects, and the same step/cycle totals (via
+// ChargeBlock). Run is entered by Thread.run after Invoke has already
+// pushed the StackEntry and fired MethodEnter, exactly like an
+// interpreted frame. Implementations must be safe for concurrent Run
+// calls from different threads.
+type CompiledMethod interface {
+	Run(t *Thread, args []Value) (Value, error)
+}
+
+// CompileFunc builds the compiled form of a method. Returning an error
+// (or nil) permanently blacklists the method: it stays interpreted and
+// is never retried.
+type CompileFunc func(c *Class, m *bytecode.Method) (CompiledMethod, error)
+
+// jitState is the per-VM tier-up machinery.
+type jitState struct {
+	threshold uint64
+	compile   CompileFunc
+
+	profiles sync.Map // *bytecode.Method → *methodProfile
+
+	compiledN atomic.Uint64 // compilation/promotion events
+	tierUps   atomic.Uint64 // compiled-frame entries
+	deopts    atomic.Uint64 // mid-method fallbacks to the interpreter
+}
+
+// methodProfile tracks one method's hotness and compiled form.
+type methodProfile struct {
+	// count accumulates invocations plus taken loop back-edges, so a
+	// method that is called once but loops long still crosses the
+	// threshold (and compiles for its next call).
+	count atomic.Uint64
+	code  atomic.Pointer[CompiledMethod]
+	bad   atomic.Bool
+	mu    sync.Mutex // serializes compilation of this method
+}
+
+func (p *methodProfile) compiled() CompiledMethod {
+	if cp := p.code.Load(); cp != nil {
+		return *cp
+	}
+	return nil
+}
+
+// EnableJIT attaches a compilation backend: methods whose hotness
+// counter reaches threshold are compiled and subsequent invocations
+// enter the compiled tier. A nil backend (or a prior state of never
+// calling EnableJIT) keeps the VM purely interpreted and byte-identical
+// to the untiered machine.
+func (vm *VM) EnableJIT(threshold int, compile CompileFunc) {
+	if compile == nil {
+		vm.jit = nil
+		return
+	}
+	if threshold < 1 {
+		threshold = 1
+	}
+	vm.jit = &jitState{threshold: uint64(threshold), compile: compile}
+}
+
+func (js *jitState) profileFor(m *bytecode.Method) *methodProfile {
+	if v, ok := js.profiles.Load(m); ok {
+		return v.(*methodProfile)
+	}
+	v, _ := js.profiles.LoadOrStore(m, &methodProfile{})
+	return v.(*methodProfile)
+}
+
+// promote compiles m (once — concurrent threads crossing the threshold
+// serialize on the profile lock and reuse the winner's code). A failed
+// compile blacklists the method so the hot path stops retrying.
+func (js *jitState) promote(t *Thread, c *Class, m *bytecode.Method, prof *methodProfile) CompiledMethod {
+	prof.mu.Lock()
+	defer prof.mu.Unlock()
+	if cm := prof.compiled(); cm != nil {
+		return cm
+	}
+	if prof.bad.Load() {
+		return nil
+	}
+	cm, err := js.compile(c, m)
+	if err != nil || cm == nil {
+		prof.bad.Store(true)
+		return nil
+	}
+	prof.code.Store(&cm)
+	js.compiledN.Add(1)
+	t.compileC++
+	return cm
+}
+
+// InvalidateCompiled drops every compiled method and resets the hotness
+// counters (keeping blacklists). The distributed runtime calls it when
+// ownership moves under the node — plan changes, migration, replica
+// promotion after a death — so stale compiled assumptions cannot
+// outlive the topology they were profiled under. Deopt guards already
+// keep execution correct; invalidation re-profiles under the new shape.
+func (vm *VM) InvalidateCompiled() {
+	js := vm.jit
+	if js == nil {
+		return
+	}
+	js.profiles.Range(func(_, v any) bool {
+		p := v.(*methodProfile)
+		p.mu.Lock()
+		p.code.Store(nil)
+		p.count.Store(0)
+		p.mu.Unlock()
+		return true
+	})
+}
+
+// JITStats returns the VM-level tiered-execution counters: compilation
+// events, compiled-frame entries, and deopt fallbacks.
+func (vm *VM) JITStats() (compiled, tierUps, deopts uint64) {
+	js := vm.jit
+	if js == nil {
+		return 0, 0, 0
+	}
+	return js.compiledN.Load(), js.tierUps.Load(), js.deopts.Load()
+}
+
+// NoteDeopt records one compiled-frame fallback to the interpreter.
+// Called by the compiled tier at the deopt site, before ResumeAt.
+func (t *Thread) NoteDeopt() {
+	t.deoptC++
+	if js := t.vm.jit; js != nil {
+		js.deopts.Add(1)
+	}
+}
+
+// JITCounters returns this thread's tiered-execution counters
+// (compilations it triggered, compiled frames it entered, deopts it
+// took). Like Steps, read only once the thread has quiesced.
+func (t *Thread) JITCounters() (compiled, tierUps, deopts uint64) {
+	return t.compileC, t.tierUpC, t.deoptC
+}
+
+// ChargeBlock charges a compiled frame's execution against the same
+// meters the interpreter uses: the per-thread step budget (MaxSteps
+// abort) and the simulated clock. Compiled code calls it once per basic
+// block with the block's precomputed totals (and once per deopt with
+// the prefix actually executed), so step and cycle totals equal pure
+// interpretation exactly.
+// The fast path stays small enough for the compiler to inline into the
+// compiled tier's dispatch loop; the limit error and the simulated
+// clock live in outlined helpers.
+func (t *Thread) ChargeBlock(steps, cycles uint64) error {
+	t.steps += steps
+	if t.vm.MaxSteps > 0 && t.steps > t.vm.MaxSteps {
+		return t.stepLimitError()
+	}
+	if t.vm.Time != nil {
+		t.chargeCycles(cycles)
+	}
+	return nil
+}
+
+func (t *Thread) stepLimitError() error {
+	return t.errorf("step limit %d exceeded", t.vm.MaxSteps)
+}
+
+func (t *Thread) chargeCycles(cycles uint64) {
+	atomic.AddUint64(&t.vm.Cycles, cycles)
+	t.cycles += cycles
+}
+
+// CycleCostOf exposes the interpreter's simulated cost model so the
+// compiled tier can precompute per-block cycle totals that match
+// interpretation exactly.
+func CycleCostOf(op bytecode.Op) uint64 { return cycleCost(op) }
+
+// RefEqual exposes reference equality (string value semantics) to the
+// compiled tier.
+func RefEqual(a, b Value) bool { return refEqual(a, b) }
+
+// InstanceOf exposes CHECKCAST/INSTANCEOF semantics to the compiled
+// tier.
+func (vm *VM) InstanceOf(v Value, name string) bool { return vm.instanceOf(v, name) }
+
+// ResolveVirtual resolves name:desc against dynamic class c, returning
+// the declaring class and method (nil, nil if absent).
+func ResolveVirtual(c *Class, name, desc string) (*Class, *bytecode.Method) {
+	bm := c.lookupVirtual(name, desc)
+	if bm == nil {
+		return nil, nil
+	}
+	return bm.class, bm.method
+}
+
+// ResolveMethod resolves (class, name, desc) to the declaring class and
+// method — the compiled tier's static/special call resolution.
+func (vm *VM) ResolveMethod(class, name, desc string) (*Class, *bytecode.Method, error) {
+	return vm.resolveMethod(class, name, desc)
+}
+
+// RuntimeError builds a VMError carrying this thread's call stack, for
+// compiled-tier errors that must match interpreter errors exactly.
+func (t *Thread) RuntimeError(format string, args ...any) error {
+	return t.errorf(format, args...)
+}
+
+// GetStaticInterp reads a static with the interpreter's GETSTATIC
+// semantics (one locked access, interpreter error messages).
+func (t *Thread) GetStaticInterp(cls, fname string) (Value, error) {
+	vm := t.vm
+	sc := vm.classes[cls]
+	if sc == nil {
+		return nil, t.errorf("getstatic on unknown class %s", cls)
+	}
+	vm.staticMu.Lock()
+	st := sc.staticsFor(fname)
+	if st == nil {
+		vm.staticMu.Unlock()
+		return nil, t.errorf("no static field %s.%s", cls, fname)
+	}
+	v := st[fname]
+	vm.staticMu.Unlock()
+	return v, nil
+}
+
+// SetStaticInterp writes a static with the interpreter's PUTSTATIC
+// semantics.
+func (t *Thread) SetStaticInterp(cls, fname string, v Value) error {
+	vm := t.vm
+	sc := vm.classes[cls]
+	if sc == nil {
+		return t.errorf("putstatic on unknown class %s", cls)
+	}
+	vm.staticMu.Lock()
+	st := sc.staticsFor(fname)
+	if st == nil {
+		vm.staticMu.Unlock()
+		return t.errorf("no static field %s.%s", cls, fname)
+	}
+	st[fname] = v
+	vm.staticMu.Unlock()
+	return nil
+}

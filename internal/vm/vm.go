@@ -107,6 +107,10 @@ type VM struct {
 	// and tests need not manage Thread objects.
 	main *Thread
 
+	// jit is the tiered-execution state (nil = interpret everything;
+	// see EnableJIT).
+	jit *jitState
+
 	// NowMillis supplies System.currentTimeMillis; defaults to wall
 	// clock. Tests and the simulator override it.
 	NowMillis func() int64
@@ -147,6 +151,12 @@ type Thread struct {
 	// must wait for the thread to quiesce — keeping the interpreter's
 	// per-instruction accounting to one atomic op (the shared clock).
 	cycles uint64
+	// Tiered-execution counters (plain, same contract as cycles):
+	// compilations this thread triggered, compiled frames it entered,
+	// deopts it took.
+	compileC uint64
+	tierUpC  uint64
+	deoptC   uint64
 	// larena backs frame locals. Calls nest LIFO within a thread, so
 	// each frame carves its locals from the tail and releases back to
 	// its base on return — steady-state interpretation allocates no

@@ -11,6 +11,7 @@ import (
 	"autodist/internal/bytecode"
 	"autodist/internal/codegen"
 	"autodist/internal/compile"
+	"autodist/internal/jit"
 	"autodist/internal/lang"
 	"autodist/internal/partition"
 	"autodist/internal/profiler"
@@ -151,6 +152,18 @@ type Config struct {
 	// orders can deadlock each other — structure entrypoints to
 	// acquire shared objects in a consistent order.
 	MaxConcurrent int
+	// Compile enables tiered execution: per-method hotness counters
+	// (invocations plus taken loop back-edges) promote hot methods from
+	// the interpreter to Go closures compiled from the quad IR, with
+	// guarded deopt back to the interpreter at every access-mediated
+	// site — so sequential results, distributed message counts,
+	// replica behaviour and dedup journals are observably identical
+	// with the tier on or off. Off (the default), execution is
+	// byte-identical to the untiered machine.
+	Compile bool
+	// CompileThreshold is the hotness count that promotes a method
+	// (0 = DefaultCompileThreshold). Requires Compile.
+	CompileThreshold int
 }
 
 // RunOptions is the legacy name for Config; every existing caller
@@ -171,6 +184,12 @@ func (c *Config) Validate() error {
 	}
 	if c.MaxConcurrent < 0 {
 		return fmt.Errorf("autodist: negative MaxConcurrent %d", c.MaxConcurrent)
+	}
+	if c.CompileThreshold < 0 {
+		return fmt.Errorf("autodist: negative CompileThreshold %d", c.CompileThreshold)
+	}
+	if c.CompileThreshold > 0 && !c.Compile {
+		return fmt.Errorf("autodist: CompileThreshold requires Compile")
 	}
 	if c.K <= 1 {
 		switch {
@@ -232,6 +251,11 @@ func (c *Config) Validate() error {
 // distributions when RunOptions.AdaptEvery is zero.
 const DefaultAdaptEvery = 32
 
+// DefaultCompileThreshold is the hotness count (invocations plus taken
+// loop back-edges) that promotes a method to the compiled tier when
+// Config.CompileThreshold is zero.
+const DefaultCompileThreshold = 64
+
 // NetModel re-exports the runtime's communication cost model.
 type NetModel = runtime.NetModel
 
@@ -292,6 +316,14 @@ type RunResult struct {
 	Recoveries          int64
 	PromotedReplicas    int64
 	RedrivenInvocations int64
+	// CompiledMethods counts methods promoted to the compiled tier,
+	// TierUps counts compiled-frame entries, and Deopts counts
+	// mid-method fallbacks to the interpreter (at access-mediated
+	// sites and other guarded points). All are zero unless the run
+	// used Config.Compile.
+	CompiledMethods int64
+	TierUps         int64
+	Deopts          int64
 }
 
 // fillStats copies the runtime's protocol counters into the result.
@@ -311,6 +343,9 @@ func (r *RunResult) fillStats(s runtime.NodeStats) {
 	r.Recoveries = s.Recoveries
 	r.PromotedReplicas = s.PromotedReplicas
 	r.RedrivenInvocations = s.RedrivenInvocations
+	r.CompiledMethods = s.CompiledMethods
+	r.TierUps = s.TierUps
+	r.Deopts = s.Deopts
 }
 
 // newVM is the shared VM-setup path of Program.Run and
@@ -344,7 +379,18 @@ func (p *Program) newVM(cfg Config) (*vm.VM, *strings.Builder, error) {
 	if len(cfg.CPUSpeeds) > 0 {
 		machine.Time = &vm.TimeModel{CyclesPerSecond: cfg.CPUSpeeds[0]}
 	}
+	if cfg.Compile {
+		machine.EnableJIT(compileThreshold(cfg), jit.Backend(machine))
+	}
 	return machine, sb, nil
+}
+
+// compileThreshold resolves Config.CompileThreshold's zero default.
+func compileThreshold(cfg Config) int {
+	if cfg.CompileThreshold > 0 {
+		return cfg.CompileThreshold
+	}
+	return DefaultCompileThreshold
 }
 
 // Run executes the program sequentially on one VM.
@@ -357,11 +403,14 @@ func (p *Program) Run(opts RunOptions) (*RunResult, error) {
 	if err := machine.RunMain(); err != nil {
 		return nil, err
 	}
-	return &RunResult{
+	r := &RunResult{
 		Output:     sb.String(),
 		Wall:       time.Since(start),
 		SimSeconds: machine.SimSeconds(),
-	}, nil
+	}
+	cm, tu, d := machine.JITStats()
+	r.CompiledMethods, r.TierUps, r.Deopts = int64(cm), int64(tu), int64(d)
+	return r, nil
 }
 
 // Profile runs the program under one profiler metric and returns the
