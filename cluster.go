@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"autodist/internal/bytecode"
+	"autodist/internal/rewrite"
 	"autodist/internal/runtime"
 	"autodist/internal/transport"
 	"autodist/internal/vm"
@@ -33,6 +34,17 @@ type Cluster struct {
 	out      *clusterOut
 	chaos    *transport.Chaos // non-nil iff Config.FailureRecovery
 	deployed time.Time
+
+	// Elastic-membership state (Config.Elastic): the distribution to
+	// rewrite joiner programs from, one pre-wrap fabric endpoint to
+	// grow new ranks out of, and the wrapper options a joiner's
+	// endpoint must be dressed with to match the sitting members.
+	// joinMu serialises Join calls (rank assignment is sequential).
+	d      *Distribution
+	base   transport.Endpoint
+	rules  transport.ChaosRules
+	ropts  transport.ReliableOptions
+	joinMu sync.Mutex
 }
 
 // maxCapturedOutput bounds the output a resident deployment captures
@@ -114,6 +126,16 @@ func (d *Distribution) Deploy(cfg Config) (*Cluster, error) {
 	} else {
 		eps = transport.NewInProc(cfg.K)
 	}
+	// The base fabric endpoint outlives any wrapping below: Join grows
+	// new ranks from it (chaos/reliability wrappers cannot grow).
+	base := eps[0]
+	rules := transport.ChaosRules{
+		Seed: cfg.ChaosSeed, Drop: cfg.ChaosDrop, Dup: cfg.ChaosDup, Reorder: cfg.ChaosReorder,
+	}
+	ropts := transport.ReliableOptions{
+		HeartbeatInterval: cfg.HeartbeatInterval,
+		RetransmitTimeout: cfg.RetransmitTimeout,
+	}
 	var chaos *transport.Chaos
 	if cfg.FailureRecovery {
 		// The chaos layer always wraps a recovering deployment — with
@@ -121,13 +143,7 @@ func (d *Distribution) Deploy(cfg Config) (*Cluster, error) {
 		// Cluster.FailNode works whether or not faults are injected.
 		// The reliability layer sits above it and must heal everything
 		// it injects.
-		chaos, eps = transport.NewChaos(eps, transport.ChaosRules{
-			Seed: cfg.ChaosSeed, Drop: cfg.ChaosDrop, Dup: cfg.ChaosDup, Reorder: cfg.ChaosReorder,
-		})
-		ropts := transport.ReliableOptions{
-			HeartbeatInterval: cfg.HeartbeatInterval,
-			RetransmitTimeout: cfg.RetransmitTimeout,
-		}
+		chaos, eps = transport.NewChaos(eps, rules)
 		for i := range eps {
 			eps[i] = transport.NewReliable(eps[i], ropts)
 		}
@@ -144,12 +160,87 @@ func (d *Distribution) Deploy(cfg Config) (*Cluster, error) {
 		Unoptimized: cfg.Unoptimized, AdaptEvery: cfg.AdaptEvery, Replicate: cfg.Replicate,
 		MaxConcurrent: cfg.MaxConcurrent, FailureRecovery: cfg.FailureRecovery,
 		Compile: cfg.Compile, CompileThreshold: compileThreshold(cfg),
+		Elastic: cfg.Elastic, MaxRanks: maxRanks(cfg),
 	})
 	if err != nil {
 		return nil, err
 	}
 	rt.Start()
-	return &Cluster{rt: rt, cfg: cfg, out: out, chaos: chaos, deployed: time.Now()}, nil
+	return &Cluster{
+		rt: rt, cfg: cfg, out: out, chaos: chaos, deployed: time.Now(),
+		d: d, base: base, rules: rules, ropts: ropts,
+	}, nil
+}
+
+// maxRanks resolves Config.MaxRanks' zero default for elastic
+// deployments (0 stays 0 otherwise — the runtime rejects MaxRanks
+// without Elastic).
+func maxRanks(cfg Config) int {
+	if cfg.Elastic && cfg.MaxRanks == 0 {
+		return DefaultMaxRanks
+	}
+	return cfg.MaxRanks
+}
+
+// Join admits one fresh node into the running elastic deployment and
+// returns its rank. The program is rewritten for the new rank from the
+// deployed distribution, the fabric is grown (a new in-process channel
+// pair or TCP listener) and wrapped to match the sitting members
+// (chaos, reliability), and the node performs the JOIN handshake with
+// the coordinator: program-digest authentication, view advancement, a
+// WELCOME broadcast to every member, and object migration onto the new
+// capacity — all while invocations keep flowing. Requires
+// Config.Elastic; fails once MaxRanks ranks exist.
+func (c *Cluster) Join() (int, error) {
+	if !c.cfg.Elastic {
+		return 0, fmt.Errorf("autodist: Join requires a deployment with Config.Elastic")
+	}
+	c.joinMu.Lock()
+	defer c.joinMu.Unlock()
+	grown, err := transport.Grow(c.base)
+	if err != nil {
+		return 0, err
+	}
+	rank := grown.Rank()
+	ep := grown
+	if c.chaos != nil {
+		ep = transport.NewReliable(c.chaos.Extend(ep, c.rules), c.ropts)
+	}
+	plan := c.d.Result.Plan
+	// The joiner treats every class the way rank 0 does (adaptive
+	// plans mark all mediated classes dependent on every node, so this
+	// is an exact extension, not an approximation). Safe under joinMu:
+	// ClassHasRemote is only read at rewrite time.
+	if plan.ClassHasRemote != nil && plan.ClassHasRemote[rank] == nil {
+		row := map[string]bool{}
+		for cls, v := range plan.ClassHasRemote[0] {
+			row[cls] = v
+		}
+		plan.ClassHasRemote[rank] = row
+	}
+	prog, err := rewrite.RewriteForNode(c.d.Plan.Analysis.Program.Bytecode, plan, rank)
+	if err != nil {
+		_ = ep.Close()
+		return 0, err
+	}
+	if _, err := c.rt.Join(prog, ep); err != nil {
+		return 0, err
+	}
+	return rank, nil
+}
+
+// Drain gracefully retires one member of the elastic deployment: the
+// rank migrates every object it owns to the surviving members, the
+// membership view advances and is broadcast, and the node shuts down —
+// retired from the reliability layer so its silence is never mistaken
+// for a crash. Its rank is never reused. Requires Config.Elastic.
+func (c *Cluster) Drain(rank int) error {
+	if !c.cfg.Elastic {
+		return fmt.Errorf("autodist: Drain requires a deployment with Config.Elastic")
+	}
+	c.joinMu.Lock()
+	defer c.joinMu.Unlock()
+	return c.rt.Drain(rank)
 }
 
 // FailNode simulates the crash of one node: its endpoint is severed

@@ -7,8 +7,10 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"autodist"
 	"autodist/internal/benchfmt"
@@ -63,14 +65,17 @@ func listenLoop(dist *autodist.Distribution, cfg autodist.Config, addr string) e
 	if err := cluster.Shutdown(context.Background()); err != nil {
 		return err
 	}
-	printSummary(cfg.K, cluster.Stats(), cfg.Adaptive, cfg.Replicate, cfg.FailureRecovery, len(cfg.CPUSpeeds) > 0, cfg.Compile, served)
+	printSummary(cfg.K, cluster.Stats(), cfg.Adaptive, cfg.Replicate, cfg.FailureRecovery, len(cfg.CPUSpeeds) > 0, cfg.Compile, cfg.Elastic, served)
 	return nil
 }
 
 // serveConn handles one client connection until EOF: invocation lines
 // are answered in order ("entry = value", "entry ok", "err: ...");
 // "!stats" answers with a JSON counter snapshot and "!shutdown" asks
-// the server to drain and exit (acknowledged with "!bye").
+// the server to drain and exit (acknowledged with "!bye"). On an
+// -elastic deployment "!join" grows the cluster by one node
+// ("!joined rank=N ms=X") and "!drain N" retires rank N gracefully
+// ("!drained rank=N ms=X") — both while invocations keep flowing.
 func serveConn(c net.Conn, cluster *autodist.Cluster, shutdown func()) {
 	defer c.Close()
 	w := bufio.NewWriter(c)
@@ -92,9 +97,36 @@ func serveConn(c net.Conn, cluster *autodist.Cluster, shutdown func()) {
 				CompiledMethods: res.CompiledMethods,
 				TierUps:         res.TierUps,
 				Deopts:          res.Deopts,
+				Joins:           res.Joins,
+				Drains:          res.Drains,
+				Migrations:      res.Migrations,
 			}
 			data, _ := json.Marshal(snap)
 			fmt.Fprintf(w, "!stats %s\n", data)
+		case line == "!join":
+			t0 := time.Now()
+			rank, err := cluster.Join()
+			if err != nil {
+				fmt.Fprintf(w, "err: %v\n", err)
+			} else {
+				ms := float64(time.Since(t0)) / float64(time.Millisecond)
+				fmt.Fprintf(w, "!joined rank=%d ms=%.3f\n", rank, ms)
+				fmt.Fprintf(os.Stderr, "joined rank %d in %.3fms\n", rank, ms)
+			}
+		case strings.HasPrefix(line, "!drain "):
+			rank, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, "!drain ")))
+			if err != nil {
+				fmt.Fprintf(w, "err: !drain wants a rank: %v\n", err)
+				break
+			}
+			t0 := time.Now()
+			if err := cluster.Drain(rank); err != nil {
+				fmt.Fprintf(w, "err: %v\n", err)
+			} else {
+				ms := float64(time.Since(t0)) / float64(time.Millisecond)
+				fmt.Fprintf(w, "!drained rank=%d ms=%.3f\n", rank, ms)
+				fmt.Fprintf(os.Stderr, "drained rank %d in %.3fms\n", rank, ms)
+			}
 		case line == "!shutdown":
 			fmt.Fprintln(w, "!bye")
 			_ = w.Flush()

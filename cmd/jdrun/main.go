@@ -15,6 +15,9 @@
 //	jdrun -k 2 -tcp -listen 127.0.0.1:0 -concurrency 8 prog.mj  # network invocation server
 //	jdrun -k 3 -replicate -recover prog.mj                      # fault-tolerant deployment
 //	jdrun -k 3 -recover -chaos drop=0.01,seed=7 prog.mj         # + deterministic fault injection
+//	jdrun -k 2 -adaptive -elastic -listen 127.0.0.1:7070 prog.mj  # elastic: nodes may join/leave live
+//	jdrun -join 127.0.0.1:7070                                  # grow that cluster by one node
+//	jdrun -drain 127.0.0.1:7070 -rank 2                         # retire rank 2 gracefully
 //
 // -serve deploys the distribution and keeps it serving: each stdin
 // line names a static entrypoint of the main class plus arguments
@@ -56,6 +59,14 @@
 // for the transport benchmarks): the former restores one Write syscall
 // per frame, the latter negotiates DEFLATE segment framing.
 //
+// -elastic (requires -adaptive and a resident mode) deploys the
+// cluster with membership enabled: "!join" on a -listen connection —
+// or jdrun -join addr from another shell — admits a fresh node while
+// invocations keep flowing, seeding it with a share of the live
+// objects; "!drain N" / jdrun -drain addr -rank N migrates rank N's
+// objects away and retires it without a false failure detection.
+// -max-ranks bounds how far the rank space can grow.
+//
 // -adaptive=off and -replicate=off (the defaults) keep today's static
 // behaviour exactly — the partition is a compile-time contract and
 // every access pays its remote round-trip — which is what A/B runs
@@ -71,6 +82,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
 	"os"
 	"strconv"
 	"strings"
@@ -101,11 +113,12 @@ func main() {
 	chaos := flag.String("chaos", "", `deterministic fault injection under -recover: "drop=0.01,dup=0.01,reorder=0.01,seed=7"`)
 	compileTier := flag.Bool("compile", false, "tiered execution: compile hot methods from quads to Go closures (deopt keeps behaviour identical)")
 	compileThreshold := flag.Int("compile-threshold", 0, "hotness count that promotes a method under -compile (0 = default)")
+	elastic := flag.Bool("elastic", false, "allow nodes to join and leave the resident cluster at run time (requires -adaptive and -serve/-listen)")
+	maxRanks := flag.Int("max-ranks", 0, "rank-space ceiling for -elastic (0 = default)")
+	join := flag.String("join", "", "client mode: ask the jdrun -listen -elastic server at this address to grow the cluster by one node, then exit")
+	drain := flag.String("drain", "", "client mode: ask the jdrun -listen -elastic server at this address to drain -rank, then exit")
+	drainRank := flag.Int("rank", -1, "rank to retire with -drain")
 	flag.Parse()
-	if flag.NArg() == 0 {
-		flag.Usage()
-		os.Exit(2)
-	}
 	usageErr := func(msg string) {
 		fmt.Fprintln(os.Stderr, "jdrun:", msg)
 		os.Exit(2)
@@ -113,6 +126,36 @@ func main() {
 	die := func(err error) {
 		fmt.Fprintln(os.Stderr, "jdrun:", err)
 		os.Exit(1)
+	}
+
+	// Client modes talk to an already-running server and exit; they
+	// take no program.
+	if *join != "" || *drain != "" {
+		if *join != "" && *drain != "" {
+			usageErr("-join and -drain are mutually exclusive")
+		}
+		if flag.NArg() != 0 {
+			usageErr("-join/-drain take no program arguments")
+		}
+		line := "!join"
+		if *drain != "" {
+			if *drainRank < 0 {
+				usageErr("-drain needs -rank")
+			}
+			line = fmt.Sprintf("!drain %d", *drainRank)
+		}
+		addr := *join
+		if addr == "" {
+			addr = *drain
+		}
+		if err := clientCommand(addr, line); err != nil {
+			die(err)
+		}
+		return
+	}
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
 	}
 
 	// One validated configuration instead of hand-rolled pairwise
@@ -126,6 +169,7 @@ func main() {
 		MaxConcurrent:   *concurrency,
 		FailureRecovery: *recover, HeartbeatInterval: *heartbeat, RetransmitTimeout: *retransmit,
 		Compile: *compileTier, CompileThreshold: *compileThreshold,
+		Elastic: *elastic, MaxRanks: *maxRanks,
 	}
 	if *chaos != "" {
 		if err := parseChaos(*chaos, &cfg); err != nil {
@@ -155,6 +199,9 @@ func main() {
 	}
 	if *concurrency > 1 && !*serve && *listen == "" {
 		usageErr("-concurrency only applies to -serve/-listen (a batch run invokes main() once)")
+	}
+	if *elastic && !*serve && *listen == "" {
+		usageErr("-elastic only applies to -serve/-listen (a batch run has nothing to join)")
 	}
 
 	var srcs []string
@@ -219,7 +266,7 @@ func main() {
 	if err != nil {
 		die(err)
 	}
-	printSummary(*k, res, *adaptive, *replicate, *recover, *sim, *compileTier, -1)
+	printSummary(*k, res, *adaptive, *replicate, *recover, *sim, *compileTier, *elastic, -1)
 }
 
 // serveLoop deploys the distribution resident and invokes one
@@ -324,7 +371,31 @@ func serveLoop(dist *autodist.Distribution, cfg autodist.Config) error {
 				w, stats[w].invocations, stats[w].messages, stats[w].bytes, stats[w].failures)
 		}
 	}
-	printSummary(cfg.K, cluster.Stats(), cfg.Adaptive, cfg.Replicate, cfg.FailureRecovery, len(cfg.CPUSpeeds) > 0, cfg.Compile, served)
+	printSummary(cfg.K, cluster.Stats(), cfg.Adaptive, cfg.Replicate, cfg.FailureRecovery, len(cfg.CPUSpeeds) > 0, cfg.Compile, cfg.Elastic, served)
+	return nil
+}
+
+// clientCommand sends one meta command to a running jdrun -listen
+// server, prints the reply line, and reports server-side refusals as
+// errors.
+func clientCommand(addr, line string) error {
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	if _, err := fmt.Fprintln(c, line); err != nil {
+		return err
+	}
+	reply, err := bufio.NewReader(c).ReadString('\n')
+	if err != nil {
+		return err
+	}
+	reply = strings.TrimSpace(reply)
+	if strings.HasPrefix(reply, "err:") {
+		return fmt.Errorf("server: %s", strings.TrimSpace(strings.TrimPrefix(reply, "err:")))
+	}
+	fmt.Println(reply)
 	return nil
 }
 
@@ -380,7 +451,7 @@ func parseArg(f string) autodist.Value {
 
 // printSummary writes the cumulative traffic counters to stderr.
 // served < 0 means a one-shot batch run.
-func printSummary(k int, res *autodist.RunResult, adaptive, replicate, recovery, sim, compiled bool, served int64) {
+func printSummary(k int, res *autodist.RunResult, adaptive, replicate, recovery, sim, compiled, elastic bool, served int64) {
 	if served >= 0 {
 		fmt.Fprintf(os.Stderr, "served %d invocations over %d nodes: %d messages, %d payload bytes (wall %v)\n",
 			served, k, res.Messages, res.BytesSent, res.Wall)
@@ -409,6 +480,10 @@ func printSummary(k int, res *autodist.RunResult, adaptive, replicate, recovery,
 	if compiled {
 		fmt.Fprintf(os.Stderr, "tiered execution: %d compiled methods, %d tier-ups, %d deopts\n",
 			res.CompiledMethods, res.TierUps, res.Deopts)
+	}
+	if elastic {
+		fmt.Fprintf(os.Stderr, "membership: %d joins, %d drains, %d stale-view refusals\n",
+			res.Joins, res.Drains, res.StaleViews)
 	}
 	if sim {
 		fmt.Fprintf(os.Stderr, "simulated time: %.6fs\n", res.SimSeconds)

@@ -22,6 +22,12 @@
 // When -out names an existing valid report, the new run is merged into
 // it (replacing any run with the same -label), so legacy/fast A/B
 // pairs accumulate in one committed file.
+//
+// -scaleout runs the membership scenario against a jdrun -elastic
+// -listen server instead: steady load for -duration, a "!join"
+// admitting a fresh node under that load, the same load again, and a
+// BENCH_membership.json report recording the join latency and the
+// throughput ramp (validated with -validate like the others).
 package main
 
 import (
@@ -69,7 +75,8 @@ func main() {
 	kernels := flag.String("kernels", "", "in-process interpreted-vs-compiled A/B over these bench kernels (comma-separated, or \"all\"); writes a BENCH_compile.json report to -out")
 	kernelIters := flag.Int("kernel-iters", 3, "main() invocations per side in -kernels mode")
 	kernelThreshold := flag.Int("kernel-threshold", 1, "hotness threshold for the compiled side in -kernels mode")
-	validate := flag.String("validate", "", "validate an existing report (transport or compile, sniffed) and exit")
+	validate := flag.String("validate", "", "validate an existing report (transport, compile or membership, sniffed) and exit")
+	scaleout := flag.Bool("scaleout", false, "membership scenario: measure throughput, admit a node with !join mid-stream, measure again; writes a BENCH_membership.json report to -out")
 	flag.Parse()
 
 	die := func(err error) {
@@ -90,6 +97,12 @@ func main() {
 	}
 	if *addr == "" {
 		die(fmt.Errorf("-addr is required (or -validate / -kernels)"))
+	}
+	if *scaleout {
+		if err := runScaleout(*addr, *conns, *initLine, *line, *warmup, *duration, *k, *workload, *out); err != nil {
+			die(err)
+		}
+		return
 	}
 
 	run, err := drive(*addr, *conns, *initLine, *line, *warmup, *duration)
@@ -273,6 +286,170 @@ func drive(addr string, conns int, initLine, line string, warmup, duration time.
 	return run, nil
 }
 
+// runScaleout measures the membership scenario against a jdrun
+// -elastic -listen server: steady client load for one window, a
+// "!join" admitting a fresh node mid-stream, the same load for a
+// second window. The server must keep answering through the
+// transition — any invocation error fails the run — and the report
+// records the join latency, the per-phase throughput ramp, and the
+// server's membership counters.
+func runScaleout(addr string, conns int, initLine, line string, warmup, duration time.Duration, k int, workload, out string) error {
+	ctl, err := dial(addr)
+	if err != nil {
+		return err
+	}
+	defer ctl.close()
+	if initLine != "" {
+		if reply, err := ctl.roundTrip(initLine); err != nil {
+			return err
+		} else if strings.HasPrefix(reply, "err:") {
+			return fmt.Errorf("provisioning %q failed: %s", initLine, reply)
+		}
+	}
+
+	clients := make([]*client, conns)
+	for i := range clients {
+		if clients[i], err = dial(addr); err != nil {
+			return err
+		}
+		defer clients[i].close()
+	}
+
+	// phase < 0 means warmup (not recorded); workers tag each latency
+	// with the phase it completed in.
+	var phase atomic.Int32
+	phase.Store(-1)
+	var stop atomic.Bool
+	type tagged struct {
+		phase int32
+		lat   time.Duration
+	}
+	lats := make([][]tagged, conns)
+	errs := make([]error, conns)
+	var wg sync.WaitGroup
+	for i, c := range clients {
+		wg.Add(1)
+		go func(i int, c *client) {
+			defer wg.Done()
+			for !stop.Load() {
+				t0 := time.Now()
+				reply, err := c.roundTrip(line)
+				if err != nil {
+					errs[i] = err
+					return
+				}
+				if strings.HasPrefix(reply, "err:") {
+					errs[i] = fmt.Errorf("invocation %q failed: %s", line, reply)
+					return
+				}
+				if p := phase.Load(); p >= 0 {
+					lats[i] = append(lats[i], tagged{phase: p, lat: time.Since(t0)})
+				}
+			}
+		}(i, c)
+	}
+	fail := func(err error) error {
+		stop.Store(true)
+		wg.Wait()
+		return err
+	}
+
+	time.Sleep(warmup)
+	windows := make([]time.Duration, 2)
+	phase.Store(0)
+	t0 := time.Now()
+	time.Sleep(duration)
+
+	// The join happens between the windows, under full client load.
+	joinReply, err := ctl.roundTrip("!join")
+	if err != nil {
+		return fail(err)
+	}
+	joinedRank, joinMs, err := parseJoined(joinReply)
+	if err != nil {
+		return fail(err)
+	}
+	windows[0] = time.Since(t0)
+	phase.Store(1)
+	t0 = time.Now()
+	time.Sleep(duration)
+	windows[1] = time.Since(t0)
+	after, err := ctl.stats()
+	stop.Store(true)
+	wg.Wait()
+	if err != nil {
+		return err
+	}
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+
+	labels := []string{"before-join", "after-join"}
+	report := &benchfmt.MembershipReport{
+		Benchmark:  "membership_scaleout",
+		Date:       time.Now().Format("2006-01-02"),
+		Host:       fmt.Sprintf("%s/%s, %d cpus", runtime.GOOS, runtime.GOARCH, runtime.NumCPU()),
+		Workload:   fmt.Sprintf("%s · %q", workload, line),
+		Conns:      conns,
+		K:          k,
+		JoinedRank: joinedRank,
+		JoinMs:     joinMs,
+		Joins:      after.Joins,
+		Drains:     after.Drains,
+		Migrations: after.Migrations,
+	}
+	for p := range labels {
+		var all []time.Duration
+		for i := range lats {
+			for _, t := range lats[i] {
+				if int(t.phase) == p {
+					all = append(all, t.lat)
+				}
+			}
+		}
+		if len(all) == 0 {
+			return fmt.Errorf("phase %q completed no invocations", labels[p])
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		pct := func(q float64) float64 {
+			return float64(all[int(q*float64(len(all)-1))]) / float64(time.Millisecond)
+		}
+		secs := windows[p].Seconds()
+		report.Phases = append(report.Phases, benchfmt.MembershipPhase{
+			Label:         labels[p],
+			DurationSec:   secs,
+			Invocations:   int64(len(all)),
+			InvokesPerSec: float64(len(all)) / secs,
+			P50Ms:         pct(0.50),
+			P99Ms:         pct(0.99),
+		})
+	}
+
+	for _, p := range report.Phases {
+		fmt.Printf("%s: %d invocations in %.2fs = %.0f invokes/sec, p50 %.3fms p99 %.3fms\n",
+			p.Label, p.Invocations, p.DurationSec, p.InvokesPerSec, p.P50Ms, p.P99Ms)
+	}
+	fmt.Printf("join: rank %d admitted in %.3fms; %d joins, %d migrations\n",
+		report.JoinedRank, report.JoinMs, report.Joins, report.Migrations)
+	if out == "" {
+		return nil
+	}
+	return benchfmt.WriteMembershipReport(out, report)
+}
+
+// parseJoined extracts rank and latency from a "!joined rank=N ms=X"
+// reply.
+func parseJoined(reply string) (int, float64, error) {
+	var rank int
+	var ms float64
+	if _, err := fmt.Sscanf(reply, "!joined rank=%d ms=%f", &rank, &ms); err != nil {
+		return 0, 0, fmt.Errorf("unexpected !join reply %q: %w", reply, err)
+	}
+	return rank, ms, nil
+}
+
 // validateReport validates a committed benchmark report, sniffing its
 // type from the "benchmark" field.
 func validateReport(path string) error {
@@ -293,6 +470,12 @@ func validateReport(path string) error {
 			return err
 		}
 		fmt.Printf("%s: valid (%d kernels, threshold %d)\n", path, len(r.Runs), r.Threshold)
+	case "membership_scaleout":
+		r, err := benchfmt.ReadMembershipReport(path)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: valid (%d phases, join %.1fms)\n", path, len(r.Phases), r.JoinMs)
 	default:
 		r, err := benchfmt.ReadTransportReport(path)
 		if err != nil {

@@ -35,6 +35,12 @@ type StatsSnapshot struct {
 	CompiledMethods int64 `json:"compiled_methods,omitempty"`
 	TierUps         int64 `json:"tier_ups,omitempty"`
 	Deopts          int64 `json:"deopts,omitempty"`
+	// Joins/Drains count membership transitions; Migrations counts live
+	// object moves (admission seeding plus adaptation). All zero unless
+	// the server runs with -elastic.
+	Joins      int64 `json:"joins,omitempty"`
+	Drains     int64 `json:"drains,omitempty"`
+	Migrations int64 `json:"migrations,omitempty"`
 }
 
 // ParseStatsReply parses the server's "!stats {json}" reply line.
@@ -163,6 +169,126 @@ func ReadTransportReport(path string) (*TransportReport, error) {
 // WriteTransportReport validates and writes the report with stable
 // indentation (committed artifacts diff cleanly).
 func WriteTransportReport(path string, r *TransportReport) error {
+	if err := r.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// MembershipPhase is one measured window of the scale-out scenario:
+// the same client load before and after a membership transition, so
+// the committed report shows the throughput ramp the joiner bought.
+type MembershipPhase struct {
+	// Label names the window ("before-join", "after-join").
+	Label string `json:"label"`
+	// DurationSec is the measurement window; Invocations completed
+	// inside it; InvokesPerSec the resulting throughput.
+	DurationSec   float64 `json:"duration_sec"`
+	Invocations   int64   `json:"invocations"`
+	InvokesPerSec float64 `json:"invokes_per_sec"`
+	// P50Ms/P99Ms are request-latency percentiles in milliseconds.
+	P50Ms float64 `json:"p50_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// MembershipReport is the committed BENCH_membership.json document:
+// cmd/loadgen's -scaleout scenario drives steady load at a jdrun
+// -elastic server, admits a node mid-stream with "!join", and records
+// the join latency plus per-phase throughput.
+type MembershipReport struct {
+	// Benchmark names the harness ("membership_scaleout").
+	Benchmark string `json:"benchmark"`
+	// Date is the run date (YYYY-MM-DD); Host a free-form machine
+	// description.
+	Date string `json:"date"`
+	Host string `json:"host,omitempty"`
+	// Workload describes the driven program and invocation line.
+	Workload string `json:"workload"`
+	// Conns is the client connection count; K the cluster size before
+	// the join.
+	Conns int `json:"conns"`
+	K     int `json:"k"`
+	// JoinedRank is the rank the server admitted; JoinMs how long the
+	// join took as observed by the server (sub-second is the target).
+	JoinedRank int     `json:"joined_rank"`
+	JoinMs     float64 `json:"join_ms"`
+	// Joins/Drains/Migrations are the server's cumulative membership
+	// counters after the run.
+	Joins      int64 `json:"joins"`
+	Drains     int64 `json:"drains,omitempty"`
+	Migrations int64 `json:"migrations"`
+	// Phases holds the measured windows, in order.
+	Phases []MembershipPhase `json:"phases"`
+}
+
+// Validate checks the report is schema-complete and internally sane.
+func (r *MembershipReport) Validate() error {
+	if r.Benchmark != "membership_scaleout" {
+		return fmt.Errorf("benchfmt: benchmark %q, want membership_scaleout", r.Benchmark)
+	}
+	if r.Date == "" {
+		return fmt.Errorf("benchfmt: missing date")
+	}
+	if r.Workload == "" {
+		return fmt.Errorf("benchfmt: missing workload")
+	}
+	if r.Conns <= 0 || r.K < 2 {
+		return fmt.Errorf("benchfmt: implausible topology (conns %d, k %d)", r.Conns, r.K)
+	}
+	if r.JoinedRank < r.K {
+		return fmt.Errorf("benchfmt: joined rank %d inside the original cluster of %d", r.JoinedRank, r.K)
+	}
+	if r.JoinMs <= 0 {
+		return fmt.Errorf("benchfmt: no join latency recorded")
+	}
+	if r.Joins < 1 {
+		return fmt.Errorf("benchfmt: no joins counted")
+	}
+	if len(r.Phases) < 2 {
+		return fmt.Errorf("benchfmt: %d phases, want at least before/after", len(r.Phases))
+	}
+	for i, p := range r.Phases {
+		if p.Label == "" {
+			return fmt.Errorf("benchfmt: phase %d missing label", i)
+		}
+		if p.DurationSec <= 0 {
+			return fmt.Errorf("benchfmt: phase %q has no measurement window", p.Label)
+		}
+		if p.Invocations <= 0 || p.InvokesPerSec <= 0 {
+			return fmt.Errorf("benchfmt: phase %q measured no throughput", p.Label)
+		}
+		if p.P50Ms < 0 || p.P99Ms < p.P50Ms {
+			return fmt.Errorf("benchfmt: phase %q has inconsistent latency percentiles (p50 %.3f, p99 %.3f)",
+				p.Label, p.P50Ms, p.P99Ms)
+		}
+	}
+	return nil
+}
+
+// ReadMembershipReport loads and validates a BENCH_membership.json
+// file.
+func ReadMembershipReport(path string) (*MembershipReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r MembershipReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchfmt: %s: %w", path, err)
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// WriteMembershipReport validates and writes the report with stable
+// indentation.
+func WriteMembershipReport(path string, r *MembershipReport) error {
 	if err := r.Validate(); err != nil {
 		return err
 	}

@@ -1,0 +1,121 @@
+// Package membership tracks the versioned node-set of an elastic
+// cluster. A View names one composition of the cluster — how many
+// ranks exist and which of them have departed — under a monotonically
+// increasing id. The rank-0 coordinator advances the view when it
+// admits a joiner or retires a leaver, broadcasts the result, and
+// every member installs it through a Tracker; coordination traffic
+// (adaptation, migration, recovery rounds) is stamped with the
+// sender's view id so two nodes that disagree about the cluster's
+// composition detect the skew instead of migrating objects onto ranks
+// the other side has never heard of.
+//
+// Ranks are never reused: a departed rank keeps its number forever and
+// Size only grows. That keeps every rank-indexed structure in the
+// runtime (homes, hints, reader sets) valid across membership changes
+// — a rank is live, dead (failure detector's verdict) or departed
+// (drained and retired), but its index never changes meaning.
+package membership
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// View is one immutable composition of the cluster.
+type View struct {
+	// ID orders views totally; 0 is "membership not in play" (the
+	// static cluster every deployment starts as).
+	ID uint64
+	// Size is the total rank space [0, Size); departed ranks keep
+	// their numbers, so Size never shrinks.
+	Size int
+	// Departed lists ranks that left gracefully, ascending.
+	Departed []int
+}
+
+// Live reports whether rank is a current member under the view.
+func (v View) Live(rank int) bool {
+	if rank < 0 || rank >= v.Size {
+		return false
+	}
+	for _, d := range v.Departed {
+		if d == rank {
+			return false
+		}
+	}
+	return true
+}
+
+// NumLive is the count of current members.
+func (v View) NumLive() int { return v.Size - len(v.Departed) }
+
+// Members returns the live ranks, ascending.
+func (v View) Members() []int {
+	out := make([]int, 0, v.NumLive())
+	for r := 0; r < v.Size; r++ {
+		if v.Live(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Grown returns the successor view admitting one new rank (the next
+// number in the space).
+func (v View) Grown() View {
+	return View{ID: v.ID + 1, Size: v.Size + 1, Departed: v.Departed}
+}
+
+// Shrunk returns the successor view retiring rank. It is an error to
+// retire a rank that is not currently live.
+func (v View) Shrunk(rank int) (View, error) {
+	if !v.Live(rank) {
+		return View{}, fmt.Errorf("membership: rank %d is not a live member of view %d", rank, v.ID)
+	}
+	departed := append(append([]int(nil), v.Departed...), rank)
+	sort.Ints(departed)
+	return View{ID: v.ID + 1, Size: v.Size, Departed: departed}, nil
+}
+
+// Tracker is one node's installed view, advanced monotonically as
+// WELCOME broadcasts arrive. The zero Tracker holds view 0 of size 0;
+// nodes seed it with the static cluster at construction.
+type Tracker struct {
+	mu   sync.RWMutex
+	view View
+}
+
+// NewTracker starts a tracker at the static cluster's composition:
+// view id 0, size k, nobody departed.
+func NewTracker(k int) *Tracker {
+	return &Tracker{view: View{Size: k}}
+}
+
+// Current returns the installed view.
+func (t *Tracker) Current() View {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.view
+}
+
+// ID returns the installed view's id.
+func (t *Tracker) ID() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.view.ID
+}
+
+// Advance installs v if it is newer than the current view and reports
+// whether it did. Stale and duplicate installations are ignored —
+// WELCOME broadcasts may arrive out of order relative to a direct
+// reply carrying a later view.
+func (t *Tracker) Advance(v View) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if v.ID <= t.view.ID {
+		return false
+	}
+	t.view = v
+	return true
+}

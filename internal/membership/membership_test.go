@@ -1,0 +1,53 @@
+package membership
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestViewLiveAndMembers(t *testing.T) {
+	v := View{ID: 3, Size: 4, Departed: []int{1}}
+	if v.Live(1) || !v.Live(0) || !v.Live(3) || v.Live(4) || v.Live(-1) {
+		t.Fatalf("liveness wrong for %+v", v)
+	}
+	if v.NumLive() != 3 {
+		t.Fatalf("NumLive %d, want 3", v.NumLive())
+	}
+	if got := v.Members(); !reflect.DeepEqual(got, []int{0, 2, 3}) {
+		t.Fatalf("Members %v", got)
+	}
+}
+
+func TestViewGrowShrink(t *testing.T) {
+	v := View{Size: 2}
+	g := v.Grown()
+	if g.ID != 1 || g.Size != 3 || len(g.Departed) != 0 {
+		t.Fatalf("Grown: %+v", g)
+	}
+	s, err := g.Shrunk(1)
+	if err != nil || s.ID != 2 || s.Size != 3 || !reflect.DeepEqual(s.Departed, []int{1}) {
+		t.Fatalf("Shrunk: %+v (%v)", s, err)
+	}
+	if _, err := s.Shrunk(1); err == nil {
+		t.Fatal("shrinking a departed rank succeeded")
+	}
+	if _, err := s.Shrunk(9); err == nil {
+		t.Fatal("shrinking an out-of-range rank succeeded")
+	}
+}
+
+func TestTrackerMonotonic(t *testing.T) {
+	tr := NewTracker(2)
+	if tr.ID() != 0 || tr.Current().Size != 2 {
+		t.Fatalf("seed view: %+v", tr.Current())
+	}
+	if !tr.Advance(View{ID: 2, Size: 3}) {
+		t.Fatal("advance to a newer view refused")
+	}
+	if tr.Advance(View{ID: 1, Size: 9}) || tr.Advance(View{ID: 2, Size: 9}) {
+		t.Fatal("stale or duplicate view installed")
+	}
+	if tr.Current().Size != 3 || tr.ID() != 2 {
+		t.Fatalf("tracker state: %+v", tr.Current())
+	}
+}

@@ -1,0 +1,112 @@
+package partition
+
+// Refinement over node sets that changed size under elastic
+// membership: a joiner appears as a fresh anchor (initially with no
+// traffic), a gracefully departed rank as an anchor whose edges have
+// gone quiet. Refine must shape placements correctly in both
+// directions — and never park objects on a rank that left.
+
+import (
+	"testing"
+
+	"autodist/internal/graph"
+)
+
+func TestRefineGrownNodeSetAttractsTraffic(t *testing.T) {
+	// A 2-node placement re-refined at K=3 after a join: two objects'
+	// traffic now comes from the new rank 2, one stays loyal to rank
+	// 0. The joiner's objects must follow the traffic.
+	g, pinned := refineTestGraph(3, [][]int64{
+		{0, 0, 40}, // seeded on 1, hot from the joiner
+		{0, 0, 40}, // seeded on 0, hot from the joiner
+		{40, 0, 0}, // seeded on 0, stays
+	}, []int{1, 0, 0})
+	res, err := Refine(g, pinned, Options{K: 3, Epsilon: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parts[3] != 2 || res.Parts[4] != 2 {
+		t.Errorf("joiner-hot objects at %v, want rank 2", res.Parts[3:5])
+	}
+	if res.Parts[5] != 0 {
+		t.Errorf("loyal object moved to %d, want 0", res.Parts[5])
+	}
+}
+
+func TestRefineGrownNodeSetIgnoresIdleJoiner(t *testing.T) {
+	// A joiner with no observed traffic attracts nothing: positive
+	// connectivity gain needs edges, and an empty anchor has none.
+	// (This is why admission seeds the joiner explicitly — see
+	// runtime's runRebalance — instead of waiting for refinement.)
+	g, pinned := refineTestGraph(3, [][]int64{
+		{9, 0, 0},
+		{0, 9, 0},
+	}, []int{0, 1})
+	res, err := Refine(g, pinned, Options{K: 3, Epsilon: 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parts[3] != 0 || res.Parts[4] != 1 {
+		t.Errorf("objects churned to %v with an idle joiner, want 0 and 1", res.Parts[3:])
+	}
+	for v := 3; v < len(res.Parts); v++ {
+		if res.Parts[v] == 2 {
+			t.Errorf("object %d landed on the idle joiner", v)
+		}
+	}
+}
+
+func TestRefineShrunkNodeSetDrainsDepartedRank(t *testing.T) {
+	// Rank 2 left gracefully: its anchor has gone silent and the
+	// objects still seeded there are served by traffic from ranks 0
+	// and 1. Refinement must pull them off the departed rank and never
+	// move anything back onto it.
+	g, pinned := refineTestGraph(3, [][]int64{
+		{30, 0, 0}, // stranded on 2, hot from 0
+		{0, 30, 0}, // stranded on 2, hot from 1
+		{0, 8, 0},  // already on 1, stays
+	}, []int{2, 2, 1})
+	res, err := Refine(g, pinned, Options{K: 3, Epsilon: 2.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parts[3] != 0 {
+		t.Errorf("object hot from 0 at %d, want 0", res.Parts[3])
+	}
+	if res.Parts[4] != 1 {
+		t.Errorf("object hot from 1 at %d, want 1", res.Parts[4])
+	}
+	if res.Parts[5] != 1 {
+		t.Errorf("settled object churned to %d, want 1", res.Parts[5])
+	}
+	for v := 3; v < len(res.Parts); v++ {
+		if res.Parts[v] == 2 {
+			t.Errorf("vertex %d left on departed rank 2", v)
+		}
+	}
+}
+
+func TestRefineSeedBeyondNodeSetNormalised(t *testing.T) {
+	// A placement recorded under a larger view refined at a smaller K
+	// (e.g. replaying an old affinity snapshot): out-of-range seed
+	// parts are normalised to 0, not crashed on, and then refined
+	// toward their traffic as usual.
+	g := graph.New("affinity")
+	for r := 0; r < 2; r++ {
+		g.AddVertex("anchor", 1)
+	}
+	v := g.AddVertex("obj", 1)
+	g.AddEdge(v, 1, 20, graph.KindPlain)
+	g.Vertex(v).Part = 5 // stale rank from a bigger cluster
+	pinned := make([]bool, g.NumVertices())
+	pinned[0], pinned[1] = true, true
+	g.Vertex(0).Part = 0
+	g.Vertex(1).Part = 1
+	res, err := Refine(g, pinned, Options{K: 2, Epsilon: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Parts[v] != 1 {
+		t.Errorf("stale-seeded object at %d, want 1 (its traffic)", res.Parts[v])
+	}
+}

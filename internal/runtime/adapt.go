@@ -108,7 +108,7 @@ func (n *Node) localAffinityReport() wire.AffinityReport {
 func (n *Node) runAdapt(lt *lthread) {
 	n.coordMu.Lock()
 	defer n.coordMu.Unlock()
-	k := n.EP.Size()
+	k := n.clusterSpan()
 	if k < 2 {
 		return
 	}
@@ -123,6 +123,12 @@ func (n *Node) runAdapt(lt *lthread) {
 	writes := map[int64]int64{}
 	var ids []int64
 	for r := 0; r < k; r++ {
+		if n.departed(r) || n.isDead(r) {
+			// Retired and failed ranks own nothing and report nothing;
+			// their anchor vertices below stay empty, so refinement
+			// naturally drains traffic off them.
+			continue
+		}
 		var rep wire.AffinityReport
 		if r == n.Rank {
 			rep = n.localAffinityReport()
@@ -234,6 +240,12 @@ func (n *Node) runAdapt(lt *lthread) {
 		to := res.Parts[vidx[id]]
 		cur := owner[id]
 		if to == cur {
+			continue
+		}
+		// Balance constraints can park an object on a departed or dead
+		// anchor (the part exists in the graph even when the rank is
+		// gone); those placements are never executed.
+		if n.departed(to) || n.isDead(to) {
 			continue
 		}
 		// A migration whose target is a part the *current* home would

@@ -12,6 +12,7 @@ import (
 
 	"autodist/internal/bytecode"
 	"autodist/internal/jit"
+	"autodist/internal/membership"
 	"autodist/internal/rewrite"
 	"autodist/internal/transport"
 	"autodist/internal/vm"
@@ -95,7 +96,24 @@ type Options struct {
 	// CompileThreshold is the hotness count that triggers compilation
 	// (values below 1 clamp to 1). Ignored unless Compile is set.
 	CompileThreshold int
+	// Elastic enables cluster membership: Join admits new ranks into
+	// the running cluster and Drain retires members gracefully, with
+	// coordination frames stamped by membership view id. Requires an
+	// adaptive plan (live migration is the admission mechanism). Off —
+	// the default — no frame carries a view id and the wire stream is
+	// byte-identical to a static cluster.
+	Elastic bool
+	// MaxRanks reserves the object-id namespace for growth: every
+	// node allocates ids with this stride, so a rank admitted later
+	// can never collide with ids minted before it existed. Defaults to
+	// 64 when Elastic; must be at least the starting cluster size.
+	// Only meaningful with Elastic.
+	MaxRanks int
 }
+
+// defaultMaxRanks is the rank-space reservation when Elastic is set
+// without an explicit MaxRanks.
+const defaultMaxRanks = 64
 
 // Cluster is a set of nodes executing one distributed program.
 //
@@ -115,6 +133,12 @@ type Options struct {
 type Cluster struct {
 	Nodes []*Node
 	opts  Options
+
+	// starter caches Nodes[0], which never changes identity: hot paths
+	// (entry resolution, invocation admission) read it lock-free while
+	// Join appends to Nodes — reading the slice header there would
+	// race with the append.
+	starter *Node
 
 	// sem is the admission gate for logical threads: one slot per
 	// concurrently-running invocation (capacity Options.MaxConcurrent,
@@ -148,6 +172,10 @@ type Cluster struct {
 	residMu    sync.Mutex
 	residDests map[int]bool
 
+	// baseK is the cluster size at construction — the seed view every
+	// node's membership tracker starts from on elastic deployments.
+	baseK int
+
 	// simSnapshot is node 0's virtual clock as of the last completed
 	// invocation (math.Float64bits, monotonically advanced, read
 	// atomically). Live Stats readers use it instead of the VM's raw
@@ -180,40 +208,87 @@ func NewCluster(progs []*bytecode.Program, plan *rewrite.Plan, eps []transport.E
 	if opts.AdaptMinGain <= 0 {
 		opts.AdaptMinGain = defaultAdaptMinGain
 	}
+	if opts.Elastic {
+		if plan == nil || !plan.Adaptive {
+			return nil, fmt.Errorf("runtime: elastic membership needs an adaptive plan (rewrite.RewriteAdaptive)")
+		}
+		if opts.MaxRanks == 0 {
+			opts.MaxRanks = defaultMaxRanks
+		}
+		if opts.MaxRanks < len(progs) {
+			return nil, fmt.Errorf("runtime: MaxRanks %d below cluster size %d", opts.MaxRanks, len(progs))
+		}
+	} else if opts.MaxRanks != 0 {
+		return nil, fmt.Errorf("runtime: MaxRanks without Elastic")
+	}
 	c := &Cluster{
 		opts:       opts,
+		baseK:      len(progs),
 		sem:        make(chan struct{}, max(1, opts.MaxConcurrent)),
 		active:     map[uint64]bool{},
 		residDests: map[int]bool{},
 	}
 	for i := range progs {
-		n, err := NewNode(progs[i], eps[i], plan)
+		n, err := c.buildNode(progs[i], eps[i], plan)
 		if err != nil {
 			return nil, err
 		}
-		n.Net = opts.Net
-		n.Unoptimized = opts.Unoptimized
-		n.recovery = opts.FailureRecovery
-		n.replicate = opts.Replicate
-		n.adaptEvery = opts.AdaptEvery
-		n.adaptEps = opts.AdaptEpsilon
-		n.adaptMinGain = opts.AdaptMinGain
-		n.coh.epoch = &c.invokeEpoch
-		if opts.Out != nil {
-			n.VM.Out = opts.Out
-		}
-		if opts.CPUSpeeds != nil {
-			n.VM.Time = &vm.TimeModel{CyclesPerSecond: opts.CPUSpeeds[i]}
-		}
-		if opts.MaxSteps > 0 {
-			n.VM.MaxSteps = opts.MaxSteps
-		}
-		if opts.Compile {
-			n.VM.EnableJIT(opts.CompileThreshold, jit.Backend(n.VM))
-		}
 		c.Nodes = append(c.Nodes, n)
 	}
+	c.starter = c.Nodes[0]
 	return c, nil
+}
+
+// buildNode constructs and configures one rank's node from the
+// cluster's options — the same path for construction-time ranks and
+// ranks admitted later by Join.
+func (c *Cluster) buildNode(prog *bytecode.Program, ep transport.Endpoint, plan *rewrite.Plan) (*Node, error) {
+	n, err := NewNode(prog, ep, plan)
+	if err != nil {
+		return nil, err
+	}
+	opts := c.opts
+	n.Net = opts.Net
+	n.Unoptimized = opts.Unoptimized
+	n.recovery = opts.FailureRecovery
+	n.replicate = opts.Replicate
+	n.adaptEvery = opts.AdaptEvery
+	n.adaptEps = opts.AdaptEpsilon
+	n.adaptMinGain = opts.AdaptMinGain
+	n.coh.epoch = &c.invokeEpoch
+	if opts.Out != nil {
+		n.VM.Out = opts.Out
+	}
+	if len(opts.CPUSpeeds) > 0 {
+		// A joiner beyond the configured speeds inherits the last entry.
+		speed := opts.CPUSpeeds[len(opts.CPUSpeeds)-1]
+		if ep.Rank() < len(opts.CPUSpeeds) {
+			speed = opts.CPUSpeeds[ep.Rank()]
+		}
+		n.VM.Time = &vm.TimeModel{CyclesPerSecond: speed}
+	}
+	if opts.MaxSteps > 0 {
+		n.VM.MaxSteps = opts.MaxSteps
+	}
+	if opts.Compile {
+		n.VM.EnableJIT(opts.CompileThreshold, jit.Backend(n.VM))
+	}
+	if opts.Elastic {
+		n.view = membership.NewTracker(c.baseK)
+		// Re-key the id namespace before any allocation: with stride
+		// MaxRanks instead of the current size, ids minted now can
+		// never collide with those of a rank admitted later.
+		n.VM.SetObjectIDSpace(int64(ep.Rank()), int64(opts.MaxRanks))
+	}
+	return n, nil
+}
+
+// nodesSnapshot copies the node table under the lifecycle lock — Join
+// appends to it while invocations run.
+func (c *Cluster) nodesSnapshot() []*Node {
+	c.stateMu.Lock()
+	defer c.stateMu.Unlock()
+	return append([]*Node(nil), c.Nodes...)
 }
 
 // Start brings up every node's Message Exchange service and leaves the
@@ -233,7 +308,7 @@ func (c *Cluster) Start() {
 // Entrypoints returns the names of the starter entrypoints this
 // cluster can invoke, sorted.
 func (c *Cluster) Entrypoints() []string {
-	starter := c.Nodes[0]
+	starter := c.starter
 	if starter.Plan != nil && starter.Plan.Entrypoints != nil {
 		return starter.Plan.EntrypointNames()
 	}
@@ -257,7 +332,7 @@ func (c *Cluster) Entrypoints() []string {
 // descriptor, consulting the plan's entrypoint table first and falling
 // back to scanning the starter program (plans predating the table).
 func (c *Cluster) resolveEntry(name string) (class, desc string, err error) {
-	starter := c.Nodes[0]
+	starter := c.starter
 	prog := starter.VM.Program()
 	if prog.MainClass == "" {
 		return "", "", fmt.Errorf("runtime: program has no main class")
@@ -330,7 +405,7 @@ func (c *Cluster) InvokeEntry(name string, args []vm.Value) (vm.Value, NodeStats
 	// Admission: one slot per concurrent logical thread.
 	select {
 	case c.sem <- struct{}{}:
-	case <-c.Nodes[0].done:
+	case <-c.starter.done:
 		return nil, NodeStats{}, fmt.Errorf("runtime: cluster is shut down")
 	}
 	defer func() { <-c.sem }()
@@ -347,7 +422,7 @@ func (c *Cluster) InvokeEntry(name string, args []vm.Value) (vm.Value, NodeStats
 	c.active[tid] = true
 	c.stateMu.Unlock()
 
-	starter := c.Nodes[0]
+	starter := c.starter
 	lt := starter.lthread(tid)
 	run := func() (vm.Value, error) {
 		v, err := lt.vt.CallMethod(class, name, desc, args)
@@ -389,7 +464,8 @@ func (c *Cluster) InvokeEntry(name string, args []vm.Value) (vm.Value, NodeStats
 	// own retire completes — a concurrently-completing invocation's
 	// stale sweep must never reap this thread's contexts first.
 	var delta NodeStats
-	for _, n := range c.Nodes {
+	nodes := c.nodesSnapshot()
+	for _, n := range nodes {
 		st, dests, aerr := n.retireThread(tid)
 		delta.add(st)
 		c.noteResidDests(dests)
@@ -406,7 +482,7 @@ func (c *Cluster) InvokeEntry(name string, args []vm.Value) (vm.Value, NodeStats
 		}
 	}
 	c.stateMu.Unlock()
-	for _, n := range c.Nodes {
+	for _, n := range nodes {
 		c.noteResidDests(n.retireStaleBelow(minActive))
 	}
 	if err != nil {
@@ -437,7 +513,7 @@ func (c *Cluster) noteResidDests(dests []int) {
 func (c *Cluster) drainThread(starter *Node, lt *lthread) error {
 	for dests := starter.takeAsyncDests(lt); len(dests) > 0; dests = starter.takeAsyncDests(lt) {
 		for _, rank := range dests {
-			if starter.isDead(rank) {
+			if starter.isDead(rank) || starter.departed(rank) {
 				// Whatever the dead node owed this thread died with it;
 				// the invocation-level error (if any) already surfaced
 				// through the request that hit it.
@@ -562,9 +638,9 @@ func (c *Cluster) Shutdown(ctx context.Context) error {
 	}
 	var err error
 	if drained {
-		err = c.finalBarrier(c.Nodes[0])
+		err = c.finalBarrier(c.starter)
 	}
-	c.advanceSimSnapshot(c.Nodes[0].VM.SimSeconds())
+	c.advanceSimSnapshot(c.starter.VM.SimSeconds())
 	c.stop()
 	if err == nil && !drained {
 		err = ctx.Err()
@@ -593,15 +669,20 @@ func (c *Cluster) Kill() {
 // its serve loop) and waits for every node to wind down.
 func (c *Cluster) stop() {
 	c.stopOnce.Do(func() {
-		starter := c.Nodes[0]
-		for rank := len(c.Nodes) - 1; rank >= 0; rank-- {
+		nodes := c.nodesSnapshot()
+		starter := nodes[0]
+		for rank := len(nodes) - 1; rank >= 0; rank-- {
+			if starter.departed(rank) {
+				// Already retired by a drain; its endpoint is closed.
+				continue
+			}
 			_ = starter.EP.Send(transport.Message{To: rank, Kind: KindShutdown})
 		}
 		// Flush barrier: on fabrics with buffered writers the shutdown
 		// frames may still sit in a write batch; push them to the
 		// kernel before waiting for the serve loops to wind down.
 		_ = transport.Flush(starter.EP)
-		for _, n := range c.Nodes {
+		for _, n := range nodes {
 			n.wg.Wait()
 		}
 	})
@@ -645,7 +726,7 @@ func (c *Cluster) finalBarrier(starter *Node) error {
 	dests := mergeDests(c.takeResidDests(), starter.takeAsyncDests(sys))
 	for len(dests) > 0 {
 		for _, rank := range dests {
-			if starter.isDead(rank) {
+			if starter.isDead(rank) || starter.departed(rank) {
 				continue
 			}
 			resp, err := starter.rawRequest(sys, rank, KindBarrier, nil)
@@ -685,7 +766,7 @@ func (c *Cluster) finalBarrier(starter *Node) error {
 // Only call on a quiescent cluster — after Run or Shutdown; live
 // readers must use SimSecondsObserved.
 func (c *Cluster) SimSeconds() float64 {
-	return c.Nodes[0].VM.SimSeconds()
+	return c.starter.VM.SimSeconds()
 }
 
 // SimSecondsObserved returns node 0's virtual clock as of the last
@@ -701,7 +782,7 @@ func (c *Cluster) SimSecondsObserved() float64 {
 // atomically, so it is safe to call on a live cluster mid-invocation.
 func (c *Cluster) TotalStats() NodeStats {
 	var s NodeStats
-	for _, n := range c.Nodes {
+	for _, n := range c.nodesSnapshot() {
 		s.add(n.Stats.snapshot())
 		// Fold in the transport reliability layer's fault counters, so
 		// the one stats surface reports retransmissions and healed
@@ -719,6 +800,172 @@ func (c *Cluster) TotalStats() NodeStats {
 		s.Deopts += int64(d)
 	}
 	return s
+}
+
+// Join admits a freshly built node into the running elastic cluster.
+// The caller provides the joiner's rewritten program and a transport
+// endpoint already grown onto the cluster's fabric (transport.Grow,
+// rewrapped to match the sitting members). The node is brought up,
+// performs the JOIN handshake with the coordinator — digest check,
+// view advancement, WELCOME broadcast, object seeding — and starts
+// serving; invocations never pause. Returns the admitted node.
+func (c *Cluster) Join(prog *bytecode.Program, ep transport.Endpoint) (*Node, error) {
+	if !c.opts.Elastic {
+		return nil, fmt.Errorf("runtime: Join on a non-elastic cluster (set Options.Elastic)")
+	}
+	c.stateMu.Lock()
+	if !c.started || c.closed {
+		c.stateMu.Unlock()
+		return nil, fmt.Errorf("runtime: Join needs a started, live cluster")
+	}
+	want := len(c.Nodes)
+	c.stateMu.Unlock()
+	if ep.Rank() != want {
+		return nil, fmt.Errorf("runtime: joiner has rank %d, next rank is %d", ep.Rank(), want)
+	}
+	if ep.Rank() >= c.opts.MaxRanks {
+		return nil, fmt.Errorf("runtime: rank space exhausted (MaxRanks %d)", c.opts.MaxRanks)
+	}
+	n, err := c.buildNode(prog, ep, c.starter.Plan)
+	if err != nil {
+		return nil, err
+	}
+	n.Serve()
+	// JOIN handshake on the system thread: block until the coordinator
+	// has admitted us, broadcast the view and seeded this node with
+	// objects (TRANSFERs arrive on the serve loop while we wait).
+	sys := n.lthread(0)
+	jreq := wire.JoinRequest{Digest: planDigest(n.Plan)}
+	resp, err := n.rawRequest(sys, 0, wire.KindJoin, jreq.Encode())
+	var w wire.Welcome
+	if err == nil {
+		w, err = wire.DecodeWelcome(resp.Payload)
+		wire.PutBuf(resp.Payload)
+	}
+	if err == nil && !w.Accept {
+		err = fmt.Errorf("runtime: join refused: %s", w.Reason)
+	}
+	if err != nil {
+		// Wind the rejected node down without touching the cluster.
+		_ = n.EP.Send(transport.Message{To: n.Rank, Kind: KindShutdown})
+		_ = transport.Flush(n.EP)
+		n.wg.Wait()
+		_ = n.EP.Close()
+		return nil, err
+	}
+	n.view.Advance(membership.View{ID: w.ViewID, Size: w.Size, Departed: w.Departed})
+	for i, id := range w.IDs {
+		if i < len(w.Homes) {
+			n.learnHome(id, w.Homes[i])
+		}
+	}
+	c.stateMu.Lock()
+	c.Nodes = append(c.Nodes, n)
+	c.stateMu.Unlock()
+	return n, nil
+}
+
+// Drain retires a member gracefully: the rank migrates every object it
+// owns to the surviving members (LEAVE), the coordinator advances the
+// view and broadcasts it with the relocation table, and the leaver is
+// shut down and retired from the reliability layer — so its silence is
+// never mistaken for a crash and no recovery round runs. The rank's
+// number is never reused. Fails — with the cluster unchanged — if the
+// rank hosts static classes, kept objects (busy or non-migratable), or
+// is the coordinator.
+func (c *Cluster) Drain(rank int) error {
+	if !c.opts.Elastic {
+		return fmt.Errorf("runtime: Drain on a non-elastic cluster (set Options.Elastic)")
+	}
+	c.stateMu.Lock()
+	if !c.started || c.closed {
+		c.stateMu.Unlock()
+		return fmt.Errorf("runtime: Drain needs a started, live cluster")
+	}
+	nodes := append([]*Node(nil), c.Nodes...)
+	c.stateMu.Unlock()
+	if rank == 0 {
+		return fmt.Errorf("runtime: the coordinator (rank 0) cannot be drained")
+	}
+	if rank < 0 || rank >= len(nodes) {
+		return fmt.Errorf("runtime: drain rank %d out of range [0,%d)", rank, len(nodes))
+	}
+	starter := nodes[0]
+	if starter.isDead(rank) {
+		return fmt.Errorf("runtime: rank %d is dead; recovery, not drain, handles it", rank)
+	}
+	if p := starter.Plan; p != nil {
+		var statics []string
+		for cls, r := range p.StaticPart {
+			if r == rank {
+				statics = append(statics, cls)
+			}
+		}
+		if len(statics) > 0 {
+			sort.Strings(statics)
+			return fmt.Errorf("runtime: rank %d hosts static class(es) %v and cannot drain", rank, statics)
+		}
+	}
+
+	// Serialise against adaptation rounds and joins: no migration
+	// command built against the old view can be issued after this.
+	starter.coordMu.Lock()
+	defer starter.coordMu.Unlock()
+	cur := starter.view.Current()
+	if !cur.Live(rank) {
+		return fmt.Errorf("runtime: rank %d is not a live member of view %d", rank, cur.ID)
+	}
+	sys := starter.lthread(0)
+	lreq := wire.LeaveRequest{Reason: "drain"}
+	resp, err := starter.rawRequest(sys, rank, wire.KindLeave, lreq.Encode())
+	if err != nil {
+		return err
+	}
+	out, err := wire.DecodeLeaveResponse(resp.Payload)
+	wire.PutBuf(resp.Payload)
+	if err != nil {
+		return err
+	}
+	if out.Err != "" {
+		return fmt.Errorf("runtime: drain of rank %d refused: %s", rank, out.Err)
+	}
+	if out.Kept > 0 {
+		return fmt.Errorf("runtime: rank %d kept %d object(s) (busy or non-migratable); drain aborted", rank, out.Kept)
+	}
+	next, err := cur.Shrunk(rank)
+	if err != nil {
+		return err
+	}
+	starter.view.Advance(next)
+	starter.count(sys, func(s *NodeStats) *int64 { return &s.Drains }, 1)
+	// Members retire the leaver from their reliability layers on this
+	// broadcast — before its endpoint closes, so the heartbeat deadline
+	// never converts the graceful leave into a PEERDOWN verdict.
+	w := wire.Welcome{
+		Accept: true, ViewID: next.ID, Size: next.Size, Departed: next.Departed,
+		Epoch: starter.coh.curEpoch(), IDs: out.IDs, Homes: out.Homes,
+	}
+	for _, r := range next.Members() {
+		if r == starter.Rank || starter.isDead(r) {
+			continue
+		}
+		if resp, err := starter.rawRequest(sys, r, wire.KindWelcome, w.Encode()); err == nil {
+			wire.PutBuf(resp.Payload)
+		}
+	}
+	for i, id := range out.IDs {
+		starter.learnHome(id, out.Homes[i])
+	}
+	// Stop the leaver, then clear its slot in our reliability ring: the
+	// retire cancels the retransmit state the final SHUTDOWN frame left
+	// behind, so nothing keeps probing the closed endpoint.
+	_ = starter.EP.Send(transport.Message{To: rank, Kind: KindShutdown})
+	_ = transport.Flush(starter.EP)
+	nodes[rank].wg.Wait()
+	_ = nodes[rank].EP.Close()
+	transport.RetirePeer(starter.EP, rank)
+	starter.coh.purgeRank(rank)
+	return nil
 }
 
 // RunDistributed is the one-call convenience used by the examples and

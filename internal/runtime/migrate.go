@@ -55,6 +55,10 @@ func (n *Node) handleMigrate(lt *lthread, req *wire.MigrateRequest) wire.Migrate
 	if req.To < 0 || req.To >= n.EP.Size() {
 		return wire.MigrateResponse{Err: fmt.Sprintf("migrate target %d out of range", req.To)}
 	}
+	if n.departed(req.To) || n.isDead(req.To) {
+		// A command built against an older view; the object stays put.
+		return wire.MigrateResponse{}
+	}
 	h := n.holder(req.ID)
 	if h == nil || !n.migratable(h) {
 		return wire.MigrateResponse{}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"autodist/internal/bytecode"
+	"autodist/internal/membership"
 	"autodist/internal/rewrite"
 	"autodist/internal/transport"
 	"autodist/internal/vm"
@@ -153,8 +154,17 @@ type Node struct {
 
 	// reqEpoch counts synchronous requests for the adaptation trigger.
 	reqEpoch int64
-	// coordMu serialises adaptation rounds on the coordinator.
+	// coordMu serialises adaptation rounds on the coordinator. On
+	// elastic deployments it also serialises membership changes (join
+	// admissions, drains), so an adaptation round never interleaves
+	// with a view transition.
 	coordMu sync.Mutex
+
+	// view tracks the cluster's membership view on elastic deployments
+	// (membership.go). Nil — the default — disables the subsystem
+	// entirely: no frame carries a view id and the wire stream is
+	// byte-identical to a static cluster.
+	view *membership.Tracker
 
 	// ltMu guards the per-logical-thread context table (see
 	// thread.go). All thread-scoped state — asynchronous batch
@@ -272,6 +282,14 @@ type NodeStats struct {
 	CompiledMethods int64
 	TierUps         int64
 	Deopts          int64
+	// Joins counts nodes admitted into the cluster (counted on the
+	// coordinator); Drains counts members retired gracefully;
+	// StaleViews counts coordination frames rejected because they
+	// carried an outdated membership view. All are zero unless the
+	// deployment is elastic (Options.Elastic).
+	Joins      int64
+	Drains     int64
+	StaleViews int64
 }
 
 // add accumulates s2 into s.
@@ -297,6 +315,9 @@ func (s *NodeStats) add(s2 NodeStats) {
 	s.CompiledMethods += s2.CompiledMethods
 	s.TierUps += s2.TierUps
 	s.Deopts += s2.Deopts
+	s.Joins += s2.Joins
+	s.Drains += s2.Drains
+	s.StaleViews += s2.StaleViews
 }
 
 // sub subtracts s2 from s (for per-invocation deltas of snapshots).
@@ -322,6 +343,9 @@ func (s *NodeStats) sub(s2 NodeStats) {
 	s.CompiledMethods -= s2.CompiledMethods
 	s.TierUps -= s2.TierUps
 	s.Deopts -= s2.Deopts
+	s.Joins -= s2.Joins
+	s.Drains -= s2.Drains
+	s.StaleViews -= s2.StaleViews
 }
 
 // snapshot returns an atomically loaded copy.
@@ -349,6 +373,9 @@ func (s *NodeStats) snapshot() NodeStats {
 		CompiledMethods:     atomic.LoadInt64(&s.CompiledMethods),
 		TierUps:             atomic.LoadInt64(&s.TierUps),
 		Deopts:              atomic.LoadInt64(&s.Deopts),
+		Joins:               atomic.LoadInt64(&s.Joins),
+		Drains:              atomic.LoadInt64(&s.Drains),
+		StaleViews:          atomic.LoadInt64(&s.StaleViews),
 	}
 }
 
@@ -721,6 +748,9 @@ func (n *Node) proxyIdentity(p *vm.Object) (home int, id int64, class string) {
 // (see fetchReplica's redirect loop).
 func (n *Node) send(lt *lthread, msg transport.Message) error {
 	msg.TID = lt.tid
+	if n.view != nil && isViewStamped(msg.Kind) {
+		msg.View = n.view.ID()
+	}
 	n.count(lt, func(s *NodeStats) *int64 { return &s.MessagesSent }, 1)
 	n.count(lt, func(s *NodeStats) *int64 { return &s.BytesSent }, int64(len(msg.Payload)))
 	if err := n.EP.Send(msg); err != nil {
@@ -1240,6 +1270,20 @@ func (n *Node) handle(msg transport.Message) {
 		*dests = mergeDests(*dests, n.takeAsyncDests(lt))
 	}
 
+	// Coordination traffic on elastic clusters carries the sender's
+	// membership view; a frame stamped with an older view than ours was
+	// built against a composition that no longer exists (e.g. a
+	// migration targeting a rank drained since), so it is refused and
+	// the sender retries after installing the current view.
+	if n.view != nil && msg.View != 0 && isViewStamped(msg.Kind) {
+		if cur := n.view.ID(); msg.View < cur {
+			n.count(lt, func(s *NodeStats) *int64 { return &s.StaleViews }, 1)
+			e := fmt.Sprintf("node %d: stale view %d (current %d)", n.Rank, msg.View, cur)
+			reply(staleViewPayload(msg.Kind, e))
+			return
+		}
+	}
+
 	switch msg.Kind {
 	case KindNew:
 		n.count(lt, func(s *NodeStats) *int64 { return &s.NewRequests }, 1)
@@ -1335,6 +1379,30 @@ func (n *Node) handle(msg transport.Message) {
 			out.Err = fmt.Sprintf("node %d: rehome with %d ids, %d homes", n.Rank, len(req.IDs), len(req.Homes))
 		} else {
 			n.applyRehome(req.Dead, req.IDs, req.Homes)
+		}
+		reply(out.Encode())
+	case wire.KindJoin:
+		out := wire.Welcome{}
+		if req, err := wire.DecodeJoinRequest(msg.Payload); err != nil {
+			out.Reason = err.Error()
+		} else {
+			out = n.handleJoin(lt, &req, msg.From)
+		}
+		reply(out.Encode())
+	case wire.KindWelcome:
+		out := wire.DepResponse{}
+		if req, err := wire.DecodeWelcome(msg.Payload); err != nil {
+			out.Err = err.Error()
+		} else if e := n.handleWelcome(&req); e != "" {
+			out.Err = e
+		}
+		reply(out.Encode())
+	case wire.KindLeave:
+		out := wire.LeaveResponse{}
+		if _, err := wire.DecodeLeaveRequest(msg.Payload); err != nil {
+			out = wire.LeaveResponse{Err: err.Error()}
+		} else {
+			out = n.handleLeave(lt)
 		}
 		reply(out.Encode())
 	}

@@ -73,7 +73,7 @@ func (n *Node) markDead(rank int) bool {
 // dead rank. The round starts before the sweep so a swept requester
 // that immediately awaits recovery observes it in progress.
 func (n *Node) handlePeerDown(dead int) {
-	if dead < 0 || dead >= n.EP.Size() || dead == n.Rank || !n.markDead(dead) {
+	if dead < 0 || dead >= n.EP.Size() || dead == n.Rank || n.departed(dead) || !n.markDead(dead) {
 		return
 	}
 	if n.recovery && n.Rank == 0 {
@@ -199,8 +199,8 @@ func (n *Node) runRecovery(dead int) {
 	for _, id := range n.coh.replicasOf(dead) {
 		holders[id] = append(holders[id], n.Rank)
 	}
-	for rank := 0; rank < n.EP.Size(); rank++ {
-		if rank == n.Rank || rank == dead || n.isDead(rank) {
+	for rank := 0; rank < n.clusterSpan(); rank++ {
+		if rank == n.Rank || rank == dead || n.isDead(rank) || n.departed(rank) {
 			continue
 		}
 		req := wire.RecoverRequest{Dead: dead}
@@ -268,8 +268,8 @@ func (n *Node) runRecovery(dead int) {
 		homes[i] = promoted[id]
 	}
 	n.applyRehome(dead, ids, homes)
-	for rank := 0; rank < n.EP.Size(); rank++ {
-		if rank == n.Rank || rank == dead || n.isDead(rank) {
+	for rank := 0; rank < n.clusterSpan(); rank++ {
+		if rank == n.Rank || rank == dead || n.isDead(rank) || n.departed(rank) {
 			continue
 		}
 		req := wire.RehomeRequest{Dead: dead, IDs: ids, Homes: homes}

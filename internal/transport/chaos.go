@@ -78,6 +78,21 @@ func (c *Chaos) Killed(rank int) bool {
 	return c.killed[rank]
 }
 
+// Extend wraps a freshly grown endpoint (an admitted joiner) with the
+// controller's rules and registers it with the kill switch. The new
+// rank's links draw from the same seed schedule they would have had at
+// construction, so a scale-out run replays deterministically.
+func (c *Chaos) Extend(ep Endpoint, rules ChaosRules) Endpoint {
+	ce := &chaosEndpoint{inner: ep, ctl: c, rules: rules}
+	c.mu.Lock()
+	for len(c.eps) < ep.Rank() {
+		c.eps = append(c.eps, nil)
+	}
+	c.eps = append(c.eps, ce)
+	c.mu.Unlock()
+	return ce
+}
+
 // chaosLink is the per-destination fault state: a seeded random stream
 // and at most one held (reordered) frame.
 type chaosLink struct {
@@ -103,16 +118,24 @@ func NewChaos(eps []Endpoint, rules ChaosRules) (*Chaos, []Endpoint) {
 	ctl := &Chaos{killed: map[int]bool{}, eps: make([]*chaosEndpoint, len(eps))}
 	out := make([]Endpoint, len(eps))
 	for i, ep := range eps {
-		ce := &chaosEndpoint{inner: ep, ctl: ctl, rules: rules, links: make([]*chaosLink, ep.Size())}
-		for to := range ce.links {
-			// One independent deterministic stream per directed link.
-			seed := rules.Seed*1_000_003 + int64(i)*4099 + int64(to)
-			ce.links[to] = &chaosLink{rng: rand.New(rand.NewSource(seed))}
-		}
+		ce := &chaosEndpoint{inner: ep, ctl: ctl, rules: rules}
+		ce.growLinks(ep.Size())
 		ctl.eps[i] = ce
 		out[i] = ce
 	}
 	return ctl, out
+}
+
+// growLinks extends the per-destination fault state to n links. Each
+// directed link's stream depends only on (seed, sender, receiver), so
+// a link created by growth behaves exactly as it would have at
+// construction. Callers hold e.mu (or own the endpoint exclusively).
+func (e *chaosEndpoint) growLinks(n int) {
+	for to := len(e.links); to < n; to++ {
+		// One independent deterministic stream per directed link.
+		seed := e.rules.Seed*1_000_003 + int64(e.inner.Rank())*4099 + int64(to)
+		e.links = append(e.links, &chaosLink{rng: rand.New(rand.NewSource(seed))})
+	}
 }
 
 func (e *chaosEndpoint) Rank() int { return e.inner.Rank() }
@@ -137,7 +160,7 @@ func (e *chaosEndpoint) Send(msg Message) error {
 	if e.rules.Zero() {
 		return e.inner.Send(msg)
 	}
-	if msg.To < 0 || msg.To >= len(e.links) || msg.To == e.Rank() {
+	if msg.To < 0 || msg.To >= e.Size() || msg.To == e.Rank() {
 		// Faults model the wire; self-delivery never traverses it. The
 		// reliability layer above never retransmits on the self link
 		// (a node cannot outlive itself), so a fault injected here
@@ -146,6 +169,9 @@ func (e *chaosEndpoint) Send(msg Message) error {
 		return e.inner.Send(msg)
 	}
 	e.mu.Lock()
+	if msg.To >= len(e.links) {
+		e.growLinks(e.Size())
+	}
 	link := e.links[msg.To]
 	roll := func(p float64) bool { return p > 0 && link.rng.Float64() < p }
 	drop := roll(e.rules.Drop)

@@ -1,0 +1,191 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"autodist/internal/wire"
+)
+
+// TestInProcGrow: growing the channel fabric yields a next-rank
+// endpoint, every existing endpoint sees the larger size, and frames
+// flow both ways with the newcomer.
+func TestInProcGrow(t *testing.T) {
+	eps := NewInProc(2)
+	grown, err := Grow(eps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.Rank() != 2 {
+		t.Fatalf("grown rank %d, want 2", grown.Rank())
+	}
+	for i, ep := range append(eps, grown) {
+		if ep.Size() != 3 {
+			t.Fatalf("endpoint %d size %d after growth, want 3", i, ep.Size())
+		}
+	}
+	if err := eps[0].Send(Message{To: 2, Tag: 7, Payload: []byte("hi")}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := grown.Recv()
+	if err != nil || msg.From != 0 || msg.Tag != 7 {
+		t.Fatalf("joiner recv %+v (%v)", msg, err)
+	}
+	if err := grown.Send(Message{To: 1, Tag: 8}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err = eps[1].Recv()
+	if err != nil || msg.From != 2 || msg.Tag != 8 {
+		t.Fatalf("old member recv %+v (%v)", msg, err)
+	}
+	for _, ep := range append(eps, grown) {
+		_ = ep.Close()
+	}
+}
+
+// TestTCPGrow: the TCP fabric grows through the shared address book —
+// existing endpoints route to the newcomer's fresh listener and the
+// newcomer dials back, with no reconfiguration of the old nodes.
+func TestTCPGrow(t *testing.T) {
+	eps, err := NewTCPCluster(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := Grow(eps[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, ep := range append(eps, grown) {
+			_ = ep.Close()
+		}
+	}()
+	if grown.Rank() != 2 || eps[0].Size() != 3 || grown.Size() != 3 {
+		t.Fatalf("rank %d, sizes %d/%d, want 2 and 3/3", grown.Rank(), eps[0].Size(), grown.Size())
+	}
+	if err := eps[0].Send(Message{To: 2, Tag: 9, Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := grown.Recv()
+	if err != nil || msg.From != 0 || msg.Tag != 9 {
+		t.Fatalf("joiner recv %+v (%v)", msg, err)
+	}
+	wire.PutBuf(msg.Payload)
+	if err := grown.Send(Message{To: 0, Tag: 10, View: 5}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err = eps[0].Recv()
+	if err != nil || msg.From != 2 || msg.Tag != 10 || msg.View != 5 {
+		t.Fatalf("old member recv %+v (%v), want view 5 from 2", msg, err)
+	}
+}
+
+// TestReliableGrow: the reliability wrapper picks a grown fabric up
+// lazily — peers past the original size get fresh sequence state on
+// first contact, in both directions, with ordered delivery.
+func TestReliableGrow(t *testing.T) {
+	base := NewInProc(2)
+	opts := ReliableOptions{HeartbeatInterval: 20 * time.Millisecond, HeartbeatMisses: 500}
+	eps := make([]Endpoint, 2)
+	for i, ep := range base {
+		eps[i] = NewReliable(ep, opts)
+	}
+	grownBase, err := Grow(base[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown := NewReliable(grownBase, opts)
+	defer func() {
+		for _, ep := range append(eps, grown) {
+			_ = ep.Close()
+		}
+	}()
+	if eps[0].Size() != 3 || grown.Size() != 3 {
+		t.Fatalf("sizes %d/%d after growth, want 3/3", eps[0].Size(), grown.Size())
+	}
+	for i := 0; i < 5; i++ {
+		if err := eps[1].Send(Message{To: 2, Tag: uint64(100 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		msg, err := grown.Recv()
+		if err != nil || msg.From != 1 || msg.Tag != uint64(100+i) {
+			t.Fatalf("joiner recv %d: %+v (%v)", i, msg, err)
+		}
+	}
+	if err := grown.Send(Message{To: 0, Tag: 55}); err != nil {
+		t.Fatal(err)
+	}
+	msg, err := eps[0].Recv()
+	if err != nil || msg.From != 2 || msg.Tag != 55 || msg.Seq != 1 {
+		t.Fatalf("old member recv %+v (%v), want seq 1 from 2", msg, err)
+	}
+}
+
+// TestRetirePeerStopsRetransmits is the satellite fix's contract:
+// frames queued to a rank that has been removed (killed and recovered
+// around, or gracefully departed) stop retransmitting the moment the
+// peer is retired — not at the heartbeat deadline — later sends fail
+// fast, and no PEERDOWN verdict is synthesised (the caller already
+// knows the rank is gone).
+func TestRetirePeerStopsRetransmits(t *testing.T) {
+	base := NewInProc(2)
+	chaos, wrapped := NewChaos(base, ChaosRules{})
+	// A far-away deadline so the failure detector never beats the
+	// explicit retire, and a short rto so retransmits accumulate fast.
+	opts := ReliableOptions{
+		HeartbeatInterval: 10 * time.Millisecond,
+		HeartbeatMisses:   100_000,
+		RetransmitTimeout: 5 * time.Millisecond,
+	}
+	ep0 := NewReliable(wrapped[0], opts)
+	defer ep0.Close()
+	chaos.Kill(1) // frames to rank 1 vanish; it never acks
+
+	if err := ep0.Send(Message{To: 1, Tag: 1, Payload: []byte("doomed")}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for mustFaults(t, ep0).Retransmits < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("retransmissions never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	RetirePeer(ep0, 1)
+	after := mustFaults(t, ep0).Retransmits
+	time.Sleep(100 * time.Millisecond) // many rto periods
+	final := mustFaults(t, ep0)
+	if final.Retransmits != after {
+		t.Fatalf("ring still retransmitting after retire: %d -> %d", after, final.Retransmits)
+	}
+	if final.PeersDown != 0 {
+		t.Fatalf("retire counted %d peers down; the failure detector owns that counter", final.PeersDown)
+	}
+	if err := ep0.Send(Message{To: 1, Tag: 2}); !IsPeerDown(err) {
+		t.Fatalf("send to retired rank: %v, want peer-down", err)
+	}
+	// No synthetic PEERDOWN may appear in the receive stream.
+	recvDone := make(chan Message, 1)
+	go func() {
+		if m, err := ep0.Recv(); err == nil {
+			recvDone <- m
+		}
+	}()
+	select {
+	case m := <-recvDone:
+		t.Fatalf("unexpected message after retire: kind %d from %d", m.Kind, m.From)
+	case <-time.After(150 * time.Millisecond):
+	}
+}
+
+func mustFaults(t *testing.T, ep Endpoint) FaultStats {
+	t.Helper()
+	f, ok := Faults(ep)
+	if !ok {
+		t.Fatal("endpoint has no fault counters")
+	}
+	return f
+}

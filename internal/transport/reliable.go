@@ -134,6 +134,39 @@ func NewReliable(ep Endpoint, opts ReliableOptions) Endpoint {
 func (e *relEndpoint) Rank() int { return e.inner.Rank() }
 func (e *relEndpoint) Size() int { return e.inner.Size() }
 
+// peerLocked returns the state for rank, growing the table when the
+// inner fabric has grown past it (an admitted joiner): new peers start
+// with fresh sequence space, exactly like peers at construction.
+// Callers hold e.mu and have bounds-checked rank against e.Size().
+func (e *relEndpoint) peerLocked(rank int) *relPeer {
+	for len(e.peers) <= rank {
+		e.peers = append(e.peers, &relPeer{recvNext: 1, reorder: map[uint64]Message{}})
+	}
+	return e.peers[rank]
+}
+
+// RetireRank drops all reliability state for a departed or recovered-
+// around rank immediately — see transport.RetirePeer. Unlike a
+// heartbeat-deadline verdict it synthesises no PeerDown and counts no
+// peers-down: the caller already acted on the departure, and what this
+// buys is that frames queued to the rank stop retransmitting with
+// backoff until the deadline.
+func (e *relEndpoint) RetireRank(rank int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if rank < 0 || rank >= e.Size() || rank == e.Rank() {
+		return
+	}
+	p := e.peerLocked(rank)
+	if p.down {
+		return
+	}
+	p.down = true
+	p.active = false
+	p.unacked = nil
+	p.reorder = map[uint64]Message{}
+}
+
 // SendCopiesPayload: Send copies the payload into the ring's master
 // copy before returning, so callers recycle their buffer immediately.
 func (e *relEndpoint) SendCopiesPayload() bool { return true }
@@ -164,7 +197,7 @@ func (e *relEndpoint) Send(msg Message) error {
 	}
 	msg.From = e.Rank()
 	e.mu.Lock()
-	p := e.peers[msg.To]
+	p := e.peerLocked(msg.To)
 	if p.down {
 		e.mu.Unlock()
 		return fmt.Errorf("transport: send to node %d (frame kind %d): %w", msg.To, msg.Kind, ErrPeerDown)
@@ -256,7 +289,7 @@ func (e *relEndpoint) recvLoop() {
 		}
 		var deliver []Message
 		e.mu.Lock()
-		p := e.peers[msg.From]
+		p := e.peerLocked(msg.From)
 		if p.down {
 			// A declared-dead peer stays dead; drop zombie frames.
 			e.mu.Unlock()

@@ -79,9 +79,9 @@ const combineYields = 4
 // (length-prefixed binary), the same format family as the runtime's
 // payload bodies.
 type tcpEndpoint struct {
-	rank  int
-	addrs []string
-	opts  TCPOptions
+	rank int
+	book *addrBook
+	opts TCPOptions
 
 	ln    net.Listener
 	inbox chan Message
@@ -147,6 +147,38 @@ func newTCPConn(c net.Conn, sw *wire.SegmentWriter) *tcpConn {
 }
 
 var errConnClosed = fmt.Errorf("transport: connection closed")
+
+// addrBook is a TCP cluster's rank→address table. Endpoints built
+// together (NewTCPClusterOpts, GrowEndpoint) share one book, so
+// admitting a node makes every member's Size() and routing reflect the
+// larger cluster at once; endpoints built standalone get a private
+// book.
+type addrBook struct {
+	mu    sync.RWMutex
+	addrs []string
+}
+
+func (b *addrBook) size() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.addrs)
+}
+
+func (b *addrBook) addr(i int) (string, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	if i < 0 || i >= len(b.addrs) {
+		return "", false
+	}
+	return b.addrs[i], true
+}
+
+func (b *addrBook) add(addr string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.addrs = append(b.addrs, addr)
+	return len(b.addrs) - 1
+}
 
 // enqueue appends one frame to the batch and wakes the flusher.
 // maxPending bounds the unwritten batch in bytes: senders beyond it
@@ -297,12 +329,16 @@ func NewTCPNode(rank int, addrs []string, ln net.Listener) (Endpoint, error) {
 // negotiated per connection, but a compressing dialler needs an
 // accepter that understands the preamble).
 func NewTCPNodeOpts(rank int, addrs []string, ln net.Listener, opts TCPOptions) (Endpoint, error) {
-	if rank < 0 || rank >= len(addrs) {
+	return newTCPNodeBook(rank, &addrBook{addrs: append([]string(nil), addrs...)}, ln, opts)
+}
+
+func newTCPNodeBook(rank int, book *addrBook, ln net.Listener, opts TCPOptions) (Endpoint, error) {
+	if rank < 0 || rank >= book.size() {
 		return nil, fmt.Errorf("transport: rank %d out of range", rank)
 	}
 	e := &tcpEndpoint{
 		rank:  rank,
-		addrs: addrs,
+		book:  book,
 		opts:  opts,
 		ln:    ln,
 		inbox: make(chan Message, 1024),
@@ -312,6 +348,24 @@ func NewTCPNodeOpts(rank int, addrs []string, ln net.Listener, opts TCPOptions) 
 	e.wg.Add(1)
 	go e.acceptLoop()
 	return e, nil
+}
+
+// GrowEndpoint adds one node to the cluster: it binds a fresh
+// ephemeral listener, registers its address in the shared book (so
+// every endpoint built from the same book immediately routes to it)
+// and returns the new endpoint with the next rank.
+func (e *tcpEndpoint) GrowEndpoint() (Endpoint, error) {
+	ln, addr, err := Listen("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	rank := e.book.add(addr)
+	ep, err := newTCPNodeBook(rank, e.book, ln, e.opts)
+	if err != nil {
+		_ = ln.Close()
+		return nil, err
+	}
+	return ep, nil
 }
 
 // Listen binds a TCP listener on addr (use "127.0.0.1:0" for an
@@ -397,7 +451,7 @@ func (e *tcpEndpoint) deliver(f *wire.Frame) bool {
 	if len(f.Payload) > 0 {
 		p = append(wire.GetBuf(), f.Payload...)
 	}
-	msg := Message{From: f.From, To: f.To, Tag: f.Tag, TID: f.TID, Kind: f.Kind, Seq: f.Seq, Ack: f.Ack, Dedup: f.Dedup, Time: f.Time, Payload: p}
+	msg := Message{From: f.From, To: f.To, Tag: f.Tag, TID: f.TID, Kind: f.Kind, Seq: f.Seq, Ack: f.Ack, Dedup: f.Dedup, View: f.View, Time: f.Time, Payload: p}
 	// Fast path: a non-blocking send skips the two-case select
 	// machinery whenever the inbox has room (the common case with a
 	// live consumer).
@@ -415,7 +469,7 @@ func (e *tcpEndpoint) deliver(f *wire.Frame) bool {
 }
 
 func (e *tcpEndpoint) Rank() int { return e.rank }
-func (e *tcpEndpoint) Size() int { return len(e.addrs) }
+func (e *tcpEndpoint) Size() int { return e.book.size() }
 
 // SendCopiesPayload reports that Send consumes msg.Payload before
 // returning (the bytes are appended to a connection batch or written),
@@ -424,11 +478,11 @@ func (e *tcpEndpoint) Size() int { return len(e.addrs) }
 func (e *tcpEndpoint) SendCopiesPayload() bool { return true }
 
 func (e *tcpEndpoint) Send(msg Message) error {
-	if msg.To < 0 || msg.To >= len(e.addrs) {
+	if msg.To < 0 || msg.To >= e.book.size() {
 		return fmt.Errorf("transport: bad destination %d", msg.To)
 	}
 	msg.From = e.rank
-	frame := wire.Frame{From: msg.From, To: msg.To, Tag: msg.Tag, TID: msg.TID, Kind: msg.Kind, Seq: msg.Seq, Ack: msg.Ack, Dedup: msg.Dedup, Time: msg.Time, Payload: msg.Payload}
+	frame := wire.Frame{From: msg.From, To: msg.To, Tag: msg.Tag, TID: msg.TID, Kind: msg.Kind, Seq: msg.Seq, Ack: msg.Ack, Dedup: msg.Dedup, View: msg.View, Time: msg.Time, Payload: msg.Payload}
 	conn, err := e.connTo(msg.To)
 	if err != nil {
 		return fmt.Errorf("transport: send to node %d (frame kind %d): %w", msg.To, msg.Kind, err)
@@ -489,7 +543,11 @@ func (e *tcpEndpoint) connTo(to int) (*tcpConn, error) {
 	if conn != nil {
 		return conn, nil
 	}
-	c, err := net.Dial("tcp", e.addrs[to])
+	addr, ok := e.book.addr(to)
+	if !ok {
+		return nil, fmt.Errorf("transport: bad destination %d", to)
+	}
+	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial node %d: %w", to, err)
 	}
@@ -580,9 +638,10 @@ func NewTCPClusterOpts(n int, opts TCPOptions) ([]Endpoint, error) {
 		lns[i] = ln
 		addrs[i] = addr
 	}
+	book := &addrBook{addrs: addrs}
 	eps := make([]Endpoint, n)
 	for i := 0; i < n; i++ {
-		ep, err := NewTCPNodeOpts(i, addrs, lns[i], opts)
+		ep, err := newTCPNodeBook(i, book, lns[i], opts)
 		if err != nil {
 			return nil, err
 		}

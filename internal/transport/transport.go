@@ -33,9 +33,13 @@ type Message struct {
 	// Dedup is the runtime's idempotency id for re-driven requests. All
 	// three are zero on fabrics without the reliability wrapper, and
 	// frames with all three zero keep the version-2 wire layout.
-	Seq     uint64
-	Ack     uint64
-	Dedup   uint64
+	Seq   uint64
+	Ack   uint64
+	Dedup uint64
+	// View is the sender's membership view id, stamped on coordination
+	// traffic by elastic clusters. Zero everywhere else; frames with a
+	// zero view keep the version-3 (or smaller) wire layout.
+	View    uint64
 	Time    float64
 	Payload []byte
 }
@@ -117,6 +121,34 @@ func Flush(ep Endpoint) error {
 	return nil
 }
 
+// Grow adds one node to a growable fabric: it returns a fresh endpoint
+// with the next rank, after which every existing endpoint's Size()
+// reflects the larger cluster. The in-process and TCP fabrics grow;
+// fabrics without the capability return an error. Wrappers (chaos,
+// reliability) are grown by wrapping the new base endpoint — their
+// existing instances pick the larger size up from their inner endpoint
+// lazily.
+func Grow(ep Endpoint) (Endpoint, error) {
+	g, ok := ep.(interface{ GrowEndpoint() (Endpoint, error) })
+	if !ok {
+		return nil, fmt.Errorf("transport: fabric cannot grow")
+	}
+	return g.GrowEndpoint()
+}
+
+// RetirePeer removes a departed or dead rank from an endpoint's
+// reliability state immediately: queued frames stop retransmitting,
+// heartbeats stop, and subsequent sends to the rank fail fast — with
+// no PEERDOWN verdict and no peers-down count, because the caller
+// already knows (a recovery round rehomed the rank's objects, or a
+// graceful leave drained it). Fabrics without reliability state ignore
+// it.
+func RetirePeer(ep Endpoint, rank int) {
+	if r, ok := ep.(interface{ RetireRank(rank int) }); ok {
+		r.RetireRank(rank)
+	}
+}
+
 // Causal reports whether the fabric guarantees causally ordered
 // delivery: if send A completes before send B starts anywhere along a
 // happens-before chain, A is received before B at a shared receiver.
@@ -129,13 +161,43 @@ func Causal(ep Endpoint) bool {
 	return ok && c.CausalDelivery()
 }
 
+// inprocFabric is the shared state of an in-process fabric: the
+// endpoint roster, guarded so the cluster can grow while senders look
+// peers up concurrently.
+type inprocFabric struct {
+	mu  sync.RWMutex
+	eps []*inprocEndpoint
+}
+
+func (f *inprocFabric) size() int {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	return len(f.eps)
+}
+
+func (f *inprocFabric) peer(i int) *inprocEndpoint {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	if i < 0 || i >= len(f.eps) {
+		return nil
+	}
+	return f.eps[i]
+}
+
+func (f *inprocFabric) grow() *inprocEndpoint {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e := &inprocEndpoint{rank: len(f.eps), fab: f, inbox: make(chan Message, 1024), done: make(chan struct{})}
+	f.eps = append(f.eps, e)
+	return e
+}
+
 // inprocEndpoint is one port of an in-process fabric.
 type inprocEndpoint struct {
 	rank  int
-	size  int
+	fab   *inprocFabric
 	inbox chan Message
 	done  chan struct{}
-	peers []*inprocEndpoint
 
 	mu     sync.Mutex
 	closed bool
@@ -144,32 +206,31 @@ type inprocEndpoint struct {
 // NewInProc builds an n-node in-process fabric and returns its
 // endpoints. Message order is preserved per sender→receiver pair.
 func NewInProc(n int) []Endpoint {
-	eps := make([]*inprocEndpoint, n)
-	for i := range eps {
-		eps[i] = &inprocEndpoint{rank: i, size: n, inbox: make(chan Message, 1024), done: make(chan struct{})}
-	}
-	for i := range eps {
-		eps[i].peers = eps
-	}
+	fab := &inprocFabric{}
 	out := make([]Endpoint, n)
-	for i := range eps {
-		out[i] = eps[i]
+	for i := range out {
+		out[i] = fab.grow()
 	}
 	return out
 }
 
 func (e *inprocEndpoint) Rank() int { return e.rank }
-func (e *inprocEndpoint) Size() int { return e.size }
+func (e *inprocEndpoint) Size() int { return e.fab.size() }
+
+// GrowEndpoint adds one node to the fabric and returns its endpoint.
+func (e *inprocEndpoint) GrowEndpoint() (Endpoint, error) {
+	return e.fab.grow(), nil
+}
 
 // CausalDelivery marks the channel fabric as causally ordered.
 func (e *inprocEndpoint) CausalDelivery() bool { return true }
 
 func (e *inprocEndpoint) Send(msg Message) error {
-	if msg.To < 0 || msg.To >= e.size {
+	peer := e.fab.peer(msg.To)
+	if peer == nil {
 		return fmt.Errorf("transport: bad destination %d", msg.To)
 	}
 	msg.From = e.rank
-	peer := e.peers[msg.To]
 	// The inbox channel is never closed (closing with concurrent
 	// senders is a race); Close signals through the done channel
 	// instead, which also unblocks senders stuck on a full inbox.

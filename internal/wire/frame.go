@@ -25,9 +25,17 @@ type Frame struct {
 	// frame with all three zero encodes in the version-2 layout — the
 	// wire stream of a non-fault-tolerant cluster is byte-identical to
 	// the pre-v3 protocol.
-	Seq     uint64
-	Ack     uint64
-	Dedup   uint64
+	Seq   uint64
+	Ack   uint64
+	Dedup uint64
+	// View is the membership view id the sender held when it emitted
+	// the frame: coordination traffic (ADAPT, MIGRATE, RECOVER rounds
+	// and the membership handshake itself) is stamped with it so two
+	// nodes that disagree on the cluster's composition detect the skew
+	// instead of acting on it. Zero means "no membership in play" and
+	// encodes in the version-3 (or smaller) layout — a non-elastic
+	// cluster's wire stream is byte-identical to the pre-v4 protocol.
+	View    uint64
 	Time    float64
 	Payload []byte
 }
@@ -35,15 +43,19 @@ type Frame struct {
 // Frame body versions. Version 1 is the pre-thread-id layout (no TID
 // field; decodes with TID 0); version 2 added the logical-thread id;
 // version 3 appends the reliability fields (Seq, Ack, Dedup) after the
-// thread id. The decoder selects the layout by the version byte alone —
-// a frame can only carry a thread id or sequence numbers if its version
-// says so, and an unknown version is a clean error, never a panic or a
-// misparse. The encoder picks the smallest sufficient version: frames
-// with zero Seq/Ack/Dedup emit version 2 unchanged.
+// thread id; version 4 appends the membership view id after the
+// reliability fields. The decoder selects the layout by the version
+// byte alone — a frame can only carry a thread id, sequence numbers or
+// a view id if its version says so, and an unknown version is a clean
+// error, never a panic or a misparse. The encoder picks the smallest
+// sufficient version: frames with zero Seq/Ack/Dedup emit version 2
+// unchanged, and only frames carrying a nonzero view id pay for the
+// version-4 field.
 const (
 	FrameVersion1 = 1
 	FrameVersion  = 2
 	FrameVersion3 = 3
+	FrameVersion4 = 4
 )
 
 // Transport-level control kinds. They live at the top of the kind
@@ -61,6 +73,20 @@ const (
 	// the local receive stream (never sent on the wire): Message.From
 	// names the peer declared dead.
 	KindPeerDown uint8 = 0xF1
+	// KindJoin is the membership handshake's opening frame: a fresh
+	// node presents its program digest, address and speed to the rank-0
+	// coordinator and asks to be admitted. Unlike the two kinds above
+	// it does cross the wire and is handled by the runtime serve loop.
+	KindJoin uint8 = 0xF2
+	// KindWelcome carries the coordinator's admission verdict. As a
+	// reply to JOIN it grants the joiner its rank, the new view and the
+	// coherence epoch; as a broadcast it installs the new view on every
+	// existing member (and, on a leave, the rehomed ownership).
+	KindWelcome uint8 = 0xF3
+	// KindLeave asks a member to drain: migrate every object it owns to
+	// the surviving ranks and report the new homes, after which the
+	// coordinator retires it from the view.
+	KindLeave uint8 = 0xF4
 )
 
 // MaxFrameBody bounds a decoded frame body so a corrupted length prefix
@@ -91,8 +117,11 @@ func frameBodyLen(f *Frame) int {
 		8 + // time
 		uvarintLen(uint64(len(f.Payload))) +
 		len(f.Payload)
-	if f.Seq != 0 || f.Ack != 0 || f.Dedup != 0 {
+	if f.Seq != 0 || f.Ack != 0 || f.Dedup != 0 || f.View != 0 {
 		n += uvarintLen(f.Seq) + uvarintLen(f.Ack) + uvarintLen(f.Dedup)
+	}
+	if f.View != 0 {
+		n += uvarintLen(f.View)
 	}
 	return n
 }
@@ -104,13 +133,18 @@ func frameBodyLen(f *Frame) int {
 // pays nothing per frame. Frames without reliability state (Seq, Ack
 // and Dedup all zero) emit the version-2 layout, byte-identical to the
 // historical encoder's; only the reliability layer's frames pay for the
-// version-3 fields.
+// version-3 fields, and only frames stamped with a membership view id
+// pay for the version-4 field.
 func AppendFrame(b []byte, f *Frame) []byte {
 	b = appendUvarint(b, uint64(frameBodyLen(f)))
-	v3 := f.Seq != 0 || f.Ack != 0 || f.Dedup != 0
-	if v3 {
+	v4 := f.View != 0
+	v3 := v4 || f.Seq != 0 || f.Ack != 0 || f.Dedup != 0
+	switch {
+	case v4:
+		b = append(b, FrameVersion4)
+	case v3:
 		b = append(b, FrameVersion3)
-	} else {
+	default:
 		b = append(b, FrameVersion)
 	}
 	b = appendUvarint(b, uint64(f.From))
@@ -121,6 +155,9 @@ func AppendFrame(b []byte, f *Frame) []byte {
 		b = appendUvarint(b, f.Seq)
 		b = appendUvarint(b, f.Ack)
 		b = appendUvarint(b, f.Dedup)
+	}
+	if v4 {
+		b = appendUvarint(b, f.View)
 	}
 	b = append(b, f.Kind)
 	b = appendFloat(b, f.Time)
@@ -234,7 +271,7 @@ func decodeFrameBody(body []byte) (Frame, error) {
 	rd := NewReader(body)
 	ver := rd.Byte()
 	switch ver {
-	case FrameVersion1, FrameVersion, FrameVersion3:
+	case FrameVersion1, FrameVersion, FrameVersion3, FrameVersion4:
 	default:
 		if err := rd.Err(); err != nil {
 			return f, err
@@ -251,6 +288,9 @@ func decodeFrameBody(body []byte) (Frame, error) {
 		f.Seq = rd.Uvarint()
 		f.Ack = rd.Uvarint()
 		f.Dedup = rd.Uvarint()
+	}
+	if ver >= FrameVersion4 {
+		f.View = rd.Uvarint()
 	}
 	f.Kind = rd.Byte()
 	f.Time = rd.Float()

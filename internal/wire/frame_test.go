@@ -78,7 +78,7 @@ func TestFrameVersion1HasNoThreadID(t *testing.T) {
 // TestFrameUnknownVersionRejected: a version byte the decoder does not
 // know is a clean error, never a panic or a silent misparse.
 func TestFrameUnknownVersionRejected(t *testing.T) {
-	for _, ver := range []byte{0, 4, 77, 255} {
+	for _, ver := range []byte{0, 5, 77, 255} {
 		var f Frame
 		enc := AppendFrame(nil, &f)
 		// The version byte is the first body byte, right after the

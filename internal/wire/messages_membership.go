@@ -1,0 +1,167 @@
+package wire
+
+// Membership handshake messages. A fresh node opens with JOIN to the
+// rank-0 coordinator: it presents the digest of the program it was
+// rewritten from (admission is refused on a mismatch — a joiner built
+// from a different program cannot share objects), its transport
+// address and its relative CPU speed. The coordinator answers with
+// WELCOME (accept or refuse) and broadcasts the same WELCOME to every
+// existing member so the whole cluster advances to the new view
+// atomically with respect to subsequent coordination rounds. Graceful
+// leave inverts the handshake: the coordinator sends LEAVE to the
+// departing node, which migrates every object it owns to the survivors
+// and reports the new homes; the closing WELCOME broadcast then
+// carries those rehomed ids alongside the shrunk view. All three ride
+// the ordinary tagged request/response machinery on the system thread.
+
+// JoinRequest asks the coordinator to admit the sender into the
+// cluster.
+type JoinRequest struct {
+	// Addr is the joiner's transport address ("" on an in-process
+	// fabric).
+	Addr string
+	// Digest identifies the program image the joiner runs; admission
+	// requires it to equal the coordinator's own.
+	Digest uint64
+	// Speed is the joiner's relative CPU speed (1.0 = baseline).
+	Speed float64
+}
+
+// Encode serialises the request into a pooled buffer.
+func (m *JoinRequest) Encode() []byte {
+	b := appendString(GetBuf(), m.Addr)
+	b = appendUvarint(b, m.Digest)
+	return appendFloat(b, m.Speed)
+}
+
+// DecodeJoinRequest parses a JoinRequest payload.
+func DecodeJoinRequest(data []byte) (JoinRequest, error) {
+	r := NewReader(data)
+	m := JoinRequest{Addr: r.String(), Digest: r.Uvarint(), Speed: r.Float()}
+	return m, r.Err()
+}
+
+// Welcome is the coordinator's membership verdict and view
+// installation. As a JOIN reply it tells the joiner whether it is in;
+// as a broadcast it advances every member to the view it names. On a
+// leave, IDs/Homes carry the ownership repaired by the drain so
+// members forget the departed rank in the same step that retires it.
+type Welcome struct {
+	// Accept reports admission; Reason explains a refusal.
+	Accept bool
+	Reason string
+	// ViewID and Size describe the new view: Size is the total rank
+	// space (departed ranks keep their numbers), Departed lists ranks
+	// that have left gracefully.
+	ViewID   uint64
+	Size     int
+	Departed []int
+	// Epoch is the coordinator's coherence epoch at admission, so a
+	// joiner's replica timestamps start consistent with the cluster's.
+	Epoch int64
+	// IDs/Homes (parallel, possibly empty) rehome objects drained off a
+	// leaver.
+	IDs   []int64
+	Homes []int
+}
+
+// Encode serialises the message into a pooled buffer.
+func (m *Welcome) Encode() []byte {
+	b := appendBool(GetBuf(), m.Accept)
+	b = appendString(b, m.Reason)
+	b = appendUvarint(b, m.ViewID)
+	b = appendUvarint(b, uint64(m.Size))
+	b = appendUvarint(b, uint64(len(m.Departed)))
+	for _, d := range m.Departed {
+		b = appendUvarint(b, uint64(d))
+	}
+	b = appendVarint(b, m.Epoch)
+	b = appendIDs(b, m.IDs)
+	b = appendUvarint(b, uint64(len(m.Homes)))
+	for _, h := range m.Homes {
+		b = appendUvarint(b, uint64(h))
+	}
+	return b
+}
+
+// DecodeWelcome parses a Welcome payload.
+func DecodeWelcome(data []byte) (Welcome, error) {
+	r := NewReader(data)
+	m := Welcome{
+		Accept: r.Bool(),
+		Reason: r.String(),
+		ViewID: r.Uvarint(),
+		Size:   int(r.Uvarint()),
+	}
+	if n := r.count(); r.Err() == nil && n > 0 {
+		m.Departed = make([]int, n)
+		for i := range m.Departed {
+			m.Departed[i] = int(r.Uvarint())
+		}
+	}
+	m.Epoch = r.Varint()
+	m.IDs = r.ids()
+	if n := r.count(); r.Err() == nil && n > 0 {
+		m.Homes = make([]int, n)
+		for i := range m.Homes {
+			m.Homes[i] = int(r.Uvarint())
+		}
+	}
+	return m, r.Err()
+}
+
+// LeaveRequest instructs the receiver to drain: migrate every object
+// it owns to live ranks and report the new homes.
+type LeaveRequest struct {
+	// Reason is recorded for diagnostics ("drain", an operator note).
+	Reason string
+}
+
+// Encode serialises the request into a pooled buffer.
+func (m *LeaveRequest) Encode() []byte {
+	return appendString(GetBuf(), m.Reason)
+}
+
+// DecodeLeaveRequest parses a LeaveRequest payload.
+func DecodeLeaveRequest(data []byte) (LeaveRequest, error) {
+	r := NewReader(data)
+	m := LeaveRequest{Reason: r.String()}
+	return m, r.Err()
+}
+
+// LeaveResponse reports the drain's outcome: the ids the leaver
+// migrated away (with their new homes, parallel) and how many objects
+// it could not move. A nonzero Kept aborts the leave — the node stays
+// a member rather than strand state.
+type LeaveResponse struct {
+	IDs   []int64
+	Homes []int
+	Kept  int
+	Err   string
+}
+
+// Encode serialises the response into a pooled buffer.
+func (m *LeaveResponse) Encode() []byte {
+	b := appendIDs(GetBuf(), m.IDs)
+	b = appendUvarint(b, uint64(len(m.Homes)))
+	for _, h := range m.Homes {
+		b = appendUvarint(b, uint64(h))
+	}
+	b = appendUvarint(b, uint64(m.Kept))
+	return appendString(b, m.Err)
+}
+
+// DecodeLeaveResponse parses a LeaveResponse payload.
+func DecodeLeaveResponse(data []byte) (LeaveResponse, error) {
+	r := NewReader(data)
+	m := LeaveResponse{IDs: r.ids()}
+	if n := r.count(); r.Err() == nil && n > 0 {
+		m.Homes = make([]int, n)
+		for i := range m.Homes {
+			m.Homes[i] = int(r.Uvarint())
+		}
+	}
+	m.Kept = int(r.Uvarint())
+	m.Err = r.String()
+	return m, r.Err()
+}

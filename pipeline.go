@@ -164,7 +164,25 @@ type Config struct {
 	// CompileThreshold is the hotness count that promotes a method
 	// (0 = DefaultCompileThreshold). Requires Compile.
 	CompileThreshold int
+	// Elastic enables cluster membership on a deployment: Cluster.Join
+	// admits fresh nodes into the running cluster (rewriting the
+	// program for the new rank, growing the fabric and migrating
+	// objects onto the new capacity) and Cluster.Drain retires members
+	// gracefully, all without pausing invocations. Requires an adaptive
+	// distribution (live migration is the admission mechanism) and
+	// K ≥ 2. Off — the default — the wire stream is byte-identical to a
+	// static deployment.
+	Elastic bool
+	// MaxRanks caps how many ranks the deployment can ever hold
+	// (initial nodes plus joiners); it reserves the object-id namespace
+	// so ids minted before a join can never collide with the joiner's.
+	// 0 = DefaultMaxRanks. Requires Elastic; must be at least K.
+	MaxRanks int
 }
+
+// DefaultMaxRanks is the rank-space reservation applied to elastic
+// deployments when Config.MaxRanks is zero.
+const DefaultMaxRanks = 64
 
 // RunOptions is the legacy name for Config; every existing caller
 // keeps compiling and behaving identically.
@@ -205,6 +223,19 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("autodist: MaxConcurrent requires a distributed deployment (K ≥ 2)")
 		case c.FailureRecovery:
 			return fmt.Errorf("autodist: FailureRecovery requires a distributed deployment (K ≥ 2)")
+		case c.Elastic:
+			return fmt.Errorf("autodist: Elastic requires a distributed deployment (K ≥ 2)")
+		}
+	}
+	if c.Elastic && !c.Adaptive {
+		return fmt.Errorf("autodist: Elastic requires an adaptive distribution (Plan.RewriteAdaptive / -adaptive)")
+	}
+	if c.MaxRanks != 0 {
+		if !c.Elastic {
+			return fmt.Errorf("autodist: MaxRanks requires Elastic")
+		}
+		if c.MaxRanks < c.K {
+			return fmt.Errorf("autodist: MaxRanks %d below node count %d", c.MaxRanks, c.K)
 		}
 	}
 	if c.HeartbeatInterval < 0 {
@@ -324,6 +355,13 @@ type RunResult struct {
 	CompiledMethods int64
 	TierUps         int64
 	Deopts          int64
+	// Joins counts nodes admitted into the cluster after deployment,
+	// Drains counts members retired gracefully, and StaleViews counts
+	// coordination frames refused for carrying an outdated membership
+	// view. All are zero unless the deployment used Config.Elastic.
+	Joins      int64
+	Drains     int64
+	StaleViews int64
 }
 
 // fillStats copies the runtime's protocol counters into the result.
@@ -346,6 +384,9 @@ func (r *RunResult) fillStats(s runtime.NodeStats) {
 	r.CompiledMethods = s.CompiledMethods
 	r.TierUps = s.TierUps
 	r.Deopts = s.Deopts
+	r.Joins = s.Joins
+	r.Drains = s.Drains
+	r.StaleViews = s.StaleViews
 }
 
 // newVM is the shared VM-setup path of Program.Run and
