@@ -157,7 +157,7 @@ func (d *Distribution) Deploy(cfg Config) (*Cluster, error) {
 	copy(progs, d.Result.Nodes)
 	rt, err := runtime.NewCluster(progs, d.Result.Plan, eps, runtime.Options{
 		Out: out, CPUSpeeds: cfg.CPUSpeeds, Net: cfg.Net, MaxSteps: maxSteps,
-		Unoptimized: cfg.Unoptimized, AdaptEvery: cfg.AdaptEvery, Replicate: cfg.Replicate,
+		Unoptimized: cfg.Unoptimized, Fuse: !cfg.NoFuse, AdaptEvery: cfg.AdaptEvery, Replicate: cfg.Replicate,
 		MaxConcurrent: cfg.MaxConcurrent, FailureRecovery: cfg.FailureRecovery,
 		Compile: cfg.Compile, CompileThreshold: compileThreshold(cfg),
 		Elastic: cfg.Elastic, MaxRanks: maxRanks(cfg),
@@ -297,12 +297,14 @@ type InvokeResult struct {
 	// re-executed after a node death (0 on the failure-free path; see
 	// Config.FailureRecovery).
 	RedrivenInvocations int64
-	// CompiledMethods, TierUps and Deopts are this invocation's share
-	// of the tiered-execution activity: compilations its logical
-	// thread triggered, compiled frames it entered, and deopt
-	// fallbacks it took (see Config.Compile).
+	// CompiledMethods, TierUps, CompiledEntries and Deopts are this
+	// invocation's share of the tiered-execution activity:
+	// compilations its logical thread triggered, promotions it
+	// performed, compiled frames it entered, and deopt fallbacks it
+	// took (see Config.Compile).
 	CompiledMethods int64
 	TierUps         int64
+	CompiledEntries int64
 	Deopts          int64
 }
 
@@ -351,6 +353,7 @@ func (c *Cluster) Invoke(entry string, args ...Value) (*InvokeResult, error) {
 		RedrivenInvocations: delta.RedrivenInvocations,
 		CompiledMethods:     delta.CompiledMethods,
 		TierUps:             delta.TierUps,
+		CompiledEntries:     delta.CompiledEntries,
 		Deopts:              delta.Deopts,
 	}, nil
 }

@@ -94,8 +94,11 @@ func serveConn(c net.Conn, cluster *autodist.Cluster, shutdown func()) {
 				Bytes:           res.BytesSent,
 				Retransmits:     res.Retransmits,
 				Recoveries:      res.Recoveries,
+				FusedBatches:    res.FusedBatches,
+				FusedAccesses:   res.FusedAccesses,
 				CompiledMethods: res.CompiledMethods,
 				TierUps:         res.TierUps,
+				CompiledEntries: res.CompiledEntries,
 				Deopts:          res.Deopts,
 				Joins:           res.Joins,
 				Drains:          res.Drains,

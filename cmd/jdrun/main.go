@@ -100,6 +100,7 @@ func main() {
 	tcpNoCoalesce := flag.Bool("tcp-nocoalesce", false, "disable the TCP write combiner (one Write per frame; A/B lever)")
 	tcpCompress := flag.Bool("tcp-compress", false, "negotiate DEFLATE segment framing on TCP connections")
 	unopt := flag.Bool("unoptimized", false, "disable message-exchange optimisations (caching/async/batching) for A/B runs")
+	nofuse := flag.Bool("nofuse", false, "disable access fusion (one DEPENDENCE round trip per remote access; A/B lever)")
 	adaptive := flag.Bool("adaptive", false, "treat the partition as an initial placement: migrate objects to their observed communication affinity at run time")
 	adaptEvery := flag.Int("adapt-every", 0, "adaptation epoch in synchronous requests (0 = default)")
 	replicate := flag.Bool("replicate", false, "replicate read-mostly objects onto reader nodes (invalidate-on-write coherence)")
@@ -163,7 +164,7 @@ func main() {
 	// (-adapt-every without -adaptive, -unoptimized with -replicate,
 	// distribution flags with k = 1, …).
 	cfg := autodist.Config{
-		K: *k, Out: os.Stdout, TCP: *tcp, Unoptimized: *unopt,
+		K: *k, Out: os.Stdout, TCP: *tcp, Unoptimized: *unopt, NoFuse: *nofuse,
 		TCPNoCoalesce: *tcpNoCoalesce, TCPCompress: *tcpCompress,
 		Adaptive: *adaptive, AdaptEvery: *adaptEvery, Replicate: *replicate,
 		MaxConcurrent:   *concurrency,
@@ -223,8 +224,8 @@ func main() {
 			die(err)
 		}
 		if *compileTier {
-			fmt.Fprintf(os.Stderr, "tiered execution: %d compiled methods, %d tier-ups, %d deopts\n",
-				res.CompiledMethods, res.TierUps, res.Deopts)
+			fmt.Fprintf(os.Stderr, "tiered execution: %d compiled methods, %d tier-ups, %d compiled entries, %d deopts\n",
+				res.CompiledMethods, res.TierUps, res.CompiledEntries, res.Deopts)
 		}
 		if *sim {
 			fmt.Fprintf(os.Stderr, "simulated time: %.6fs (wall %v)\n", res.SimSeconds, res.Wall)
@@ -461,6 +462,10 @@ func printSummary(k int, res *autodist.RunResult, adaptive, replicate, recovery,
 	}
 	fmt.Fprintf(os.Stderr, "optimisations: %d cache hits, %d async calls in %d batch frames\n",
 		res.CacheHits, res.AsyncCalls, res.BatchFrames)
+	if res.FusedBatches > 0 {
+		fmt.Fprintf(os.Stderr, "fusion: %d fused accesses in %d DEPSEQ batches (%d round trips saved)\n",
+			res.FusedAccesses, res.FusedBatches, res.FusedAccesses-res.FusedBatches)
+	}
 	if served > 0 {
 		fmt.Fprintf(os.Stderr, "retention: %d hits served from state learned in earlier invocations\n",
 			res.RetainedHits)
@@ -478,8 +483,8 @@ func printSummary(k int, res *autodist.RunResult, adaptive, replicate, recovery,
 			res.Retransmits, res.Recoveries, res.PromotedReplicas, res.RedrivenInvocations)
 	}
 	if compiled {
-		fmt.Fprintf(os.Stderr, "tiered execution: %d compiled methods, %d tier-ups, %d deopts\n",
-			res.CompiledMethods, res.TierUps, res.Deopts)
+		fmt.Fprintf(os.Stderr, "tiered execution: %d compiled methods, %d tier-ups, %d compiled entries, %d deopts\n",
+			res.CompiledMethods, res.TierUps, res.CompiledEntries, res.Deopts)
 	}
 	if elastic {
 		fmt.Fprintf(os.Stderr, "membership: %d joins, %d drains, %d stale-view refusals\n",

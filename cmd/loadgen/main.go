@@ -259,6 +259,7 @@ func drive(addr string, conns int, initLine, line string, warmup, duration time.
 	run := &benchfmt.TransportRun{
 		Conns:         conns,
 		DurationSec:   elapsed.Seconds(),
+		WarmupSec:     warmup.Seconds(),
 		Invocations:   total,
 		InvokesPerSec: float64(total) / elapsed.Seconds(),
 		P50Ms:         pct(0.50),
@@ -277,11 +278,16 @@ func drive(addr string, conns int, initLine, line string, warmup, duration time.
 	// layer work.
 	run.Retransmits = after.Retransmits - before.Retransmits
 	run.Recoveries = after.Recoveries - before.Recoveries
+	// Access-fusion counters: zero against a -nofuse server, so the
+	// fused/nofuse A/B entries are self-describing.
+	run.FusedBatches = after.FusedBatches - before.FusedBatches
+	run.FusedAccesses = after.FusedAccesses - before.FusedAccesses
 	// Tiered-execution counters: nonzero only against a -compile
-	// server (compilations may all land in warmup; tier-ups keep
-	// accumulating through the window).
+	// server (compilations and promotions may all land in warmup;
+	// compiled-frame entries keep accumulating through the window).
 	run.CompiledMethods = after.CompiledMethods - before.CompiledMethods
 	run.TierUps = after.TierUps - before.TierUps
+	run.CompiledEntries = after.CompiledEntries - before.CompiledEntries
 	run.Deopts = after.Deopts - before.Deopts
 	return run, nil
 }
@@ -519,9 +525,9 @@ func runKernels(spec string, iters, threshold int, out string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%s: interp %.2fms/op, compiled %.2fms/op, speedup %.1fx (%d compiled, %d tier-ups, %d deopts)\n",
+		fmt.Printf("%s: interp %.2fms/op, compiled %.2fms/op, speedup %.1fx (%d compiled, %d tier-ups, %d compiled entries, %d deopts)\n",
 			run.Kernel, run.InterpNsPerOp/1e6, run.CompiledNsPerOp/1e6, run.Speedup,
-			run.CompiledMethods, run.TierUps, run.Deopts)
+			run.CompiledMethods, run.TierUps, run.CompiledEntries, run.Deopts)
 		kept := report.Runs[:0]
 		for _, r := range report.Runs {
 			if r.Kernel != run.Kernel {
@@ -586,7 +592,7 @@ func measureKernel(name string, iters, threshold int) (*benchfmt.CompileRun, err
 	if prog.ExpectOutput != "" && compiledOut != strings.Repeat(prog.ExpectOutput, iters) {
 		return nil, fmt.Errorf("%s: unexpected output %q", name, compiledOut)
 	}
-	cm, tu, d := mj.JITStats()
+	cm, tu, en, d := mj.JITStats()
 	return &benchfmt.CompileRun{
 		Kernel:          name,
 		Iters:           iters,
@@ -595,6 +601,7 @@ func measureKernel(name string, iters, threshold int) (*benchfmt.CompileRun, err
 		Speedup:         interpNs / compiledNs,
 		CompiledMethods: int64(cm),
 		TierUps:         int64(tu),
+		CompiledEntries: int64(en),
 		Deopts:          int64(d),
 	}, nil
 }

@@ -23,6 +23,11 @@ type Result struct {
 	// profiler.FieldAccessCounts via ApplyProfile).
 	Replication *ReplicaIntensity
 
+	// Fusion is the access-fusion pass: runs of consecutive remote
+	// accesses whose intermediate results are not consumed locally,
+	// which rewrite+runtime collapse into single DEPSEQ round trips.
+	Fusion *Fusion
+
 	// MainClass is the class whose static main() starts the program.
 	MainClass string
 
@@ -57,6 +62,7 @@ func Analyze(p *bytecode.Program) (*Result, error) {
 	t2 := time.Now()
 	res.Facts = BuildFacts(p, cg)
 	res.Replication = BuildReplicaIntensity(p, cg, res.Facts)
+	res.Fusion = BuildFusion(p, cg, res.Facts)
 	res.FactsTime = time.Since(t2)
 
 	res.CallGraph = cg

@@ -1,0 +1,354 @@
+package analysis
+
+import (
+	"strings"
+
+	"autodist/internal/bytecode"
+	"autodist/internal/quad"
+)
+
+// Fusion is the access-fusion pass result: for each reachable method,
+// the runs of consecutive remote-access candidates whose intermediate
+// results are not consumed locally between the accesses. The rewriter
+// stamps each run's sites with fused access kinds (the enqueue entries
+// return a placeholder; the last entry's site receives every result in
+// one epilogue) and the runtime then executes a whole run as one
+// DEPSEQ round trip per destination instead of one per access.
+//
+// The pass is purely syntactic over the quad IR — it does not know
+// object placement. A run may mix accesses against different objects;
+// the runtime splits it by destination at execution time, preserving
+// program order between destinations (and issuing all-pure runs as a
+// concurrent scatter-gather).
+type Fusion struct {
+	Runs map[MethodID][]FusedRun
+}
+
+// FusedRun is one fusible run of ≥2 access sites within a basic block.
+type FusedRun struct {
+	Entries []FusedEntry
+	// Statics lists classes whose statics are read by GETSTATIC quads
+	// inside the run. Deferring the entries past such a read is only
+	// valid when the read stays local (no rewritten remote access
+	// between fused sites), so the rewriter stamps the run on a node
+	// only if every listed class has its statics homed there.
+	Statics []string
+}
+
+// FusedEntry is one access site inside a fused run, identified by the
+// bytecode index of its access instruction.
+type FusedEntry struct {
+	// PC is the bytecode instruction index of the access (GETFIELD,
+	// PUTFIELD or INVOKEVIRTUAL) — the same index the rewriter's
+	// per-instruction loop walks.
+	PC int
+	// StorePC/StoreSlot record the store instruction that consumes the
+	// access's result immediately (the only way a non-last entry's
+	// result may be consumed): the local slot receives a placeholder
+	// during the run and the real value in the last entry's epilogue.
+	// StorePC is -1 when the result is not stored (void entries, and a
+	// last entry whose value flows to an arbitrary consumer).
+	StorePC   int
+	StoreSlot int
+	// Pure marks side-effect-free reads (field loads and read-only
+	// methods). A run whose entries are all pure may be issued to its
+	// destinations concurrently rather than in program order.
+	Pure bool
+	// Desc is the result type descriptor ("" for void entries); the
+	// rewriter needs it to emit typed epilogue stores for non-last
+	// stored entries.
+	Desc string
+}
+
+// BuildFusion scans every reachable method for fusible access runs.
+func BuildFusion(p *bytecode.Program, cg *CallGraph, facts *Facts) *Fusion {
+	fu := &Fusion{Runs: map[MethodID][]FusedRun{}}
+	for _, mid := range cg.ReachableMethods() {
+		cf := p.Class(mid.Class)
+		if cf == nil {
+			continue
+		}
+		m := cf.Method(mid.Name, mid.Desc)
+		if m == nil || m.IsNative() || len(m.Code) == 0 {
+			continue
+		}
+		f, err := quad.Translate(cf, m)
+		if err != nil {
+			continue
+		}
+		s := &fuseScanner{
+			maxLocals: m.MaxLocals,
+			code:      m.Code,
+			facts:     facts,
+			poison:    map[int]bool{},
+			tempOf:    map[int]int{},
+			pending:   -1,
+		}
+		for _, blk := range f.Blocks {
+			for _, q := range blk.Quads {
+				s.quad(q)
+			}
+			s.finishBlock()
+		}
+		if len(s.out) > 0 {
+			fu.Runs[mid] = s.out
+		}
+	}
+	return fu
+}
+
+// fuseEntry is the scanner's working record for one admitted access.
+type fuseEntry struct {
+	pc        int
+	storePC   int
+	storeSlot int
+	pure      bool
+	desc      string
+}
+
+// fuseScanner walks one method's quads in block order, growing a
+// candidate run and closing it on the first quad that would observe a
+// deferred result. Closing keeps a prefix of the entries (all of them,
+// or a truncation ending at the entry whose value the quad needs — a
+// run's LAST entry always yields its real value at its own site, so
+// ending the run right there makes the offending read safe) and emits
+// the prefix when it still spans ≥2 accesses.
+type fuseScanner struct {
+	maxLocals int
+	code      []bytecode.Instr
+	facts     *Facts
+
+	entries []fuseEntry
+	// poison marks local slots whose current value is a placeholder: a
+	// run entry's result was stored there and the real value only
+	// arrives in the last entry's epilogue.
+	poison map[int]bool
+	// tempOf maps an entry's destination temp register to its entry
+	// index, so a later read of the raw temp truncates the run there.
+	tempOf map[int]int
+	// pending is the temp register of the just-admitted entry, awaiting
+	// the immediately following store MOVE; -1 when no store is owed.
+	pending int
+	// impure records whether the run holds an impure INVOKE entry
+	// (arbitrary deferred code), which forbids GETSTATIC intermediates.
+	impure  bool
+	statics []string
+
+	out []FusedRun
+}
+
+func (s *fuseScanner) reset() {
+	s.entries = s.entries[:0]
+	clear(s.poison)
+	clear(s.tempOf)
+	s.pending = -1
+	s.impure = false
+	s.statics = s.statics[:0]
+}
+
+// emit closes the run keeping entries[0..last] and records it when the
+// kept prefix still fuses ≥2 accesses.
+//
+// The quad-level scan cannot see WHEN a local slot was pushed onto the
+// interpreter's operand stack: a quad that executes after the run may
+// consume a value loaded BEFORE the run's last access, and that load
+// would capture the placeholder, not the epilogue-delivered result. So
+// emission re-checks against the raw bytecode and shrinks the run
+// until no load of a placeholder-carrying slot sits between its store
+// and the last entry's site.
+func (s *fuseScanner) emit(last int) {
+	for last >= 1 {
+		ok := true
+		for k := 0; k < last && ok; k++ {
+			e := s.entries[k]
+			if e.storePC < 0 {
+				continue
+			}
+			if s.slotLoadedIn(e.storeSlot, e.storePC+1, s.entries[last].pc) {
+				ok = false
+			}
+		}
+		if ok {
+			break
+		}
+		last--
+	}
+	if last+1 >= 2 {
+		es := make([]FusedEntry, last+1)
+		for i := range es {
+			e := s.entries[i]
+			es[i] = FusedEntry{PC: e.pc, StorePC: e.storePC, StoreSlot: e.storeSlot, Pure: e.pure, Desc: e.desc}
+		}
+		run := FusedRun{Entries: es}
+		if len(s.statics) > 0 {
+			run.Statics = dedupeStrings(s.statics)
+		}
+		s.out = append(s.out, run)
+	}
+	s.reset()
+}
+
+func (s *fuseScanner) finishBlock() {
+	s.pending = -1
+	if len(s.entries) > 0 {
+		s.emit(len(s.entries) - 1)
+	}
+}
+
+func (s *fuseScanner) quad(q *quad.Quad) {
+	// An admitted entry with a result must be consumed by the very next
+	// quad as a plain store to a local (the translator's ISTORE shape:
+	// MOVE local ← temp). Anything else consumes the placeholder, so
+	// the entry must be the run's last — its value is materialised at
+	// its own site and the consumer never sees the placeholder.
+	if s.pending >= 0 {
+		if q.Op == quad.MOVE && q.Dst.N < s.maxLocals {
+			if r, ok := q.Args[0].(quad.Reg); ok && r.N == s.pending {
+				last := &s.entries[len(s.entries)-1]
+				last.storePC = q.PC
+				last.storeSlot = q.Dst.N
+				s.poison[q.Dst.N] = true
+				s.pending = -1
+				return
+			}
+		}
+		s.pending = -1
+		s.emit(len(s.entries) - 1)
+	}
+
+	if len(s.entries) > 0 {
+		// A read of an entry's raw temp truncates the run so that entry
+		// is last (its value then appears at its own site); the minimum
+		// such index wins since every later entry reverts to an
+		// ordinary unfused access. A read of a placeholder-carrying
+		// local, or a write that the epilogue would later clobber,
+		// closes the whole run (the epilogue at the last entry's site
+		// precedes the offending quad, so all slots are real by then).
+		minTemp := -1
+		touchesPoison := q.HasDst && q.Dst.N < s.maxLocals && s.poison[q.Dst.N]
+		for _, a := range q.Args {
+			r, ok := a.(quad.Reg)
+			if !ok {
+				continue
+			}
+			if r.N < s.maxLocals && s.poison[r.N] {
+				touchesPoison = true
+			}
+			if j, ok := s.tempOf[r.N]; ok && (minTemp < 0 || j < minTemp) {
+				minTemp = j
+			}
+		}
+		if minTemp >= 0 {
+			s.emit(minTemp)
+		} else if touchesPoison {
+			s.emit(len(s.entries) - 1)
+		}
+	}
+
+	switch q.Op {
+	case quad.GETFIELD:
+		s.admit(q, true, q.Desc, false)
+	case quad.PUTFIELD:
+		// Array-typed stores carry copy-restore obligations the fused
+		// epilogue would displace; leave them unfused.
+		if strings.HasPrefix(q.Desc, "[") {
+			s.close()
+			return
+		}
+		s.admit(q, false, "", false)
+	case quad.INVOKE:
+		if q.Invoke != bytecode.INVOKEVIRTUAL {
+			s.close()
+			return
+		}
+		params, ret, err := bytecode.ParseMethodDescCached(q.Desc)
+		if err != nil {
+			s.close()
+			return
+		}
+		for _, p := range params {
+			if strings.HasPrefix(p, "[") {
+				s.close()
+				return
+			}
+		}
+		if ret == "V" {
+			s.admit(q, false, "", true)
+			return
+		}
+		pure := s.facts.ReplicaRead(q.Class, q.Member, q.Desc)
+		s.admit(q, pure, ret, !pure)
+	case quad.MOVE, quad.ADD, quad.SUB, quad.MUL, quad.SHL, quad.SHR, quad.USHR,
+		quad.AND, quad.OR, quad.XOR, quad.NEG, quad.I2F, quad.F2I,
+		quad.CONCAT, quad.INSTANCEOF:
+		// Pure register-to-register work: safe between deferred
+		// accesses (reads of deferred results were handled above).
+	case quad.GETSTATIC:
+		if len(s.entries) == 0 {
+			return
+		}
+		if s.impure {
+			// A deferred impure call could write the static; the local
+			// read would observe the pre-call value.
+			s.close()
+			return
+		}
+		s.statics = append(s.statics, q.Class)
+	default:
+		// DIV/REM (can trap), array ops, allocation, casts, statics
+		// writes, control flow: all end the run.
+		s.close()
+	}
+}
+
+// close ends the run keeping every entry (the current last entry stays
+// last).
+func (s *fuseScanner) close() {
+	if len(s.entries) > 0 {
+		s.emit(len(s.entries) - 1)
+	}
+}
+
+func (s *fuseScanner) admit(q *quad.Quad, pure bool, desc string, impure bool) {
+	e := fuseEntry{pc: q.PC, storePC: -1, storeSlot: -1, pure: pure, desc: desc}
+	if q.HasDst {
+		s.tempOf[q.Dst.N] = len(s.entries)
+		s.pending = q.Dst.N
+	}
+	if impure {
+		s.impure = true
+	}
+	s.entries = append(s.entries, e)
+}
+
+// slotLoadedIn reports whether any instruction in the bytecode index
+// range [from, to] pushes local slot n onto the operand stack.
+func (s *fuseScanner) slotLoadedIn(n, from, to int) bool {
+	if from < 0 {
+		from = 0
+	}
+	if to >= len(s.code) {
+		to = len(s.code) - 1
+	}
+	for pc := from; pc <= to; pc++ {
+		switch s.code[pc].Op {
+		case bytecode.ILOAD, bytecode.FLOAD, bytecode.ALOAD:
+			if int(s.code[pc].A) == n {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func dedupeStrings(in []string) []string {
+	out := make([]string, 0, len(in))
+	seen := map[string]bool{}
+	for _, v := range in {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,215 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"autodist/internal/analysis"
+	"autodist/internal/compile"
+)
+
+func fusionFor(t *testing.T, src string) *analysis.Fusion {
+	t.Helper()
+	bp, _, err := compile.CompileSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := analysis.Analyze(bp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fusion == nil {
+		t.Fatal("Analyze did not populate Fusion")
+	}
+	return res.Fusion
+}
+
+func runsIn(fu *analysis.Fusion, cls, name string) []analysis.FusedRun {
+	for mid, runs := range fu.Runs {
+		if mid.Class == cls && mid.Name == name {
+			return runs
+		}
+	}
+	return nil
+}
+
+const fusionSource = `
+class Sink {
+	int a;
+	int b;
+	int c;
+	int total;
+	Sink() { this.a = 1; this.b = 2; this.c = 3; this.total = 0; }
+	int get() { return this.a; }
+	void bump(int n) { this.total = this.total + n; }
+}
+class Main {
+	static int reads(Sink s) {
+		int x = s.a;
+		int y = s.b;
+		int z = s.c;
+		return x + y + z;
+	}
+	static int chained(Sink s) {
+		int x = s.a;
+		int y = x + s.b;
+		return y;
+	}
+	static int mixed(Sink s) {
+		s.total = 7;
+		s.bump(1);
+		int x = s.a;
+		return x;
+	}
+	static int broken(Sink s) {
+		int x = s.a;
+		int q = 100 / x;
+		int y = s.b;
+		return q + y;
+	}
+	static void main() {
+		Sink s = new Sink();
+		System.println("" + (reads(s) + chained(s) + mixed(s) + broken(s) + s.get()));
+	}
+}
+`
+
+// TestFusionIndependentReads: three field loads into distinct locals,
+// consumed only after the last load, fuse into one all-pure run with
+// each non-last result bound to its store slot.
+func TestFusionIndependentReads(t *testing.T) {
+	fu := fusionFor(t, fusionSource)
+	runs := runsIn(fu, "Main", "reads")
+	if len(runs) != 1 {
+		t.Fatalf("reads: %d runs, want 1: %+v", len(runs), runs)
+	}
+	r := runs[0]
+	if len(r.Entries) != 3 {
+		t.Fatalf("reads: %d entries, want 3: %+v", len(r.Entries), r.Entries)
+	}
+	for i, e := range r.Entries {
+		if !e.Pure {
+			t.Errorf("reads entry %d: not pure", i)
+		}
+		if e.StorePC < 0 || e.StoreSlot < 0 {
+			t.Errorf("reads entry %d: result not bound to a store (%+v)", i, e)
+		}
+		if e.Desc != "I" {
+			t.Errorf("reads entry %d: desc %q, want I", i, e.Desc)
+		}
+		if i > 0 && e.PC <= r.Entries[i-1].PC {
+			t.Errorf("reads entries out of order: %+v", r.Entries)
+		}
+	}
+}
+
+// TestFusionChainedConsumptionBlocks: the first load's value feeds the
+// expression computing the second load's store, so the loads cannot be
+// deferred together — the interpreter pushes the first value onto the
+// operand stack before the second access runs.
+func TestFusionChainedConsumptionBlocks(t *testing.T) {
+	fu := fusionFor(t, fusionSource)
+	if runs := runsIn(fu, "Main", "chained"); len(runs) != 0 {
+		t.Fatalf("chained: unexpected runs %+v", runs)
+	}
+}
+
+// TestFusionMixedWritesAndCalls: a field write, a void call and a read
+// against the same receiver form one impure run; the void entries have
+// no stores and only the read is pure.
+func TestFusionMixedWritesAndCalls(t *testing.T) {
+	fu := fusionFor(t, fusionSource)
+	runs := runsIn(fu, "Main", "mixed")
+	if len(runs) != 1 {
+		t.Fatalf("mixed: %d runs, want 1: %+v", len(runs), runs)
+	}
+	r := runs[0]
+	if len(r.Entries) != 3 {
+		t.Fatalf("mixed: %d entries, want 3: %+v", len(r.Entries), r.Entries)
+	}
+	if r.Entries[0].Pure || r.Entries[0].StorePC >= 0 || r.Entries[0].Desc != "" {
+		t.Errorf("mixed putfield entry: %+v", r.Entries[0])
+	}
+	if r.Entries[1].Pure || r.Entries[1].StorePC >= 0 || r.Entries[1].Desc != "" {
+		t.Errorf("mixed void-call entry: %+v", r.Entries[1])
+	}
+	if !r.Entries[2].Pure || r.Entries[2].StorePC < 0 || r.Entries[2].Desc != "I" {
+		t.Errorf("mixed getfield entry: %+v", r.Entries[2])
+	}
+}
+
+// TestFusionTrappingOpBreaksRun: a division between the two loads can
+// trap, so deferring the first access past it would lose its side
+// ordering — no run may span it. (The division also consumes the first
+// result, which independently blocks fusion.)
+func TestFusionTrappingOpBreaksRun(t *testing.T) {
+	fu := fusionFor(t, fusionSource)
+	if runs := runsIn(fu, "Main", "broken"); len(runs) != 0 {
+		t.Fatalf("broken: unexpected runs %+v", runs)
+	}
+}
+
+// TestFusionStackBuriedLoadBlocks pins the subtle case the quad view
+// alone would miss: sum += s.a evaluates as load-sum, load-s.a, add,
+// store-sum, so the second iteration's load of sum is buried on the
+// operand stack before the next access executes. Deferring the first
+// access would leave a placeholder under the second one.
+func TestFusionStackBuriedLoadBlocks(t *testing.T) {
+	fu := fusionFor(t, `
+class Sink {
+	int a;
+	int b;
+	Sink() { this.a = 1; this.b = 2; }
+}
+class Main {
+	static int acc(Sink s) {
+		int sum = s.a;
+		sum = sum + s.b;
+		return sum;
+	}
+	static void main() {
+		System.println("" + acc(new Sink()));
+	}
+}
+`)
+	if runs := runsIn(fu, "Main", "acc"); len(runs) != 0 {
+		t.Fatalf("acc: unexpected runs %+v", runs)
+	}
+}
+
+// TestFusionReadOnlyCallsArePure: calls the read-only analysis proves
+// side-effect free join pure runs; result-bearing calls with visible
+// writes stay impure.
+func TestFusionReadOnlyCallsArePure(t *testing.T) {
+	fu := fusionFor(t, `
+class Sink {
+	int a;
+	int hits;
+	Sink() { this.a = 5; this.hits = 0; }
+	int get() { return this.a; }
+	int take() { this.hits = this.hits + 1; return this.a; }
+}
+class Main {
+	static int poll(Sink s) {
+		int x = s.get();
+		int y = s.take();
+		return x + y;
+	}
+	static void main() {
+		System.println("" + poll(new Sink()));
+	}
+}
+`)
+	runs := runsIn(fu, "Main", "poll")
+	if len(runs) != 1 || len(runs[0].Entries) != 2 {
+		t.Fatalf("poll: runs %+v, want one 2-entry run", runs)
+	}
+	if !runs[0].Entries[0].Pure {
+		t.Errorf("read-only call entry not pure: %+v", runs[0].Entries[0])
+	}
+	if runs[0].Entries[1].Pure {
+		t.Errorf("writing call entry marked pure: %+v", runs[0].Entries[1])
+	}
+	if runs[0].Entries[0].Desc != "I" || runs[0].Entries[1].Desc != "I" {
+		t.Errorf("call entry descs: %+v", runs[0].Entries)
+	}
+}

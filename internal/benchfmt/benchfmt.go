@@ -30,10 +30,19 @@ type StatsSnapshot struct {
 	// server runs with -recover.
 	Retransmits int64 `json:"retransmits,omitempty"`
 	Recoveries  int64 `json:"recoveries,omitempty"`
-	// CompiledMethods/TierUps/Deopts are the tiered-execution counters;
+	// FusedBatches counts DEPSEQ frames access fusion sent (one per
+	// destination segment of a fused run); FusedAccesses counts the
+	// accesses those frames carried. Both zero when the server runs
+	// with -nofuse.
+	FusedBatches  int64 `json:"fused_batches,omitempty"`
+	FusedAccesses int64 `json:"fused_accesses,omitempty"`
+	// CompiledMethods/TierUps/CompiledEntries/Deopts are the
+	// tiered-execution counters (TierUps counts interpreter→compiled
+	// promotions, CompiledEntries how many times compiled code ran);
 	// all zero unless the server runs with -compile.
 	CompiledMethods int64 `json:"compiled_methods,omitempty"`
 	TierUps         int64 `json:"tier_ups,omitempty"`
+	CompiledEntries int64 `json:"compiled_entries,omitempty"`
 	Deopts          int64 `json:"deopts,omitempty"`
 	// Joins/Drains count membership transitions; Migrations counts live
 	// object moves (admission seeding plus adaptation). All zero unless
@@ -62,11 +71,15 @@ type TransportRun struct {
 	Label string `json:"label"`
 	// Conns is the number of client TCP connections driving the
 	// server; Concurrency the server-side MaxConcurrent; K the node
-	// count; DurationSec the measurement window (after warmup).
+	// count; DurationSec the measurement window (after warmup);
+	// WarmupSec the ramp window excluded from it (connection setup,
+	// tier-up compilation), so latency and throughput reflect steady
+	// state.
 	Conns       int     `json:"conns"`
 	Concurrency int     `json:"concurrency"`
 	K           int     `json:"k"`
 	DurationSec float64 `json:"duration_sec"`
+	WarmupSec   float64 `json:"warmup_sec,omitempty"`
 	// Coalesce/Compress record the transport mode under test.
 	Coalesce bool `json:"coalesce"`
 	Compress bool `json:"compress"`
@@ -86,12 +99,18 @@ type TransportRun struct {
 	// against a -recover server, typically with -chaos injection.
 	Retransmits int64 `json:"retransmits,omitempty"`
 	Recoveries  int64 `json:"recoveries,omitempty"`
+	// FusedBatches/FusedAccesses are access fusion's !stats deltas
+	// over the window: DEPSEQ frames sent and the accesses they
+	// carried. Zero for runs against a -nofuse server.
+	FusedBatches  int64 `json:"fused_batches,omitempty"`
+	FusedAccesses int64 `json:"fused_accesses,omitempty"`
 	// Compile records whether the server ran with tiered execution;
-	// CompiledMethods/TierUps/Deopts are its !stats deltas over the
-	// window when it did.
+	// CompiledMethods/TierUps/CompiledEntries/Deopts are its !stats
+	// deltas over the window when it did.
 	Compile         bool  `json:"compile,omitempty"`
 	CompiledMethods int64 `json:"compiled_methods,omitempty"`
 	TierUps         int64 `json:"tier_ups,omitempty"`
+	CompiledEntries int64 `json:"compiled_entries,omitempty"`
 	Deopts          int64 `json:"deopts,omitempty"`
 }
 
@@ -311,9 +330,13 @@ type CompileRun struct {
 	CompiledNsPerOp float64 `json:"compiled_ns_per_op"`
 	// Speedup is InterpNsPerOp / CompiledNsPerOp.
 	Speedup float64 `json:"speedup"`
-	// CompiledMethods/TierUps/Deopts are the compiled side's counters.
+	// CompiledMethods/TierUps/CompiledEntries/Deopts are the compiled
+	// side's counters: TierUps counts interpreter→compiled promotions
+	// (so it tracks CompiledMethods, not the iteration count), and
+	// CompiledEntries counts compiled-frame entries.
 	CompiledMethods int64 `json:"compiled_methods"`
 	TierUps         int64 `json:"tier_ups"`
+	CompiledEntries int64 `json:"compiled_entries,omitempty"`
 	Deopts          int64 `json:"deopts,omitempty"`
 }
 

@@ -69,8 +69,40 @@ class Main {
 		System.println("" + s);
 	}
 }`, 3)
-	if c, tu, _ := mj.JITStats(); c == 0 || tu == 0 {
-		t.Errorf("expected compilation and tier-ups, got compiled=%d tierups=%d", c, tu)
+	if c, tu, en, _ := mj.JITStats(); c == 0 || tu == 0 || en == 0 {
+		t.Errorf("expected compilation, tier-ups and compiled entries, got compiled=%d tierups=%d entries=%d", c, tu, en)
+	}
+}
+
+// TestTierUpsCountPromotionsNotEntries pins the counter semantics:
+// TierUps is the number of interpreter→compiled promotions (bounded by
+// the method count), while the per-run execution count lives in
+// CompiledEntries. The old behaviour — TierUps growing by one per
+// compiled frame — made kernel reports claim a million "tier-ups" for
+// two compiled methods.
+func TestTierUpsCountPromotionsNotEntries(t *testing.T) {
+	_, mj := runDiff(t, `
+class Main {
+	static int work(int x) { return x * x + 1; }
+	static void main() {
+		int s = 0;
+		int i = 0;
+		while (i < 500) {
+			s = s + work(i);
+			i = i + 1;
+		}
+		System.println("" + s);
+	}
+}`, 2)
+	c, tu, en, _ := mj.JITStats()
+	if tu != c {
+		t.Errorf("TierUps = %d, want one per compilation event (%d)", tu, c)
+	}
+	if tu == 0 || tu > 2 {
+		t.Errorf("TierUps = %d, want 1..2 (main and work are the only candidates)", tu)
+	}
+	if en < 500 {
+		t.Errorf("CompiledEntries = %d, want ≥ 500 compiled-frame entries", en)
 	}
 }
 
@@ -131,7 +163,7 @@ class Main {
 		System.println("" + c.get());
 	}
 }`, 3)
-	if c, _, _ := mj.JITStats(); c == 0 {
+	if c, _, _, _ := mj.JITStats(); c == 0 {
 		t.Errorf("expected compiled methods")
 	}
 }
@@ -151,7 +183,7 @@ class Main {
 		System.println("" + s);
 	}
 }`, 3)
-	if _, _, d := mj.JITStats(); d == 0 {
+	if _, _, _, d := mj.JITStats(); d == 0 {
 		t.Errorf("expected deopts on native Math.sqrt, got none")
 	}
 }
@@ -240,8 +272,8 @@ class Main {
 	if out.String() != "4950\n" {
 		t.Errorf("output = %q", out.String())
 	}
-	if c, tu, d := m.JITStats(); c != 0 || tu != 0 || d != 0 {
-		t.Errorf("jit stats nonzero without EnableJIT: %d %d %d", c, tu, d)
+	if c, tu, en, d := m.JITStats(); c != 0 || tu != 0 || en != 0 || d != 0 {
+		t.Errorf("jit stats nonzero without EnableJIT: %d %d %d %d", c, tu, en, d)
 	}
 }
 

@@ -53,12 +53,19 @@ func replicatedStampSetup(t *testing.T, opts Options) *Result {
 }
 
 // stampedKinds collects the integer constants loaded in a rewritten
-// method (the access-kind stamps among them).
+// method (the access-kind stamps among them). Sites inside fused runs
+// carry fusion bits on top of their base kind; those stamps are folded
+// back to the base kind so assertions about which access kinds were
+// chosen hold whether or not the site happens to fuse.
 func stampedKinds(cf *bytecode.ClassFile, m *bytecode.Method) map[int64]bool {
 	kinds := map[int64]bool{}
 	for _, in := range m.Code {
 		if in.Op == bytecode.LDC && cf.Pool.Entry(uint16(in.A)).Tag == bytecode.TagInt {
-			kinds[cf.Pool.Entry(uint16(in.A)).Int] = true
+			v := cf.Pool.Entry(uint16(in.A)).Int
+			kinds[v] = true
+			if v&FuseMask != 0 {
+				kinds[v&^FuseMask] = true
+			}
 		}
 	}
 	return kinds

@@ -39,6 +39,23 @@ const (
 	InvokeReplicaRead     = 10
 )
 
+// Fusion bits OR-ed onto an access kind by the access-fusion rewrite.
+// They never reach the wire: the runtime strips them before building a
+// DepRequest, so fused and unfused streams carry identical kinds.
+// FuseEnq marks a run entry whose remote execution is deferred into
+// the run's single DEPSEQ exchange (the site returns a placeholder);
+// FuseLast marks the run's final access, whose site triggers the
+// exchange and returns an Object[] holding every entry's result, which
+// the stamped epilogue distributes to the locals the original stores
+// target; FusePure marks side-effect-free entries — a run that is all
+// pure may be scattered to its destinations concurrently.
+const (
+	FuseEnq  = 0x100
+	FuseLast = 0x200
+	FusePure = 0x400
+	FuseMask = FuseEnq | FuseLast | FusePure
+)
+
 // DependentObjectClass is the name of the synthetic proxy class.
 const DependentObjectClass = "DependentObject"
 
@@ -83,6 +100,11 @@ type Plan struct {
 	ClassParts map[string]map[int]bool
 	// Facts carries the static facts the optimisation kinds rest on.
 	Facts *analysis.Facts
+	// Fusion is the access-fusion run table from analysis (nil when
+	// the plan predates the pass): per method, the runs of consecutive
+	// accesses the rewriter stamps with Fuse* kind bits. Carried in
+	// the plan so elastic joiners stamp their programs identically.
+	Fusion *analysis.Fusion
 	// Adaptive marks the plan as an initial placement rather than a
 	// contract: the runtime may migrate objects between nodes at run
 	// time, so every allocated class is rewritten as dependent on every
@@ -343,6 +365,12 @@ type Options struct {
 	// Options.Replicate / autodist RunOptions.Replicate); without it
 	// the stamped kinds degrade to plain synchronous accesses.
 	Replicate bool
+	// NoFuse omits the fusion stamps entirely, producing the
+	// pre-fusion bytecode. Stamped sites already execute identically
+	// when the runtime's fusion switch is off, so this is not needed
+	// for A/B runs — it exists as the baseline for tests that pin the
+	// fusion-off wire stream byte-for-byte against an unstamped build.
+	NoFuse bool
 }
 
 // Rewrite produces the per-node programs. The input program is not
@@ -364,6 +392,9 @@ func RewriteAdaptive(p *bytecode.Program, res *analysis.Result, k int) (*Result,
 func RewriteWith(p *bytecode.Program, res *analysis.Result, k int, opts Options) (*Result, error) {
 	plan := BuildPlan(res, k)
 	plan.collectEntrypoints(p)
+	if !opts.NoFuse {
+		plan.Fusion = res.Fusion
+	}
 	if opts.Adaptive {
 		plan.markAllDependent()
 	}
@@ -434,7 +465,20 @@ type methodRewriter struct {
 	out      []bytecode.Instr
 	mapping  []int // old index → new index
 	nextTemp int
+
+	// fuse maps an original instruction index to its fused-run entry,
+	// for the runs that validated on this node (see buildFuseMap).
+	fuse map[int]*fuseRef
 }
+
+// fuseRef locates one access site inside a validated fused run.
+type fuseRef struct {
+	run *analysis.FusedRun
+	idx int
+}
+
+// last reports whether the site is the run's final access.
+func (fs *fuseRef) last() bool { return fs.idx == len(fs.run.Entries)-1 }
 
 func (rw *methodRewriter) emit(in bytecode.Instr) {
 	rw.out = append(rw.out, in)
@@ -541,10 +585,78 @@ func (rw *methodRewriter) packArgs(descs []string) int32 {
 	return arrT
 }
 
+// buildFuseMap indexes this method's fused runs by access-site
+// instruction index, keeping only runs that are valid on this node:
+// every entry must actually rewrite to a proxied access here (a single
+// locally-served entry would execute out of order with the deferred
+// remainder), and every statics class read inside the run must be
+// homed here (so the read never becomes a remote exchange between
+// deferred sites).
+func (rw *methodRewriter) buildFuseMap() {
+	if rw.plan.Fusion == nil {
+		return
+	}
+	mid := analysis.MethodID{Class: rw.cf.Name, Name: rw.m.Name, Desc: rw.m.Desc}
+	runs := rw.plan.Fusion.Runs[mid]
+	for ri := range runs {
+		run := &runs[ri]
+		if !rw.runValid(run) {
+			continue
+		}
+		if rw.fuse == nil {
+			rw.fuse = map[int]*fuseRef{}
+		}
+		for idx := range run.Entries {
+			rw.fuse[run.Entries[idx].PC] = &fuseRef{run: run, idx: idx}
+		}
+	}
+}
+
+func (rw *methodRewriter) runValid(run *analysis.FusedRun) bool {
+	for _, cls := range run.Statics {
+		if rw.staticHome(cls) != rw.node {
+			return false
+		}
+	}
+	for _, e := range run.Entries {
+		if e.PC >= len(rw.m.Code) {
+			return false
+		}
+		in := rw.m.Code[e.PC]
+		switch in.Op {
+		case bytecode.GETFIELD, bytecode.PUTFIELD, bytecode.INVOKEVIRTUAL:
+			cls, _, _ := rw.cf.Pool.Ref(uint16(in.A))
+			if !rw.isDependent(cls) {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// fusedKind stamps the site's fusion bits onto its access kind.
+func fusedKind(kind int64, fs *fuseRef) int64 {
+	if fs == nil {
+		return kind
+	}
+	if fs.last() {
+		kind |= FuseLast
+	} else {
+		kind |= FuseEnq
+	}
+	if fs.run.Entries[fs.idx].Pure {
+		kind |= FusePure
+	}
+	return kind
+}
+
 func (rw *methodRewriter) rewrite() error {
 	code := rw.m.Code
 	rw.nextTemp = rw.m.MaxLocals
 	rw.mapping = make([]int, len(code)+1)
+	rw.buildFuseMap()
 	pool := rw.cf.Pool
 
 	ldcInt := func(v int64) {
@@ -643,12 +755,17 @@ func (rw *methodRewriter) rewrite() error {
 				// replica snapshot.
 				kind = InvokeReplicaRead
 			}
-			ldcInt(kind)
+			fs := rw.fuse[i]
+			ldcInt(fusedKind(kind, fs))
 			ldcStr(name + ":" + desc)
 			rw.emit(bytecode.Instr{Op: bytecode.ALOAD, A: arrT})
 			mref := pool.AddMethodRef(DependentObjectClass, "access", AccessDesc)
 			rw.emit(bytecode.Instr{Op: bytecode.INVOKEVIRTUAL, A: int32(mref)})
-			rw.castOrDiscard(ret)
+			if fs != nil && fs.last() {
+				rw.emitFusedEpilogue(fs, ret)
+			} else {
+				rw.castOrDiscard(ret)
+			}
 
 		case bytecode.GETFIELD:
 			cls, name, desc := pool.Ref(uint16(in.A))
@@ -666,12 +783,17 @@ func (rw *methodRewriter) rewrite() error {
 			} else if rw.isReplicated(cls) {
 				fieldKind = GetFieldReplicated
 			}
-			ldcInt(fieldKind)
+			fs := rw.fuse[i]
+			ldcInt(fusedKind(fieldKind, fs))
 			ldcStr(name)
 			rw.emit(bytecode.Instr{Op: bytecode.ACONSTNULL}) // no args
 			mref := pool.AddMethodRef(DependentObjectClass, "access", AccessDesc)
 			rw.emit(bytecode.Instr{Op: bytecode.INVOKEVIRTUAL, A: int32(mref)})
-			rw.castOrDiscard(desc)
+			if fs != nil && fs.last() {
+				rw.emitFusedEpilogue(fs, desc)
+			} else {
+				rw.castOrDiscard(desc)
+			}
 
 		case bytecode.PUTFIELD:
 			cls, name, desc := pool.Ref(uint16(in.A))
@@ -681,12 +803,17 @@ func (rw *methodRewriter) rewrite() error {
 			}
 			// Stack: recv, value. Pack the value as the single arg.
 			arrT := rw.packArgs([]string{desc})
-			ldcInt(PutField)
+			fs := rw.fuse[i]
+			ldcInt(fusedKind(PutField, fs))
 			ldcStr(name)
 			rw.emit(bytecode.Instr{Op: bytecode.ALOAD, A: arrT})
 			mref := pool.AddMethodRef(DependentObjectClass, "access", AccessDesc)
 			rw.emit(bytecode.Instr{Op: bytecode.INVOKEVIRTUAL, A: int32(mref)})
-			rw.emit(bytecode.Instr{Op: bytecode.POP})
+			if fs != nil && fs.last() {
+				rw.emitFusedEpilogue(fs, "")
+			} else {
+				rw.emit(bytecode.Instr{Op: bytecode.POP})
+			}
 
 		case bytecode.GETSTATIC:
 			cls, name, desc := pool.Ref(uint16(in.A))
@@ -755,6 +882,47 @@ func (rw *methodRewriter) rewrite() error {
 // branches, so any branch is original).
 func (rw *methodRewriter) isOriginalBranch(idx int) bool {
 	return rw.out[idx].Op.IsBranch()
+}
+
+// emitFusedEpilogue rewrites the tail of a fused run's LAST access.
+// The access call just emitted returns an Object[] with one element
+// per run entry (FuseLast's contract), so the epilogue stores each
+// earlier stored entry's result into the local slot the original code
+// targeted — those slots held placeholders until this moment — and
+// then leaves the last access's own value on the stack for its
+// original consumer (or nothing, for a void/put last access).
+func (rw *methodRewriter) emitFusedEpilogue(fs *fuseRef, ret string) {
+	pool := rw.cf.Pool
+	arrT := rw.temp()
+	rw.emit(bytecode.Instr{Op: bytecode.ASTORE, A: arrT})
+	n := len(fs.run.Entries)
+	for j := 0; j < n-1; j++ {
+		e := fs.run.Entries[j]
+		if e.StorePC < 0 {
+			continue
+		}
+		rw.emit(bytecode.Instr{Op: bytecode.ALOAD, A: arrT})
+		rw.emit(bytecode.Instr{Op: bytecode.LDC, A: int32(pool.AddInt(int64(j)))})
+		rw.emit(bytecode.Instr{Op: bytecode.AALOAD})
+		rw.emitRefCast(e.Desc)
+		rw.emit(bytecode.Instr{Op: storeOpFor(e.Desc), A: int32(e.StoreSlot)})
+	}
+	if ret != "" && ret != "V" {
+		rw.emit(bytecode.Instr{Op: bytecode.ALOAD, A: arrT})
+		rw.emit(bytecode.Instr{Op: bytecode.LDC, A: int32(pool.AddInt(int64(n - 1)))})
+		rw.emit(bytecode.Instr{Op: bytecode.AALOAD})
+		rw.castOrDiscard(ret)
+	}
+}
+
+// emitRefCast is castOrDiscard's cast step alone (no void handling).
+func (rw *methodRewriter) emitRefCast(desc string) {
+	if bytecode.DescKind(desc) == bytecode.DescClass {
+		cls := bytecode.ClassOf(desc)
+		if !rw.isDependent(cls) && cls != "Object" {
+			rw.emit(bytecode.Instr{Op: bytecode.CHECKCAST, A: int32(rw.cf.Pool.AddClass(cls))})
+		}
+	}
 }
 
 // castOrDiscard emits the post-access fixup: POP for void, CHECKCAST

@@ -67,6 +67,15 @@ type Options struct {
 	// bytecode. Requires a replicated plan, and conflicts with
 	// Unoptimized (replication is an optimisation).
 	Replicate bool
+	// Fuse enables access fusion: runs of consecutive remote accesses
+	// the rewriter stamped with fusion bits execute as one DEPSEQ round
+	// trip per destination (all-pure runs scatter-gather across
+	// destinations concurrently). Off, every stamped site degrades to
+	// the plain synchronous access of its base kind in original program
+	// order, so the wire stream is byte-identical to an unstamped
+	// build. Independent of Unoptimized: fusion changes how many frames
+	// carry the accesses, not which accesses go remote.
+	Fuse bool
 	// FailureRecovery enables the node-loss recovery protocol: dead
 	// peers (reported by the transport's reliability layer) trigger a
 	// replica-promotion round on the coordinator, effectful requests
@@ -252,6 +261,7 @@ func (c *Cluster) buildNode(prog *bytecode.Program, ep transport.Endpoint, plan 
 	n.Unoptimized = opts.Unoptimized
 	n.recovery = opts.FailureRecovery
 	n.replicate = opts.Replicate
+	n.fuse = opts.Fuse
 	n.adaptEvery = opts.AdaptEvery
 	n.adaptEps = opts.AdaptEpsilon
 	n.adaptMinGain = opts.AdaptMinGain
@@ -794,9 +804,10 @@ func (c *Cluster) TotalStats() NodeStats {
 		// Fold in the VM's tiered-execution counters the same way: the
 		// VM owns them (per-thread shadows only surface per-invocation
 		// deltas at retire), so this is the sole global source.
-		cm, tu, d := n.VM.JITStats()
+		cm, tu, en, d := n.VM.JITStats()
 		s.CompiledMethods += int64(cm)
 		s.TierUps += int64(tu)
+		s.CompiledEntries += int64(en)
 		s.Deopts += int64(d)
 	}
 	return s

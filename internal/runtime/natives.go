@@ -141,6 +141,11 @@ func (n *Node) accessFromArgs(lt *lthread, args []vm.Value) (vm.Value, error) {
 	if a, ok := args[3].(*vm.Array); ok && a != nil {
 		arr, acc = a, a.Data
 	}
+	if kind&rewrite.FuseMask != 0 {
+		ret, err := n.fusedAccess(lt, self, kind, member, acc)
+		n.VM.RecycleArray(arr)
+		return ret, err
+	}
 	ret, err := n.dispatchAccess(lt, self, kind, member, acc)
 	// The argument array is rewriter-emitted and dead once the access
 	// returns (callees receive its elements, never the array itself),

@@ -86,6 +86,14 @@ type Node struct {
 	// synchronous accesses.
 	replicate bool
 
+	// fuse enables access fusion for the sites the rewriter stamped
+	// with fusion bits: a fused run executes as one DEPSEQ round trip
+	// per destination instead of one DEPENDENCE per access. Off, every
+	// stamped site degrades to the plain access of its base kind in
+	// original program order — the wire stream is byte-identical to an
+	// unstamped build.
+	fuse bool
+
 	// mu guards the dynamic ownership map, which replaces the static
 	// plan's compile-time placement as the authority on where an
 	// object's state lives:
@@ -274,14 +282,24 @@ type NodeStats struct {
 	// exactly-once).
 	PromotedReplicas    int64
 	RedrivenInvocations int64
-	// CompiledMethods, TierUps and Deopts are the tiered-execution
-	// counters (compilation events, compiled-frame entries, interpreter
-	// fallbacks). Globally they are owned by each node's VM and folded
-	// in by TotalStats; per-thread shadows surface only in
+	// CompiledMethods, TierUps, CompiledEntries and Deopts are the
+	// tiered-execution counters (compilation events,
+	// interpreter→compiled promotions, compiled-frame entries,
+	// interpreter fallbacks). Globally they are owned by each node's VM
+	// and folded in by TotalStats; per-thread shadows surface only in
 	// per-invocation deltas, folded in at retireThread.
 	CompiledMethods int64
 	TierUps         int64
+	CompiledEntries int64
 	Deopts          int64
+	// FusedBatches counts DEPSEQ frames this node sent (one per
+	// destination segment of an executed fused run); FusedAccesses
+	// counts the accesses carried inside them. Every fused access saves
+	// a full round trip relative to the unfused protocol, so
+	// FusedAccesses-FusedBatches is the number of synchronous round
+	// trips fusion removed.
+	FusedBatches  int64
+	FusedAccesses int64
 	// Joins counts nodes admitted into the cluster (counted on the
 	// coordinator); Drains counts members retired gracefully;
 	// StaleViews counts coordination frames rejected because they
@@ -314,7 +332,10 @@ func (s *NodeStats) add(s2 NodeStats) {
 	s.RedrivenInvocations += s2.RedrivenInvocations
 	s.CompiledMethods += s2.CompiledMethods
 	s.TierUps += s2.TierUps
+	s.CompiledEntries += s2.CompiledEntries
 	s.Deopts += s2.Deopts
+	s.FusedBatches += s2.FusedBatches
+	s.FusedAccesses += s2.FusedAccesses
 	s.Joins += s2.Joins
 	s.Drains += s2.Drains
 	s.StaleViews += s2.StaleViews
@@ -342,7 +363,10 @@ func (s *NodeStats) sub(s2 NodeStats) {
 	s.RedrivenInvocations -= s2.RedrivenInvocations
 	s.CompiledMethods -= s2.CompiledMethods
 	s.TierUps -= s2.TierUps
+	s.CompiledEntries -= s2.CompiledEntries
 	s.Deopts -= s2.Deopts
+	s.FusedBatches -= s2.FusedBatches
+	s.FusedAccesses -= s2.FusedAccesses
 	s.Joins -= s2.Joins
 	s.Drains -= s2.Drains
 	s.StaleViews -= s2.StaleViews
@@ -372,7 +396,10 @@ func (s *NodeStats) snapshot() NodeStats {
 		RedrivenInvocations: atomic.LoadInt64(&s.RedrivenInvocations),
 		CompiledMethods:     atomic.LoadInt64(&s.CompiledMethods),
 		TierUps:             atomic.LoadInt64(&s.TierUps),
+		CompiledEntries:     atomic.LoadInt64(&s.CompiledEntries),
 		Deopts:              atomic.LoadInt64(&s.Deopts),
+		FusedBatches:        atomic.LoadInt64(&s.FusedBatches),
+		FusedAccesses:       atomic.LoadInt64(&s.FusedAccesses),
 		Joins:               atomic.LoadInt64(&s.Joins),
 		Drains:              atomic.LoadInt64(&s.Drains),
 		StaleViews:          atomic.LoadInt64(&s.StaleViews),
@@ -813,7 +840,7 @@ func (n *Node) rawRequest(lt *lthread, to int, kind uint8, payload []byte) (tran
 		// invocation's replayed prefix is answered from the receiver's
 		// journal instead of re-executing (exactly-once effects).
 		switch kind {
-		case KindNew, KindDependence, KindDependenceBatch:
+		case KindNew, KindDependence, KindDependenceBatch, KindDepSeq:
 			msg.Dedup = lt.nextDedup()
 		}
 	}
@@ -1308,6 +1335,34 @@ func (n *Node) handle(msg transport.Message) {
 			wire.PutValues(req.Args)
 		}
 		finish(&out.Err, &out.AsyncErr, &out.AsyncDests)
+		reply(out.Encode())
+	case KindDepSeq:
+		// A fused run of synchronous dependences: execute the entries in
+		// order, one DepResponse each, stopping at the first failure (a
+		// short vector tells the caller exactly which entries never ran).
+		// Per-entry forwarding works unchanged — serveDependence stamps
+		// Moved/NewHome on the affected entry alone.
+		out := wire.DepSeqResponse{}
+		if seq, err := wire.DecodeDepSeq(msg.Payload); err != nil {
+			out.Resps = []wire.DepResponse{{Err: err.Error()}}
+		} else {
+			for i := range seq.Reqs {
+				n.count(lt, func(s *NodeStats) *int64 { return &s.DepRequests }, 1)
+				r := n.serveDependence(lt, &seq.Reqs[i])
+				wire.PutValues(seq.Reqs[i].Args)
+				out.Resps = append(out.Resps, r)
+				if r.Err != "" {
+					break
+				}
+			}
+		}
+		// Thread bookkeeping rides on the final executed entry, exactly
+		// where a plain DEPENDENCE reply would carry it.
+		if len(out.Resps) == 0 {
+			out.Resps = []wire.DepResponse{{}}
+		}
+		last := &out.Resps[len(out.Resps)-1]
+		finish(&last.Err, &last.AsyncErr, &last.AsyncDests)
 		reply(out.Encode())
 	case KindBarrier:
 		// The barrier drains the thread's buffers relayed through this

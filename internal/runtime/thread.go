@@ -73,6 +73,14 @@ type lthread struct {
 	dedupNext uint64
 	journal   map[journalKey][]byte
 
+	// fuseBuf holds the enqueued entries of the fused run this thread is
+	// currently inside (fusion on only; see natives.go fusedAccess). No
+	// lock: only the thread's own interpreter touches it, strictly
+	// between a run's first FuseEnq site and its FuseLast site, and the
+	// whitelisted bytecode between fused sites cannot unwind. Cleared
+	// defensively at retire.
+	fuseBuf []fusedEntry
+
 	// callBuf and wireBuf are per-thread scratch slices for call
 	// argument assembly and wire-value conversion. Safe to reuse
 	// because both are fully consumed before control re-enters code
@@ -191,15 +199,17 @@ func (n *Node) retireThread(tid uint64) (stats NodeStats, dests []int, asyncErr 
 		n.carryMu.Unlock()
 	}
 	sort.Ints(dests)
+	lt.fuseBuf = nil
 	stats = lt.stats.snapshot()
 	// The interpreter thread has quiesced (its invocation completed and
 	// its context is unregistered), so its tiered-execution counters
 	// are stable: fold them into the per-invocation delta. They are
 	// deliberately NOT added to n.Stats — TotalStats reads the global
 	// totals straight from the VM, so adding here would double-count.
-	cm, tu, d := lt.vt.JITCounters()
+	cm, tu, en, d := lt.vt.JITCounters()
 	stats.CompiledMethods += int64(cm)
 	stats.TierUps += int64(tu)
+	stats.CompiledEntries += int64(en)
 	stats.Deopts += int64(d)
 	return stats, dests, asyncErr
 }

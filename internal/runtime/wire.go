@@ -90,6 +90,11 @@ const (
 	KindRecover
 	KindPromote
 	KindRehome
+	// DEPSEQ carries a fused run of synchronous dependence messages
+	// (access fusion): one frame holds a vector of DepRequests and the
+	// response holds one DepResponse per executed entry, so a run of K
+	// accesses against one destination costs a single round trip.
+	KindDepSeq
 )
 
 // toWire converts a local vm.Value for transmission from this node.

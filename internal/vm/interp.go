@@ -101,14 +101,14 @@ func (t *Thread) run(c *Class, m *bytecode.Method, args []Value) (Value, error) 
 	if js := vm.jit; js != nil && vm.Hooks.OnQuantum == nil {
 		prof = js.profileFor(m)
 		if cm := prof.compiled(); cm != nil {
-			t.tierUpC++
-			js.tierUps.Add(1)
+			t.entryC++
+			js.entries.Add(1)
 			return cm.Run(t, args)
 		}
 		if !prof.bad.Load() && prof.count.Add(1) >= js.threshold {
 			if cm := js.promote(t, c, m, prof); cm != nil {
-				t.tierUpC++
-				js.tierUps.Add(1)
+				t.entryC++
+				js.entries.Add(1)
 				return cm.Run(t, args)
 			}
 		}

@@ -36,8 +36,9 @@ type jitState struct {
 
 	profiles sync.Map // *bytecode.Method → *methodProfile
 
-	compiledN atomic.Uint64 // compilation/promotion events
-	tierUps   atomic.Uint64 // compiled-frame entries
+	compiledN atomic.Uint64 // compilation events (recompiles after invalidation included)
+	tierUps   atomic.Uint64 // interpreter→compiled promotions
+	entries   atomic.Uint64 // compiled-frame entries
 	deopts    atomic.Uint64 // mid-method fallbacks to the interpreter
 }
 
@@ -102,7 +103,9 @@ func (js *jitState) promote(t *Thread, c *Class, m *bytecode.Method, prof *metho
 	}
 	prof.code.Store(&cm)
 	js.compiledN.Add(1)
+	js.tierUps.Add(1)
 	t.compileC++
+	t.tierUpC++
 	return cm
 }
 
@@ -128,13 +131,17 @@ func (vm *VM) InvalidateCompiled() {
 }
 
 // JITStats returns the VM-level tiered-execution counters: compilation
-// events, compiled-frame entries, and deopt fallbacks.
-func (vm *VM) JITStats() (compiled, tierUps, deopts uint64) {
+// events, interpreter→compiled promotions, compiled-frame entries, and
+// deopt fallbacks. TierUps counts promotion events (a hot method
+// crossing the threshold and entering the compiled tier), not how many
+// times compiled code ran — that is entries, which grows with the
+// workload rather than with the number of hot methods.
+func (vm *VM) JITStats() (compiled, tierUps, entries, deopts uint64) {
 	js := vm.jit
 	if js == nil {
-		return 0, 0, 0
+		return 0, 0, 0, 0
 	}
-	return js.compiledN.Load(), js.tierUps.Load(), js.deopts.Load()
+	return js.compiledN.Load(), js.tierUps.Load(), js.entries.Load(), js.deopts.Load()
 }
 
 // NoteDeopt records one compiled-frame fallback to the interpreter.
@@ -147,10 +154,11 @@ func (t *Thread) NoteDeopt() {
 }
 
 // JITCounters returns this thread's tiered-execution counters
-// (compilations it triggered, compiled frames it entered, deopts it
-// took). Like Steps, read only once the thread has quiesced.
-func (t *Thread) JITCounters() (compiled, tierUps, deopts uint64) {
-	return t.compileC, t.tierUpC, t.deoptC
+// (compilations it triggered, promotions it performed, compiled frames
+// it entered, deopts it took). Like Steps, read only once the thread
+// has quiesced.
+func (t *Thread) JITCounters() (compiled, tierUps, entries, deopts uint64) {
+	return t.compileC, t.tierUpC, t.entryC, t.deoptC
 }
 
 // ChargeBlock charges a compiled frame's execution against the same

@@ -152,10 +152,11 @@ type Thread struct {
 	// per-instruction accounting to one atomic op (the shared clock).
 	cycles uint64
 	// Tiered-execution counters (plain, same contract as cycles):
-	// compilations this thread triggered, compiled frames it entered,
-	// deopts it took.
+	// compilations this thread triggered, promotions it performed,
+	// compiled frames it entered, deopts it took.
 	compileC uint64
 	tierUpC  uint64
+	entryC   uint64
 	deoptC   uint64
 	// larena backs frame locals. Calls nest LIFO within a thread, so
 	// each frame carves its locals from the tail and releases back to

@@ -8,9 +8,9 @@ import (
 )
 
 // runtimeFrameKinds mirrors the runtime's frame-kind space (NEW=1 …
-// REHOME=16). The codec is kind-agnostic, but the thread-id field
+// DEPSEQ=17). The codec is kind-agnostic, but the thread-id field
 // must round-trip on every kind the protocol actually sends.
-var runtimeFrameKinds = []uint8{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+var runtimeFrameKinds = []uint8{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17}
 
 // TestFrameThreadIDRoundTrip is the round-trip property for the
 // thread-id field: for every runtime frame kind and a spread of thread

@@ -129,9 +129,8 @@ type DepResponse struct {
 	NewHome int
 }
 
-// Encode serialises the response.
-func (m *DepResponse) Encode() []byte {
-	b := m.Value.Append(GetBuf())
+func (m *DepResponse) append(b []byte) []byte {
+	b = m.Value.Append(b)
 	b = appendValues(b, m.OutArrays)
 	b = appendString(b, m.Err)
 	b = appendString(b, m.AsyncErr)
@@ -140,9 +139,10 @@ func (m *DepResponse) Encode() []byte {
 	return appendUvarint(b, uint64(m.NewHome))
 }
 
-// DecodeDepResponse parses a DepResponse body.
-func DecodeDepResponse(data []byte) (DepResponse, error) {
-	r := NewReader(data)
+// Encode serialises the response.
+func (m *DepResponse) Encode() []byte { return m.append(GetBuf()) }
+
+func (r *Reader) depResponse() DepResponse {
 	var m DepResponse
 	m.Value = r.Value()
 	m.OutArrays = r.Values()
@@ -151,6 +151,13 @@ func DecodeDepResponse(data []byte) (DepResponse, error) {
 	m.AsyncDests = r.ints()
 	m.Moved = r.Bool()
 	m.NewHome = int(r.Uvarint())
+	return m
+}
+
+// DecodeDepResponse parses a DepResponse body.
+func DecodeDepResponse(data []byte) (DepResponse, error) {
+	r := NewReader(data)
+	m := r.depResponse()
 	return m, r.Err()
 }
 
@@ -476,6 +483,81 @@ func DecodeBatch(data []byte) (Batch, error) {
 	m.Reqs = make([]DepRequest, n)
 	for i := 0; i < n; i++ {
 		m.Reqs[i] = r.depRequest()
+		if r.Err() != nil {
+			return m, r.Err()
+		}
+	}
+	return m, r.Err()
+}
+
+// DepSeq is the fused form of consecutive *synchronous* dependence
+// messages bound for one destination: the compiler proves the run's
+// intermediate results are not consumed between accesses, so the whole
+// run travels as one DEPSEQ exchange instead of len(Reqs) DEPENDENCE
+// round trips. Unlike Batch (fire-and-forget void calls), every entry
+// produces a response; the responder executes entries in order and
+// stops at the first failure, so Resps in the reply may be shorter
+// than Reqs.
+type DepSeq struct {
+	Reqs []DepRequest
+}
+
+// Encode serialises the sequence.
+func (m *DepSeq) Encode() []byte {
+	b := appendUvarint(GetBuf(), uint64(len(m.Reqs)))
+	for i := range m.Reqs {
+		b = m.Reqs[i].append(b)
+	}
+	return b
+}
+
+// DecodeDepSeq parses a DepSeq body.
+func DecodeDepSeq(data []byte) (DepSeq, error) {
+	r := NewReader(data)
+	var m DepSeq
+	n := r.count()
+	if r.Err() != nil {
+		return m, r.Err()
+	}
+	m.Reqs = make([]DepRequest, n)
+	for i := 0; i < n; i++ {
+		m.Reqs[i] = r.depRequest()
+		if r.Err() != nil {
+			return m, r.Err()
+		}
+	}
+	return m, r.Err()
+}
+
+// DepSeqResponse answers a DepSeq with one DepResponse per executed
+// entry, in request order. A short vector means the responder stopped
+// at the first entry whose Err is set; entries past it never ran.
+// Per-entry Moved/NewHome redirects apply to that entry alone — the
+// caller re-aims just the affected remainder.
+type DepSeqResponse struct {
+	Resps []DepResponse
+}
+
+// Encode serialises the response vector.
+func (m *DepSeqResponse) Encode() []byte {
+	b := appendUvarint(GetBuf(), uint64(len(m.Resps)))
+	for i := range m.Resps {
+		b = m.Resps[i].append(b)
+	}
+	return b
+}
+
+// DecodeDepSeqResponse parses a DepSeqResponse body.
+func DecodeDepSeqResponse(data []byte) (DepSeqResponse, error) {
+	r := NewReader(data)
+	var m DepSeqResponse
+	n := r.count()
+	if r.Err() != nil {
+		return m, r.Err()
+	}
+	m.Resps = make([]DepResponse, n)
+	for i := 0; i < n; i++ {
+		m.Resps[i] = r.depResponse()
 		if r.Err() != nil {
 			return m, r.Err()
 		}

@@ -79,6 +79,13 @@ type Config struct {
 	// (proxy-side caching of write-once fields, fire-and-forget
 	// asynchronous void calls, batching) for A/B measurement.
 	Unoptimized bool
+	// NoFuse disables access fusion for A/B measurement: runs of
+	// consecutive remote accesses execute as one DEPENDENCE round trip
+	// each (the pre-fusion protocol, byte-identical on the wire)
+	// instead of one DEPSEQ frame per destination. Fusion is on by
+	// default because it only changes how many frames carry the
+	// accesses, never which accesses go remote or their order.
+	NoFuse bool
 	// Adaptive records that the partition is an initial placement with
 	// live object migration. Deploy and Distribution.Run fill it from
 	// the plan (distributions built with Plan.RewriteAdaptive or
@@ -217,6 +224,8 @@ func (c *Config) Validate() error {
 			return fmt.Errorf("autodist: Replicate requires a distributed run (K ≥ 2)")
 		case c.Unoptimized:
 			return fmt.Errorf("autodist: Unoptimized requires a distributed run (K ≥ 2)")
+		case c.NoFuse:
+			return fmt.Errorf("autodist: NoFuse requires a distributed run (K ≥ 2)")
 		case c.TCP:
 			return fmt.Errorf("autodist: TCP requires a distributed run (K ≥ 2)")
 		case c.MaxConcurrent > 1:
@@ -336,6 +345,13 @@ type RunResult struct {
 	// cross-invocation retention of a resident deployment. Always zero
 	// on one-shot runs.
 	RetainedHits int64
+	// FusedBatches counts DEPSEQ frames sent (one per destination
+	// segment of an executed fused access run); FusedAccesses counts
+	// the individual accesses those frames carried. Their difference
+	// is the number of synchronous round trips fusion saved. Both are
+	// zero when the deployment ran with Config.NoFuse.
+	FusedBatches  int64
+	FusedAccesses int64
 	// Retransmits counts frames the reliability layer resent after an
 	// ack timeout; Recoveries counts frames it healed on the receive
 	// side (retransmitted-then-delivered plus duplicates suppressed).
@@ -347,13 +363,17 @@ type RunResult struct {
 	Recoveries          int64
 	PromotedReplicas    int64
 	RedrivenInvocations int64
-	// CompiledMethods counts methods promoted to the compiled tier,
-	// TierUps counts compiled-frame entries, and Deopts counts
+	// CompiledMethods counts compilation events, TierUps counts
+	// interpreter→compiled promotions (hot methods crossing the
+	// threshold), CompiledEntries counts compiled-frame entries (how
+	// many times compiled code ran — this grows with the workload, the
+	// other two with the number of hot methods), and Deopts counts
 	// mid-method fallbacks to the interpreter (at access-mediated
 	// sites and other guarded points). All are zero unless the run
 	// used Config.Compile.
 	CompiledMethods int64
 	TierUps         int64
+	CompiledEntries int64
 	Deopts          int64
 	// Joins counts nodes admitted into the cluster after deployment,
 	// Drains counts members retired gracefully, and StaleViews counts
@@ -377,12 +397,15 @@ func (r *RunResult) fillStats(s runtime.NodeStats) {
 	r.ReplicaFetches = s.ReplicaFetches
 	r.Invalidations = s.Invalidations
 	r.RetainedHits = s.RetainedHits
+	r.FusedBatches = s.FusedBatches
+	r.FusedAccesses = s.FusedAccesses
 	r.Retransmits = s.Retransmits
 	r.Recoveries = s.Recoveries
 	r.PromotedReplicas = s.PromotedReplicas
 	r.RedrivenInvocations = s.RedrivenInvocations
 	r.CompiledMethods = s.CompiledMethods
 	r.TierUps = s.TierUps
+	r.CompiledEntries = s.CompiledEntries
 	r.Deopts = s.Deopts
 	r.Joins = s.Joins
 	r.Drains = s.Drains
@@ -449,8 +472,9 @@ func (p *Program) Run(opts RunOptions) (*RunResult, error) {
 		Wall:       time.Since(start),
 		SimSeconds: machine.SimSeconds(),
 	}
-	cm, tu, d := machine.JITStats()
-	r.CompiledMethods, r.TierUps, r.Deopts = int64(cm), int64(tu), int64(d)
+	cm, tu, en, d := machine.JITStats()
+	r.CompiledMethods, r.TierUps, r.CompiledEntries, r.Deopts =
+		int64(cm), int64(tu), int64(en), int64(d)
 	return r, nil
 }
 
